@@ -1,0 +1,160 @@
+//! Design-choice ablations from DESIGN.md §5, measured end to end on the
+//! real engine (small, criterion-sized workloads). Each group contrasts a
+//! NEPTUNE design decision with its alternative:
+//!
+//! 1. **batched vs per-message scheduling** (§III-B2 / Table I),
+//! 2. **buffer capacity sweep** (§III-B1 / Fig. 2, the byte-threshold
+//!    choice),
+//! 3. **selective vs always vs no compression** on low-entropy batches
+//!    (§III-B5),
+//! 4. **object reuse vs fresh allocation** on the decode path (§III-B3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use neptune_compress::SelectiveCompressor;
+use neptune_core::codec::PacketCodec;
+use neptune_core::prelude::*;
+use neptune_core::{FieldValue, StreamPacket};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PACKETS_PER_RUN: u64 = 20_000;
+
+struct Src(u64);
+impl StreamSource for Src {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.0 >= PACKETS_PER_RUN {
+            return SourceStatus::Exhausted;
+        }
+        let mut p = StreamPacket::new();
+        p.push_field("n", FieldValue::U64(self.0))
+            .push_field("pad", FieldValue::Bytes(vec![0x11; 42]));
+        match ctx.emit(&p) {
+            Ok(()) => {
+                self.0 += 1;
+                SourceStatus::Emitted(1)
+            }
+            Err(_) => SourceStatus::Exhausted,
+        }
+    }
+}
+struct Sink(Arc<AtomicU64>);
+impl StreamProcessor for Sink {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Run one two-stage job to completion; returns only when every packet
+/// arrived (the benchmark measures whole-job wall time).
+fn run_job(config: RuntimeConfig) {
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let graph = GraphBuilder::new("ablation")
+        .source("src", || Src(0))
+        .processor("sink", move || Sink(s2.clone()))
+        .link("src", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), PACKETS_PER_RUN);
+}
+
+fn ablation_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PACKETS_PER_RUN));
+    group.bench_function("batched (NEPTUNE)", |b| {
+        b.iter(|| run_job(RuntimeConfig { buffer_bytes: 64 << 10, ..Default::default() }))
+    });
+    group.bench_function("per_message (ablated)", |b| {
+        b.iter(|| run_job(RuntimeConfig { batched_scheduling: false, ..Default::default() }))
+    });
+    group.finish();
+}
+
+fn ablation_buffer_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer_capacity");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PACKETS_PER_RUN));
+    for (label, bytes) in [("1KB", 1usize << 10), ("16KB", 16 << 10), ("1MB", 1 << 20)] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_job(RuntimeConfig { buffer_bytes: bytes, ..Default::default() }))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compression");
+    // A low-entropy batch like a buffered sensor stream.
+    let batch: Vec<u8> = (0..32_768).map(|i| ((i / 100) % 11) as u8).collect();
+    group.throughput(Throughput::Bytes(batch.len() as u64));
+    for (label, policy) in [
+        ("disabled", SelectiveCompressor::disabled()),
+        ("always", SelectiveCompressor::always()),
+        ("selective_5.0", SelectiveCompressor::new(5.0)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let framed = policy.encode(black_box(&batch));
+                let restored = SelectiveCompressor::decode(&framed.payload).unwrap();
+                black_box(restored.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_object_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_object_reuse");
+    let mut codec = PacketCodec::new();
+    let encoded: Vec<Vec<u8>> = (0..64)
+        .map(|i| {
+            let mut p = StreamPacket::new();
+            p.push_field("n", FieldValue::U64(i))
+                .push_field("site", FieldValue::Str(format!("s{}", i % 4)))
+                .push_field("pad", FieldValue::Bytes(vec![3u8; 24]));
+            codec.encode(&p).unwrap()
+        })
+        .collect();
+    group.throughput(Throughput::Elements(encoded.len() as u64));
+    group.bench_function("workhorse_reuse (NEPTUNE)", |b| {
+        let mut codec = PacketCodec::new();
+        let mut workhorse = StreamPacket::new();
+        b.iter(|| {
+            for bytes in &encoded {
+                codec.decode_into(black_box(bytes), &mut workhorse).unwrap();
+                black_box(workhorse.len());
+            }
+        })
+    });
+    group.bench_function("fresh_per_message (ablated)", |b| {
+        b.iter(|| {
+            for bytes in &encoded {
+                let mut codec = PacketCodec::new();
+                let p = codec.decode(black_box(bytes)).unwrap();
+                black_box(p.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = ablation_scheduling, ablation_buffer_capacity, ablation_compression,
+              ablation_object_reuse
+}
+criterion_main!(benches);

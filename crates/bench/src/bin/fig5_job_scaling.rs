@@ -1,0 +1,45 @@
+//! **Fig. 5** — cumulative throughput and cumulative bandwidth usage vs.
+//! the number of concurrent jobs on the 50-node cluster.
+//!
+//! Paper: *"Both cumulative metrics increase until the number of jobs is
+//! equal to 50. ... Beyond this point, when the number of jobs increased
+//! further, the cluster reaches an overprovisioned stage and there is a
+//! drop in both cumulative throughput and cumulative bandwidth usage."*
+//!
+//! Runs on the cluster simulator (the 50-machine testbed substitute; see
+//! DESIGN.md).
+
+use neptune_bench::{eng, Table};
+use neptune_sim::{neptune_profile, simulate_cluster, ClusterParams};
+
+fn main() {
+    const NODES: usize = 50;
+    println!("# Fig. 5 — cumulative throughput & bandwidth vs concurrent jobs ({NODES} nodes)\n");
+    let mut table = Table::new(&[
+        "jobs",
+        "cumulative throughput (msg/s)",
+        "cumulative bandwidth (Gbps)",
+        "per-job mean (msg/s)",
+    ]);
+    let sweep = [1usize, 5, 10, 20, 30, 40, 50, 60, 75, 100];
+    let mut results = Vec::new();
+    for &jobs in &sweep {
+        let r = simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), NODES, jobs));
+        table.row(vec![
+            jobs.to_string(),
+            eng(r.cumulative_throughput),
+            format!("{:.2}", r.cumulative_bandwidth_gbps),
+            eng(r.cumulative_throughput / jobs as f64),
+        ]);
+        results.push((jobs, r.cumulative_throughput, r.cumulative_bandwidth_gbps));
+    }
+    table.print();
+
+    // Shape checks matching the paper's narrative.
+    let tp = |j: usize| results.iter().find(|(jobs, ..)| *jobs == j).expect("swept").1;
+    let peak = tp(50);
+    println!("\npeak cumulative throughput at 50 jobs: {} msg/s (paper: ~100M)", eng(peak));
+    assert!(tp(10) < tp(30) && tp(30) < tp(50), "throughput must rise toward 50 jobs");
+    assert!(tp(75) < peak && tp(100) < peak, "over-provisioning must reduce throughput");
+    println!("fig5 OK — rise to a peak at jobs = nodes, then an over-provisioned decline");
+}

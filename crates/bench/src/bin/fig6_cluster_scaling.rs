@@ -1,0 +1,43 @@
+//! **Fig. 6** — cumulative throughput and bandwidth vs. cluster size with
+//! the number of jobs fixed at 50.
+//!
+//! Paper: *"Both these metrics linearly scale with the cluster size and it
+//! is expected to reach a maximum and stabilize when the cluster size is
+//! further increased."*
+
+use neptune_bench::{eng, Table};
+use neptune_sim::{neptune_profile, simulate_cluster, ClusterParams};
+
+fn main() {
+    const JOBS: usize = 50;
+    println!("# Fig. 6 — cumulative throughput & bandwidth vs cluster size ({JOBS} jobs)\n");
+    let mut table = Table::new(&[
+        "nodes",
+        "cumulative throughput (msg/s)",
+        "cumulative bandwidth (Gbps)",
+        "throughput per node",
+    ]);
+    let sweep = [5usize, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+    let mut results = Vec::new();
+    for &nodes in &sweep {
+        let r = simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), nodes, JOBS));
+        table.row(vec![
+            nodes.to_string(),
+            eng(r.cumulative_throughput),
+            format!("{:.2}", r.cumulative_bandwidth_gbps),
+            eng(r.cumulative_throughput / nodes as f64),
+        ]);
+        results.push((nodes, r.cumulative_throughput));
+    }
+    table.print();
+
+    // Linearity check: regress throughput on nodes and verify a strong
+    // positive slope with near-linear ratios between doubled sizes.
+    let tp = |n: usize| results.iter().find(|(nodes, _)| *nodes == n).expect("swept").1;
+    let r_10_20 = tp(20) / tp(10);
+    let r_20_40 = tp(40) / tp(20);
+    println!("\nscaling ratios: 10->20 nodes = {r_10_20:.2}x, 20->40 nodes = {r_20_40:.2}x (linear = 2.0x)");
+    assert!((1.5..=2.6).contains(&r_10_20), "10->20 ratio {r_10_20} not near-linear");
+    assert!((1.5..=2.6).contains(&r_20_40), "20->40 ratio {r_20_40} not near-linear");
+    println!("fig6 OK — cumulative metrics scale ~linearly with cluster size");
+}

@@ -1,0 +1,200 @@
+//! # neptune-bench
+//!
+//! Experiment harness reproducing every table and figure of the NEPTUNE
+//! paper's evaluation (§III-B and §IV). One binary per artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig2_buffering` | Fig. 2 — throughput / latency / bandwidth vs buffer size × message size |
+//! | `table1_context_switches` | Table I — non-voluntary context switches, batched vs per-message (measured live via `/proc`) |
+//! | `reuse_allocation` | §III-B3 — allocation/reclamation share with and without object reuse (counting allocator) |
+//! | `fig4_backpressure` | Fig. 4 — source throughput tracking a variable-rate stage C |
+//! | `compression_study` | §III-B5 — compression on/off/selective × sensor/random datasets, Tukey HSD |
+//! | `fig5_job_scaling` | Fig. 5 — cumulative throughput & bandwidth vs concurrent jobs (50 nodes) |
+//! | `fig6_cluster_scaling` | Fig. 6 — cumulative throughput & bandwidth vs cluster size (50 jobs) |
+//! | `fig7_vs_storm` | Fig. 7 — NEPTUNE vs Storm relay across message sizes |
+//! | `fig9_manufacturing` | Fig. 9 — manufacturing job cumulative throughput vs jobs, both engines |
+//! | `fig10_resources` | Fig. 10 — per-node CPU/memory with t-tests |
+//! | `headline` | §VI — the paper's headline numbers in one pass |
+//!
+//! Run any of them with
+//! `cargo run -p neptune-bench --release --bin <name>`.
+//!
+//! This library hosts the shared pieces: a table printer, the `/proc`
+//! context-switch sampler, and a counting global allocator used by the
+//! object-reuse experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Render a fixed-width text table (markdown-ish) to stdout.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Print the table.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:>w$} |", c, w = widths[i]));
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        println!("{sep}");
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Human-friendly engineering formatting (1.95M, 23.4k, 0.937).
+pub fn eng(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Context-switch counters from `/proc/self/status` (Linux). The paper's
+/// Table I uses exactly this OS facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtxSwitches {
+    /// Voluntary context switches (blocking waits).
+    pub voluntary: u64,
+    /// Non-voluntary context switches (preemptions) — Table I's metric.
+    pub nonvoluntary: u64,
+}
+
+/// Read the process-wide context switch counters, summed across every
+/// thread (`/proc/self/status` alone only covers the main thread —
+/// NEPTUNE's switches happen on worker and IO threads). Returns `None`
+/// off Linux or if the proc format changes.
+///
+/// Threads that exited between samples take their counts with them, which
+/// slightly undercounts; the engines keep their pools alive for a job's
+/// lifetime, so the steady-state windows this harness samples are stable.
+pub fn read_ctx_switches() -> Option<CtxSwitches> {
+    let mut total = CtxSwitches { voluntary: 0, nonvoluntary: 0 };
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut any = false;
+    for task in tasks.flatten() {
+        let status = match std::fs::read_to_string(task.path().join("status")) {
+            Ok(s) => s,
+            Err(_) => continue, // thread exited mid-scan
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("voluntary_ctxt_switches:") {
+                total.voluntary += rest.trim().parse::<u64>().ok()?;
+                any = true;
+            } else if let Some(rest) = line.strip_prefix("nonvoluntary_ctxt_switches:") {
+                total.nonvoluntary += rest.trim().parse::<u64>().ok()?;
+            }
+        }
+    }
+    any.then_some(total)
+}
+
+/// Global allocation counters fed by [`CountingAllocator`].
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Bytes requested across all allocations.
+pub static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper around the system allocator. Install in a binary
+/// with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: neptune_bench::CountingAllocator = neptune_bench::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counters are
+// relaxed atomics with no effect on allocation behaviour.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
+/// Snapshot of the counting allocator's totals.
+pub fn alloc_snapshot() -> (u64, u64) {
+    (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        t.print(); // smoke: no panic
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(1_950_000.0), "1.95M");
+        assert_eq!(eng(23_400.0), "23.4k");
+        assert_eq!(eng(0.937), "0.94");
+        assert_eq!(eng(2.1e9), "2.10G");
+    }
+
+    #[test]
+    fn ctx_switches_readable_on_linux() {
+        // We run the suite on Linux; the counters must parse and be
+        // monotonic.
+        let a = read_ctx_switches().expect("linux proc");
+        for _ in 0..50 {
+            std::thread::yield_now();
+        }
+        let b = read_ctx_switches().expect("linux proc");
+        assert!(b.voluntary >= a.voluntary);
+        assert!(b.nonvoluntary >= a.nonvoluntary);
+    }
+}

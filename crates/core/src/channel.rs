@@ -1,0 +1,321 @@
+//! Channels: the runtime fabric of a link.
+//!
+//! A *link* connects two operators; with parallelism it fans out into
+//! `src_instances x dst_instances` **channels**. Each channel owns:
+//!
+//! * an [`OutputBuffer`] on the sending side (application-level buffering,
+//!   §III-B1),
+//! * a [`SelectiveCompressor`] policy (§III-B5),
+//! * a [`SinkHandle`] — in-process or TCP — that blocks under backpressure
+//!   (§III-B4),
+//! * contiguous per-channel sequence numbers that let the receiver verify
+//!   in-order, exactly-once delivery (§I-B's correctness requirement).
+//!
+//! The channel's buffer mutex is held across the flush-and-dispatch step
+//! on purpose: batches of one channel must reach the transport in flush
+//! order, or sequence validation downstream would flag reordering.
+
+use crate::metrics::OperatorCounters;
+use neptune_compress::SelectiveCompressor;
+use neptune_net::buffer::{FlushedBatch, OutputBuffer, PushOutcome};
+use neptune_net::frame::encode_frame_raw;
+use neptune_net::tcp::TcpSender;
+use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifies one channel: `(link index, source instance, destination
+/// instance)` packed into a u64 for the wire header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(u64);
+
+impl ChannelId {
+    /// Pack a channel id.
+    pub fn new(link: u16, src_instance: u16, dst_instance: u16) -> Self {
+        ChannelId(((link as u64) << 32) | ((src_instance as u64) << 16) | dst_instance as u64)
+    }
+
+    /// Unpack from the wire representation.
+    pub fn from_raw(raw: u64) -> Self {
+        ChannelId(raw)
+    }
+
+    /// Wire representation.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Link index within the graph.
+    pub fn link(&self) -> u16 {
+        (self.0 >> 32) as u16
+    }
+
+    /// Sending instance index.
+    pub fn src_instance(&self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// Receiving instance index.
+    pub fn dst_instance(&self) -> u16 {
+        self.0 as u16
+    }
+}
+
+/// Where a channel's batches go.
+pub enum SinkHandle {
+    /// Destination instance is in this process: frames land directly on
+    /// its watermark queue.
+    InProcess(Arc<InProcessTransport>),
+    /// Destination instance is on another resource: frames are encoded and
+    /// queued to a writer IO thread.
+    Tcp(Arc<TcpSender>),
+}
+
+/// Errors surfaced to emitting operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitError {
+    /// The downstream endpoint has been closed (job stopping).
+    Closed,
+    /// The packet could not be serialized.
+    Codec(String),
+    /// Transport-level failure.
+    Transport(String),
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmitError::Closed => write!(f, "downstream closed"),
+            EmitError::Codec(m) => write!(f, "codec error: {m}"),
+            EmitError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// The sending half of one channel.
+pub struct ChannelEndpoint {
+    channel: ChannelId,
+    buffer: Mutex<OutputBuffer>,
+    compressor: SelectiveCompressor,
+    sink: SinkHandle,
+    /// Counters of the *sending* operator.
+    counters: Arc<OperatorCounters>,
+}
+
+impl ChannelEndpoint {
+    /// Assemble a channel endpoint.
+    pub fn new(
+        channel: ChannelId,
+        buffer: OutputBuffer,
+        compressor: SelectiveCompressor,
+        sink: SinkHandle,
+        counters: Arc<OperatorCounters>,
+    ) -> Self {
+        ChannelEndpoint { channel, buffer: Mutex::new(buffer), compressor, sink, counters }
+    }
+
+    /// The channel this endpoint serves.
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Buffer one serialized packet; dispatches a batch if the push filled
+    /// the buffer. Blocks under downstream backpressure.
+    pub fn push(&self, message: &[u8]) -> Result<(), EmitError> {
+        let mut buf = self.buffer.lock();
+        match buf.push(message) {
+            PushOutcome::Buffered => Ok(()),
+            PushOutcome::Flush(batch) => self.dispatch(&mut buf, batch),
+        }
+    }
+
+    /// Timer path: flush if the oldest buffered message is older than the
+    /// link's flush interval.
+    pub fn flush_if_due(&self, now: Instant) -> Result<(), EmitError> {
+        let mut buf = self.buffer.lock();
+        match buf.take_if_due(now) {
+            Some(batch) => self.dispatch(&mut buf, batch),
+            None => Ok(()),
+        }
+    }
+
+    /// Unconditional flush (teardown / explicit).
+    pub fn force_flush(&self) -> Result<(), EmitError> {
+        let mut buf = self.buffer.lock();
+        match buf.force_flush() {
+            Some(batch) => self.dispatch(&mut buf, batch),
+            None => Ok(()),
+        }
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().buffered_count() == 0
+    }
+
+    /// Dispatch a batch to the sink. Called with the buffer lock held so
+    /// batches leave in flush order (per-channel ordering invariant).
+    fn dispatch(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
+        let count = batch.count;
+        let wire_bytes = match &self.sink {
+            SinkHandle::InProcess(t) => {
+                t.send_batch(self.channel.raw(), batch.base_seq, &batch.encoded, count)
+                    .map_err(|e| match e {
+                        TransportError::Closed => EmitError::Closed,
+                        other => EmitError::Transport(other.to_string()),
+                    })?;
+                // Header-equivalent accounting mirrors the TCP path.
+                neptune_net::frame::FRAME_HEADER_LEN + batch.encoded.len() + 1
+            }
+            SinkHandle::Tcp(sender) => {
+                let wire = encode_frame_raw(
+                    self.channel.raw(),
+                    batch.base_seq,
+                    count,
+                    &batch.encoded,
+                    &self.compressor,
+                );
+                let len = wire.len();
+                sender.send(wire).map_err(|e| match e {
+                    TransportError::Closed => EmitError::Closed,
+                    other => EmitError::Transport(other.to_string()),
+                })?;
+                len
+            }
+        };
+        self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_out.fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        buf.recycle(batch.encoded);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+
+    fn make_inproc_endpoint(
+        capacity: usize,
+    ) -> (Arc<ChannelEndpoint>, Arc<WatermarkQueue<neptune_net::frame::Frame>>) {
+        let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let endpoint = Arc::new(ChannelEndpoint::new(
+            ChannelId::new(0, 0, 0),
+            OutputBuffer::new(capacity, Some(std::time::Duration::from_millis(5))),
+            SelectiveCompressor::disabled(),
+            SinkHandle::InProcess(transport),
+            Arc::new(OperatorCounters::default()),
+        ));
+        (endpoint, queue)
+    }
+
+    #[test]
+    fn channel_id_packs_and_unpacks() {
+        let id = ChannelId::new(7, 3, 12);
+        assert_eq!(id.link(), 7);
+        assert_eq!(id.src_instance(), 3);
+        assert_eq!(id.dst_instance(), 12);
+        assert_eq!(ChannelId::from_raw(id.raw()), id);
+        // Distinct coordinates yield distinct ids.
+        assert_ne!(ChannelId::new(7, 3, 12), ChannelId::new(7, 12, 3));
+        assert_ne!(ChannelId::new(1, 0, 0), ChannelId::new(0, 1, 0));
+    }
+
+    #[test]
+    fn push_buffers_until_capacity_then_delivers() {
+        let (ep, q) = make_inproc_endpoint(64);
+        for _ in 0..3 {
+            ep.push(&[0u8; 10]).unwrap(); // 14 bytes each with prefix
+        }
+        assert!(q.is_empty(), "below capacity: nothing delivered");
+        ep.push(&[0u8; 30]).unwrap(); // 76 bytes total >= 64
+        let frame = q.pop().expect("batch delivered");
+        assert_eq!(frame.messages.len(), 4);
+        assert_eq!(frame.base_seq, 0);
+    }
+
+    #[test]
+    fn sequence_numbers_continue_across_batches() {
+        let (ep, q) = make_inproc_endpoint(16);
+        for _ in 0..6 {
+            ep.push(&[0u8; 16]).unwrap(); // every push flushes (20 >= 16)
+        }
+        let mut expected = 0u64;
+        while let Some(f) = q.pop() {
+            assert_eq!(f.base_seq, expected);
+            expected += f.messages.len() as u64;
+        }
+        assert_eq!(expected, 6);
+    }
+
+    #[test]
+    fn flush_if_due_and_force_flush() {
+        let (ep, q) = make_inproc_endpoint(1 << 20);
+        ep.push(b"slow").unwrap();
+        ep.flush_if_due(Instant::now()).unwrap();
+        assert!(q.is_empty(), "not due yet");
+        std::thread::sleep(std::time::Duration::from_millis(8));
+        ep.flush_if_due(Instant::now()).unwrap();
+        assert_eq!(q.pop().unwrap().messages.len(), 1);
+
+        ep.push(b"x").unwrap();
+        assert!(!ep.is_empty());
+        ep.force_flush().unwrap();
+        assert!(ep.is_empty());
+        assert_eq!(q.pop().unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn counters_track_frames_and_bytes() {
+        let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let counters = Arc::new(OperatorCounters::default());
+        let ep = ChannelEndpoint::new(
+            ChannelId::new(0, 0, 0),
+            OutputBuffer::new(8, None),
+            SelectiveCompressor::disabled(),
+            SinkHandle::InProcess(transport),
+            counters.clone(),
+        );
+        ep.push(&[0u8; 8]).unwrap();
+        ep.push(&[0u8; 8]).unwrap();
+        assert_eq!(counters.frames_out.load(Ordering::Relaxed), 2);
+        assert!(counters.bytes_out.load(Ordering::Relaxed) > 16);
+    }
+
+    #[test]
+    fn closed_downstream_surfaces_emit_error() {
+        let (ep, q) = make_inproc_endpoint(8);
+        q.close();
+        assert_eq!(ep.push(&[0u8; 16]).unwrap_err(), EmitError::Closed);
+    }
+
+    #[test]
+    fn tcp_sink_roundtrips() {
+        let rx = neptune_net::tcp::TcpReceiver::bind(
+            "127.0.0.1:0",
+            WatermarkConfig::new(1 << 20, 1 << 10),
+        )
+        .unwrap();
+        let tx = Arc::new(TcpSender::connect(rx.local_addr(), 8).unwrap());
+        let ep = ChannelEndpoint::new(
+            ChannelId::new(2, 1, 0),
+            OutputBuffer::new(8, None),
+            SelectiveCompressor::disabled(),
+            SinkHandle::Tcp(tx),
+            Arc::new(OperatorCounters::default()),
+        );
+        ep.push(&[7u8; 32]).unwrap();
+        let f = rx.queue().pop_timeout(std::time::Duration::from_secs(5)).expect("frame");
+        let id = ChannelId::from_raw(f.link_id);
+        assert_eq!(id.link(), 2);
+        assert_eq!(id.src_instance(), 1);
+        assert_eq!(f.messages, vec![vec![7u8; 32]]);
+        rx.shutdown();
+    }
+}

@@ -1,0 +1,294 @@
+//! Runtime and per-link configuration.
+//!
+//! Defaults follow the paper's evaluation setup (§IV-A): *"For NEPTUNE, we
+//! have used the default configurations where the buffer size is set to
+//! 1 MB. Thread pool sizes are determined automatically depending on the
+//! number of cores in the machine it is running on."*
+
+use neptune_compress::SelectiveCompressor;
+use std::time::Duration;
+
+/// Per-link compression policy (§III-B5: *"should be enabled and configured
+/// for each stream individually even within the same stream processing
+/// job"*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompressionMode {
+    /// Never compress (the runtime default, like the paper's).
+    Disabled,
+    /// Compress payloads whose Shannon entropy is below this many
+    /// bits/byte.
+    Threshold(f64),
+    /// Compress everything (used by the ablation study).
+    Always,
+}
+
+impl CompressionMode {
+    /// Materialize the policy object used on the flush path.
+    pub fn to_compressor(self) -> SelectiveCompressor {
+        match self {
+            CompressionMode::Disabled => SelectiveCompressor::disabled(),
+            CompressionMode::Threshold(t) => SelectiveCompressor::new(t),
+            CompressionMode::Always => SelectiveCompressor::always(),
+        }
+    }
+}
+
+/// Per-link overrides of the job-wide defaults.
+#[derive(Debug, Clone, Default)]
+pub struct LinkOptions {
+    /// Override of [`RuntimeConfig::buffer_bytes`].
+    pub buffer_bytes: Option<usize>,
+    /// Override of [`RuntimeConfig::flush_interval`].
+    pub flush_interval: Option<Duration>,
+    /// Override of [`RuntimeConfig::compression`].
+    pub compression: Option<CompressionMode>,
+}
+
+impl LinkOptions {
+    /// Builder: set the buffer capacity for this link.
+    pub fn buffer_bytes(mut self, bytes: usize) -> Self {
+        self.buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: set the flush-timer interval for this link.
+    pub fn flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = Some(interval);
+        self
+    }
+
+    /// Builder: set the compression mode for this link.
+    pub fn compression(mut self, mode: CompressionMode) -> Self {
+        self.compression = Some(mode);
+        self
+    }
+}
+
+/// How operator instances are assigned to resources.
+///
+/// §VI lists *"a dynamic deployment model that leverages the available
+/// capabilities of cluster nodes"* as future work; this implements its
+/// static core: capacity-aware placement. Heavier resources (more cores,
+/// more memory) receive proportionally more operator instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Instances cycle over resources uniformly (the default).
+    RoundRobin,
+    /// Weighted placement: resource `i` receives instances in proportion
+    /// to `weights[i]` (e.g. core counts). Length must equal
+    /// [`RuntimeConfig::resources`]; weights must not all be zero.
+    CapacityWeighted(Vec<u32>),
+}
+
+impl Default for PlacementStrategy {
+    fn default() -> Self {
+        PlacementStrategy::RoundRobin
+    }
+}
+
+/// How batches travel between operator instances on different resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Always hand batches over in process (single-machine deployments).
+    InProcess,
+    /// Use loopback/network TCP between instances on different resources,
+    /// exercising the full IO-thread and kernel-flow-control path.
+    Tcp,
+}
+
+/// Job-wide runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Application-level buffer capacity per channel, in bytes.
+    /// Paper default: 1 MB.
+    pub buffer_bytes: usize,
+    /// Flush-timer bound on buffering delay since the first buffered
+    /// message (§III-B1's latency soft upper bound).
+    pub flush_interval: Duration,
+    /// Inbound-queue high watermark, bytes (§III-B4).
+    pub watermark_high: usize,
+    /// Inbound-queue low watermark, bytes. Must be below the high one.
+    pub watermark_low: usize,
+    /// Default link compression mode.
+    pub compression: CompressionMode,
+    /// Worker threads per resource. `None` = sized automatically from the
+    /// host core count (and never below the number of processor instances
+    /// placed on the resource, which keeps blocking emits deadlock-free).
+    pub worker_threads: Option<usize>,
+    /// Max frames a processor drains per scheduled execution.
+    pub batch_max_frames: usize,
+    /// Depth of the bounded queue between worker threads and each TCP
+    /// writer IO thread.
+    pub io_queue_depth: usize,
+    /// Batched scheduling (§III-B2). `false` reproduces the paper's
+    /// per-message ablation: every packet flushes and schedules
+    /// individually (Table I's "Individual Message Processing").
+    pub batched_scheduling: bool,
+    /// Number of Granules resources (containers) to launch.
+    pub resources: usize,
+    /// Transport between resources.
+    pub transport: TransportMode,
+    /// How operator instances map onto resources.
+    pub placement: PlacementStrategy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            buffer_bytes: 1 << 20, // 1 MB, the paper's default
+            flush_interval: Duration::from_millis(10),
+            watermark_high: 8 << 20,
+            watermark_low: 4 << 20,
+            compression: CompressionMode::Disabled,
+            worker_threads: None,
+            batch_max_frames: 16,
+            io_queue_depth: 128,
+            batched_scheduling: true,
+            resources: 1,
+            transport: TransportMode::InProcess,
+            placement: PlacementStrategy::RoundRobin,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validate cross-field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_bytes == 0 {
+            return Err("buffer_bytes must be positive".into());
+        }
+        if self.watermark_low >= self.watermark_high {
+            return Err(format!(
+                "watermark_low ({}) must be below watermark_high ({})",
+                self.watermark_low, self.watermark_high
+            ));
+        }
+        if self.batch_max_frames == 0 {
+            return Err("batch_max_frames must be positive".into());
+        }
+        if self.io_queue_depth == 0 {
+            return Err("io_queue_depth must be positive".into());
+        }
+        if self.resources == 0 {
+            return Err("resources must be positive".into());
+        }
+        if let CompressionMode::Threshold(t) = self.compression {
+            if !(0.0..=8.0).contains(&t) {
+                return Err(format!("compression threshold {t} outside [0, 8] bits/byte"));
+            }
+        }
+        if let PlacementStrategy::CapacityWeighted(w) = &self.placement {
+            if w.len() != self.resources {
+                return Err(format!(
+                    "placement weights ({}) must match resources ({})",
+                    w.len(),
+                    self.resources
+                ));
+            }
+            if w.iter().all(|&x| x == 0) {
+                return Err("placement weights must not all be zero".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective buffer capacity, honoring the batched-scheduling
+    /// ablation toggle (per-message mode flushes on every push).
+    pub fn effective_buffer_bytes(&self, link_override: Option<usize>) -> usize {
+        if !self.batched_scheduling {
+            1
+        } else {
+            link_override.unwrap_or(self.buffer_bytes)
+        }
+    }
+
+    /// The effective per-execution frame budget under the ablation toggle.
+    pub fn effective_batch_max(&self) -> usize {
+        if self.batched_scheduling {
+            self.batch_max_frames
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.buffer_bytes, 1 << 20);
+        assert!(c.batched_scheduling);
+        assert_eq!(c.compression, CompressionMode::Disabled);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = RuntimeConfig { buffer_bytes: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        c.buffer_bytes = 1024;
+        c.watermark_low = c.watermark_high;
+        assert!(c.validate().is_err());
+        c.watermark_low = 1;
+        c.compression = CompressionMode::Threshold(9.0);
+        assert!(c.validate().is_err());
+        c.compression = CompressionMode::Threshold(4.0);
+        c.resources = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_toggle_changes_effective_values() {
+        let mut c = RuntimeConfig::default();
+        assert_eq!(c.effective_buffer_bytes(None), 1 << 20);
+        assert_eq!(c.effective_buffer_bytes(Some(4096)), 4096);
+        assert_eq!(c.effective_batch_max(), 16);
+        c.batched_scheduling = false;
+        assert_eq!(c.effective_buffer_bytes(Some(4096)), 1);
+        assert_eq!(c.effective_batch_max(), 1);
+    }
+
+    #[test]
+    fn placement_weights_validated() {
+        let ok = RuntimeConfig {
+            resources: 3,
+            placement: PlacementStrategy::CapacityWeighted(vec![8, 8, 4]),
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        let wrong_len = RuntimeConfig {
+            resources: 2,
+            placement: PlacementStrategy::CapacityWeighted(vec![1]),
+            ..Default::default()
+        };
+        assert!(wrong_len.validate().is_err());
+        let all_zero = RuntimeConfig {
+            resources: 2,
+            placement: PlacementStrategy::CapacityWeighted(vec![0, 0]),
+            ..Default::default()
+        };
+        assert!(all_zero.validate().is_err());
+    }
+
+    #[test]
+    fn link_options_builder() {
+        let o = LinkOptions::default()
+            .buffer_bytes(2048)
+            .flush_interval(Duration::from_millis(5))
+            .compression(CompressionMode::Always);
+        assert_eq!(o.buffer_bytes, Some(2048));
+        assert_eq!(o.flush_interval, Some(Duration::from_millis(5)));
+        assert_eq!(o.compression, Some(CompressionMode::Always));
+    }
+
+    #[test]
+    fn compression_mode_materializes() {
+        assert!(!CompressionMode::Disabled.to_compressor().is_enabled());
+        assert!(CompressionMode::Always.to_compressor().is_enabled());
+        let t = CompressionMode::Threshold(3.5).to_compressor();
+        assert_eq!(t.threshold(), 3.5);
+    }
+}

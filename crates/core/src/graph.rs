@@ -1,0 +1,589 @@
+//! Stream processing graphs (§III-A7 of the paper).
+//!
+//! *"A stream processing graph in NEPTUNE comprises: (1) stream sources and
+//! stream processors for different stages, (2) parallelism levels for
+//! stream operators, (3) links connecting stream operators, and (4) stream
+//! partitioning schemes for each link."*
+//!
+//! [`GraphBuilder`] is the fluent API; [`crate::descriptor`] builds the
+//! same structure from a JSON descriptor file. Validation enforces the
+//! structural invariants the runtime depends on: unique operator names,
+//! links between existing operators, no inbound links into sources, and
+//! acyclicity.
+
+use crate::config::LinkOptions;
+use crate::operator::{StreamProcessor, StreamSource};
+use crate::partition::PartitioningScheme;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Factory producing fresh source instances (called once per parallel
+/// instance).
+pub type SourceFactory = Arc<dyn Fn() -> Box<dyn StreamSource> + Send + Sync>;
+/// Factory producing fresh processor instances.
+pub type ProcessorFactory = Arc<dyn Fn() -> Box<dyn StreamProcessor> + Send + Sync>;
+
+/// Whether an operator ingests (source) or transforms (processor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// Stream source: no inbound links; runs on a pump thread.
+    Source,
+    /// Stream processor: data-driven; at least one inbound link.
+    Processor,
+}
+
+/// The factory for an operator's instances.
+#[derive(Clone)]
+pub enum Factory {
+    /// Source factory.
+    Source(SourceFactory),
+    /// Processor factory.
+    Processor(ProcessorFactory),
+}
+
+impl std::fmt::Debug for Factory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Factory::Source(_) => write!(f, "Factory::Source(..)"),
+            Factory::Processor(_) => write!(f, "Factory::Processor(..)"),
+        }
+    }
+}
+
+/// One operator declaration.
+#[derive(Debug, Clone)]
+pub struct OperatorSpec {
+    /// Unique operator name.
+    pub name: String,
+    /// Number of parallel instances (§III-A5).
+    pub parallelism: usize,
+    /// Instance factory.
+    pub factory: Factory,
+}
+
+impl OperatorSpec {
+    /// The operator's kind.
+    pub fn kind(&self) -> OperatorKind {
+        match self.factory {
+            Factory::Source(_) => OperatorKind::Source,
+            Factory::Processor(_) => OperatorKind::Processor,
+        }
+    }
+}
+
+/// One link declaration.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Upstream operator name.
+    pub from: String,
+    /// Downstream operator name.
+    pub to: String,
+    /// How the stream partitions across the downstream instances.
+    pub partitioning: PartitioningScheme,
+    /// Per-link overrides (buffering, compression).
+    pub options: LinkOptions,
+}
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two operators share a name.
+    DuplicateOperator(String),
+    /// A link references a missing operator.
+    UnknownOperator {
+        /// Position of the offending link.
+        link_index: usize,
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// A link targets a source (sources have no inbound streams).
+    LinkIntoSource(String),
+    /// An operator links to itself.
+    SelfLoop(String),
+    /// The same (from, to) pair is declared twice.
+    DuplicateLink {
+        /// Upstream operator.
+        from: String,
+        /// Downstream operator.
+        to: String,
+    },
+    /// The link structure contains a cycle.
+    Cycle,
+    /// The graph has no source operator.
+    NoSources,
+    /// An operator declared zero instances.
+    ZeroParallelism(String),
+    /// The graph has no operators at all.
+    Empty,
+    /// An operator name is empty.
+    EmptyName,
+    /// More instances than the u16 channel encoding can address.
+    ParallelismTooLarge(String),
+    /// More links than the u16 channel encoding can address.
+    TooManyLinks(usize),
+    /// A processor has no inbound link and would never run.
+    UnreachableProcessor(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::DuplicateOperator(n) => write!(f, "duplicate operator '{n}'"),
+            GraphError::UnknownOperator { link_index, name } => {
+                write!(f, "link {link_index} references unknown operator '{name}'")
+            }
+            GraphError::LinkIntoSource(n) => write!(f, "link into source '{n}'"),
+            GraphError::SelfLoop(n) => write!(f, "operator '{n}' links to itself"),
+            GraphError::DuplicateLink { from, to } => {
+                write!(f, "duplicate link {from} -> {to}")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::NoSources => write!(f, "graph has no stream sources"),
+            GraphError::ZeroParallelism(n) => write!(f, "operator '{n}' has zero parallelism"),
+            GraphError::Empty => write!(f, "graph has no operators"),
+            GraphError::EmptyName => write!(f, "operator with empty name"),
+            GraphError::ParallelismTooLarge(n) => {
+                write!(f, "operator '{n}' exceeds 65535 instances")
+            }
+            GraphError::TooManyLinks(n) => write!(f, "{n} links exceed the u16 limit"),
+            GraphError::UnreachableProcessor(n) => {
+                write!(f, "processor '{n}' has no inbound link and would never run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated stream processing graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    name: String,
+    operators: Vec<OperatorSpec>,
+    links: Vec<LinkSpec>,
+}
+
+impl Graph {
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All operator declarations.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// All link declarations (index order = channel link ids).
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Look up an operator by name.
+    pub fn operator(&self, name: &str) -> Option<&OperatorSpec> {
+        self.operators.iter().find(|o| o.name == name)
+    }
+
+    /// Indices of links leaving `name`.
+    pub fn out_links(&self, name: &str) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.from == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of links entering `name`.
+    pub fn in_links(&self, name: &str) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.to == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total operator instances across the graph.
+    pub fn total_instances(&self) -> usize {
+        self.operators.iter().map(|o| o.parallelism).sum()
+    }
+
+    /// Operator names in a valid topological order.
+    pub fn topological_order(&self) -> Vec<&str> {
+        // Validation guaranteed acyclicity; rerun Kahn for the order.
+        let mut indegree: HashMap<&str, usize> =
+            self.operators.iter().map(|o| (o.name.as_str(), 0)).collect();
+        for l in &self.links {
+            *indegree.get_mut(l.to.as_str()).expect("validated") += 1;
+        }
+        let mut queue: VecDeque<&str> = self
+            .operators
+            .iter()
+            .filter(|o| indegree[o.name.as_str()] == 0)
+            .map(|o| o.name.as_str())
+            .collect();
+        let mut order = Vec::with_capacity(self.operators.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for l in self.links.iter().filter(|l| l.from == n) {
+                let d = indegree.get_mut(l.to.as_str()).expect("validated");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(l.to.as_str());
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Fluent builder for [`Graph`].
+pub struct GraphBuilder {
+    name: String,
+    operators: Vec<OperatorSpec>,
+    links: Vec<LinkSpec>,
+}
+
+impl GraphBuilder {
+    /// Start a graph named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder { name: name.into(), operators: Vec::new(), links: Vec::new() }
+    }
+
+    /// Add a source with parallelism 1.
+    pub fn source<S, F>(self, name: impl Into<String>, factory: F) -> Self
+    where
+        S: StreamSource + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        self.source_n(name, 1, factory)
+    }
+
+    /// Add a source with `parallelism` instances.
+    pub fn source_n<S, F>(mut self, name: impl Into<String>, parallelism: usize, factory: F) -> Self
+    where
+        S: StreamSource + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        self.operators.push(OperatorSpec {
+            name: name.into(),
+            parallelism,
+            factory: Factory::Source(Arc::new(move || Box::new(factory()))),
+        });
+        self
+    }
+
+    /// Add a processor with parallelism 1.
+    pub fn processor<P, F>(self, name: impl Into<String>, factory: F) -> Self
+    where
+        P: StreamProcessor + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.processor_n(name, 1, factory)
+    }
+
+    /// Add a processor with `parallelism` instances.
+    pub fn processor_n<P, F>(
+        mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: F,
+    ) -> Self
+    where
+        P: StreamProcessor + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.operators.push(OperatorSpec {
+            name: name.into(),
+            parallelism,
+            factory: Factory::Processor(Arc::new(move || Box::new(factory()))),
+        });
+        self
+    }
+
+    /// Add a pre-boxed operator spec (used by the JSON descriptor layer).
+    pub fn operator_spec(mut self, spec: OperatorSpec) -> Self {
+        self.operators.push(spec);
+        self
+    }
+
+    /// Connect `from` to `to` with a partitioning scheme.
+    pub fn link(
+        self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        partitioning: PartitioningScheme,
+    ) -> Self {
+        self.link_with(from, to, partitioning, LinkOptions::default())
+    }
+
+    /// Connect with per-link options.
+    pub fn link_with(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        partitioning: PartitioningScheme,
+        options: LinkOptions,
+    ) -> Self {
+        self.links.push(LinkSpec { from: from.into(), to: to.into(), partitioning, options });
+        self
+    }
+
+    /// Validate and produce the graph.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let GraphBuilder { name, operators, links } = self;
+        if operators.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        if links.len() > u16::MAX as usize {
+            return Err(GraphError::TooManyLinks(links.len()));
+        }
+        let mut seen = HashSet::new();
+        for op in &operators {
+            if op.name.is_empty() {
+                return Err(GraphError::EmptyName);
+            }
+            if !seen.insert(op.name.as_str()) {
+                return Err(GraphError::DuplicateOperator(op.name.clone()));
+            }
+            if op.parallelism == 0 {
+                return Err(GraphError::ZeroParallelism(op.name.clone()));
+            }
+            if op.parallelism > u16::MAX as usize {
+                return Err(GraphError::ParallelismTooLarge(op.name.clone()));
+            }
+        }
+        if !operators.iter().any(|o| o.kind() == OperatorKind::Source) {
+            return Err(GraphError::NoSources);
+        }
+        let by_name: HashMap<&str, &OperatorSpec> =
+            operators.iter().map(|o| (o.name.as_str(), o)).collect();
+        let mut seen_links = HashSet::new();
+        for (i, l) in links.iter().enumerate() {
+            for end in [&l.from, &l.to] {
+                if !by_name.contains_key(end.as_str()) {
+                    return Err(GraphError::UnknownOperator { link_index: i, name: end.clone() });
+                }
+            }
+            if l.from == l.to {
+                return Err(GraphError::SelfLoop(l.from.clone()));
+            }
+            if by_name[l.to.as_str()].kind() == OperatorKind::Source {
+                return Err(GraphError::LinkIntoSource(l.to.clone()));
+            }
+            if !seen_links.insert((l.from.as_str(), l.to.as_str())) {
+                return Err(GraphError::DuplicateLink { from: l.from.clone(), to: l.to.clone() });
+            }
+        }
+        // Every processor must be reachable (have at least one inbound link).
+        for op in &operators {
+            if op.kind() == OperatorKind::Processor && !links.iter().any(|l| l.to == op.name) {
+                return Err(GraphError::UnreachableProcessor(op.name.clone()));
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let mut indegree: HashMap<&str, usize> =
+            operators.iter().map(|o| (o.name.as_str(), 0)).collect();
+        for l in &links {
+            *indegree.get_mut(l.to.as_str()).expect("checked") += 1;
+        }
+        let mut queue: VecDeque<&str> = operators
+            .iter()
+            .filter(|o| indegree[o.name.as_str()] == 0)
+            .map(|o| o.name.as_str())
+            .collect();
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop_front() {
+            visited += 1;
+            for l in links.iter().filter(|l| l.from == n) {
+                let d = indegree.get_mut(l.to.as_str()).expect("checked");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(l.to.as_str());
+                }
+            }
+        }
+        if visited != operators.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(Graph { name, operators, links })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OperatorContext, SourceStatus};
+    use crate::packet::StreamPacket;
+
+    struct NullSource;
+    impl StreamSource for NullSource {
+        fn next(&mut self, _ctx: &mut OperatorContext) -> SourceStatus {
+            SourceStatus::Exhausted
+        }
+    }
+    struct NullProc;
+    impl StreamProcessor for NullProc {
+        fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {}
+    }
+
+    fn three_stage() -> GraphBuilder {
+        GraphBuilder::new("relay")
+            .source("sender", || NullSource)
+            .processor_n("relay", 2, || NullProc)
+            .processor("receiver", || NullProc)
+            .link("sender", "relay", PartitioningScheme::Shuffle)
+            .link("relay", "receiver", PartitioningScheme::Shuffle)
+    }
+
+    #[test]
+    fn valid_graph_builds() {
+        let g = three_stage().build().unwrap();
+        assert_eq!(g.name(), "relay");
+        assert_eq!(g.operators().len(), 3);
+        assert_eq!(g.links().len(), 2);
+        assert_eq!(g.total_instances(), 4);
+        assert_eq!(g.operator("relay").unwrap().parallelism, 2);
+        assert_eq!(g.out_links("sender"), vec![0]);
+        assert_eq!(g.in_links("receiver"), vec![1]);
+        assert_eq!(g.topological_order(), vec!["sender", "relay", "receiver"]);
+    }
+
+    #[test]
+    fn duplicate_operator_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("a", || NullSource)
+            .processor("a", || NullProc)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateOperator("a".into()));
+    }
+
+    #[test]
+    fn unknown_link_endpoint_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("p", || NullProc)
+            .link("s", "ghost", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownOperator { name, .. } if name == "ghost"));
+    }
+
+    #[test]
+    fn link_into_source_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("p", || NullProc)
+            .link("s", "p", PartitioningScheme::Shuffle)
+            .link("p", "s", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::LinkIntoSource("s".into()));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("p", || NullProc)
+            .link("s", "p", PartitioningScheme::Shuffle)
+            .link("p", "p", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop("p".into()));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("a", || NullProc)
+            .processor("b", || NullProc)
+            .link("s", "a", PartitioningScheme::Shuffle)
+            .link("a", "b", PartitioningScheme::Shuffle)
+            .link("b", "a", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::Cycle);
+    }
+
+    #[test]
+    fn no_sources_rejected() {
+        // A single processor cannot even be linked; it is both sourceless
+        // and unreachable — NoSources fires first.
+        let err = GraphBuilder::new("g").processor("p", || NullProc).build().unwrap_err();
+        assert_eq!(err, GraphError::NoSources);
+    }
+
+    #[test]
+    fn unreachable_processor_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("p", || NullProc)
+            .processor("island", || NullProc)
+            .link("s", "p", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnreachableProcessor("island".into()));
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        let err = GraphBuilder::new("g")
+            .source_n("s", 0, || NullSource)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::ZeroParallelism("s".into()));
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let err = GraphBuilder::new("g")
+            .source("s", || NullSource)
+            .processor("p", || NullProc)
+            .link("s", "p", PartitioningScheme::Shuffle)
+            .link("s", "p", PartitioningScheme::Global)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateLink { .. }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(GraphBuilder::new("g").build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn diamond_topology_valid() {
+        let g = GraphBuilder::new("diamond")
+            .source("s", || NullSource)
+            .processor("left", || NullProc)
+            .processor("right", || NullProc)
+            .processor("join", || NullProc)
+            .link("s", "left", PartitioningScheme::Shuffle)
+            .link("s", "right", PartitioningScheme::Shuffle)
+            .link("left", "join", PartitioningScheme::Shuffle)
+            .link("right", "join", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        assert_eq!(g.in_links("join").len(), 2);
+        let order = g.topological_order();
+        assert_eq!(order[0], "s");
+        assert_eq!(order[3], "join");
+    }
+
+    #[test]
+    fn factories_produce_fresh_instances() {
+        let g = three_stage().build().unwrap();
+        match &g.operator("sender").unwrap().factory {
+            Factory::Source(f) => {
+                let _a = f();
+                let _b = f();
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert_eq!(g.operator("relay").unwrap().kind(), OperatorKind::Processor);
+    }
+}

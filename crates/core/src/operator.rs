@@ -1,0 +1,409 @@
+//! Stream operators: sources and processors (§III-A2/A3 of the paper).
+//!
+//! *"Stream sources are used to ingest external data streams into a stream
+//! processing graph and emit stream packets to the next stage ... Domain
+//! specific processing logic to process a stream packet is encapsulated
+//! within a stream processor."*
+//!
+//! Users implement [`StreamSource`] or [`StreamProcessor`]; the runtime
+//! supplies an [`OperatorContext`] carrying the instance's identity and the
+//! emit API. *"Users need to provide processing logic for a single packet
+//! while NEPTUNE transparently manages batched execution"* (§III-B2) — so
+//! `process` sees one packet at a time even though the runtime schedules
+//! whole batches.
+
+use crate::channel::{ChannelEndpoint, EmitError};
+use crate::codec::PacketCodec;
+use crate::packet::StreamPacket;
+use crate::partition::{Partitioner, PartitioningScheme, Route};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// What a source's `next` call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// Emitted this many packets; call again immediately.
+    Emitted(usize),
+    /// No data available right now; back off briefly.
+    Idle,
+    /// The source is done; the pump thread exits.
+    Exhausted,
+}
+
+/// Ingests an external stream and emits packets into the graph.
+///
+/// Each instance runs on its own pump thread: `next` is called in a loop
+/// until it returns [`SourceStatus::Exhausted`] or the job stops. Emits
+/// block under backpressure, which is how throttling reaches the source
+/// (Fig. 4 of the paper).
+pub trait StreamSource: Send {
+    /// Called once before the first `next`.
+    fn open(&mut self, _ctx: &mut OperatorContext) {}
+    /// Produce zero or more packets via [`OperatorContext::emit`].
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus;
+    /// Called once after the last `next`.
+    fn close(&mut self, _ctx: &mut OperatorContext) {}
+}
+
+/// Processes packets from incoming streams, optionally emitting packets on
+/// outgoing streams.
+pub trait StreamProcessor: Send {
+    /// Called once before the first `process`.
+    fn open(&mut self, _ctx: &mut OperatorContext) {}
+    /// Handle one packet. The runtime batches invocations transparently.
+    fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext);
+    /// Called once when the instance shuts down.
+    fn close(&mut self, _ctx: &mut OperatorContext) {}
+}
+
+/// One outgoing link as seen by an emitting instance.
+pub struct OutgoingLink {
+    /// Downstream operator name (the link selector for `emit_to`).
+    pub dst_operator: String,
+    /// Router across the destination's instances.
+    pub partitioner: Partitioner,
+    /// One endpoint per destination instance.
+    pub endpoints: Vec<Arc<ChannelEndpoint>>,
+}
+
+impl OutgoingLink {
+    /// Build the sending side of a link for one source instance.
+    pub fn new(
+        dst_operator: impl Into<String>,
+        scheme: &PartitioningScheme,
+        endpoints: Vec<Arc<ChannelEndpoint>>,
+    ) -> Self {
+        OutgoingLink {
+            dst_operator: dst_operator.into(),
+            partitioner: Partitioner::new(scheme),
+            endpoints,
+        }
+    }
+}
+
+enum ContextSink {
+    /// Real runtime: emit through channels.
+    Channels {
+        links: Vec<OutgoingLink>,
+        codec: PacketCodec,
+        scratch: Vec<u8>,
+        counters: Arc<crate::metrics::OperatorCounters>,
+    },
+    /// Test harness: capture `(link, packet)` pairs in memory.
+    Collector(Vec<(Option<String>, StreamPacket)>),
+}
+
+/// Execution context handed to operators: identity plus the emit API.
+pub struct OperatorContext {
+    operator: String,
+    instance: usize,
+    instances: usize,
+    sink: ContextSink,
+    emitted: u64,
+    /// Per-instance packet pool (§III-B3): operators that build new
+    /// packets check them out here instead of allocating per message.
+    pool: crate::pool::PacketPool,
+}
+
+impl OperatorContext {
+    /// Runtime constructor: a context that emits over real channels.
+    pub fn for_channels(
+        operator: impl Into<String>,
+        instance: usize,
+        instances: usize,
+        links: Vec<OutgoingLink>,
+        counters: Arc<crate::metrics::OperatorCounters>,
+    ) -> Self {
+        OperatorContext {
+            operator: operator.into(),
+            instance,
+            instances,
+            sink: ContextSink::Channels {
+                links,
+                codec: PacketCodec::new(),
+                scratch: Vec::with_capacity(512),
+                counters,
+            },
+            emitted: 0,
+            pool: crate::pool::PacketPool::for_batch(64),
+        }
+    }
+
+    /// Test constructor: a context that records emitted packets in memory.
+    /// Use [`take_collected`](Self::take_collected) to inspect them.
+    pub fn collector(operator: impl Into<String>) -> Self {
+        OperatorContext {
+            operator: operator.into(),
+            instance: 0,
+            instances: 1,
+            sink: ContextSink::Collector(Vec::new()),
+            emitted: 0,
+            pool: crate::pool::PacketPool::for_batch(8),
+        }
+    }
+
+    /// The operator's name.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+
+    /// This instance's index in `0..instances`.
+    pub fn instance(&self) -> usize {
+        self.instance
+    }
+
+    /// Total parallel instances of this operator.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// Packets emitted through this context so far.
+    pub fn packets_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Check out a cleared packet from the instance's pool — the
+    /// allocation-free way for an operator to build an output packet
+    /// (§III-B3). Return it with [`checkin_packet`](Self::checkin_packet)
+    /// after emitting.
+    pub fn checkout_packet(&mut self) -> StreamPacket {
+        self.pool.checkout()
+    }
+
+    /// Return a packet to the pool for reuse (its field storage survives).
+    pub fn checkin_packet(&mut self, packet: StreamPacket) {
+        self.pool.checkin(packet);
+    }
+
+    /// Pool effectiveness counters for this instance.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Emit a packet over **all** outgoing links (§III-A3: an operator
+    /// emits over one or more outgoing streams).
+    pub fn emit(&mut self, packet: &StreamPacket) -> Result<(), EmitError> {
+        self.emit_inner(packet, None)
+    }
+
+    /// Emit a packet over the link toward one named downstream operator
+    /// (§III-A4: *"users can configure the link to use when emitting
+    /// packets"*).
+    pub fn emit_to(&mut self, dst_operator: &str, packet: &StreamPacket) -> Result<(), EmitError> {
+        self.emit_inner(packet, Some(dst_operator))
+    }
+
+    fn emit_inner(&mut self, packet: &StreamPacket, only: Option<&str>) -> Result<(), EmitError> {
+        match &mut self.sink {
+            ContextSink::Collector(collected) => {
+                collected.push((only.map(str::to_string), packet.clone()));
+                self.emitted += 1;
+                Ok(())
+            }
+            ContextSink::Channels { links, codec, scratch, counters } => {
+                if let Some(name) = only {
+                    if !links.iter().any(|l| l.dst_operator == name) {
+                        return Err(EmitError::Transport(format!(
+                            "no outgoing link toward operator '{name}'"
+                        )));
+                    }
+                }
+                // Serialize once, reuse for every destination (object
+                // reuse: one codec, one scratch buffer per instance).
+                scratch.clear();
+                codec
+                    .encode_into(packet, scratch)
+                    .map_err(|e| EmitError::Codec(e.to_string()))?;
+                let mut delivered = 0u64;
+                for link in links.iter_mut() {
+                    if let Some(name) = only {
+                        if link.dst_operator != name {
+                            continue;
+                        }
+                    }
+                    match link.partitioner.route(packet, link.endpoints.len()) {
+                        Route::One(i) => {
+                            link.endpoints[i].push(scratch)?;
+                            delivered += 1;
+                        }
+                        Route::All => {
+                            for ep in &link.endpoints {
+                                ep.push(scratch)?;
+                                delivered += 1;
+                            }
+                        }
+                    }
+                }
+                self.emitted += delivered;
+                counters.packets_out.fetch_add(delivered, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Collector mode: drain the captured `(link, packet)` pairs.
+    ///
+    /// Panics when called on a channel-backed context.
+    pub fn take_collected(&mut self) -> Vec<(Option<String>, StreamPacket)> {
+        match &mut self.sink {
+            ContextSink::Collector(v) => std::mem::take(v),
+            _ => panic!("take_collected on a channel-backed context"),
+        }
+    }
+
+    /// Flush every outgoing buffer unconditionally (teardown path).
+    pub fn force_flush_all(&self) -> Result<(), EmitError> {
+        if let ContextSink::Channels { links, .. } = &self.sink {
+            for link in links {
+                for ep in &link.endpoints {
+                    ep.force_flush()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All channel endpoints of this context (runtime wiring for the flush
+    /// timer).
+    pub fn endpoints(&self) -> Vec<Arc<ChannelEndpoint>> {
+        match &self.sink {
+            ContextSink::Channels { links, .. } => {
+                links.iter().flat_map(|l| l.endpoints.iter().cloned()).collect()
+            }
+            ContextSink::Collector(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelId, SinkHandle};
+    use crate::metrics::OperatorCounters;
+    use crate::packet::FieldValue;
+    use neptune_compress::SelectiveCompressor;
+    use neptune_net::buffer::OutputBuffer;
+    use neptune_net::transport::InProcessTransport;
+    use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+
+    fn packet(n: u64) -> StreamPacket {
+        let mut p = StreamPacket::new();
+        p.push_field("n", FieldValue::U64(n));
+        p
+    }
+
+    #[test]
+    fn collector_context_captures_emits() {
+        let mut ctx = OperatorContext::collector("test-op");
+        assert_eq!(ctx.operator(), "test-op");
+        assert_eq!(ctx.instance(), 0);
+        assert_eq!(ctx.instances(), 1);
+        ctx.emit(&packet(1)).unwrap();
+        ctx.emit_to("downstream", &packet(2)).unwrap();
+        let collected = ctx.take_collected();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].0, None);
+        assert_eq!(collected[1].0, Some("downstream".into()));
+        assert_eq!(collected[1].1.get("n").unwrap().as_u64(), Some(2));
+        assert_eq!(ctx.packets_emitted(), 2);
+    }
+
+    fn channel_ctx(
+        dsts: &[(&str, usize)],
+    ) -> (OperatorContext, Vec<Arc<WatermarkQueue<neptune_net::frame::Frame>>>) {
+        let counters = Arc::new(OperatorCounters::default());
+        let mut queues = Vec::new();
+        let mut links = Vec::new();
+        for (li, (name, n_inst)) in dsts.iter().enumerate() {
+            let mut endpoints = Vec::new();
+            for di in 0..*n_inst {
+                let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+                queues.push(q.clone());
+                let transport = Arc::new(InProcessTransport::new(q));
+                endpoints.push(Arc::new(ChannelEndpoint::new(
+                    ChannelId::new(li as u16, 0, di as u16),
+                    OutputBuffer::new(1, None), // flush every packet
+                    SelectiveCompressor::disabled(),
+                    SinkHandle::InProcess(transport),
+                    counters.clone(),
+                )));
+            }
+            links.push(OutgoingLink::new(*name, &PartitioningScheme::Shuffle, endpoints));
+        }
+        (OperatorContext::for_channels("src", 0, 1, links, counters), queues)
+    }
+
+    #[test]
+    fn emit_reaches_all_links() {
+        let (mut ctx, queues) = channel_ctx(&[("a", 1), ("b", 1)]);
+        ctx.emit(&packet(5)).unwrap();
+        assert_eq!(queues[0].len(), 1);
+        assert_eq!(queues[1].len(), 1);
+        assert_eq!(ctx.packets_emitted(), 2);
+    }
+
+    #[test]
+    fn emit_to_targets_one_link() {
+        let (mut ctx, queues) = channel_ctx(&[("a", 1), ("b", 1)]);
+        ctx.emit_to("b", &packet(5)).unwrap();
+        assert_eq!(queues[0].len(), 0);
+        assert_eq!(queues[1].len(), 1);
+    }
+
+    #[test]
+    fn emit_to_unknown_link_errors() {
+        let (mut ctx, _queues) = channel_ctx(&[("a", 1)]);
+        let err = ctx.emit_to("nope", &packet(1)).unwrap_err();
+        assert!(matches!(err, EmitError::Transport(_)));
+    }
+
+    #[test]
+    fn shuffle_spreads_across_instances() {
+        let (mut ctx, queues) = channel_ctx(&[("a", 3)]);
+        for i in 0..6 {
+            ctx.emit(&packet(i)).unwrap();
+        }
+        assert_eq!(queues[0].len(), 2);
+        assert_eq!(queues[1].len(), 2);
+        assert_eq!(queues[2].len(), 2);
+    }
+
+    #[test]
+    fn emitted_packets_decode_back() {
+        let (mut ctx, queues) = channel_ctx(&[("a", 1)]);
+        ctx.emit(&packet(99)).unwrap();
+        let frame = queues[0].pop().unwrap();
+        let mut codec = PacketCodec::new();
+        let decoded = codec.decode(&frame.messages[0]).unwrap();
+        assert_eq!(decoded.get("n").unwrap().as_u64(), Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-backed context")]
+    fn take_collected_panics_on_channel_context() {
+        let (mut ctx, _queues) = channel_ctx(&[("a", 1)]);
+        ctx.take_collected();
+    }
+
+    #[test]
+    fn context_pool_recycles_packets() {
+        let mut ctx = OperatorContext::collector("pooled");
+        let mut p = ctx.checkout_packet();
+        assert_eq!(ctx.pool_stats().misses, 1);
+        p.push_field("x", FieldValue::U64(1));
+        ctx.emit(&p).unwrap();
+        ctx.checkin_packet(p);
+        let q = ctx.checkout_packet();
+        assert!(q.is_empty(), "pooled packet must come back cleared");
+        assert_eq!(ctx.pool_stats().hits, 1);
+        ctx.checkin_packet(q);
+    }
+
+    #[test]
+    fn endpoints_enumerates_all() {
+        let (ctx, _queues) = channel_ctx(&[("a", 2), ("b", 3)]);
+        assert_eq!(ctx.endpoints().len(), 5);
+        let c = OperatorContext::collector("x");
+        assert!(c.endpoints().is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Time-window aggregation helpers.
+//!
+//! The paper's flagship application monitors actuation delays *"over a
+//! 24-hour time window"* (§IV-C), and its motivating example for flush
+//! timers is an operator that *"calculates a descriptive statistic for a
+//! sliding window over incoming stream packets and emits a new stream
+//! packet only if it detects a significant change"* (§III-B1). These
+//! helpers give stream processors those two shapes without re-deriving the
+//! bookkeeping:
+//!
+//! * [`TumblingWindow`] — non-overlapping fixed-duration windows keyed by
+//!   event time; closing a window yields its aggregate.
+//! * [`SlidingWindow`] — a moving window over the last `width` of event
+//!   time, queryable at any moment.
+//!
+//! Both are event-time driven (timestamps carried by packets), so results
+//! are deterministic and replayable — wall clocks never enter the logic.
+
+use std::collections::VecDeque;
+
+/// Aggregate of one closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAggregate {
+    /// Window start (inclusive), microseconds.
+    pub start_us: u64,
+    /// Window end (exclusive), microseconds.
+    pub end_us: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation (`NaN` when empty).
+    pub min: f64,
+    /// Maximum observation (`NaN` when empty).
+    pub max: f64,
+}
+
+impl WindowAggregate {
+    /// Mean of the window's observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Non-overlapping fixed-width event-time windows.
+///
+/// Observations must arrive with non-decreasing timestamps per instance
+/// (NEPTUNE's per-channel ordering gives exactly that); a closed window is
+/// emitted as soon as an observation belongs to a later window.
+#[derive(Debug)]
+pub struct TumblingWindow {
+    width_us: u64,
+    current_start: Option<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TumblingWindow {
+    /// Windows of `width_us` microseconds.
+    pub fn new(width_us: u64) -> Self {
+        assert!(width_us > 0, "window width must be positive");
+        TumblingWindow {
+            width_us,
+            current_start: None,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured width.
+    pub fn width_us(&self) -> u64 {
+        self.width_us
+    }
+
+    fn window_start(&self, ts: u64) -> u64 {
+        ts - ts % self.width_us
+    }
+
+    fn take_aggregate(&mut self, start: u64) -> WindowAggregate {
+        let agg = WindowAggregate {
+            start_us: start,
+            end_us: start + self.width_us,
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+        };
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        agg
+    }
+
+    /// Observe a value at event time `ts_us`. Returns the previous
+    /// window's aggregate when `ts_us` crosses into a new window.
+    ///
+    /// Panics on event-time regression across windows (out-of-order input
+    /// would silently mis-assign observations).
+    pub fn observe(&mut self, ts_us: u64, value: f64) -> Option<WindowAggregate> {
+        let start = self.window_start(ts_us);
+        let result = match self.current_start {
+            None => {
+                self.current_start = Some(start);
+                None
+            }
+            Some(current) if start == current => None,
+            Some(current) => {
+                assert!(
+                    start > current,
+                    "event time regressed across windows: {ts_us} into window {current}"
+                );
+                let agg = self.take_aggregate(current);
+                self.current_start = Some(start);
+                Some(agg)
+            }
+        };
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        result
+    }
+
+    /// Close the currently open window (end of stream).
+    pub fn flush(&mut self) -> Option<WindowAggregate> {
+        let start = self.current_start.take()?;
+        Some(self.take_aggregate(start))
+    }
+}
+
+/// A sliding event-time window over the last `width_us` of observations.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    width_us: u64,
+    entries: VecDeque<(u64, f64)>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Window covering the trailing `width_us` microseconds.
+    pub fn new(width_us: u64) -> Self {
+        assert!(width_us > 0, "window width must be positive");
+        SlidingWindow { width_us, entries: VecDeque::new(), sum: 0.0 }
+    }
+
+    /// Observe a value at event time `ts_us` (non-decreasing), evicting
+    /// everything older than `ts_us - width_us`.
+    pub fn observe(&mut self, ts_us: u64, value: f64) {
+        if let Some(&(last, _)) = self.entries.back() {
+            assert!(ts_us >= last, "event time regressed: {ts_us} after {last}");
+        }
+        self.entries.push_back((ts_us, value));
+        self.sum += value;
+        // An entry at time t is inside the window while ts - t < width.
+        while let Some(&(t, v)) = self.entries.front() {
+            if t + self.width_us <= ts_us {
+                self.entries.pop_front();
+                self.sum -= v;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Observations currently inside the window.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the window holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum over the window.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean over the window (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.entries.is_empty() {
+            f64::NAN
+        } else {
+            self.sum / self.entries.len() as f64
+        }
+    }
+
+    /// Minimum over the window (`NaN` when empty). O(n).
+    pub fn min(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum over the window (`NaN` when empty). O(n).
+    pub fn max(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).fold(f64::NAN, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assigns_and_closes_windows() {
+        let mut w = TumblingWindow::new(1_000);
+        assert_eq!(w.width_us(), 1_000);
+        assert!(w.observe(100, 1.0).is_none());
+        assert!(w.observe(900, 3.0).is_none());
+        // Crossing into [1000, 2000) closes [0, 1000).
+        let agg = w.observe(1_100, 10.0).expect("closed window");
+        assert_eq!(agg.start_us, 0);
+        assert_eq!(agg.end_us, 1_000);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum, 4.0);
+        assert_eq!(agg.mean(), 2.0);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 3.0);
+        // The new window holds the crossing observation.
+        let agg2 = w.flush().expect("open window");
+        assert_eq!(agg2.start_us, 1_000);
+        assert_eq!(agg2.count, 1);
+        assert_eq!(agg2.sum, 10.0);
+    }
+
+    #[test]
+    fn tumbling_skips_empty_windows() {
+        let mut w = TumblingWindow::new(100);
+        w.observe(50, 1.0);
+        // Jump three windows ahead: the closed aggregate is the old
+        // window; the skipped ones never materialize.
+        let agg = w.observe(450, 2.0).unwrap();
+        assert_eq!(agg.start_us, 0);
+        assert_eq!(agg.count, 1);
+        let agg2 = w.flush().unwrap();
+        assert_eq!(agg2.start_us, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time regressed")]
+    fn tumbling_rejects_regression() {
+        let mut w = TumblingWindow::new(100);
+        w.observe(500, 1.0);
+        w.observe(100, 2.0);
+    }
+
+    #[test]
+    fn tumbling_flush_on_empty_is_none() {
+        let mut w = TumblingWindow::new(100);
+        assert!(w.flush().is_none());
+        w.observe(10, 1.0);
+        assert!(w.flush().is_some());
+        assert!(w.flush().is_none());
+    }
+
+    #[test]
+    fn sliding_window_evicts_by_event_time() {
+        let mut w = SlidingWindow::new(1_000);
+        w.observe(0, 1.0);
+        w.observe(500, 2.0);
+        w.observe(999, 3.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sum(), 6.0);
+        assert_eq!(w.mean(), 2.0);
+        // At t=1500 the horizon is 500: the t=0 and t=500 entries leave.
+        w.observe(1_500, 4.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.sum(), 7.0);
+        assert_eq!(w.min(), 3.0);
+        assert_eq!(w.max(), 4.0);
+    }
+
+    #[test]
+    fn sliding_window_sum_stays_consistent() {
+        let mut w = SlidingWindow::new(10);
+        for t in 0..1_000u64 {
+            w.observe(t, (t % 7) as f64);
+        }
+        // Recompute from the retained entries.
+        let expected: f64 = w.entries.iter().map(|&(_, v)| v).sum();
+        assert!((w.sum() - expected).abs() < 1e-9);
+        assert!(w.len() <= 10);
+    }
+
+    #[test]
+    fn sliding_empty_statistics_are_nan() {
+        let w = SlidingWindow::new(100);
+        assert!(w.is_empty());
+        assert!(w.mean().is_nan());
+        assert!(w.min().is_nan());
+        assert!(w.max().is_nan());
+    }
+
+    #[test]
+    fn twenty_four_hour_window_of_actuation_delays() {
+        // The paper's use case at scale: 24 h tumbling window over delays.
+        const HOUR_US: u64 = 3_600_000_000;
+        let mut w = TumblingWindow::new(24 * HOUR_US);
+        let mut closed = Vec::new();
+        // Three days of hourly delay observations around 20 ms.
+        for hour in 0..72u64 {
+            let ts = hour * HOUR_US;
+            if let Some(agg) = w.observe(ts, 20_000.0 + (hour % 5) as f64) {
+                closed.push(agg);
+            }
+        }
+        if let Some(agg) = w.flush() {
+            closed.push(agg);
+        }
+        assert_eq!(closed.len(), 3, "three daily windows");
+        for day in &closed {
+            assert_eq!(day.count, 24);
+            assert!((day.mean() - 20_002.0).abs() < 2.0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # neptune-data
+//!
+//! Workload generators for the NEPTUNE reproduction.
+//!
+//! The paper evaluates with three data shapes, all reproduced here:
+//!
+//! * **IoT small-packet streams** ([`iot`]) — §I-A: *"The packet sizes in
+//!   IoT settings tend to be very small (~100 bytes)"*; Fig. 2/7 sweep
+//!   message sizes from 50 B to 10 KB with emphasis on the 50–400 B range.
+//! * **Manufacturing-equipment sensor streams** ([`manufacturing`]) — the
+//!   DEBS 2012 Grand Challenge dataset (§III-B5, Fig. 8/9): 66 data fields
+//!   per reading, of which the monitoring job uses three chemical-additive
+//!   sensors, their three valves, and the timestamp. Readings change
+//!   slowly, giving the low-entropy payloads the compression study
+//!   exploits. The real dataset is not redistributable, so this module
+//!   synthesizes a stream with the same structure and dynamics
+//!   (substitution documented in DESIGN.md).
+//! * **Random binary streams** ([`random`]) — the paper's high-entropy
+//!   control: *"we created a synthetic data stream with random binary data
+//!   with stream packets of the same size as the first dataset"*.
+
+pub mod iot;
+pub mod manufacturing;
+pub mod random;
+
+pub use iot::{FixedSizeSource, IotPacketGenerator, PAPER_MESSAGE_SIZES};
+pub use manufacturing::{ManufacturingReading, ManufacturingSimulator, ManufacturingSource};
+pub use random::{RandomPayloadGenerator, RandomSource};

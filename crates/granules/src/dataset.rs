@@ -1,0 +1,324 @@
+//! Datasets — unified access to low-level data (§II of the NEPTUNE paper):
+//! *"A computational task accesses data through a dataset. The dataset
+//! unifies the access of different types of resources and encapsulates the
+//! access to low level data such as files, streams or databases."*
+//!
+//! Two concrete datasets are provided: [`InMemoryDataset`] (a record store,
+//! standing in for Granules' file/database datasets) and [`QueueDataset`]
+//! (a bounded stream buffer with availability notifications — the shape
+//! NEPTUNE's stream dataset layer builds on).
+
+use crossbeam::queue::ArrayQueue;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a dataset within a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+/// Common dataset behaviour: lifecycle plus a data-availability probe used
+/// by data-driven scheduling.
+pub trait Dataset: Send + Sync {
+    /// Dataset identifier.
+    fn id(&self) -> DatasetId;
+    /// True when a consumer would find data to process.
+    fn has_data(&self) -> bool;
+    /// Number of available items (best effort for concurrent structures).
+    fn len(&self) -> usize;
+    /// True when no data is available.
+    fn is_empty(&self) -> bool {
+        !self.has_data()
+    }
+    /// Called by the framework when the dataset is closed; releases
+    /// underlying handles.
+    fn close(&self);
+}
+
+/// A keyed in-memory record store — the simplest Granules dataset,
+/// standing in for file/database access in tests and examples.
+pub struct InMemoryDataset {
+    id: DatasetId,
+    records: RwLock<HashMap<String, Vec<u8>>>,
+    closed: AtomicU64,
+}
+
+impl InMemoryDataset {
+    /// New empty store.
+    pub fn new(id: DatasetId) -> Self {
+        InMemoryDataset { id, records: RwLock::new(HashMap::new()), closed: AtomicU64::new(0) }
+    }
+
+    /// Insert or replace a record.
+    pub fn put(&self, key: impl Into<String>, value: Vec<u8>) {
+        self.records.write().insert(key.into(), value);
+    }
+
+    /// Fetch a record by key.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.records.read().get(key).cloned()
+    }
+
+    /// Remove a record, returning it.
+    pub fn remove(&self, key: &str) -> Option<Vec<u8>> {
+        self.records.write().remove(key)
+    }
+
+    /// Whether `close` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire) != 0
+    }
+}
+
+impl Dataset for InMemoryDataset {
+    fn id(&self) -> DatasetId {
+        self.id
+    }
+    fn has_data(&self) -> bool {
+        !self.records.read().is_empty()
+    }
+    fn len(&self) -> usize {
+        self.records.read().len()
+    }
+    fn close(&self) {
+        self.closed.store(1, Ordering::Release);
+        self.records.write().clear();
+    }
+}
+
+/// A bounded multi-producer multi-consumer byte-item queue with a
+/// notification hook: each successful push invokes the registered callback,
+/// which the resource wires to the consuming task's data-driven signal.
+pub struct QueueDataset<T: Send> {
+    id: DatasetId,
+    queue: Arc<ArrayQueue<T>>,
+    notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    rejected: AtomicU64,
+    closed: AtomicU64,
+}
+
+impl<T: Send> QueueDataset<T> {
+    /// Bounded queue with `capacity` slots.
+    pub fn new(id: DatasetId, capacity: usize) -> Self {
+        QueueDataset {
+            id,
+            queue: Arc::new(ArrayQueue::new(capacity)),
+            notify: RwLock::new(None),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether [`Dataset::close`] has been called — consumers use this to
+    /// distinguish "empty for now" from "finished" (end-of-stream).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire) != 0
+    }
+
+    /// Register the availability callback (replaces any previous one).
+    pub fn on_data<F: Fn() + Send + Sync + 'static>(&self, f: F) {
+        *self.notify.write() = Some(Arc::new(f));
+    }
+
+    /// Try to push an item. On success the availability callback fires.
+    /// Returns the item back on a full **or closed** queue (the former is
+    /// the flow-control point, the latter end-of-stream).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        if self.is_closed() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(item);
+        }
+        match self.queue.push(item) {
+            Ok(()) => {
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                let cb = self.notify.read().clone();
+                if let Some(cb) = cb {
+                    cb();
+                }
+                Ok(())
+            }
+            Err(item) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(item)
+            }
+        }
+    }
+
+    /// Pop one item if available.
+    pub fn pop(&self) -> Option<T> {
+        let item = self.queue.pop();
+        if item.is_some() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Items successfully pushed over the dataset's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Items popped over the dataset's lifetime.
+    pub fn total_popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes rejected because the queue was full.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Capacity of the bounded queue.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+}
+
+impl<T: Send> Dataset for QueueDataset<T> {
+    fn id(&self) -> DatasetId {
+        self.id
+    }
+    fn has_data(&self) -> bool {
+        !self.queue.is_empty()
+    }
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+    fn close(&self) {
+        // Close marks end-of-stream: no further pushes are accepted, the
+        // notify hook is released, and *consumers keep draining* whatever
+        // was already queued — a stream's tail must not be discarded.
+        self.closed.store(1, Ordering::Release);
+        *self.notify.write() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_put_get_remove() {
+        let ds = InMemoryDataset::new(DatasetId(1));
+        assert!(!ds.has_data());
+        ds.put("k", vec![1, 2, 3]);
+        assert!(ds.has_data());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.get("k"), Some(vec![1, 2, 3]));
+        assert_eq!(ds.remove("k"), Some(vec![1, 2, 3]));
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn in_memory_close_clears() {
+        let ds = InMemoryDataset::new(DatasetId(2));
+        ds.put("a", vec![9]);
+        ds.close();
+        assert!(ds.is_closed());
+        assert!(!ds.has_data());
+        assert_eq!(ds.get("a"), None);
+    }
+
+    #[test]
+    fn queue_push_pop_counts() {
+        let q: QueueDataset<u32> = QueueDataset::new(DatasetId(3), 4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        // Full: push must hand the item back.
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.total_rejected(), 1);
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.push(99).is_ok());
+        assert_eq!(q.total_pushed(), 5);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn queue_notifies_on_push() {
+        let q: QueueDataset<u8> = QueueDataset::new(DatasetId(4), 8);
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        q.on_data(move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn queue_full_push_does_not_notify() {
+        let q: QueueDataset<u8> = QueueDataset::new(DatasetId(5), 1);
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        q.on_data(move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        q.push(1).unwrap();
+        assert!(q.push(2).is_err());
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queue_close_is_end_of_stream() {
+        let q: QueueDataset<u8> = QueueDataset::new(DatasetId(6), 8);
+        assert!(!q.is_closed());
+        q.push(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        // The tail remains drainable; new pushes are rejected.
+        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn queue_is_mpmc_safe() {
+        let q = Arc::new(QueueDataset::<u64>::new(DatasetId(7), 1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(back) => item = back,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                while got < 1000 {
+                    if q.pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), 1000);
+        assert_eq!(q.total_pushed(), 1000);
+        assert_eq!(q.total_popped(), 1000);
+    }
+}

@@ -1,0 +1,360 @@
+//! Scheduling strategies and the timer service.
+//!
+//! §II of the NEPTUNE paper: *"Computational tasks are scheduled to run
+//! based on a scheduling strategy that can be changed during execution. The
+//! scheduling strategy could be data driven, periodic, count based or a
+//! combination of these. For instance, a computational task can be scheduled
+//! to run every 500 milliseconds or when data is available in a particular
+//! dataset."*
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When a deployed task should be scheduled for execution.
+///
+/// The three paper strategies compose:
+/// * `data_driven` — execute when a dataset signals availability;
+/// * `count` — (modifies data-driven) only execute once at least `count`
+///   signals have accumulated, letting a task batch its input;
+/// * `period` — additionally execute every `period`, with or without data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSpec {
+    /// Execute when data arrives.
+    pub data_driven: bool,
+    /// Minimum number of accumulated signals before a data-driven
+    /// execution fires (1 = every signal).
+    pub count: u64,
+    /// Also execute on this fixed period, independent of data.
+    pub period: Option<Duration>,
+    /// How many consecutive executions a task may run on one worker stint
+    /// before the slot is re-queued on the pool. The default (64) lets a
+    /// burst be drained with a single thread handoff — NEPTUNE's batched
+    /// scheduling. Setting 1 forces a scheduler crossing per execution,
+    /// which is the per-message ablation of Table I.
+    pub max_consecutive_runs: u64,
+}
+
+impl ScheduleSpec {
+    /// Execute on every data signal — NEPTUNE's stream processors:
+    /// *"Stream processors are scheduled only if data is available in any of
+    /// the input streams using the data driven scheduling scheme provided by
+    /// Granules."*
+    pub fn data_driven() -> Self {
+        ScheduleSpec { data_driven: true, count: 1, period: None, max_consecutive_runs: 64 }
+    }
+
+    /// Execute once at least `count` data signals have accumulated.
+    pub fn count_based(count: u64) -> Self {
+        assert!(count >= 1, "count-based schedule needs count >= 1");
+        ScheduleSpec { data_driven: true, count, period: None, max_consecutive_runs: 64 }
+    }
+
+    /// Execute every `period` regardless of data (e.g. "every 500 ms").
+    pub fn periodic(period: Duration) -> Self {
+        ScheduleSpec {
+            data_driven: false,
+            count: 1,
+            period: Some(period),
+            max_consecutive_runs: 64,
+        }
+    }
+
+    /// Combination: data-driven with a count threshold *and* a periodic
+    /// fire ensuring bounded staleness.
+    pub fn combined(count: u64, period: Duration) -> Self {
+        assert!(count >= 1, "count-based schedule needs count >= 1");
+        ScheduleSpec { data_driven: true, count, period: Some(period), max_consecutive_runs: 64 }
+    }
+
+    /// Override the per-stint execution budget (see field docs).
+    pub fn with_max_consecutive_runs(mut self, runs: u64) -> Self {
+        assert!(runs >= 1, "max_consecutive_runs must be >= 1");
+        self.max_consecutive_runs = runs;
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.data_driven && self.period.is_none() {
+            return Err("schedule is neither data-driven nor periodic; task would never run"
+                .to_string());
+        }
+        if self.count == 0 {
+            return Err("count threshold must be >= 1".to_string());
+        }
+        if let Some(p) = self.period {
+            if p.is_zero() {
+                return Err("period must be non-zero".to_string());
+            }
+        }
+        if self.max_consecutive_runs == 0 {
+            return Err("max_consecutive_runs must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        Self::data_driven()
+    }
+}
+
+type TimerCallback = Arc<dyn Fn() + Send + Sync>;
+
+struct TimerEntry {
+    fire_at: Instant,
+    period: Duration,
+    id: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at == other.fire_at && self.id == other.id
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.fire_at.cmp(&other.fire_at).then(self.id.cmp(&other.id))
+    }
+}
+
+struct TimerShared {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    callbacks: std::collections::HashMap<u64, TimerCallback>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// A single timer thread multiplexing all periodic schedules of a resource.
+///
+/// One thread per resource (not per task) keeps the thread count flat no
+/// matter how many periodic operators a job deploys.
+pub struct TimerService {
+    shared: Arc<TimerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TimerService {
+    /// Start the timer thread.
+    pub fn start() -> Self {
+        let shared = Arc::new(TimerShared {
+            state: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                callbacks: std::collections::HashMap::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("granules-timer".into())
+            .spawn(move || timer_loop(thread_shared))
+            .expect("spawn timer thread");
+        TimerService { shared, thread: Some(thread) }
+    }
+
+    /// Register a periodic callback; returns a registration id for
+    /// [`cancel`](Self::cancel).
+    pub fn register<F: Fn() + Send + Sync + 'static>(&self, period: Duration, f: F) -> u64 {
+        assert!(!period.is_zero(), "period must be non-zero");
+        let mut st = self.shared.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.callbacks.insert(id, Arc::new(f));
+        st.heap.push(Reverse(TimerEntry { fire_at: Instant::now() + period, period, id }));
+        drop(st);
+        self.shared.cv.notify_one();
+        id
+    }
+
+    /// Cancel a periodic registration. Idempotent.
+    pub fn cancel(&self, id: u64) {
+        let mut st = self.shared.state.lock();
+        st.callbacks.remove(&id);
+        // The heap entry is lazily discarded when it fires.
+    }
+
+    /// Number of live registrations.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().callbacks.len()
+    }
+
+    /// Stop the timer thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TimerService {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn timer_loop(shared: Arc<TimerShared>) {
+    let mut st = shared.state.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Fire everything due.
+        let mut due: Vec<(u64, TimerCallback)> = Vec::new();
+        while let Some(Reverse(top)) = st.heap.peek() {
+            if top.fire_at > now {
+                break;
+            }
+            let Reverse(entry) = st.heap.pop().expect("peeked entry");
+            if let Some(cb) = st.callbacks.get(&entry.id) {
+                due.push((entry.id, cb.clone()));
+                st.heap.push(Reverse(TimerEntry {
+                    fire_at: now + entry.period,
+                    period: entry.period,
+                    id: entry.id,
+                }));
+            }
+            // Cancelled entries simply drop out of the heap here.
+        }
+        if !due.is_empty() {
+            // Run callbacks outside the lock so they may re-enter the service.
+            drop(st);
+            for (_, cb) in due {
+                cb();
+            }
+            st = shared.state.lock();
+            continue;
+        }
+        match st.heap.peek() {
+            Some(Reverse(top)) => {
+                let wait = top.fire_at.saturating_duration_since(Instant::now());
+                shared.cv.wait_for(&mut st, wait);
+            }
+            None => {
+                shared.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spec_constructors_validate() {
+        assert!(ScheduleSpec::data_driven().validate().is_ok());
+        assert!(ScheduleSpec::count_based(10).validate().is_ok());
+        assert!(ScheduleSpec::periodic(Duration::from_millis(500)).validate().is_ok());
+        assert!(ScheduleSpec::combined(4, Duration::from_millis(5)).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let never = ScheduleSpec { data_driven: false, count: 1, period: None, max_consecutive_runs: 64 };
+        assert!(never.validate().is_err());
+        let zero_count = ScheduleSpec { data_driven: true, count: 0, period: None, max_consecutive_runs: 64 };
+        assert!(zero_count.validate().is_err());
+        let zero_period = ScheduleSpec {
+            data_driven: false,
+            count: 1,
+            period: Some(Duration::ZERO),
+            max_consecutive_runs: 64,
+        };
+        assert!(zero_period.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "count >= 1")]
+    fn count_based_zero_panics() {
+        ScheduleSpec::count_based(0);
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let timer = TimerService::start();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        timer.register(Duration::from_millis(5), move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        let n = fired.load(Ordering::Relaxed);
+        assert!(n >= 3, "expected several fires, got {n}");
+        timer.shutdown();
+    }
+
+    #[test]
+    fn timer_cancel_stops_fires() {
+        let timer = TimerService::start();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        let id = timer.register(Duration::from_millis(5), move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        timer.cancel(id);
+        assert_eq!(timer.active(), 0);
+        let snapshot = fired.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(30));
+        let after = fired.load(Ordering::Relaxed);
+        // At most one in-flight fire may land after cancel.
+        assert!(after <= snapshot + 1, "cancel did not stop timer: {snapshot} -> {after}");
+        timer.shutdown();
+    }
+
+    #[test]
+    fn multiple_registrations_independent() {
+        let timer = TimerService::start();
+        let fast = Arc::new(AtomicU64::new(0));
+        let slow = Arc::new(AtomicU64::new(0));
+        let f = fast.clone();
+        let s = slow.clone();
+        timer.register(Duration::from_millis(4), move || {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        timer.register(Duration::from_millis(20), move || {
+            s.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(70));
+        let nf = fast.load(Ordering::Relaxed);
+        let ns = slow.load(Ordering::Relaxed);
+        assert!(nf > ns, "fast ({nf}) should outpace slow ({ns})");
+        assert!(ns >= 1);
+        timer.shutdown();
+    }
+
+    #[test]
+    fn shutdown_via_drop_does_not_hang() {
+        let timer = TimerService::start();
+        timer.register(Duration::from_secs(3600), || {});
+        drop(timer); // must not block for an hour
+    }
+}

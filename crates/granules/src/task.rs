@@ -1,0 +1,188 @@
+//! Computational tasks — the most fine-grained unit of execution in
+//! Granules (§II of the NEPTUNE paper).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a deployed computational task, unique within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a deployed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Deployed, waiting for its first signal.
+    Idle,
+    /// Currently executing (or queued on a worker).
+    Scheduled,
+    /// `terminate` has run; the task will never execute again.
+    Terminated,
+}
+
+/// What a task's `execute` wants the runtime to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Stay deployed and wait for the next signal.
+    Continue,
+    /// Work remains beyond the coalesced signals (e.g. the task chose not
+    /// to drain its input fully): schedule another execution even though
+    /// the pending-signal counter was already consumed.
+    Reschedule,
+    /// Terminate this task: run `terminate`, release the slot.
+    Finished,
+}
+
+/// Execution context handed to a task on every scheduled execution.
+///
+/// Carries the number of data signals coalesced into this execution —
+/// NEPTUNE's batched scheduling reads it to size the batch — plus the
+/// task's own id and a monotonically increasing execution counter.
+pub struct TaskContext {
+    task_id: TaskId,
+    /// Signals coalesced into this execution (>= 1 for data-driven runs,
+    /// 0 for purely periodic fires with no pending data).
+    coalesced_signals: u64,
+    /// How many times this task has executed before this run.
+    execution_index: u64,
+}
+
+impl TaskContext {
+    pub(crate) fn new(task_id: TaskId, coalesced_signals: u64, execution_index: u64) -> Self {
+        TaskContext { task_id, coalesced_signals, execution_index }
+    }
+
+    /// Id of the executing task.
+    pub fn task_id(&self) -> TaskId {
+        self.task_id
+    }
+
+    /// Number of data signals folded into this execution.
+    pub fn coalesced_signals(&self) -> u64 {
+        self.coalesced_signals
+    }
+
+    /// Zero-based index of this execution.
+    pub fn execution_index(&self) -> u64 {
+        self.execution_index
+    }
+}
+
+/// Domain-specific processing logic hosted by a [`crate::Resource`].
+///
+/// `execute` runs on a worker-pool thread; the runtime guarantees that a
+/// given task instance never executes concurrently with itself, so `&mut
+/// self` is safe without internal locking.
+pub trait ComputationalTask: Send {
+    /// Called once, before the first execution.
+    fn initialize(&mut self, _ctx: &TaskContext) {}
+
+    /// One scheduled execution. Signals may have been coalesced; consult
+    /// [`TaskContext::coalesced_signals`].
+    fn execute(&mut self, ctx: &TaskContext) -> TaskOutcome;
+
+    /// Called once when the task terminates (voluntarily or via the
+    /// resource shutting down).
+    fn terminate(&mut self, _ctx: &TaskContext) {}
+}
+
+/// Global task-id allocator.
+#[derive(Debug, Default)]
+pub(crate) struct TaskIdAllocator {
+    next: AtomicU64,
+}
+
+impl TaskIdAllocator {
+    pub(crate) fn allocate(&self) -> TaskId {
+        TaskId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Blanket impl so closures can be deployed as tasks in tests and examples.
+impl<F> ComputationalTask for F
+where
+    F: FnMut(&TaskContext) -> TaskOutcome + Send,
+{
+    fn execute(&mut self, ctx: &TaskContext) -> TaskOutcome {
+        self(ctx)
+    }
+}
+
+/// Shared, cloneable handle to a counter of executions — handy for tests.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionProbe {
+    executions: Arc<AtomicU64>,
+    signals_seen: Arc<AtomicU64>,
+}
+
+impl ExecutionProbe {
+    /// New probe with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one execution that coalesced `signals` signals.
+    pub fn record(&self, signals: u64) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.signals_seen.fetch_add(signals, Ordering::Relaxed);
+    }
+
+    /// Number of executions recorded.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// Total signals observed across executions.
+    pub fn signals_seen(&self) -> u64 {
+        self.signals_seen.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_ids_are_unique_and_monotonic() {
+        let alloc = TaskIdAllocator::default();
+        let a = alloc.allocate();
+        let b = alloc.allocate();
+        let c = alloc.allocate();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn context_accessors() {
+        let ctx = TaskContext::new(TaskId(7), 3, 12);
+        assert_eq!(ctx.task_id(), TaskId(7));
+        assert_eq!(ctx.coalesced_signals(), 3);
+        assert_eq!(ctx.execution_index(), 12);
+    }
+
+    #[test]
+    fn closures_are_tasks() {
+        let mut count = 0u32;
+        let mut task = |_ctx: &TaskContext| {
+            count += 1;
+            TaskOutcome::Continue
+        };
+        let ctx = TaskContext::new(TaskId(0), 1, 0);
+        assert_eq!(ComputationalTask::execute(&mut task, &ctx), TaskOutcome::Continue);
+        drop(task);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn probe_accumulates() {
+        let p = ExecutionProbe::new();
+        p.record(5);
+        p.record(2);
+        assert_eq!(p.executions(), 2);
+        assert_eq!(p.signals_seen(), 7);
+    }
+}

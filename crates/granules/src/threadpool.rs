@@ -1,0 +1,245 @@
+//! A fixed-size worker thread pool built from scratch on crossbeam
+//! channels.
+//!
+//! NEPTUNE's two-tier thread model (§III-B of the paper) uses two of these:
+//! one pool for worker threads running stream-processor logic and one for
+//! IO threads draining outbound buffers. Keeping the pool small and fixed is
+//! deliberate — the paper attributes Storm's CPU overhead to its
+//! per-message four-thread pipeline, while "thread pool sizes are determined
+//! automatically depending on the number of cores".
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Message {
+    Run(Job),
+    Shutdown,
+}
+
+/// Shared pool statistics.
+#[derive(Debug, Default)]
+struct PoolStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+    /// Jobs currently executing on some worker.
+    in_flight: AtomicUsize,
+}
+
+/// Fixed-size worker pool. Jobs are `FnOnce() + Send` closures executed on
+/// one of `size` dedicated OS threads.
+pub struct WorkerPool {
+    tx: Sender<Message>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `size` worker threads, named `"{name}-{i}"`.
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(name: &str, size: usize) -> Self {
+        assert!(size > 0, "worker pool needs at least one thread");
+        let (tx, rx) = channel::unbounded::<Message>();
+        let stats = Arc::new(PoolStats::default());
+        let workers = (0..size)
+            .map(|i| {
+                let rx: Receiver<Message> = rx.clone();
+                let stats = stats.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(rx, stats))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { tx, workers, stats, size }
+    }
+
+    /// Pool sized to the machine: `available_parallelism`, min 2 — the
+    /// paper's "determined automatically depending on the number of cores".
+    pub fn sized_for_host(name: &str) -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
+        Self::new(name, n)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit a job. Returns `false` if the pool is already shut down.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(Message::Run(Box::new(job))).is_ok()
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.stats.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed (including panicked ones).
+    pub fn completed(&self) -> u64 {
+        self.stats.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose closure panicked. The worker survives: a panicking stream
+    /// processor must not take down unrelated operators sharing the pool.
+    pub fn panicked(&self) -> u64 {
+        self.stats.panicked.load(Ordering::Relaxed)
+    }
+
+    /// True when no jobs are queued or executing.
+    pub fn is_idle(&self) -> bool {
+        self.stats.in_flight.load(Ordering::Acquire) == 0
+            && self.completed() == self.submitted()
+    }
+
+    /// Block until the pool is idle (spin + yield; used by tests and
+    /// drain paths, not hot code).
+    pub fn wait_idle(&self) {
+        while !self.is_idle() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stop all workers after the queued jobs finish.
+    pub fn shutdown(mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Message::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Best effort: tell workers to stop; detach if join isn't possible.
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Message::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Message>, stats: Arc<PoolStats>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Message::Run(job) => {
+                stats.in_flight.fetch_add(1, Ordering::AcqRel);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                if result.is_err() {
+                    stats.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Message::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new("t", 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            assert!(pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.submitted(), 100);
+        assert_eq!(pool.completed(), 100);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn jobs_run_on_named_pool_threads() {
+        let pool = WorkerPool::new("relay", 2);
+        let (tx, rx) = channel::bounded(1);
+        pool.submit(move || {
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            tx.send(name).unwrap();
+        });
+        let name = rx.recv().unwrap();
+        assert!(name.starts_with("relay-"), "got {name}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new("p", 1);
+        pool.submit(|| panic!("boom"));
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.panicked(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn wait_idle_observes_slow_jobs() {
+        let pool = WorkerPool::new("slow", 2);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let d = done.clone();
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn sized_for_host_is_at_least_two() {
+        let pool = WorkerPool::sized_for_host("auto");
+        assert!(pool.size() >= 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_size_rejected() {
+        WorkerPool::new("z", 0);
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new("d", 2);
+            for _ in 0..10 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No explicit shutdown: Drop must finish queued work and join.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

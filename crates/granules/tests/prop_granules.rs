@@ -1,0 +1,106 @@
+//! Property-based tests for the Granules substrate.
+//!
+//! Invariants:
+//! * No signal is ever lost, regardless of burst pattern, worker count,
+//!   or count-threshold: the sum of coalesced signal counts observed by a
+//!   task equals the signals delivered (§III-B2's correctness premise —
+//!   batching must never drop work).
+//! * Schedule specs round-trip their builder forms and validate exactly
+//!   the documented constraints.
+//! * The worker pool completes every submitted job exactly once.
+
+use neptune_granules::{
+    ComputationalTask, Resource, ScheduleSpec, TaskContext, TaskOutcome, WorkerPool,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct SignalSum(Arc<AtomicU64>, Arc<AtomicU64>);
+impl ComputationalTask for SignalSum {
+    fn execute(&mut self, ctx: &TaskContext) -> TaskOutcome {
+        self.0.fetch_add(ctx.coalesced_signals(), Ordering::Relaxed);
+        self.1.fetch_add(1, Ordering::Relaxed);
+        TaskOutcome::Continue
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_signal_lost_under_bursts(
+        workers in 1usize..5,
+        bursts in proptest::collection::vec(1u64..500, 1..20),
+        count_threshold in 1u64..8,
+        max_runs in prop_oneof![Just(1u64), Just(4), Just(64)],
+    ) {
+        let resource = Resource::builder("prop").workers(workers).build();
+        let seen = Arc::new(AtomicU64::new(0));
+        let execs = Arc::new(AtomicU64::new(0));
+        let spec = ScheduleSpec::count_based(count_threshold)
+            .with_max_consecutive_runs(max_runs);
+        let handle = resource
+            .deploy(SignalSum(seen.clone(), execs.clone()), spec)
+            .unwrap();
+        let mut total = 0u64;
+        for burst in bursts {
+            handle.signal_many(burst);
+            total += burst;
+        }
+        // Top up so the count threshold is guaranteed reachable.
+        let remainder = total % count_threshold;
+        if remainder != 0 {
+            let top_up = count_threshold - remainder;
+            handle.signal_many(top_up);
+            total += top_up;
+        }
+        resource.drain();
+        prop_assert_eq!(seen.load(Ordering::Relaxed), total, "signals lost or duplicated");
+        // Batching sanity: executions never exceed signals.
+        prop_assert!(execs.load(Ordering::Relaxed) <= total);
+        resource.shutdown();
+    }
+
+    #[test]
+    fn schedule_specs_validate_consistently(
+        data_driven in any::<bool>(),
+        count in 0u64..5,
+        period_ms in prop_oneof![Just(None), (0u64..100).prop_map(Some)],
+        max_runs in 0u64..5,
+    ) {
+        let spec = ScheduleSpec {
+            data_driven,
+            count,
+            period: period_ms.map(std::time::Duration::from_millis),
+            max_consecutive_runs: max_runs,
+        };
+        let valid = spec.validate().is_ok();
+        let expected = (data_driven || period_ms.is_some_and(|ms| ms > 0))
+            && count >= 1
+            && period_ms != Some(0)
+            && max_runs >= 1;
+        prop_assert_eq!(valid, expected, "validate() disagrees with documented rules");
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job_once(
+        workers in 1usize..6,
+        jobs in 1usize..200,
+    ) {
+        let pool = WorkerPool::new("prop", workers);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..jobs {
+            let c = counter.clone();
+            let accepted = pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            prop_assert!(accepted);
+        }
+        pool.wait_idle();
+        prop_assert_eq!(counter.load(Ordering::Relaxed), jobs as u64);
+        prop_assert_eq!(pool.completed(), jobs as u64);
+        prop_assert_eq!(pool.panicked(), 0);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,365 @@
+//! Application-level output buffering (§III-B1 of the paper).
+//!
+//! One [`OutputBuffer`] exists per outgoing link. Serialized stream packets
+//! are appended (already length-prefixed, so the flush path does no extra
+//! copying or per-message work); the buffer flushes when:
+//!
+//! * its **byte capacity** is reached — the paper is explicit that the
+//!   threshold is capacity-based, *"to flush the buffer as soon as the
+//!   required threshold is reached irrespective of the number of the
+//!   messages in the buffer and their sizes"*, which keeps behaviour stable
+//!   when an operator emits packets of varying sizes; or
+//! * its **flush timer** fires — *"each buffer in NEPTUNE is equipped with
+//!   a timer that guarantees flushing of the buffer after a certain time
+//!   period since arrival of the first message"*, which puts a soft upper
+//!   bound on end-to-end latency for slow streams.
+//!
+//! The buffer's backing storage is recycled across flushes (object reuse,
+//! §III-B3): `take_batch` hands out the filled `Vec<u8>` and installs the
+//! previously-recycled one, so steady state runs with two long-lived
+//! allocations per link.
+
+use std::time::{Duration, Instant};
+
+/// Why a batch was flushed. Recorded in metrics so the buffering ablation
+/// (Fig. 2) can attribute latency to queueing delay vs capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The byte-capacity threshold was reached.
+    Capacity,
+    /// The flush timer expired before the buffer filled.
+    Timer,
+    /// The owner forced a flush (job teardown, explicit flush call).
+    Forced,
+}
+
+/// Outcome of pushing one serialized message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Message buffered; nothing to send yet.
+    Buffered,
+    /// Capacity reached: here is the batch to hand to the transport.
+    Flush(FlushedBatch),
+}
+
+/// A batch ready for the wire.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FlushedBatch {
+    /// Concatenated `[len u32 LE | bytes]` encoded messages.
+    pub encoded: Vec<u8>,
+    /// Number of messages in the batch.
+    pub count: u32,
+    /// Sequence number of the first message in the batch.
+    pub base_seq: u64,
+    /// Why the flush happened.
+    pub reason: FlushReason,
+    /// How long the oldest message waited in the buffer.
+    pub queueing_delay: Duration,
+}
+
+/// Capacity-bounded, timer-flushed output buffer for one link.
+#[derive(Debug)]
+pub struct OutputBuffer {
+    data: Vec<u8>,
+    /// Recycled storage swapped in on flush.
+    spare: Vec<u8>,
+    count: u32,
+    capacity: usize,
+    max_delay: Option<Duration>,
+    first_arrival: Option<Instant>,
+    next_seq: u64,
+    flushes_capacity: u64,
+    flushes_timer: u64,
+    flushes_forced: u64,
+}
+
+impl OutputBuffer {
+    /// Buffer flushing at `capacity` bytes, with an optional flush timer of
+    /// `max_delay` since the first buffered message.
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, max_delay: Option<Duration>) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        OutputBuffer {
+            data: Vec::with_capacity(capacity + 256),
+            spare: Vec::with_capacity(capacity + 256),
+            count: 0,
+            capacity,
+            max_delay,
+            first_arrival: None,
+            next_seq: 0,
+            flushes_capacity: 0,
+            flushes_timer: 0,
+            flushes_forced: 0,
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Messages currently buffered.
+    pub fn buffered_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Sequence number the next pushed message will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Flushes triggered by capacity so far.
+    pub fn capacity_flushes(&self) -> u64 {
+        self.flushes_capacity
+    }
+
+    /// Flushes triggered by the timer so far.
+    pub fn timer_flushes(&self) -> u64 {
+        self.flushes_timer
+    }
+
+    /// Forced flushes so far.
+    pub fn forced_flushes(&self) -> u64 {
+        self.flushes_forced
+    }
+
+    /// Append one serialized message. Returns a batch when this push
+    /// reached the capacity threshold.
+    pub fn push(&mut self, message: &[u8]) -> PushOutcome {
+        if self.count == 0 {
+            self.first_arrival = Some(Instant::now());
+        }
+        self.data.extend_from_slice(&(message.len() as u32).to_le_bytes());
+        self.data.extend_from_slice(message);
+        self.count += 1;
+        self.next_seq += 1;
+        if self.data.len() >= self.capacity {
+            PushOutcome::Flush(self.take_batch(FlushReason::Capacity))
+        } else {
+            PushOutcome::Buffered
+        }
+    }
+
+    /// Deadline at which the flush timer should fire, if armed.
+    pub fn flush_deadline(&self) -> Option<Instant> {
+        match (self.first_arrival, self.max_delay) {
+            (Some(t0), Some(d)) if self.count > 0 => Some(t0 + d),
+            _ => None,
+        }
+    }
+
+    /// Timer path: flush if the oldest message has waited at least
+    /// `max_delay` as of `now`.
+    pub fn take_if_due(&mut self, now: Instant) -> Option<FlushedBatch> {
+        match self.flush_deadline() {
+            Some(deadline) if now >= deadline => Some(self.take_batch(FlushReason::Timer)),
+            _ => None,
+        }
+    }
+
+    /// Unconditional flush (teardown, explicit flush). `None` when empty.
+    pub fn force_flush(&mut self) -> Option<FlushedBatch> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.take_batch(FlushReason::Forced))
+        }
+    }
+
+    fn take_batch(&mut self, reason: FlushReason) -> FlushedBatch {
+        match reason {
+            FlushReason::Capacity => self.flushes_capacity += 1,
+            FlushReason::Timer => self.flushes_timer += 1,
+            FlushReason::Forced => self.flushes_forced += 1,
+        }
+        let queueing_delay =
+            self.first_arrival.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+        let count = self.count;
+        let base_seq = self.next_seq - count as u64;
+        self.count = 0;
+        self.first_arrival = None;
+        // Swap in the recycled buffer; hand out the filled one.
+        self.spare.clear();
+        let encoded = std::mem::replace(&mut self.data, std::mem::take(&mut self.spare));
+        FlushedBatch { encoded, count, base_seq, reason, queueing_delay }
+    }
+
+    /// Return a batch's storage for reuse after the transport is done with
+    /// it. Optional — skipping it only costs a fresh allocation next flush.
+    pub fn recycle(&mut self, mut storage: Vec<u8>) {
+        storage.clear();
+        if storage.capacity() > self.spare.capacity() {
+            self.spare = storage;
+        }
+    }
+}
+
+/// Split a [`FlushedBatch`]'s encoding back into messages (receiver side of
+/// the in-process fast path and tests).
+pub fn split_encoded(encoded: &[u8]) -> Result<Vec<Vec<u8>>, String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < encoded.len() {
+        if i + 4 > encoded.len() {
+            return Err(format!("dangling length prefix at offset {i}"));
+        }
+        let len =
+            u32::from_le_bytes(encoded[i..i + 4].try_into().expect("slice len")) as usize;
+        i += 4;
+        if i + len > encoded.len() {
+            return Err(format!("message at offset {i} overruns buffer"));
+        }
+        out.push(encoded[i..i + len].to_vec());
+        i += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_on_capacity() {
+        let mut buf = OutputBuffer::new(100, None);
+        let msg = [0u8; 20]; // 24 bytes per push with the prefix
+        for _ in 0..4 {
+            assert_eq!(buf.push(&msg), PushOutcome::Buffered);
+        }
+        match buf.push(&msg) {
+            PushOutcome::Flush(b) => {
+                assert_eq!(b.count, 5);
+                assert_eq!(b.base_seq, 0);
+                assert_eq!(b.reason, FlushReason::Capacity);
+                assert_eq!(b.encoded.len(), 5 * 24);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        assert_eq!(buf.buffered_bytes(), 0);
+        assert_eq!(buf.capacity_flushes(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bytes_not_messages() {
+        // One big message flushes immediately; many tiny ones accumulate.
+        let mut buf = OutputBuffer::new(1000, None);
+        assert!(matches!(buf.push(&[0u8; 2000]), PushOutcome::Flush(_)));
+        for _ in 0..10 {
+            assert_eq!(buf.push(&[0u8; 10]), PushOutcome::Buffered);
+        }
+        assert_eq!(buf.buffered_count(), 10);
+    }
+
+    #[test]
+    fn sequence_numbers_are_contiguous_across_batches() {
+        let mut buf = OutputBuffer::new(64, None);
+        let mut batches = Vec::new();
+        for _ in 0..10 {
+            if let PushOutcome::Flush(b) = buf.push(&[0u8; 28]) {
+                batches.push(b);
+            }
+        }
+        if let Some(b) = buf.force_flush() {
+            batches.push(b);
+        }
+        let mut expected = 0u64;
+        for b in &batches {
+            assert_eq!(b.base_seq, expected);
+            expected += b.count as u64;
+        }
+        assert_eq!(expected, 10);
+    }
+
+    #[test]
+    fn timer_flush_after_max_delay() {
+        let mut buf = OutputBuffer::new(1 << 20, Some(Duration::from_millis(5)));
+        buf.push(b"slow stream");
+        assert!(buf.take_if_due(Instant::now()).is_none(), "not due yet");
+        std::thread::sleep(Duration::from_millis(8));
+        let batch = buf.take_if_due(Instant::now()).expect("due");
+        assert_eq!(batch.reason, FlushReason::Timer);
+        assert_eq!(batch.count, 1);
+        assert!(batch.queueing_delay >= Duration::from_millis(5));
+        assert_eq!(buf.timer_flushes(), 1);
+    }
+
+    #[test]
+    fn no_timer_when_empty() {
+        let mut buf = OutputBuffer::new(1024, Some(Duration::from_millis(1)));
+        assert!(buf.flush_deadline().is_none());
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(buf.take_if_due(Instant::now()).is_none());
+    }
+
+    #[test]
+    fn deadline_tracks_first_message_only() {
+        let mut buf = OutputBuffer::new(1 << 20, Some(Duration::from_millis(50)));
+        buf.push(b"first");
+        let d1 = buf.flush_deadline().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        buf.push(b"second");
+        let d2 = buf.flush_deadline().unwrap();
+        assert_eq!(d1, d2, "deadline must anchor to the first message");
+    }
+
+    #[test]
+    fn force_flush_empties_and_returns_none_when_empty() {
+        let mut buf = OutputBuffer::new(1024, None);
+        assert!(buf.force_flush().is_none());
+        buf.push(b"x");
+        let b = buf.force_flush().unwrap();
+        assert_eq!(b.reason, FlushReason::Forced);
+        assert_eq!(b.count, 1);
+        assert!(buf.force_flush().is_none());
+    }
+
+    #[test]
+    fn recycle_reuses_storage() {
+        // The double-buffering scheme alternates between two allocations:
+        // a recycled batch becomes the spare, which is swapped back into
+        // service on the *next* flush. So a recycled pointer must reappear
+        // within two flush cycles.
+        let mut buf = OutputBuffer::new(64, None);
+        let PushOutcome::Flush(batch) = buf.push(&[0u8; 100]) else { panic!("flush") };
+        let ptr = batch.encoded.as_ptr();
+        buf.recycle(batch.encoded);
+        let PushOutcome::Flush(batch2) = buf.push(&[0u8; 100]) else { panic!("flush") };
+        let ptr2 = batch2.encoded.as_ptr();
+        buf.recycle(batch2.encoded);
+        let PushOutcome::Flush(batch3) = buf.push(&[0u8; 100]) else { panic!("flush") };
+        assert!(
+            batch3.encoded.as_ptr() == ptr || ptr2 == ptr,
+            "recycled allocation must round-trip within two flushes"
+        );
+    }
+
+    #[test]
+    fn split_encoded_roundtrips() {
+        let mut buf = OutputBuffer::new(1 << 20, None);
+        let msgs: Vec<Vec<u8>> = vec![b"a".to_vec(), vec![], b"long message".to_vec()];
+        for m in &msgs {
+            buf.push(m);
+        }
+        let batch = buf.force_flush().unwrap();
+        assert_eq!(split_encoded(&batch.encoded).unwrap(), msgs);
+    }
+
+    #[test]
+    fn split_encoded_rejects_corruption() {
+        assert!(split_encoded(&[1, 2, 3]).is_err());
+        assert!(split_encoded(&[10, 0, 0, 0, 1]).is_err());
+        assert!(split_encoded(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        OutputBuffer::new(0, None);
+    }
+}

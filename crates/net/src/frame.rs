@@ -1,0 +1,375 @@
+//! Batch wire framing.
+//!
+//! A flushed output buffer becomes exactly one *frame* on the wire:
+//!
+//! ```text
+//! | magic (4B) | flags (1B) | link_id (8B) | base_seq (8B) | count (4B)
+//! | body_len (4B) | crc32 (4B) | body (body_len bytes) |
+//! ```
+//!
+//! The body is the selective-compression framing (see `neptune-compress`)
+//! of the concatenation `[msg_len (4B LE) | msg bytes] * count`. `base_seq`
+//! is the sequence number of the first message in the batch; messages are
+//! contiguous, which is how the receiver enforces the paper's in-order,
+//! exactly-once delivery within a link.
+//!
+//! The CRC32 (IEEE 802.3 polynomial, implemented from scratch with a
+//! lazily-built lookup table) covers the body; the paper's correctness goal
+//! — *"our proposed solution should not result in dropped or corrupted
+//! stream packets"* — is checked, not assumed.
+
+use neptune_compress::SelectiveCompressor;
+use std::io::Read;
+use std::sync::OnceLock;
+
+/// Frame magic: `"NEPT"` little-endian.
+pub const MAGIC: u32 = 0x5450_454E;
+/// Fixed header size in bytes.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4 + 4 + 4;
+/// Cap on the body length accepted by the decoder (a corrupted length field
+/// must not trigger a huge allocation).
+pub const MAX_BODY_LEN: usize = 64 << 20;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Link this batch belongs to.
+    pub link_id: u64,
+    /// Sequence number of the first message.
+    pub base_seq: u64,
+    /// The batched messages, in emission order.
+    pub messages: Vec<Vec<u8>>,
+    /// Total bytes this frame occupied on the wire (header + body).
+    pub wire_len: usize,
+}
+
+impl Frame {
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Sum of message payload sizes (the "useful" bytes).
+    pub fn payload_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// Framing/deframing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// First four bytes were not the frame magic.
+    BadMagic(u32),
+    /// Body CRC mismatch — corruption on the wire.
+    CrcMismatch {
+        /// CRC in the header.
+        expected: u32,
+        /// CRC of the received body.
+        actual: u32,
+    },
+    /// Declared body length exceeds [`MAX_BODY_LEN`].
+    OversizedBody(usize),
+    /// Body did not decode into `count` well-formed messages.
+    MalformedBody(String),
+    /// Underlying IO failed (socket closed, truncated read).
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#x}"),
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(f, "crc mismatch: header {expected:#x}, body {actual:#x}")
+            }
+            FrameError::OversizedBody(n) => write!(f, "oversized frame body: {n} bytes"),
+            FrameError::MalformedBody(msg) => write!(f, "malformed frame body: {msg}"),
+            FrameError::Io(msg) => write!(f, "frame io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Encode a batch of messages into one frame, applying the link's selective
+/// compression policy to the body.
+pub fn encode_frame(
+    link_id: u64,
+    base_seq: u64,
+    messages: &[impl AsRef<[u8]>],
+    compressor: &SelectiveCompressor,
+) -> Vec<u8> {
+    // Concatenate length-prefixed messages.
+    let raw_len: usize = messages.iter().map(|m| 4 + m.as_ref().len()).sum();
+    let mut raw = Vec::with_capacity(raw_len);
+    for m in messages {
+        let m = m.as_ref();
+        raw.extend_from_slice(&(m.len() as u32).to_le_bytes());
+        raw.extend_from_slice(m);
+    }
+    encode_frame_raw(link_id, base_seq, messages.len() as u32, &raw, compressor)
+}
+
+/// Encode a frame whose body is already the length-prefixed concatenation
+/// produced by an output buffer — the zero-copy flush path: a flushed
+/// [`crate::buffer::FlushedBatch`] goes straight to the wire without
+/// re-splitting into messages.
+pub fn encode_frame_raw(
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    raw: &[u8],
+    compressor: &SelectiveCompressor,
+) -> Vec<u8> {
+    let framed = compressor.encode(raw);
+    let body = framed.payload;
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(0u8); // flags, reserved
+    out.extend_from_slice(&link_id.to_le_bytes());
+    out.extend_from_slice(&base_seq.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u64, u64, u32, usize, u32), FrameError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("slice len"));
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let link_id = u64::from_le_bytes(header[5..13].try_into().expect("slice len"));
+    let base_seq = u64::from_le_bytes(header[13..21].try_into().expect("slice len"));
+    let count = u32::from_le_bytes(header[21..25].try_into().expect("slice len"));
+    let body_len = u32::from_le_bytes(header[25..29].try_into().expect("slice len")) as usize;
+    let crc = u32::from_le_bytes(header[29..33].try_into().expect("slice len"));
+    if body_len > MAX_BODY_LEN {
+        return Err(FrameError::OversizedBody(body_len));
+    }
+    Ok((link_id, base_seq, count, body_len, crc))
+}
+
+fn decode_body(
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    body: &[u8],
+    wire_len: usize,
+) -> Result<Frame, FrameError> {
+    let raw = SelectiveCompressor::decode(body)
+        .map_err(|e| FrameError::MalformedBody(e.to_string()))?;
+    let mut messages = Vec::with_capacity(count as usize);
+    let mut i = 0usize;
+    for k in 0..count {
+        if i + 4 > raw.len() {
+            return Err(FrameError::MalformedBody(format!(
+                "message {k} length prefix out of bounds"
+            )));
+        }
+        let len =
+            u32::from_le_bytes(raw[i..i + 4].try_into().expect("slice len")) as usize;
+        i += 4;
+        if i + len > raw.len() {
+            return Err(FrameError::MalformedBody(format!("message {k} body out of bounds")));
+        }
+        messages.push(raw[i..i + len].to_vec());
+        i += len;
+    }
+    if i != raw.len() {
+        return Err(FrameError::MalformedBody(format!("{} trailing bytes", raw.len() - i)));
+    }
+    Ok(Frame { link_id, base_seq, messages, wire_len })
+}
+
+/// Decode one frame from a byte slice; returns the frame and the number of
+/// input bytes consumed. Used by the simulator and by tests.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Io("buffer shorter than frame header".into()));
+    }
+    let header: &[u8; FRAME_HEADER_LEN] =
+        buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
+    let (link_id, base_seq, count, body_len, crc) = parse_header(header)?;
+    let total = FRAME_HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Err(FrameError::Io(format!(
+            "buffer holds {} of {total} frame bytes",
+            buf.len()
+        )));
+    }
+    let body = &buf[FRAME_HEADER_LEN..total];
+    let actual = crc32(body);
+    if actual != crc {
+        return Err(FrameError::CrcMismatch { expected: crc, actual });
+    }
+    Ok((decode_body(link_id, base_seq, count, body, total)?, total))
+}
+
+/// Read exactly one frame from a blocking reader (the TCP receive path).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    let actual = crc32(&body);
+    if actual != crc {
+        return Err(FrameError::CrcMismatch { expected: crc, actual });
+    }
+    decode_body(link_id, base_seq, count, &body, FRAME_HEADER_LEN + body_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_policy() -> SelectiveCompressor {
+        SelectiveCompressor::disabled()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn roundtrip_simple_batch() {
+        let msgs: Vec<Vec<u8>> = vec![b"alpha".to_vec(), b"bravo!".to_vec(), vec![]];
+        let wire = encode_frame(42, 1000, &msgs, &raw_policy());
+        let (frame, consumed) = decode_frame(&wire).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(frame.link_id, 42);
+        assert_eq!(frame.base_seq, 1000);
+        assert_eq!(frame.messages, msgs);
+        assert_eq!(frame.wire_len, wire.len());
+        assert_eq!(frame.payload_bytes(), 11);
+    }
+
+    #[test]
+    fn roundtrip_empty_batch() {
+        let msgs: Vec<Vec<u8>> = vec![];
+        let wire = encode_frame(1, 0, &msgs, &raw_policy());
+        let (frame, _) = decode_frame(&wire).unwrap();
+        assert!(frame.is_empty());
+        assert_eq!(frame.len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_compressed_batch_shrinks() {
+        let msgs: Vec<Vec<u8>> = (0..100).map(|_| vec![7u8; 100]).collect();
+        let raw = encode_frame(5, 0, &msgs, &raw_policy());
+        let compressed = encode_frame(5, 0, &msgs, &SelectiveCompressor::new(4.0));
+        assert!(compressed.len() < raw.len() / 4, "{} vs {}", compressed.len(), raw.len());
+        let (frame, _) = decode_frame(&compressed).unwrap();
+        assert_eq!(frame.messages, msgs);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let msgs = vec![b"x".to_vec()];
+        let mut wire = encode_frame(1, 0, &msgs, &raw_policy());
+        wire[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&wire), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn corrupted_body_detected_by_crc() {
+        let msgs = vec![b"hello world".to_vec()];
+        let mut wire = encode_frame(1, 0, &msgs, &raw_policy());
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert!(matches!(decode_frame(&wire), Err(FrameError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupted_header_length_rejected() {
+        let msgs = vec![b"hello".to_vec()];
+        let mut wire = encode_frame(1, 0, &msgs, &raw_policy());
+        // Blow up the declared body length beyond the cap.
+        wire[25..29].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&wire), Err(FrameError::OversizedBody(_))));
+    }
+
+    #[test]
+    fn truncated_buffer_is_io_error() {
+        let msgs = vec![b"hello".to_vec()];
+        let wire = encode_frame(1, 0, &msgs, &raw_policy());
+        assert!(matches!(decode_frame(&wire[..10]), Err(FrameError::Io(_))));
+        assert!(matches!(decode_frame(&wire[..wire.len() - 1]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let msgs = vec![b"a".to_vec(), b"b".to_vec()];
+        let mut wire = encode_frame(1, 0, &msgs, &raw_policy());
+        // Claim 3 messages while the body holds 2.
+        wire[21..25].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(decode_frame(&wire), Err(FrameError::MalformedBody(_))));
+    }
+
+    #[test]
+    fn read_frame_from_stream() {
+        let msgs = vec![b"stream-read".to_vec(), b"works".to_vec()];
+        let wire = encode_frame(9, 77, &msgs, &SelectiveCompressor::new(6.0));
+        let mut cursor = std::io::Cursor::new(wire);
+        let frame = read_frame(&mut cursor).unwrap();
+        assert_eq!(frame.link_id, 9);
+        assert_eq!(frame.base_seq, 77);
+        assert_eq!(frame.messages, msgs);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_sequentially() {
+        let a = encode_frame(1, 0, &[b"one".to_vec()], &raw_policy());
+        let b = encode_frame(1, 1, &[b"two".to_vec()], &raw_policy());
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        let (f1, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, a.len());
+        let (f2, used2) = decode_frame(&wire[used..]).unwrap();
+        assert_eq!(used + used2, wire.len());
+        assert_eq!(f1.base_seq, 0);
+        assert_eq!(f2.base_seq, 1);
+    }
+}

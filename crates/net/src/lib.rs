@@ -1,0 +1,38 @@
+//! # neptune-net
+//!
+//! Networking substrate for the NEPTUNE reproduction.
+//!
+//! This crate owns the mechanisms behind three of the paper's optimizations:
+//!
+//! * **Application-level buffering** (§III-B1): [`OutputBuffer`] accumulates
+//!   serialized stream packets per link and flushes either when a
+//!   *byte-capacity* threshold is reached ("irrespective of the number of
+//!   the messages in the buffer and their sizes") or when a *flush timer*
+//!   expires ("a timer that guarantees flushing of the buffer after a
+//!   certain time period since arrival of the first message"), bounding
+//!   end-to-end latency.
+//! * **Batch framing**: [`frame`] packs a flushed buffer into one wire frame
+//!   with a CRC32-protected, optionally entropy-compressed body, so a batch
+//!   costs one network-stack traversal instead of hundreds.
+//! * **Backpressure** (§III-B4): [`WatermarkQueue`] is the bounded inbound
+//!   buffer with high/low watermarks. IO threads block on
+//!   [`WatermarkQueue::push_blocking`] when the high watermark is reached
+//!   and stay blocked until consumers drain it to the low watermark —
+//!   which, on the TCP transport, stops the reader from draining the
+//!   socket, closes the TCP window, and throttles the sender.
+//!
+//! Two transports carry frames: [`transport::InProcessTransport`] (links
+//! between operators co-located in one resource) and [`tcp`] (links across
+//! resources, with dedicated IO threads per §III's two-tier thread model).
+
+pub mod buffer;
+pub mod frame;
+pub mod tcp;
+pub mod transport;
+pub mod watermark;
+
+pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
+pub use frame::{crc32, decode_frame, encode_frame, Frame, FrameError, FRAME_HEADER_LEN};
+pub use tcp::{TcpReceiver, TcpSender};
+pub use transport::{BatchSink, InProcessTransport};
+pub use watermark::{WatermarkConfig, WatermarkQueue};

@@ -1,0 +1,426 @@
+//! Watermark-bounded inbound buffers — the heart of NEPTUNE's backpressure
+//! (§III-B4 of the paper).
+//!
+//! *"For each inbound buffer of a stream processor, we maintain high and
+//! low watermarks. Once the buffer is filled up to the high watermark, the
+//! IO worker threads are not allowed to write to the buffer unless the
+//! buffer contents are consumed by the worker threads and the buffer usage
+//! reaches the low watermark level."*
+//!
+//! [`WatermarkQueue`] implements exactly that hysteresis: a byte-weighted
+//! queue where producers block at the *high* watermark and stay blocked
+//! until consumers drain it to the *low* watermark. The gap between the two
+//! prevents the system from *"oscillating between the two states rapidly"*.
+//! On the TCP transport a blocked reader thread stops draining its socket,
+//! the kernel receive buffer fills, the TCP window closes, and the
+//! sender's writes stall — propagating pressure upstream hop by hop, which
+//! is what Fig. 4 of the paper demonstrates end to end.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Items stored in a watermark queue report their size in bytes, because
+/// watermarks bound *memory*, not message counts.
+pub trait Weighted {
+    /// Size of this item for watermark accounting, in bytes.
+    fn weight(&self) -> usize;
+}
+
+impl Weighted for Vec<u8> {
+    fn weight(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Weighted for crate::frame::Frame {
+    fn weight(&self) -> usize {
+        self.wire_len
+    }
+}
+
+/// High/low watermark configuration, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatermarkConfig {
+    /// Producers block once buffered bytes reach this level.
+    pub high: usize,
+    /// Blocked producers resume once buffered bytes drain to this level.
+    pub low: usize,
+}
+
+impl WatermarkConfig {
+    /// Validated constructor: `0 <= low < high`.
+    pub fn new(high: usize, low: usize) -> Self {
+        assert!(high > 0, "high watermark must be positive");
+        assert!(low < high, "low watermark ({low}) must be below high ({high})");
+        WatermarkConfig { high, low }
+    }
+
+    /// The paper's guidance: watermarks "set sufficiently apart" — default
+    /// low is half of high.
+    pub fn with_high(high: usize) -> Self {
+        Self::new(high, high / 2)
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    level: usize,
+    /// True between hitting the high watermark and draining to the low one.
+    gated: bool,
+    closed: bool,
+}
+
+/// Byte-weighted MPMC queue with high/low watermark flow control.
+pub struct WatermarkQueue<T: Weighted> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    config: WatermarkConfig,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    /// Number of times a producer had to block at the high watermark.
+    gate_events: AtomicU64,
+}
+
+impl<T: Weighted> WatermarkQueue<T> {
+    /// New queue with the given watermark configuration.
+    pub fn new(config: WatermarkConfig) -> Self {
+        WatermarkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                level: 0,
+                gated: false,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            config,
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            gate_events: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured watermarks.
+    pub fn config(&self) -> WatermarkConfig {
+        self.config
+    }
+
+    /// Bytes currently buffered.
+    pub fn level(&self) -> usize {
+        self.state.lock().level
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+
+    /// True while producers are gated (between high and low watermark).
+    pub fn is_gated(&self) -> bool {
+        self.state.lock().gated
+    }
+
+    /// Items pushed over the queue's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Items popped over the queue's lifetime.
+    pub fn total_popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// How many times a producer blocked at the high watermark.
+    pub fn gate_events(&self) -> u64 {
+        self.gate_events.load(Ordering::Relaxed)
+    }
+
+    /// Push, blocking while the queue is gated. Returns `Err(item)` if the
+    /// queue was closed.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        if st.gated && !st.closed {
+            self.gate_events.fetch_add(1, Ordering::Relaxed);
+            while st.gated && !st.closed {
+                self.not_full.wait(&mut st);
+            }
+        }
+        if st.closed {
+            return Err(item);
+        }
+        self.finish_push(&mut st, item);
+        Ok(())
+    }
+
+    /// Non-blocking push. `Err(item)` when gated or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        if st.gated || st.closed {
+            return Err(item);
+        }
+        self.finish_push(&mut st, item);
+        Ok(())
+    }
+
+    fn finish_push(&self, st: &mut QueueState<T>, item: T) {
+        st.level += item.weight();
+        st.items.push_back(item);
+        if st.level >= self.config.high {
+            st.gated = true;
+        }
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_one();
+    }
+
+    /// Pop one item without blocking.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        self.finish_pop(&mut st)
+    }
+
+    /// Pop one item, blocking up to `timeout`. `None` on timeout or close.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut st = self.state.lock();
+        if st.items.is_empty() && !st.closed {
+            self.not_empty.wait_for(&mut st, timeout);
+        }
+        self.finish_pop(&mut st)
+    }
+
+    /// Pop up to `max` items into `out`; returns how many were popped.
+    /// This is the batch-drain the worker threads use: one lock
+    /// acquisition per scheduled execution, not per packet.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut st = self.state.lock();
+        let mut n = 0;
+        while n < max {
+            match self.finish_pop(&mut st) {
+                Some(item) => {
+                    out.push(item);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    fn finish_pop(&self, st: &mut QueueState<T>) -> Option<T> {
+        let item = st.items.pop_front()?;
+        st.level -= item.weight();
+        self.popped.fetch_add(1, Ordering::Relaxed);
+        if st.gated && st.level <= self.config.low {
+            st.gated = false;
+            self.not_full.notify_all();
+        }
+        Some(item)
+    }
+
+    /// Close the queue: blocked producers fail, consumers drain the rest.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn item(n: usize) -> Vec<u8> {
+        vec![0u8; n]
+    }
+
+    #[test]
+    fn config_validation() {
+        let c = WatermarkConfig::new(100, 50);
+        assert_eq!(c.high, 100);
+        assert_eq!(c.low, 50);
+        let d = WatermarkConfig::with_high(1000);
+        assert_eq!(d.low, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "below high")]
+    fn low_must_be_below_high() {
+        WatermarkConfig::new(100, 100);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(1 << 20, 0));
+        for i in 0..10u8 {
+            q.push_blocking(vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(q.pop().unwrap(), vec![i]);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn gates_at_high_watermark() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(100, 40));
+        q.push_blocking(item(60)).unwrap();
+        assert!(!q.is_gated());
+        q.push_blocking(item(60)).unwrap(); // level 120 >= 100
+        assert!(q.is_gated());
+        assert!(q.try_push(item(1)).is_err());
+    }
+
+    #[test]
+    fn hysteresis_releases_at_low_not_below_high() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(100, 40));
+        q.push_blocking(item(50)).unwrap();
+        q.push_blocking(item(50)).unwrap(); // gated at 100
+        assert!(q.is_gated());
+        q.pop().unwrap(); // level 50: still above low -> still gated
+        assert!(q.is_gated(), "must stay gated until low watermark");
+        q.pop().unwrap(); // level 0 <= 40 -> released
+        assert!(!q.is_gated());
+        assert!(q.try_push(item(1)).is_ok());
+    }
+
+    #[test]
+    fn blocked_producer_resumes_after_drain() {
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(100, 10)));
+        q.push_blocking(item(100)).unwrap(); // gated
+        let q2 = q.clone();
+        let start = Instant::now();
+        let producer = std::thread::spawn(move || {
+            q2.push_blocking(item(10)).unwrap();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer must still be blocked");
+        q.pop().unwrap(); // drains to 0 <= low, releases producer
+        let blocked_for = producer.join().unwrap();
+        assert!(blocked_for >= Duration::from_millis(15), "blocked {blocked_for:?}");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.gate_events(), 1);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_idle() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(100, 10));
+        let t0 = Instant::now();
+        assert!(q.pop_timeout(Duration::from_millis(10)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push() {
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(100, 10)));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(5));
+        q.push_blocking(item(3)).unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(1 << 20, 0));
+        for _ in 0..10 {
+            q.push_blocking(item(4)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(6, &mut out), 6);
+        assert_eq!(out.len(), 6);
+        assert_eq!(q.pop_batch(100, &mut out), 4);
+        assert_eq!(q.pop_batch(1, &mut out), 0);
+    }
+
+    #[test]
+    fn close_fails_blocked_producers_and_drains_consumers() {
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(10, 1)));
+        q.push_blocking(item(10)).unwrap(); // gated
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push_blocking(item(1)));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(producer.join().unwrap().is_err(), "blocked producer must fail on close");
+        // Remaining items still drain.
+        assert_eq!(q.pop().unwrap().len(), 10);
+        assert!(q.pop().is_none());
+        assert!(q.push_blocking(item(1)).is_err());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(1000, 100));
+        for _ in 0..5 {
+            q.push_blocking(item(10)).unwrap();
+        }
+        q.pop().unwrap();
+        assert_eq!(q.total_pushed(), 5);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.level(), 40);
+    }
+
+    #[test]
+    fn stress_producers_and_consumers_no_loss() {
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(4096, 1024)));
+        const PER_PRODUCER: usize = 2000;
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..PER_PRODUCER {
+                        q.push_blocking(item(16)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumed = Arc::new(AtomicU64::new(0));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                let consumed = consumed.clone();
+                std::thread::spawn(move || {
+                    loop {
+                        match q.pop_timeout(Duration::from_millis(200)) {
+                            Some(_) => {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                if consumed.load(Ordering::Relaxed)
+                                    == (4 * PER_PRODUCER) as u64
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(q.total_pushed(), (4 * PER_PRODUCER) as u64);
+        assert_eq!(q.total_popped(), (4 * PER_PRODUCER) as u64);
+        assert_eq!(q.level(), 0);
+    }
+}

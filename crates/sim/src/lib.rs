@@ -1,0 +1,46 @@
+//! # neptune-sim
+//!
+//! Cluster simulator substrate for the NEPTUNE reproduction.
+//!
+//! The paper's evaluation (§IV) ran on *"an in-house cluster comprising 50
+//! physical machines connected over a 1 Gbps LAN"*. That hardware is not
+//! available, so the cluster-scale figures (5, 6, 9, 10) and the relay
+//! comparisons at cluster scale are regenerated on this simulator, per the
+//! substitution policy in DESIGN.md.
+//!
+//! ## What is modeled
+//!
+//! * **[`server::Server`]** — a FIFO resource with a service rate. Every
+//!   node owns three: a CPU, a NIC transmit side, and a NIC receive side
+//!   (full-duplex 1 Gbps, as in the paper's LAN). Batches arriving at a
+//!   server queue behind its `next_free` time; utilization is accumulated
+//!   busy time. This calendar-based service discipline *is* the
+//!   discrete-event core: each `serve` call is one event in virtual time.
+//! * **[`ethernet`]** — Ethernet/IP/TCP framing: MTU 1500, 40 B of
+//!   TCP/IP headers per segment, 38 B of Ethernet overhead per frame
+//!   (preamble, header, FCS, interframe gap). Small unbatched messages
+//!   waste most of each frame — the §I-A "small packets" problem — while
+//!   1 MB batches approach wire speed.
+//! * **[`profile::EngineProfile`]** — the per-engine cost model: CPU cost
+//!   per packet and per batch, thread hops per unit (NEPTUNE: 2 per
+//!   *batch*, two-tier model; Storm: 4 per *tuple*, §IV-C), context-switch
+//!   cost, bounded (watermark) vs unbounded queues, and per-send header
+//!   overhead. Constants are calibrated so the single-node NEPTUNE relay
+//!   reaches the paper's ~2 M packets/s (§VI) — see `profile.rs` for the
+//!   derivation.
+//! * **[`relay`]** — the three-stage message-relay pipeline of Fig. 1,
+//!   used by Fig. 2 (buffer sweep) and Fig. 7 (engine comparison).
+//! * **[`cluster`]** — N-node, K-job deployments for Fig. 5/6 (two-stage
+//!   all-to-all jobs) and Fig. 9/10 (the four-stage manufacturing job).
+
+pub mod cluster;
+pub mod ethernet;
+pub mod profile;
+pub mod relay;
+pub mod server;
+
+pub use cluster::{simulate_cluster, ClusterParams, ClusterResult};
+pub use ethernet::{frames_for_payload, wire_bytes, ETHERNET_OVERHEAD, MTU, TCP_IP_HEADER};
+pub use profile::{neptune_profile, storm_profile, EngineProfile};
+pub use relay::{simulate_relay, RelayParams, RelayResult};
+pub use server::Server;

@@ -1,0 +1,362 @@
+//! The three-stage message relay of Fig. 1, simulated.
+//!
+//! *"A three-stage stream processing job ... simulates a message relay
+//! where a stream processor in the second stage relays messages that it
+//! receives from the stream source at stage 1 to a stream processor at
+//! stage 3. The sender and receiver are deployed in the same Granules
+//! resource whereas the message relay was deployed in a different resource
+//! running on a separate physical machine."*
+//!
+//! Node 1 hosts the sender (stage A) and receiver (stage C), each on its
+//! own worker core; node 2 hosts the relay (stage B). Each *unit* (a batch
+//! for NEPTUNE, a tuple for Storm) flows A-cpu → node1-tx → node2-rx →
+//! B-cpu → node2-tx → node1-rx → C-cpu, with every hop an event on the
+//! corresponding [`Server`]. Distinct servers per stage let units pipeline:
+//! unit `b+1` serializes while unit `b` is in flight, exactly like the
+//! real engine's source pump running concurrently with the sink worker.
+//!
+//! Backpressure: with bounded queues, unit `b` may not leave the source
+//! before unit `b - W` completed (`W` in-flight units, the watermark
+//! budget). Without backpressure (Storm), the source free-runs at its own
+//! CPU speed and queues build at the relay — latency then grows with run
+//! length, which is exactly the Fig. 7 Storm behaviour.
+
+use crate::ethernet::transmit_seconds;
+use crate::profile::EngineProfile;
+use crate::server::Server;
+
+/// Relay experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayParams {
+    /// Engine cost model.
+    pub profile: EngineProfile,
+    /// Serialized message size in bytes.
+    pub msg_size: usize,
+    /// Application-level buffer capacity (bytes). Ignored by unbatched
+    /// engines.
+    pub buffer_bytes: usize,
+    /// Flush-timer bound on batch fill time, seconds.
+    pub flush_timer_s: f64,
+    /// Watermark budget in bytes (bounds in-flight data when the engine
+    /// has bounded queues).
+    pub watermark_bytes: usize,
+    /// Link bandwidth, bits/s (the paper's LAN: 1 Gbps).
+    pub bandwidth_bps: f64,
+    /// Virtual duration to simulate, seconds.
+    pub duration_s: f64,
+}
+
+impl RelayParams {
+    /// Paper-default parameters for the given engine and message size.
+    pub fn new(profile: EngineProfile, msg_size: usize) -> Self {
+        RelayParams {
+            profile,
+            msg_size,
+            buffer_bytes: 1 << 20, // the paper's 1 MB default
+            flush_timer_s: 0.010,
+            watermark_bytes: 8 << 20,
+            bandwidth_bps: 1e9,
+            duration_s: 2.0,
+        }
+    }
+}
+
+/// Relay experiment results.
+#[derive(Debug, Clone)]
+pub struct RelayResult {
+    /// Messages delivered to stage C per second.
+    pub throughput_msgs_per_s: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Application-level bandwidth on the node1→node2 link (serialized
+    /// payload incl. engine headers, excl. TCP/Ethernet framing), Gbps.
+    /// This matches the paper's app-measured "bandwidth usage" whose
+    /// ceiling at 1 MB buffers is 0.937 Gbps.
+    pub bandwidth_gbps: f64,
+    /// CPU utilization of node 1 (sender core + receiver core, averaged).
+    pub cpu_node1: f64,
+    /// CPU utilization of node 2 (relay core).
+    pub cpu_node2: f64,
+    /// Average packets per transfer unit (batching effectiveness).
+    pub packets_per_unit: f64,
+    /// Transfer units queued (arrived, unprocessed) at the relay at the
+    /// nominal end of the run — growth here is the no-backpressure
+    /// signature.
+    pub final_relay_backlog: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Simulate the relay pipeline.
+pub fn simulate_relay(params: RelayParams) -> RelayResult {
+    let p = params.profile;
+    assert!(params.msg_size > 0, "message size must be positive");
+    assert!(params.duration_s > 0.0);
+
+    // Unit size: how many packets travel together.
+    let n = if p.batched {
+        let by_buffer = (params.buffer_bytes / params.msg_size).max(1) as u64;
+        // The flush timer caps fill time: the source fills at its own CPU
+        // speed, so n * per_packet_send must fit in the timer.
+        let by_timer =
+            ((params.flush_timer_s * 1e6) / p.per_packet_send_us).max(1.0) as u64;
+        by_buffer.min(by_timer)
+    } else {
+        1
+    };
+    let unit_payload = p.unit_payload_bytes(n, params.msg_size);
+    let tx_time = transmit_seconds(unit_payload, params.bandwidth_bps);
+
+    // Per-unit CPU work in seconds.
+    let src_work = p.send_cpu_us(n) * 1e-6;
+    let relay_work = (p.recv_cpu_us(n) + p.send_cpu_us(n)) * 1e-6;
+    let sink_work = p.recv_cpu_us(n) * 1e-6;
+
+    // In-flight unit budget: bounded by the watermark *bytes* for large
+    // units and by the bounded sender IO queue *depth* for small ones (the
+    // engine's two flow-control points, §III-B4 — TCP watermarks plus the
+    // "shared bounded buffers at IO threads").
+    const IO_QUEUE_DEPTH: u64 = 32;
+    let window = if p.bounded_queues {
+        ((params.watermark_bytes / unit_payload.max(1)) as u64).clamp(2, IO_QUEUE_DEPTH)
+    } else {
+        u64::MAX
+    };
+
+    // One worker core per stage instance (sender and receiver share node 1
+    // but run on distinct cores, like the real engine's pump thread and
+    // sink worker).
+    let mut cpu_src = Server::new("node1-cpu-sender");
+    let mut cpu_sink = Server::new("node1-cpu-receiver");
+    let mut cpu_relay = Server::new("node2-cpu-relay");
+    let mut nic1_tx = Server::new("node1-tx");
+    let mut nic1_rx = Server::new("node1-rx");
+    let mut nic2_tx = Server::new("node2-tx");
+    let mut nic2_rx = Server::new("node2-rx");
+
+    let mut completions: Vec<f64> = Vec::new();
+    let mut relay_arrivals: Vec<f64> = Vec::new();
+    let mut relay_departures: Vec<f64> = Vec::new();
+    let mut lat_first: Vec<f64> = Vec::new(); // oldest packet in the unit
+    let mut lat_last: Vec<f64> = Vec::new(); // newest packet in the unit
+    let mut payload_bytes_total = 0u64;
+
+    let mut gen_cursor = 0.0f64; // source free to start the next unit
+    let mut unit_index = 0u64;
+    let max_units = 2_000_000u64; // hard cap against pathological params
+
+    loop {
+        // Backpressure gate.
+        let gate = if window != u64::MAX && unit_index >= window {
+            completions[(unit_index - window) as usize]
+        } else {
+            0.0
+        };
+        let t0 = gen_cursor.max(gate);
+        if t0 >= params.duration_s || unit_index >= max_units {
+            break;
+        }
+        // Source serializes the unit (fills the buffer).
+        let t1 = cpu_src.serve(t0, src_work);
+        gen_cursor = t1;
+        // node1 -> node2.
+        let t2 = nic1_tx.serve(t1, tx_time);
+        let t3 = nic2_rx.serve(t2, tx_time);
+        relay_arrivals.push(t3);
+        // Relay processes and re-emits.
+        let t4 = cpu_relay.serve(t3, relay_work);
+        relay_departures.push(t4);
+        // node2 -> node1.
+        let t5 = nic2_tx.serve(t4, tx_time);
+        let t6 = nic1_rx.serve(t5, tx_time);
+        // Receiver consumes.
+        let t7 = cpu_sink.serve(t6, sink_work);
+
+        completions.push(t7);
+        lat_first.push(t7 - t0);
+        lat_last.push(t7 - t1);
+        payload_bytes_total += unit_payload as u64;
+        unit_index += 1;
+    }
+
+    assert!(unit_index > 0, "simulated zero units; duration too small");
+    let horizon = completions.last().copied().expect("at least one unit");
+    let messages = unit_index * n;
+    let throughput = messages as f64 / horizon;
+
+    // Latency: packets within a unit are generated uniformly over
+    // [t0, t1]; mean latency of the unit = completion - midpoint.
+    let mut mean_acc = 0.0;
+    for i in 0..lat_first.len() {
+        mean_acc += (lat_first[i] + lat_last[i]) / 2.0;
+    }
+    let mean_latency = mean_acc / lat_first.len() as f64;
+    let mut worst: Vec<f64> = lat_first.clone();
+    worst.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p99 = worst[((worst.len() as f64 * 0.99) as usize).min(worst.len() - 1)];
+
+    // Backlog at the relay at the nominal end of the run (arrived but not
+    // yet processed at t = duration).
+    let arrived = relay_arrivals.iter().filter(|&&t| t <= params.duration_s).count() as u64;
+    let processed =
+        relay_departures.iter().filter(|&&t| t <= params.duration_s).count() as u64;
+    let backlog = arrived.saturating_sub(processed);
+
+    RelayResult {
+        throughput_msgs_per_s: throughput,
+        mean_latency_ms: mean_latency * 1e3,
+        p99_latency_ms: p99 * 1e3,
+        bandwidth_gbps: payload_bytes_total as f64 * 8.0 / horizon / 1e9,
+        cpu_node1: (cpu_src.busy_time() + cpu_sink.busy_time()) / (2.0 * horizon),
+        cpu_node2: cpu_relay.utilization(horizon),
+        packets_per_unit: n as f64,
+        final_relay_backlog: backlog,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{neptune_profile, neptune_unbatched_profile, storm_profile};
+
+    #[test]
+    fn neptune_small_messages_hit_paper_throughput() {
+        // The paper's headline: ~2M packets/s for the single-node relay.
+        let r = simulate_relay(RelayParams::new(neptune_profile(), 50));
+        assert!(
+            (1.5e6..3.0e6).contains(&r.throughput_msgs_per_s),
+            "throughput {:.2e} outside the ~2M regime",
+            r.throughput_msgs_per_s
+        );
+        // Backpressure keeps the relay backlog bounded by the watermark
+        // window.
+        assert!(r.final_relay_backlog < 16, "backlog {}", r.final_relay_backlog);
+    }
+
+    #[test]
+    fn neptune_large_messages_saturate_the_link() {
+        // >= 200 KB messages: the paper reports 0.937 Gbps of app-level
+        // bandwidth on the 1 Gbps link.
+        let r = simulate_relay(RelayParams::new(neptune_profile(), 200 * 1024));
+        assert!(
+            (0.90..0.96).contains(&r.bandwidth_gbps),
+            "bandwidth {} Gbps, expected ~0.937",
+            r.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn storm_is_slower_and_builds_backlog() {
+        let np = simulate_relay(RelayParams::new(neptune_profile(), 50));
+        let st = simulate_relay(RelayParams::new(storm_profile(), 50));
+        assert!(
+            np.throughput_msgs_per_s / st.throughput_msgs_per_s > 4.0,
+            "neptune {:.2e} vs storm {:.2e}",
+            np.throughput_msgs_per_s,
+            st.throughput_msgs_per_s
+        );
+        assert!(
+            st.final_relay_backlog > 1_000,
+            "no-backpressure must build a large backlog, got {}",
+            st.final_relay_backlog
+        );
+        assert!(
+            st.mean_latency_ms > 10.0 * np.mean_latency_ms,
+            "storm latency must explode: {} vs {}",
+            st.mean_latency_ms,
+            np.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_raise_throughput_and_latency() {
+        let mut small = RelayParams::new(neptune_profile(), 50);
+        small.buffer_bytes = 1024;
+        let mut large = RelayParams::new(neptune_profile(), 50);
+        large.buffer_bytes = 1 << 20;
+        let rs = simulate_relay(small);
+        let rl = simulate_relay(large);
+        assert!(
+            rl.throughput_msgs_per_s > rs.throughput_msgs_per_s * 1.5,
+            "1MB {:.2e} vs 1KB {:.2e}",
+            rl.throughput_msgs_per_s,
+            rs.throughput_msgs_per_s
+        );
+        assert!(
+            rl.mean_latency_ms > rs.mean_latency_ms,
+            "queueing delay grows with buffer size: {} vs {}",
+            rl.mean_latency_ms,
+            rs.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn unbatched_neptune_collapses() {
+        // Table I / Fig 2: without batching, per-message fixed costs and
+        // context switches dominate.
+        let b = simulate_relay(RelayParams::new(neptune_profile(), 50));
+        let u = simulate_relay(RelayParams::new(neptune_unbatched_profile(), 50));
+        assert!(
+            b.throughput_msgs_per_s / u.throughput_msgs_per_s > 10.0,
+            "batched {:.2e} vs unbatched {:.2e}",
+            b.throughput_msgs_per_s,
+            u.throughput_msgs_per_s
+        );
+        assert_eq!(u.packets_per_unit, 1.0);
+    }
+
+    #[test]
+    fn flush_timer_caps_batch_fill() {
+        let mut p = RelayParams::new(neptune_profile(), 50);
+        p.flush_timer_s = 0.001; // 1 ms
+        let r = simulate_relay(p);
+        // Fill time of a unit = n * 0.25us must be <= 1 ms -> n <= 4000.
+        assert!(r.packets_per_unit <= 4000.0);
+    }
+
+    #[test]
+    fn latency_has_sane_floor_and_ordering() {
+        let r = simulate_relay(RelayParams::new(neptune_profile(), 400));
+        assert!(r.mean_latency_ms > 0.0);
+        assert!(r.p99_latency_ms >= r.mean_latency_ms);
+        // With the high-throughput 1 MB configuration the paper sees tens
+        // of ms (p99 < 87.8 ms at 10 KB). Sanity: below 200 ms here.
+        assert!(r.p99_latency_ms < 200.0, "p99 {}", r.p99_latency_ms);
+    }
+
+    #[test]
+    fn midrange_buffer_keeps_latency_under_10ms() {
+        // Fig. 2's observation: "with a lower, middle-range buffer sizes
+        // like 16 KB, the observed latency is less than 10 ms for all
+        // message sizes."
+        for &size in &[50usize, 200, 400, 1024, 10 * 1024] {
+            let mut p = RelayParams::new(neptune_profile(), size);
+            p.buffer_bytes = 16 * 1024;
+            let r = simulate_relay(p);
+            assert!(
+                r.mean_latency_ms < 10.0,
+                "16KB buffer, {size}B msgs: mean latency {} ms",
+                r.mean_latency_ms
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_utilization_reported() {
+        let r = simulate_relay(RelayParams::new(neptune_profile(), 50));
+        // The relay node is the CPU bottleneck at small messages.
+        assert!(r.cpu_node2 > 0.8, "relay cpu {}", r.cpu_node2);
+        assert!(r.cpu_node1 > 0.0 && r.cpu_node1 <= 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_relay(RelayParams::new(neptune_profile(), 200));
+        let b = simulate_relay(RelayParams::new(neptune_profile(), 200));
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.throughput_msgs_per_s, b.throughput_msgs_per_s);
+    }
+}

@@ -1,0 +1,160 @@
+//! One-way analysis of variance (ANOVA).
+//!
+//! Tukey's HSD (used by the paper's compression study, §III-B5) is a
+//! post-hoc procedure on top of a one-way ANOVA: the HSD statistic uses the
+//! ANOVA's pooled within-group mean square error and its error degrees of
+//! freedom. This module computes the full ANOVA table.
+
+use crate::descriptive::Summary;
+use crate::special::regularized_incomplete_beta;
+
+/// The classic one-way ANOVA decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct AnovaResult {
+    /// Number of groups `k`.
+    pub groups: usize,
+    /// Total number of observations `N`.
+    pub total_n: usize,
+    /// Between-group sum of squares.
+    pub ss_between: f64,
+    /// Within-group (error) sum of squares.
+    pub ss_within: f64,
+    /// Between-group degrees of freedom (`k - 1`).
+    pub df_between: f64,
+    /// Within-group degrees of freedom (`N - k`).
+    pub df_within: f64,
+    /// Mean square between (`ss_between / df_between`).
+    pub ms_between: f64,
+    /// Mean square within / pooled error variance (`ss_within / df_within`).
+    pub ms_within: f64,
+    /// F statistic.
+    pub f: f64,
+    /// p-value of the F statistic (upper tail).
+    pub p_value: f64,
+}
+
+/// Upper-tail probability of the F distribution via the incomplete beta
+/// function: `P(F > f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2)`.
+pub fn f_sf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0;
+    }
+    regularized_incomplete_beta(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * f)).clamp(0.0, 1.0)
+}
+
+/// Perform a one-way ANOVA over `groups`, each a sample of observations.
+///
+/// Panics unless there are at least two groups, every group has at least
+/// one observation, and the error degrees of freedom are positive.
+pub fn one_way_anova(groups: &[&[f64]]) -> AnovaResult {
+    assert!(groups.len() >= 2, "ANOVA needs at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "ANOVA groups must be nonempty");
+    let k = groups.len();
+    let total_n: usize = groups.iter().map(|g| g.len()).sum();
+    assert!(total_n > k, "ANOVA needs N > k for positive error degrees of freedom");
+
+    let grand_mean =
+        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / total_n as f64;
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let s = Summary::from_slice(g);
+        ss_between += g.len() as f64 * (s.mean - grand_mean).powi(2);
+        ss_within += s.variance * (g.len() as f64 - 1.0);
+    }
+    let df_between = (k - 1) as f64;
+    let df_within = (total_n - k) as f64;
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+    let f = if ms_within > 0.0 { ms_between / ms_within } else { f64::INFINITY };
+    let p_value = if ms_within > 0.0 { f_sf(f, df_between, df_within) } else { 0.0 };
+    AnovaResult {
+        groups: k,
+        total_n,
+        ss_between,
+        ss_within,
+        df_between,
+        df_within,
+        ms_between,
+        ms_within,
+        f,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anova_matches_hand_computation() {
+        // Classic textbook example with equal group sizes.
+        let g1 = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let g2 = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let g3 = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]);
+        assert_eq!(r.groups, 3);
+        assert_eq!(r.total_n, 18);
+        // Hand computation: grand mean = 8, SSB = 84, SSW = 68,
+        // F = (84/2)/(68/15) = 9.264...
+        assert!((r.ss_between - 84.0).abs() < 1e-9, "ssb {}", r.ss_between);
+        assert!((r.ss_within - 68.0).abs() < 1e-9, "ssw {}", r.ss_within);
+        assert!((r.f - 9.2647).abs() < 1e-3, "f {}", r.f);
+        // R: p = 0.00238
+        assert!((r.p_value - 0.00238).abs() < 2e-4, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn identical_groups_give_f_near_zero() {
+        let g = [5.0, 5.2, 4.8, 5.1, 4.9];
+        let r = one_way_anova(&[&g, &g, &g]);
+        assert!(r.f < 1e-20);
+        assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn separated_groups_are_significant() {
+        let g1 = [1.0, 1.1, 0.9, 1.0];
+        let g2 = [5.0, 5.1, 4.9, 5.0];
+        let g3 = [9.0, 9.1, 8.9, 9.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn f_sf_reference_points() {
+        // F table: P(F(2,15) > 3.68) ≈ 0.05, P(F(1,10) > 4.96) ≈ 0.05.
+        assert!((f_sf(3.68, 2.0, 15.0) - 0.05).abs() < 2e-3);
+        assert!((f_sf(4.96, 1.0, 10.0) - 0.05).abs() < 2e-3);
+        assert_eq!(f_sf(0.0, 3.0, 7.0), 1.0);
+    }
+
+    #[test]
+    fn unbalanced_groups_supported() {
+        let g1 = [2.0, 3.0];
+        let g2 = [2.5, 3.5, 2.8, 3.1, 2.9];
+        let g3 = [10.0, 11.0, 9.5];
+        let r = one_way_anova(&[&g1, &g2, &g3]);
+        assert_eq!(r.total_n, 10);
+        assert!(r.p_value < 0.001);
+        // Sum of squares decomposition must match the total SS.
+        let all: Vec<f64> =
+            [&g1[..], &g2[..], &g3[..]].iter().flat_map(|g| g.iter().copied()).collect();
+        let s = Summary::from_slice(&all);
+        let ss_total = s.variance * (s.n as f64 - 1.0);
+        assert!((r.ss_between + r.ss_within - ss_total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two groups")]
+    fn rejects_single_group() {
+        one_way_anova(&[&[1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn rejects_empty_group() {
+        one_way_anova(&[&[1.0, 2.0], &[]]);
+    }
+}

@@ -1,0 +1,402 @@
+//! Descriptive statistics: batch summaries, single-pass online accumulation
+//! (Welford), percentiles, and fixed-bin histograms.
+//!
+//! Every number reported in the paper's tables is a mean ± standard
+//! deviation over repeated windows (e.g. Table I reports context switches
+//! per 5 s as mean and std-dev); the latency claims are percentiles (p99 <
+//! 87.8 ms). These helpers are shared by the benchmark harness and by the
+//! runtime's metrics module.
+
+/// Batch summary of a sample: count, mean, variance (sample, n-1), etc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (divides by n-1; 0 when n < 2).
+    pub variance: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary over a slice. Empty slices yield `n = 0` and NaN
+    /// extrema.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let n = data.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, variance: 0.0, min: f64::NAN, max: f64::NAN };
+        }
+        let mut acc = OnlineStats::new();
+        for &x in data {
+            acc.push(x);
+        }
+        Summary {
+            n,
+            mean: acc.mean(),
+            variance: acc.sample_variance(),
+            min: acc.min(),
+            max: acc.max(),
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean (`s / sqrt(n)`; 0 when n == 0).
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Single-pass accumulator using Welford's algorithm — numerically stable
+/// mean/variance without storing the sample. Used by the runtime's metric
+/// counters where retaining every observation would defeat the paper's
+/// frugal-memory goals.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford / Chan).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Percentile with linear interpolation between closest ranks (the "type 7"
+/// estimator used by R and NumPy). `p` is in `[0, 100]`.
+///
+/// Sorts a copy of the data; for repeated queries over the same sample sort
+/// once and use [`percentile_of_sorted`].
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&v, p)
+}
+
+/// Percentile over data that is already sorted ascending.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100], got {p}");
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let rank = p / 100.0 * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = rank - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        }
+    }
+}
+
+/// Fixed-width-bin histogram over a closed range, with under/overflow bins.
+///
+/// Used by the latency harness: end-to-end latencies are accumulated into a
+/// histogram whose quantiles feed the paper's p99 claims without retaining
+/// millions of raw samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be nonempty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against floating point landing exactly on `hi`.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) assuming uniform density within
+    /// each bin. Returns `lo`/`hi` boundary values when the quantile falls
+    /// in the underflow/overflow mass.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = q * self.count as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - seen) / c as f64;
+                return self.lo + (i as f64 + frac) * width;
+            }
+            seen = next;
+        }
+        self.hi
+    }
+
+    /// Iterate over `(bin_lower_edge, count)` pairs.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins.iter().enumerate().map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic sample is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::from_slice(&[]);
+        assert_eq!(e.n, 0);
+        assert!(e.min.is_nan());
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data = [1.0, -2.5, 3.7, 0.0, 9.9, -8.1, 4.4];
+        let mut o = OnlineStats::new();
+        for &x in &data {
+            o.push(x);
+        }
+        let s = Summary::from_slice(&data);
+        assert!((o.mean() - s.mean).abs() < 1e-12);
+        assert!((o.sample_variance() - s.variance).abs() < 1e-12);
+        assert_eq!(o.min(), s.min);
+        assert_eq!(o.max(), s.max);
+    }
+
+    #[test]
+    fn online_merge_equals_sequential() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0];
+        let mut left = OnlineStats::new();
+        for &x in &a {
+            left.push(x);
+        }
+        let mut right = OnlineStats::new();
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut all = OnlineStats::new();
+        for &x in a.iter().chain(b.iter()) {
+            all.push(x);
+        }
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        a.push(7.0);
+        let before = (a.mean(), a.sample_variance(), a.count());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.mean(), a.sample_variance(), a.count()));
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&data, 0.0), 15.0);
+        assert_eq!(percentile(&data, 100.0), 50.0);
+        assert_eq!(percentile(&data, 50.0), 35.0);
+        // Type-7: rank = 0.25 * 4 = 1 exactly -> 20.0
+        assert_eq!(percentile(&data, 25.0), 20.0);
+        // rank = 0.4 * 4 = 1.6 -> 20 + 0.6*(35-20) = 29
+        assert!((percentile(&data, 40.0) - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_and_empty() {
+        assert_eq!(percentile(&[42.0], 73.0), 42.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn histogram_counts_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(10.0); // at hi -> overflow
+        h.record(99.0);
+        assert_eq!(h.count(), 13);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        let bins: Vec<_> = h.iter_bins().collect();
+        assert_eq!(bins.len(), 10);
+        assert!(bins.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn histogram_quantile_tracks_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..10_000 {
+            h.record((i % 100) as f64 + 0.5);
+        }
+        let median = h.quantile(0.5);
+        assert!((median - 50.0).abs() < 1.5, "median {median}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 99.0).abs() < 1.5, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_quantile_empty_is_nan() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,49 @@
+//! # neptune-stats
+//!
+//! Statistics substrate for the NEPTUNE reproduction.
+//!
+//! The NEPTUNE paper validates several of its experimental claims with
+//! classical statistics:
+//!
+//! * the compression study (§III-B5) uses **Tukey's HSD** multiple
+//!   comparison procedure over throughput/latency/bandwidth samples,
+//! * the cluster-wide resource consumption study (Fig. 10) uses **one- and
+//!   two-tailed t-tests** over per-node CPU and memory utilization,
+//! * every reported number is a mean with a standard deviation (Table I).
+//!
+//! This crate implements those procedures from scratch — descriptive
+//! statistics, Student/Welch t-tests with exact p-values via the regularized
+//! incomplete beta function, one-way ANOVA, and the Tukey HSD procedure with
+//! a studentized-range CDF evaluated by numerical integration — so the
+//! benchmark harness can print the same statistical verdicts the paper
+//! reports.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use neptune_stats::{Summary, welch_t_test, Tail};
+//!
+//! let a = [10.1, 9.8, 10.3, 10.0, 9.9];
+//! let b = [12.0, 12.2, 11.9, 12.1, 12.3];
+//! let t = welch_t_test(&a, &b, Tail::TwoSided);
+//! assert!(t.p_value < 0.001);
+//! let s = Summary::from_slice(&a);
+//! assert!((s.mean - 10.02).abs() < 1e-9);
+//! ```
+
+pub mod anova;
+pub mod descriptive;
+pub mod rate;
+pub mod special;
+pub mod ttest;
+pub mod tukey;
+
+pub use anova::{one_way_anova, AnovaResult};
+pub use descriptive::{percentile, Histogram, OnlineStats, Summary};
+pub use rate::{Ewma, RateMeter};
+pub use special::{ln_gamma, regularized_incomplete_beta, student_t_cdf};
+pub use ttest::{one_sample_t_test, student_t_test, welch_t_test, TTestResult, Tail};
+pub use tukey::{tukey_hsd, PairwiseComparison, TukeyResult};
+
+/// Conventional significance level used throughout the paper's analysis.
+pub const ALPHA: f64 = 0.05;

@@ -1,0 +1,185 @@
+//! Rate estimation: sliding-window throughput meters and exponential
+//! moving averages.
+//!
+//! Throughput is the paper's primary metric; these meters turn raw event
+//! counts into the rates the harness reports. The sliding-window meter
+//! gives the exact mean rate over the trailing window (what the paper's
+//! per-interval plots show); the EWMA smooths jittery series like the
+//! Fig. 4 staircase samples.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Sliding-window event-rate meter over wall-clock time.
+#[derive(Debug)]
+pub struct RateMeter {
+    window: Duration,
+    /// (timestamp, count) increments inside the window.
+    events: VecDeque<(Instant, u64)>,
+    total_in_window: u64,
+}
+
+impl RateMeter {
+    /// Meter over the trailing `window`.
+    pub fn new(window: Duration) -> Self {
+        assert!(!window.is_zero(), "rate window must be non-zero");
+        RateMeter { window, events: VecDeque::new(), total_in_window: 0 }
+    }
+
+    /// Record `count` events now.
+    pub fn record(&mut self, count: u64) {
+        self.record_at(Instant::now(), count);
+    }
+
+    /// Record `count` events at an explicit instant (testing, replay).
+    pub fn record_at(&mut self, at: Instant, count: u64) {
+        self.events.push_back((at, count));
+        self.total_in_window += count;
+        self.evict(at);
+    }
+
+    fn evict(&mut self, now: Instant) {
+        while let Some(&(t, c)) = self.events.front() {
+            if now.duration_since(t) > self.window {
+                self.events.pop_front();
+                self.total_in_window -= c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the trailing window, as of `now`.
+    pub fn rate_at(&mut self, now: Instant) -> f64 {
+        self.evict(now);
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.total_in_window as f64 / self.window.as_secs_f64()
+    }
+
+    /// Events per second over the trailing window.
+    pub fn rate(&mut self) -> f64 {
+        self.rate_at(Instant::now())
+    }
+
+    /// Events currently inside the window.
+    pub fn count_in_window(&self) -> u64 {
+        self.total_in_window
+    }
+}
+
+/// Exponentially weighted moving average with a configurable smoothing
+/// factor `alpha` in `(0, 1]` (1 = no smoothing).
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// EWMA with smoothing factor `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in one observation; returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average (`None` before the first observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_measures_its_rate() {
+        let mut meter = RateMeter::new(Duration::from_secs(1));
+        let t0 = Instant::now();
+        // 1000 events spread over exactly one window.
+        for i in 0..1000 {
+            meter.record_at(t0 + Duration::from_micros(i * 1000), 1);
+        }
+        let rate = meter.rate_at(t0 + Duration::from_millis(999));
+        assert!((rate - 1000.0).abs() < 50.0, "rate {rate}");
+    }
+
+    #[test]
+    fn old_events_leave_the_window() {
+        let mut meter = RateMeter::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        meter.record_at(t0, 500);
+        assert_eq!(meter.count_in_window(), 500);
+        // 200 ms later the burst has aged out.
+        let rate = meter.rate_at(t0 + Duration::from_millis(200));
+        assert_eq!(rate, 0.0);
+        assert_eq!(meter.count_in_window(), 0);
+    }
+
+    #[test]
+    fn batch_counts_accumulate() {
+        let mut meter = RateMeter::new(Duration::from_secs(1));
+        let t0 = Instant::now();
+        meter.record_at(t0, 300);
+        meter.record_at(t0 + Duration::from_millis(10), 700);
+        let rate = meter.rate_at(t0 + Duration::from_millis(20));
+        assert!((rate - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        RateMeter::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        assert!(e.value().is_none());
+        for _ in 0..50 {
+            e.update(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_observation_seeds() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.update(42.0), 42.0);
+    }
+
+    #[test]
+    fn ewma_smooths_steps() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        let after_one = e.update(100.0);
+        assert_eq!(after_one, 50.0);
+        let after_two = e.update(100.0);
+        assert_eq!(after_two, 75.0);
+        e.reset();
+        assert!(e.value().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Special functions needed by the statistical tests.
+//!
+//! Everything here is implemented from scratch: the Lanczos approximation of
+//! `ln Γ(x)`, the continued-fraction evaluation of the regularized
+//! incomplete beta function `I_x(a, b)` (Lentz's method, as in *Numerical
+//! Recipes*), the Student-t CDF expressed through `I_x`, and the standard
+//! normal CDF via a rational-polynomial erf approximation.
+
+/// Natural log of the gamma function, via the Lanczos approximation (g=7,
+/// n=9 coefficients). Accurate to ~1e-13 for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `0 <= x <= 1`,
+/// `a, b > 0`. Continued fraction per Numerical Recipes §6.4.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction directly when x < (a+1)/(a+b+2), otherwise
+    // use the symmetry relation for faster convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified Lentz's method for the incomplete-beta continued fraction.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+///
+/// `P(T <= t)` computed through the incomplete beta function:
+/// for t >= 0, `P = 1 - I_{df/(df+t^2)}(df/2, 1/2) / 2`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p_tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p_tail
+    } else {
+        p_tail
+    }
+}
+
+/// Standard normal CDF `Φ(z)` via the Abramowitz & Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7), refined by one Newton step on the
+/// complementary error function for ~1e-10 accuracy in the central region.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Probability density of the standard normal distribution.
+pub fn standard_normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// CDF of the studentized range distribution `q(k, df)` evaluated by
+/// numerical integration (Gauss–Legendre over the outer integral, with the
+/// inner integral expressed through Φ). This is the distribution underlying
+/// Tukey's HSD procedure.
+///
+/// The implementation follows the classical double-integral formulation:
+///
+/// ```text
+/// P(Q <= q) = ∫ f_s(s) [ k ∫ φ(z) (Φ(z) - Φ(z - q·s))^{k-1} dz ] ds
+/// ```
+///
+/// where `f_s` is the density of `S = sqrt(χ²_df / df)`. For `df = ∞` the
+/// outer integral collapses to the inner one at `s = 1`.
+pub fn studentized_range_cdf(q: f64, k: usize, df: f64) -> f64 {
+    assert!(k >= 2, "studentized range needs at least 2 groups");
+    if q <= 0.0 {
+        return 0.0;
+    }
+    if df.is_infinite() || df > 5_000.0 {
+        return srange_inner(q, k);
+    }
+    // Density of S = sqrt(V/df), V ~ chi^2_df:
+    //   f(s) = 2 (df/2)^{df/2} / Γ(df/2) * s^{df-1} e^{-df s^2 / 2}
+    let half_df = df / 2.0;
+    let ln_const = (2.0f64).ln() + half_df * half_df.ln() - ln_gamma(half_df);
+    // Integrate s over (0, s_max). The density is concentrated near 1 with
+    // std ~ 1/sqrt(2 df); 0..=4 covers all practical df >= 1.
+    let (lo, hi) = (1e-8, 4.0);
+    let n = 160usize;
+    let h = (hi - lo) / n as f64;
+    let mut total = 0.0;
+    // Composite Simpson's rule.
+    for i in 0..=n {
+        let s = lo + i as f64 * h;
+        let w = if i == 0 || i == n {
+            1.0
+        } else if i % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        let ln_density = ln_const + (df - 1.0) * s.ln() - half_df * s * s;
+        let fs = ln_density.exp();
+        if fs > 0.0 {
+            total += w * fs * srange_inner(q * s, k);
+        }
+    }
+    (total * h / 3.0).clamp(0.0, 1.0)
+}
+
+/// Inner integral of the studentized range CDF:
+/// `k ∫ φ(z) (Φ(z) - Φ(z - w))^{k-1} dz`.
+fn srange_inner(w: f64, k: usize) -> f64 {
+    // Integrand decays like φ(z); [-8, 8+w_cap] covers the mass.
+    let lo = -8.0f64;
+    let hi = 8.0f64;
+    let n = 256usize;
+    let h = (hi - lo) / n as f64;
+    let mut total = 0.0;
+    for i in 0..=n {
+        let z = lo + i as f64 * h;
+        let weight = if i == 0 || i == n {
+            1.0
+        } else if i % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        let inner = standard_normal_cdf(z) - standard_normal_cdf(z - w);
+        total += weight * standard_normal_pdf(z) * inner.powi(k as i32 - 1);
+    }
+    (k as f64 * total * h / 3.0).clamp(0.0, 1.0)
+}
+
+/// Upper-tail p-value for an observed studentized range statistic.
+pub fn studentized_range_sf(q: f64, k: usize, df: f64) -> f64 {
+    (1.0 - studentized_range_cdf(q, k, df)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), 24.0f64.ln(), 1e-10);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // ln Γ(x+1) = ln x + ln Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 10.9, 57.0] {
+            assert_close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn incomplete_beta_boundary_values() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 3.0, 0.9)] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert_close(lhs, rhs, 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x (Beta(1,1) is uniform).
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.99] {
+            assert_close(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_symmetry_and_median() {
+        assert_close(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+        for &(t, df) in &[(1.3, 4.0), (2.7, 11.0), (0.4, 1.0)] {
+            let upper = student_t_cdf(t, df);
+            let lower = student_t_cdf(-t, df);
+            assert_close(upper + lower, 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_cdf_known_quantiles() {
+        // Classical t-table: P(T_10 <= 2.228) = 0.975, P(T_1 <= 6.314) = 0.95.
+        assert_close(student_t_cdf(2.228, 10.0), 0.975, 5e-4);
+        assert_close(student_t_cdf(6.314, 1.0), 0.95, 5e-4);
+        assert_close(student_t_cdf(1.96, 1e9), 0.975, 1e-3); // approaches normal
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert_close(standard_normal_cdf(0.0), 0.5, 1e-9);
+        assert_close(standard_normal_cdf(1.959_963_985), 0.975, 1e-6);
+        assert_close(standard_normal_cdf(-1.959_963_985), 0.025, 1e-6);
+        assert_close(standard_normal_cdf(3.0), 0.998_650_1, 1e-6);
+    }
+
+    #[test]
+    fn erf_odd_function() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert_close(erf(-x), -erf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn studentized_range_matches_table_values() {
+        // Critical values from standard q-tables: q_{0.05}(k=3, df=10) = 3.88,
+        // q_{0.05}(k=5, df=20) = 4.23, q_{0.05}(k=2, df=inf) = 2.77.
+        assert_close(studentized_range_cdf(3.88, 3, 10.0), 0.95, 0.01);
+        assert_close(studentized_range_cdf(4.23, 5, 20.0), 0.95, 0.01);
+        assert_close(studentized_range_cdf(2.77, 2, f64::INFINITY), 0.95, 0.01);
+    }
+
+    #[test]
+    fn studentized_range_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in 1..40 {
+            let q = i as f64 * 0.25;
+            let p = studentized_range_cdf(q, 4, 12.0);
+            assert!(p >= prev - 1e-12, "CDF must be nondecreasing");
+            prev = p;
+        }
+        assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn studentized_range_sf_complements_cdf() {
+        let q = 3.1;
+        let cdf = studentized_range_cdf(q, 3, 15.0);
+        let sf = studentized_range_sf(q, 3, 15.0);
+        assert_close(cdf + sf, 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Student's and Welch's t-tests with exact p-values.
+//!
+//! Fig. 10 of the paper compares cluster-wide CPU consumption of NEPTUNE and
+//! Storm with a *one-tailed* t-test (p < 0.0001) and memory consumption with
+//! a *two-tailed* t-test (p = 0.0863). The benchmark harness reruns the same
+//! procedure over the simulated cluster's per-node samples.
+
+use crate::descriptive::Summary;
+use crate::special::student_t_cdf;
+
+/// Which tail(s) of the t distribution contribute to the p-value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// H1: mean(a) < mean(b) (or mean < mu0 for one-sample).
+    Less,
+    /// H1: mean(a) > mean(b) (or mean > mu0 for one-sample).
+    Greater,
+    /// H1: means differ.
+    TwoSided,
+}
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (possibly fractional for Welch).
+    pub df: f64,
+    /// The p-value under the requested alternative.
+    pub p_value: f64,
+    /// Difference of means `mean(a) - mean(b)` (or `mean - mu0`).
+    pub mean_difference: f64,
+    /// Which alternative was tested.
+    pub tail: Tail,
+}
+
+impl TTestResult {
+    /// True when the p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+fn p_from_t(t: f64, df: f64, tail: Tail) -> f64 {
+    match tail {
+        Tail::Less => student_t_cdf(t, df),
+        Tail::Greater => 1.0 - student_t_cdf(t, df),
+        Tail::TwoSided => 2.0 * (1.0 - student_t_cdf(t.abs(), df)),
+    }
+    .clamp(0.0, 1.0)
+}
+
+/// Welch's unequal-variance t-test between two independent samples.
+///
+/// Panics if either sample has fewer than two observations or both have
+/// zero variance (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64], tail: Tail) -> TTestResult {
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    assert!(sa.n >= 2 && sb.n >= 2, "welch_t_test needs >= 2 observations per group");
+    let va_n = sa.variance / sa.n as f64;
+    let vb_n = sb.variance / sb.n as f64;
+    let se2 = va_n + vb_n;
+    assert!(se2 > 0.0, "both samples have zero variance; t statistic undefined");
+    let t = (sa.mean - sb.mean) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / (va_n * va_n / (sa.n as f64 - 1.0) + vb_n * vb_n / (sb.n as f64 - 1.0));
+    TTestResult { t, df, p_value: p_from_t(t, df, tail), mean_difference: sa.mean - sb.mean, tail }
+}
+
+/// Student's pooled-variance t-test between two independent samples
+/// (assumes equal variances).
+pub fn student_t_test(a: &[f64], b: &[f64], tail: Tail) -> TTestResult {
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    assert!(sa.n >= 2 && sb.n >= 2, "student_t_test needs >= 2 observations per group");
+    let df = (sa.n + sb.n - 2) as f64;
+    let pooled =
+        ((sa.n as f64 - 1.0) * sa.variance + (sb.n as f64 - 1.0) * sb.variance) / df;
+    assert!(pooled > 0.0, "pooled variance is zero; t statistic undefined");
+    let se = (pooled * (1.0 / sa.n as f64 + 1.0 / sb.n as f64)).sqrt();
+    let t = (sa.mean - sb.mean) / se;
+    TTestResult { t, df, p_value: p_from_t(t, df, tail), mean_difference: sa.mean - sb.mean, tail }
+}
+
+/// One-sample t-test of `mean(sample) == mu0`.
+pub fn one_sample_t_test(sample: &[f64], mu0: f64, tail: Tail) -> TTestResult {
+    let s = Summary::from_slice(sample);
+    assert!(s.n >= 2, "one_sample_t_test needs >= 2 observations");
+    assert!(s.variance > 0.0, "sample has zero variance; t statistic undefined");
+    let df = (s.n - 1) as f64;
+    let t = (s.mean - mu0) / (s.variance / s.n as f64).sqrt();
+    TTestResult { t, df, p_value: p_from_t(t, df, tail), mean_difference: s.mean - mu0, tail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values computed with R's t.test for the fixed samples below.
+    const A: [f64; 6] = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+    const B: [f64; 6] = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+
+    #[test]
+    fn welch_matches_r_reference() {
+        let r = welch_t_test(&A, &B, Tail::TwoSided);
+        // R: t = 1.959, df = 7.03, p-value = 0.0907
+        assert!((r.t - 1.959).abs() < 0.01, "t = {}", r.t);
+        assert!((r.df - 7.03).abs() < 0.05, "df = {}", r.df);
+        assert!((r.p_value - 0.0907).abs() < 0.003, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn student_matches_r_reference() {
+        let r = student_t_test(&A, &B, Tail::TwoSided);
+        // R: t = 1.959, df = 10, p-value = 0.0786
+        assert!((r.t - 1.959).abs() < 0.01);
+        assert_eq!(r.df, 10.0);
+        assert!((r.p_value - 0.0786).abs() < 0.003, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn one_tailed_halves_two_tailed_for_positive_t() {
+        let two = welch_t_test(&A, &B, Tail::TwoSided);
+        let one = welch_t_test(&A, &B, Tail::Greater);
+        assert!((one.p_value * 2.0 - two.p_value).abs() < 1e-10);
+        let less = welch_t_test(&A, &B, Tail::Less);
+        assert!((less.p_value + one.p_value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clearly_separated_groups_are_significant() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let r = welch_t_test(&a, &b, Tail::TwoSided);
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant_at(0.05));
+        assert!(r.mean_difference < 0.0);
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a = [3.0, 3.1, 2.9, 3.05, 2.95, 3.02];
+        let b = [3.01, 3.09, 2.91, 3.04, 2.96, 3.0];
+        let r = welch_t_test(&a, &b, Tail::TwoSided);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn one_sample_against_true_mean() {
+        let sample = [9.9, 10.1, 10.0, 9.95, 10.05, 10.02, 9.98];
+        let r = one_sample_t_test(&sample, 10.0, Tail::TwoSided);
+        assert!(r.p_value > 0.5);
+        let r2 = one_sample_t_test(&sample, 9.0, Tail::Greater);
+        assert!(r2.p_value < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 observations")]
+    fn rejects_tiny_samples() {
+        welch_t_test(&[1.0], &[2.0, 3.0], Tail::TwoSided);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero variance")]
+    fn rejects_degenerate_variance() {
+        welch_t_test(&[2.0, 2.0, 2.0], &[2.0, 2.0, 2.0], Tail::TwoSided);
+    }
+}

@@ -1,0 +1,184 @@
+//! Tukey's Honest Significant Difference (HSD) multiple-comparison
+//! procedure.
+//!
+//! The compression study in §III-B5 of the paper reports: *"The results were
+//! statistically validated using a Tukey's HSD multiple comparison
+//! procedure. There is a clear improvement in performance when the
+//! compression is completely disabled for random data (p-values for
+//! individual comparisons < 0.0001) whereas there is no strong evidence to
+//! support any negative or positive impact of the compression for the sensor
+//! readings dataset (p-values for individual comparisons > 0.1561)."*
+//!
+//! [`tukey_hsd`] runs the same procedure: a one-way ANOVA to obtain the
+//! pooled error variance, then a studentized-range p-value for every pair of
+//! groups (with the Tukey–Kramer adjustment for unbalanced designs).
+
+use crate::anova::{one_way_anova, AnovaResult};
+use crate::descriptive::Summary;
+use crate::special::studentized_range_sf;
+
+/// One pairwise comparison from the HSD procedure.
+#[derive(Debug, Clone)]
+pub struct PairwiseComparison {
+    /// Index of the first group.
+    pub group_a: usize,
+    /// Index of the second group.
+    pub group_b: usize,
+    /// `mean(a) - mean(b)`.
+    pub mean_difference: f64,
+    /// The studentized-range statistic for this pair.
+    pub q: f64,
+    /// Adjusted p-value from the studentized range distribution.
+    pub p_value: f64,
+}
+
+impl PairwiseComparison {
+    /// True when the adjusted p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Full result of Tukey's HSD.
+#[derive(Debug, Clone)]
+pub struct TukeyResult {
+    /// The underlying one-way ANOVA.
+    pub anova: AnovaResult,
+    /// Per-group means, in input order.
+    pub group_means: Vec<f64>,
+    /// All `k(k-1)/2` pairwise comparisons.
+    pub comparisons: Vec<PairwiseComparison>,
+}
+
+impl TukeyResult {
+    /// Comparisons whose adjusted p-value is below `alpha`.
+    pub fn significant_pairs(&self, alpha: f64) -> Vec<&PairwiseComparison> {
+        self.comparisons.iter().filter(|c| c.significant_at(alpha)).collect()
+    }
+
+    /// The smallest adjusted p-value across all pairs.
+    pub fn min_p_value(&self) -> f64 {
+        self.comparisons.iter().map(|c| c.p_value).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest adjusted p-value across all pairs.
+    pub fn max_p_value(&self) -> f64 {
+        self.comparisons.iter().map(|c| c.p_value).fold(0.0, f64::max)
+    }
+}
+
+/// Run Tukey's HSD over `groups` (each a sample of observations).
+///
+/// Uses the Tukey–Kramer standard error `sqrt(MSE/2 · (1/n_a + 1/n_b))` so
+/// unbalanced group sizes are handled correctly.
+pub fn tukey_hsd(groups: &[&[f64]]) -> TukeyResult {
+    let anova = one_way_anova(groups);
+    let k = groups.len();
+    let means: Vec<f64> = groups.iter().map(|g| Summary::from_slice(g).mean).collect();
+    let mut comparisons = Vec::with_capacity(k * (k - 1) / 2);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let na = groups[a].len() as f64;
+            let nb = groups[b].len() as f64;
+            let se = (anova.ms_within / 2.0 * (1.0 / na + 1.0 / nb)).sqrt();
+            let diff = means[a] - means[b];
+            let q = if se > 0.0 { diff.abs() / se } else { f64::INFINITY };
+            let p_value = if se > 0.0 {
+                studentized_range_sf(q, k, anova.df_within)
+            } else if diff.abs() > 0.0 {
+                0.0
+            } else {
+                1.0
+            };
+            comparisons.push(PairwiseComparison {
+                group_a: a,
+                group_b: b,
+                mean_difference: diff,
+                q,
+                p_value,
+            });
+        }
+    }
+    TukeyResult { anova, group_means: means, comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_count_is_k_choose_2() {
+        let g1 = [1.0, 2.0, 3.0];
+        let g2 = [2.0, 3.0, 4.0];
+        let g3 = [3.0, 4.0, 5.0];
+        let g4 = [4.0, 5.0, 6.0];
+        let r = tukey_hsd(&[&g1, &g2, &g3, &g4]);
+        assert_eq!(r.comparisons.len(), 6);
+        assert_eq!(r.group_means.len(), 4);
+    }
+
+    #[test]
+    fn well_separated_groups_all_significant() {
+        let g1 = [1.0, 1.1, 0.9, 1.0, 1.05];
+        let g2 = [5.0, 5.1, 4.9, 5.0, 5.05];
+        let g3 = [9.0, 9.1, 8.9, 9.0, 9.05];
+        let r = tukey_hsd(&[&g1, &g2, &g3]);
+        assert_eq!(r.significant_pairs(0.05).len(), 3);
+        assert!(r.max_p_value() < 1e-4);
+    }
+
+    #[test]
+    fn overlapping_groups_not_significant() {
+        let g1 = [3.0, 3.4, 2.6, 3.1, 2.9, 3.0];
+        let g2 = [3.1, 3.3, 2.7, 3.0, 3.0, 2.95];
+        let g3 = [2.9, 3.5, 2.65, 3.05, 2.95, 3.02];
+        let r = tukey_hsd(&[&g1, &g2, &g3]);
+        assert!(r.significant_pairs(0.05).is_empty());
+        assert!(r.min_p_value() > 0.15, "min p {}", r.min_p_value());
+    }
+
+    #[test]
+    fn hand_computed_q_statistics() {
+        // Hand computation: MSE = 1/3 with df = 9; the Tukey-Kramer SE for
+        // equal n=4 groups is sqrt(MSE/2 * (1/4 + 1/4)) = sqrt(1/12).
+        // Pair (0,1): |diff| = 3.5 -> q = 3.5 * sqrt(12) = 12.12 (p ~ 1e-5)
+        // Pair (0,2): |diff| = 0.5 -> q = sqrt(3) = 1.732 (clearly not sig.)
+        let g1 = [4.0, 5.0, 6.0, 5.0];
+        let g2 = [8.0, 9.0, 8.5, 8.5];
+        let g3 = [5.5, 6.0, 5.0, 5.5];
+        let r = tukey_hsd(&[&g1, &g2, &g3]);
+        let c12 = &r.comparisons[0];
+        assert!((c12.mean_difference + 3.5).abs() < 1e-9);
+        assert!((c12.q - 12.124).abs() < 1e-3, "q12 {}", c12.q);
+        assert!(c12.p_value < 1e-3, "p12 {}", c12.p_value);
+        let c13 = &r.comparisons[1];
+        assert!((c13.q - 1.732).abs() < 1e-3, "q13 {}", c13.q);
+        assert!(c13.p_value > 0.3 && c13.p_value < 0.7, "p13 {}", c13.p_value);
+        let c23 = &r.comparisons[2];
+        assert!(c23.p_value < 1e-3, "p23 {}", c23.p_value);
+    }
+
+    #[test]
+    fn mixed_significance_detected() {
+        let low1 = [1.0, 1.2, 0.8, 1.1, 0.9];
+        let low2 = [1.05, 1.15, 0.85, 1.0, 0.95];
+        let high = [4.0, 4.2, 3.8, 4.1, 3.9];
+        let r = tukey_hsd(&[&low1, &low2, &high]);
+        let sig = r.significant_pairs(0.05);
+        assert_eq!(sig.len(), 2);
+        // The non-significant pair must be (0, 1).
+        let not_sig: Vec<_> =
+            r.comparisons.iter().filter(|c| !c.significant_at(0.05)).collect();
+        assert_eq!(not_sig.len(), 1);
+        assert_eq!((not_sig[0].group_a, not_sig[0].group_b), (0, 1));
+    }
+
+    #[test]
+    fn unbalanced_design_uses_kramer_adjustment() {
+        let g1 = [10.0, 10.5, 9.5];
+        let g2 = [10.2, 10.1, 9.9, 10.0, 10.3, 9.8, 10.1];
+        let r = tukey_hsd(&[&g1, &g2]);
+        assert_eq!(r.comparisons.len(), 1);
+        assert!(r.comparisons[0].p_value > 0.5);
+    }
+}

@@ -1,0 +1,173 @@
+//! Storm's acking mechanism (at-least-once tracking).
+//!
+//! Storm tracks each spout tuple's processing tree with an XOR trick: every
+//! tuple in the tree is tagged with a random 64-bit id; the acker XORs ids
+//! as tuples are anchored and acked, and when the accumulated value returns
+//! to zero the root tuple is fully processed. §IV-A of the paper disables
+//! this feature for throughput — *"reliable message processing feature
+//! disabled to ensure that the throughput of Storm is not adversely
+//! affected"* — so the runtime leaves it off by default, but it is
+//! implemented here for completeness and for the ablation that measures
+//! acking overhead.
+
+use std::collections::HashMap;
+
+/// Errors from the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AckError {
+    /// The root tuple id is not being tracked.
+    UnknownRoot(u64),
+}
+
+impl std::fmt::Display for AckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AckError::UnknownRoot(id) => write!(f, "unknown root tuple {id:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for AckError {}
+
+/// XOR-based completion tracker for spout tuples.
+#[derive(Debug, Default)]
+pub struct AckTracker {
+    /// root id -> accumulated XOR of anchored/acked tuple ids.
+    pending: HashMap<u64, u64>,
+    completed: u64,
+    failed: u64,
+}
+
+impl AckTracker {
+    /// New tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin tracking a spout tuple; `tuple_id` is its random id.
+    pub fn track(&mut self, root: u64, tuple_id: u64) {
+        *self.pending.entry(root).or_insert(0) ^= tuple_id;
+    }
+
+    /// Anchor a downstream tuple to the tree (XOR in its id).
+    pub fn anchor(&mut self, root: u64, child_id: u64) -> Result<(), AckError> {
+        match self.pending.get_mut(&root) {
+            Some(v) => {
+                *v ^= child_id;
+                Ok(())
+            }
+            None => Err(AckError::UnknownRoot(root)),
+        }
+    }
+
+    /// Ack a tuple (XOR out its id). Returns true when the whole tree
+    /// completed.
+    pub fn ack(&mut self, root: u64, tuple_id: u64) -> Result<bool, AckError> {
+        match self.pending.get_mut(&root) {
+            Some(v) => {
+                *v ^= tuple_id;
+                if *v == 0 {
+                    self.pending.remove(&root);
+                    self.completed += 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            None => Err(AckError::UnknownRoot(root)),
+        }
+    }
+
+    /// Fail a tree explicitly (e.g. timeout): stop tracking it.
+    pub fn fail(&mut self, root: u64) -> Result<(), AckError> {
+        if self.pending.remove(&root).is_some() {
+            self.failed += 1;
+            Ok(())
+        } else {
+            Err(AckError::UnknownRoot(root))
+        }
+    }
+
+    /// Trees still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fully processed trees.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Failed trees.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tuple_tree_completes() {
+        let mut t = AckTracker::new();
+        t.track(1, 0xAB);
+        assert_eq!(t.in_flight(), 1);
+        assert!(t.ack(1, 0xAB).unwrap());
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn fan_out_tree_completes_only_when_all_acked() {
+        let mut t = AckTracker::new();
+        t.track(7, 0x11);
+        // The root tuple fans out into two children before being acked.
+        t.anchor(7, 0x22).unwrap();
+        t.anchor(7, 0x33).unwrap();
+        assert!(!t.ack(7, 0x11).unwrap());
+        assert!(!t.ack(7, 0x22).unwrap());
+        assert!(t.ack(7, 0x33).unwrap());
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn deep_chain_completes() {
+        let mut t = AckTracker::new();
+        t.track(9, 1);
+        let mut prev = 1u64;
+        for id in 2..20u64 {
+            t.anchor(9, id).unwrap();
+            assert!(!t.ack(9, prev).unwrap());
+            prev = id;
+        }
+        assert!(t.ack(9, prev).unwrap());
+    }
+
+    #[test]
+    fn fail_discards_tree() {
+        let mut t = AckTracker::new();
+        t.track(3, 0x5);
+        t.fail(3).unwrap();
+        assert_eq!(t.failed(), 1);
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.ack(3, 0x5), Err(AckError::UnknownRoot(3)));
+    }
+
+    #[test]
+    fn unknown_root_errors() {
+        let mut t = AckTracker::new();
+        assert_eq!(t.anchor(42, 1), Err(AckError::UnknownRoot(42)));
+        assert_eq!(t.fail(42), Err(AckError::UnknownRoot(42)));
+    }
+
+    #[test]
+    fn independent_roots_do_not_interfere() {
+        let mut t = AckTracker::new();
+        t.track(1, 0xA);
+        t.track(2, 0xB);
+        assert!(t.ack(2, 0xB).unwrap());
+        assert_eq!(t.in_flight(), 1);
+        assert!(t.ack(1, 0xA).unwrap());
+    }
+}

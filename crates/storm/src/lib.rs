@@ -1,0 +1,38 @@
+//! # neptune-storm
+//!
+//! A baseline stream-processing engine reproducing the **execution model of
+//! Apache Storm 0.9.x**, the system the NEPTUNE paper compares against
+//! (§IV-C, Fig. 7/9/10). This is not a Storm port — it is a faithful model
+//! of the *design properties* the paper attributes Storm's performance to:
+//!
+//! 1. **Per-tuple transfer** — every emitted tuple is serialized and moved
+//!    individually; there is no application-level batching, so each tuple
+//!    pays the full per-message overhead (frame header, queue hop, wakeup).
+//! 2. **Four-thread message path** — §IV-C: *"The high CPU consumption in
+//!    Storm is due to its threading model which requires every message to
+//!    go through four different threads from the point of entry to exit
+//!    from a stream processor."* Here a tuple traverses: the worker's
+//!    **receive/router thread** → the executor's **input queue** → the
+//!    **executor thread** → the executor's **send thread** → back to the
+//!    router. Four distinct threads touch every tuple.
+//! 3. **No backpressure** — queues are unbounded; a spout that outruns a
+//!    bolt builds queue depth and latency without ever being throttled
+//!    (the behaviour behind Fig. 7's exploding Storm latency).
+//! 4. **Optional acking** — Storm's at-least-once tracking; the paper
+//!    disables it for throughput (*"reliable message processing feature
+//!    disabled"*), so it is off by default but implemented for
+//!    completeness ([`acker`]).
+//!
+//! Tuples are [`neptune_core::StreamPacket`]s so both engines run identical
+//! workload generators in the comparison benchmarks.
+
+pub mod acker;
+pub mod runtime;
+pub mod topology;
+
+pub use acker::{AckError, AckTracker};
+pub use runtime::{StormConfig, StormJob, StormMetrics, StormRuntime};
+pub use topology::{
+    Bolt, BoltCollector, Grouping, SpoutCollector, SpoutStatus, StormSpout, Topology,
+    TopologyBuilder, TopologyError,
+};

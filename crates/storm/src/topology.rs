@@ -1,0 +1,446 @@
+//! Storm's programming model: spouts, bolts, topologies, groupings.
+//!
+//! §V of the NEPTUNE paper: *"Apache Storm uses two types of stream
+//! processing elements, namely, Spouts and Bolts. Spouts are used to ingest
+//! streams into the system whereas Bolts are used to process event streams
+//! and generate intermediate streams if necessary. Spouts and Bolts form a
+//! topology."*
+
+use neptune_core::{PartitioningScheme, StreamPacket};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// What a spout's `next_tuple` produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpoutStatus {
+    /// Emitted tuples; call again immediately.
+    Emitted(usize),
+    /// Nothing right now.
+    Idle,
+    /// Stream finished.
+    Exhausted,
+}
+
+/// Collector handed to spouts: emitted tuples enter the topology.
+#[derive(Default)]
+pub struct SpoutCollector {
+    pub(crate) emitted: Vec<StreamPacket>,
+}
+
+impl SpoutCollector {
+    /// Emit one tuple into the topology.
+    pub fn emit(&mut self, tuple: StreamPacket) {
+        self.emitted.push(tuple);
+    }
+}
+
+/// Collector handed to bolts.
+#[derive(Default)]
+pub struct BoltCollector {
+    pub(crate) emitted: Vec<StreamPacket>,
+    pub(crate) acked: u64,
+    pub(crate) failed: u64,
+}
+
+impl BoltCollector {
+    /// Emit a downstream tuple.
+    pub fn emit(&mut self, tuple: StreamPacket) {
+        self.emitted.push(tuple);
+    }
+
+    /// Acknowledge the input tuple (only meaningful with acking enabled).
+    pub fn ack(&mut self) {
+        self.acked += 1;
+    }
+
+    /// Fail the input tuple.
+    pub fn fail(&mut self) {
+        self.failed += 1;
+    }
+}
+
+/// A Storm spout: pull-based stream ingestion.
+pub trait StormSpout: Send {
+    /// Called once at startup.
+    fn open(&mut self) {}
+    /// Produce the next tuple(s).
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> SpoutStatus;
+    /// Called once at shutdown.
+    fn close(&mut self) {}
+}
+
+/// A Storm bolt: per-tuple processing.
+pub trait Bolt: Send {
+    /// Called once at startup.
+    fn prepare(&mut self) {}
+    /// Process one input tuple.
+    fn execute(&mut self, tuple: &StreamPacket, collector: &mut BoltCollector);
+    /// Called once at shutdown.
+    fn cleanup(&mut self) {}
+}
+
+/// Stream groupings — Storm's partitioning schemes.
+#[derive(Clone, Debug)]
+pub enum Grouping {
+    /// Random/round-robin distribution.
+    Shuffle,
+    /// Key-hash grouping on named fields.
+    Fields(Vec<String>),
+    /// Everything to task 0.
+    Global,
+    /// Replicate to all tasks.
+    All,
+}
+
+impl Grouping {
+    pub(crate) fn to_scheme(&self) -> PartitioningScheme {
+        match self {
+            Grouping::Shuffle => PartitioningScheme::Shuffle,
+            Grouping::Fields(k) => PartitioningScheme::Fields(k.clone()),
+            Grouping::Global => PartitioningScheme::Global,
+            Grouping::All => PartitioningScheme::Broadcast,
+        }
+    }
+}
+
+type SpoutFactory = Arc<dyn Fn() -> Box<dyn StormSpout> + Send + Sync>;
+type BoltFactory = Arc<dyn Fn() -> Box<dyn Bolt> + Send + Sync>;
+
+/// One spout declaration.
+#[derive(Clone)]
+pub struct SpoutSpec {
+    /// Component name.
+    pub name: String,
+    /// Number of executor tasks.
+    pub parallelism: usize,
+    pub(crate) factory: SpoutFactory,
+}
+
+/// One bolt declaration with its subscriptions.
+#[derive(Clone)]
+pub struct BoltSpec {
+    /// Component name.
+    pub name: String,
+    /// Number of executor tasks.
+    pub parallelism: usize,
+    pub(crate) factory: BoltFactory,
+    /// Subscriptions: (upstream component, grouping).
+    pub subscriptions: Vec<(String, Grouping)>,
+}
+
+/// Topology validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two components share a name.
+    DuplicateComponent(String),
+    /// A subscription references a missing component.
+    UnknownComponent(String),
+    /// A bolt has no subscriptions.
+    UnsubscribedBolt(String),
+    /// The subscription structure contains a cycle.
+    Cycle,
+    /// No spouts declared.
+    NoSpouts,
+    /// Zero parallelism.
+    ZeroParallelism(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateComponent(n) => write!(f, "duplicate component '{n}'"),
+            TopologyError::UnknownComponent(n) => write!(f, "unknown component '{n}'"),
+            TopologyError::UnsubscribedBolt(n) => write!(f, "bolt '{n}' subscribes to nothing"),
+            TopologyError::Cycle => write!(f, "topology contains a cycle"),
+            TopologyError::NoSpouts => write!(f, "topology has no spouts"),
+            TopologyError::ZeroParallelism(n) => write!(f, "component '{n}' has zero tasks"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated topology.
+#[derive(Clone)]
+pub struct Topology {
+    pub(crate) name: String,
+    pub(crate) spouts: Vec<SpoutSpec>,
+    pub(crate) bolts: Vec<BoltSpec>,
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("name", &self.name)
+            .field("spouts", &self.spouts.iter().map(|s| (&s.name, s.parallelism)).collect::<Vec<_>>())
+            .field("bolts", &self.bolts.iter().map(|b| (&b.name, b.parallelism)).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Topology {
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared spouts.
+    pub fn spouts(&self) -> &[SpoutSpec] {
+        &self.spouts
+    }
+
+    /// Declared bolts.
+    pub fn bolts(&self) -> &[BoltSpec] {
+        &self.bolts
+    }
+}
+
+/// Storm's `TopologyBuilder` equivalent.
+pub struct TopologyBuilder {
+    name: String,
+    spouts: Vec<SpoutSpec>,
+    bolts: Vec<BoltSpec>,
+    /// Name of the bolt currently being configured (grouping calls attach
+    /// to it).
+    current_bolt: Option<usize>,
+}
+
+impl TopologyBuilder {
+    /// Start building.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder { name: name.into(), spouts: Vec::new(), bolts: Vec::new(), current_bolt: None }
+    }
+
+    /// Declare a spout.
+    pub fn set_spout<S, F>(mut self, name: impl Into<String>, parallelism: usize, factory: F) -> Self
+    where
+        S: StormSpout + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        self.spouts.push(SpoutSpec {
+            name: name.into(),
+            parallelism,
+            factory: Arc::new(move || Box::new(factory())),
+        });
+        self.current_bolt = None;
+        self
+    }
+
+    /// Declare a bolt; follow with grouping calls to subscribe it.
+    pub fn set_bolt<B, F>(mut self, name: impl Into<String>, parallelism: usize, factory: F) -> Self
+    where
+        B: Bolt + 'static,
+        F: Fn() -> B + Send + Sync + 'static,
+    {
+        self.bolts.push(BoltSpec {
+            name: name.into(),
+            parallelism,
+            factory: Arc::new(move || Box::new(factory())),
+            subscriptions: Vec::new(),
+        });
+        self.current_bolt = Some(self.bolts.len() - 1);
+        self
+    }
+
+    fn subscribe(mut self, upstream: impl Into<String>, grouping: Grouping) -> Self {
+        let idx = self.current_bolt.expect("grouping call must follow set_bolt");
+        self.bolts[idx].subscriptions.push((upstream.into(), grouping));
+        self
+    }
+
+    /// Subscribe the current bolt with shuffle grouping.
+    pub fn shuffle_grouping(self, upstream: impl Into<String>) -> Self {
+        self.subscribe(upstream, Grouping::Shuffle)
+    }
+
+    /// Subscribe with fields (key-hash) grouping.
+    pub fn fields_grouping(self, upstream: impl Into<String>, keys: Vec<String>) -> Self {
+        self.subscribe(upstream, Grouping::Fields(keys))
+    }
+
+    /// Subscribe with global grouping.
+    pub fn global_grouping(self, upstream: impl Into<String>) -> Self {
+        self.subscribe(upstream, Grouping::Global)
+    }
+
+    /// Subscribe with all (broadcast) grouping.
+    pub fn all_grouping(self, upstream: impl Into<String>) -> Self {
+        self.subscribe(upstream, Grouping::All)
+    }
+
+    /// Validate and produce the topology.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let TopologyBuilder { name, spouts, bolts, .. } = self;
+        if spouts.is_empty() {
+            return Err(TopologyError::NoSpouts);
+        }
+        let mut names = HashSet::new();
+        for n in spouts.iter().map(|s| &s.name).chain(bolts.iter().map(|b| &b.name)) {
+            if !names.insert(n.clone()) {
+                return Err(TopologyError::DuplicateComponent(n.clone()));
+            }
+        }
+        for s in &spouts {
+            if s.parallelism == 0 {
+                return Err(TopologyError::ZeroParallelism(s.name.clone()));
+            }
+        }
+        for b in &bolts {
+            if b.parallelism == 0 {
+                return Err(TopologyError::ZeroParallelism(b.name.clone()));
+            }
+            if b.subscriptions.is_empty() {
+                return Err(TopologyError::UnsubscribedBolt(b.name.clone()));
+            }
+            for (up, _) in &b.subscriptions {
+                if !names.contains(up) {
+                    return Err(TopologyError::UnknownComponent(up.clone()));
+                }
+            }
+        }
+        // Kahn cycle check over components.
+        let mut indegree: HashMap<&str, usize> =
+            names.iter().map(|n| (n.as_str(), 0)).collect();
+        for b in &bolts {
+            for _ in &b.subscriptions {
+                *indegree.get_mut(b.name.as_str()).expect("known") += 1;
+            }
+        }
+        let mut queue: VecDeque<&str> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop_front() {
+            visited += 1;
+            for b in &bolts {
+                for (up, _) in &b.subscriptions {
+                    if up == n {
+                        let d = indegree.get_mut(b.name.as_str()).expect("known");
+                        *d -= 1;
+                        if *d == 0 {
+                            queue.push_back(b.name.as_str());
+                        }
+                    }
+                }
+            }
+        }
+        if visited != names.len() {
+            return Err(TopologyError::Cycle);
+        }
+        Ok(Topology { name, spouts, bolts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullSpout;
+    impl StormSpout for NullSpout {
+        fn next_tuple(&mut self, _c: &mut SpoutCollector) -> SpoutStatus {
+            SpoutStatus::Exhausted
+        }
+    }
+    struct NullBolt;
+    impl Bolt for NullBolt {
+        fn execute(&mut self, _t: &StreamPacket, _c: &mut BoltCollector) {}
+    }
+
+    #[test]
+    fn relay_topology_builds() {
+        let t = TopologyBuilder::new("relay")
+            .set_spout("spout", 1, || NullSpout)
+            .set_bolt("relay", 2, || NullBolt)
+            .shuffle_grouping("spout")
+            .set_bolt("sink", 1, || NullBolt)
+            .shuffle_grouping("relay")
+            .build()
+            .unwrap();
+        assert_eq!(t.name(), "relay");
+        assert_eq!(t.spouts().len(), 1);
+        assert_eq!(t.bolts().len(), 2);
+        assert_eq!(t.bolts()[0].subscriptions.len(), 1);
+    }
+
+    #[test]
+    fn multiple_subscriptions_allowed() {
+        let t = TopologyBuilder::new("join")
+            .set_spout("a", 1, || NullSpout)
+            .set_spout("b", 1, || NullSpout)
+            .set_bolt("join", 1, || NullBolt)
+            .shuffle_grouping("a")
+            .fields_grouping("b", vec!["k".into()])
+            .build()
+            .unwrap();
+        assert_eq!(t.bolts()[0].subscriptions.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = TopologyBuilder::new("t")
+            .set_spout("x", 1, || NullSpout)
+            .set_bolt("x", 1, || NullBolt)
+            .shuffle_grouping("x")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateComponent("x".into()));
+    }
+
+    #[test]
+    fn unknown_upstream_rejected() {
+        let err = TopologyBuilder::new("t")
+            .set_spout("s", 1, || NullSpout)
+            .set_bolt("b", 1, || NullBolt)
+            .shuffle_grouping("ghost")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownComponent("ghost".into()));
+    }
+
+    #[test]
+    fn unsubscribed_bolt_rejected() {
+        let err = TopologyBuilder::new("t")
+            .set_spout("s", 1, || NullSpout)
+            .set_bolt("b", 1, || NullBolt)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnsubscribedBolt("b".into()));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = TopologyBuilder::new("t")
+            .set_spout("s", 1, || NullSpout)
+            .set_bolt("a", 1, || NullBolt)
+            .shuffle_grouping("s")
+            .shuffle_grouping("b")
+            .set_bolt("b", 1, || NullBolt)
+            .shuffle_grouping("a")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::Cycle);
+    }
+
+    #[test]
+    fn no_spouts_rejected() {
+        assert_eq!(TopologyBuilder::new("t").build().unwrap_err(), TopologyError::NoSpouts);
+    }
+
+    #[test]
+    fn collectors_accumulate() {
+        let mut sc = SpoutCollector::default();
+        sc.emit(StreamPacket::new());
+        sc.emit(StreamPacket::new());
+        assert_eq!(sc.emitted.len(), 2);
+        let mut bc = BoltCollector::default();
+        bc.emit(StreamPacket::new());
+        bc.ack();
+        bc.ack();
+        bc.fail();
+        assert_eq!(bc.emitted.len(), 1);
+        assert_eq!(bc.acked, 2);
+        assert_eq!(bc.failed, 1);
+    }
+}

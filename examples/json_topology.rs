@@ -1,0 +1,151 @@
+//! Building a job from a JSON descriptor (§III-A7).
+//!
+//! The paper: *"A stream processing graph can be created by directly
+//! invoking the NEPTUNE API or through a JSON descriptor file."* Here the
+//! descriptor declares a three-stage word-frequency pipeline with keyed
+//! partitioning and per-link compression, while the operator
+//! implementations are registered by factory name.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example json_topology
+//! ```
+
+use neptune::core::descriptor::{parse_descriptor, OperatorRegistry};
+use neptune::core::json::JsonValue;
+use neptune::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DESCRIPTOR: &str = r#"{
+    "name": "word-frequency",
+    "operators": [
+        {"name": "sentences", "kind": "source", "factory": "sentence-source",
+         "params": {"repeats": 2000}},
+        {"name": "tokenize", "kind": "processor", "factory": "tokenizer",
+         "parallelism": 2},
+        {"name": "count", "kind": "processor", "factory": "word-count",
+         "parallelism": 2}
+    ],
+    "links": [
+        {"from": "sentences", "to": "tokenize",
+         "partitioning": {"scheme": "shuffle"},
+         "compression": {"mode": "threshold", "threshold": 5.0}},
+        {"from": "tokenize", "to": "count",
+         "partitioning": {"scheme": "fields", "keys": ["word"]}}
+    ],
+    "config": {"buffer_bytes": 16384, "flush_ms": 5}
+}"#;
+
+const SENTENCES: &[&str] = &[
+    "the quick brown fox jumps over the lazy dog",
+    "streams of small packets saturate ethernet frames",
+    "buffering batching and backpressure keep the pipeline honest",
+];
+
+struct SentenceSource {
+    remaining: u64,
+    cursor: usize,
+}
+
+impl StreamSource for SentenceSource {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.remaining == 0 {
+            return SourceStatus::Exhausted;
+        }
+        let mut p = StreamPacket::new();
+        p.push_field("text", FieldValue::Str(SENTENCES[self.cursor % SENTENCES.len()].into()));
+        self.cursor += 1;
+        self.remaining -= 1;
+        match ctx.emit(&p) {
+            Ok(()) => SourceStatus::Emitted(1),
+            Err(_) => SourceStatus::Exhausted,
+        }
+    }
+}
+
+struct Tokenizer;
+impl StreamProcessor for Tokenizer {
+    fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext) {
+        let Some(text) = packet.get("text").and_then(|v| v.as_str()) else { return };
+        // One output packet per word; reuse a workhorse packet.
+        let mut out = StreamPacket::with_capacity(1);
+        for word in text.split_whitespace() {
+            out.clear();
+            out.push_field("word", FieldValue::Str(word.to_string()));
+            let _ = ctx.emit(&out);
+        }
+    }
+}
+
+struct WordCount {
+    counts: HashMap<String, u64>,
+    global: Arc<Mutex<HashMap<String, u64>>>,
+}
+impl StreamProcessor for WordCount {
+    fn process(&mut self, packet: &StreamPacket, _ctx: &mut OperatorContext) {
+        if let Some(w) = packet.get("word").and_then(|v| v.as_str()) {
+            *self.counts.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    fn close(&mut self, _ctx: &mut OperatorContext) {
+        let mut global = self.global.lock();
+        for (w, c) in self.counts.drain() {
+            *global.entry(w).or_insert(0) += c;
+        }
+    }
+}
+
+fn main() {
+    let totals: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sink = totals.clone();
+
+    let mut registry = OperatorRegistry::new();
+    registry.register_source("sentence-source", |params: &JsonValue| SentenceSource {
+        remaining: params.get("repeats").and_then(JsonValue::as_u64).unwrap_or(100),
+        cursor: 0,
+    });
+    registry.register_processor("tokenizer", |_params| Tokenizer);
+    registry.register_processor("word-count", move |_params| WordCount {
+        counts: HashMap::new(),
+        global: sink.clone(),
+    });
+
+    let (graph, config) = parse_descriptor(DESCRIPTOR, &registry).expect("valid descriptor");
+    println!(
+        "descriptor parsed: job '{}' with {} operators, {} links, {} B buffers",
+        graph.name(),
+        graph.operators().len(),
+        graph.links().len(),
+        config.buffer_bytes
+    );
+
+    let job = LocalRuntime::new(config).submit(graph).expect("deploys");
+    assert!(job.await_sources(Duration::from_secs(60)), "source timed out");
+    let metrics = job.stop();
+
+    let totals = totals.lock();
+    let mut top: Vec<(&String, &u64)> = totals.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("top words:");
+    for (w, c) in top.iter().take(5) {
+        println!("  {w:>12} {c}");
+    }
+
+    // 2000 sentences cycling 3 fixed strings: "the" appears twice in
+    // sentence 0 and once in sentence 2 -> 667 sentences have 1, 667 have
+    // 2... verify via direct recount.
+    let expected: u64 = (0..2000)
+        .map(|i| {
+            SENTENCES[i % SENTENCES.len()].split_whitespace().filter(|w| *w == "the").count()
+                as u64
+        })
+        .sum();
+    assert_eq!(totals.get("the").copied().unwrap_or(0), expected);
+    assert_eq!(metrics.total_seq_violations(), 0);
+    // Keyed partitioning: every occurrence of a word landed on exactly one
+    // instance, so the merged totals are exact.
+    println!("json_topology OK — exact word counts under keyed partitioning");
+}

@@ -1,0 +1,155 @@
+//! The paper's flush-timer motivating scenario (§III-B1), end to end.
+//!
+//! *"if a stream operator calculates a descriptive statistic for a sliding
+//! window over incoming stream packets and emits a new stream packet only
+//! if it detects a significant change in the value that is of interest,
+//! the outgoing stream will have a low and a variable data rate. This will
+//! increase the time it takes to trigger a buffer flush causing an
+//! increased queuing delay ... each buffer in NEPTUNE is equipped with a
+//! timer that guarantees flushing of the buffer after a certain time
+//! period since arrival of the first message."*
+//!
+//! The pipeline: a rate-limited sensor source → a sliding-window analyst
+//! that emits only on significant change (a sparse stream!) → an alert
+//! sink measuring how stale each alert is on arrival. With a 1 MB buffer
+//! an alert would otherwise wait ~forever; the 10 ms flush timer bounds
+//! its staleness.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sliding_statistics
+//! ```
+
+use neptune::core::sources::{IteratorSource, RateLimitedSource};
+use neptune::core::SlidingWindow;
+use neptune::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Synthetic sensor: a noisy baseline with occasional level shifts.
+fn sensor_readings(n: usize) -> impl Iterator<Item = StreamPacket> + Send {
+    (0..n).map(|i| {
+        let level = match i / 400 {
+            0 | 2 => 20.0,
+            1 => 26.0,
+            _ => 31.0,
+        };
+        let noise = ((i as f64 * 0.7).sin() + (i as f64 * 1.3).cos()) * 0.25;
+        let mut p = StreamPacket::new();
+        p.push_field("ts", FieldValue::Timestamp(now_micros()))
+            .push_field("value", FieldValue::F64(level + noise));
+        p
+    })
+}
+
+/// Sliding-window analyst: keeps a 200 ms window mean; emits an alert only
+/// when the mean moves more than `threshold` from the last reported value.
+struct ChangeDetector {
+    window: SlidingWindow,
+    last_reported: Option<f64>,
+    threshold: f64,
+}
+impl StreamProcessor for ChangeDetector {
+    fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext) {
+        let (Some(ts), Some(v)) = (
+            packet.get("ts").and_then(|x| x.as_timestamp()),
+            packet.get("value").and_then(|x| x.as_f64()),
+        ) else {
+            return;
+        };
+        self.window.observe(ts, v);
+        let mean = self.window.mean();
+        let significant = match self.last_reported {
+            None => true,
+            Some(prev) => (mean - prev).abs() > self.threshold,
+        };
+        if significant {
+            self.last_reported = Some(mean);
+            let mut alert = ctx.checkout_packet();
+            alert
+                .push_field("emitted_at", FieldValue::Timestamp(now_micros()))
+                .push_field("mean", FieldValue::F64(mean));
+            let _ = ctx.emit(&alert);
+            ctx.checkin_packet(alert);
+        }
+    }
+}
+
+/// Alert sink: records each alert's staleness (now - emitted_at), which is
+/// exactly the buffering delay the flush timer bounds.
+struct AlertSink {
+    alerts: Arc<Mutex<Vec<(f64, u64)>>>,
+}
+impl StreamProcessor for AlertSink {
+    fn process(&mut self, packet: &StreamPacket, _ctx: &mut OperatorContext) {
+        let (Some(t0), Some(mean)) = (
+            packet.get("emitted_at").and_then(|x| x.as_timestamp()),
+            packet.get("mean").and_then(|x| x.as_f64()),
+        ) else {
+            return;
+        };
+        let staleness_us = now_micros().saturating_sub(t0);
+        self.alerts.lock().push((mean, staleness_us));
+    }
+}
+
+fn main() {
+    const READINGS: usize = 1_600;
+    let alerts = Arc::new(Mutex::new(Vec::new()));
+    let sink_alerts = alerts.clone();
+
+    let graph = GraphBuilder::new("sliding-stats")
+        // ~2000 readings/s: a realistic sensor sampling rate.
+        .source("sensor", || {
+            RateLimitedSource::new(IteratorSource::new(sensor_readings(READINGS)), 2_000.0)
+        })
+        .processor("analyst", || ChangeDetector {
+            window: SlidingWindow::new(200_000), // 200 ms of event time
+            last_reported: None,
+            threshold: 1.5,
+        })
+        .processor("alerts", move || AlertSink { alerts: sink_alerts.clone() })
+        .link("sensor", "analyst", PartitioningScheme::Shuffle)
+        .link("analyst", "alerts", PartitioningScheme::Shuffle)
+        .build()
+        .expect("valid graph");
+
+    // Huge buffers: only the flush timer can move the sparse alert stream.
+    let config = RuntimeConfig {
+        buffer_bytes: 1 << 20,
+        flush_interval: Duration::from_millis(10),
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).expect("deploys");
+    assert!(job.await_sources(Duration::from_secs(60)), "source timed out");
+    let metrics = job.stop();
+
+    let alerts = alerts.lock();
+    println!("----------------------------------------------------");
+    println!("readings processed : {}", metrics.operator("analyst").packets_in);
+    println!("alerts emitted     : {}", alerts.len());
+    for (i, (mean, stale)) in alerts.iter().enumerate() {
+        println!("  alert {i}: window mean {mean:6.2}, staleness {:.2} ms", *stale as f64 / 1e3);
+    }
+    let worst = alerts.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    println!("worst staleness    : {:.2} ms (flush timer: 10 ms)", worst as f64 / 1e3);
+
+    // The data has three level shifts; the window mean ramps through each
+    // shift, so every shift yields a handful of alerts — a sparse stream
+    // of a few dozen packets against 1,600 readings.
+    assert!(
+        (2..=30).contains(&alerts.len()),
+        "expected a sparse alert stream, got {}",
+        alerts.len()
+    );
+    // Without the flush timer an alert would sit in the 1 MB buffer until
+    // job teardown; with it, staleness stays in the tens of milliseconds.
+    assert!(
+        worst < 100_000,
+        "flush timer failed to bound alert staleness: {} us",
+        worst
+    );
+    assert_eq!(metrics.total_seq_violations(), 0);
+    println!("sliding_statistics OK — sparse alerts stayed fresh under a 1 MB buffer");
+}

@@ -1,0 +1,281 @@
+//! Exactly-once / in-order delivery across a matrix of configurations —
+//! the paper's §I-B correctness contract, stress-tested.
+//!
+//! Every test pushes a known arithmetic series through a topology and
+//! checks count + sum (loss or duplication perturbs the sum even when the
+//! count accidentally matches), plus the runtime's own per-channel
+//! sequence validation.
+
+use neptune::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Numbers {
+    next: u64,
+    end: u64,
+}
+impl StreamSource for Numbers {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.next >= self.end {
+            return SourceStatus::Exhausted;
+        }
+        let mut p = StreamPacket::new();
+        p.push_field("n", FieldValue::U64(self.next));
+        match ctx.emit(&p) {
+            Ok(()) => {
+                self.next += 1;
+                SourceStatus::Emitted(1)
+            }
+            Err(_) => SourceStatus::Exhausted,
+        }
+    }
+}
+
+struct Forward;
+impl StreamProcessor for Forward {
+    fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
+        let _ = ctx.emit(p);
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+struct TallySink(Arc<Tally>);
+impl StreamProcessor for TallySink {
+    fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+    }
+}
+
+fn run_chain(config: RuntimeConfig, n: u64, stages: usize, parallelism: usize) -> Arc<Tally> {
+    let tally = Arc::new(Tally::default());
+    let sink_tally = tally.clone();
+    let mut builder =
+        GraphBuilder::new("chain").source("src", move || Numbers { next: 0, end: n });
+    let mut prev = "src".to_string();
+    for s in 0..stages {
+        let name = format!("stage{s}");
+        builder = builder
+            .processor_n(&name, parallelism, || Forward)
+            .link(prev.clone(), name.clone(), PartitioningScheme::Shuffle);
+        prev = name;
+    }
+    let graph = builder
+        .processor("sink", move || TallySink(sink_tally.clone()))
+        .link(prev, "sink", PartitioningScheme::Shuffle)
+        .build()
+        .expect("valid graph");
+    let job = LocalRuntime::new(config).submit(graph).expect("deploys");
+    assert!(job.await_sources(Duration::from_secs(120)), "source timed out");
+    let metrics = job.stop();
+    assert_eq!(metrics.total_seq_violations(), 0, "sequence validation failed");
+    tally
+}
+
+fn expect_series(tally: &Tally, n: u64) {
+    assert_eq!(tally.count.load(Ordering::Relaxed), n);
+    assert_eq!(tally.sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+}
+
+#[test]
+fn buffer_size_matrix() {
+    for buffer in [1usize, 64, 512, 4096, 1 << 20] {
+        let config = RuntimeConfig { buffer_bytes: buffer, ..Default::default() };
+        let tally = run_chain(config, 5_000, 1, 1);
+        expect_series(&tally, 5_000);
+    }
+}
+
+#[test]
+fn deep_chain() {
+    let config = RuntimeConfig { buffer_bytes: 2048, ..Default::default() };
+    let tally = run_chain(config, 5_000, 6, 1);
+    expect_series(&tally, 5_000);
+}
+
+#[test]
+fn wide_stages() {
+    let config = RuntimeConfig { buffer_bytes: 1024, ..Default::default() };
+    let tally = run_chain(config, 10_000, 2, 6);
+    expect_series(&tally, 10_000);
+}
+
+#[test]
+fn deep_and_wide_across_resources() {
+    let config =
+        RuntimeConfig { buffer_bytes: 1024, resources: 4, ..Default::default() };
+    let tally = run_chain(config, 8_000, 4, 3);
+    expect_series(&tally, 8_000);
+}
+
+#[test]
+fn tiny_flush_interval() {
+    let config = RuntimeConfig {
+        flush_interval: Duration::from_micros(500),
+        buffer_bytes: 1 << 20, // timer does all the flushing
+        ..Default::default()
+    };
+    let tally = run_chain(config, 5_000, 2, 2);
+    expect_series(&tally, 5_000);
+}
+
+#[test]
+fn multiple_sources_fan_in() {
+    // Several source instances into one keyed stage: per-key ordering must
+    // hold per source (each source's packets arrive in emission order).
+    let order_violations = Arc::new(AtomicU64::new(0));
+    let per_source_last: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let total = Arc::new(AtomicU64::new(0));
+
+    struct TaggedSource {
+        tag: Arc<AtomicU64>,
+        id: Option<u64>,
+        next: u64,
+        end: u64,
+    }
+    impl StreamSource for TaggedSource {
+        fn open(&mut self, _ctx: &mut OperatorContext) {
+            self.id = Some(self.tag.fetch_add(1, Ordering::Relaxed));
+        }
+        fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+            if self.next >= self.end {
+                return SourceStatus::Exhausted;
+            }
+            let mut p = StreamPacket::new();
+            p.push_field("src", FieldValue::U64(self.id.expect("opened")))
+                .push_field("n", FieldValue::U64(self.next));
+            match ctx.emit(&p) {
+                Ok(()) => {
+                    self.next += 1;
+                    SourceStatus::Emitted(1)
+                }
+                Err(_) => SourceStatus::Exhausted,
+            }
+        }
+    }
+    struct OrderSink {
+        last: Arc<Mutex<HashMap<u64, u64>>>,
+        violations: Arc<AtomicU64>,
+        total: Arc<AtomicU64>,
+    }
+    impl StreamProcessor for OrderSink {
+        fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
+            let src = p.get("src").unwrap().as_u64().unwrap();
+            let n = p.get("n").unwrap().as_u64().unwrap();
+            let mut last = self.last.lock();
+            if let Some(&prev) = last.get(&src) {
+                if n != prev + 1 {
+                    self.violations.fetch_add(1, Ordering::Relaxed);
+                }
+            } else if n != 0 {
+                self.violations.fetch_add(1, Ordering::Relaxed);
+            }
+            last.insert(src, n);
+            self.total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let tag = Arc::new(AtomicU64::new(0));
+    let (l2, v2, t2) = (per_source_last.clone(), order_violations.clone(), total.clone());
+    let graph = GraphBuilder::new("fan-in")
+        .source_n("sources", 4, move || TaggedSource {
+            tag: tag.clone(),
+            id: None,
+            next: 0,
+            end: 2_500,
+        })
+        // Global partitioning: one sink instance sees all packets, so
+        // per-source FIFO order is observable end to end.
+        .processor("sink", move || OrderSink {
+            last: l2.clone(),
+            violations: v2.clone(),
+            total: t2.clone(),
+        })
+        .link("sources", "sink", PartitioningScheme::Global)
+        .build()
+        .unwrap();
+    let job = LocalRuntime::new(RuntimeConfig { buffer_bytes: 512, ..Default::default() })
+        .submit(graph)
+        .unwrap();
+    assert!(job.await_sources(Duration::from_secs(120)));
+    let metrics = job.stop();
+    assert_eq!(total.load(Ordering::Relaxed), 10_000);
+    assert_eq!(
+        order_violations.load(Ordering::Relaxed),
+        0,
+        "per-source FIFO order violated"
+    );
+    assert_eq!(metrics.total_seq_violations(), 0);
+}
+
+#[test]
+fn keyed_counts_are_exact() {
+    // Fields partitioning with parallel counting must produce exact
+    // per-key counts (each key counted at exactly one instance).
+    let counts: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    struct KeySource {
+        next: u64,
+        end: u64,
+    }
+    impl StreamSource for KeySource {
+        fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+            if self.next >= self.end {
+                return SourceStatus::Exhausted;
+            }
+            let mut p = StreamPacket::new();
+            p.push_field("key", FieldValue::U64(self.next % 23));
+            match ctx.emit(&p) {
+                Ok(()) => {
+                    self.next += 1;
+                    SourceStatus::Emitted(1)
+                }
+                Err(_) => SourceStatus::Exhausted,
+            }
+        }
+    }
+    struct KeyCounter {
+        local: HashMap<u64, u64>,
+        global: Arc<Mutex<HashMap<u64, u64>>>,
+    }
+    impl StreamProcessor for KeyCounter {
+        fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
+            let k = p.get("key").unwrap().as_u64().unwrap();
+            *self.local.entry(k).or_insert(0) += 1;
+        }
+        fn close(&mut self, _ctx: &mut OperatorContext) {
+            let mut g = self.global.lock();
+            for (k, c) in self.local.drain() {
+                *g.entry(k).or_insert(0) += c;
+            }
+        }
+    }
+    let g2 = counts.clone();
+    let graph = GraphBuilder::new("keyed-count")
+        .source("src", || KeySource { next: 0, end: 23_000 })
+        .processor_n("count", 5, move || KeyCounter {
+            local: HashMap::new(),
+            global: g2.clone(),
+        })
+        .link("src", "count", PartitioningScheme::by_field("key"))
+        .build()
+        .unwrap();
+    let job = LocalRuntime::new(RuntimeConfig { buffer_bytes: 4096, ..Default::default() })
+        .submit(graph)
+        .unwrap();
+    assert!(job.await_sources(Duration::from_secs(120)));
+    job.stop();
+    let counts = counts.lock();
+    assert_eq!(counts.len(), 23);
+    for (k, c) in counts.iter() {
+        assert_eq!(*c, 1000, "key {k} has count {c}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests over the NEPTUNE stack's core invariants.
+//!
+//! * Arbitrary packets survive codec round-trips (and batched framing).
+//! * Random DAG shapes either build or fail validation — never panic.
+//! * End-to-end delivery is exact for random (small) configurations.
+//! * Partitioners always route in range; keyed routing is a pure function
+//!   of the key fields.
+
+use neptune::core::codec::PacketCodec;
+use neptune::core::partition::{Partitioner, Route};
+use neptune::net::frame::{decode_frame, encode_frame};
+use neptune::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arb_field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        any::<i64>().prop_map(FieldValue::I64),
+        any::<u64>().prop_map(FieldValue::U64),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(FieldValue::F64),
+        any::<bool>().prop_map(FieldValue::Bool),
+        "[a-zA-Z0-9 _:/,.-]{0,40}".prop_map(FieldValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(FieldValue::Bytes),
+        any::<u64>().prop_map(FieldValue::Timestamp),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = StreamPacket> {
+    proptest::collection::vec(("[a-z][a-z0-9_]{0,12}", arb_field_value()), 0..12).prop_map(
+        |fields| {
+            let mut p = StreamPacket::new();
+            for (name, value) in fields {
+                p.push_field(name, value);
+            }
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_packets(packet in arb_packet()) {
+        let mut codec = PacketCodec::new();
+        let bytes = codec.encode(&packet).unwrap();
+        let decoded = codec.decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn codec_reuse_path_equals_fresh_path(
+        packets in proptest::collection::vec(arb_packet(), 1..20)
+    ) {
+        // Decoding into a reused workhorse must equal fresh decodes.
+        let mut codec = PacketCodec::new();
+        let mut workhorse = StreamPacket::new();
+        for p in &packets {
+            let bytes = codec.encode(p).unwrap();
+            codec.decode_into(&bytes, &mut workhorse).unwrap();
+            prop_assert_eq!(&workhorse, p);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrips_arbitrary_batches(
+        packets in proptest::collection::vec(arb_packet(), 0..20),
+        link in any::<u64>(),
+        base_seq in any::<u64>(),
+        threshold in 0.0f64..=8.0,
+    ) {
+        let mut codec = PacketCodec::new();
+        let messages: Vec<Vec<u8>> =
+            packets.iter().map(|p| codec.encode(p).unwrap()).collect();
+        let compressor = neptune::compress::SelectiveCompressor::new(threshold);
+        let wire = encode_frame(link, base_seq, &messages, &compressor);
+        let (frame, used) = decode_frame(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(frame.link_id, link);
+        prop_assert_eq!(frame.base_seq, base_seq);
+        prop_assert_eq!(frame.messages, messages);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&garbage);
+    }
+
+    #[test]
+    fn partitioners_route_in_range(
+        packet in arb_packet(),
+        n in 1usize..40,
+        key in "[a-z][a-z0-9_]{0,8}",
+    ) {
+        for scheme in [
+            PartitioningScheme::Shuffle,
+            PartitioningScheme::Global,
+            PartitioningScheme::Fields(vec![key.clone()]),
+        ] {
+            let mut part = Partitioner::new(&scheme);
+            match part.route(&packet, n) {
+                Route::One(i) => prop_assert!(i < n),
+                Route::All => {}
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_routing_is_deterministic(
+        key_value in any::<u64>(),
+        n in 1usize..40,
+        noise in any::<u64>(),
+    ) {
+        // Two packets with the same key but different other fields must
+        // co-locate.
+        let mut a = StreamPacket::new();
+        a.push_field("k", FieldValue::U64(key_value));
+        a.push_field("noise", FieldValue::U64(noise));
+        let mut b = StreamPacket::new();
+        b.push_field("k", FieldValue::U64(key_value));
+        b.push_field("noise", FieldValue::U64(noise.wrapping_add(1)));
+        let mut part = Partitioner::new(&PartitioningScheme::by_field("k"));
+        prop_assert_eq!(part.route(&a, n), part.route(&b, n));
+    }
+}
+
+// End-to-end delivery with randomized configuration knobs. Kept to few
+// cases because each spins a runtime.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn end_to_end_exact_delivery_random_configs(
+        buffer_exp in 6u32..18,
+        parallelism in 1usize..4,
+        resources in 1usize..3,
+        n in 500u64..3_000,
+    ) {
+        struct Src(u64, u64);
+        impl StreamSource for Src {
+            fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+                if self.0 >= self.1 {
+                    return SourceStatus::Exhausted;
+                }
+                let mut p = StreamPacket::new();
+                p.push_field("n", FieldValue::U64(self.0));
+                match ctx.emit(&p) {
+                    Ok(()) => { self.0 += 1; SourceStatus::Emitted(1) }
+                    Err(_) => SourceStatus::Exhausted,
+                }
+            }
+        }
+        struct Sink(Arc<AtomicU64>, Arc<AtomicU64>);
+        impl StreamProcessor for Sink {
+            fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                self.1.fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+            }
+        }
+        let count = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let (c2, s2) = (count.clone(), sum.clone());
+        let graph = GraphBuilder::new("prop-e2e")
+            .source("src", move || Src(0, n))
+            .processor_n("sink", parallelism, move || Sink(c2.clone(), s2.clone()))
+            .link("src", "sink", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        let config = RuntimeConfig {
+            buffer_bytes: 1usize << buffer_exp,
+            resources,
+            ..Default::default()
+        };
+        let job = LocalRuntime::new(config).submit(graph).unwrap();
+        prop_assert!(job.await_sources(Duration::from_secs(60)));
+        let metrics = job.stop();
+        prop_assert_eq!(count.load(Ordering::Relaxed), n);
+        prop_assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        prop_assert_eq!(metrics.total_seq_violations(), 0);
+    }
+}
