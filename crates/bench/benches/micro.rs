@@ -14,7 +14,7 @@ use neptune_core::partition::{Partitioner, PartitioningScheme};
 use neptune_core::pool::PacketPool;
 use neptune_core::{FieldValue, StreamPacket};
 use neptune_net::buffer::{OutputBuffer, PushOutcome};
-use neptune_net::frame::{decode_frame, encode_frame};
+use neptune_net::frame::{decode_frame, decode_frame_shared, encode_frame};
 use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
 use neptune_stats::{tukey_hsd, welch_t_test, Tail};
 use std::hint::black_box;
@@ -77,9 +77,10 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("compression");
-    for (label, data) in
-        [("low_entropy_16k", low_entropy_block(16384)), ("high_entropy_16k", high_entropy_block(16384))]
-    {
+    for (label, data) in [
+        ("low_entropy_16k", low_entropy_block(16384)),
+        ("high_entropy_16k", high_entropy_block(16384)),
+    ] {
         group.throughput(Throughput::Bytes(data.len() as u64));
         group.bench_function(format!("lz4_compress/{label}"), |b| {
             b.iter(|| black_box(compress(black_box(&data))))
@@ -201,6 +202,39 @@ fn bench_framing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_frame_decode(c: &mut Criterion) {
+    // The tentpole comparison: the legacy receive path materialized every
+    // message as its own Vec (copy per message); the zero-copy path hands
+    // out subslices of one refcounted batch buffer. Identical wire input.
+    let mut group = c.benchmark_group("frame_decode");
+    let raw = SelectiveCompressor::disabled();
+    const COUNT: usize = 100;
+    for (label, size) in [("50B", 50usize), ("200B", 200), ("1KB", 1024)] {
+        let messages: Vec<Vec<u8>> = (0..COUNT).map(|i| vec![(i % 251) as u8; size]).collect();
+        let wire = encode_frame(1, 0, &messages, &raw);
+        let shared = bytes::Bytes::from(wire.clone());
+        group.throughput(Throughput::Elements(COUNT as u64));
+        group.bench_function(format!("copy_per_message/{label}"), |b| {
+            b.iter(|| {
+                let (frame, _) = decode_frame(black_box(&wire)).unwrap();
+                let owned: Vec<Vec<u8>> = frame.messages.iter().map(|m| m.to_vec()).collect();
+                black_box(owned.len());
+            })
+        });
+        group.bench_function(format!("zero_copy/{label}"), |b| {
+            b.iter(|| {
+                let (frame, _) = decode_frame_shared(black_box(&shared), None).unwrap();
+                let mut total = 0usize;
+                for m in &frame.messages {
+                    total += black_box(m).len();
+                }
+                black_box(total);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
     let a: Vec<f64> = (0..50).map(|i| 10.0 + (i as f64 * 0.37).sin()).collect();
@@ -226,6 +260,7 @@ criterion_group! {
     name = benches;
     config = configured();
     targets = bench_codec, bench_compression, bench_pool, bench_output_buffer,
-              bench_partitioners, bench_watermark_queue, bench_framing, bench_stats
+              bench_partitioners, bench_watermark_queue, bench_framing,
+              bench_frame_decode, bench_stats
 }
 criterion_main!(benches);

@@ -94,22 +94,19 @@ fn study(dataset: Dataset, label: &str) {
     }
 
     println!("## dataset: {label}\n");
-    let mut table =
-        Table::new(&["mode", "throughput mean (pkt/s)", "std dev", "wire bytes / run"]);
+    let mut table = Table::new(&["mode", "throughput mean (pkt/s)", "std dev", "wire bytes / run"]);
     for (mi, (name, _)) in modes.iter().enumerate() {
         let s = neptune_stats::Summary::from_slice(&throughputs[mi]);
-        table.row(vec![
-            name.to_string(),
-            eng(s.mean),
-            eng(s.std_dev()),
-            eng(wire[mi] as f64),
-        ]);
+        table.row(vec![name.to_string(), eng(s.mean), eng(s.std_dev()), eng(wire[mi] as f64)]);
     }
     table.print();
 
     let groups: Vec<&[f64]> = throughputs.iter().map(|v| v.as_slice()).collect();
     let hsd = tukey_hsd(&groups);
-    println!("\nTukey HSD (throughput): F = {:.2}, p(ANOVA) = {:.4}", hsd.anova.f, hsd.anova.p_value);
+    println!(
+        "\nTukey HSD (throughput): F = {:.2}, p(ANOVA) = {:.4}",
+        hsd.anova.f, hsd.anova.p_value
+    );
     for c in &hsd.comparisons {
         println!(
             "  {} vs {}: diff = {:.0} pkt/s, p = {:.4}{}",
@@ -120,10 +117,7 @@ fn study(dataset: Dataset, label: &str) {
             if c.significant_at(0.05) { "  *significant*" } else { "" }
         );
     }
-    println!(
-        "wire-byte ratio (always/disabled): {:.2}\n",
-        wire[1] as f64 / wire[0] as f64
-    );
+    println!("wire-byte ratio (always/disabled): {:.2}\n", wire[1] as f64 / wire[0] as f64);
 }
 
 fn main() {

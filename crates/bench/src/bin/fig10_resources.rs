@@ -21,7 +21,9 @@ use neptune_stats::{welch_t_test, Summary, Tail};
 fn main() {
     const NODES: usize = 50;
     const JOBS: usize = 50;
-    println!("# Fig. 10 — cluster-wide CPU and memory, NEPTUNE vs Storm ({JOBS} jobs, {NODES} nodes)\n");
+    println!(
+        "# Fig. 10 — cluster-wide CPU and memory, NEPTUNE vs Storm ({JOBS} jobs, {NODES} nodes)\n"
+    );
 
     let np = simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), NODES, JOBS));
     let st = simulate_cluster(&ClusterParams::manufacturing_job(storm_profile(), NODES, JOBS));
@@ -70,20 +72,15 @@ fn main() {
     // per-message efficiency at matched load; the raw utilizations differ
     // because the engines saturate differently, so test the normalized
     // per-node CPU share per unit of throughput.
-    let np_cpu_norm: Vec<f64> =
-        np_cpu.iter().map(|c| c / np.cumulative_throughput * 1e6).collect();
-    let st_cpu_norm: Vec<f64> =
-        st_cpu.iter().map(|c| c / st.cumulative_throughput * 1e6).collect();
+    let np_cpu_norm: Vec<f64> = np_cpu.iter().map(|c| c / np.cumulative_throughput * 1e6).collect();
+    let st_cpu_norm: Vec<f64> = st_cpu.iter().map(|c| c / st.cumulative_throughput * 1e6).collect();
     let cpu_test = welch_t_test(&np_cpu_norm, &st_cpu_norm, Tail::Less);
     println!(
         "one-tailed t-test, CPU/message (NEPTUNE < Storm): t = {:.2}, p = {:.6}",
         cpu_test.t, cpu_test.p_value
     );
     let mem_test = welch_t_test(&np_mem, &st_mem, Tail::TwoSided);
-    println!(
-        "two-tailed t-test, memory: t = {:.2}, p = {:.4}",
-        mem_test.t, mem_test.p_value
-    );
+    println!("two-tailed t-test, memory: t = {:.2}, p = {:.4}", mem_test.t, mem_test.p_value);
 
     assert!(cpu_test.p_value < 0.0001, "CPU advantage must be significant (paper: p < 0.0001)");
     assert!(mem_test.p_value > 0.05, "memory must not differ significantly (paper: p = 0.0863)");

@@ -19,8 +19,7 @@ use neptune_sim::profile::neptune_unbatched_profile;
 use neptune_sim::{neptune_profile, simulate_relay, RelayParams};
 
 fn main() {
-    let buffer_sizes: &[usize] =
-        &[1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let buffer_sizes: &[usize] = &[1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
     let msg_sizes: &[usize] = &[50, 200, 400, 1024, 10 * 1024];
 
     println!("# Fig. 2 — throughput / latency / bandwidth vs buffer size\n");

@@ -80,8 +80,7 @@ fn main() {
     let job = LocalRuntime::new(config).submit(graph).expect("deploys");
 
     println!("# Fig. 4 — source throughput under a variable-rate stage C\n");
-    let mut table =
-        Table::new(&["t (s)", "C sleep (ms)", "A rate (pkt/s)", "C rate (pkt/s)"]);
+    let mut table = Table::new(&["t (s)", "C sleep (ms)", "A rate (pkt/s)", "C rate (pkt/s)"]);
     let mut t = 0.0f64;
     let mut staircase: Vec<(u64, f64)> = Vec::new();
     for cycle in 0..2 {
@@ -116,8 +115,7 @@ fn main() {
     // monotonically decreasing in the sleep interval, and the 0 ms phase
     // must dominate the 3 ms phase by a wide margin.
     let rate_at = |ms: u64| {
-        let xs: Vec<f64> =
-            staircase.iter().filter(|(s, _)| *s == ms).map(|(_, r)| *r).collect();
+        let xs: Vec<f64> = staircase.iter().filter(|(s, _)| *s == ms).map(|(_, r)| *r).collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let (r0, r1, r2, r3) = (rate_at(0), rate_at(1), rate_at(2), rate_at(3));

@@ -13,18 +13,16 @@ use neptune_sim::{neptune_profile, simulate_cluster, storm_profile, ClusterParam
 
 fn main() {
     const NODES: usize = 50;
-    println!("# Fig. 9 — manufacturing monitoring: cumulative throughput vs jobs ({NODES} nodes)\n");
-    let mut table = Table::new(&[
-        "jobs",
-        "NEPTUNE (msg/s)",
-        "Storm (msg/s)",
-        "NEPTUNE / Storm",
-    ]);
+    println!(
+        "# Fig. 9 — manufacturing monitoring: cumulative throughput vs jobs ({NODES} nodes)\n"
+    );
+    let mut table = Table::new(&["jobs", "NEPTUNE (msg/s)", "Storm (msg/s)", "NEPTUNE / Storm"]);
     let sweep = [1usize, 2, 4, 8, 16, 24, 32, 40, 50];
     let mut ratios = Vec::new();
     let mut np_points = Vec::new();
     for &jobs in &sweep {
-        let np = simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), NODES, jobs));
+        let np =
+            simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), NODES, jobs));
         let st = simulate_cluster(&ClusterParams::manufacturing_job(storm_profile(), NODES, jobs));
         let ratio = np.cumulative_throughput / st.cumulative_throughput;
         table.row(vec![

@@ -88,8 +88,7 @@ fn live_single_node_throughput() -> f64 {
 
 fn main() {
     println!("# §VI — the paper's headline numbers, reproduced\n");
-    let mut table =
-        Table::new(&["claim", "measured", "paper", "ratio", "verdict"]);
+    let mut table = Table::new(&["claim", "measured", "paper", "ratio", "verdict"]);
     let mut all_ok = true;
 
     // 1. Single-node relay ~2M msg/s (simulated 2-machine setup, 50 B).
@@ -115,8 +114,7 @@ fn main() {
     );
 
     // 2. 50-node cumulative ~100M msg/s.
-    let cluster =
-        simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), 50, 50));
+    let cluster = simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), 50, 50));
     all_ok &= check(
         "50-node cumulative throughput",
         cluster.cumulative_throughput,
@@ -129,18 +127,11 @@ fn main() {
     // 3. p99 latency for 10 KB packets < 87.8 ms at the high-throughput
     //    configuration.
     let lat = simulate_relay(RelayParams::new(neptune_profile(), 10 * 1024));
-    all_ok &= check(
-        "p99 latency, 10 KB pkts (ms)",
-        lat.p99_latency_ms,
-        87.8,
-        0.0,
-        87.8,
-        &mut table,
-    );
+    all_ok &=
+        check("p99 latency, 10 KB pkts (ms)", lat.p99_latency_ms, 87.8, 0.0, 87.8, &mut table);
 
     // 4. Manufacturing application ~15M msg/s cumulative.
-    let mfg =
-        simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), 50, 50));
+    let mfg = simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), 50, 50));
     all_ok &= check(
         "manufacturing cumulative throughput",
         mfg.cumulative_throughput,
@@ -152,14 +143,7 @@ fn main() {
 
     // Live anchor: the real engine on this host.
     let live = live_single_node_throughput();
-    all_ok &= check(
-        "LIVE single-host relay (tiny pkts)",
-        live,
-        2e6,
-        5e5,
-        2e7,
-        &mut table,
-    );
+    all_ok &= check("LIVE single-host relay (tiny pkts)", live, 2e6, 5e5, 2e7, &mut table);
 
     table.print();
     println!();

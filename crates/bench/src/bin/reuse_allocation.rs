@@ -23,7 +23,10 @@
 static ALLOC: neptune_bench::CountingAllocator = neptune_bench::CountingAllocator;
 
 use neptune_bench::{alloc_snapshot, eng, Table};
+use neptune_compress::SelectiveCompressor;
 use neptune_core::{FieldValue, PacketCodec, StreamPacket};
+use neptune_net::frame::{decode_frame, encode_frame, read_frame_pooled};
+use neptune_net::pool::BytesPool;
 use std::time::Instant;
 
 const PACKETS: u64 = 2_000_000;
@@ -56,8 +59,8 @@ fn run_with_reuse(stream: &[Vec<u8>]) -> (u64, u64, f64, u64) {
     for i in 0..PACKETS {
         let bytes = &stream[(i % stream.len() as u64) as usize];
         codec.decode_into(bytes, &mut workhorse).expect("decode");
-        checksum = checksum
-            .wrapping_add(workhorse.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
+        checksum =
+            checksum.wrapping_add(workhorse.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
         out.clear();
         codec.encode_into(&workhorse, &mut out).expect("encode");
         checksum = checksum.wrapping_add(out.len() as u64);
@@ -76,10 +79,83 @@ fn run_without_reuse(stream: &[Vec<u8>]) -> (u64, u64, f64, u64) {
         let bytes = &stream[(i % stream.len() as u64) as usize];
         let mut codec = PacketCodec::new();
         let packet = codec.decode(bytes).expect("decode");
-        checksum =
-            checksum.wrapping_add(packet.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
+        checksum = checksum.wrapping_add(packet.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
         let out = codec.encode(&packet).expect("encode");
         checksum = checksum.wrapping_add(out.len() as u64);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    (a1 - a0, b1 - b0, dt, checksum)
+}
+
+const RX_FRAMES: usize = 64;
+const RX_ROUNDS: usize = 64;
+
+/// One wire stream of `RX_FRAMES` frames, each carrying the whole encoded
+/// packet batch.
+fn make_wire(stream: &[Vec<u8>]) -> (Vec<u8>, u64) {
+    let raw = SelectiveCompressor::disabled();
+    let mut wire = Vec::new();
+    let mut base = 0u64;
+    for _ in 0..RX_FRAMES {
+        wire.extend_from_slice(&encode_frame(1, base, stream, &raw));
+        base += stream.len() as u64;
+    }
+    (wire, RX_FRAMES as u64 * stream.len() as u64 * RX_ROUNDS as u64)
+}
+
+/// The zero-copy receive path: pooled body buffers, messages as subslices
+/// of one refcounted batch, storage recycled after processing.
+fn run_receive_pooled(wire: &[u8]) -> (u64, u64, f64, u64) {
+    let pool = BytesPool::new(8);
+    let mut codec = PacketCodec::new();
+    let mut workhorse = StreamPacket::new();
+    let mut checksum = 0u64;
+    // One warmup pass populates the pool; the measured loop is steady state.
+    let mut cur = std::io::Cursor::new(wire);
+    for _ in 0..RX_FRAMES {
+        let f = read_frame_pooled(&mut cur, &pool).expect("frame");
+        pool.recycle(f.messages.into_batch());
+    }
+    let (a0, b0) = alloc_snapshot();
+    let t0 = Instant::now();
+    for _ in 0..RX_ROUNDS {
+        let mut cur = std::io::Cursor::new(wire);
+        for _ in 0..RX_FRAMES {
+            let frame = read_frame_pooled(&mut cur, &pool).expect("frame");
+            for m in &frame.messages {
+                codec.decode_into(m, &mut workhorse).expect("decode");
+                checksum = checksum
+                    .wrapping_add(workhorse.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
+            }
+            pool.recycle(frame.messages.into_batch());
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    (a1 - a0, b1 - b0, dt, checksum)
+}
+
+/// The legacy receive path: the body is copied out of the read buffer and
+/// every message is materialized as its own `Vec`.
+fn run_receive_copying(wire: &[u8]) -> (u64, u64, f64, u64) {
+    let mut codec = PacketCodec::new();
+    let mut workhorse = StreamPacket::new();
+    let mut checksum = 0u64;
+    let (a0, b0) = alloc_snapshot();
+    let t0 = Instant::now();
+    for _ in 0..RX_ROUNDS {
+        let mut off = 0usize;
+        for _ in 0..RX_FRAMES {
+            let (frame, consumed) = decode_frame(&wire[off..]).expect("frame");
+            off += consumed;
+            let owned: Vec<Vec<u8>> = frame.messages.iter().map(|m| m.to_vec()).collect();
+            for m in &owned {
+                codec.decode_into(m, &mut workhorse).expect("decode");
+                checksum = checksum
+                    .wrapping_add(workhorse.get("seq").and_then(|v| v.as_u64()).unwrap_or(0));
+            }
+        }
     }
     let dt = t0.elapsed().as_secs_f64();
     let (a1, b1) = alloc_snapshot();
@@ -125,9 +201,8 @@ fn main() {
     // management. The reuse path's allocator work is ~0; the naive path's
     // allocator share is estimated as the slowdown vs the reuse path.
     let mm_share_naive = ((t_naive - t_reuse) / t_naive * 100.0).max(0.0);
-    let mm_share_reuse = 0.0_f64.max(
-        (alloc_reuse as f64 / alloc_naive.max(1) as f64) * mm_share_naive,
-    );
+    let mm_share_reuse =
+        0.0_f64.max((alloc_reuse as f64 / alloc_naive.max(1) as f64) * mm_share_naive);
     println!();
     println!(
         "memory-management share of processing time: {:.2}% (no reuse) -> {:.2}% (reuse)",
@@ -138,5 +213,39 @@ fn main() {
         "allocation reduction: {:.0}x fewer allocations, {:.0}x fewer bytes",
         alloc_naive as f64 / alloc_reuse.max(1) as f64,
         bytes_naive as f64 / bytes_reuse.max(1) as f64
+    );
+
+    // ---- Receive path: pooled zero-copy frames vs copy-per-message. ----
+    println!("\n# receive path — pooled zero-copy frames vs per-message copies\n");
+    let (wire, rx_messages) = make_wire(&stream);
+    let (alloc_zc, bytes_zc, t_zc, c3) = run_receive_pooled(&wire);
+    let (alloc_cp, bytes_cp, t_cp, c4) = run_receive_copying(&wire);
+    assert_eq!(c3, c4, "both receive paths must compute identical results");
+
+    let mut rx = Table::new(&[
+        "mode",
+        "allocations/message",
+        "bytes/message",
+        "wall time (s)",
+        "throughput (msg/s)",
+    ]);
+    rx.row(vec![
+        "pooled zero-copy (NEPTUNE)".into(),
+        format!("{:.4}", alloc_zc as f64 / rx_messages as f64),
+        format!("{:.2}", bytes_zc as f64 / rx_messages as f64),
+        format!("{t_zc:.3}"),
+        eng(rx_messages as f64 / t_zc),
+    ]);
+    rx.row(vec![
+        "copy per message".into(),
+        format!("{:.4}", alloc_cp as f64 / rx_messages as f64),
+        format!("{:.2}", bytes_cp as f64 / rx_messages as f64),
+        format!("{t_cp:.3}"),
+        eng(rx_messages as f64 / t_cp),
+    ]);
+    rx.print();
+    println!(
+        "\nsteady-state receive allocations/message: {:.4} (target ~0)",
+        alloc_zc as f64 / rx_messages as f64
     );
 }

@@ -84,18 +84,15 @@ fn measure(batched: bool, windows: usize, window_s: f64) -> (Vec<f64>, f64, f64)
         // either way, every per-message handoff is a context switch the
         // batched mode avoids.
         samples.push(
-            ((after.nonvoluntary - before.nonvoluntary)
-                + (after.voluntary - before.voluntary)) as f64,
+            ((after.nonvoluntary - before.nonvoluntary) + (after.voluntary - before.voluntary))
+                as f64,
         );
     }
     let end = job.metrics();
     let packets = end.operator("sink").packets_in - packets0;
     let elapsed = t0.elapsed().as_secs_f64();
     // Scheduler crossings: scheduled executions across all processors.
-    let executions: u64 = ["relay", "sink"]
-        .iter()
-        .map(|op| end.operator(op).executions)
-        .sum();
+    let executions: u64 = ["relay", "sink"].iter().map(|op| end.operator(op).executions).sum();
     stop.store(true, Ordering::Relaxed);
     job.stop();
     (samples, packets as f64 / elapsed, executions as f64 / elapsed)

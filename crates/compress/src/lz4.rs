@@ -272,7 +272,10 @@ pub fn decompress_into(
     }
 
     if out.len() != limit {
-        return Err(Lz4Error::OutputOverflow { needed: out.len() - start, available: decompressed_len });
+        return Err(Lz4Error::OutputOverflow {
+            needed: out.len() - start,
+            available: decompressed_len,
+        });
     }
     Ok(())
 }

@@ -167,11 +167,7 @@ impl SelectiveCompressor {
             out.extend_from_slice(payload);
             return CompressionDecision::Incompressible { entropy };
         }
-        CompressionDecision::Compressed {
-            entropy,
-            original_len: payload.len(),
-            compressed_len,
-        }
+        CompressionDecision::Compressed { entropy, original_len: payload.len(), compressed_len }
     }
 
     /// Decode a frame produced by any policy (the tag is self-describing).

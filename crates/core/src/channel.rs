@@ -22,7 +22,7 @@ use neptune_net::frame::encode_frame_raw;
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -100,6 +100,10 @@ impl std::error::Error for EmitError {}
 pub struct ChannelEndpoint {
     channel: ChannelId,
     buffer: Mutex<OutputBuffer>,
+    /// Mirror of "the buffer holds at least one message", maintained under
+    /// the buffer lock. Lets the flusher thread skip idle endpoints with a
+    /// single atomic load instead of taking every buffer mutex each tick.
+    has_data: AtomicBool,
     compressor: SelectiveCompressor,
     sink: SinkHandle,
     /// Counters of the *sending* operator.
@@ -115,7 +119,14 @@ impl ChannelEndpoint {
         sink: SinkHandle,
         counters: Arc<OperatorCounters>,
     ) -> Self {
-        ChannelEndpoint { channel, buffer: Mutex::new(buffer), compressor, sink, counters }
+        ChannelEndpoint {
+            channel,
+            buffer: Mutex::new(buffer),
+            has_data: AtomicBool::new(false),
+            compressor,
+            sink,
+            counters,
+        }
     }
 
     /// The channel this endpoint serves.
@@ -127,18 +138,46 @@ impl ChannelEndpoint {
     /// the buffer. Blocks under downstream backpressure.
     pub fn push(&self, message: &[u8]) -> Result<(), EmitError> {
         let mut buf = self.buffer.lock();
-        match buf.push(message) {
-            PushOutcome::Buffered => Ok(()),
-            PushOutcome::Flush(batch) => self.dispatch(&mut buf, batch),
+        let outcome = buf.push(message);
+        self.after_push(&mut buf, outcome)
+    }
+
+    /// Buffer one packet that already carries its 4-byte length prefix —
+    /// the serialize-once fan-out path ([`crate::operator::OperatorContext`]
+    /// encodes `[len | bytes]` once and appends the same slice to every
+    /// destination endpoint).
+    pub fn push_preencoded(&self, prefixed: &[u8]) -> Result<(), EmitError> {
+        let mut buf = self.buffer.lock();
+        let outcome = buf.push_prefixed(prefixed);
+        self.after_push(&mut buf, outcome)
+    }
+
+    fn after_push(&self, buf: &mut OutputBuffer, outcome: PushOutcome) -> Result<(), EmitError> {
+        match outcome {
+            PushOutcome::Buffered => {
+                self.has_data.store(true, Ordering::Release);
+                Ok(())
+            }
+            PushOutcome::Flush(batch) => {
+                self.has_data.store(false, Ordering::Release);
+                self.dispatch(buf, batch)
+            }
         }
     }
 
     /// Timer path: flush if the oldest buffered message is older than the
-    /// link's flush interval.
+    /// link's flush interval. Cheap when idle: an empty endpoint is skipped
+    /// on an atomic load, without touching the buffer mutex.
     pub fn flush_if_due(&self, now: Instant) -> Result<(), EmitError> {
+        if !self.has_data.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let mut buf = self.buffer.lock();
         match buf.take_if_due(now) {
-            Some(batch) => self.dispatch(&mut buf, batch),
+            Some(batch) => {
+                self.has_data.store(false, Ordering::Release);
+                self.dispatch(&mut buf, batch)
+            }
             None => Ok(()),
         }
     }
@@ -147,7 +186,10 @@ impl ChannelEndpoint {
     pub fn force_flush(&self) -> Result<(), EmitError> {
         let mut buf = self.buffer.lock();
         match buf.force_flush() {
-            Some(batch) => self.dispatch(&mut buf, batch),
+            Some(batch) => {
+                self.has_data.store(false, Ordering::Release);
+                self.dispatch(&mut buf, batch)
+            }
             None => Ok(()),
         }
     }
@@ -163,13 +205,18 @@ impl ChannelEndpoint {
         let count = batch.count;
         let wire_bytes = match &self.sink {
             SinkHandle::InProcess(t) => {
-                t.send_batch(self.channel.raw(), batch.base_seq, &batch.encoded, count)
-                    .map_err(|e| match e {
+                // Header-equivalent accounting mirrors the TCP path.
+                let wire_bytes = neptune_net::frame::FRAME_HEADER_LEN + batch.encoded.len() + 1;
+                // The batch buffer moves to the receiver without a copy;
+                // the consuming task recycles it to the shared pool once
+                // every message has been processed.
+                t.send_batch(self.channel.raw(), batch.base_seq, batch.encoded, count).map_err(
+                    |e| match e {
                         TransportError::Closed => EmitError::Closed,
                         other => EmitError::Transport(other.to_string()),
-                    })?;
-                // Header-equivalent accounting mirrors the TCP path.
-                neptune_net::frame::FRAME_HEADER_LEN + batch.encoded.len() + 1
+                    },
+                )?;
+                wire_bytes
             }
             SinkHandle::Tcp(sender) => {
                 let wire = encode_frame_raw(
@@ -184,12 +231,14 @@ impl ChannelEndpoint {
                     TransportError::Closed => EmitError::Closed,
                     other => EmitError::Transport(other.to_string()),
                 })?;
+                // The wire copy is what travels; the batch storage can go
+                // straight back to the buffer (sole handle → reclaimed).
+                buf.recycle(batch.encoded);
                 len
             }
         };
         self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes_out.fetch_add(wire_bytes as u64, Ordering::Relaxed);
-        buf.recycle(batch.encoded);
         Ok(())
     }
 }
@@ -293,6 +342,33 @@ mod tests {
         let (ep, q) = make_inproc_endpoint(8);
         q.close();
         assert_eq!(ep.push(&[0u8; 16]).unwrap_err(), EmitError::Closed);
+    }
+
+    #[test]
+    fn push_preencoded_matches_push() {
+        let (ep, q) = make_inproc_endpoint(1 << 20);
+        ep.push(b"plain").unwrap();
+        let mut prefixed = 5u32.to_le_bytes().to_vec();
+        prefixed.extend_from_slice(b"plain");
+        ep.push_preencoded(&prefixed).unwrap();
+        ep.force_flush().unwrap();
+        let f = q.pop().unwrap();
+        assert_eq!(f.messages, vec![b"plain".to_vec(), b"plain".to_vec()]);
+        assert_eq!(f.base_seq, 0);
+    }
+
+    #[test]
+    fn idle_endpoint_skips_flush_without_locking() {
+        // White-box: an endpoint that never buffered anything keeps its
+        // non-empty flag clear, and flush_if_due is a no-op returning Ok.
+        let (ep, q) = make_inproc_endpoint(1 << 20);
+        assert!(!ep.has_data.load(Ordering::Acquire));
+        ep.flush_if_due(Instant::now()).unwrap();
+        assert!(q.is_empty());
+        ep.push(b"x").unwrap();
+        assert!(ep.has_data.load(Ordering::Acquire), "push must raise the flag");
+        ep.force_flush().unwrap();
+        assert!(!ep.has_data.load(Ordering::Acquire), "flush must clear the flag");
     }
 
     #[test]

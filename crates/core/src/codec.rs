@@ -55,7 +55,9 @@ pub enum CodecError {
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::Truncated { context } => write!(f, "truncated packet while reading {context}"),
+            CodecError::Truncated { context } => {
+                write!(f, "truncated packet while reading {context}")
+            }
             CodecError::BadTypeTag(t) => write!(f, "unknown field type tag {t}"),
             CodecError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
             CodecError::NameTooLong(n) => write!(f, "field name of {n} bytes exceeds 255"),
@@ -121,7 +123,11 @@ impl PacketCodec {
     }
 
     /// Serialize `packet`, appending to `out`.
-    pub fn encode_into(&mut self, packet: &StreamPacket, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    pub fn encode_into(
+        &mut self,
+        packet: &StreamPacket,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         if packet.len() > u16::MAX as usize {
             return Err(CodecError::TooManyFields(packet.len()));
         }
@@ -165,7 +171,11 @@ impl PacketCodec {
     /// Deserialize into `packet`, reusing its field vector and — when the
     /// layout matches the packet's previous contents — its string/bytes
     /// allocations. The entire input must be consumed.
-    pub fn decode_into(&mut self, bytes: &[u8], packet: &mut StreamPacket) -> Result<(), CodecError> {
+    pub fn decode_into(
+        &mut self,
+        bytes: &[u8],
+        packet: &mut StreamPacket,
+    ) -> Result<(), CodecError> {
         let mut r = Reader { bytes, pos: 0 };
         let count = r.u16()? as usize;
         let fields = packet.fields_vec_mut();
@@ -210,7 +220,11 @@ impl PacketCodec {
 
 /// Decode one value; reuses `slot`'s heap allocation when possible.
 /// Returns true when an allocation was reused.
-fn decode_value_into(r: &mut Reader<'_>, tag: u8, slot: &mut FieldValue) -> Result<bool, CodecError> {
+fn decode_value_into(
+    r: &mut Reader<'_>,
+    tag: u8,
+    slot: &mut FieldValue,
+) -> Result<bool, CodecError> {
     match tag {
         TAG_I64 => {
             *slot = FieldValue::I64(i64::from_le_bytes(r.array::<8>("i64")?));
@@ -391,10 +405,7 @@ mod tests {
         let mut codec = PacketCodec::new();
         let bytes = codec.encode(&sample()).unwrap();
         for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                codec.decode(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(codec.decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -27,7 +27,9 @@
 //! }
 //! ```
 
-use crate::config::{CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TransportMode};
+use crate::config::{
+    CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TransportMode,
+};
 use crate::graph::{Factory, Graph, GraphBuilder, GraphError, OperatorSpec};
 use crate::json::{parse, JsonValue};
 use crate::operator::{StreamProcessor, StreamSource};
@@ -212,7 +214,9 @@ pub fn parse_descriptor(
 }
 
 fn parse_partitioning(v: Option<&JsonValue>) -> Result<PartitioningScheme, DescriptorError> {
-    let Some(v) = v else { return Ok(PartitioningScheme::Shuffle) };
+    let Some(v) = v else {
+        return Ok(PartitioningScheme::Shuffle);
+    };
     let scheme = v
         .get("scheme")
         .and_then(JsonValue::as_str)
@@ -347,9 +351,9 @@ fn parse_config(v: Option<&JsonValue>) -> Result<RuntimeConfig, DescriptorError>
         };
     }
     if let Some(w) = v.get("worker_threads") {
-        config.worker_threads = Some(
-            w.as_u64().ok_or_else(|| shape("config 'worker_threads' must be an integer"))? as usize,
-        );
+        config.worker_threads =
+            Some(w.as_u64().ok_or_else(|| shape("config 'worker_threads' must be an integer"))?
+                as usize);
     }
     Ok(config)
 }
@@ -416,7 +420,9 @@ mod tests {
         assert_eq!(graph.operator("relay").unwrap().parallelism, 2);
         assert_eq!(graph.links().len(), 2);
         let l0 = &graph.links()[0];
-        assert!(matches!(&l0.partitioning, PartitioningScheme::Fields(k) if k == &vec!["n".to_string()]));
+        assert!(
+            matches!(&l0.partitioning, PartitioningScheme::Fields(k) if k == &vec!["n".to_string()])
+        );
         assert_eq!(l0.options.buffer_bytes, Some(4096));
         assert_eq!(l0.options.flush_interval, Some(Duration::from_millis(5)));
         assert_eq!(l0.options.compression, Some(CompressionMode::Threshold(4.5)));
@@ -450,7 +456,9 @@ mod tests {
             "operators": [{"name": "s", "kind": "source", "factory": "ghost"}]
         }"#;
         let err = parse_descriptor(doc, &registry()).unwrap_err();
-        assert!(matches!(err, DescriptorError::UnknownFactory { factory, .. } if factory == "ghost"));
+        assert!(
+            matches!(err, DescriptorError::UnknownFactory { factory, .. } if factory == "ghost")
+        );
     }
 
     #[test]
@@ -490,9 +498,7 @@ mod tests {
     fn params_reach_factories() {
         let (graph, _) = parse_descriptor(DESCRIPTOR, &registry()).unwrap();
         // Instantiate the source and drain it: must emit exactly 500.
-        let Factory::Source(f) = &graph.operator("sender").unwrap().factory else {
-            panic!("kind")
-        };
+        let Factory::Source(f) = &graph.operator("sender").unwrap().factory else { panic!("kind") };
         let mut src = f();
         let mut ctx = OperatorContext::collector("sender");
         let mut emitted = 0;
@@ -539,10 +545,7 @@ mod tests {
             crate::config::PlacementStrategy::CapacityWeighted(vec![8, 4])
         );
         let bad = doc.replace("capacity-weighted", "psychic");
-        assert!(matches!(
-            parse_descriptor(&bad, &registry()),
-            Err(DescriptorError::Shape(_))
-        ));
+        assert!(matches!(parse_descriptor(&bad, &registry()), Err(DescriptorError::Shape(_))));
     }
 
     #[test]

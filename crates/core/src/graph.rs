@@ -186,22 +186,12 @@ impl Graph {
 
     /// Indices of links leaving `name`.
     pub fn out_links(&self, name: &str) -> Vec<usize> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.from == name)
-            .map(|(i, _)| i)
-            .collect()
+        self.links.iter().enumerate().filter(|(_, l)| l.from == name).map(|(i, _)| i).collect()
     }
 
     /// Indices of links entering `name`.
     pub fn in_links(&self, name: &str) -> Vec<usize> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.to == name)
-            .map(|(i, _)| i)
-            .collect()
+        self.links.iter().enumerate().filter(|(_, l)| l.to == name).map(|(i, _)| i).collect()
     }
 
     /// Total operator instances across the graph.
@@ -531,10 +521,7 @@ mod tests {
 
     #[test]
     fn zero_parallelism_rejected() {
-        let err = GraphBuilder::new("g")
-            .source_n("s", 0, || NullSource)
-            .build()
-            .unwrap_err();
+        let err = GraphBuilder::new("g").source_n("s", 0, || NullSource).build().unwrap_err();
         assert_eq!(err, GraphError::ZeroParallelism("s".into()));
     }
 

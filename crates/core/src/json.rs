@@ -310,8 +310,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -386,8 +385,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err(format!("invalid number '{text}'")))
@@ -445,8 +443,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
-            "[1] trailing", "{\"a\":1,}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -479,10 +485,7 @@ mod tests {
 
     #[test]
     fn object_builder_helper() {
-        let v = object([
-            ("name", JsonValue::String("x".into())),
-            ("n", JsonValue::Number(3.0)),
-        ]);
+        let v = object([("name", JsonValue::String("x".into())), ("n", JsonValue::Number(3.0))]);
         assert_eq!(v.get("name").unwrap().as_str(), Some("x"));
         assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
     }

@@ -5,6 +5,7 @@
 //! throughput, latency, and bandwidth consumption (§IV) — are all derived
 //! from these plus packet timestamps.
 
+use neptune_net::pool::BytesPoolStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +91,10 @@ impl OperatorMetrics {
 pub struct JobMetrics {
     /// Per-operator snapshots.
     pub operators: BTreeMap<String, OperatorMetrics>,
+    /// Job-wide batch-buffer pool counters (hits, misses, bytes reused);
+    /// filled by [`crate::runtime::JobHandle::metrics`], default-zero when
+    /// the snapshot comes straight from a bare [`MetricsRegistry`].
+    pub buffer_pool: BytesPoolStats,
 }
 
 impl JobMetrics {
@@ -101,11 +106,7 @@ impl JobMetrics {
     /// Total packets emitted by all sources (operators with no inputs show
     /// `packets_in == 0`).
     pub fn total_source_packets(&self) -> u64 {
-        self.operators
-            .values()
-            .filter(|m| m.packets_in == 0)
-            .map(|m| m.packets_out)
-            .sum()
+        self.operators.values().filter(|m| m.packets_in == 0).map(|m| m.packets_out).sum()
     }
 
     /// Total wire bytes across all operators.
@@ -147,12 +148,8 @@ impl MetricsRegistry {
     /// Snapshot every operator.
     pub fn snapshot(&self) -> JobMetrics {
         JobMetrics {
-            operators: self
-                .inner
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
-                .collect(),
+            operators: self.inner.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+            buffer_pool: BytesPoolStats::default(),
         }
     }
 }

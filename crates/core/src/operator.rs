@@ -208,12 +208,15 @@ impl OperatorContext {
                         )));
                     }
                 }
-                // Serialize once, reuse for every destination (object
-                // reuse: one codec, one scratch buffer per instance).
+                // Serialize once — including the batch length prefix — and
+                // reuse the same bytes for every destination (object reuse:
+                // one codec, one scratch buffer per instance; a broadcast
+                // or multi-link emit never re-encodes the packet).
                 scratch.clear();
-                codec
-                    .encode_into(packet, scratch)
-                    .map_err(|e| EmitError::Codec(e.to_string()))?;
+                scratch.extend_from_slice(&[0u8; 4]); // length backfilled below
+                codec.encode_into(packet, scratch).map_err(|e| EmitError::Codec(e.to_string()))?;
+                let body_len = (scratch.len() - 4) as u32;
+                scratch[..4].copy_from_slice(&body_len.to_le_bytes());
                 let mut delivered = 0u64;
                 for link in links.iter_mut() {
                     if let Some(name) = only {
@@ -223,12 +226,12 @@ impl OperatorContext {
                     }
                     match link.partitioner.route(packet, link.endpoints.len()) {
                         Route::One(i) => {
-                            link.endpoints[i].push(scratch)?;
+                            link.endpoints[i].push_preencoded(scratch)?;
                             delivered += 1;
                         }
                         Route::All => {
                             for ep in &link.endpoints {
-                                ep.push(scratch)?;
+                                ep.push_preencoded(scratch)?;
                                 delivered += 1;
                             }
                         }
@@ -366,6 +369,38 @@ mod tests {
         assert_eq!(queues[0].len(), 2);
         assert_eq!(queues[1].len(), 2);
         assert_eq!(queues[2].len(), 2);
+    }
+
+    #[test]
+    fn broadcast_fan_out_delivers_identical_bytes() {
+        // Serialize-once fan-out: a broadcast packet reaches every
+        // destination instance as byte-identical messages.
+        let counters = Arc::new(OperatorCounters::default());
+        let mut queues = Vec::new();
+        let mut endpoints = Vec::new();
+        for di in 0..3 {
+            let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+            queues.push(q.clone());
+            endpoints.push(Arc::new(ChannelEndpoint::new(
+                ChannelId::new(0, 0, di as u16),
+                OutputBuffer::new(1, None),
+                SelectiveCompressor::disabled(),
+                SinkHandle::InProcess(Arc::new(InProcessTransport::new(q))),
+                counters.clone(),
+            )));
+        }
+        let links = vec![OutgoingLink::new("fan", &PartitioningScheme::Broadcast, endpoints)];
+        let mut ctx = OperatorContext::for_channels("src", 0, 1, links, counters);
+        ctx.emit(&packet(123)).unwrap();
+        assert_eq!(ctx.packets_emitted(), 3);
+        let frames: Vec<_> = queues.iter().map(|q| q.pop().unwrap()).collect();
+        for f in &frames {
+            assert_eq!(f.messages.len(), 1);
+            assert_eq!(f.messages[0], frames[0].messages[0]);
+        }
+        let mut codec = PacketCodec::new();
+        let decoded = codec.decode(&frames[2].messages[0]).unwrap();
+        assert_eq!(decoded.get("n").unwrap().as_u64(), Some(123));
     }
 
     #[test]

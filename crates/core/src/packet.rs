@@ -207,11 +207,7 @@ impl StreamPacket {
 
     /// Approximate serialized size in bytes.
     pub fn encoded_size(&self) -> usize {
-        2 + self
-            .fields
-            .iter()
-            .map(|f| 2 + f.name.len() + f.value.encoded_size())
-            .sum::<usize>()
+        2 + self.fields.iter().map(|f| 2 + f.name.len() + f.value.encoded_size()).sum::<usize>()
     }
 
     /// Crate-internal access for the codec's in-place, allocation-reusing
@@ -327,7 +323,11 @@ impl Schema {
             }
             let actual_ty = packet.field_at(i).expect("checked len").field_type();
             if actual_ty != *ty {
-                return Err(SchemaError::TypeMismatch { index: i, expected: *ty, actual: actual_ty });
+                return Err(SchemaError::TypeMismatch {
+                    index: i,
+                    expected: *ty,
+                    actual: actual_ty,
+                });
             }
         }
         Ok(())
@@ -392,8 +392,7 @@ mod tests {
     #[test]
     fn field_types_reported() {
         let p = sample_packet();
-        let types: Vec<FieldType> =
-            p.iter().map(|(_, v)| v.field_type()).collect();
+        let types: Vec<FieldType> = p.iter().map(|(_, v)| v.field_type()).collect();
         assert_eq!(
             types,
             vec![

@@ -214,10 +214,8 @@ mod tests {
     #[test]
     fn multi_field_keys_differ_from_single() {
         let mut single = Partitioner::new(&PartitioningScheme::by_field("device"));
-        let mut multi = Partitioner::new(&PartitioningScheme::Fields(vec![
-            "device".into(),
-            "reading".into(),
-        ]));
+        let mut multi =
+            Partitioner::new(&PartitioningScheme::Fields(vec!["device".into(), "reading".into()]));
         // Same device, different reading: single-field must co-locate,
         // multi-field generally should not always co-locate.
         let mut p1 = StreamPacket::new();

@@ -50,7 +50,11 @@ impl PacketPool {
     /// Pool retaining at most `max_retained` idle packets.
     pub fn new(max_retained: usize) -> Self {
         assert!(max_retained > 0, "pool must retain at least one object");
-        PacketPool { free: Vec::with_capacity(max_retained.min(1024)), max_retained, stats: PoolStats::default() }
+        PacketPool {
+            free: Vec::with_capacity(max_retained.min(1024)),
+            max_retained,
+            stats: PoolStats::default(),
+        }
     }
 
     /// Default pool size used by operator instances: a batch worth of

@@ -34,6 +34,7 @@ use crate::packet::StreamPacket;
 use neptune_granules::{ComputationalTask, Resource, ScheduleSpec, TaskContext, TaskOutcome};
 use neptune_net::buffer::OutputBuffer;
 use neptune_net::frame::Frame;
+use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::transport::InProcessTransport;
 use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
@@ -100,6 +101,10 @@ struct ProcessorTask {
     counters: Arc<OperatorCounters>,
     /// Expected next sequence number per channel (exactly-once check).
     expected_seq: HashMap<u64, u64>,
+    /// Job-wide batch-buffer pool; processed frames return their storage
+    /// here so upstream output buffers and TCP readers can reuse it
+    /// (object reuse, §III-B3).
+    pool: Arc<BytesPool>,
 }
 
 impl ComputationalTask for ProcessorTask {
@@ -137,6 +142,10 @@ impl ComputationalTask for ProcessorTask {
                         }
                     }
                 }
+                // Batch storage goes back to the pool once every message in
+                // it has been decoded; the recycle is a no-op while other
+                // frames still share the buffer.
+                self.pool.recycle(frame.messages.into_batch());
             }
             if !drain_fully {
                 // End this scheduled execution after one frame; ask for a
@@ -172,6 +181,7 @@ pub struct JobHandle {
     queues: Vec<Arc<WatermarkQueue<Frame>>>,
     endpoints: Vec<Arc<ChannelEndpoint>>,
     receivers: Mutex<Vec<TcpReceiver>>,
+    pool: Arc<BytesPool>,
     registry: MetricsRegistry,
     stopped: AtomicBool,
     /// `(operator, instance) -> resource index`, for observability and
@@ -187,7 +197,9 @@ impl JobHandle {
 
     /// Live metrics snapshot.
     pub fn metrics(&self) -> JobMetrics {
-        self.registry.snapshot()
+        let mut m = self.registry.snapshot();
+        m.buffer_pool = self.pool.stats();
+        m
     }
 
     /// Live gauges of every inbound watermark queue:
@@ -295,13 +307,19 @@ impl JobHandle {
             rx.shutdown();
         }
         self.stopped.store(true, Ordering::Release);
-        self.registry.snapshot()
+        let mut m = self.registry.snapshot();
+        m.buffer_pool = self.pool.stats();
+        m
     }
 }
 
 fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError> {
     let registry = MetricsRegistry::new();
     let stop_flag = Arc::new(AtomicBool::new(false));
+    // One batch-buffer pool per job: output buffers check storage out,
+    // transports hand it to receiving tasks by refcount, and processed
+    // frames recycle it (§III-B3 object reuse, now across threads).
+    let pool = Arc::new(BytesPool::default());
 
     // ---- Placement: strategy-driven assignment of instances. ----
     let n_resources = config.resources;
@@ -384,7 +402,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                     (0..fop.parallelism).any(|si| placement[&(foi, si)] != my_res)
                 });
             let queue = if needs_tcp {
-                let rx = TcpReceiver::bind("127.0.0.1:0", watermark)
+                let rx = TcpReceiver::bind_pooled("127.0.0.1:0", watermark, pool.clone())
                     .map_err(|e| SubmitError::Io(e.to_string()))?;
                 let q = rx.queue();
                 receiver_addr.insert((oi, inst), rx.local_addr());
@@ -400,12 +418,8 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
     }
 
     // ---- Channel endpoints per link x (src_inst, dst_inst). ----
-    let op_index: HashMap<&str, usize> = graph
-        .operators()
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (o.name.as_str(), i))
-        .collect();
+    let op_index: HashMap<&str, usize> =
+        graph.operators().iter().enumerate().map(|(i, o)| (o.name.as_str(), i)).collect();
     let mut outgoing: HashMap<(usize, usize), Vec<OutgoingLink>> = HashMap::new();
     let mut all_endpoints: Vec<Arc<ChannelEndpoint>> = Vec::new();
     // Deliver hooks installed after tasks exist: channel -> (oi, inst).
@@ -441,7 +455,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                 };
                 let ep = Arc::new(ChannelEndpoint::new(
                     channel,
-                    OutputBuffer::new(buffer_bytes, Some(flush_interval)),
+                    OutputBuffer::with_pool(buffer_bytes, Some(flush_interval), pool.clone()),
                     compression.to_compressor(),
                     sink,
                     src_counters.clone(),
@@ -449,10 +463,11 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                 all_endpoints.push(ep.clone());
                 endpoints.push(ep);
             }
-            outgoing
-                .entry((src_oi, src_inst))
-                .or_default()
-                .push(OutgoingLink::new(link.to.clone(), &link.partitioning, endpoints));
+            outgoing.entry((src_oi, src_inst)).or_default().push(OutgoingLink::new(
+                link.to.clone(),
+                &link.partitioning,
+                endpoints,
+            ));
         }
     }
 
@@ -462,7 +477,9 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
     let mut handles_by_operator: HashMap<String, Vec<neptune_granules::TaskHandle>> =
         HashMap::new();
     for (oi, op) in graph.operators().iter().enumerate() {
-        let Factory::Processor(factory) = &op.factory else { continue };
+        let Factory::Processor(factory) = &op.factory else {
+            continue;
+        };
         let counters = registry.for_operator(&op.name);
         for inst in 0..op.parallelism {
             let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
@@ -483,6 +500,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                 batch_max,
                 counters: counters.clone(),
                 expected_seq: HashMap::new(),
+                pool: pool.clone(),
             };
             let resource = &resources[placement[&(oi, inst)]];
             // Batched scheduling lets a slot drain bursts on one worker
@@ -494,9 +512,8 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
             } else {
                 ScheduleSpec::data_driven().with_max_consecutive_runs(1)
             };
-            let handle = resource
-                .deploy(task, spec)
-                .map_err(|e| SubmitError::Config(e.to_string()))?;
+            let handle =
+                resource.deploy(task, spec).map_err(|e| SubmitError::Config(e.to_string()))?;
             task_handles.insert((oi, inst), handle.clone());
             handles_by_operator.entry(op.name.clone()).or_default().push(handle);
         }
@@ -516,7 +533,9 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
     let active_pumps = Arc::new(AtomicUsize::new(0));
     let mut pumps = Vec::new();
     for (oi, op) in graph.operators().iter().enumerate() {
-        let Factory::Source(factory) = &op.factory else { continue };
+        let Factory::Source(factory) = &op.factory else {
+            continue;
+        };
         let counters = registry.for_operator(&op.name);
         for inst in 0..op.parallelism {
             let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
@@ -584,9 +603,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
     let processor_handles: Vec<(String, Vec<neptune_granules::TaskHandle>)> = graph
         .topological_order()
         .into_iter()
-        .filter_map(|name| {
-            handles_by_operator.remove(name).map(|hs| (name.to_string(), hs))
-        })
+        .filter_map(|name| handles_by_operator.remove(name).map(|hs| (name.to_string(), hs)))
         .collect();
 
     Ok(JobHandle {
@@ -601,6 +618,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
         queues: all_queues,
         endpoints: all_endpoints,
         receivers: Mutex::new(receivers),
+        pool,
         registry,
         stopped: AtomicBool::new(false),
         placement: placement_table,
@@ -677,11 +695,8 @@ mod tests {
     #[test]
     fn relay_delivers_every_packet_exactly_once() {
         let n = 5_000u64;
-        let (seen, sum, metrics) = run_relay(
-            RuntimeConfig { buffer_bytes: 4096, ..Default::default() },
-            n,
-            1,
-        );
+        let (seen, sum, metrics) =
+            run_relay(RuntimeConfig { buffer_bytes: 4096, ..Default::default() }, n, 1);
         assert_eq!(seen, n);
         assert_eq!(sum, n * (n - 1) / 2, "payload integrity");
         assert_eq!(metrics.total_seq_violations(), 0);
@@ -693,11 +708,8 @@ mod tests {
     #[test]
     fn relay_with_parallel_middle_stage() {
         let n = 4_000u64;
-        let (seen, sum, metrics) = run_relay(
-            RuntimeConfig { buffer_bytes: 2048, ..Default::default() },
-            n,
-            4,
-        );
+        let (seen, sum, metrics) =
+            run_relay(RuntimeConfig { buffer_bytes: 2048, ..Default::default() }, n, 4);
         assert_eq!(seen, n);
         assert_eq!(sum, n * (n - 1) / 2);
         assert_eq!(metrics.total_seq_violations(), 0);
@@ -717,11 +729,8 @@ mod tests {
     #[test]
     fn batching_reduces_frames_and_executions() {
         let n = 20_000u64;
-        let (seen, _, metrics) = run_relay(
-            RuntimeConfig { buffer_bytes: 64 * 1024, ..Default::default() },
-            n,
-            1,
-        );
+        let (seen, _, metrics) =
+            run_relay(RuntimeConfig { buffer_bytes: 64 * 1024, ..Default::default() }, n, 1);
         assert_eq!(seen, n);
         let relay = metrics.operator("relay");
         assert!(relay.frames_in < n / 10, "batching too weak: {} frames", relay.frames_in);
@@ -731,6 +740,21 @@ mod tests {
             relay.executions,
             relay.packets_in
         );
+    }
+
+    #[test]
+    fn batch_buffers_recycle_through_the_pool() {
+        // The zero-copy data path: flushed batch storage must round-trip
+        // sender -> queue -> processor -> pool -> sender again, so steady
+        // state serves checkouts from the free list instead of malloc.
+        let n = 20_000u64;
+        let (seen, _, metrics) =
+            run_relay(RuntimeConfig { buffer_bytes: 4096, ..Default::default() }, n, 1);
+        assert_eq!(seen, n);
+        let pool = metrics.buffer_pool;
+        assert!(pool.hits > 0, "pool never reused a buffer: {pool:?}");
+        assert!(pool.bytes_reused > 0, "no bytes reused: {pool:?}");
+        assert!(pool.returns > 0, "processed frames never returned storage: {pool:?}");
     }
 
     #[test]
@@ -859,12 +883,9 @@ mod tests {
             .link("src", "sink", PartitioningScheme::by_field("key"))
             .build()
             .unwrap();
-        let job = LocalRuntime::new(RuntimeConfig {
-            buffer_bytes: 512,
-            ..Default::default()
-        })
-        .submit(graph)
-        .unwrap();
+        let job = LocalRuntime::new(RuntimeConfig { buffer_bytes: 512, ..Default::default() })
+            .submit(graph)
+            .unwrap();
         job.await_sources(Duration::from_secs(30));
         let metrics = job.stop();
         assert_eq!(violations.load(Ordering::Relaxed), 0, "key co-location violated");
@@ -916,8 +937,7 @@ mod tests {
         struct TotalSink(Arc<AtomicU64>);
         impl StreamProcessor for TotalSink {
             fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
-                self.0
-                    .store(p.get("total").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+                self.0.store(p.get("total").unwrap().as_u64().unwrap(), Ordering::Relaxed);
             }
         }
         let graph = GraphBuilder::new("close-emit")
@@ -989,8 +1009,10 @@ mod tests {
         job.await_sources(Duration::from_secs(30));
         job.stop();
         // 12 instances over weights 4:1:1 -> resource 0 gets ~4x the rest.
-        assert!(per_resource[0] >= 2 * per_resource[1].max(per_resource[2]),
-            "placement {per_resource:?} ignored weights");
+        assert!(
+            per_resource[0] >= 2 * per_resource[1].max(per_resource[2]),
+            "placement {per_resource:?} ignored weights"
+        );
         assert_eq!(per_resource.iter().sum::<usize>(), 12);
     }
 
@@ -1003,9 +1025,6 @@ mod tests {
             .build()
             .unwrap();
         let bad = RuntimeConfig { watermark_low: 100, watermark_high: 100, ..Default::default() };
-        assert!(matches!(
-            LocalRuntime::new(bad).submit(graph),
-            Err(SubmitError::Config(_))
-        ));
+        assert!(matches!(LocalRuntime::new(bad).submit(graph), Err(SubmitError::Config(_))));
     }
 }

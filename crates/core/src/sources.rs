@@ -229,8 +229,7 @@ mod tests {
 
     #[test]
     fn finite_queue_source_exhausts_after_close() {
-        let queue: Arc<QueueDataset<StreamPacket>> =
-            Arc::new(QueueDataset::new(DatasetId(3), 8));
+        let queue: Arc<QueueDataset<StreamPacket>> = Arc::new(QueueDataset::new(DatasetId(3), 8));
         queue.push(packet(1)).unwrap();
         queue.push(packet(2)).unwrap();
         use neptune_granules::Dataset;
@@ -278,17 +277,13 @@ mod tests {
             }
         }
         let rate = emitted as f64 / t0.elapsed().as_secs_f64();
-        assert!(
-            (1_000.0..3_200.0).contains(&rate),
-            "measured {rate:.0} pkt/s, expected ~2000"
-        );
+        assert!((1_000.0..3_200.0).contains(&rate), "measured {rate:.0} pkt/s, expected ~2000");
     }
 
     #[test]
     fn rate_limited_source_passes_through_exhaustion() {
         let packets: Vec<StreamPacket> = (0..3).map(packet).collect();
-        let mut src =
-            RateLimitedSource::new(IteratorSource::new(packets.into_iter()), 1e6);
+        let mut src = RateLimitedSource::new(IteratorSource::new(packets.into_iter()), 1e6);
         let mut ctx = OperatorContext::collector("paced");
         let mut emitted = 0;
         loop {

@@ -5,7 +5,9 @@
 //! in the range of 50 to 400 bytes, since majority of the message sizes
 //! found in IoT and sensing environment datasets are within that range."*
 
-use neptune_core::{now_micros, FieldValue, OperatorContext, SourceStatus, StreamPacket, StreamSource};
+use neptune_core::{
+    now_micros, FieldValue, OperatorContext, SourceStatus, StreamPacket, StreamSource,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

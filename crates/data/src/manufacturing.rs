@@ -144,8 +144,7 @@ impl ManufacturingSimulator {
         for pair in 0..ADDITIVE_PAIRS {
             if self.rng.random_range(0.0..1.0) < self.toggle_probability {
                 self.sensors[pair] = !self.sensors[pair];
-                self.pending
-                    .push((now + self.actuation_delay_us, pair, self.sensors[pair]));
+                self.pending.push((now + self.actuation_delay_us, pair, self.sensors[pair]));
             }
         }
         // Drift the analog channels a little.

@@ -3,7 +3,9 @@
 //! created a synthetic data stream with random binary data with stream
 //! packets of the same size as the first dataset."*
 
-use neptune_core::{now_micros, FieldValue, OperatorContext, SourceStatus, StreamPacket, StreamSource};
+use neptune_core::{
+    now_micros, FieldValue, OperatorContext, SourceStatus, StreamPacket, StreamSource,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -121,7 +123,12 @@ mod tests {
         // Only the per-packet field-name scaffolding (~10% of the bytes)
         // is compressible; the payloads themselves must not shrink.
         let c = neptune_compress::compress(&batch);
-        assert!(c.len() >= batch.len() * 85 / 100, "random batch compressed: {} -> {}", batch.len(), c.len());
+        assert!(
+            c.len() >= batch.len() * 85 / 100,
+            "random batch compressed: {} -> {}",
+            batch.len(),
+            c.len()
+        );
     }
 
     #[test]
@@ -155,10 +162,7 @@ mod tests {
         let mut a = RandomPayloadGenerator::new(32, 5);
         let mut b = RandomPayloadGenerator::new(32, 5);
         let (pa, pb) = (a.next_packet(), b.next_packet());
-        assert_eq!(
-            pa.get("payload").unwrap().as_bytes(),
-            pb.get("payload").unwrap().as_bytes()
-        );
+        assert_eq!(pa.get("payload").unwrap().as_bytes(), pb.get("payload").unwrap().as_bytes());
         assert_eq!(pa.get("seq").unwrap().as_u64(), pb.get("seq").unwrap().as_u64());
     }
 }

@@ -17,7 +17,9 @@
 
 use crate::error::GranulesError;
 use crate::scheduler::{ScheduleSpec, TimerService};
-use crate::task::{ComputationalTask, TaskContext, TaskId, TaskIdAllocator, TaskOutcome, TaskState};
+use crate::task::{
+    ComputationalTask, TaskContext, TaskId, TaskIdAllocator, TaskOutcome, TaskState,
+};
 use crate::threadpool::WorkerPool;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -76,15 +78,12 @@ impl ResourceInner {
             return;
         }
         let count = slot.spec.read().count;
-        let runnable = slot.forced.load(Ordering::Acquire)
-            || slot.pending.load(Ordering::Acquire) >= count;
+        let runnable =
+            slot.forced.load(Ordering::Acquire) || slot.pending.load(Ordering::Acquire) >= count;
         if !runnable {
             return;
         }
-        if slot
-            .scheduled
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        if slot.scheduled.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
         {
             self.submit_run(slot.clone());
         }
@@ -328,7 +327,9 @@ impl TaskHandle {
         if n == 0 || self.slot.terminated.load(Ordering::Acquire) {
             return;
         }
-        let Some(res) = self.resource.upgrade() else { return };
+        let Some(res) = self.resource.upgrade() else {
+            return;
+        };
         if !self.slot.spec.read().data_driven {
             // Signals are counted but only the timer schedules this task.
             self.slot.pending.fetch_add(n, Ordering::AcqRel);
@@ -343,7 +344,9 @@ impl TaskHandle {
     /// Force an immediate execution regardless of pending count (used by
     /// flush timers).
     pub fn force(&self) {
-        let Some(res) = self.resource.upgrade() else { return };
+        let Some(res) = self.resource.upgrade() else {
+            return;
+        };
         self.slot.forced.store(true, Ordering::Release);
         res.try_schedule(&self.slot);
     }
@@ -384,14 +387,15 @@ impl TaskHandle {
 
     /// Terminate the task explicitly.
     pub fn terminate(&self) {
-        let Some(res) = self.resource.upgrade() else { return };
+        let Some(res) = self.resource.upgrade() else {
+            return;
+        };
         // Wait for an in-flight execution to finish before invoking the
         // task's terminate hook.
         while self.slot.scheduled.load(Ordering::Acquire) {
             std::thread::yield_now();
         }
-        let ctx =
-            TaskContext::new(self.id, 0, self.slot.executions.load(Ordering::Relaxed));
+        let ctx = TaskContext::new(self.id, 0, self.slot.executions.load(Ordering::Relaxed));
         res.terminate_slot(&self.slot, &ctx);
         res.slots.write().remove(&self.id);
     }
@@ -509,9 +513,7 @@ mod tests {
     fn combined_schedule_flushes_below_threshold_on_timer() {
         let res = Resource::builder("r").workers(2).build();
         let (rec, _execs, signals) = Recorder::new();
-        let h = res
-            .deploy(rec, ScheduleSpec::combined(1000, Duration::from_millis(10)))
-            .unwrap();
+        let h = res.deploy(rec, ScheduleSpec::combined(1000, Duration::from_millis(10))).unwrap();
         h.signal_many(3); // far below the count threshold
         std::thread::sleep(Duration::from_millis(50));
         res.drain();

@@ -79,8 +79,9 @@ impl ScheduleSpec {
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if !self.data_driven && self.period.is_none() {
-            return Err("schedule is neither data-driven nor periodic; task would never run"
-                .to_string());
+            return Err(
+                "schedule is neither data-driven nor periodic; task would never run".to_string()
+            );
         }
         if self.count == 0 {
             return Err("count threshold must be >= 1".to_string());
@@ -278,9 +279,11 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        let never = ScheduleSpec { data_driven: false, count: 1, period: None, max_consecutive_runs: 64 };
+        let never =
+            ScheduleSpec { data_driven: false, count: 1, period: None, max_consecutive_runs: 64 };
         assert!(never.validate().is_err());
-        let zero_count = ScheduleSpec { data_driven: true, count: 0, period: None, max_consecutive_runs: 64 };
+        let zero_count =
+            ScheduleSpec { data_driven: true, count: 0, period: None, max_consecutive_runs: 64 };
         assert!(zero_count.validate().is_err());
         let zero_period = ScheduleSpec {
             data_driven: false,

@@ -9,6 +9,7 @@
 //! automatically depending on the number of cores".
 
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -28,6 +29,24 @@ struct PoolStats {
     panicked: AtomicU64,
     /// Jobs currently executing on some worker.
     in_flight: AtomicUsize,
+    /// Threads currently parked in [`WorkerPool::wait_idle`]. Workers only
+    /// touch the idle mutex/condvar when this is nonzero, so the hot path
+    /// pays one uncontended atomic load per job.
+    idle_waiters: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl PoolStats {
+    fn is_idle(&self) -> bool {
+        // SeqCst on both sides of the waiter/worker handshake: a worker
+        // that misses a waiter registration is, in the SeqCst total order,
+        // *after* the waiter's registration — so the waiter's own idle
+        // check here must observe that worker's counter updates and skip
+        // the park. Either the worker notifies or the waiter never sleeps.
+        self.in_flight.load(Ordering::SeqCst) == 0
+            && self.completed.load(Ordering::SeqCst) == self.submitted.load(Ordering::SeqCst)
+    }
 }
 
 /// Fixed-size worker pool. Jobs are `FnOnce() + Send` closures executed on
@@ -96,16 +115,24 @@ impl WorkerPool {
 
     /// True when no jobs are queued or executing.
     pub fn is_idle(&self) -> bool {
-        self.stats.in_flight.load(Ordering::Acquire) == 0
-            && self.completed() == self.submitted()
+        self.stats.is_idle()
     }
 
-    /// Block until the pool is idle (spin + yield; used by tests and
-    /// drain paths, not hot code).
+    /// Block until the pool is idle. The caller parks on a condvar and is
+    /// woken by whichever worker completes the last outstanding job — no
+    /// spinning, so a drain that takes seconds costs no CPU.
     pub fn wait_idle(&self) {
-        while !self.is_idle() {
-            std::thread::yield_now();
+        if self.stats.is_idle() {
+            return;
         }
+        self.stats.idle_waiters.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.stats.idle_lock.lock();
+            while !self.stats.is_idle() {
+                self.stats.idle_cv.wait(&mut guard);
+            }
+        }
+        self.stats.idle_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Stop all workers after the queued jobs finish.
@@ -135,13 +162,22 @@ fn worker_loop(rx: Receiver<Message>, stats: Arc<PoolStats>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             Message::Run(job) => {
-                stats.in_flight.fetch_add(1, Ordering::AcqRel);
+                stats.in_flight.fetch_add(1, Ordering::SeqCst);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                 if result.is_err() {
                     stats.panicked.fetch_add(1, Ordering::Relaxed);
                 }
-                stats.completed.fetch_add(1, Ordering::Relaxed);
-                stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+                stats.completed.fetch_add(1, Ordering::SeqCst);
+                stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                // Wake idle-waiters only when some exist: the lock acquire
+                // (empty critical section) pairs with the waiter holding the
+                // lock across its condition check, closing the check/park
+                // window; the SeqCst counter ops above close the
+                // register/check window.
+                if stats.idle_waiters.load(Ordering::SeqCst) > 0 {
+                    drop(stats.idle_lock.lock());
+                    stats.idle_cv.notify_all();
+                }
             }
             Message::Shutdown => break,
         }
@@ -212,6 +248,32 @@ mod tests {
         pool.wait_idle();
         assert_eq!(done.load(Ordering::Relaxed), 4);
         pool.shutdown();
+    }
+
+    #[test]
+    fn wait_idle_wakes_every_parked_waiter() {
+        // Several threads park on the condvar at once; the single worker
+        // finishing the last job must wake all of them.
+        let pool = Arc::new(WorkerPool::new("park", 1));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.submit(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let p = pool.clone();
+                let d = done.clone();
+                std::thread::spawn(move || {
+                    p.wait_idle();
+                    assert_eq!(d.load(Ordering::Relaxed), 1, "woke before the job finished");
+                })
+            })
+            .collect();
+        for w in waiters {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -56,6 +56,14 @@ proptest! {
             total += top_up;
         }
         resource.drain();
+        // Count-based batching holds back sub-threshold remainders by
+        // design (§III-B2): whatever a run left below the threshold — which
+        // depends on how bursts coalesced — stays pending. Flush it with a
+        // forced execution before checking conservation.
+        if handle.pending_signals() > 0 {
+            handle.force();
+            resource.drain();
+        }
         prop_assert_eq!(seen.load(Ordering::Relaxed), total, "signals lost or duplicated");
         // Batching sanity: executions never exceed signals.
         prop_assert!(execs.load(Ordering::Relaxed) <= total);

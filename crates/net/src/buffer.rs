@@ -15,10 +15,17 @@
 //!   bound on end-to-end latency for slow streams.
 //!
 //! The buffer's backing storage is recycled across flushes (object reuse,
-//! §III-B3): `take_batch` hands out the filled `Vec<u8>` and installs the
-//! previously-recycled one, so steady state runs with two long-lived
-//! allocations per link.
+//! §III-B3): batches are handed out as refcounted [`Bytes`], and
+//! [`recycle`](OutputBuffer::recycle) reclaims the storage once the
+//! transport (and, in-process, the receiving task) has dropped its handles.
+//! Buffers attached to a shared [`BytesPool`] draw replacements from and
+//! return storage to the pool, so every link on a worker shares one set of
+//! steady-state allocations; detached buffers keep a private spare and run
+//! with two long-lived allocations per link, as before.
 
+use crate::pool::BytesPool;
+use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a batch was flushed. Recorded in metrics so the buffering ablation
@@ -42,11 +49,14 @@ pub enum PushOutcome {
     Flush(FlushedBatch),
 }
 
-/// A batch ready for the wire.
+/// A batch ready for the wire. `encoded` is refcounted: the in-process
+/// transport hands the same bytes to the receiver without copying, and the
+/// storage is reclaimed (via [`OutputBuffer::recycle`] or
+/// [`BytesPool::recycle`]) when the last handle drops.
 #[derive(Debug, PartialEq, Eq)]
 pub struct FlushedBatch {
     /// Concatenated `[len u32 LE | bytes]` encoded messages.
-    pub encoded: Vec<u8>,
+    pub encoded: Bytes,
     /// Number of messages in the batch.
     pub count: u32,
     /// Sequence number of the first message in the batch.
@@ -60,9 +70,11 @@ pub struct FlushedBatch {
 /// Capacity-bounded, timer-flushed output buffer for one link.
 #[derive(Debug)]
 pub struct OutputBuffer {
-    data: Vec<u8>,
-    /// Recycled storage swapped in on flush.
-    spare: Vec<u8>,
+    data: BytesMut,
+    /// Recycled storage swapped in on flush (pool-less buffers only).
+    spare: Option<BytesMut>,
+    /// Shared pool backing this buffer's storage, when attached.
+    pool: Option<Arc<BytesPool>>,
     count: u32,
     capacity: usize,
     max_delay: Option<Duration>,
@@ -79,10 +91,25 @@ impl OutputBuffer {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, max_delay: Option<Duration>) -> Self {
+        Self::build(capacity, max_delay, None)
+    }
+
+    /// Like [`new`](Self::new), but storage is drawn from and returned to
+    /// `pool`, shared with every other buffer and receiver on the job.
+    pub fn with_pool(capacity: usize, max_delay: Option<Duration>, pool: Arc<BytesPool>) -> Self {
+        Self::build(capacity, max_delay, Some(pool))
+    }
+
+    fn build(capacity: usize, max_delay: Option<Duration>, pool: Option<Arc<BytesPool>>) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
+        let data = match &pool {
+            Some(p) => p.checkout(capacity + 256),
+            None => BytesMut::with_capacity(capacity + 256),
+        };
         OutputBuffer {
-            data: Vec::with_capacity(capacity + 256),
-            spare: Vec::with_capacity(capacity + 256),
+            data,
+            spare: None,
+            pool,
             count: 0,
             capacity,
             max_delay,
@@ -137,6 +164,28 @@ impl OutputBuffer {
         }
         self.data.extend_from_slice(&(message.len() as u32).to_le_bytes());
         self.data.extend_from_slice(message);
+        self.finish_push()
+    }
+
+    /// Append one message that already carries its 4-byte length prefix —
+    /// the serialize-once fan-out path: the emitter encodes `[len | bytes]`
+    /// into its scratch exactly once and appends the same slice to every
+    /// destination buffer.
+    pub fn push_prefixed(&mut self, prefixed: &[u8]) -> PushOutcome {
+        debug_assert!(
+            prefixed.len() >= 4
+                && u32::from_le_bytes(prefixed[..4].try_into().expect("slice len")) as usize
+                    == prefixed.len() - 4,
+            "push_prefixed expects a [len u32 LE | bytes] message"
+        );
+        if self.count == 0 {
+            self.first_arrival = Some(Instant::now());
+        }
+        self.data.extend_from_slice(prefixed);
+        self.finish_push()
+    }
+
+    fn finish_push(&mut self) -> PushOutcome {
         self.count += 1;
         self.next_seq += 1;
         if self.data.len() >= self.capacity {
@@ -178,30 +227,43 @@ impl OutputBuffer {
             FlushReason::Timer => self.flushes_timer += 1,
             FlushReason::Forced => self.flushes_forced += 1,
         }
-        let queueing_delay =
-            self.first_arrival.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+        let queueing_delay = self.first_arrival.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
         let count = self.count;
         let base_seq = self.next_seq - count as u64;
         self.count = 0;
         self.first_arrival = None;
-        // Swap in the recycled buffer; hand out the filled one.
-        self.spare.clear();
-        let encoded = std::mem::replace(&mut self.data, std::mem::take(&mut self.spare));
+        // Swap in recycled storage; freeze and hand out the filled buffer.
+        let replacement = match self.spare.take() {
+            Some(spare) => spare,
+            None => match &self.pool {
+                Some(p) => p.checkout(self.capacity + 256),
+                None => BytesMut::with_capacity(self.capacity + 256),
+            },
+        };
+        let encoded = std::mem::replace(&mut self.data, replacement).freeze();
         FlushedBatch { encoded, count, base_seq, reason, queueing_delay }
     }
 
     /// Return a batch's storage for reuse after the transport is done with
-    /// it. Optional — skipping it only costs a fresh allocation next flush.
-    pub fn recycle(&mut self, mut storage: Vec<u8>) {
-        storage.clear();
-        if storage.capacity() > self.spare.capacity() {
-            self.spare = storage;
-        }
+    /// it. A no-op when other handles to the batch are still alive (e.g. it
+    /// sits in a receiver's queue) — the last holder recycles it instead.
+    /// Optional — skipping it only costs a fresh allocation next flush.
+    pub fn recycle(&mut self, storage: Bytes) {
+        let Ok(mut buf) = storage.try_into_mut() else {
+            return; // Still referenced downstream.
+        };
+        if let Some(p) = &self.pool {
+            p.recycle_mut(buf);
+        } else if self.spare.is_none() {
+            buf.clear();
+            self.spare = Some(buf);
+        } // else: pool-less and spare already occupied — drop.
     }
 }
 
-/// Split a [`FlushedBatch`]'s encoding back into messages (receiver side of
-/// the in-process fast path and tests).
+/// Split a [`FlushedBatch`]'s encoding back into messages (tests and
+/// compatibility paths; the runtime uses the zero-copy
+/// [`crate::frame::FrameMessages`] split instead).
 pub fn split_encoded(encoded: &[u8]) -> Result<Vec<Vec<u8>>, String> {
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -209,8 +271,7 @@ pub fn split_encoded(encoded: &[u8]) -> Result<Vec<Vec<u8>>, String> {
         if i + 4 > encoded.len() {
             return Err(format!("dangling length prefix at offset {i}"));
         }
-        let len =
-            u32::from_le_bytes(encoded[i..i + 4].try_into().expect("slice len")) as usize;
+        let len = u32::from_le_bytes(encoded[i..i + 4].try_into().expect("slice len")) as usize;
         i += 4;
         if i + len > encoded.len() {
             return Err(format!("message at offset {i} overruns buffer"));
@@ -337,6 +398,52 @@ mod tests {
             batch3.encoded.as_ptr() == ptr || ptr2 == ptr,
             "recycled allocation must round-trip within two flushes"
         );
+    }
+
+    #[test]
+    fn recycle_skips_shared_batches() {
+        let mut buf = OutputBuffer::new(64, None);
+        let PushOutcome::Flush(batch) = buf.push(&[0u8; 100]) else { panic!("flush") };
+        let alias = batch.encoded.clone();
+        buf.recycle(batch.encoded);
+        // The alias must still read the original data — recycling a shared
+        // batch would be a use-after-free in spirit.
+        assert_eq!(alias.len(), 104);
+        assert_eq!(&alias[..4], &100u32.to_le_bytes());
+    }
+
+    #[test]
+    fn pooled_buffer_round_trips_storage_through_pool() {
+        let pool = Arc::new(BytesPool::new(8));
+        let mut buf = OutputBuffer::with_pool(64, None, pool.clone());
+        for _ in 0..5 {
+            let PushOutcome::Flush(batch) = buf.push(&[0u8; 100]) else { panic!("flush") };
+            buf.recycle(batch.encoded);
+        }
+        let stats = pool.stats();
+        // One checkout at construction, one per flush; after the first
+        // couple the pool serves every request.
+        assert!(stats.hits >= 3, "pool must serve steady-state flushes: {stats:?}");
+        assert_eq!(stats.hits + stats.misses, 6);
+    }
+
+    #[test]
+    fn push_prefixed_matches_push() {
+        let mut a = OutputBuffer::new(1 << 20, None);
+        let mut b = OutputBuffer::new(1 << 20, None);
+        let msgs: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![9u8; 300]];
+        for m in &msgs {
+            a.push(m);
+            let mut prefixed = (m.len() as u32).to_le_bytes().to_vec();
+            prefixed.extend_from_slice(m);
+            b.push_prefixed(&prefixed);
+        }
+        let ba = a.force_flush().unwrap();
+        let bb = b.force_flush().unwrap();
+        assert_eq!(ba.encoded, bb.encoded);
+        assert_eq!(ba.count, bb.count);
+        assert_eq!(bb.base_seq, 0);
+        assert_eq!(b.next_seq(), 3);
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //! contiguous, which is how the receiver enforces the paper's in-order,
 //! exactly-once delivery within a link.
 //!
+//! Decoding is zero-copy per message (§III-B3's object-reuse principle
+//! applied to the receive path): a decoded [`Frame`] holds one refcounted
+//! [`Bytes`] batch buffer plus `(offset, len)` ranges into it — see
+//! [`FrameMessages`] — so splitting a batch into messages allocates
+//! nothing per message, and the batch buffer can be returned to a
+//! [`crate::pool::BytesPool`] once the frame is consumed.
+//!
 //! The CRC32 (IEEE 802.3 polynomial, implemented from scratch with a
 //! lazily-built lookup table) covers the body; the paper's correctness goal
 //! — *"our proposed solution should not result in dropped or corrupted
 //! stream packets"* — is checked, not assumed.
 
-use neptune_compress::SelectiveCompressor;
+use crate::pool::BytesPool;
+use bytes::Bytes;
+use neptune_compress::{SelectiveCompressor, TAG_RAW};
 use std::io::Read;
 use std::sync::OnceLock;
 
@@ -30,6 +39,178 @@ pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4 + 4 + 4;
 /// must not trigger a huge allocation).
 pub const MAX_BODY_LEN: usize = 64 << 20;
 
+/// The messages of one decoded frame: a single refcounted batch buffer
+/// plus per-message `(offset, len)` ranges into it.
+///
+/// Splitting a batch this way performs **zero per-message allocations** —
+/// the ranges vector is the only per-frame allocation, amortized across
+/// the whole batch. Messages read as `&[u8]` slices; the batch buffer
+/// itself can be reclaimed via [`into_batch`](Self::into_batch) +
+/// [`BytesPool::recycle`] once every message has been processed.
+#[derive(Debug, Clone)]
+pub struct FrameMessages {
+    batch: Bytes,
+    ranges: Vec<(u32, u32)>,
+}
+
+impl FrameMessages {
+    /// Empty message set.
+    pub fn empty() -> Self {
+        FrameMessages { batch: Bytes::new(), ranges: Vec::new() }
+    }
+
+    /// Parse a length-prefixed concatenation (`[len u32 LE | bytes] *`)
+    /// into message ranges — the zero-copy receive-side split. When
+    /// `expected_count` is given, the number of parsed messages must match.
+    pub fn parse_prefixed(batch: Bytes, expected_count: Option<u32>) -> Result<Self, String> {
+        let mut ranges = Vec::with_capacity(expected_count.unwrap_or(8) as usize);
+        let mut i = 0usize;
+        while i < batch.len() {
+            if i + 4 > batch.len() {
+                return Err(format!("dangling length prefix at offset {i}"));
+            }
+            let len = u32::from_le_bytes(batch[i..i + 4].try_into().expect("slice len")) as usize;
+            i += 4;
+            if i + len > batch.len() {
+                return Err(format!("message at offset {i} overruns buffer"));
+            }
+            ranges.push((i as u32, len as u32));
+            i += len;
+        }
+        if let Some(count) = expected_count {
+            if ranges.len() != count as usize {
+                return Err(format!("count {} but {} messages", count, ranges.len()));
+            }
+        }
+        Ok(FrameMessages { batch, ranges })
+    }
+
+    /// Build from discrete messages (tests and compatibility paths): the
+    /// messages are copied once into a fresh length-prefixed batch.
+    pub fn from_messages(messages: &[impl AsRef<[u8]>]) -> Self {
+        let total: usize = messages.iter().map(|m| 4 + m.as_ref().len()).sum();
+        let mut batch = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(messages.len());
+        for m in messages {
+            let m = m.as_ref();
+            batch.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            ranges.push((batch.len() as u32, m.len() as u32));
+            batch.extend_from_slice(m);
+        }
+        FrameMessages { batch: Bytes::from(batch), ranges }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when there are no messages.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Message `i` as a slice, or `None` out of range.
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        let &(off, len) = self.ranges.get(i)?;
+        Some(&self.batch[off as usize..off as usize + len as usize])
+    }
+
+    /// Iterate over the messages as slices.
+    pub fn iter(&self) -> FrameMessagesIter<'_> {
+        FrameMessagesIter { batch: &self.batch, ranges: self.ranges.iter() }
+    }
+
+    /// Sum of message payload sizes (the "useful" bytes).
+    pub fn payload_bytes(&self) -> usize {
+        self.ranges.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// The shared batch buffer backing every message.
+    pub fn batch(&self) -> &Bytes {
+        &self.batch
+    }
+
+    /// Message `i` as a refcounted zero-copy slice of the batch buffer.
+    ///
+    /// Panics when out of range.
+    pub fn message_bytes(&self, i: usize) -> Bytes {
+        let (off, len) = self.ranges[i];
+        self.batch.slice(off as usize..(off + len) as usize)
+    }
+
+    /// Consume the messages, yielding the batch buffer for recycling (see
+    /// [`BytesPool::recycle`]).
+    pub fn into_batch(self) -> Bytes {
+        self.batch
+    }
+}
+
+/// Iterator over a frame's messages as byte slices.
+pub struct FrameMessagesIter<'a> {
+    batch: &'a [u8],
+    ranges: std::slice::Iter<'a, (u32, u32)>,
+}
+
+impl<'a> Iterator for FrameMessagesIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let &(off, len) = self.ranges.next()?;
+        Some(&self.batch[off as usize..(off + len) as usize])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ranges.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for FrameMessagesIter<'a> {}
+
+impl<'a> IntoIterator for &'a FrameMessages {
+    type Item = &'a [u8];
+    type IntoIter = FrameMessagesIter<'a>;
+
+    fn into_iter(self) -> FrameMessagesIter<'a> {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for FrameMessages {
+    type Output = [u8];
+
+    fn index(&self, i: usize) -> &[u8] {
+        self.get(i).expect("message index out of range")
+    }
+}
+
+impl PartialEq for FrameMessages {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for FrameMessages {}
+
+impl<T: AsRef<[u8]>> PartialEq<Vec<T>> for FrameMessages {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]>> PartialEq<FrameMessages> for Vec<T> {
+    fn eq(&self, other: &FrameMessages) -> bool {
+        other == self
+    }
+}
+
+impl FromIterator<Vec<u8>> for FrameMessages {
+    fn from_iter<I: IntoIterator<Item = Vec<u8>>>(iter: I) -> Self {
+        let collected: Vec<Vec<u8>> = iter.into_iter().collect();
+        FrameMessages::from_messages(&collected)
+    }
+}
+
 /// A decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -38,7 +219,7 @@ pub struct Frame {
     /// Sequence number of the first message.
     pub base_seq: u64,
     /// The batched messages, in emission order.
-    pub messages: Vec<Vec<u8>>,
+    pub messages: FrameMessages,
     /// Total bytes this frame occupied on the wire (header + body).
     pub wire_len: usize,
 }
@@ -56,7 +237,7 @@ impl Frame {
 
     /// Sum of message payload sizes (the "useful" bytes).
     pub fn payload_bytes(&self) -> usize {
-        self.messages.iter().map(|m| m.len()).sum()
+        self.messages.payload_bytes()
     }
 }
 
@@ -171,7 +352,9 @@ pub fn encode_frame_raw(
     out
 }
 
-fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u64, u64, u32, usize, u32), FrameError> {
+fn parse_header(
+    header: &[u8; FRAME_HEADER_LEN],
+) -> Result<(u64, u64, u32, usize, u32), FrameError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("slice len"));
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
@@ -187,74 +370,133 @@ fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u64, u64, u32, usize
     Ok((link_id, base_seq, count, body_len, crc))
 }
 
+/// Split a compression-framed body into message ranges. The hot path — an
+/// uncompressed body — is pure pointer arithmetic over the shared buffer:
+/// no copy, no per-message allocation. Compressed bodies decompress once
+/// into a buffer drawn from `pool` (or a fresh one) and then split the
+/// same way.
 fn decode_body(
     link_id: u64,
     base_seq: u64,
     count: u32,
-    body: &[u8],
+    body: Bytes,
     wire_len: usize,
+    pool: Option<&BytesPool>,
 ) -> Result<Frame, FrameError> {
-    let raw = SelectiveCompressor::decode(body)
-        .map_err(|e| FrameError::MalformedBody(e.to_string()))?;
-    let mut messages = Vec::with_capacity(count as usize);
-    let mut i = 0usize;
-    for k in 0..count {
-        if i + 4 > raw.len() {
-            return Err(FrameError::MalformedBody(format!(
-                "message {k} length prefix out of bounds"
-            )));
+    let Some(&tag) = body.first() else {
+        return Err(FrameError::MalformedBody("empty body".into()));
+    };
+    let raw = if tag == TAG_RAW {
+        body.slice(1..)
+    } else {
+        // LZ4 (or unknown tag, rejected by the decoder): decompress into
+        // pooled storage so even compressed frames reuse batch buffers.
+        let mut scratch = Vec::new();
+        SelectiveCompressor::decode_into(&body, &mut scratch)
+            .map_err(|e| FrameError::MalformedBody(e.to_string()))?;
+        let raw = match pool {
+            Some(p) => {
+                let mut buf = p.checkout(scratch.len());
+                buf.extend_from_slice(&scratch);
+                buf.freeze()
+            }
+            None => Bytes::from(scratch),
+        };
+        // The compressed wire body is spent; reclaim its storage too.
+        if let Some(p) = pool {
+            p.recycle(body);
         }
-        let len =
-            u32::from_le_bytes(raw[i..i + 4].try_into().expect("slice len")) as usize;
-        i += 4;
-        if i + len > raw.len() {
-            return Err(FrameError::MalformedBody(format!("message {k} body out of bounds")));
-        }
-        messages.push(raw[i..i + len].to_vec());
-        i += len;
-    }
-    if i != raw.len() {
-        return Err(FrameError::MalformedBody(format!("{} trailing bytes", raw.len() - i)));
-    }
+        raw
+    };
+    let messages =
+        FrameMessages::parse_prefixed(raw, Some(count)).map_err(FrameError::MalformedBody)?;
     Ok(Frame { link_id, base_seq, messages, wire_len })
 }
 
 /// Decode one frame from a byte slice; returns the frame and the number of
-/// input bytes consumed. Used by the simulator and by tests.
+/// input bytes consumed. Used by the simulator and by tests. The body is
+/// copied once into a fresh buffer; use [`decode_frame_shared`] to decode
+/// out of an existing refcounted buffer with no copy at all.
 pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     if buf.len() < FRAME_HEADER_LEN {
         return Err(FrameError::Io("buffer shorter than frame header".into()));
     }
-    let header: &[u8; FRAME_HEADER_LEN] =
-        buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
+    let header: &[u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
     let (link_id, base_seq, count, body_len, crc) = parse_header(header)?;
     let total = FRAME_HEADER_LEN + body_len;
     if buf.len() < total {
-        return Err(FrameError::Io(format!(
-            "buffer holds {} of {total} frame bytes",
-            buf.len()
-        )));
+        return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
     }
     let body = &buf[FRAME_HEADER_LEN..total];
     let actual = crc32(body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    Ok((decode_body(link_id, base_seq, count, body, total)?, total))
+    let frame = decode_body(link_id, base_seq, count, Bytes::copy_from_slice(body), total, None)?;
+    Ok((frame, total))
 }
 
-/// Read exactly one frame from a blocking reader (the TCP receive path).
-pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    r.read_exact(&mut header)?;
-    let (link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
-    let mut body = vec![0u8; body_len];
-    r.read_exact(&mut body)?;
+/// Decode one frame out of a refcounted buffer; the frame's batch is a
+/// zero-copy slice of `buf` (uncompressed bodies perform no copy at all).
+/// Returns the frame and the number of input bytes consumed.
+pub fn decode_frame_shared(
+    buf: &Bytes,
+    pool: Option<&BytesPool>,
+) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Io("buffer shorter than frame header".into()));
+    }
+    let header: &[u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
+    let (link_id, base_seq, count, body_len, crc) = parse_header(header)?;
+    let total = FRAME_HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
+    }
+    let body = buf.slice(FRAME_HEADER_LEN..total);
     let actual = crc32(&body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    decode_body(link_id, base_seq, count, &body, FRAME_HEADER_LEN + body_len)
+    let frame = decode_body(link_id, base_seq, count, body, total, pool)?;
+    Ok((frame, total))
+}
+
+/// Read exactly one frame from a blocking reader (the TCP receive path).
+/// The body lands in a fresh buffer; see [`read_frame_pooled`] for the
+/// recycling variant used by receiver IO threads.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    read_frame_inner(r, None)
+}
+
+/// Read exactly one frame, drawing the body buffer from `pool` — the
+/// steady-state receive path allocates nothing: the body buffer is
+/// recycled, and splitting it into messages is zero-copy.
+pub fn read_frame_pooled(r: &mut impl Read, pool: &BytesPool) -> Result<Frame, FrameError> {
+    read_frame_inner(r, Some(pool))
+}
+
+fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
+    let body = match pool {
+        Some(p) => {
+            let mut buf = p.checkout(body_len);
+            buf.resize(body_len, 0);
+            r.read_exact(&mut buf)?;
+            buf.freeze()
+        }
+        None => {
+            let mut buf = vec![0u8; body_len];
+            r.read_exact(&mut buf)?;
+            Bytes::from(buf)
+        }
+    };
+    let actual = crc32(&body);
+    if actual != crc {
+        return Err(FrameError::CrcMismatch { expected: crc, actual });
+    }
+    decode_body(link_id, base_seq, count, body, FRAME_HEADER_LEN + body_len, pool)
 }
 
 #[cfg(test)]
@@ -371,5 +613,91 @@ mod tests {
         assert_eq!(used + used2, wire.len());
         assert_eq!(f1.base_seq, 0);
         assert_eq!(f2.base_seq, 1);
+    }
+
+    #[test]
+    fn shared_decode_aliases_input_buffer() {
+        // Zero-copy: an uncompressed body decoded out of a shared buffer
+        // must point into that buffer, not into a copy.
+        let msgs = vec![b"zero".to_vec(), b"copy".to_vec()];
+        let wire = Bytes::from(encode_frame(4, 2, &msgs, &raw_policy()));
+        let (frame, used) = decode_frame_shared(&wire, None).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(frame.messages, msgs);
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        let m0 = &frame.messages[0];
+        assert!(
+            wire_range.contains(&(m0.as_ptr() as usize)),
+            "decoded message must alias the wire buffer"
+        );
+    }
+
+    #[test]
+    fn pooled_read_recycles_body_buffers() {
+        let pool = BytesPool::new(8);
+        let msgs = vec![b"pooled".to_vec(); 10];
+        let wire = encode_frame(1, 0, &msgs, &raw_policy());
+        for round in 0..5 {
+            let mut cursor = std::io::Cursor::new(&wire);
+            let frame = read_frame_pooled(&mut cursor, &pool).unwrap();
+            assert_eq!(frame.messages, msgs);
+            assert!(pool.recycle(frame.messages.into_batch()), "round {round}");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "steady state must reuse the body buffer: {stats:?}");
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn pooled_read_recycles_compressed_bodies_too() {
+        let pool = BytesPool::new(8);
+        let msgs: Vec<Vec<u8>> = (0..50).map(|_| vec![3u8; 100]).collect();
+        let wire = encode_frame(1, 0, &msgs, &SelectiveCompressor::new(4.0));
+        for _ in 0..3 {
+            let mut cursor = std::io::Cursor::new(&wire);
+            let frame = read_frame_pooled(&mut cursor, &pool).unwrap();
+            assert_eq!(frame.messages, msgs);
+            pool.recycle(frame.messages.into_batch());
+        }
+        assert!(pool.stats().hits > 0, "decompressed bodies must come from the pool");
+    }
+
+    #[test]
+    fn frame_messages_accessors() {
+        let fm = FrameMessages::from_messages(&[b"ab".as_slice(), b"", b"cdef"]);
+        assert_eq!(fm.len(), 3);
+        assert!(!fm.is_empty());
+        assert_eq!(fm.get(0), Some(b"ab".as_slice()));
+        assert_eq!(fm.get(1), Some(b"".as_slice()));
+        assert_eq!(&fm[2], b"cdef".as_slice());
+        assert_eq!(fm.get(3), None);
+        assert_eq!(fm.payload_bytes(), 6);
+        assert_eq!(fm.iter().count(), 3);
+        assert_eq!(fm.message_bytes(2), Bytes::from_static(b"cdef"));
+        let collected: Vec<&[u8]> = (&fm).into_iter().collect();
+        assert_eq!(collected, vec![b"ab".as_slice(), b"", b"cdef"]);
+        assert_eq!(FrameMessages::empty().len(), 0);
+    }
+
+    #[test]
+    fn frame_messages_equality() {
+        let a = FrameMessages::from_messages(&[b"x".as_slice(), b"yy"]);
+        let b: FrameMessages = vec![b"x".to_vec(), b"yy".to_vec()].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![b"x".to_vec(), b"yy".to_vec()]);
+        assert_eq!(vec![b"x".to_vec(), b"yy".to_vec()], a);
+        assert_ne!(a, vec![b"x".to_vec()]);
+        assert_ne!(a, vec![b"x".to_vec(), b"zz".to_vec()]);
+    }
+
+    #[test]
+    fn parse_prefixed_rejects_corruption() {
+        assert!(FrameMessages::parse_prefixed(Bytes::from_static(&[1, 2, 3]), None).is_err());
+        assert!(FrameMessages::parse_prefixed(Bytes::from_static(&[10, 0, 0, 0, 1]), None).is_err());
+        let ok = FrameMessages::parse_prefixed(Bytes::new(), None).unwrap();
+        assert!(ok.is_empty());
+        // Count mismatch.
+        let one = FrameMessages::from_messages(&[b"m".as_slice()]);
+        assert!(FrameMessages::parse_prefixed(one.into_batch(), Some(2)).is_err());
     }
 }

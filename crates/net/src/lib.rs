@@ -27,12 +27,17 @@
 
 pub mod buffer;
 pub mod frame;
+pub mod pool;
 pub mod tcp;
 pub mod transport;
 pub mod watermark;
 
 pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
-pub use frame::{crc32, decode_frame, encode_frame, Frame, FrameError, FRAME_HEADER_LEN};
+pub use frame::{
+    crc32, decode_frame, decode_frame_shared, encode_frame, encode_frame_raw, read_frame,
+    read_frame_pooled, Frame, FrameError, FrameMessages, FRAME_HEADER_LEN,
+};
+pub use pool::{BytesPool, BytesPoolStats};
 pub use tcp::{TcpReceiver, TcpSender};
 pub use transport::{BatchSink, InProcessTransport};
 pub use watermark::{WatermarkConfig, WatermarkQueue};

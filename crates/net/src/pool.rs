@@ -1,0 +1,266 @@
+//! Shared batch-buffer pool — the transport-level half of the paper's
+//! frugal object-creation scheme (§III-B3).
+//!
+//! One [`BytesPool`] is shared by every allocation site on a job's batch
+//! data path: output buffers check out backing storage here, TCP readers
+//! check out frame-body buffers here, and processor tasks return a frame's
+//! batch buffer here once every message in it has been processed. Because
+//! frames carry one refcounted [`Bytes`] buffer (see
+//! [`crate::frame::FrameMessages`]), "returning" is just
+//! [`Bytes::try_into_mut`]: it succeeds exactly when no other handle to the
+//! batch survives, so a buffer can never be recycled while a downstream
+//! consumer still reads from it — the safety property the paper's JVM
+//! implementation had to enforce by convention.
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a [`BytesPool`]'s effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytesPoolStats {
+    /// Checkouts served from the free list.
+    pub hits: u64,
+    /// Checkouts that had to allocate fresh storage.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub returns: u64,
+    /// Returns dropped (pool full, or the buffer was still shared).
+    pub discards: u64,
+    /// Total capacity (bytes) of buffers served from the free list —
+    /// allocation traffic the pool absorbed.
+    pub bytes_reused: u64,
+}
+
+impl BytesPoolStats {
+    /// Fraction of checkouts served without allocating (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe pool of reusable batch buffers.
+///
+/// Unlike the per-instance pools in `neptune-core`, this one is shared:
+/// batches are checked out on worker threads (output buffers) and IO
+/// threads (TCP readers) but recycled on whichever thread finishes with
+/// the frame, so checkout/recycle take a mutex. The lock is held for a
+/// vector push/pop only — the buffer contents are never touched under it.
+#[derive(Debug)]
+pub struct BytesPool {
+    free: Mutex<Vec<BytesMut>>,
+    max_retained: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    discards: AtomicU64,
+    bytes_reused: AtomicU64,
+}
+
+impl BytesPool {
+    /// Pool retaining at most `max_retained` idle buffers.
+    ///
+    /// Panics if `max_retained == 0`.
+    pub fn new(max_retained: usize) -> Self {
+        assert!(max_retained > 0, "pool must retain at least one buffer");
+        BytesPool {
+            free: Mutex::new(Vec::with_capacity(max_retained.min(256))),
+            max_retained,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            discards: AtomicU64::new(0),
+            bytes_reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Check out a cleared buffer with at least `min_capacity` bytes of
+    /// capacity. Served from the free list when possible; the pooled
+    /// buffer's capacity is grown (one-time cost) if it is too small.
+    pub fn checkout(&self, min_capacity: usize) -> BytesMut {
+        let pooled = self.free.lock().pop();
+        match pooled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_reused.fetch_add(buf.capacity() as u64, Ordering::Relaxed);
+                buf.clear();
+                if buf.capacity() < min_capacity {
+                    // `reserve` is relative to `len` (0 after the clear), so
+                    // this guarantees capacity >= min_capacity.
+                    buf.reserve(min_capacity);
+                }
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                BytesMut::with_capacity(min_capacity)
+            }
+        }
+    }
+
+    /// Try to reclaim a frozen buffer. Succeeds (returns `true`) only when
+    /// `bytes` is the last handle to its storage — a batch still referenced
+    /// by any frame, queue, or in-flight send is left untouched and the
+    /// handle is simply dropped.
+    pub fn recycle(&self, bytes: Bytes) -> bool {
+        match bytes.try_into_mut() {
+            Ok(buf) => {
+                self.recycle_mut(buf);
+                true
+            }
+            Err(_still_shared) => {
+                self.discards.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Return exclusively-owned storage to the free list.
+    pub fn recycle_mut(&self, mut buf: BytesMut) {
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_retained {
+            free.push(buf);
+            drop(free);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(free);
+            self.discards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Idle buffers currently retained.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> BytesPoolStats {
+        BytesPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+            bytes_reused: self.bytes_reused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for BytesPool {
+    /// A pool sized for a mid-size job: up to 256 retained buffers.
+    fn default() -> Self {
+        BytesPool::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_from_empty_pool_allocates() {
+        let pool = BytesPool::new(4);
+        let b = pool.checkout(128);
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 128);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn recycle_then_checkout_reuses_storage() {
+        let pool = BytesPool::new(4);
+        let mut b = pool.checkout(64);
+        b.extend_from_slice(&[7u8; 64]);
+        let ptr = b.as_ptr();
+        assert!(pool.recycle(b.freeze()), "sole handle must recycle");
+        let again = pool.checkout(64);
+        assert_eq!(again.as_ptr(), ptr, "storage must round-trip");
+        assert!(again.is_empty(), "recycled buffer must come back cleared");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+        assert!(s.bytes_reused >= 64);
+    }
+
+    #[test]
+    fn shared_bytes_are_not_reclaimed() {
+        let pool = BytesPool::new(4);
+        let mut b = pool.checkout(32);
+        b.extend_from_slice(b"live data");
+        let frozen = b.freeze();
+        let alias = frozen.clone();
+        assert!(!pool.recycle(frozen), "shared buffer must not be reclaimed");
+        assert_eq!(&alias[..], b"live data", "alias still reads valid data");
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.stats().discards, 1);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BytesPool::new(2);
+        let bufs: Vec<_> = (0..4).map(|_| pool.checkout(16)).collect();
+        for b in bufs {
+            pool.recycle(b.freeze());
+        }
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().discards, 2);
+    }
+
+    #[test]
+    fn checkout_grows_undersized_pooled_buffer() {
+        let pool = BytesPool::new(2);
+        let b = pool.checkout(16);
+        pool.recycle(b.freeze());
+        let big = pool.checkout(4096);
+        assert!(big.capacity() >= 4096);
+    }
+
+    #[test]
+    fn hit_rate_reflects_reuse() {
+        let pool = BytesPool::new(8);
+        let b = pool.checkout(8); // miss
+        pool.recycle(b.freeze());
+        for _ in 0..9 {
+            let b = pool.checkout(8); // hits
+            pool.recycle(b.freeze());
+        }
+        assert!((pool.stats().hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_checkout_recycle() {
+        use std::sync::Arc;
+        let pool = Arc::new(BytesPool::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000usize {
+                        let mut b = pool.checkout(64);
+                        b.extend_from_slice(&i.to_le_bytes());
+                        let frozen = b.freeze();
+                        assert_eq!(&frozen[..8], &i.to_le_bytes());
+                        pool.recycle(frozen);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 4000);
+        assert!(s.hits > 3000, "steady state must be hit-dominated: {s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_capacity_rejected() {
+        BytesPool::new(0);
+    }
+}

@@ -19,7 +19,8 @@
 //!   sender — §III-B4's *"backpressure model that leverages the TCP flow
 //!   control"*.
 
-use crate::frame::{read_frame, Frame};
+use crate::frame::{read_frame, read_frame_pooled, Frame};
+use crate::pool::BytesPool;
 use crate::transport::TransportError;
 use crate::watermark::{WatermarkConfig, WatermarkQueue};
 use crossbeam::channel::{bounded, Sender as ChannelSender};
@@ -131,8 +132,31 @@ pub struct TcpReceiver {
 
 impl TcpReceiver {
     /// Bind a listener; frames from every accepted connection land on one
-    /// watermark-bounded inbound queue.
+    /// watermark-bounded inbound queue. Frame bodies come from fresh
+    /// allocations; see [`bind_pooled`](Self::bind_pooled) for the
+    /// recycling variant the runtime uses.
     pub fn bind(addr: impl ToSocketAddrs, watermark: WatermarkConfig) -> std::io::Result<Self> {
+        Self::bind_inner(addr, watermark, None)
+    }
+
+    /// Like [`bind`](Self::bind), but reader threads draw frame-body
+    /// buffers from `pool` — the job-wide [`BytesPool`] — so the
+    /// steady-state receive path performs no per-frame allocation. The
+    /// consumer returns each frame's batch to the pool when done (see
+    /// [`crate::frame::FrameMessages::into_batch`]).
+    pub fn bind_pooled(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        pool: Arc<BytesPool>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, watermark, Some(pool))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        pool: Option<Arc<BytesPool>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let queue = Arc::new(WatermarkQueue::new(watermark));
@@ -165,6 +189,7 @@ impl TcpReceiver {
                         let shutdown = shutdown.clone();
                         let decode_errors = decode_errors.clone();
                         let on_deliver = on_deliver.clone();
+                        let pool = pool.clone();
                         let peer = stream
                             .peer_addr()
                             .map(|a| a.to_string())
@@ -172,7 +197,14 @@ impl TcpReceiver {
                         let reader = std::thread::Builder::new()
                             .name(format!("neptune-io-rx-{peer}"))
                             .spawn(move || {
-                                reader_loop(stream, queue, shutdown, decode_errors, on_deliver)
+                                reader_loop(
+                                    stream,
+                                    queue,
+                                    shutdown,
+                                    decode_errors,
+                                    on_deliver,
+                                    pool,
+                                )
                             })
                             .expect("spawn tcp reader thread");
                         readers.lock().push(reader);
@@ -251,12 +283,17 @@ fn reader_loop(
     shutdown: Arc<AtomicBool>,
     decode_errors: Arc<AtomicU64>,
     on_deliver: Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>,
+    pool: Option<Arc<BytesPool>>,
 ) {
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        match read_frame(&mut stream) {
+        let read = match &pool {
+            Some(p) => read_frame_pooled(&mut stream, p),
+            None => read_frame(&mut stream),
+        };
+        match read {
             Ok(frame) => {
                 // Blocking here is the flow-control point: a gated queue
                 // stops this thread from draining the socket.
@@ -462,6 +499,31 @@ mod tests {
             s.join().unwrap();
         }
         assert_eq!(per_link, [100, 100, 100, 100]);
+        rx.shutdown();
+    }
+
+    #[test]
+    fn pooled_receiver_recycles_body_buffers() {
+        let pool = Arc::new(BytesPool::new(16));
+        let rx = TcpReceiver::bind_pooled(
+            "127.0.0.1:0",
+            WatermarkConfig::new(1 << 20, 1 << 10),
+            pool.clone(),
+        )
+        .unwrap();
+        let tx = TcpSender::connect(rx.local_addr(), 16).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let q = rx.queue();
+        for i in 0..50u64 {
+            tx.send(encode_frame(1, i, &[i.to_le_bytes().to_vec()], &raw)).unwrap();
+            let f = q.pop_timeout(Duration::from_secs(5)).expect("frame");
+            assert_eq!(f.messages[0], i.to_le_bytes());
+            // Consumer done with the frame: hand the batch back.
+            pool.recycle(f.messages.into_batch());
+        }
+        let stats = pool.stats();
+        assert!(stats.hits >= 40, "steady-state receive path must reuse body buffers: {stats:?}");
+        tx.close();
         rx.shutdown();
     }
 

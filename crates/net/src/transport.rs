@@ -4,13 +4,14 @@
 //! Two implementations exist:
 //!
 //! * [`InProcessTransport`] — both operator instances live in the same
-//!   Granules resource; the batch is handed over as a decoded [`Frame`]
-//!   with no wire encoding, no compression, and no copy of the socket
-//!   path. Backpressure still applies: the push blocks on the destination
-//!   watermark queue.
+//!   Granules resource; the batch buffer is handed over as a decoded
+//!   [`Frame`] with no wire encoding, no compression, and **no copy**: the
+//!   refcounted `Bytes` batch the output buffer flushed is the same storage
+//!   the receiving task reads messages from. Backpressure still applies:
+//!   the push blocks on the destination watermark queue.
 //! * [`crate::tcp`] — operator instances on different resources; the batch
-//!   is encoded with [`crate::frame::encode_frame`] and carried over a TCP
-//!   connection by dedicated IO threads.
+//!   is encoded with [`crate::frame::encode_frame_raw`] and carried over a
+//!   TCP connection by dedicated IO threads.
 //!
 //! Both are *blocking under backpressure*, which is what lets the
 //! watermark gating propagate upstream (§III-B4): a worker thread that
@@ -19,9 +20,9 @@
 //! *"The stream processors are not scheduled again until these write
 //! operations are successful."*
 
-use crate::buffer::split_encoded;
-use crate::frame::{Frame, FRAME_HEADER_LEN};
+use crate::frame::{Frame, FrameMessages, FRAME_HEADER_LEN};
 use crate::watermark::WatermarkQueue;
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,13 +53,15 @@ impl std::error::Error for TransportError {}
 /// Anything that can carry a flushed batch toward a downstream instance.
 pub trait BatchSink: Send + Sync {
     /// Deliver a batch. `encoded` is the output buffer's length-prefixed
-    /// concatenation; `count` the number of messages; `base_seq` the
-    /// sequence number of the first. Blocks under backpressure.
+    /// concatenation, passed by refcounted handle so the in-process path
+    /// shares the storage instead of copying it; `count` the number of
+    /// messages; `base_seq` the sequence number of the first. Blocks under
+    /// backpressure.
     fn send_batch(
         &self,
         link_id: u64,
         base_seq: u64,
-        encoded: &[u8],
+        encoded: Bytes,
         count: u32,
     ) -> Result<(), TransportError>;
 
@@ -72,7 +75,7 @@ pub trait BatchSink: Send + Sync {
 type DeliverHook = Arc<dyn Fn() + Send + Sync>;
 
 /// Same-resource transport: batches land directly on the destination
-/// watermark queue as decoded frames.
+/// watermark queue as decoded frames sharing the sender's batch buffer.
 pub struct InProcessTransport {
     queue: Arc<WatermarkQueue<Frame>>,
     on_deliver: RwLock<Option<DeliverHook>>,
@@ -108,18 +111,14 @@ impl BatchSink for InProcessTransport {
         &self,
         link_id: u64,
         base_seq: u64,
-        encoded: &[u8],
+        encoded: Bytes,
         count: u32,
     ) -> Result<(), TransportError> {
-        let messages = split_encoded(encoded).map_err(TransportError::Malformed)?;
-        if messages.len() != count as usize {
-            return Err(TransportError::Malformed(format!(
-                "count {} but {} messages",
-                count,
-                messages.len()
-            )));
-        }
+        // Wire-equivalent accounting: header + compression tag + body.
         let wire_len = FRAME_HEADER_LEN + encoded.len() + 1;
+        // Zero-copy split: the frame's messages are ranges into `encoded`.
+        let messages = FrameMessages::parse_prefixed(encoded, Some(count))
+            .map_err(TransportError::Malformed)?;
         let frame = Frame { link_id, base_seq, messages, wire_len };
         self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)?;
         self.frames.fetch_add(1, Ordering::Relaxed);
@@ -146,13 +145,13 @@ mod tests {
     use crate::watermark::WatermarkConfig;
     use std::sync::atomic::AtomicU64;
 
-    fn encode(msgs: &[&[u8]]) -> (Vec<u8>, u32) {
+    fn encode(msgs: &[&[u8]]) -> (Bytes, u32) {
         let mut out = Vec::new();
         for m in msgs {
             out.extend_from_slice(&(m.len() as u32).to_le_bytes());
             out.extend_from_slice(m);
         }
-        (out, msgs.len() as u32)
+        (Bytes::from(out), msgs.len() as u32)
     }
 
     #[test]
@@ -161,8 +160,8 @@ mod tests {
         let t = InProcessTransport::new(q.clone());
         let (e1, c1) = encode(&[b"a", b"b"]);
         let (e2, c2) = encode(&[b"c"]);
-        t.send_batch(7, 0, &e1, c1).unwrap();
-        t.send_batch(7, 2, &e2, c2).unwrap();
+        t.send_batch(7, 0, e1, c1).unwrap();
+        t.send_batch(7, 2, e2, c2).unwrap();
         let f1 = q.pop().unwrap();
         assert_eq!(f1.base_seq, 0);
         assert_eq!(f1.messages, vec![b"a".to_vec(), b"b".to_vec()]);
@@ -170,6 +169,22 @@ mod tests {
         assert_eq!(f2.base_seq, 2);
         assert_eq!(t.frames_sent(), 2);
         assert!(t.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn delivered_frame_shares_the_batch_buffer() {
+        // The whole point of the in-process path: no copy on handover.
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let t = InProcessTransport::new(q.clone());
+        let (e, c) = encode(&[b"shared"]);
+        let batch_ptr = e.as_ptr() as usize;
+        t.send_batch(1, 0, e, c).unwrap();
+        let f = q.pop().unwrap();
+        let range = batch_ptr..batch_ptr + f.messages.batch().len();
+        assert!(
+            range.contains(&(f.messages[0].as_ptr() as usize)),
+            "message must alias the sender's batch buffer"
+        );
     }
 
     #[test]
@@ -182,8 +197,8 @@ mod tests {
             h.fetch_add(1, Ordering::Relaxed);
         });
         let (e, c) = encode(&[b"x"]);
-        t.send_batch(1, 0, &e, c).unwrap();
-        t.send_batch(1, 1, &e, c).unwrap();
+        t.send_batch(1, 0, e.clone(), c).unwrap();
+        t.send_batch(1, 1, e, c).unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
@@ -192,7 +207,7 @@ mod tests {
         let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
         let t = InProcessTransport::new(q);
         let (e, _) = encode(&[b"x", b"y"]);
-        assert!(matches!(t.send_batch(1, 0, &e, 3), Err(TransportError::Malformed(_))));
+        assert!(matches!(t.send_batch(1, 0, e, 3), Err(TransportError::Malformed(_))));
     }
 
     #[test]
@@ -201,7 +216,7 @@ mod tests {
         let t = InProcessTransport::new(q.clone());
         q.close();
         let (e, c) = encode(&[b"x"]);
-        assert_eq!(t.send_batch(1, 0, &e, c), Err(TransportError::Closed));
+        assert_eq!(t.send_batch(1, 0, e, c), Err(TransportError::Closed));
     }
 
     #[test]
@@ -209,11 +224,11 @@ mod tests {
         let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(64, 8)));
         let t = Arc::new(InProcessTransport::new(q.clone()));
         let (e, c) = encode(&[&[0u8; 60]]);
-        t.send_batch(1, 0, &e, c).unwrap(); // gates the queue
+        t.send_batch(1, 0, e.clone(), c).unwrap(); // gates the queue
         assert!(q.is_gated());
         let t2 = t.clone();
         let e2 = e.clone();
-        let sender = std::thread::spawn(move || t2.send_batch(1, 1, &e2, c));
+        let sender = std::thread::spawn(move || t2.send_batch(1, 1, e2, c));
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert_eq!(q.total_pushed(), 1, "second send must be blocked");
         q.pop().unwrap();

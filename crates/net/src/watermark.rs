@@ -395,18 +395,14 @@ mod tests {
             .map(|_| {
                 let q = q.clone();
                 let consumed = consumed.clone();
-                std::thread::spawn(move || {
-                    loop {
-                        match q.pop_timeout(Duration::from_millis(200)) {
-                            Some(_) => {
-                                consumed.fetch_add(1, Ordering::Relaxed);
-                            }
-                            None => {
-                                if consumed.load(Ordering::Relaxed)
-                                    == (4 * PER_PRODUCER) as u64
-                                {
-                                    break;
-                                }
+                std::thread::spawn(move || loop {
+                    match q.pop_timeout(Duration::from_millis(200)) {
+                        Some(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if consumed.load(Ordering::Relaxed) == (4 * PER_PRODUCER) as u64 {
+                                break;
                             }
                         }
                     }

@@ -164,13 +164,7 @@ pub fn simulate_cluster(params: &ClusterParams) -> ClusterResult {
     let unit_n: Vec<u64> = params
         .hops
         .iter()
-        .map(|h| {
-            if p.batched {
-                (params.buffer_bytes / h.msg_size).max(1) as u64
-            } else {
-                1
-            }
-        })
+        .map(|h| if p.batched { (params.buffer_bytes / h.msg_size).max(1) as u64 } else { 1 })
         .collect();
     // CPU µs per *message* on the send and receive side of each hop.
     let send_us: Vec<f64> =
@@ -320,8 +314,7 @@ pub fn simulate_cluster(params: &ClusterParams) -> ClusterResult {
     }
     let per_node_cpu: Vec<f64> =
         (0..n_nodes).map(|m| (node_cpu_used[m] / cpu_capacity[m]).min(1.0)).collect();
-    let cumulative_bandwidth_gbps: f64 =
-        node_tx_bytes.iter().map(|b| b * 8.0 / 1e9).sum();
+    let cumulative_bandwidth_gbps: f64 = node_tx_bytes.iter().map(|b| b * 8.0 / 1e9).sum();
 
     // Memory: a base OS/runtime share, plus per-instance heap and queue
     // bytes. Bounded engines hold at most the watermark budget per
@@ -397,8 +390,7 @@ mod tests {
     #[test]
     fn neptune_beats_storm_on_manufacturing() {
         // Fig. 9's shape: NEPTUNE several-fold above Storm.
-        let np =
-            simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), 50, 32));
+        let np = simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), 50, 32));
         let st = simulate_cluster(&ClusterParams::manufacturing_job(storm_profile(), 50, 32));
         let ratio = np.cumulative_throughput / st.cumulative_throughput;
         assert!(

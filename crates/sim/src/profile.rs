@@ -83,7 +83,7 @@ pub fn neptune_profile() -> EngineProfile {
         name: "NEPTUNE",
         per_packet_send_us: 0.25,
         per_packet_recv_us: 0.25,
-        per_send_cpu_us: 15.0, // one syscall + frame assembly per batch
+        per_send_cpu_us: 15.0,   // one syscall + frame assembly per batch
         thread_hops_per_unit: 2, // two-tier model: worker -> IO (per batch)
         ctx_switch_us: 3.0,
         batched: true,
@@ -116,7 +116,7 @@ pub fn storm_profile() -> EngineProfile {
         name: "Storm",
         per_packet_send_us: 0.8,
         per_packet_recv_us: 0.8,
-        per_send_cpu_us: 1.2, // per-tuple send path (no batch to amortize)
+        per_send_cpu_us: 1.2,    // per-tuple send path (no batch to amortize)
         thread_hops_per_unit: 4, // §IV-C: four threads touch every tuple
         ctx_switch_us: 5.0,
         batched: false,

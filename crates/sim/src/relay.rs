@@ -100,8 +100,7 @@ pub fn simulate_relay(params: RelayParams) -> RelayResult {
         let by_buffer = (params.buffer_bytes / params.msg_size).max(1) as u64;
         // The flush timer caps fill time: the source fills at its own CPU
         // speed, so n * per_packet_send must fit in the timer.
-        let by_timer =
-            ((params.flush_timer_s * 1e6) / p.per_packet_send_us).max(1.0) as u64;
+        let by_timer = ((params.flush_timer_s * 1e6) / p.per_packet_send_us).max(1.0) as u64;
         by_buffer.min(by_timer)
     } else {
         1
@@ -200,8 +199,7 @@ pub fn simulate_relay(params: RelayParams) -> RelayResult {
     // Backlog at the relay at the nominal end of the run (arrived but not
     // yet processed at t = duration).
     let arrived = relay_arrivals.iter().filter(|&&t| t <= params.duration_s).count() as u64;
-    let processed =
-        relay_departures.iter().filter(|&&t| t <= params.duration_s).count() as u64;
+    let processed = relay_departures.iter().filter(|&&t| t <= params.duration_s).count() as u64;
     let backlog = arrived.saturating_sub(processed);
 
     RelayResult {

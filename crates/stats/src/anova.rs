@@ -53,8 +53,7 @@ pub fn one_way_anova(groups: &[&[f64]]) -> AnovaResult {
     let total_n: usize = groups.iter().map(|g| g.len()).sum();
     assert!(total_n > k, "ANOVA needs N > k for positive error degrees of freedom");
 
-    let grand_mean =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / total_n as f64;
+    let grand_mean = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / total_n as f64;
 
     let mut ss_between = 0.0;
     let mut ss_within = 0.0;

@@ -64,8 +64,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64], tail: Tail) -> TTestResult {
     assert!(se2 > 0.0, "both samples have zero variance; t statistic undefined");
     let t = (sa.mean - sb.mean) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / (va_n * va_n / (sa.n as f64 - 1.0) + vb_n * vb_n / (sb.n as f64 - 1.0));
+    let df = se2 * se2 / (va_n * va_n / (sa.n as f64 - 1.0) + vb_n * vb_n / (sb.n as f64 - 1.0));
     TTestResult { t, df, p_value: p_from_t(t, df, tail), mean_difference: sa.mean - sb.mean, tail }
 }
 
@@ -76,8 +75,7 @@ pub fn student_t_test(a: &[f64], b: &[f64], tail: Tail) -> TTestResult {
     let sb = Summary::from_slice(b);
     assert!(sa.n >= 2 && sb.n >= 2, "student_t_test needs >= 2 observations per group");
     let df = (sa.n + sb.n - 2) as f64;
-    let pooled =
-        ((sa.n as f64 - 1.0) * sa.variance + (sb.n as f64 - 1.0) * sb.variance) / df;
+    let pooled = ((sa.n as f64 - 1.0) * sa.variance + (sb.n as f64 - 1.0) * sb.variance) / df;
     assert!(pooled > 0.0, "pooled variance is zero; t statistic undefined");
     let se = (pooled * (1.0 / sa.n as f64 + 1.0 / sb.n as f64)).sqrt();
     let t = (sa.mean - sb.mean) / se;

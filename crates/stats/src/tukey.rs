@@ -167,8 +167,7 @@ mod tests {
         let sig = r.significant_pairs(0.05);
         assert_eq!(sig.len(), 2);
         // The non-significant pair must be (0, 1).
-        let not_sig: Vec<_> =
-            r.comparisons.iter().filter(|c| !c.significant_at(0.05)).collect();
+        let not_sig: Vec<_> = r.comparisons.iter().filter(|c| !c.significant_at(0.05)).collect();
         assert_eq!(not_sig.len(), 1);
         assert_eq!((not_sig[0].group_a, not_sig[0].group_b), (0, 1));
     }

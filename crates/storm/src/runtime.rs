@@ -64,11 +64,19 @@ fn tuple_id(counter: u64) -> u64 {
 
 enum AckMsg {
     /// A spout emitted a root tuple.
-    Track { root: u64 },
+    Track {
+        root: u64,
+    },
     /// A bolt emitted a child anchored to `root`.
-    Anchor { root: u64, child: u64 },
+    Anchor {
+        root: u64,
+        child: u64,
+    },
     /// A tuple in the tree finished processing.
-    Ack { root: u64, id: u64 },
+    Ack {
+        root: u64,
+        id: u64,
+    },
     Stop,
 }
 
@@ -344,7 +352,9 @@ fn deploy(topology: Topology, config: StormConfig) -> StormJob {
         /// Allocate ids and notify the acker, mirroring Storm's tracking:
         /// spout emissions start a tree; bolt emissions anchor to theirs.
         fn next_ids(&mut self, root: u64) -> (u64, u64) {
-            let Some(ack_tx) = &self.ack_tx else { return (0, 0) };
+            let Some(ack_tx) = &self.ack_tx else {
+                return (0, 0);
+            };
             self.id_counter += 1;
             let id = tuple_id(self.id_counter);
             if root == 0 {
@@ -568,8 +578,7 @@ mod tests {
     impl Bolt for SumBolt {
         fn execute(&mut self, t: &StreamPacket, _c: &mut BoltCollector) {
             self.seen.fetch_add(1, Ordering::Relaxed);
-            self.sum
-                .fetch_add(t.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+            self.sum.fetch_add(t.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
         }
     }
 
@@ -697,10 +706,7 @@ mod tests {
         // Give the spout a moment to run ahead.
         std::thread::sleep(Duration::from_millis(200));
         let depth = job.in_flight();
-        assert!(
-            depth > 100,
-            "expected a queue buildup without backpressure, in-flight = {depth}"
-        );
+        assert!(depth > 100, "expected a queue buildup without backpressure, in-flight = {depth}");
         job.stop();
     }
 
@@ -738,8 +744,8 @@ mod tests {
             .shuffle_grouping("relay")
             .build()
             .unwrap();
-        let job = StormRuntime::new(StormConfig { acking: true, ..Default::default() })
-            .submit(topo);
+        let job =
+            StormRuntime::new(StormConfig { acking: true, ..Default::default() }).submit(topo);
         assert!(job.await_quiescent(Duration::from_secs(30)));
         // Let the acker drain its channel.
         let deadline = Instant::now() + Duration::from_secs(10);

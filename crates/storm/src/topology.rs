@@ -172,8 +172,14 @@ impl std::fmt::Debug for Topology {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Topology")
             .field("name", &self.name)
-            .field("spouts", &self.spouts.iter().map(|s| (&s.name, s.parallelism)).collect::<Vec<_>>())
-            .field("bolts", &self.bolts.iter().map(|b| (&b.name, b.parallelism)).collect::<Vec<_>>())
+            .field(
+                "spouts",
+                &self.spouts.iter().map(|s| (&s.name, s.parallelism)).collect::<Vec<_>>(),
+            )
+            .field(
+                "bolts",
+                &self.bolts.iter().map(|b| (&b.name, b.parallelism)).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -208,11 +214,21 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Start building.
     pub fn new(name: impl Into<String>) -> Self {
-        TopologyBuilder { name: name.into(), spouts: Vec::new(), bolts: Vec::new(), current_bolt: None }
+        TopologyBuilder {
+            name: name.into(),
+            spouts: Vec::new(),
+            bolts: Vec::new(),
+            current_bolt: None,
+        }
     }
 
     /// Declare a spout.
-    pub fn set_spout<S, F>(mut self, name: impl Into<String>, parallelism: usize, factory: F) -> Self
+    pub fn set_spout<S, F>(
+        mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: F,
+    ) -> Self
     where
         S: StormSpout + 'static,
         F: Fn() -> S + Send + Sync + 'static,
@@ -299,18 +315,14 @@ impl TopologyBuilder {
             }
         }
         // Kahn cycle check over components.
-        let mut indegree: HashMap<&str, usize> =
-            names.iter().map(|n| (n.as_str(), 0)).collect();
+        let mut indegree: HashMap<&str, usize> = names.iter().map(|n| (n.as_str(), 0)).collect();
         for b in &bolts {
             for _ in &b.subscriptions {
                 *indegree.get_mut(b.name.as_str()).expect("known") += 1;
             }
         }
-        let mut queue: VecDeque<&str> = indegree
-            .iter()
-            .filter(|(_, &d)| d == 0)
-            .map(|(&n, _)| n)
-            .collect();
+        let mut queue: VecDeque<&str> =
+            indegree.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
         let mut visited = 0;
         while let Some(n) = queue.pop_front() {
             visited += 1;

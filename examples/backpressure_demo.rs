@@ -112,9 +112,7 @@ fn main() {
         let p1 = processed.load(Ordering::Relaxed);
         let src_rate = (e1 - e0) as f64 / 0.9;
         let sink_rate = (p1 - p0) as f64 / 0.9;
-        println!(
-            "{phase:>5} | {sleep_ms:>7} ms | {src_rate:>19.0} | {sink_rate:>17.0}"
-        );
+        println!("{phase:>5} | {sleep_ms:>7} ms | {src_rate:>19.0} | {sink_rate:>17.0}");
         phase_rates.push(src_rate);
     }
     job.stop();

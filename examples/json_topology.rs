@@ -69,7 +69,9 @@ impl StreamSource for SentenceSource {
 struct Tokenizer;
 impl StreamProcessor for Tokenizer {
     fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext) {
-        let Some(text) = packet.get("text").and_then(|v| v.as_str()) else { return };
+        let Some(text) = packet.get("text").and_then(|v| v.as_str()) else {
+            return;
+        };
         // One output packet per word; reuse a workhorse packet.
         let mut out = StreamPacket::with_capacity(1);
         for word in text.split_whitespace() {
@@ -139,8 +141,7 @@ fn main() {
     // 2... verify via direct recount.
     let expected: u64 = (0..2000)
         .map(|i| {
-            SENTENCES[i % SENTENCES.len()].split_whitespace().filter(|w| *w == "the").count()
-                as u64
+            SENTENCES[i % SENTENCES.len()].split_whitespace().filter(|w| *w == "the").count() as u64
         })
         .sum();
     assert_eq!(totals.get("the").copied().unwrap_or(0), expected);

@@ -63,7 +63,9 @@ impl DetectDelays {
 }
 impl StreamProcessor for DetectDelays {
     fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext) {
-        let Some(ts) = packet.get("ts").and_then(|v| v.as_timestamp()) else { return };
+        let Some(ts) = packet.get("ts").and_then(|v| v.as_timestamp()) else {
+            return;
+        };
         for pair in 0..ADDITIVE_PAIRS {
             let Some(sensor) = packet.get(&format!("s{pair}")).and_then(|v| v.as_bool()) else {
                 continue;
@@ -161,10 +163,7 @@ fn main() {
     // pipeline must recover that (within one reading interval).
     assert!(d.count() > 50, "too few actuation events observed");
     let mean_ms = d.mean() / 1e3;
-    assert!(
-        (mean_ms - 20.0).abs() < 3.0,
-        "recovered delay {mean_ms:.2} ms, expected ~20 ms"
-    );
+    assert!((mean_ms - 20.0).abs() < 3.0, "recovered delay {mean_ms:.2} ms, expected ~20 ms");
     assert_eq!(metrics.total_seq_violations(), 0);
     println!("manufacturing_monitor OK");
 }

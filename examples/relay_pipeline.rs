@@ -91,7 +91,11 @@ fn main() {
         lat.max() / 1e3,
         lat.count()
     );
-    println!("frames           : {} (batching {:.0} packets/frame)", recv.frames_in, recv.packets_per_frame());
+    println!(
+        "frames           : {} (batching {:.0} packets/frame)",
+        recv.frames_in,
+        recv.packets_per_frame()
+    );
     println!("seq violations   : {}", metrics.total_seq_violations());
     assert_eq!(recv.packets_in, count, "exactly-once delivery");
     assert_eq!(metrics.total_seq_violations(), 0);

@@ -145,11 +145,7 @@ fn main() {
     );
     // Without the flush timer an alert would sit in the 1 MB buffer until
     // job teardown; with it, staleness stays in the tens of milliseconds.
-    assert!(
-        worst < 100_000,
-        "flush timer failed to bound alert staleness: {} us",
-        worst
-    );
+    assert!(worst < 100_000, "flush timer failed to bound alert staleness: {} us", worst);
     assert_eq!(metrics.total_seq_violations(), 0);
     println!("sliding_statistics OK — sparse alerts stayed fresh under a 1 MB buffer");
 }

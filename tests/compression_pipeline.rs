@@ -63,10 +63,7 @@ fn sensor_stream_shrinks_under_selective_compression() {
     let (_, raw) = run_with_mode(|| ManufacturingSource::new(11, N), CompressionMode::Disabled, N);
     let (_, selective) =
         run_with_mode(|| ManufacturingSource::new(11, N), CompressionMode::Threshold(5.0), N);
-    assert!(
-        selective < raw / 2,
-        "low-entropy stream should compress >2x: {raw} -> {selective}"
-    );
+    assert!(selective < raw / 2, "low-entropy stream should compress >2x: {raw} -> {selective}");
 }
 
 #[test]
@@ -87,8 +84,7 @@ fn random_stream_does_not_shrink() {
 
 #[test]
 fn always_mode_pays_for_random_data_but_stays_correct() {
-    let (count, bytes) =
-        run_with_mode(|| RandomSource::new(256, N, 7), CompressionMode::Always, N);
+    let (count, bytes) = run_with_mode(|| RandomSource::new(256, N, 7), CompressionMode::Always, N);
     assert_eq!(count, N);
     // The expansion guard keeps wire bytes near raw even in Always mode.
     let (_, raw) = run_with_mode(|| RandomSource::new(256, N, 7), CompressionMode::Disabled, N);

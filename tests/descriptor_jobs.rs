@@ -40,8 +40,7 @@ impl StreamProcessor for Double {
 struct Sum(Arc<AtomicU64>);
 impl StreamProcessor for Sum {
     fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
-        self.0
-            .fetch_add(p.get("v").and_then(|x| x.as_u64()).unwrap_or(0), Ordering::Relaxed);
+        self.0.fetch_add(p.get("v").and_then(|x| x.as_u64()).unwrap_or(0), Ordering::Relaxed);
     }
 }
 
@@ -122,7 +121,7 @@ fn bad_descriptors_fail_cleanly() {
     // Structural, factory, and graph-level failures must all surface as
     // errors, never panics.
     let cases = [
-        "{", // invalid json
+        "{",                    // invalid json
         r#"{"operators": []}"#, // missing name
         r#"{"name": "x", "operators": [{"name": "s", "kind": "source", "factory": "nope"}]}"#,
         r#"{"name": "x", "operators": [

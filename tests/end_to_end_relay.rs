@@ -80,7 +80,12 @@ impl StreamProcessor for AuditSink {
     }
 }
 
-fn run_relay(config: RuntimeConfig, n: u64, payload: usize, relay_par: usize) -> (Arc<Audit>, neptune::core::JobMetrics) {
+fn run_relay(
+    config: RuntimeConfig,
+    n: u64,
+    payload: usize,
+    relay_par: usize,
+) -> (Arc<Audit>, neptune::core::JobMetrics) {
     let audit = Arc::new(Audit::default());
     let sink_audit = audit.clone();
     let graph = GraphBuilder::new("e2e-relay")
@@ -237,9 +242,5 @@ fn flush_timer_bounds_latency_of_trickle() {
         v.sort_unstable();
         v[(v.len() * 95 / 100).min(v.len() - 1)]
     };
-    assert!(
-        p95 < 200_000,
-        "p95 latency {}us exceeds the flush-timer regime",
-        p95
-    );
+    assert!(p95 < 200_000, "p95 latency {}us exceeds the flush-timer regime", p95);
 }

@@ -16,8 +16,7 @@ const N: u64 = 20_000;
 
 fn make_packet(n: u64) -> StreamPacket {
     let mut p = StreamPacket::new();
-    p.push_field("n", FieldValue::U64(n))
-        .push_field("pad", FieldValue::Bytes(vec![7u8; 42]));
+    p.push_field("n", FieldValue::U64(n)).push_field("pad", FieldValue::Bytes(vec![7u8; 42]));
     p
 }
 
@@ -51,8 +50,7 @@ struct NSink(Arc<AtomicU64>, Arc<AtomicU64>);
 impl StreamProcessor for NSink {
     fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
         self.0.fetch_add(1, Ordering::Relaxed);
-        self.1
-            .fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+        self.1.fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
     }
 }
 
@@ -81,8 +79,7 @@ struct SSink(Arc<AtomicU64>, Arc<AtomicU64>);
 impl Bolt for SSink {
     fn execute(&mut self, t: &StreamPacket, _c: &mut BoltCollector) {
         self.0.fetch_add(1, Ordering::Relaxed);
-        self.1
-            .fetch_add(t.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+        self.1.fetch_add(t.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
     }
 }
 
