@@ -1,0 +1,86 @@
+//! Telemetry overhead guard: the instrumentation added for the
+//! latency-breakdown histograms (sender-side stamps in the channel
+//! endpoint, per-frame clock reads in the processor drain loop) must cost
+//! nothing measurable when `RuntimeConfig::telemetry` is disabled — the
+//! disabled path takes zero extra clock reads — and stay cheap when
+//! enabled.
+//!
+//! Both sides run the identical three-stage relay with timestamp-stamped
+//! packets, so the only difference is the telemetry toggle. The headline
+//! acceptance bound is ≤2% on the disabled configuration relative to the
+//! pre-telemetry engine; compare the `disabled` group against the
+//! `ablations` baseline across revisions to track it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use neptune_core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PACKETS_PER_RUN: u64 = 20_000;
+
+struct Src(u64);
+impl StreamSource for Src {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.0 >= PACKETS_PER_RUN {
+            return SourceStatus::Exhausted;
+        }
+        let mut p = StreamPacket::new();
+        p.push_field("ts", FieldValue::Timestamp(neptune_core::now_micros()))
+            .push_field("n", FieldValue::U64(self.0));
+        match ctx.emit(&p) {
+            Ok(()) => {
+                self.0 += 1;
+                SourceStatus::Emitted(1)
+            }
+            Err(_) => SourceStatus::Exhausted,
+        }
+    }
+}
+struct Relay;
+impl StreamProcessor for Relay {
+    fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
+        let _ = ctx.emit(p);
+    }
+}
+struct Sink(Arc<AtomicU64>);
+impl StreamProcessor for Sink {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One whole relay job, start to drained stop.
+fn run_relay(telemetry: bool) {
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let graph = GraphBuilder::new("telemetry-overhead")
+        .source("src", || Src(0))
+        .processor("relay", || Relay)
+        .processor("sink", move || Sink(s2.clone()))
+        .link("src", "relay", PartitioningScheme::Shuffle)
+        .link("relay", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig {
+        telemetry: if telemetry { TelemetryConfig::enabled() } else { TelemetryConfig::default() },
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), PACKETS_PER_RUN);
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(PACKETS_PER_RUN));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("disabled", |b| b.iter(|| run_relay(false)));
+    g.bench_function("enabled", |b| b.iter(|| run_relay(true)));
+    g.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

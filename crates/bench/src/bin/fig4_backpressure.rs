@@ -8,9 +8,13 @@
 //!
 //! This harness runs the real engine and prints the time series of source
 //! and sink rates across two full 0→1→2→3 ms cycles — the data behind
-//! Fig. 4's staircase.
+//! Fig. 4's staircase. The run executes with telemetry enabled, so the
+//! backpressure oscillation is also captured by the background sampler
+//! (queue gauges + gate events over time) and dumped, together with the
+//! staircase and per-operator latency histograms, to `BENCH_fig4.json`.
 
 use neptune_bench::Table;
+use neptune_core::json::{object, JsonValue};
 use neptune_core::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,7 +27,8 @@ struct Firehose {
 impl StreamSource for Firehose {
     fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
         let mut p = StreamPacket::new();
-        p.push_field("n", FieldValue::U64(self.emitted.load(Ordering::Relaxed)))
+        p.push_field("ts", FieldValue::Timestamp(neptune_core::now_micros()))
+            .push_field("n", FieldValue::U64(self.emitted.load(Ordering::Relaxed)))
             .push_field("pad", FieldValue::Bytes(self.payload.clone()));
         match ctx.emit(&p) {
             Ok(()) => {
@@ -75,6 +80,10 @@ fn main() {
         flush_interval: Duration::from_millis(2),
         watermark_high: 64 * 1024,
         watermark_low: 16 * 1024,
+        telemetry: TelemetryConfig {
+            sample_interval: Duration::from_millis(100),
+            ..TelemetryConfig::enabled()
+        },
         ..Default::default()
     };
     let job = LocalRuntime::new(config).submit(graph).expect("deploys");
@@ -108,8 +117,21 @@ fn main() {
             }
         }
     }
+    let snap = job.telemetry().expect("telemetry enabled for this run");
     job.stop();
     table.print();
+
+    // The sampler watched the whole oscillation: its series carries the
+    // queue fill levels and gate events behind the staircase above.
+    assert!(!snap.series.is_empty(), "sampler produced no samples");
+    let gate_events: u64 = snap.queues.iter().map(|q| q.gate_events).sum();
+    assert!(gate_events > 0, "backpressure never engaged — Fig. 4 setup broken");
+    println!(
+        "\ntelemetry: {} sampler ticks, {} backpressure gate events",
+        snap.series.len(),
+        gate_events
+    );
+    print!("{}", snap.render_pretty());
 
     // Verdict: in the second (settled) cycle, the source rate must be
     // monotonically decreasing in the sleep interval, and the 0 ms phase
@@ -122,5 +144,36 @@ fn main() {
     println!("\nsettled-cycle mean source rates: 0ms={r0:.0} 1ms={r1:.0} 2ms={r2:.0} 3ms={r3:.0}");
     assert!(r0 > 10.0 * r1, "0ms phase should dwarf 1ms phase");
     assert!(r1 > r2 && r2 > r3, "source rate must fall as C slows");
+
+    let doc = object([
+        ("bench", JsonValue::String("fig4".into())),
+        (
+            "staircase",
+            JsonValue::Array(
+                staircase
+                    .iter()
+                    .map(|(sleep_ms, rate)| {
+                        object([
+                            ("sleep_ms", JsonValue::Number(*sleep_ms as f64)),
+                            ("source_rate", JsonValue::Number(*rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "settled_rates",
+            object([
+                ("r0", JsonValue::Number(r0)),
+                ("r1", JsonValue::Number(r1)),
+                ("r2", JsonValue::Number(r2)),
+                ("r3", JsonValue::Number(r3)),
+            ]),
+        ),
+        ("gate_events", JsonValue::Number(gate_events as f64)),
+        ("telemetry", snap.to_json_value()),
+    ]);
+    std::fs::write("BENCH_fig4.json", doc.to_json()).expect("write BENCH_fig4.json");
+    println!("wrote BENCH_fig4.json");
     println!("fig4 OK — source throughput inversely tracks stage C's rate");
 }

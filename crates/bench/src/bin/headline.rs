@@ -15,16 +15,30 @@
 //!    achieve a cumulative throughput of 15 million messages per
 //!    second."*
 //!
-//! Plus a live single-node anchor on this host's real engine.
+//! Plus a live single-node anchor on this host's real engine, a
+//! telemetry-enabled relay dump (per-operator e2e quantiles and the
+//! four-stage latency breakdown), and a machine-readable
+//! `BENCH_headline.json` for CI artifacts.
+//!
+//! Pass `--quick` to shrink the live runs for CI.
 
 use neptune_bench::{eng, Table};
+use neptune_core::json::{object, JsonValue};
 use neptune_core::prelude::*;
 use neptune_sim::{neptune_profile, simulate_cluster, simulate_relay, ClusterParams, RelayParams};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn check(name: &str, measured: f64, paper: f64, lo: f64, hi: f64, table: &mut Table) -> bool {
+fn check(
+    name: &str,
+    measured: f64,
+    paper: f64,
+    lo: f64,
+    hi: f64,
+    table: &mut Table,
+    rows: &mut Vec<JsonValue>,
+) -> bool {
     let ok = measured >= lo && measured <= hi;
     table.row(vec![
         name.into(),
@@ -33,62 +47,92 @@ fn check(name: &str, measured: f64, paper: f64, lo: f64, hi: f64, table: &mut Ta
         format!("{:.2}x", measured / paper),
         if ok { "ok" } else { "OFF" }.into(),
     ]);
+    rows.push(object([
+        ("claim", JsonValue::String(name.to_string())),
+        ("measured", JsonValue::Number(measured)),
+        ("paper", JsonValue::Number(paper)),
+        ("ok", JsonValue::Bool(ok)),
+    ]));
     ok
 }
 
-fn live_single_node_throughput() -> f64 {
-    const N: u64 = 2_000_000;
-    struct Src(u64);
-    impl StreamSource for Src {
-        fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
-            if self.0 >= N {
-                return SourceStatus::Exhausted;
+struct Src {
+    next: u64,
+    limit: u64,
+    /// Stamp packets with a source timestamp so e2e telemetry has a base.
+    stamp: bool,
+}
+impl StreamSource for Src {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.next >= self.limit {
+            return SourceStatus::Exhausted;
+        }
+        let mut p = StreamPacket::new();
+        if self.stamp {
+            p.push_field("ts", FieldValue::Timestamp(neptune_core::now_micros()));
+        }
+        p.push_field("n", FieldValue::U64(self.next));
+        match ctx.emit(&p) {
+            Ok(()) => {
+                self.next += 1;
+                SourceStatus::Emitted(1)
             }
-            let mut p = StreamPacket::new();
-            p.push_field("n", FieldValue::U64(self.0));
-            match ctx.emit(&p) {
-                Ok(()) => {
-                    self.0 += 1;
-                    SourceStatus::Emitted(1)
-                }
-                Err(_) => SourceStatus::Exhausted,
-            }
+            Err(_) => SourceStatus::Exhausted,
         }
     }
-    struct Relay;
-    impl StreamProcessor for Relay {
-        fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
-            let _ = ctx.emit(p);
-        }
+}
+struct Relay;
+impl StreamProcessor for Relay {
+    fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
+        let _ = ctx.emit(p);
     }
-    struct Sink(Arc<AtomicU64>);
-    impl StreamProcessor for Sink {
-        fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
-            self.0.fetch_add(1, Ordering::Relaxed);
-        }
+}
+struct Sink(Arc<AtomicU64>);
+impl StreamProcessor for Sink {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Run the three-stage relay on the real engine. With `telemetry` the
+/// packets carry source timestamps and the job records the full latency
+/// breakdown; the snapshot is taken after the queues settle.
+fn live_relay(n: u64, telemetry: bool) -> (f64, Option<TelemetrySnapshot>) {
     let seen = Arc::new(AtomicU64::new(0));
     let s2 = seen.clone();
     let graph = GraphBuilder::new("headline-live")
-        .source("src", || Src(0))
+        .source("src", move || Src { next: 0, limit: n, stamp: telemetry })
         .processor("relay", || Relay)
         .processor("sink", move || Sink(s2.clone()))
         .link("src", "relay", PartitioningScheme::Shuffle)
         .link("relay", "sink", PartitioningScheme::Shuffle)
         .build()
         .expect("valid graph");
-    let job = LocalRuntime::new(RuntimeConfig::default()).submit(graph).expect("deploys");
+    let config = RuntimeConfig {
+        telemetry: if telemetry { TelemetryConfig::enabled() } else { TelemetryConfig::default() },
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).expect("deploys");
     let t0 = Instant::now();
     assert!(job.await_sources(Duration::from_secs(300)));
+    let snap = if telemetry {
+        job.settle(Duration::from_secs(30));
+        job.telemetry()
+    } else {
+        None
+    };
     job.stop();
     let dt = t0.elapsed().as_secs_f64();
-    assert_eq!(seen.load(Ordering::Relaxed), N);
-    N as f64 / dt
+    assert_eq!(seen.load(Ordering::Relaxed), n);
+    (n as f64 / dt, snap)
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let live_n: u64 = if quick { 200_000 } else { 2_000_000 };
     println!("# §VI — the paper's headline numbers, reproduced\n");
     let mut table = Table::new(&["claim", "measured", "paper", "ratio", "verdict"]);
+    let mut rows: Vec<JsonValue> = Vec::new();
     let mut all_ok = true;
 
     // 1. Single-node relay ~2M msg/s (simulated 2-machine setup, 50 B).
@@ -100,6 +144,7 @@ fn main() {
         1.4e6,
         3.0e6,
         &mut table,
+        &mut rows,
     );
 
     // 1b. Bandwidth consumption 93.7% at large messages.
@@ -111,6 +156,7 @@ fn main() {
         0.90,
         0.97,
         &mut table,
+        &mut rows,
     );
 
     // 2. 50-node cumulative ~100M msg/s.
@@ -122,13 +168,21 @@ fn main() {
         6e7,
         1.8e8,
         &mut table,
+        &mut rows,
     );
 
     // 3. p99 latency for 10 KB packets < 87.8 ms at the high-throughput
     //    configuration.
     let lat = simulate_relay(RelayParams::new(neptune_profile(), 10 * 1024));
-    all_ok &=
-        check("p99 latency, 10 KB pkts (ms)", lat.p99_latency_ms, 87.8, 0.0, 87.8, &mut table);
+    all_ok &= check(
+        "p99 latency, 10 KB pkts (ms)",
+        lat.p99_latency_ms,
+        87.8,
+        0.0,
+        87.8,
+        &mut table,
+        &mut rows,
+    );
 
     // 4. Manufacturing application ~15M msg/s cumulative.
     let mfg = simulate_cluster(&ClusterParams::manufacturing_job(neptune_profile(), 50, 50));
@@ -139,14 +193,40 @@ fn main() {
         8e6,
         3e7,
         &mut table,
+        &mut rows,
     );
 
-    // Live anchor: the real engine on this host.
-    let live = live_single_node_throughput();
-    all_ok &= check("LIVE single-host relay (tiny pkts)", live, 2e6, 5e5, 2e7, &mut table);
+    // Live anchor: the real engine on this host, telemetry off (the
+    // headline configuration).
+    let (live, _) = live_relay(live_n, false);
+    all_ok &=
+        check("LIVE single-host relay (tiny pkts)", live, 2e6, 5e5, 2e7, &mut table, &mut rows);
 
     table.print();
-    println!();
+
+    // Telemetry-enabled relay: the per-operator latency story behind the
+    // headline number — e2e quantiles plus the four-stage breakdown.
+    let (_, snap) = live_relay(live_n.min(200_000), true);
+    let snap = snap.expect("telemetry was enabled");
+    println!("\n# live relay latency breakdown (telemetry on)\n");
+    print!("{}", snap.render_pretty());
+
+    let doc = object([
+        ("bench", JsonValue::String("headline".into())),
+        ("quick", JsonValue::Bool(quick)),
+        ("claims", JsonValue::Array(rows)),
+        (
+            "live",
+            object([
+                ("packets", JsonValue::Number(live_n as f64)),
+                ("throughput_msgs_per_s", JsonValue::Number(live)),
+            ]),
+        ),
+        ("telemetry", snap.to_json_value()),
+    ]);
+    std::fs::write("BENCH_headline.json", doc.to_json()).expect("write BENCH_headline.json");
+    println!("\nwrote BENCH_headline.json");
+
     assert!(all_ok, "one or more headline anchors missed their band");
     println!("headline OK — all anchors within their calibration bands");
 }

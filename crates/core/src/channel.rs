@@ -18,9 +18,10 @@
 use crate::metrics::OperatorCounters;
 use neptune_compress::SelectiveCompressor;
 use neptune_net::buffer::{FlushedBatch, OutputBuffer, PushOutcome};
-use neptune_net::frame::encode_frame_raw;
+use neptune_net::frame::encode_frame_raw_at;
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
+use neptune_telemetry::OperatorTelemetry;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -108,16 +109,22 @@ pub struct ChannelEndpoint {
     sink: SinkHandle,
     /// Counters of the *sending* operator.
     counters: Arc<OperatorCounters>,
+    /// Stage recorder of the *sending* operator (ISSUE 2). `None` keeps
+    /// the dispatch path free of clock reads entirely.
+    telemetry: Option<Arc<OperatorTelemetry>>,
 }
 
 impl ChannelEndpoint {
-    /// Assemble a channel endpoint.
+    /// Assemble a channel endpoint. `telemetry`, when given, receives the
+    /// buffer-wait stage of every flushed batch and turns on sent-at
+    /// stamping for transport-latency measurement downstream.
     pub fn new(
         channel: ChannelId,
         buffer: OutputBuffer,
         compressor: SelectiveCompressor,
         sink: SinkHandle,
         counters: Arc<OperatorCounters>,
+        telemetry: Option<Arc<OperatorTelemetry>>,
     ) -> Self {
         ChannelEndpoint {
             channel,
@@ -126,6 +133,7 @@ impl ChannelEndpoint {
             compressor,
             sink,
             counters,
+            telemetry,
         }
     }
 
@@ -203,6 +211,17 @@ impl ChannelEndpoint {
     /// batches leave in flush order (per-channel ordering invariant).
     fn dispatch(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
         let count = batch.count;
+        // Telemetry point (ISSUE 2): the buffer already measured how long
+        // its oldest message waited; one wall-clock read per *batch* stamps
+        // the frame so the receiver can split off transport time. Disabled
+        // telemetry performs no clock reads here at all.
+        let sent_at = match &self.telemetry {
+            Some(t) => {
+                t.buffer_wait.record(batch.queueing_delay.as_micros() as u64);
+                crate::now_micros()
+            }
+            None => 0,
+        };
         let wire_bytes = match &self.sink {
             SinkHandle::InProcess(t) => {
                 // Header-equivalent accounting mirrors the TCP path.
@@ -210,21 +229,21 @@ impl ChannelEndpoint {
                 // The batch buffer moves to the receiver without a copy;
                 // the consuming task recycles it to the shared pool once
                 // every message has been processed.
-                t.send_batch(self.channel.raw(), batch.base_seq, batch.encoded, count).map_err(
-                    |e| match e {
+                t.send_batch(self.channel.raw(), batch.base_seq, batch.encoded, count, sent_at)
+                    .map_err(|e| match e {
                         TransportError::Closed => EmitError::Closed,
                         other => EmitError::Transport(other.to_string()),
-                    },
-                )?;
+                    })?;
                 wire_bytes
             }
             SinkHandle::Tcp(sender) => {
-                let wire = encode_frame_raw(
+                let wire = encode_frame_raw_at(
                     self.channel.raw(),
                     batch.base_seq,
                     count,
                     &batch.encoded,
                     &self.compressor,
+                    sent_at,
                 );
                 let len = wire.len();
                 sender.send(wire).map_err(|e| match e {
@@ -259,6 +278,7 @@ mod tests {
             SelectiveCompressor::disabled(),
             SinkHandle::InProcess(transport),
             Arc::new(OperatorCounters::default()),
+            None,
         ));
         (endpoint, queue)
     }
@@ -330,6 +350,7 @@ mod tests {
             SelectiveCompressor::disabled(),
             SinkHandle::InProcess(transport),
             counters.clone(),
+            None,
         );
         ep.push(&[0u8; 8]).unwrap();
         ep.push(&[0u8; 8]).unwrap();
@@ -372,6 +393,30 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_buffer_wait_and_stamps_frames() {
+        let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let telemetry = Arc::new(OperatorTelemetry::new());
+        let ep = ChannelEndpoint::new(
+            ChannelId::new(0, 0, 0),
+            OutputBuffer::new(1 << 20, Some(std::time::Duration::from_millis(5))),
+            SelectiveCompressor::disabled(),
+            SinkHandle::InProcess(transport),
+            Arc::new(OperatorCounters::default()),
+            Some(telemetry.clone()),
+        );
+        ep.push(b"measured").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ep.force_flush().unwrap();
+        let snap = telemetry.buffer_wait.snapshot();
+        assert_eq!(snap.count(), 1, "one flushed batch, one buffer-wait sample");
+        assert!(snap.max() >= 8_000, "waited ~10ms, recorded {}µs", snap.max());
+        let f = queue.pop().unwrap();
+        assert!(f.sent_at_micros > 0, "telemetry-enabled dispatch must stamp sent-at");
+        assert!(f.received_at.is_some());
+    }
+
+    #[test]
     fn tcp_sink_roundtrips() {
         let rx = neptune_net::tcp::TcpReceiver::bind(
             "127.0.0.1:0",
@@ -385,6 +430,7 @@ mod tests {
             SelectiveCompressor::disabled(),
             SinkHandle::Tcp(tx),
             Arc::new(OperatorCounters::default()),
+            None,
         );
         ep.push(&[7u8; 32]).unwrap();
         let f = rx.queue().pop_timeout(std::time::Duration::from_secs(5)).expect("frame");

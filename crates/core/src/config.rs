@@ -96,6 +96,39 @@ pub enum TransportMode {
     Tcp,
 }
 
+/// Telemetry toggles (ISSUE 2). Off by default: the hot-path stage
+/// recorders cost a few clock reads per batch and one per packet, and the
+/// headline bench budget allows at most 2% — disabled means *no* wall-time
+/// reads on the data path, not merely discarded samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch for latency histograms and the background sampler.
+    pub enabled: bool,
+    /// Interval between background [`TelemetrySampler`] snapshots.
+    ///
+    /// [`TelemetrySampler`]: neptune_telemetry::TelemetrySampler
+    pub sample_interval: Duration,
+    /// Bound on the in-memory time series (oldest samples drop first).
+    pub series_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            sample_interval: Duration::from_millis(100),
+            series_capacity: 1024,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled config with default interval and capacity.
+    pub fn enabled() -> Self {
+        TelemetryConfig { enabled: true, ..Default::default() }
+    }
+}
+
 /// Job-wide runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -130,6 +163,8 @@ pub struct RuntimeConfig {
     pub transport: TransportMode,
     /// How operator instances map onto resources.
     pub placement: PlacementStrategy,
+    /// Latency/stage instrumentation and background sampling (ISSUE 2).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -147,6 +182,7 @@ impl Default for RuntimeConfig {
             resources: 1,
             transport: TransportMode::InProcess,
             placement: PlacementStrategy::RoundRobin,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -175,6 +211,14 @@ impl RuntimeConfig {
         if let CompressionMode::Threshold(t) = self.compression {
             if !(0.0..=8.0).contains(&t) {
                 return Err(format!("compression threshold {t} outside [0, 8] bits/byte"));
+            }
+        }
+        if self.telemetry.enabled {
+            if self.telemetry.sample_interval.is_zero() {
+                return Err("telemetry sample_interval must be positive".into());
+            }
+            if self.telemetry.series_capacity == 0 {
+                return Err("telemetry series_capacity must be positive".into());
             }
         }
         if let PlacementStrategy::CapacityWeighted(w) = &self.placement {
@@ -271,6 +315,28 @@ mod tests {
             ..Default::default()
         };
         assert!(all_zero.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_validated() {
+        let c = RuntimeConfig::default();
+        assert!(!c.telemetry.enabled, "telemetry must be opt-in");
+        let on = RuntimeConfig { telemetry: TelemetryConfig::enabled(), ..Default::default() };
+        assert!(on.validate().is_ok());
+        let bad_interval = RuntimeConfig {
+            telemetry: TelemetryConfig {
+                enabled: true,
+                sample_interval: Duration::ZERO,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad_interval.validate().is_err());
+        let bad_capacity = RuntimeConfig {
+            telemetry: TelemetryConfig { enabled: true, series_capacity: 0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad_capacity.validate().is_err());
     }
 
     #[test]

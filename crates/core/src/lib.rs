@@ -88,11 +88,12 @@ pub mod partition;
 pub mod pool;
 pub mod runtime;
 pub mod sources;
+pub mod telemetry;
 pub mod window;
 
 pub use channel::ChannelId;
 pub use codec::{CodecError, PacketCodec};
-pub use config::{CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig};
+pub use config::{CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig};
 pub use descriptor::{DescriptorError, OperatorRegistry};
 pub use graph::{Graph, GraphBuilder, GraphError, LinkSpec, OperatorKind, OperatorSpec};
 pub use metrics::{JobMetrics, OperatorMetrics};
@@ -102,16 +103,20 @@ pub use partition::PartitioningScheme;
 pub use pool::{PacketPool, PoolStats};
 pub use runtime::{JobHandle, LocalRuntime};
 pub use sources::{IteratorSource, QueueSource, RateLimitedSource};
+pub use telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 pub use window::{SlidingWindow, TumblingWindow, WindowAggregate};
 
 /// Convenience imports for building NEPTUNE jobs.
 pub mod prelude {
-    pub use crate::config::{CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig};
+    pub use crate::config::{
+        CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
+    };
     pub use crate::graph::{Graph, GraphBuilder};
     pub use crate::operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};
     pub use crate::packet::{FieldType, FieldValue, Schema, StreamPacket};
     pub use crate::partition::PartitioningScheme;
     pub use crate::runtime::{JobHandle, LocalRuntime};
+    pub use crate::telemetry::{QueueGauge, TelemetrySnapshot};
 }
 
 /// Microseconds since the Unix epoch — the timestamp base used by packet

@@ -329,6 +329,7 @@ mod tests {
                     SelectiveCompressor::disabled(),
                     SinkHandle::InProcess(transport),
                     counters.clone(),
+                    None,
                 )));
             }
             links.push(OutgoingLink::new(*name, &PartitioningScheme::Shuffle, endpoints));
@@ -387,6 +388,7 @@ mod tests {
                 SelectiveCompressor::disabled(),
                 SinkHandle::InProcess(Arc::new(InProcessTransport::new(q))),
                 counters.clone(),
+                None,
             )));
         }
         let links = vec![OutgoingLink::new("fan", &PartitioningScheme::Broadcast, endpoints)];

@@ -195,6 +195,15 @@ impl StreamPacket {
         self.fields.iter_mut().find(|f| f.name == name).map(|f| &mut f.value)
     }
 
+    /// The packet's source timestamp: the first `Timestamp`-typed field,
+    /// in µs since the Unix epoch. This is the end-to-end latency anchor
+    /// (ISSUE 2) — sources that want e2e measurement stamp packets with
+    /// [`crate::now_micros`] at ingestion, the convention the telemetry
+    /// layer reads back at every downstream operator.
+    pub fn source_timestamp(&self) -> Option<u64> {
+        self.fields.iter().find_map(|f| f.value.as_timestamp())
+    }
+
     /// Iterate `(name, value)` pairs in order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
         self.fields.iter().map(|f| (f.name.as_str(), &f.value))

@@ -18,6 +18,11 @@
 //! * **Correctness (§I-B)** — per-channel contiguous sequence numbers are
 //!   validated on receive; any loss, duplication, or reordering increments
 //!   `seq_violations` (asserted zero by the test suite).
+//! * **Observability (§IV)** — when [`RuntimeConfig`] enables telemetry,
+//!   every operator records end-to-end latency plus a four-stage breakdown
+//!   (buffer wait, transport, schedule delay, execution) into lock-free
+//!   histograms, and a background sampler keeps a bounded time series of
+//!   counters and queue gauges; see [`JobHandle::telemetry`].
 //!
 //! Deadlock freedom: a worker thread can block while emitting downstream,
 //! so each resource's pool is sized to at least the number of processor
@@ -31,6 +36,7 @@ use crate::graph::{Factory, Graph, OperatorKind};
 use crate::metrics::{JobMetrics, MetricsRegistry, OperatorCounters};
 use crate::operator::{OperatorContext, OutgoingLink, SourceStatus, StreamProcessor};
 use crate::packet::StreamPacket;
+use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 use neptune_granules::{ComputationalTask, Resource, ScheduleSpec, TaskContext, TaskOutcome};
 use neptune_net::buffer::OutputBuffer;
 use neptune_net::frame::Frame;
@@ -38,6 +44,7 @@ use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::transport::InProcessTransport;
 use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune_telemetry::{OperatorTelemetry, TelemetrySampler};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -105,15 +112,13 @@ struct ProcessorTask {
     /// here so upstream output buffers and TCP readers can reuse it
     /// (object reuse, §III-B3).
     pool: Arc<BytesPool>,
+    /// Latency recorder shared by all instances of this operator; `None`
+    /// keeps the hot path free of clock reads when telemetry is off.
+    telemetry: Option<Arc<OperatorTelemetry>>,
 }
 
-impl ComputationalTask for ProcessorTask {
-    fn initialize(&mut self, _gctx: &TaskContext) {
-        self.processor.open(&mut self.ctx);
-    }
-
-    fn execute(&mut self, _gctx: &TaskContext) -> TaskOutcome {
-        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+impl ProcessorTask {
+    fn drain_queue(&mut self) -> TaskOutcome {
         loop {
             self.staged.clear();
             if self.queue.pop_batch(self.batch_max, &mut self.staged) == 0 {
@@ -131,10 +136,34 @@ impl ComputationalTask for ProcessorTask {
                 }
                 *expected = frame.base_seq + frame.messages.len() as u64;
                 self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                // Stage telemetry: schedule delay is how long the frame sat
+                // on the inbound queue; transport is dispatch→arrival,
+                // recovered by subtracting the queue wait from the
+                // sender-stamped total in-flight time.
+                let now = if self.telemetry.is_some() { crate::now_micros() } else { 0 };
+                if let Some(t) = &self.telemetry {
+                    let schedule_us = match frame.received_at {
+                        Some(received) => {
+                            let us = received.elapsed().as_micros() as u64;
+                            t.schedule_delay.record(us);
+                            us
+                        }
+                        None => 0,
+                    };
+                    if frame.sent_at_micros > 0 {
+                        let in_flight = now.saturating_sub(frame.sent_at_micros);
+                        t.transport.record(in_flight.saturating_sub(schedule_us));
+                    }
+                }
                 for message in &frame.messages {
                     match self.codec.decode_into(message, &mut self.workhorse) {
                         Ok(()) => {
                             self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = &self.telemetry {
+                                if let Some(ts) = self.workhorse.source_timestamp() {
+                                    t.e2e.record(now.saturating_sub(ts));
+                                }
+                            }
                             self.processor.process(&self.workhorse, &mut self.ctx);
                         }
                         Err(_) => {
@@ -156,6 +185,25 @@ impl ComputationalTask for ProcessorTask {
                 } else {
                     TaskOutcome::Reschedule
                 };
+            }
+        }
+    }
+}
+
+impl ComputationalTask for ProcessorTask {
+    fn initialize(&mut self, _gctx: &TaskContext) {
+        self.processor.open(&mut self.ctx);
+    }
+
+    fn execute(&mut self, _gctx: &TaskContext) -> TaskOutcome {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        match self.telemetry.clone() {
+            None => self.drain_queue(),
+            Some(t) => {
+                let started = Instant::now();
+                let outcome = self.drain_queue();
+                t.execution.record(started.elapsed().as_micros() as u64);
+                outcome
             }
         }
     }
@@ -187,6 +235,10 @@ pub struct JobHandle {
     /// `(operator, instance) -> resource index`, for observability and
     /// placement tests.
     placement: Vec<(String, usize, usize)>,
+    /// Per-operator latency recorders; `None` when telemetry is disabled.
+    telemetry_hub: Option<Arc<TelemetryHub>>,
+    /// Background counter/gauge sampler; `None` when telemetry is disabled.
+    sampler: Option<TelemetrySampler<TelemetrySample>>,
 }
 
 impl JobHandle {
@@ -202,12 +254,27 @@ impl JobHandle {
         m
     }
 
-    /// Live gauges of every inbound watermark queue:
-    /// `(buffered_items, buffered_bytes, gate_events)` per processor
-    /// instance. Gate events count how often backpressure engaged
-    /// (§III-B4); the backpressure harness asserts they actually fire.
-    pub fn queue_gauges(&self) -> Vec<(usize, usize, u64)> {
-        self.queues.iter().map(|q| (q.len(), q.level(), q.gate_events())).collect()
+    /// Live gauges of every inbound watermark queue, one per processor
+    /// instance in deployment order. Gate events count how often
+    /// backpressure engaged (§III-B4); the backpressure harness asserts
+    /// they actually fire.
+    pub fn queue_gauges(&self) -> Vec<QueueGauge> {
+        self.queues.iter().map(|q| QueueGauge::observe(q)).collect()
+    }
+
+    /// Full telemetry snapshot: per-operator latency histograms (end-to-end
+    /// plus the four-stage breakdown), live counters and queue gauges, and
+    /// the background sampler's time series. `None` when telemetry is
+    /// disabled in [`RuntimeConfig`].
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let hub = self.telemetry_hub.as_ref()?;
+        Some(TelemetrySnapshot {
+            graph_name: self.graph_name.clone(),
+            operators: hub.snapshot(),
+            metrics: self.metrics(),
+            queues: self.queue_gauges(),
+            series: self.sampler.as_ref().map(|s| s.series()).unwrap_or_default(),
+        })
     }
 
     /// Total backpressure gate events across the job.
@@ -279,7 +346,7 @@ impl JobHandle {
     /// close hooks in topological order (each followed by a drain so
     /// close-time emissions are fully processed downstream), then
     /// teardown. Returns the final metrics.
-    pub fn stop(self) -> JobMetrics {
+    pub fn stop(mut self) -> JobMetrics {
         self.stop_flag.store(true, Ordering::Release);
         for pump in self.pumps.lock().drain(..) {
             let _ = pump.join();
@@ -306,6 +373,9 @@ impl JobHandle {
         for rx in self.receivers.lock().drain(..) {
             rx.shutdown();
         }
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.stop();
+        }
         self.stopped.store(true, Ordering::Release);
         let mut m = self.registry.snapshot();
         m.buffer_pool = self.pool.stats();
@@ -315,6 +385,7 @@ impl JobHandle {
 
 fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError> {
     let registry = MetricsRegistry::new();
+    let telemetry_hub = config.telemetry.enabled.then(|| Arc::new(TelemetryHub::new()));
     let stop_flag = Arc::new(AtomicBool::new(false));
     // One batch-buffer pool per job: output buffers check storage out,
     // transports hand it to receiving tasks by refcount, and processed
@@ -459,6 +530,9 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                     compression.to_compressor(),
                     sink,
                     src_counters.clone(),
+                    // Buffer-wait latency is attributed to the *sending*
+                    // operator: its output buffer is where packets wait.
+                    telemetry_hub.as_ref().map(|h| h.for_operator(&link.from)),
                 ));
                 all_endpoints.push(ep.clone());
                 endpoints.push(ep);
@@ -501,6 +575,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
                 counters: counters.clone(),
                 expected_seq: HashMap::new(),
                 pool: pool.clone(),
+                telemetry: telemetry_hub.as_ref().map(|h| h.for_operator(&op.name)),
             };
             let resource = &resources[placement[&(oi, inst)]];
             // Batched scheduling lets a slot drain bursts on one worker
@@ -606,6 +681,25 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
         .filter_map(|name| handles_by_operator.remove(name).map(|hs| (name.to_string(), hs)))
         .collect();
 
+    // ---- Background telemetry sampler (§IV, Fig. 4 oscillations). ----
+    let sampler = telemetry_hub.as_ref().map(|_| {
+        let registry = registry.clone();
+        let pool = pool.clone();
+        let queues = all_queues.clone();
+        TelemetrySampler::start(
+            config.telemetry.sample_interval,
+            config.telemetry.series_capacity,
+            move || {
+                let mut metrics = registry.snapshot();
+                metrics.buffer_pool = pool.stats();
+                TelemetrySample {
+                    metrics,
+                    queues: queues.iter().map(|q| QueueGauge::observe(q)).collect(),
+                }
+            },
+        )
+    });
+
     Ok(JobHandle {
         graph_name: graph.name().to_string(),
         stop_flag,
@@ -622,6 +716,8 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
         registry,
         stopped: AtomicBool::new(false),
         placement: placement_table,
+        telemetry_hub,
+        sampler,
     })
 }
 
@@ -1014,6 +1110,80 @@ mod tests {
             "placement {per_resource:?} ignored weights"
         );
         assert_eq!(per_resource.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn telemetry_populates_stage_histograms_and_sampler() {
+        use crate::config::TelemetryConfig;
+        // A source that stamps each packet with its emission time so the
+        // sink's e2e histogram has something to measure.
+        struct StampedSource(u64);
+        impl crate::operator::StreamSource for StampedSource {
+            fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+                if self.0 == 0 {
+                    return SourceStatus::Exhausted;
+                }
+                self.0 -= 1;
+                let mut p = StreamPacket::new();
+                p.push_field("ts", FieldValue::Timestamp(crate::now_micros()));
+                p.push_field("n", FieldValue::U64(self.0));
+                ctx.emit(&p).unwrap();
+                SourceStatus::Emitted(1)
+            }
+        }
+        let graph = GraphBuilder::new("telemetry-relay")
+            .source("src", || StampedSource(3_000))
+            .processor("relay", || Forward)
+            .processor("sink", || Forward)
+            .link("src", "relay", PartitioningScheme::Shuffle)
+            .link("relay", "sink", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        let config = RuntimeConfig {
+            buffer_bytes: 4096,
+            telemetry: TelemetryConfig {
+                sample_interval: Duration::from_millis(5),
+                ..TelemetryConfig::enabled()
+            },
+            ..Default::default()
+        };
+        let job = LocalRuntime::new(config).submit(graph).unwrap();
+        assert!(job.await_sources(Duration::from_secs(30)));
+        assert!(job.settle(Duration::from_secs(10)));
+        let snap = job.telemetry().expect("telemetry enabled");
+        for op in ["relay", "sink"] {
+            let t = &snap.operators[op];
+            assert!(t.e2e.count() > 0, "{op}: e2e histogram empty");
+            assert!(t.e2e.p50() <= t.e2e.p95() && t.e2e.p95() <= t.e2e.p99());
+            assert!(t.schedule_delay.count() > 0, "{op}: no schedule samples");
+            assert!(t.transport.count() > 0, "{op}: no transport samples");
+            assert!(t.execution.count() > 0, "{op}: no execution samples");
+        }
+        // buffer_wait is recorded at the *senders* of each link.
+        assert!(snap.operators["src"].buffer_wait.count() > 0);
+        assert!(snap.operators["relay"].buffer_wait.count() > 0);
+        assert!(!snap.series.is_empty(), "sampler produced no samples");
+        assert!(!snap.to_json().is_empty());
+        assert!(!snap.render_pretty().is_empty());
+        assert!(!snap.render_prometheus().is_empty());
+        job.stop();
+    }
+
+    #[test]
+    fn telemetry_disabled_yields_none_and_named_gauges() {
+        let graph = GraphBuilder::new("plain")
+            .source("src", || CountingSource { remaining: 100, next_val: 0 })
+            .processor("sink", || Forward)
+            .link("src", "sink", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        let job = LocalRuntime::new(RuntimeConfig::default()).submit(graph).unwrap();
+        job.await_sources(Duration::from_secs(30));
+        assert!(job.telemetry().is_none(), "telemetry must be off by default");
+        let gauges = job.queue_gauges();
+        assert_eq!(gauges.len(), 1);
+        assert!(gauges[0].capacity > 0);
+        job.stop();
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Job-level telemetry: per-operator latency recorders, queue gauges, the
+//! background time-series sampler, and exportable snapshots.
+//!
+//! The paper evaluates NEPTUNE on throughput, latency, and bandwidth
+//! (§IV); this module is the machinery that makes the latency side
+//! observable on a live job instead of only in offline benchmark math.
+//! Every operator gets an [`OperatorTelemetry`] recorder with five
+//! log-bucketed histograms: end-to-end latency (source timestamp →
+//! processing, Fig. 2) plus a four-stage breakdown of where that time
+//! went —
+//!
+//! * `buffer_wait` — enqueue → flush inside the sender's `OutputBuffer`
+//!   (the §III-B1 buffering/flush-timer trade-off, measured directly),
+//! * `transport`  — flush → arrival on the receiving watermark queue,
+//! * `schedule_delay` — arrival → the Granules task actually running
+//!   (§III-B2 batched scheduling's cost side),
+//! * `execution` — one scheduled drain of the inbound queue.
+//!
+//! Recording is wired in only when [`crate::config::TelemetryConfig`]
+//! enables it; a disabled job takes zero extra clock reads on the hot
+//! path. Snapshots render as pretty text, JSON (via the repo's own
+//! [`crate::json`]), and Prometheus text exposition.
+
+use crate::json::{object, JsonValue};
+use crate::metrics::JobMetrics;
+use neptune_net::frame::Frame;
+use neptune_net::watermark::WatermarkQueue;
+use neptune_telemetry::export;
+use neptune_telemetry::{HistogramSnapshot, OperatorTelemetry, OperatorTelemetrySnapshot};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Named view of one inbound watermark queue, replacing the old
+/// `(usize, usize, u64)` gauge tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueGauge {
+    /// Frames currently buffered.
+    pub depth: usize,
+    /// Wire bytes currently buffered.
+    pub depth_bytes: usize,
+    /// High watermark in bytes — the level at which the gate closes and
+    /// backpressure engages (§III-B4).
+    pub capacity: usize,
+    /// Times the backpressure gate has engaged so far.
+    pub gate_events: u64,
+}
+
+impl QueueGauge {
+    /// Read the current gauges off a live queue.
+    pub fn observe(q: &WatermarkQueue<Frame>) -> QueueGauge {
+        QueueGauge {
+            depth: q.len(),
+            depth_bytes: q.level(),
+            capacity: q.config().high,
+            gate_events: q.gate_events(),
+        }
+    }
+
+    /// Fill fraction relative to the high watermark (may exceed 1.0
+    /// briefly: the gate closes *after* the push that crosses it).
+    pub fn saturation(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.depth_bytes as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Registry of per-operator latency recorders, shared between the runtime
+/// internals (which record) and [`TelemetrySnapshot`] (which reads).
+///
+/// Mirrors [`crate::metrics::MetricsRegistry`]: one recorder per operator
+/// name, all instances of the operator aggregate into it.
+#[derive(Debug, Default)]
+pub struct TelemetryHub {
+    operators: parking_lot::RwLock<BTreeMap<String, Arc<OperatorTelemetry>>>,
+}
+
+impl TelemetryHub {
+    /// New, empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorder for `operator`, created on first use.
+    pub fn for_operator(&self, operator: &str) -> Arc<OperatorTelemetry> {
+        if let Some(t) = self.operators.read().get(operator) {
+            return t.clone();
+        }
+        self.operators
+            .write()
+            .entry(operator.to_string())
+            .or_insert_with(|| Arc::new(OperatorTelemetry::new()))
+            .clone()
+    }
+
+    /// Snapshot every operator's histograms.
+    pub fn snapshot(&self) -> BTreeMap<String, OperatorTelemetrySnapshot> {
+        self.operators.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
+    }
+}
+
+/// One tick of the background sampler: counters plus queue gauges, cheap
+/// enough to take every `sample_interval` without disturbing the job.
+#[derive(Debug, Clone)]
+pub struct TelemetrySample {
+    /// Counter snapshot at this tick.
+    pub metrics: JobMetrics,
+    /// Queue gauges at this tick, in deployment order.
+    pub queues: Vec<QueueGauge>,
+}
+
+impl TelemetrySample {
+    /// Gate events summed over every queue at this tick.
+    pub fn total_gate_events(&self) -> u64 {
+        self.queues.iter().map(|q| q.gate_events).sum()
+    }
+
+    /// Buffered bytes summed over every queue at this tick.
+    pub fn total_queued_bytes(&self) -> usize {
+        self.queues.iter().map(|q| q.depth_bytes).sum()
+    }
+}
+
+/// Full exportable telemetry state of one job at one instant: per-operator
+/// latency histograms, live counters and gauges, and the sampler's time
+/// series.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// The job's graph name.
+    pub graph_name: String,
+    /// Per-operator latency histograms (e2e + four stages).
+    pub operators: BTreeMap<String, OperatorTelemetrySnapshot>,
+    /// Counter snapshot at capture time.
+    pub metrics: JobMetrics,
+    /// Queue gauges at capture time, in deployment order.
+    pub queues: Vec<QueueGauge>,
+    /// `(elapsed_micros, sample)` pairs from the background sampler, in
+    /// chronological order; elapsed is measured from sampler start.
+    pub series: Vec<(u64, TelemetrySample)>,
+}
+
+fn histogram_json(snap: &HistogramSnapshot) -> JsonValue {
+    object([
+        ("count", JsonValue::Number(snap.count() as f64)),
+        ("sum_micros", JsonValue::Number(snap.sum() as f64)),
+        ("max_micros", JsonValue::Number(snap.max() as f64)),
+        ("p50_micros", JsonValue::Number(snap.p50() as f64)),
+        ("p95_micros", JsonValue::Number(snap.p95() as f64)),
+        ("p99_micros", JsonValue::Number(snap.p99() as f64)),
+        ("mean_micros", JsonValue::Number(snap.mean())),
+    ])
+}
+
+fn queue_json(q: &QueueGauge) -> JsonValue {
+    object([
+        ("depth", JsonValue::Number(q.depth as f64)),
+        ("depth_bytes", JsonValue::Number(q.depth_bytes as f64)),
+        ("capacity", JsonValue::Number(q.capacity as f64)),
+        ("gate_events", JsonValue::Number(q.gate_events as f64)),
+    ])
+}
+
+fn metrics_json(m: &JobMetrics) -> JsonValue {
+    let operators = JsonValue::Object(
+        m.operators
+            .iter()
+            .map(|(name, om)| {
+                (
+                    name.clone(),
+                    object([
+                        ("packets_in", JsonValue::Number(om.packets_in as f64)),
+                        ("packets_out", JsonValue::Number(om.packets_out as f64)),
+                        ("frames_in", JsonValue::Number(om.frames_in as f64)),
+                        ("frames_out", JsonValue::Number(om.frames_out as f64)),
+                        ("bytes_out", JsonValue::Number(om.bytes_out as f64)),
+                        ("executions", JsonValue::Number(om.executions as f64)),
+                        ("seq_violations", JsonValue::Number(om.seq_violations as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let pool = object([
+        ("hits", JsonValue::Number(m.buffer_pool.hits as f64)),
+        ("misses", JsonValue::Number(m.buffer_pool.misses as f64)),
+        ("returns", JsonValue::Number(m.buffer_pool.returns as f64)),
+        ("discards", JsonValue::Number(m.buffer_pool.discards as f64)),
+        ("bytes_reused", JsonValue::Number(m.buffer_pool.bytes_reused as f64)),
+    ]);
+    object([("operators", operators), ("buffer_pool", pool)])
+}
+
+impl TelemetrySnapshot {
+    /// Structured JSON document for programmatic consumers (bench bins
+    /// dump this next to their tables).
+    pub fn to_json_value(&self) -> JsonValue {
+        let operators = JsonValue::Object(
+            self.operators
+                .iter()
+                .map(|(name, op)| {
+                    let stages = JsonValue::Object(
+                        op.stages()
+                            .iter()
+                            .map(|(stage, snap)| (stage.to_string(), histogram_json(snap)))
+                            .collect(),
+                    );
+                    (name.clone(), object([("e2e", histogram_json(&op.e2e)), ("stages", stages)]))
+                })
+                .collect(),
+        );
+        // The series serializes as per-tick aggregates — enough to plot a
+        // Fig. 4 style oscillation without exploding the document.
+        let series = JsonValue::Array(
+            self.series
+                .iter()
+                .map(|(t, s)| {
+                    object([
+                        ("t_micros", JsonValue::Number(*t as f64)),
+                        ("queued_bytes", JsonValue::Number(s.total_queued_bytes() as f64)),
+                        ("gate_events", JsonValue::Number(s.total_gate_events() as f64)),
+                        (
+                            "source_packets",
+                            JsonValue::Number(s.metrics.total_source_packets() as f64),
+                        ),
+                        ("bytes_out", JsonValue::Number(s.metrics.total_bytes_out() as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        object([
+            ("graph", JsonValue::String(self.graph_name.clone())),
+            ("operators", operators),
+            ("metrics", metrics_json(&self.metrics)),
+            ("queues", JsonValue::Array(self.queues.iter().map(queue_json).collect())),
+            ("series", series),
+        ])
+    }
+
+    /// Compact JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("telemetry: job '{}'\n", self.graph_name));
+        for (name, op) in &self.operators {
+            out.push_str(&format!("operator {name}\n"));
+            out.push_str(&format!("  {}\n", export::pretty_line("e2e", &op.e2e)));
+            for (stage, snap) in op.stages() {
+                out.push_str(&format!("  {}\n", export::pretty_line(stage, snap)));
+            }
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            out.push_str(&format!(
+                "queue {i}: depth={} bytes={}/{} ({:.0}%) gate_events={}\n",
+                q.depth,
+                q.depth_bytes,
+                q.capacity,
+                q.saturation() * 100.0,
+                q.gate_events
+            ));
+        }
+        let pool = &self.metrics.buffer_pool;
+        out.push_str(&format!(
+            "pool: hits={} misses={} hit_rate={:.1}% bytes_reused={}\n",
+            pool.hits,
+            pool.misses,
+            pool.hit_rate() * 100.0,
+            pool.bytes_reused
+        ));
+        out.push_str(&format!("series: {} samples\n", self.series.len()));
+        out
+    }
+
+    /// Prometheus text-exposition document. Latency histograms export as
+    /// `summary` metrics with precomputed quantiles; counters and gauges
+    /// map directly. `# TYPE` headers are written once per metric, as the
+    /// format requires, even when many operators share it.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        if !self.operators.is_empty() {
+            out.push_str("# TYPE neptune_e2e_latency_micros summary\n");
+            for (name, op) in &self.operators {
+                export::summary_samples(
+                    &mut out,
+                    "neptune_e2e_latency_micros",
+                    &[("operator", name)],
+                    &op.e2e,
+                );
+            }
+            out.push_str("# TYPE neptune_e2e_latency_micros_max gauge\n");
+            for (name, op) in &self.operators {
+                export::sample_line(
+                    &mut out,
+                    "neptune_e2e_latency_micros_max",
+                    &[("operator", name)],
+                    op.e2e.max(),
+                );
+            }
+            out.push_str("# TYPE neptune_stage_latency_micros summary\n");
+            for (name, op) in &self.operators {
+                for (stage, snap) in op.stages() {
+                    export::summary_samples(
+                        &mut out,
+                        "neptune_stage_latency_micros",
+                        &[("operator", name), ("stage", stage)],
+                        snap,
+                    );
+                }
+            }
+        }
+        if !self.queues.is_empty() {
+            out.push_str("# TYPE neptune_queue_depth_frames gauge\n");
+            for (i, q) in self.queues.iter().enumerate() {
+                let idx = i.to_string();
+                export::sample_line(
+                    &mut out,
+                    "neptune_queue_depth_frames",
+                    &[("queue", &idx)],
+                    q.depth as u64,
+                );
+            }
+            out.push_str("# TYPE neptune_queue_depth_bytes gauge\n");
+            for (i, q) in self.queues.iter().enumerate() {
+                let idx = i.to_string();
+                export::sample_line(
+                    &mut out,
+                    "neptune_queue_depth_bytes",
+                    &[("queue", &idx)],
+                    q.depth_bytes as u64,
+                );
+            }
+            out.push_str("# TYPE neptune_gate_events_total counter\n");
+            for (i, q) in self.queues.iter().enumerate() {
+                let idx = i.to_string();
+                export::sample_line(
+                    &mut out,
+                    "neptune_gate_events_total",
+                    &[("queue", &idx)],
+                    q.gate_events,
+                );
+            }
+        }
+        let counter_columns: [(&str, fn(&crate::metrics::OperatorMetrics) -> u64); 5] = [
+            ("neptune_packets_in_total", |m| m.packets_in),
+            ("neptune_packets_out_total", |m| m.packets_out),
+            ("neptune_frames_out_total", |m| m.frames_out),
+            ("neptune_bytes_out_total", |m| m.bytes_out),
+            ("neptune_seq_violations_total", |m| m.seq_violations),
+        ];
+        for (metric, read) in counter_columns {
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            for (name, om) in &self.metrics.operators {
+                export::sample_line(&mut out, metric, &[("operator", name)], read(om));
+            }
+        }
+        let pool = &self.metrics.buffer_pool;
+        export::prometheus_counter(&mut out, "neptune_pool_hits_total", &[], pool.hits);
+        export::prometheus_counter(&mut out, "neptune_pool_misses_total", &[], pool.misses);
+        export::prometheus_counter(
+            &mut out,
+            "neptune_pool_bytes_reused_total",
+            &[],
+            pool.bytes_reused,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let hub = TelemetryHub::new();
+        let relay = hub.for_operator("relay");
+        for v in [150u64, 900, 42_000] {
+            relay.e2e.record(v);
+            relay.buffer_wait.record(v / 2);
+            relay.transport.record(v / 8);
+            relay.schedule_delay.record(v / 16);
+            relay.execution.record(v / 4);
+        }
+        let registry = MetricsRegistry::new();
+        registry.for_operator("relay").packets_in.store(3, std::sync::atomic::Ordering::Relaxed);
+        let metrics = registry.snapshot();
+        let queues =
+            vec![QueueGauge { depth: 2, depth_bytes: 512, capacity: 4096, gate_events: 7 }];
+        let sample = TelemetrySample { metrics: metrics.clone(), queues: queues.clone() };
+        TelemetrySnapshot {
+            graph_name: "demo".into(),
+            operators: hub.snapshot(),
+            metrics,
+            queues,
+            series: vec![(0, sample.clone()), (100_000, sample)],
+        }
+    }
+
+    #[test]
+    fn hub_shares_recorders_per_name() {
+        let hub = TelemetryHub::new();
+        let a = hub.for_operator("op");
+        let b = hub.for_operator("op");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.e2e.record(10);
+        assert_eq!(hub.snapshot()["op"].e2e.count(), 1);
+    }
+
+    #[test]
+    fn queue_gauge_saturation() {
+        let g = QueueGauge { depth: 1, depth_bytes: 2048, capacity: 4096, gate_events: 0 };
+        assert!((g.saturation() - 0.5).abs() < 1e-9);
+        assert_eq!(QueueGauge::default().saturation(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let snap = sample_snapshot();
+        let doc = crate::json::parse(&snap.to_json()).expect("self-produced JSON parses");
+        assert_eq!(doc.get("graph").unwrap().as_str(), Some("demo"));
+        let relay = doc.get("operators").unwrap().get("relay").unwrap();
+        assert_eq!(relay.get("e2e").unwrap().get("count").unwrap().as_u64(), Some(3));
+        let stages = relay.get("stages").unwrap().as_object().unwrap();
+        assert_eq!(stages.len(), 4);
+        assert!(stages.contains_key("buffer_wait"));
+        assert_eq!(doc.get("series").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            doc.get("queues").unwrap().as_array().unwrap()[0].get("gate_events").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn prometheus_types_appear_once_per_metric() {
+        let snap = sample_snapshot();
+        let text = snap.render_prometheus();
+        assert_eq!(text.matches("# TYPE neptune_e2e_latency_micros summary").count(), 1);
+        assert_eq!(text.matches("# TYPE neptune_stage_latency_micros summary").count(), 1);
+        assert!(text.contains(
+            "neptune_stage_latency_micros{operator=\"relay\",stage=\"buffer_wait\",quantile=\"0.5\"}"
+        ));
+        assert!(text.contains("neptune_gate_events_total{queue=\"0\"} 7\n"));
+        assert!(text.contains("neptune_packets_in_total{operator=\"relay\"} 3\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn pretty_report_lists_operators_and_queues() {
+        let text = sample_snapshot().render_pretty();
+        assert!(text.contains("job 'demo'"));
+        assert!(text.contains("operator relay"));
+        assert!(text.contains("e2e"));
+        assert!(text.contains("schedule_delay"));
+        assert!(text.contains("queue 0:"));
+        assert!(text.contains("series: 2 samples"));
+    }
+}

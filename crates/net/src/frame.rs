@@ -24,17 +24,30 @@
 //! lazily-built lookup table) covers the body; the paper's correctness goal
 //! — *"our proposed solution should not result in dropped or corrupted
 //! stream packets"* — is checked, not assumed.
+//!
+//! ## Telemetry extension
+//!
+//! Bit 0 of the (previously reserved) flags byte marks an 8-byte
+//! *sent-at* extension between the fixed header and the body: the
+//! sender's wall clock in µs at flush time. The receive side uses it to
+//! measure flush→receive transport latency (ISSUE 2); it is not covered
+//! by the CRC (a stamp corrupted in transit skews one telemetry sample,
+//! never the data path), and frames without the flag decode exactly as
+//! before, so the formats interoperate.
 
 use crate::pool::BytesPool;
 use bytes::Bytes;
 use neptune_compress::{SelectiveCompressor, TAG_RAW};
 use std::io::Read;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Frame magic: `"NEPT"` little-endian.
 pub const MAGIC: u32 = 0x5450_454E;
 /// Fixed header size in bytes.
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4 + 4 + 4;
+/// Flags bit 0: an 8-byte sent-at (µs) extension follows the header.
+pub const FLAG_SENT_AT: u8 = 0b0000_0001;
 /// Cap on the body length accepted by the decoder (a corrupted length field
 /// must not trigger a huge allocation).
 pub const MAX_BODY_LEN: usize = 64 << 20;
@@ -212,7 +225,7 @@ impl FromIterator<Vec<u8>> for FrameMessages {
 }
 
 /// A decoded frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Frame {
     /// Link this batch belongs to.
     pub link_id: u64,
@@ -222,7 +235,28 @@ pub struct Frame {
     pub messages: FrameMessages,
     /// Total bytes this frame occupied on the wire (header + body).
     pub wire_len: usize,
+    /// Sender wall clock (µs since the Unix epoch) at flush time, carried
+    /// via the [`FLAG_SENT_AT`] wire extension. `0` when absent.
+    pub sent_at_micros: u64,
+    /// Local instant the frame landed on the destination queue. Set by
+    /// transports on delivery, never carried on the wire; the receiving
+    /// task's schedule delay is measured against it.
+    pub received_at: Option<Instant>,
 }
+
+/// Equality compares wire content only — the telemetry stamps
+/// (`sent_at_micros`, `received_at`) are measurement metadata, not
+/// payload, and differ between otherwise-identical frames.
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.link_id == other.link_id
+            && self.base_seq == other.base_seq
+            && self.messages == other.messages
+            && self.wire_len == other.wire_len
+    }
+}
+
+impl Eq for Frame {}
 
 impl Frame {
     /// Number of messages in the batch.
@@ -338,27 +372,46 @@ pub fn encode_frame_raw(
     raw: &[u8],
     compressor: &SelectiveCompressor,
 ) -> Vec<u8> {
+    encode_frame_raw_at(link_id, base_seq, count, raw, compressor, 0)
+}
+
+/// [`encode_frame_raw`] plus a sender wall-clock stamp (µs since the Unix
+/// epoch). A non-zero stamp sets [`FLAG_SENT_AT`] and appends the 8-byte
+/// extension after the header; zero produces the exact legacy layout.
+pub fn encode_frame_raw_at(
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    raw: &[u8],
+    compressor: &SelectiveCompressor,
+    sent_at_micros: u64,
+) -> Vec<u8> {
     let framed = compressor.encode(raw);
     let body = framed.payload;
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    let ext = if sent_at_micros != 0 { 8 } else { 0 };
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ext + body.len());
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(0u8); // flags, reserved
+    out.push(if sent_at_micros != 0 { FLAG_SENT_AT } else { 0 });
     out.extend_from_slice(&link_id.to_le_bytes());
     out.extend_from_slice(&base_seq.to_le_bytes());
     out.extend_from_slice(&count.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&body).to_le_bytes());
+    if sent_at_micros != 0 {
+        out.extend_from_slice(&sent_at_micros.to_le_bytes());
+    }
     out.extend_from_slice(&body);
     out
 }
 
 fn parse_header(
     header: &[u8; FRAME_HEADER_LEN],
-) -> Result<(u64, u64, u32, usize, u32), FrameError> {
+) -> Result<(u8, u64, u64, u32, usize, u32), FrameError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("slice len"));
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
+    let flags = header[4];
     let link_id = u64::from_le_bytes(header[5..13].try_into().expect("slice len"));
     let base_seq = u64::from_le_bytes(header[13..21].try_into().expect("slice len"));
     let count = u32::from_le_bytes(header[21..25].try_into().expect("slice len"));
@@ -367,7 +420,17 @@ fn parse_header(
     if body_len > MAX_BODY_LEN {
         return Err(FrameError::OversizedBody(body_len));
     }
-    Ok((link_id, base_seq, count, body_len, crc))
+    Ok((flags, link_id, base_seq, count, body_len, crc))
+}
+
+/// Byte length of the header extensions selected by `flags`.
+#[inline]
+fn ext_len(flags: u8) -> usize {
+    if flags & FLAG_SENT_AT != 0 {
+        8
+    } else {
+        0
+    }
 }
 
 /// Split a compression-framed body into message ranges. The hot path — an
@@ -381,6 +444,7 @@ fn decode_body(
     count: u32,
     body: Bytes,
     wire_len: usize,
+    sent_at_micros: u64,
     pool: Option<&BytesPool>,
 ) -> Result<Frame, FrameError> {
     let Some(&tag) = body.first() else {
@@ -410,7 +474,7 @@ fn decode_body(
     };
     let messages =
         FrameMessages::parse_prefixed(raw, Some(count)).map_err(FrameError::MalformedBody)?;
-    Ok(Frame { link_id, base_seq, messages, wire_len })
+    Ok(Frame { link_id, base_seq, messages, wire_len, sent_at_micros, received_at: None })
 }
 
 /// Decode one frame from a byte slice; returns the frame and the number of
@@ -422,17 +486,26 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         return Err(FrameError::Io("buffer shorter than frame header".into()));
     }
     let header: &[u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
-    let (link_id, base_seq, count, body_len, crc) = parse_header(header)?;
-    let total = FRAME_HEADER_LEN + body_len;
+    let (flags, link_id, base_seq, count, body_len, crc) = parse_header(header)?;
+    let ext = ext_len(flags);
+    let total = FRAME_HEADER_LEN + ext + body_len;
     if buf.len() < total {
         return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
     }
-    let body = &buf[FRAME_HEADER_LEN..total];
+    let sent_at = if ext > 0 {
+        u64::from_le_bytes(
+            buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].try_into().expect("slice len"),
+        )
+    } else {
+        0
+    };
+    let body = &buf[FRAME_HEADER_LEN + ext..total];
     let actual = crc32(body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    let frame = decode_body(link_id, base_seq, count, Bytes::copy_from_slice(body), total, None)?;
+    let frame =
+        decode_body(link_id, base_seq, count, Bytes::copy_from_slice(body), total, sent_at, None)?;
     Ok((frame, total))
 }
 
@@ -447,17 +520,25 @@ pub fn decode_frame_shared(
         return Err(FrameError::Io("buffer shorter than frame header".into()));
     }
     let header: &[u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().expect("slice len");
-    let (link_id, base_seq, count, body_len, crc) = parse_header(header)?;
-    let total = FRAME_HEADER_LEN + body_len;
+    let (flags, link_id, base_seq, count, body_len, crc) = parse_header(header)?;
+    let ext = ext_len(flags);
+    let total = FRAME_HEADER_LEN + ext + body_len;
     if buf.len() < total {
         return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
     }
-    let body = buf.slice(FRAME_HEADER_LEN..total);
+    let sent_at = if ext > 0 {
+        u64::from_le_bytes(
+            buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].try_into().expect("slice len"),
+        )
+    } else {
+        0
+    };
+    let body = buf.slice(FRAME_HEADER_LEN + ext..total);
     let actual = crc32(&body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    let frame = decode_body(link_id, base_seq, count, body, total, pool)?;
+    let frame = decode_body(link_id, base_seq, count, body, total, sent_at, pool)?;
     Ok((frame, total))
 }
 
@@ -478,7 +559,14 @@ pub fn read_frame_pooled(r: &mut impl Read, pool: &BytesPool) -> Result<Frame, F
 fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame, FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     r.read_exact(&mut header)?;
-    let (link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
+    let (flags, link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
+    let sent_at = if flags & FLAG_SENT_AT != 0 {
+        let mut stamp = [0u8; 8];
+        r.read_exact(&mut stamp)?;
+        u64::from_le_bytes(stamp)
+    } else {
+        0
+    };
     let body = match pool {
         Some(p) => {
             let mut buf = p.checkout(body_len);
@@ -496,7 +584,8 @@ fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    decode_body(link_id, base_seq, count, body, FRAME_HEADER_LEN + body_len, pool)
+    let wire_len = FRAME_HEADER_LEN + ext_len(flags) + body_len;
+    decode_body(link_id, base_seq, count, body, wire_len, sent_at, pool)
 }
 
 #[cfg(test)]
@@ -688,6 +777,60 @@ mod tests {
         assert_eq!(vec![b"x".to_vec(), b"yy".to_vec()], a);
         assert_ne!(a, vec![b"x".to_vec()]);
         assert_ne!(a, vec![b"x".to_vec(), b"zz".to_vec()]);
+    }
+
+    #[test]
+    fn sent_at_extension_roundtrips_on_every_decode_path() {
+        let msgs = vec![b"stamped".to_vec(), b"batch".to_vec()];
+        let mut raw = Vec::new();
+        for m in &msgs {
+            raw.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            raw.extend_from_slice(m);
+        }
+        let stamp = 1_722_000_000_000_123u64;
+        let wire = encode_frame_raw_at(3, 50, 2, &raw, &raw_policy(), stamp);
+        assert_eq!(wire[4], FLAG_SENT_AT);
+
+        let (f, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(f.sent_at_micros, stamp);
+        assert_eq!(f.messages, msgs);
+        assert_eq!(f.wire_len, wire.len());
+
+        let shared = Bytes::from(wire.clone());
+        let (f2, _) = decode_frame_shared(&shared, None).unwrap();
+        assert_eq!(f2.sent_at_micros, stamp);
+
+        let mut cursor = std::io::Cursor::new(&wire);
+        let f3 = read_frame(&mut cursor).unwrap();
+        assert_eq!(f3.sent_at_micros, stamp);
+        assert_eq!(f3.messages, msgs);
+        assert!(f3.received_at.is_none(), "the wire never carries received_at");
+    }
+
+    #[test]
+    fn zero_stamp_produces_legacy_wire_format() {
+        let msgs = vec![b"legacy".to_vec()];
+        let via_raw = {
+            let mut raw = Vec::new();
+            raw.extend_from_slice(&(msgs[0].len() as u32).to_le_bytes());
+            raw.extend_from_slice(&msgs[0]);
+            encode_frame_raw_at(1, 0, 1, &raw, &raw_policy(), 0)
+        };
+        assert_eq!(via_raw, encode_frame(1, 0, &msgs, &raw_policy()));
+        assert_eq!(via_raw[4], 0, "no flags without a stamp");
+        let (f, _) = decode_frame(&via_raw).unwrap();
+        assert_eq!(f.sent_at_micros, 0);
+    }
+
+    #[test]
+    fn frame_equality_ignores_telemetry_stamps() {
+        let wire = encode_frame(1, 0, &[b"x".to_vec()], &raw_policy());
+        let (a, _) = decode_frame(&wire).unwrap();
+        let mut b = a.clone();
+        b.sent_at_micros = 12345;
+        b.received_at = Some(Instant::now());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -294,7 +294,10 @@ fn reader_loop(
             None => read_frame(&mut stream),
         };
         match read {
-            Ok(frame) => {
+            Ok(mut frame) => {
+                // Arrival stamp: schedule delay is measured from the moment
+                // the frame lands on the queue, not from socket read start.
+                frame.received_at = Some(std::time::Instant::now());
                 // Blocking here is the flow-control point: a gated queue
                 // stops this thread from draining the socket.
                 if queue.push_blocking(frame).is_err() {

@@ -55,14 +55,16 @@ pub trait BatchSink: Send + Sync {
     /// Deliver a batch. `encoded` is the output buffer's length-prefixed
     /// concatenation, passed by refcounted handle so the in-process path
     /// shares the storage instead of copying it; `count` the number of
-    /// messages; `base_seq` the sequence number of the first. Blocks under
-    /// backpressure.
+    /// messages; `base_seq` the sequence number of the first;
+    /// `sent_at_micros` the sender's wall clock at flush time (`0` when
+    /// telemetry is disabled). Blocks under backpressure.
     fn send_batch(
         &self,
         link_id: u64,
         base_seq: u64,
         encoded: Bytes,
         count: u32,
+        sent_at_micros: u64,
     ) -> Result<(), TransportError>;
 
     /// Frames handed to this sink so far.
@@ -113,13 +115,21 @@ impl BatchSink for InProcessTransport {
         base_seq: u64,
         encoded: Bytes,
         count: u32,
+        sent_at_micros: u64,
     ) -> Result<(), TransportError> {
         // Wire-equivalent accounting: header + compression tag + body.
         let wire_len = FRAME_HEADER_LEN + encoded.len() + 1;
         // Zero-copy split: the frame's messages are ranges into `encoded`.
         let messages = FrameMessages::parse_prefixed(encoded, Some(count))
             .map_err(TransportError::Malformed)?;
-        let frame = Frame { link_id, base_seq, messages, wire_len };
+        let frame = Frame {
+            link_id,
+            base_seq,
+            messages,
+            wire_len,
+            sent_at_micros,
+            received_at: Some(std::time::Instant::now()),
+        };
         self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)?;
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
@@ -160,8 +170,8 @@ mod tests {
         let t = InProcessTransport::new(q.clone());
         let (e1, c1) = encode(&[b"a", b"b"]);
         let (e2, c2) = encode(&[b"c"]);
-        t.send_batch(7, 0, e1, c1).unwrap();
-        t.send_batch(7, 2, e2, c2).unwrap();
+        t.send_batch(7, 0, e1, c1, 0).unwrap();
+        t.send_batch(7, 2, e2, c2, 0).unwrap();
         let f1 = q.pop().unwrap();
         assert_eq!(f1.base_seq, 0);
         assert_eq!(f1.messages, vec![b"a".to_vec(), b"b".to_vec()]);
@@ -178,7 +188,7 @@ mod tests {
         let t = InProcessTransport::new(q.clone());
         let (e, c) = encode(&[b"shared"]);
         let batch_ptr = e.as_ptr() as usize;
-        t.send_batch(1, 0, e, c).unwrap();
+        t.send_batch(1, 0, e, c, 0).unwrap();
         let f = q.pop().unwrap();
         let range = batch_ptr..batch_ptr + f.messages.batch().len();
         assert!(
@@ -197,8 +207,8 @@ mod tests {
             h.fetch_add(1, Ordering::Relaxed);
         });
         let (e, c) = encode(&[b"x"]);
-        t.send_batch(1, 0, e.clone(), c).unwrap();
-        t.send_batch(1, 1, e, c).unwrap();
+        t.send_batch(1, 0, e.clone(), c, 0).unwrap();
+        t.send_batch(1, 1, e, c, 0).unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
@@ -207,7 +217,7 @@ mod tests {
         let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
         let t = InProcessTransport::new(q);
         let (e, _) = encode(&[b"x", b"y"]);
-        assert!(matches!(t.send_batch(1, 0, e, 3), Err(TransportError::Malformed(_))));
+        assert!(matches!(t.send_batch(1, 0, e, 3, 0), Err(TransportError::Malformed(_))));
     }
 
     #[test]
@@ -216,7 +226,7 @@ mod tests {
         let t = InProcessTransport::new(q.clone());
         q.close();
         let (e, c) = encode(&[b"x"]);
-        assert_eq!(t.send_batch(1, 0, e, c), Err(TransportError::Closed));
+        assert_eq!(t.send_batch(1, 0, e, c, 0), Err(TransportError::Closed));
     }
 
     #[test]
@@ -224,11 +234,11 @@ mod tests {
         let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(64, 8)));
         let t = Arc::new(InProcessTransport::new(q.clone()));
         let (e, c) = encode(&[&[0u8; 60]]);
-        t.send_batch(1, 0, e.clone(), c).unwrap(); // gates the queue
+        t.send_batch(1, 0, e.clone(), c, 0).unwrap(); // gates the queue
         assert!(q.is_gated());
         let t2 = t.clone();
         let e2 = e.clone();
-        let sender = std::thread::spawn(move || t2.send_batch(1, 1, e2, c));
+        let sender = std::thread::spawn(move || t2.send_batch(1, 1, e2, c, 0));
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert_eq!(q.total_pushed(), 1, "second send must be blocked");
         q.pop().unwrap();

@@ -94,7 +94,15 @@ fn queued_frame_survives_source_buffer_recycle_attempt() {
 
     let messages = FrameMessages::parse_prefixed(batch.clone(), Some(2)).unwrap();
     let wire_len = batch.len();
-    q.try_push(Frame { link_id: 1, base_seq: 0, messages, wire_len }).unwrap();
+    q.try_push(Frame {
+        link_id: 1,
+        base_seq: 0,
+        messages,
+        wire_len,
+        sent_at_micros: 0,
+        received_at: None,
+    })
+    .unwrap();
 
     // The sender still holds `batch`, the queue holds the frame: recycling
     // now must be refused, and the queued data must stay intact.

@@ -1,0 +1,184 @@
+//! Snapshot rendering: pretty text and Prometheus text-exposition format.
+//!
+//! This crate knows nothing about jobs, operators, or queues — the helpers
+//! here render *histograms and scalars*, and `neptune-core` composes them
+//! into full documents (per-operator sections, queue gauges, pool stats).
+//! JSON export lives in `neptune-core` too, next to the repo's hand-rolled
+//! JSON module.
+//!
+//! Prometheus mapping: a latency histogram exports as a `summary` (the
+//! quantiles are precomputed server-side, which is exactly what a
+//! log-bucketed histogram gives us), scalars as `gauge`s. Output follows
+//! the text-exposition rules: `# TYPE` lines, label pairs, one sample per
+//! line, terminated by `\n`.
+
+use crate::histogram::HistogramSnapshot;
+
+/// Escape a label value per the Prometheus text format (`\`, `"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Append one bare sample line (`metric{labels} value`) with no `# TYPE`
+/// header — callers that emit many label sets for the same metric write
+/// the header once themselves, as the text format requires.
+pub fn sample_line(out: &mut String, metric: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(&format!("{metric}{} {value}\n", render_labels(labels, None)));
+}
+
+/// Append the sample lines of a `summary` (three quantiles plus `_sum` and
+/// `_count`) without any `# TYPE` header.
+pub fn summary_samples(
+    out: &mut String,
+    metric: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    for (q, v) in
+        [("0.5", snap.p50()), ("0.95", snap.p95()), ("0.99", snap.p99())]
+    {
+        out.push_str(&format!(
+            "{metric}{} {v}\n",
+            render_labels(labels, Some(("quantile", q)))
+        ));
+    }
+    out.push_str(&format!("{metric}_sum{} {}\n", render_labels(labels, None), snap.sum()));
+    out.push_str(&format!("{metric}_count{} {}\n", render_labels(labels, None), snap.count()));
+}
+
+/// Append a Prometheus `summary` for one histogram snapshot: quantile
+/// samples plus `_sum`, `_count`, and `_max` companions.
+pub fn prometheus_summary(
+    out: &mut String,
+    metric: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    out.push_str(&format!("# TYPE {metric} summary\n"));
+    summary_samples(out, metric, labels, snap);
+    out.push_str(&format!("# TYPE {metric}_max gauge\n"));
+    sample_line(out, &format!("{metric}_max"), labels, snap.max());
+}
+
+/// Append a Prometheus `gauge` sample.
+pub fn prometheus_gauge(out: &mut String, metric: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(&format!("# TYPE {metric} gauge\n"));
+    sample_line(out, metric, labels, value);
+}
+
+/// Append a Prometheus `counter` sample.
+pub fn prometheus_counter(out: &mut String, metric: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(&format!("# TYPE {metric} counter\n"));
+    sample_line(out, metric, labels, value);
+}
+
+/// Render a microsecond duration for humans: `17µs`, `1.25ms`, `3.40s`.
+pub fn format_micros(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// One aligned pretty-text line for a histogram of microsecond latencies:
+/// `name  count=1234  p50=1.2ms  p95=3.4ms  p99=5.6ms  max=7.8ms`.
+pub fn pretty_line(name: &str, snap: &HistogramSnapshot) -> String {
+    if snap.count() == 0 {
+        return format!("{name:<16} (no samples)");
+    }
+    format!(
+        "{name:<16} count={:<9} p50={:<9} p95={:<9} p99={:<9} max={}",
+        snap.count(),
+        format_micros(snap.p50()),
+        format_micros(snap.p95()),
+        format_micros(snap.p99()),
+        format_micros(snap.max()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+
+    fn sample_snapshot() -> HistogramSnapshot {
+        let h = LatencyHistogram::new();
+        for v in [100u64, 200, 5_000, 1_000_000] {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn summary_has_quantiles_sum_count_max() {
+        let mut out = String::new();
+        prometheus_summary(
+            &mut out,
+            "neptune_e2e_latency_us",
+            &[("operator", "relay")],
+            &sample_snapshot(),
+        );
+        assert!(out.contains("# TYPE neptune_e2e_latency_us summary\n"));
+        assert!(out.contains("neptune_e2e_latency_us{operator=\"relay\",quantile=\"0.5\"}"));
+        assert!(out.contains("neptune_e2e_latency_us{operator=\"relay\",quantile=\"0.99\"}"));
+        assert!(out.contains("neptune_e2e_latency_us_sum{operator=\"relay\"} 1005300\n"));
+        assert!(out.contains("neptune_e2e_latency_us_count{operator=\"relay\"} 4\n"));
+        assert!(out.contains("neptune_e2e_latency_us_max{operator=\"relay\"} 1000000\n"));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn gauge_and_counter_render() {
+        let mut out = String::new();
+        prometheus_gauge(&mut out, "neptune_queue_depth", &[("queue", "0")], 17);
+        prometheus_counter(&mut out, "neptune_gate_events_total", &[], 3);
+        assert!(out.contains("neptune_queue_depth{queue=\"0\"} 17\n"));
+        assert!(out.contains("neptune_gate_events_total 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn pretty_line_formats_durations() {
+        let line = pretty_line("e2e", &sample_snapshot());
+        assert!(line.contains("count=4"));
+        assert!(line.contains("max=1.00s"));
+        assert_eq!(pretty_line("empty", &HistogramSnapshot::empty()),
+            "empty            (no samples)");
+    }
+
+    #[test]
+    fn format_micros_units() {
+        assert_eq!(format_micros(17), "17µs");
+        assert_eq!(format_micros(1_250), "1.25ms");
+        assert_eq!(format_micros(3_400_000), "3.40s");
+    }
+}

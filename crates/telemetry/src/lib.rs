@@ -1,0 +1,37 @@
+//! # neptune-telemetry
+//!
+//! Observability primitives for the NEPTUNE reproduction: lock-free
+//! log-bucketed latency histograms, per-operator stage timing, a bounded
+//! background time-series sampler, and text/Prometheus exporters.
+//!
+//! The paper evaluates exactly three axes — throughput, end-to-end
+//! latency, and bandwidth (§IV) — and its headline claims are about
+//! latency *distributions* (the flush-timer bound of Fig. 2 caps the
+//! tail) and queue dynamics over *time* (the backpressure oscillation of
+//! Fig. 4). This crate provides the measurement substrate for both:
+//!
+//! * [`LatencyHistogram`] — a fixed `[AtomicU64; N]` HDR-style histogram;
+//!   recording is one relaxed `fetch_add`, snapshots merge across shards
+//!   and answer p50/p95/p99/max.
+//! * [`OperatorTelemetry`] — one histogram per pipeline stage
+//!   (buffer-wait, transport, schedule delay, execution) plus end-to-end.
+//! * [`TelemetrySampler`] — a background thread turning any snapshot
+//!   closure into a bounded `(elapsed_micros, sample)` time series.
+//! * [`export`] — Prometheus text-exposition and pretty-text rendering.
+//!
+//! This crate is deliberately dependency-free and job-agnostic: it knows
+//! nothing about operators, queues, or configs. `neptune-core` owns the
+//! wiring (what gets recorded where) and the job-level snapshot types.
+
+mod histogram;
+mod sampler;
+mod stages;
+
+pub mod export;
+
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    N_BUCKETS,
+};
+pub use sampler::TelemetrySampler;
+pub use stages::{OperatorTelemetry, OperatorTelemetrySnapshot, STAGE_NAMES};

@@ -1,0 +1,161 @@
+//! Background time-series sampler.
+//!
+//! NEPTUNE's backpressure behavior (§III-B4, Fig. 4) is an *oscillation* —
+//! throughput rises and falls as the watermark gate opens and closes — and
+//! a single end-of-run number cannot show it. The sampler turns any
+//! cheap-to-take snapshot into a bounded in-memory time series: a
+//! background thread invokes the provided closure at a fixed interval and
+//! appends `(elapsed_micros, sample)` to a ring, dropping the oldest
+//! entries once `capacity` is reached.
+//!
+//! The sampler is generic over the sample type so this crate stays free of
+//! job-level types; `neptune-core` instantiates it with its own
+//! `TelemetrySample`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct SamplerShared<T> {
+    series: Mutex<VecDeque<(u64, T)>>,
+    stop: AtomicBool,
+    capacity: usize,
+}
+
+/// A background thread sampling a closure into a bounded time series.
+pub struct TelemetrySampler<T: Send + 'static> {
+    shared: Arc<SamplerShared<T>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> TelemetrySampler<T> {
+    /// Start sampling `f` every `interval` into a ring of at most
+    /// `capacity` entries. One sample is taken immediately so even very
+    /// short runs produce a non-empty series.
+    pub fn start(
+        interval: Duration,
+        capacity: usize,
+        f: impl Fn() -> T + Send + 'static,
+    ) -> TelemetrySampler<T> {
+        let shared = Arc::new(SamplerShared {
+            series: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            stop: AtomicBool::new(false),
+            capacity: capacity.max(1),
+        });
+        let worker = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("neptune-telemetry-sampler".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                loop {
+                    let elapsed = started.elapsed().as_micros() as u64;
+                    let sample = f();
+                    {
+                        let mut series = worker.series.lock().unwrap();
+                        if series.len() == worker.capacity {
+                            series.pop_front();
+                        }
+                        series.push_back((elapsed, sample));
+                    }
+                    if worker.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Sleep in short slices so stop() is responsive even
+                    // with a long sampling interval.
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline {
+                        if worker.stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep((deadline - Instant::now()).min(Duration::from_millis(5)));
+                    }
+                }
+            })
+            .expect("spawn telemetry sampler thread");
+        TelemetrySampler { shared, thread: Some(thread) }
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.shared.series.lock().unwrap().len()
+    }
+
+    /// True when no samples have been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the retained series as `(elapsed_micros, sample)` pairs in
+    /// chronological order.
+    pub fn series(&self) -> Vec<(u64, T)>
+    where
+        T: Clone,
+    {
+        self.shared.series.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Stop the background thread. Idempotent; also invoked on drop.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for TelemetrySampler<T> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn samples_at_interval_and_stops() {
+        let n = Arc::new(AtomicU64::new(0));
+        let src = n.clone();
+        let mut s = TelemetrySampler::start(Duration::from_millis(5), 1024, move || {
+            src.fetch_add(1, Ordering::Relaxed)
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        s.stop();
+        let series = s.series();
+        assert!(series.len() >= 3, "expected several samples, got {}", series.len());
+        // Chronological and strictly increasing sample values.
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        let len_after_stop = s.len();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(s.len(), len_after_stop, "no samples after stop");
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut s = TelemetrySampler::start(Duration::from_micros(100), 8, || 0u8);
+        std::thread::sleep(Duration::from_millis(30));
+        s.stop();
+        assert!(s.len() <= 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn immediate_sample_on_start() {
+        let mut s = TelemetrySampler::start(Duration::from_secs(3600), 4, || 42u32);
+        // Give the thread a moment to run its first iteration.
+        for _ in 0..200 {
+            if !s.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(s.series().first().map(|(_, v)| *v), Some(42));
+        s.stop();
+    }
+}

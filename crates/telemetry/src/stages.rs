@@ -1,0 +1,121 @@
+//! Per-operator stage timing: where a packet's end-to-end latency goes.
+//!
+//! NEPTUNE's data path decomposes a packet's journey into four waits
+//! (§III-B): it sits in the sender's `OutputBuffer` until a size or timer
+//! flush (*buffer-wait*), crosses the transport to the destination queue
+//! (*transport*), waits there until the Granules scheduler runs the
+//! receiving task (*schedule delay*), and is finally decoded and processed
+//! (*execution*). [`OperatorTelemetry`] holds one lock-free histogram per
+//! stage plus the end-to-end distribution measured against the source
+//! timestamp carried in the packet — the quantity Fig. 2 bounds with the
+//! flush timer.
+//!
+//! All durations are recorded in **microseconds**.
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// Stage names in pipeline order, used by exporters as label values.
+pub const STAGE_NAMES: [&str; 4] = ["buffer_wait", "transport", "schedule_delay", "execution"];
+
+/// Lock-free per-operator recorder: four stage histograms plus end-to-end.
+#[derive(Debug, Default)]
+pub struct OperatorTelemetry {
+    /// Packet enqueue → batch flush in the sender's `OutputBuffer`.
+    pub buffer_wait: LatencyHistogram,
+    /// Batch flush → arrival on the destination watermark queue.
+    pub transport: LatencyHistogram,
+    /// Frame arrival on the queue → receiving task execution.
+    pub schedule_delay: LatencyHistogram,
+    /// Time spent decoding and processing one scheduled batch.
+    pub execution: LatencyHistogram,
+    /// Source timestamp → processed by this operator (µs, wall clock).
+    pub e2e: LatencyHistogram,
+}
+
+impl OperatorTelemetry {
+    /// A recorder with nothing recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy every histogram into an inert snapshot.
+    pub fn snapshot(&self) -> OperatorTelemetrySnapshot {
+        OperatorTelemetrySnapshot {
+            buffer_wait: self.buffer_wait.snapshot(),
+            transport: self.transport.snapshot(),
+            schedule_delay: self.schedule_delay.snapshot(),
+            execution: self.execution.snapshot(),
+            e2e: self.e2e.snapshot(),
+        }
+    }
+}
+
+/// Inert, mergeable copy of an [`OperatorTelemetry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorTelemetrySnapshot {
+    pub buffer_wait: HistogramSnapshot,
+    pub transport: HistogramSnapshot,
+    pub schedule_delay: HistogramSnapshot,
+    pub execution: HistogramSnapshot,
+    pub e2e: HistogramSnapshot,
+}
+
+impl OperatorTelemetrySnapshot {
+    /// The four stage snapshots paired with their [`STAGE_NAMES`] entry,
+    /// in pipeline order (end-to-end excluded).
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 4] {
+        [
+            ("buffer_wait", &self.buffer_wait),
+            ("transport", &self.transport),
+            ("schedule_delay", &self.schedule_delay),
+            ("execution", &self.execution),
+        ]
+    }
+
+    /// Fold another instance's snapshot into this one (parallel operators
+    /// merge shard-wise, same as [`HistogramSnapshot::merge`]).
+    pub fn merge(&mut self, other: &OperatorTelemetrySnapshot) {
+        self.buffer_wait.merge(&other.buffer_wait);
+        self.transport.merge(&other.transport);
+        self.schedule_delay.merge(&other.schedule_delay);
+        self.execution.merge(&other.execution);
+        self.e2e.merge(&other.e2e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_align_with_names() {
+        let t = OperatorTelemetry::new();
+        t.buffer_wait.record(1);
+        t.transport.record(2);
+        t.schedule_delay.record(3);
+        t.execution.record(4);
+        t.e2e.record(10);
+        let s = t.snapshot();
+        let by_name = s.stages();
+        assert_eq!(by_name.len(), STAGE_NAMES.len());
+        for ((name, snap), expected) in by_name.iter().zip(STAGE_NAMES.iter()) {
+            assert_eq!(name, expected);
+            assert_eq!(snap.count(), 1);
+        }
+        assert_eq!(s.e2e.count(), 1);
+    }
+
+    #[test]
+    fn merge_folds_all_stages() {
+        let a = OperatorTelemetry::new();
+        let b = OperatorTelemetry::new();
+        a.e2e.record(100);
+        b.e2e.record(200);
+        b.execution.record(5);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.e2e.count(), 2);
+        assert_eq!(s.e2e.max(), 200);
+        assert_eq!(s.execution.count(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the latency histogram (ISSUE 2, satellite 3):
+//! merge-of-shards equivalence, extreme-value edge cases, and quantile
+//! monotonicity.
+
+use neptune_telemetry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    N_BUCKETS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Sharded recording + snapshot merge must be indistinguishable from
+    /// recording every value into a single histogram — the property that
+    /// makes per-instance recorders aggregate correctly per operator.
+    #[test]
+    fn merge_of_shards_equals_single_histogram(
+        values in vec(any::<u64>(), 0..200),
+        split in any::<usize>(),
+    ) {
+        let cut = if values.is_empty() { 0 } else { split % (values.len() + 1) };
+        let (left, right) = values.split_at(cut);
+        let mut merged = record_all(left);
+        merged.merge(&record_all(right));
+        prop_assert_eq!(merged, record_all(&values));
+    }
+
+    /// Every value maps into range, and the bucket bounds bracket it.
+    #[test]
+    fn bucket_bounds_bracket_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v <= bucket_upper_bound(i));
+    }
+
+    /// bucket_index is monotone: a larger value never lands in an
+    /// earlier bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Quantiles are monotone non-decreasing in q and never exceed max.
+    #[test]
+    fn quantiles_are_monotone(
+        values in vec(any::<u64>(), 1..200),
+        qs in vec(0.0f64..=1.0, 2..8),
+    ) {
+        let snap = record_all(&values);
+        let mut sorted_q = qs;
+        sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u64;
+        for &q in &sorted_q {
+            let v = snap.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < previous {}", q, v, prev);
+            prop_assert!(v <= snap.max());
+            prev = v;
+        }
+    }
+
+    /// The top quantile hits the exact recorded maximum (clamping), and
+    /// any quantile of a singleton histogram is that value.
+    #[test]
+    fn extremes_are_exact(values in vec(any::<u64>(), 1..50)) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.quantile(1.0), *values.iter().max().unwrap());
+        let single = record_all(&values[..1]);
+        prop_assert_eq!(single.p50(), values[0]);
+        prop_assert_eq!(single.p99(), values[0]);
+    }
+}
+
+#[test]
+fn zero_and_max_are_recordable() {
+    let h = LatencyHistogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.count(), 3);
+    assert_eq!(s.max(), u64::MAX);
+    assert_eq!(s.quantile(0.01), 0);
+    assert_eq!(s.quantile(1.0), u64::MAX);
+    // Sum wraps (documented): 0 + MAX + MAX == MAX - 1 mod 2^64.
+    assert_eq!(s.sum(), u64::MAX.wrapping_add(u64::MAX));
+}

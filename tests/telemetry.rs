@@ -1,0 +1,172 @@
+//! End-to-end telemetry integration: a relay job run with telemetry
+//! enabled must report per-operator end-to-end latency quantiles, the
+//! four-stage breakdown (buffer wait, transport, schedule delay,
+//! execution), a non-empty sampler time series, and snapshots in all
+//! three export formats.
+//!
+//! The latency test pins down the Fig. 2 invariant: with a buffer far too
+//! large to fill, *only the flush timer moves packets*, so observed
+//! end-to-end p99 must stay within a small multiple of the configured
+//! flush interval — the paper's argument that timers bound the latency
+//! cost of application-level buffering (§III-B1).
+
+use neptune::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct StampedSource {
+    remaining: u64,
+    /// Per-packet pause; a trickle keeps buffers from filling by size.
+    pause: Duration,
+}
+
+impl StreamSource for StampedSource {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.remaining == 0 {
+            return SourceStatus::Exhausted;
+        }
+        self.remaining -= 1;
+        let mut p = StreamPacket::new();
+        p.push_field("ts", FieldValue::Timestamp(now_micros()))
+            .push_field("n", FieldValue::U64(self.remaining));
+        ctx.emit(&p).unwrap();
+        if !self.pause.is_zero() {
+            std::thread::sleep(self.pause);
+        }
+        SourceStatus::Emitted(1)
+    }
+}
+
+struct Forward;
+impl StreamProcessor for Forward {
+    fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
+        let _ = ctx.emit(p);
+    }
+}
+
+struct Count(Arc<AtomicU64>);
+impl StreamProcessor for Count {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn relay_graph(n: u64, pause: Duration, seen: Arc<AtomicU64>) -> neptune::core::Graph {
+    GraphBuilder::new("telemetry-it")
+        .source("src", move || StampedSource { remaining: n, pause })
+        .processor("relay", || Forward)
+        .processor("sink", move || Count(seen.clone()))
+        .link("src", "relay", PartitioningScheme::Shuffle)
+        .link("relay", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn flush_timer_bounds_p99_latency() {
+    // Fig. 2: huge buffer, 10 ms flush timer, trickle source — packets can
+    // only move when the timer fires, so e2e latency is timer-dominated
+    // and must stay bounded by a small multiple of the interval.
+    let flush = Duration::from_millis(10);
+    let seen = Arc::new(AtomicU64::new(0));
+    let n = 300u64;
+    let graph = relay_graph(n, Duration::from_millis(2), seen.clone());
+    let config = RuntimeConfig {
+        buffer_bytes: 1 << 20,
+        flush_interval: flush,
+        telemetry: TelemetryConfig::enabled(),
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    assert!(job.settle(Duration::from_secs(30)));
+    let snap = job.telemetry().expect("telemetry enabled");
+    job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), n);
+
+    let sink = &snap.operators["sink"];
+    assert_eq!(sink.e2e.count(), n);
+    // Two timer-flushed hops plus scheduling. The ceiling is 25x the
+    // interval: loose enough for a loaded CI machine running the whole
+    // suite in parallel, but far below a broken flush timer, which would
+    // hold packets until source close — the emission window alone is
+    // 300 packets x 2 ms = 600 ms, so the earliest packets would show
+    // p99 near that.
+    let bound_us = 25 * flush.as_micros() as u64;
+    assert!(
+        sink.e2e.p99() < bound_us,
+        "sink p99 {}µs exceeds flush-timer bound {}µs",
+        sink.e2e.p99(),
+        bound_us
+    );
+    // The breakdown must show where that time went: the relay's output
+    // buffer held packets for roughly one flush interval.
+    let relay_wait = &snap.operators["relay"].buffer_wait;
+    assert!(relay_wait.count() > 0);
+    assert!(
+        relay_wait.max() >= flush.as_micros() as u64 / 2,
+        "timer-flushed buffer wait {}µs implausibly small",
+        relay_wait.max()
+    );
+}
+
+#[test]
+fn telemetry_reports_breakdown_sampler_and_all_export_formats() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let n = 20_000u64;
+    let graph = relay_graph(n, Duration::ZERO, seen.clone());
+    let config = RuntimeConfig {
+        buffer_bytes: 4096,
+        telemetry: TelemetryConfig {
+            sample_interval: Duration::from_millis(5),
+            ..TelemetryConfig::enabled()
+        },
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    assert!(job.settle(Duration::from_secs(30)));
+
+    // Named queue gauges (one per processor instance).
+    let gauges = job.queue_gauges();
+    assert_eq!(gauges.len(), 2);
+    assert!(gauges.iter().all(|g| g.capacity > 0));
+
+    let snap = job.telemetry().expect("telemetry enabled");
+    job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), n);
+
+    // Every pipeline stage reports quantiles; the breakdown is complete.
+    for op in ["relay", "sink"] {
+        let t = &snap.operators[op];
+        assert!(t.e2e.count() > 0, "{op}: empty e2e");
+        assert!(t.e2e.p50() <= t.e2e.p95() && t.e2e.p95() <= t.e2e.p99());
+        assert!(t.e2e.p99() <= t.e2e.max());
+        assert!(t.transport.count() > 0, "{op}: empty transport");
+        assert!(t.schedule_delay.count() > 0, "{op}: empty schedule_delay");
+        assert!(t.execution.count() > 0, "{op}: empty execution");
+    }
+    assert!(snap.operators["src"].buffer_wait.count() > 0, "src: empty buffer_wait");
+    assert!(snap.operators["relay"].buffer_wait.count() > 0, "relay: empty buffer_wait");
+
+    // Sampler filled its time series while the job ran.
+    assert!(!snap.series.is_empty());
+    let (_, last) = snap.series.last().unwrap();
+    assert_eq!(last.queues.len(), 2);
+
+    // All three export formats are non-empty and structurally sound.
+    let pretty = snap.render_pretty();
+    assert!(pretty.contains("operator relay"));
+    assert!(pretty.contains("p99="));
+
+    let doc = neptune::core::json::parse(&snap.to_json()).expect("JSON export parses");
+    let relay = doc.get("operators").unwrap().get("relay").unwrap();
+    assert!(relay.get("e2e").unwrap().get("p99_micros").unwrap().as_u64().is_some());
+    assert_eq!(relay.get("stages").unwrap().as_object().unwrap().len(), 4);
+
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("# TYPE neptune_e2e_latency_micros summary"));
+    assert!(prom.contains("neptune_e2e_latency_micros{operator=\"sink\",quantile=\"0.99\"}"));
+    assert!(prom.contains("neptune_stage_latency_micros{operator=\"sink\",stage=\"transport\""));
+}
