@@ -105,6 +105,10 @@ pub struct ChannelEndpoint {
     /// the buffer lock. Lets the flusher thread skip idle endpoints with a
     /// single atomic load instead of taking every buffer mutex each tick.
     has_data: AtomicBool,
+    /// Set once the downstream link fails terminally (dispatch error or an
+    /// explicit [`fail_link`](Self::fail_link)). Emitters fast-fail with
+    /// [`EmitError::Closed`] instead of buffering into a black hole.
+    failed: AtomicBool,
     compressor: SelectiveCompressor,
     sink: SinkHandle,
     /// Counters of the *sending* operator.
@@ -130,6 +134,7 @@ impl ChannelEndpoint {
             channel,
             buffer: Mutex::new(buffer),
             has_data: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
             compressor,
             sink,
             counters,
@@ -145,6 +150,9 @@ impl ChannelEndpoint {
     /// Buffer one serialized packet; dispatches a batch if the push filled
     /// the buffer. Blocks under downstream backpressure.
     pub fn push(&self, message: &[u8]) -> Result<(), EmitError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(EmitError::Closed);
+        }
         let mut buf = self.buffer.lock();
         let outcome = buf.push(message);
         self.after_push(&mut buf, outcome)
@@ -155,6 +163,9 @@ impl ChannelEndpoint {
     /// encodes `[len | bytes]` once and appends the same slice to every
     /// destination endpoint).
     pub fn push_preencoded(&self, prefixed: &[u8]) -> Result<(), EmitError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(EmitError::Closed);
+        }
         let mut buf = self.buffer.lock();
         let outcome = buf.push_prefixed(prefixed);
         self.after_push(&mut buf, outcome)
@@ -180,6 +191,9 @@ impl ChannelEndpoint {
         if !self.has_data.load(Ordering::Acquire) {
             return Ok(());
         }
+        if self.failed.load(Ordering::Acquire) {
+            return Err(EmitError::Closed);
+        }
         let mut buf = self.buffer.lock();
         match buf.take_if_due(now) {
             Some(batch) => {
@@ -192,6 +206,9 @@ impl ChannelEndpoint {
 
     /// Unconditional flush (teardown / explicit).
     pub fn force_flush(&self) -> Result<(), EmitError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(EmitError::Closed);
+        }
         let mut buf = self.buffer.lock();
         match buf.force_flush() {
             Some(batch) => {
@@ -207,9 +224,43 @@ impl ChannelEndpoint {
         self.buffer.lock().buffered_count() == 0
     }
 
+    /// True once the downstream link failed (dispatch error or explicit
+    /// [`fail_link`](Self::fail_link)).
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Declare this channel's downstream link dead (the link supervisor
+    /// exhausted its retries, or a fault was injected).
+    ///
+    /// Beyond marking the endpoint so emitters fast-fail, this closes an
+    /// in-process destination queue: the backpressure gate only reopens
+    /// on *consumption*, so a producer parked in `push_blocking` behind a
+    /// closed high-watermark gate would otherwise wait forever on a link
+    /// that will never drain. `WatermarkQueue::close` wakes every gated
+    /// producer with an error, which surfaces here as
+    /// [`EmitError::Closed`].
+    pub fn fail_link(&self) {
+        self.failed.store(true, Ordering::Release);
+        if let SinkHandle::InProcess(t) = &self.sink {
+            t.queue().close();
+        }
+    }
+
     /// Dispatch a batch to the sink. Called with the buffer lock held so
     /// batches leave in flush order (per-channel ordering invariant).
     fn dispatch(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
+        let out = self.dispatch_inner(buf, batch);
+        if out.is_err() {
+            // A channel whose sink errored is done: the transports behind
+            // both sink kinds fail terminally, so later emits would only
+            // block or error again. Latch the failure so they fast-fail.
+            self.failed.store(true, Ordering::Release);
+        }
+        out
+    }
+
+    fn dispatch_inner(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
         let count = batch.count;
         // Telemetry point (ISSUE 2): the buffer already measured how long
         // its oldest message waited; one wall-clock read per *batch* stamps
@@ -363,6 +414,42 @@ mod tests {
         let (ep, q) = make_inproc_endpoint(8);
         q.close();
         assert_eq!(ep.push(&[0u8; 16]).unwrap_err(), EmitError::Closed);
+    }
+
+    #[test]
+    fn fail_link_releases_producers_blocked_on_the_gate() {
+        // Tiny watermark: the first delivered batch closes the gate, so
+        // the second push parks inside the destination queue's
+        // `push_blocking`. The gate only reopens on consumption — if the
+        // link dies instead, `fail_link` must wake the parked producer
+        // with `Closed` rather than leaving it deadlocked (ISSUE 3
+        // satellite: link failure while the high-watermark gate is shut).
+        let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(8, 4)));
+        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let ep = Arc::new(ChannelEndpoint::new(
+            ChannelId::new(0, 0, 0),
+            OutputBuffer::new(8, None),
+            SelectiveCompressor::disabled(),
+            SinkHandle::InProcess(transport),
+            Arc::new(OperatorCounters::default()),
+            None,
+        ));
+        ep.push(&[0u8; 16]).unwrap(); // flushes immediately, closes the gate
+        let gated = {
+            let ep = ep.clone();
+            std::thread::spawn(move || ep.push(&[0u8; 16]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!gated.is_finished(), "second producer must be gated, not dropped");
+        ep.fail_link();
+        assert_eq!(gated.join().unwrap().unwrap_err(), EmitError::Closed);
+        assert!(ep.is_failed());
+        assert_eq!(
+            ep.push(&[0u8; 16]).unwrap_err(),
+            EmitError::Closed,
+            "endpoint fast-fails after link failure"
+        );
+        assert_eq!(ep.flush_if_due(Instant::now()), Ok(()), "idle endpoint stays cheap");
     }
 
     #[test]

@@ -70,20 +70,15 @@ impl LinkOptions {
 /// capabilities of cluster nodes"* as future work; this implements its
 /// static core: capacity-aware placement. Heavier resources (more cores,
 /// more memory) receive proportionally more operator instances.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum PlacementStrategy {
     /// Instances cycle over resources uniformly (the default).
+    #[default]
     RoundRobin,
     /// Weighted placement: resource `i` receives instances in proportion
     /// to `weights[i]` (e.g. core counts). Length must equal
     /// [`RuntimeConfig::resources`]; weights must not all be zero.
     CapacityWeighted(Vec<u32>),
-}
-
-impl Default for PlacementStrategy {
-    fn default() -> Self {
-        PlacementStrategy::RoundRobin
-    }
 }
 
 /// How batches travel between operator instances on different resources.
@@ -129,6 +124,49 @@ impl TelemetryConfig {
     }
 }
 
+/// Fault-tolerance toggles (ISSUE 3). Off by default: heartbeat beacons,
+/// the failure-detector monitor thread, and recovery accounting cost
+/// timer slots and a background thread per job, which single-machine
+/// benchmarks should not pay for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaConfig {
+    /// Master switch for heartbeats, failure detection, and recovery
+    /// counters.
+    pub enabled: bool,
+    /// Expected heartbeat period per resource. Each resource stamps a
+    /// liveness beacon on this cadence; the monitor thread feeds the
+    /// beacons into the failure detector.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat silence after which a resource is declared dead.
+    /// Suspicion starts at half this. Must be at least twice the
+    /// heartbeat interval (detector invariant).
+    pub failure_timeout: Duration,
+    /// Bound on unacked bytes retained per supervised link for replay.
+    pub replay_budget_bytes: usize,
+    /// Connect attempts before a supervised link is declared terminally
+    /// failed.
+    pub max_reconnect_attempts: u32,
+}
+
+impl Default for HaConfig {
+    fn default() -> Self {
+        HaConfig {
+            enabled: false,
+            heartbeat_interval: Duration::from_millis(50),
+            failure_timeout: Duration::from_millis(250),
+            replay_budget_bytes: 4 << 20,
+            max_reconnect_attempts: 8,
+        }
+    }
+}
+
+impl HaConfig {
+    /// An enabled config with default intervals and budgets.
+    pub fn enabled() -> Self {
+        HaConfig { enabled: true, ..Default::default() }
+    }
+}
+
 /// Job-wide runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -165,6 +203,8 @@ pub struct RuntimeConfig {
     pub placement: PlacementStrategy,
     /// Latency/stage instrumentation and background sampling (ISSUE 2).
     pub telemetry: TelemetryConfig,
+    /// Heartbeats, failure detection, and recovery accounting (ISSUE 3).
+    pub ha: HaConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -183,6 +223,7 @@ impl Default for RuntimeConfig {
             transport: TransportMode::InProcess,
             placement: PlacementStrategy::RoundRobin,
             telemetry: TelemetryConfig::default(),
+            ha: HaConfig::default(),
         }
     }
 }
@@ -219,6 +260,23 @@ impl RuntimeConfig {
             }
             if self.telemetry.series_capacity == 0 {
                 return Err("telemetry series_capacity must be positive".into());
+            }
+        }
+        if self.ha.enabled {
+            if self.ha.heartbeat_interval.is_zero() {
+                return Err("ha heartbeat_interval must be positive".into());
+            }
+            if self.ha.failure_timeout < self.ha.heartbeat_interval * 2 {
+                return Err(format!(
+                    "ha failure_timeout ({:?}) must be at least twice heartbeat_interval ({:?})",
+                    self.ha.failure_timeout, self.ha.heartbeat_interval
+                ));
+            }
+            if self.ha.replay_budget_bytes == 0 {
+                return Err("ha replay_budget_bytes must be positive".into());
+            }
+            if self.ha.max_reconnect_attempts == 0 {
+                return Err("ha max_reconnect_attempts must be positive".into());
             }
         }
         if let PlacementStrategy::CapacityWeighted(w) = &self.placement {
@@ -337,6 +395,35 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_capacity.validate().is_err());
+    }
+
+    #[test]
+    fn ha_defaults_off_and_validated() {
+        let c = RuntimeConfig::default();
+        assert!(!c.ha.enabled, "fault tolerance must be opt-in");
+        assert!(c.validate().is_ok());
+        let on = RuntimeConfig { ha: HaConfig::enabled(), ..Default::default() };
+        assert!(on.validate().is_ok());
+        let tight = RuntimeConfig {
+            ha: HaConfig {
+                enabled: true,
+                heartbeat_interval: Duration::from_millis(100),
+                failure_timeout: Duration::from_millis(150),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(tight.validate().is_err(), "timeout under 2x interval must be rejected");
+        let no_budget = RuntimeConfig {
+            ha: HaConfig { enabled: true, replay_budget_bytes: 0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(no_budget.validate().is_err());
+        let no_retries = RuntimeConfig {
+            ha: HaConfig { enabled: true, max_reconnect_attempts: 0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(no_retries.validate().is_err());
     }
 
     #[test]

@@ -93,7 +93,9 @@ pub mod window;
 
 pub use channel::ChannelId;
 pub use codec::{CodecError, PacketCodec};
-pub use config::{CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig};
+pub use config::{
+    CompressionMode, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
+};
 pub use descriptor::{DescriptorError, OperatorRegistry};
 pub use graph::{Graph, GraphBuilder, GraphError, LinkSpec, OperatorKind, OperatorSpec};
 pub use metrics::{JobMetrics, OperatorMetrics};
@@ -109,7 +111,7 @@ pub use window::{SlidingWindow, TumblingWindow, WindowAggregate};
 /// Convenience imports for building NEPTUNE jobs.
 pub mod prelude {
     pub use crate::config::{
-        CompressionMode, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
+        CompressionMode, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
     };
     pub use crate::graph::{Graph, GraphBuilder};
     pub use crate::operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};

@@ -24,6 +24,9 @@ pub enum Route {
     All,
 }
 
+/// A user-supplied routing function: `(packet, n_instances) -> instance`.
+pub type CustomRouter = Arc<dyn Fn(&StreamPacket, usize) -> usize + Send + Sync>;
+
 /// User-facing declaration of how a link partitions its stream.
 #[derive(Clone)]
 pub enum PartitioningScheme {
@@ -36,7 +39,7 @@ pub enum PartitioningScheme {
     /// Replicate to every instance.
     Broadcast,
     /// User-supplied routing: `(packet, n_instances) -> instance`.
-    Custom(Arc<dyn Fn(&StreamPacket, usize) -> usize + Send + Sync>),
+    Custom(CustomRouter),
 }
 
 impl std::fmt::Debug for PartitioningScheme {
@@ -72,7 +75,7 @@ enum PartitioningSchemeInner {
     Fields(Vec<String>),
     Global,
     Broadcast,
-    Custom(Arc<dyn Fn(&StreamPacket, usize) -> usize + Send + Sync>),
+    Custom(CustomRouter),
 }
 
 impl std::fmt::Debug for PartitioningSchemeInner {

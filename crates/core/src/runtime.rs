@@ -38,6 +38,7 @@ use crate::operator::{OperatorContext, OutgoingLink, SourceStatus, StreamProcess
 use crate::packet::StreamPacket;
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 use neptune_granules::{ComputationalTask, Resource, ScheduleSpec, TaskContext, TaskOutcome};
+use neptune_ha::{DetectorConfig, FailureDetector, PeerState, RecoverySnapshot, RecoveryStats};
 use neptune_net::buffer::OutputBuffer;
 use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
@@ -239,6 +240,18 @@ pub struct JobHandle {
     telemetry_hub: Option<Arc<TelemetryHub>>,
     /// Background counter/gauge sampler; `None` when telemetry is disabled.
     sampler: Option<TelemetrySampler<TelemetrySample>>,
+    /// Fault-tolerance state; `None` when HA is disabled.
+    ha: Option<HaRuntime>,
+}
+
+/// Background fault-tolerance state of a running job (ISSUE 3): shared
+/// recovery counters, the heartbeat failure detector, and the monitor
+/// thread that feeds resource beacons into it.
+struct HaRuntime {
+    stats: Arc<RecoveryStats>,
+    detector: Arc<FailureDetector>,
+    monitor_stop: Arc<AtomicBool>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl JobHandle {
@@ -274,7 +287,37 @@ impl JobHandle {
             metrics: self.metrics(),
             queues: self.queue_gauges(),
             series: self.sampler.as_ref().map(|s| s.series()).unwrap_or_default(),
+            recovery: self.recovery(),
         })
+    }
+
+    /// Recovery counters: retransmits, reconnects, failure detections and
+    /// their latency distribution. `None` when fault tolerance is disabled
+    /// in [`RuntimeConfig`].
+    pub fn recovery(&self) -> Option<RecoverySnapshot> {
+        self.ha.as_ref().map(|h| h.stats.snapshot())
+    }
+
+    /// Liveness verdict per resource from the heartbeat failure detector,
+    /// in resource order. `None` when fault tolerance is disabled.
+    pub fn resource_states(&self) -> Option<Vec<(String, PeerState)>> {
+        let ha = self.ha.as_ref()?;
+        Some(
+            self.resources
+                .iter()
+                .map(|r| {
+                    let name = r.name().to_string();
+                    let state = ha.detector.state(&name).unwrap_or(PeerState::Alive);
+                    (name, state)
+                })
+                .collect(),
+        )
+    }
+
+    /// Chaos hook: freeze (or thaw) a resource's heartbeat beacon so the
+    /// failure detector sees it fall silent without tearing anything down.
+    pub fn chaos_suspend_resource(&self, resource: usize, suspended: bool) {
+        self.resources[resource].set_heartbeat_suspended(suspended);
     }
 
     /// Total backpressure gate events across the job.
@@ -364,6 +407,12 @@ impl JobHandle {
         if let Some(f) = self.flusher.lock().take() {
             let _ = f.join();
         }
+        if let Some(ha) = &self.ha {
+            ha.monitor_stop.store(true, Ordering::Release);
+            if let Some(m) = ha.monitor.lock().take() {
+                let _ = m.join();
+            }
+        }
         for q in &self.queues {
             q.close();
         }
@@ -444,6 +493,11 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
             Resource::builder(format!("{}-res{ri}", graph.name())).workers(workers).build()
         })
         .collect();
+    if config.ha.enabled {
+        for r in &resources {
+            r.enable_heartbeat(config.ha.heartbeat_interval);
+        }
+    }
 
     // ---- Inbound queues (one per processor instance). ----
     let watermark = WatermarkConfig::new(config.watermark_high, config.watermark_low);
@@ -700,6 +754,67 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
         )
     });
 
+    // ---- Fault tolerance: heartbeat monitor + failure detector (ISSUE 3). ----
+    let ha = if config.ha.enabled {
+        let stats = Arc::new(RecoveryStats::new());
+        let detector = Arc::new(FailureDetector::new(
+            DetectorConfig::new(config.ha.heartbeat_interval, config.ha.failure_timeout),
+            stats.clone(),
+        ));
+        // Restart-nudge targets: every task handle on each resource. A
+        // dead declaration forces those tasks to run again, resuming from
+        // the inbound queues — the replay point, since frames not yet
+        // consumed are still sitting there.
+        let mut handles_by_resource: HashMap<String, Vec<neptune_granules::TaskHandle>> =
+            HashMap::new();
+        for ((oi, inst), handle) in &task_handles {
+            let name = resources[placement[&(*oi, *inst)]].name().to_string();
+            handles_by_resource.entry(name).or_default().push(handle.clone());
+        }
+        let probes: Vec<_> =
+            resources.iter().map(|r| (r.name().to_string(), r.heartbeat_probe())).collect();
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let stop = monitor_stop.clone();
+            let detector = detector.clone();
+            let tick = (config.ha.heartbeat_interval / 2).max(Duration::from_micros(500));
+            std::thread::Builder::new()
+                .name(format!("{}-ha-monitor", graph.name()))
+                .spawn(move || {
+                    // Every resource starts alive: its silence window opens
+                    // now, not at an arbitrary earlier instant.
+                    for (name, _) in &probes {
+                        detector.heartbeat(name);
+                    }
+                    let mut last = vec![0u64; probes.len()];
+                    while !stop.load(Ordering::Acquire) {
+                        for (i, (name, probe)) in probes.iter().enumerate() {
+                            if let Some(count) = probe.count() {
+                                if count > last[i] {
+                                    last[i] = count;
+                                    detector.heartbeat(name);
+                                }
+                            }
+                        }
+                        for (peer, state) in detector.poll() {
+                            if state == PeerState::Dead {
+                                if let Some(handles) = handles_by_resource.get(&peer) {
+                                    for h in handles {
+                                        h.force();
+                                    }
+                                }
+                            }
+                        }
+                        std::thread::sleep(tick);
+                    }
+                })
+                .map_err(|e| SubmitError::Io(e.to_string()))?
+        };
+        Some(HaRuntime { stats, detector, monitor_stop, monitor: Mutex::new(Some(monitor)) })
+    } else {
+        None
+    };
+
     Ok(JobHandle {
         graph_name: graph.name().to_string(),
         stop_flag,
@@ -718,6 +833,7 @@ fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError>
         placement: placement_table,
         telemetry_hub,
         sampler,
+        ha,
     })
 }
 
@@ -1183,6 +1299,69 @@ mod tests {
         let gauges = job.queue_gauges();
         assert_eq!(gauges.len(), 1);
         assert!(gauges[0].capacity > 0);
+        job.stop();
+    }
+
+    #[test]
+    fn ha_detects_suspended_resource_and_counts_recovery() {
+        use crate::config::{HaConfig, TelemetryConfig};
+        let graph = GraphBuilder::new("ha-relay")
+            .source("src", || CountingSource { remaining: 100, next_val: 0 })
+            .processor("sink", || Forward)
+            .link("src", "sink", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        let config = RuntimeConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ha: HaConfig {
+                enabled: true,
+                heartbeat_interval: Duration::from_millis(10),
+                failure_timeout: Duration::from_millis(60),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let job = LocalRuntime::new(config).submit(graph).unwrap();
+        assert!(job.await_sources(Duration::from_secs(30)));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let states = job.resource_states().expect("ha enabled");
+            if states.iter().all(|(_, s)| *s == PeerState::Alive) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resource never reported alive: {states:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Chaos: freeze the beacon; the detector must walk suspect→dead.
+        job.chaos_suspend_resource(0, true);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while job.resource_states().unwrap()[0].1 != PeerState::Dead {
+            assert!(Instant::now() < deadline, "suspended resource never declared dead");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = job.recovery().expect("ha enabled");
+        assert!(snap.deaths >= 1, "death must be counted");
+        assert!(snap.suspects >= 1, "suspicion precedes death");
+        assert_eq!(snap.detection_latency.count(), snap.deaths);
+        // Acceptance bound: detection latency stays under 3x the timeout.
+        assert!(
+            snap.detection_latency.p99() < 3 * 60_000,
+            "detection too slow: {}us",
+            snap.detection_latency.p99()
+        );
+        // Thaw: the beacon resumes and the detector revives the peer.
+        job.chaos_suspend_resource(0, false);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while job.resource_states().unwrap()[0].1 != PeerState::Alive {
+            assert!(Instant::now() < deadline, "thawed resource never revived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(job.recovery().unwrap().recoveries >= 1);
+        let telemetry = job.telemetry().expect("telemetry enabled");
+        let recovery = telemetry.recovery.as_ref().expect("recovery section present when HA is on");
+        assert!(recovery.deaths >= 1);
+        assert!(telemetry.to_json().contains("\"recovery\""));
+        assert!(telemetry.render_prometheus().contains("neptune_recovery_deaths_total"));
         job.stop();
     }
 

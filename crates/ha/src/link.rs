@@ -1,0 +1,213 @@
+//! The link abstraction the supervisor recovers over.
+//!
+//! [`FrameLink`] is narrower than `neptune_net::BatchSink`: it carries
+//! *sequenced* data frames and control frames (heartbeats), which is
+//! exactly what ack/replay delivery needs. Two implementations ship here:
+//!
+//! * [`QueueLink`] — in-process delivery onto a destination
+//!   [`WatermarkQueue`], used by the runtime's co-located links and by
+//!   the chaos harness (CI-testable recovery without sockets).
+//! * [`TcpFrameLink`] — wraps a [`TcpSender`], encoding data frames with
+//!   the [`FLAG_SEQ`](neptune_net::frame::FLAG_SEQ) extension and control
+//!   frames as bodyless [`ControlKind`] frames.
+
+use bytes::Bytes;
+use neptune_compress::SelectiveCompressor;
+use neptune_net::frame::{
+    encode_control_frame, encode_frame_raw_ext, ControlKind, Frame, FrameMessages,
+    FRAME_HEADER_LEN,
+};
+use neptune_net::tcp::TcpSender;
+use neptune_net::transport::TransportError;
+use neptune_net::watermark::WatermarkQueue;
+use std::sync::Arc;
+
+/// One sequenced frame on its way out: everything a link needs to send
+/// it now and a [`crate::replay::ReplayBuffer`] needs to send it again.
+#[derive(Debug, Clone)]
+pub struct OutboundFrame {
+    /// Link identity (routing key for acks).
+    pub link_id: u64,
+    /// Per-link frame sequence number.
+    pub seq: u64,
+    /// Message sequence of the first message.
+    pub base_seq: u64,
+    /// Messages in the batch.
+    pub count: u32,
+    /// Length-prefixed message concatenation.
+    pub encoded: Bytes,
+    /// Sender wall clock at flush, µs (0 = unstamped).
+    pub sent_at_micros: u64,
+}
+
+/// A transport that can carry sequenced data frames and control frames.
+pub trait FrameLink: Send + Sync {
+    /// Deliver one sequenced data frame. Blocks under backpressure.
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<(), TransportError>;
+
+    /// Deliver one control frame (heartbeat probe, explicit ack).
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError>;
+}
+
+/// In-process link: frames land decoded on the destination queue, sharing
+/// the sender's batch buffer (zero-copy, like `InProcessTransport`) but
+/// carrying the frame sequence number for dedup/ack.
+pub struct QueueLink {
+    queue: Arc<WatermarkQueue<Frame>>,
+}
+
+impl QueueLink {
+    /// Wrap a destination queue.
+    pub fn new(queue: Arc<WatermarkQueue<Frame>>) -> Self {
+        QueueLink { queue }
+    }
+
+    /// The destination queue.
+    pub fn queue(&self) -> &Arc<WatermarkQueue<Frame>> {
+        &self.queue
+    }
+}
+
+impl FrameLink for QueueLink {
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<(), TransportError> {
+        let messages = FrameMessages::parse_prefixed(frame.encoded.clone(), Some(frame.count))
+            .map_err(TransportError::Malformed)?;
+        let decoded = Frame {
+            link_id: frame.link_id,
+            base_seq: frame.base_seq,
+            messages,
+            // Wire-equivalent accounting: header + seq ext + tag + body.
+            wire_len: FRAME_HEADER_LEN + 8 + 1 + frame.encoded.len(),
+            sent_at_micros: frame.sent_at_micros,
+            received_at: Some(std::time::Instant::now()),
+            seq: Some(frame.seq),
+            control: None,
+        };
+        self.queue.push_blocking(decoded).map_err(|_| TransportError::Closed)
+    }
+
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError> {
+        let frame = Frame {
+            link_id,
+            base_seq: value,
+            messages: FrameMessages::empty(),
+            wire_len: FRAME_HEADER_LEN + 8,
+            sent_at_micros: 0,
+            received_at: Some(std::time::Instant::now()),
+            seq: None,
+            control: Some(kind),
+        };
+        self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)
+    }
+}
+
+/// TCP link: encodes sequenced frames with the `FLAG_SEQ` extension and
+/// hands them to a [`TcpSender`]'s IO thread.
+pub struct TcpFrameLink {
+    sender: TcpSender,
+    compressor: SelectiveCompressor,
+}
+
+impl TcpFrameLink {
+    /// Wrap a connected sender with the link's compression policy.
+    pub fn new(sender: TcpSender, compressor: SelectiveCompressor) -> Self {
+        TcpFrameLink { sender, compressor }
+    }
+
+    /// The wrapped sender.
+    pub fn sender(&self) -> &TcpSender {
+        &self.sender
+    }
+}
+
+impl FrameLink for TcpFrameLink {
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<(), TransportError> {
+        let wire = encode_frame_raw_ext(
+            frame.link_id,
+            frame.base_seq,
+            frame.count,
+            &frame.encoded,
+            &self.compressor,
+            frame.sent_at_micros,
+            Some(frame.seq),
+        );
+        self.sender.send(wire)
+    }
+
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError> {
+        self.sender.send(encode_control_frame(link_id, kind, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_net::watermark::WatermarkConfig;
+
+    fn prefixed(msgs: &[&[u8]]) -> (Bytes, u32) {
+        let mut out = Vec::new();
+        for m in msgs {
+            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            out.extend_from_slice(m);
+        }
+        (Bytes::from(out), msgs.len() as u32)
+    }
+
+    #[test]
+    fn queue_link_carries_seq_and_control() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let (encoded, count) = prefixed(&[b"a", b"b"]);
+        link.send_frame(&OutboundFrame {
+            link_id: 5,
+            seq: 17,
+            base_seq: 100,
+            count,
+            encoded,
+            sent_at_micros: 0,
+        })
+        .unwrap();
+        link.send_control(5, ControlKind::Heartbeat, 3).unwrap();
+        let f = q.pop().unwrap();
+        assert_eq!(f.seq, Some(17));
+        assert_eq!(f.base_seq, 100);
+        assert_eq!(f.len(), 2);
+        let hb = q.pop().unwrap();
+        assert_eq!(hb.control, Some(ControlKind::Heartbeat));
+        assert_eq!(hb.base_seq, 3);
+        assert!(hb.is_empty());
+    }
+
+    #[test]
+    fn queue_link_surfaces_close_as_error() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        q.close();
+        let (encoded, count) = prefixed(&[b"x"]);
+        let out = link.send_frame(&OutboundFrame {
+            link_id: 1,
+            seq: 0,
+            base_seq: 0,
+            count,
+            encoded,
+            sent_at_micros: 0,
+        });
+        assert_eq!(out, Err(TransportError::Closed));
+        assert_eq!(link.send_control(1, ControlKind::Ack, 0), Err(TransportError::Closed));
+    }
+}

@@ -1,0 +1,148 @@
+//! Recovery counters — the control plane's answer to the data plane's
+//! `JobMetrics`: how often links dropped, how much was replayed, and how
+//! fast failures were detected.
+
+use neptune_telemetry::{HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free recovery counters. One instance per job (or per
+/// harness); every HA component records into it so a single snapshot
+/// tells the whole recovery story.
+#[derive(Default)]
+pub struct RecoveryStats {
+    /// Frames re-sent from a replay buffer after a reconnect.
+    pub retransmits: AtomicU64,
+    /// Wire-equivalent bytes retransmitted.
+    pub retransmitted_bytes: AtomicU64,
+    /// Successful link re-establishments.
+    pub reconnects: AtomicU64,
+    /// Individual connect attempts made while recovering (≥ reconnects).
+    pub reconnect_attempts: AtomicU64,
+    /// Links declared terminally failed after exhausting retries.
+    pub link_failures: AtomicU64,
+    /// Heartbeat probes sent on idle links.
+    pub heartbeats_sent: AtomicU64,
+    /// Cumulative acknowledgements received.
+    pub acks_received: AtomicU64,
+    /// Frames dropped by sink-side dedup (at-least-once duplicates).
+    pub duplicates_dropped: AtomicU64,
+    /// Frames evicted from a full replay buffer (delivery degrades to
+    /// best-effort for the evicted window).
+    pub replay_evictions: AtomicU64,
+    /// Peers transitioned Alive → Suspect.
+    pub suspects: AtomicU64,
+    /// Peers declared dead by the failure detector.
+    pub deaths: AtomicU64,
+    /// Peers that recovered after being suspected or declared dead.
+    pub recoveries: AtomicU64,
+    /// Time from the last expected heartbeat to the dead declaration, µs.
+    pub detection_latency: LatencyHistogram,
+}
+
+impl RecoveryStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one to a counter (convenience for hook closures).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            retransmitted_bytes: self.retransmitted_bytes.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
+            link_failures: self.link_failures.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            acks_received: self.acks_received.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            replay_evictions: self.replay_evictions.load(Ordering::Relaxed),
+            suspects: self.suspects.load(Ordering::Relaxed),
+            deaths: self.deaths.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            detection_latency: self.detection_latency.snapshot(),
+        }
+    }
+}
+
+/// Plain-value copy of [`RecoveryStats`] for export and assertions.
+#[derive(Debug, Clone)]
+pub struct RecoverySnapshot {
+    /// See [`RecoveryStats::retransmits`].
+    pub retransmits: u64,
+    /// See [`RecoveryStats::retransmitted_bytes`].
+    pub retransmitted_bytes: u64,
+    /// See [`RecoveryStats::reconnects`].
+    pub reconnects: u64,
+    /// See [`RecoveryStats::reconnect_attempts`].
+    pub reconnect_attempts: u64,
+    /// See [`RecoveryStats::link_failures`].
+    pub link_failures: u64,
+    /// See [`RecoveryStats::heartbeats_sent`].
+    pub heartbeats_sent: u64,
+    /// See [`RecoveryStats::acks_received`].
+    pub acks_received: u64,
+    /// See [`RecoveryStats::duplicates_dropped`].
+    pub duplicates_dropped: u64,
+    /// See [`RecoveryStats::replay_evictions`].
+    pub replay_evictions: u64,
+    /// See [`RecoveryStats::suspects`].
+    pub suspects: u64,
+    /// See [`RecoveryStats::deaths`].
+    pub deaths: u64,
+    /// See [`RecoveryStats::recoveries`].
+    pub recoveries: u64,
+    /// Detection-latency distribution, µs.
+    pub detection_latency: HistogramSnapshot,
+}
+
+impl RecoverySnapshot {
+    /// Human-readable multi-line rendering.
+    pub fn render_pretty(&self) -> String {
+        let d = &self.detection_latency;
+        format!(
+            "recovery: retransmits={} ({} B) reconnects={}/{} attempts link_failures={}\n\
+             heartbeats={} acks={} dup_dropped={} evictions={} suspects={} deaths={} recoveries={}\n\
+             detection latency µs: n={} p50={} p99={} max={}",
+            self.retransmits,
+            self.retransmitted_bytes,
+            self.reconnects,
+            self.reconnect_attempts,
+            self.link_failures,
+            self.heartbeats_sent,
+            self.acks_received,
+            self.duplicates_dropped,
+            self.replay_evictions,
+            self.suspects,
+            self.deaths,
+            self.recoveries,
+            d.count(),
+            d.p50(),
+            d.p99(),
+            d.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = RecoveryStats::new();
+        s.retransmits.fetch_add(3, Ordering::Relaxed);
+        s.reconnects.fetch_add(1, Ordering::Relaxed);
+        s.detection_latency.record(1500);
+        let snap = s.snapshot();
+        assert_eq!(snap.retransmits, 3);
+        assert_eq!(snap.reconnects, 1);
+        assert_eq!(snap.detection_latency.count(), 1);
+        assert!(snap.render_pretty().contains("retransmits=3"));
+    }
+}

@@ -20,6 +20,9 @@
 //!   engine.
 //! * [`sim`](neptune_sim) — the 50-node cluster simulator behind the
 //!   paper's cluster-scale figures.
+//! * [`ha`](neptune_ha) — the fault-tolerance subsystem: sequenced
+//!   ack/replay delivery, reconnecting links, heartbeat failure
+//!   detection, and the deterministic chaos harness.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
 //! for the per-figure experiment harness.
@@ -28,6 +31,7 @@ pub use neptune_compress as compress;
 pub use neptune_core as core;
 pub use neptune_data as data;
 pub use neptune_granules as granules;
+pub use neptune_ha as ha;
 pub use neptune_net as net;
 pub use neptune_sim as sim;
 pub use neptune_stats as stats;

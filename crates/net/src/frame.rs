@@ -25,15 +25,31 @@
 //! — *"our proposed solution should not result in dropped or corrupted
 //! stream packets"* — is checked, not assumed.
 //!
-//! ## Telemetry extension
+//! ## Header extensions
 //!
-//! Bit 0 of the (previously reserved) flags byte marks an 8-byte
-//! *sent-at* extension between the fixed header and the body: the
-//! sender's wall clock in µs at flush time. The receive side uses it to
-//! measure flush→receive transport latency (ISSUE 2); it is not covered
-//! by the CRC (a stamp corrupted in transit skews one telemetry sample,
-//! never the data path), and frames without the flag decode exactly as
-//! before, so the formats interoperate.
+//! The low four bits of the (previously reserved) flags byte each mark an
+//! 8-byte extension word between the fixed header and the body, laid out
+//! in ascending bit order. Because every extension bit contributes a fixed
+//! 8 bytes, a decoder can compute the body offset from the flags mask
+//! alone — extension bits it does not understand are *skipped*, not
+//! misparsed, which is what keeps old and new senders interoperable.
+//!
+//! * Bit 0 ([`FLAG_SENT_AT`]): sender wall clock in µs at flush time. The
+//!   receive side uses it to measure flush→receive transport latency
+//!   (ISSUE 2); it is not covered by the CRC (a stamp corrupted in
+//!   transit skews one telemetry sample, never the data path).
+//! * Bit 1 ([`FLAG_SEQ`]): monotonically increasing per-link *frame*
+//!   sequence number assigned by the HA layer (ISSUE 3). Receivers ack
+//!   cumulatively against it and senders replay unacked frames on
+//!   reconnect — at-least-once delivery across link failures.
+//! * Bit 2 ([`FLAG_CONTROL`]): the frame is a control frame (heartbeat or
+//!   cumulative ack), not data. The extension word carries the
+//!   [`ControlKind`]; the control *value* (ack watermark, heartbeat
+//!   nonce) rides in the `base_seq` header field and the body is empty.
+//! * Bit 3: reserved. Decoders skip its word.
+//!
+//! Frames with no extension bits decode exactly as before, so the
+//! formats interoperate in both directions.
 
 use crate::pool::BytesPool;
 use bytes::Bytes;
@@ -48,6 +64,16 @@ pub const MAGIC: u32 = 0x5450_454E;
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4 + 4 + 4;
 /// Flags bit 0: an 8-byte sent-at (µs) extension follows the header.
 pub const FLAG_SENT_AT: u8 = 0b0000_0001;
+/// Flags bit 1: an 8-byte per-link frame sequence number extension
+/// follows the header (HA ack/replay delivery).
+pub const FLAG_SEQ: u8 = 0b0000_0010;
+/// Flags bit 2: this is a control frame (heartbeat/ack); an 8-byte
+/// [`ControlKind`] word follows the header and the body is empty.
+pub const FLAG_CONTROL: u8 = 0b0000_0100;
+/// Every flag bit in this mask contributes one 8-byte extension word, in
+/// ascending bit order. Decoders size the extension area from the mask so
+/// reserved bits are skipped, never misparsed into the body.
+pub const EXT_FLAG_MASK: u8 = 0b0000_1111;
 /// Cap on the body length accepted by the decoder (a corrupted length field
 /// must not trigger a huge allocation).
 pub const MAX_BODY_LEN: usize = 64 << 20;
@@ -224,6 +250,40 @@ impl FromIterator<Vec<u8>> for FrameMessages {
     }
 }
 
+/// What a control frame ([`FLAG_CONTROL`]) carries. The kind lives in the
+/// 8-byte control extension word; the associated value rides in the
+/// `base_seq` header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Link liveness probe. Value: an opaque, monotonically increasing
+    /// nonce; the receiver answers with an [`ControlKind::Ack`] carrying
+    /// its cumulative delivery watermark.
+    Heartbeat,
+    /// Cumulative acknowledgement. Value: the next *message* sequence the
+    /// receiver expects on this link — everything below it may be trimmed
+    /// from the sender's replay buffer.
+    Ack,
+}
+
+impl ControlKind {
+    /// Wire encoding of the kind (the low bits of the control word).
+    pub fn word(self) -> u64 {
+        match self {
+            ControlKind::Heartbeat => 1,
+            ControlKind::Ack => 2,
+        }
+    }
+
+    /// Decode a control word; `None` for kinds this build does not know.
+    pub fn from_word(w: u64) -> Option<Self> {
+        match w {
+            1 => Some(ControlKind::Heartbeat),
+            2 => Some(ControlKind::Ack),
+            _ => None,
+        }
+    }
+}
+
 /// A decoded frame.
 #[derive(Debug, Clone)]
 pub struct Frame {
@@ -242,6 +302,13 @@ pub struct Frame {
     /// transports on delivery, never carried on the wire; the receiving
     /// task's schedule delay is measured against it.
     pub received_at: Option<Instant>,
+    /// Per-link frame sequence number carried via the [`FLAG_SEQ`] wire
+    /// extension; `None` when the sender is not running the HA layer.
+    pub seq: Option<u64>,
+    /// Set when this is a control frame ([`FLAG_CONTROL`]); the control
+    /// value (ack watermark / heartbeat nonce) is in `base_seq` and
+    /// `messages` is empty.
+    pub control: Option<ControlKind>,
 }
 
 /// Equality compares wire content only — the telemetry stamps
@@ -253,6 +320,8 @@ impl PartialEq for Frame {
             && self.base_seq == other.base_seq
             && self.messages == other.messages
             && self.wire_len == other.wire_len
+            && self.seq == other.seq
+            && self.control == other.control
     }
 }
 
@@ -386,12 +455,36 @@ pub fn encode_frame_raw_at(
     compressor: &SelectiveCompressor,
     sent_at_micros: u64,
 ) -> Vec<u8> {
+    encode_frame_raw_ext(link_id, base_seq, count, raw, compressor, sent_at_micros, None)
+}
+
+/// [`encode_frame_raw_at`] plus an optional per-link frame sequence
+/// number. `Some(seq)` sets [`FLAG_SEQ`] and appends the 8-byte extension
+/// (after the sent-at word, in bit order) — the HA layer's ack/replay
+/// identity for the frame. `None` with a zero stamp produces the exact
+/// legacy layout.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_frame_raw_ext(
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    raw: &[u8],
+    compressor: &SelectiveCompressor,
+    sent_at_micros: u64,
+    frame_seq: Option<u64>,
+) -> Vec<u8> {
     let framed = compressor.encode(raw);
     let body = framed.payload;
-    let ext = if sent_at_micros != 0 { 8 } else { 0 };
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ext + body.len());
+    let mut flags = 0u8;
+    if sent_at_micros != 0 {
+        flags |= FLAG_SENT_AT;
+    }
+    if frame_seq.is_some() {
+        flags |= FLAG_SEQ;
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ext_len(flags) + body.len());
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(if sent_at_micros != 0 { FLAG_SENT_AT } else { 0 });
+    out.push(flags);
     out.extend_from_slice(&link_id.to_le_bytes());
     out.extend_from_slice(&base_seq.to_le_bytes());
     out.extend_from_slice(&count.to_le_bytes());
@@ -400,7 +493,26 @@ pub fn encode_frame_raw_at(
     if sent_at_micros != 0 {
         out.extend_from_slice(&sent_at_micros.to_le_bytes());
     }
+    if let Some(seq) = frame_seq {
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
     out.extend_from_slice(&body);
+    out
+}
+
+/// Encode a bodyless control frame (heartbeat or cumulative ack). `value`
+/// rides in the `base_seq` header field: the ack watermark for
+/// [`ControlKind::Ack`], a liveness nonce for [`ControlKind::Heartbeat`].
+pub fn encode_control_frame(link_id: u64, kind: ControlKind, value: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 8);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(FLAG_CONTROL);
+    out.extend_from_slice(&link_id.to_le_bytes());
+    out.extend_from_slice(&value.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // count
+    out.extend_from_slice(&0u32.to_le_bytes()); // body_len
+    out.extend_from_slice(&crc32(b"").to_le_bytes());
+    out.extend_from_slice(&kind.word().to_le_bytes());
     out
 }
 
@@ -423,13 +535,60 @@ fn parse_header(
     Ok((flags, link_id, base_seq, count, body_len, crc))
 }
 
-/// Byte length of the header extensions selected by `flags`.
+/// Byte length of the header extensions selected by `flags`: every set
+/// bit in [`EXT_FLAG_MASK`] contributes a fixed 8-byte word, so decoders
+/// can skip extensions they do not understand.
 #[inline]
 fn ext_len(flags: u8) -> usize {
-    if flags & FLAG_SENT_AT != 0 {
-        8
-    } else {
-        0
+    (flags & EXT_FLAG_MASK).count_ones() as usize * 8
+}
+
+/// Extension words decoded from the area between header and body.
+#[derive(Debug, Default, Clone, Copy)]
+struct Extensions {
+    sent_at_micros: u64,
+    seq: Option<u64>,
+    control_word: Option<u64>,
+}
+
+/// Walk the extension area in ascending bit order, capturing the words
+/// this build understands and skipping the rest. `ext` must be exactly
+/// `ext_len(flags)` bytes.
+fn parse_extensions(flags: u8, ext: &[u8]) -> Extensions {
+    debug_assert_eq!(ext.len(), ext_len(flags));
+    let mut out = Extensions::default();
+    let mut off = 0usize;
+    for bit in 0..u8::BITS as u8 {
+        let flag = 1u8 << bit;
+        if flag & EXT_FLAG_MASK == 0 || flags & flag == 0 {
+            continue;
+        }
+        let word = u64::from_le_bytes(ext[off..off + 8].try_into().expect("slice len"));
+        off += 8;
+        match flag {
+            FLAG_SENT_AT => out.sent_at_micros = word,
+            FLAG_SEQ => out.seq = Some(word),
+            FLAG_CONTROL => out.control_word = Some(word),
+            _ => {} // reserved extension: skipped, not rejected
+        }
+    }
+    out
+}
+
+/// Interpret a parsed control word, validating the control-frame shape
+/// (empty body). Returns `Ok(None)` for data frames.
+fn decode_control(exts: &Extensions, body_len: usize) -> Result<Option<ControlKind>, FrameError> {
+    let Some(word) = exts.control_word else {
+        return Ok(None);
+    };
+    if body_len != 0 {
+        return Err(FrameError::MalformedBody(format!(
+            "control frame carries a {body_len}-byte body"
+        )));
+    }
+    match ControlKind::from_word(word) {
+        Some(kind) => Ok(Some(kind)),
+        None => Err(FrameError::MalformedBody(format!("unknown control kind {word}"))),
     }
 }
 
@@ -444,7 +603,7 @@ fn decode_body(
     count: u32,
     body: Bytes,
     wire_len: usize,
-    sent_at_micros: u64,
+    exts: Extensions,
     pool: Option<&BytesPool>,
 ) -> Result<Frame, FrameError> {
     let Some(&tag) = body.first() else {
@@ -474,7 +633,36 @@ fn decode_body(
     };
     let messages =
         FrameMessages::parse_prefixed(raw, Some(count)).map_err(FrameError::MalformedBody)?;
-    Ok(Frame { link_id, base_seq, messages, wire_len, sent_at_micros, received_at: None })
+    Ok(Frame {
+        link_id,
+        base_seq,
+        messages,
+        wire_len,
+        sent_at_micros: exts.sent_at_micros,
+        received_at: None,
+        seq: exts.seq,
+        control: None,
+    })
+}
+
+/// Assemble a bodyless control frame from its parsed pieces.
+fn control_frame(
+    link_id: u64,
+    value: u64,
+    wire_len: usize,
+    exts: Extensions,
+    kind: ControlKind,
+) -> Frame {
+    Frame {
+        link_id,
+        base_seq: value,
+        messages: FrameMessages::empty(),
+        wire_len,
+        sent_at_micros: exts.sent_at_micros,
+        received_at: None,
+        seq: exts.seq,
+        control: Some(kind),
+    }
 }
 
 /// Decode one frame from a byte slice; returns the frame and the number of
@@ -492,20 +680,17 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     if buf.len() < total {
         return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
     }
-    let sent_at = if ext > 0 {
-        u64::from_le_bytes(
-            buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].try_into().expect("slice len"),
-        )
-    } else {
-        0
-    };
+    let exts = parse_extensions(flags, &buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + ext]);
     let body = &buf[FRAME_HEADER_LEN + ext..total];
     let actual = crc32(body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
+    if let Some(kind) = decode_control(&exts, body_len)? {
+        return Ok((control_frame(link_id, base_seq, total, exts, kind), total));
+    }
     let frame =
-        decode_body(link_id, base_seq, count, Bytes::copy_from_slice(body), total, sent_at, None)?;
+        decode_body(link_id, base_seq, count, Bytes::copy_from_slice(body), total, exts, None)?;
     Ok((frame, total))
 }
 
@@ -526,19 +711,16 @@ pub fn decode_frame_shared(
     if buf.len() < total {
         return Err(FrameError::Io(format!("buffer holds {} of {total} frame bytes", buf.len())));
     }
-    let sent_at = if ext > 0 {
-        u64::from_le_bytes(
-            buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].try_into().expect("slice len"),
-        )
-    } else {
-        0
-    };
+    let exts = parse_extensions(flags, &buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + ext]);
     let body = buf.slice(FRAME_HEADER_LEN + ext..total);
     let actual = crc32(&body);
     if actual != crc {
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
-    let frame = decode_body(link_id, base_seq, count, body, total, sent_at, pool)?;
+    if let Some(kind) = decode_control(&exts, body_len)? {
+        return Ok((control_frame(link_id, base_seq, total, exts, kind), total));
+    }
+    let frame = decode_body(link_id, base_seq, count, body, total, exts, pool)?;
     Ok((frame, total))
 }
 
@@ -560,13 +742,10 @@ fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame
     let mut header = [0u8; FRAME_HEADER_LEN];
     r.read_exact(&mut header)?;
     let (flags, link_id, base_seq, count, body_len, crc) = parse_header(&header)?;
-    let sent_at = if flags & FLAG_SENT_AT != 0 {
-        let mut stamp = [0u8; 8];
-        r.read_exact(&mut stamp)?;
-        u64::from_le_bytes(stamp)
-    } else {
-        0
-    };
+    let mut ext = [0u8; 8 * (EXT_FLAG_MASK.count_ones() as usize)];
+    let ext = &mut ext[..ext_len(flags)];
+    r.read_exact(ext)?;
+    let exts = parse_extensions(flags, ext);
     let body = match pool {
         Some(p) => {
             let mut buf = p.checkout(body_len);
@@ -585,7 +764,10 @@ fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame
         return Err(FrameError::CrcMismatch { expected: crc, actual });
     }
     let wire_len = FRAME_HEADER_LEN + ext_len(flags) + body_len;
-    decode_body(link_id, base_seq, count, body, wire_len, sent_at, pool)
+    if let Some(kind) = decode_control(&exts, body_len)? {
+        return Ok(control_frame(link_id, base_seq, wire_len, exts, kind));
+    }
+    decode_body(link_id, base_seq, count, body, wire_len, exts, pool)
 }
 
 #[cfg(test)]
@@ -831,6 +1013,128 @@ mod tests {
         b.sent_at_micros = 12345;
         b.received_at = Some(Instant::now());
         assert_eq!(a, b);
+    }
+
+    fn prefixed(msgs: &[Vec<u8>]) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for m in msgs {
+            raw.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            raw.extend_from_slice(m);
+        }
+        raw
+    }
+
+    #[test]
+    fn seq_extension_roundtrips_on_every_decode_path() {
+        let msgs = vec![b"sequenced".to_vec()];
+        let raw = prefixed(&msgs);
+        let wire = encode_frame_raw_ext(7, 100, 1, &raw, &raw_policy(), 0, Some(4242));
+        assert_eq!(wire[4], FLAG_SEQ);
+
+        let (f, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(f.seq, Some(4242));
+        assert_eq!(f.sent_at_micros, 0);
+        assert_eq!(f.messages, msgs);
+        assert!(f.control.is_none());
+
+        let shared = Bytes::from(wire.clone());
+        let (f2, _) = decode_frame_shared(&shared, None).unwrap();
+        assert_eq!(f2.seq, Some(4242));
+
+        let mut cursor = std::io::Cursor::new(&wire);
+        let f3 = read_frame(&mut cursor).unwrap();
+        assert_eq!(f3.seq, Some(4242));
+        assert_eq!(f3.messages, msgs);
+    }
+
+    #[test]
+    fn sent_at_and_seq_extensions_compose() {
+        let msgs = vec![b"both".to_vec(), b"exts".to_vec()];
+        let raw = prefixed(&msgs);
+        let stamp = 1_722_000_000_000_777u64;
+        let wire = encode_frame_raw_ext(1, 9, 2, &raw, &raw_policy(), stamp, Some(55));
+        assert_eq!(wire[4], FLAG_SENT_AT | FLAG_SEQ);
+        assert_eq!(wire.len(), encode_frame(1, 9, &msgs, &raw_policy()).len() + 16);
+        let (f, _) = decode_frame(&wire).unwrap();
+        assert_eq!(f.sent_at_micros, stamp);
+        assert_eq!(f.seq, Some(55));
+        assert_eq!(f.messages, msgs);
+    }
+
+    #[test]
+    fn no_extensions_produces_legacy_layout() {
+        let msgs = vec![b"legacy".to_vec()];
+        let raw = prefixed(&msgs);
+        let wire = encode_frame_raw_ext(1, 0, 1, &raw, &raw_policy(), 0, None);
+        assert_eq!(wire, encode_frame(1, 0, &msgs, &raw_policy()));
+        let (f, _) = decode_frame(&wire).unwrap();
+        assert_eq!(f.seq, None);
+        assert!(f.control.is_none());
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for (kind, value) in [(ControlKind::Heartbeat, 3u64), (ControlKind::Ack, 1_000_000u64)] {
+            let wire = encode_control_frame(12, kind, value);
+            let (f, used) = decode_frame(&wire).unwrap();
+            assert_eq!(used, wire.len());
+            assert_eq!(f.control, Some(kind));
+            assert_eq!(f.link_id, 12);
+            assert_eq!(f.base_seq, value, "control value rides in base_seq");
+            assert!(f.is_empty());
+
+            let shared = Bytes::from(wire.clone());
+            let (f2, _) = decode_frame_shared(&shared, None).unwrap();
+            assert_eq!(f2.control, Some(kind));
+
+            let mut cursor = std::io::Cursor::new(&wire);
+            let f3 = read_frame(&mut cursor).unwrap();
+            assert_eq!(f3.control, Some(kind));
+            assert_eq!(f3.base_seq, value);
+        }
+    }
+
+    #[test]
+    fn unknown_extension_bit_is_skipped_not_misparsed() {
+        // Forge a frame with reserved bit 3 set: an 8-byte word this build
+        // does not understand sits between the header and the body. The
+        // decoder must size the extension area from the flags mask and
+        // still find the body.
+        let msgs = vec![b"future".to_vec(), b"proof".to_vec()];
+        let raw = prefixed(&msgs);
+        let legacy = encode_frame_raw_ext(3, 20, 2, &raw, &raw_policy(), 0, Some(9));
+        let mut wire = Vec::with_capacity(legacy.len() + 8);
+        wire.extend_from_slice(&legacy[..FRAME_HEADER_LEN]);
+        wire[4] |= 0b0000_1000; // reserved extension bit
+        wire.extend_from_slice(&legacy[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8]); // seq word
+        wire.extend_from_slice(&0xDEAD_BEEF_u64.to_le_bytes()); // unknown word
+        wire.extend_from_slice(&legacy[FRAME_HEADER_LEN + 8..]); // body
+        let (f, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(f.seq, Some(9));
+        assert_eq!(f.messages, msgs);
+        let mut cursor = std::io::Cursor::new(&wire);
+        let f2 = read_frame(&mut cursor).unwrap();
+        assert_eq!(f2.messages, msgs);
+    }
+
+    #[test]
+    fn malformed_control_frames_rejected() {
+        // Unknown control kind.
+        let mut wire = encode_control_frame(1, ControlKind::Ack, 5);
+        wire[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(matches!(decode_frame(&wire), Err(FrameError::MalformedBody(_))));
+        // Control frame with a body.
+        let msgs = vec![b"x".to_vec()];
+        let raw = prefixed(&msgs);
+        let mut with_body = encode_frame_raw_ext(1, 0, 1, &raw, &raw_policy(), 0, None);
+        with_body[4] |= FLAG_CONTROL;
+        with_body.splice(
+            FRAME_HEADER_LEN..FRAME_HEADER_LEN,
+            ControlKind::Heartbeat.word().to_le_bytes(),
+        );
+        assert!(matches!(decode_frame(&with_body), Err(FrameError::MalformedBody(_))));
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub mod watermark;
 
 pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
 pub use frame::{
-    crc32, decode_frame, decode_frame_shared, encode_frame, encode_frame_raw, read_frame,
-    read_frame_pooled, Frame, FrameError, FrameMessages, FRAME_HEADER_LEN,
+    crc32, decode_frame, decode_frame_shared, encode_control_frame, encode_frame, encode_frame_raw,
+    encode_frame_raw_ext, read_frame, read_frame_pooled, ControlKind, Frame, FrameError,
+    FrameMessages, FLAG_CONTROL, FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
 };
 pub use pool::{BytesPool, BytesPoolStats};
 pub use tcp::{TcpReceiver, TcpSender};

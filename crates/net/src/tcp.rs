@@ -18,8 +18,22 @@
 //!   socket, so the TCP window closes and flow control propagates to the
 //!   sender — §III-B4's *"backpressure model that leverages the TCP flow
 //!   control"*.
+//!
+//! # Ack backchannel
+//!
+//! TCP links are full duplex, and the fault-tolerance layer uses the
+//! reverse direction: when a reader decodes a data frame carrying the
+//! [`FLAG_SEQ`](crate::frame::FLAG_SEQ) extension, it writes a cumulative
+//! [`ControlKind::Ack`] control frame back on the same socket after the
+//! frame lands on the inbound queue. Heartbeat control frames are answered
+//! the same way (and never surface on the data queue), so an idle link
+//! still proves liveness end to end. A sender built with
+//! [`TcpSender::connect_with_acks`] runs a second IO thread that parses
+//! that backchannel and hands `(link_id, cumulative_seq)` to a callback —
+//! the hook `neptune-ha`'s replay buffer trims from. Legacy frames without
+//! the extension elicit no acks, so pre-existing peers are unaffected.
 
-use crate::frame::{read_frame, read_frame_pooled, Frame};
+use crate::frame::{encode_control_frame, read_frame, read_frame_pooled, ControlKind, Frame};
 use crate::pool::BytesPool;
 use crate::transport::TransportError;
 use crate::watermark::{WatermarkConfig, WatermarkQueue};
@@ -31,13 +45,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Hook run by reader threads after each data frame lands on the inbound
+/// queue; shared between the acceptor and every reader, installable after
+/// bind (hence the `RwLock<Option<..>>` indirection).
+type DeliverHook = Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
 /// Outbound side of a TCP link: a bounded queue drained by one writer
 /// IO thread.
 pub struct TcpSender {
     tx: Option<ChannelSender<Vec<u8>>>,
     writer: Option<JoinHandle<()>>,
+    ack_reader: Option<JoinHandle<()>>,
+    /// Clone of the socket held to unblock the ack reader on shutdown.
+    ack_stream: Option<TcpStream>,
     frames: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
+    acks: Arc<AtomicU64>,
     peer: SocketAddr,
 }
 
@@ -46,6 +69,28 @@ impl TcpSender {
     /// in-flight frames between worker and IO thread (the shared bounded
     /// buffer of the two-tier model).
     pub fn connect(addr: impl ToSocketAddrs, queue_depth: usize) -> std::io::Result<Self> {
+        Self::connect_inner(addr, queue_depth, None)
+    }
+
+    /// Like [`connect`](Self::connect), but also spawns an ack-reader IO
+    /// thread that parses the receiver's backchannel and invokes `on_ack`
+    /// with `(link_id, cumulative_next_expected_seq)` for every
+    /// [`ControlKind::Ack`] frame. Use this for supervised links that
+    /// retain unacked frames for replay.
+    pub fn connect_with_acks(
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+        on_ack: impl Fn(u64, u64) + Send + 'static,
+    ) -> std::io::Result<Self> {
+        Self::connect_inner(addr, queue_depth, Some(Box::new(on_ack)))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+        on_ack: Option<Box<dyn Fn(u64, u64) + Send>>,
+    ) -> std::io::Result<Self> {
         assert!(queue_depth > 0, "sender queue depth must be positive");
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -53,6 +98,31 @@ impl TcpSender {
         let (tx, rx) = bounded::<Vec<u8>>(queue_depth);
         let frames = Arc::new(AtomicU64::new(0));
         let bytes = Arc::new(AtomicU64::new(0));
+        let acks = Arc::new(AtomicU64::new(0));
+
+        let (ack_reader, ack_stream) = match on_ack {
+            Some(cb) => {
+                let mut back = stream.try_clone()?;
+                let keep = back.try_clone()?;
+                let ack_count = acks.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("neptune-io-ack-{peer}"))
+                    .spawn(move || loop {
+                        match read_frame(&mut back) {
+                            Ok(f) if f.control == Some(ControlKind::Ack) => {
+                                ack_count.fetch_add(1, Ordering::Relaxed);
+                                cb(f.link_id, f.base_seq);
+                            }
+                            Ok(_) => continue, // tolerate unknown chatter
+                            Err(_) => return,  // peer closed or shutdown
+                        }
+                    })
+                    .expect("spawn tcp ack reader thread");
+                (Some(handle), Some(keep))
+            }
+            None => (None, None),
+        };
+
         let (tf, tb) = (frames.clone(), bytes.clone());
         let writer = std::thread::Builder::new()
             .name(format!("neptune-io-tx-{peer}"))
@@ -69,7 +139,16 @@ impl TcpSender {
                 let _ = stream.flush();
             })
             .expect("spawn tcp writer thread");
-        Ok(TcpSender { tx: Some(tx), writer: Some(writer), frames, bytes, peer })
+        Ok(TcpSender {
+            tx: Some(tx),
+            writer: Some(writer),
+            ack_reader,
+            ack_stream,
+            frames,
+            bytes,
+            acks,
+            peer,
+        })
     }
 
     /// Queue one encoded wire frame. Blocks when the bounded IO queue is
@@ -91,6 +170,12 @@ impl TcpSender {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Ack control frames received on the backchannel (always 0 unless
+    /// built with [`connect_with_acks`](Self::connect_with_acks)).
+    pub fn acks_received(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
     /// Remote address.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
@@ -105,6 +190,13 @@ impl TcpSender {
         self.tx.take(); // disconnect the channel; writer drains then exits
         if let Some(w) = self.writer.take() {
             let _ = w.join();
+        }
+        // Unblock the ack reader parked in read_frame, then join it.
+        if let Some(s) = self.ack_stream.take() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(a) = self.ack_reader.take() {
+            let _ = a.join();
         }
     }
 }
@@ -127,7 +219,7 @@ pub struct TcpReceiver {
     /// threads that are parked in `read_frame` on a still-open connection.
     accepted: Arc<Mutex<Vec<TcpStream>>>,
     decode_errors: Arc<AtomicU64>,
-    on_deliver: Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>,
+    on_deliver: DeliverHook,
 }
 
 impl TcpReceiver {
@@ -164,8 +256,7 @@ impl TcpReceiver {
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let decode_errors = Arc::new(AtomicU64::new(0));
-        let on_deliver: Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>> =
-            Arc::new(RwLock::new(None));
+        let on_deliver: DeliverHook = Arc::new(RwLock::new(None));
 
         let acceptor = {
             let queue = queue.clone();
@@ -282,9 +373,13 @@ fn reader_loop(
     queue: Arc<WatermarkQueue<Frame>>,
     shutdown: Arc<AtomicBool>,
     decode_errors: Arc<AtomicU64>,
-    on_deliver: Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>,
+    on_deliver: DeliverHook,
     pool: Option<Arc<BytesPool>>,
 ) {
+    // Cumulative next-expected message seq for this connection's acked
+    // (FLAG_SEQ-carrying) traffic. Ack replies are best-effort: a failed
+    // write means the peer is gone and the next read surfaces it.
+    let mut next_expected: Option<u64> = None;
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
@@ -295,6 +390,26 @@ fn reader_loop(
         };
         match read {
             Ok(mut frame) => {
+                if let Some(kind) = frame.control {
+                    // Control frames never surface on the data queue. A
+                    // heartbeat is answered with the current cumulative ack
+                    // so an idle link proves liveness end to end.
+                    if kind == ControlKind::Heartbeat {
+                        let ack = next_expected.unwrap_or(0);
+                        let _ = (&stream).write_all(&encode_control_frame(
+                            frame.link_id,
+                            ControlKind::Ack,
+                            ack,
+                        ));
+                    }
+                    continue;
+                }
+                let ack_after = frame.seq.is_some().then(|| {
+                    let end = frame.base_seq + frame.len() as u64;
+                    let next = next_expected.map_or(end, |n| n.max(end));
+                    next_expected = Some(next);
+                    (frame.link_id, next)
+                });
                 // Arrival stamp: schedule delay is measured from the moment
                 // the frame lands on the queue, not from socket read start.
                 frame.received_at = Some(std::time::Instant::now());
@@ -302,6 +417,12 @@ fn reader_loop(
                 // stops this thread from draining the socket.
                 if queue.push_blocking(frame).is_err() {
                     return; // queue closed
+                }
+                // Ack only after the frame is safely on the inbound queue —
+                // a replayed duplicate just re-acks the same watermark.
+                if let Some((link_id, next)) = ack_after {
+                    let _ =
+                        (&stream).write_all(&encode_control_frame(link_id, ControlKind::Ack, next));
                 }
                 let hook = on_deliver.read().clone();
                 if let Some(hook) = hook {
@@ -528,6 +649,80 @@ mod tests {
         assert!(stats.hits >= 40, "steady-state receive path must reuse body buffers: {stats:?}");
         tx.close();
         rx.shutdown();
+    }
+
+    #[test]
+    fn seq_frames_elicit_cumulative_acks() {
+        let rx = localhost_receiver(1 << 20, 1 << 10);
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let sink = acks.clone();
+        let tx = TcpSender::connect_with_acks(rx.local_addr(), 16, move |link, cum| {
+            sink.lock().push((link, cum));
+        })
+        .unwrap();
+        let raw = SelectiveCompressor::disabled();
+        // Two messages then one, length-prefixed, with the seq extension.
+        let mut batch = Vec::new();
+        for m in [b"a".as_slice(), b"b".as_slice()] {
+            batch.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            batch.extend_from_slice(m);
+        }
+        tx.send(crate::frame::encode_frame_raw_ext(9, 0, 2, &batch, &raw, 0, Some(0))).unwrap();
+        let mut one = (1u32).to_le_bytes().to_vec();
+        one.push(b'c');
+        tx.send(crate::frame::encode_frame_raw_ext(9, 2, 1, &one, &raw, 0, Some(1))).unwrap();
+        let q = rx.queue();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(0));
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(1));
+        let t0 = std::time::Instant::now();
+        while tx.acks_received() < 2 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(*acks.lock(), vec![(9, 2), (9, 3)], "cumulative next-expected seqs");
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_are_acked_and_bypass_the_data_queue() {
+        let rx = localhost_receiver(1 << 20, 1 << 10);
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let sink = acks.clone();
+        let tx = TcpSender::connect_with_acks(rx.local_addr(), 4, move |link, cum| {
+            sink.lock().push((link, cum));
+        })
+        .unwrap();
+        tx.send(encode_control_frame(4, ControlKind::Heartbeat, 0)).unwrap();
+        let t0 = std::time::Instant::now();
+        while tx.acks_received() < 1 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(*acks.lock(), vec![(4, 0)], "idle link acks at watermark 0");
+        assert!(
+            rx.queue().pop_timeout(Duration::from_millis(50)).is_none(),
+            "control frames must not surface as data"
+        );
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_readers_promptly() {
+        let rx = localhost_receiver(1 << 20, 1 << 10);
+        // Two live connections whose readers are parked in read_frame.
+        let tx1 = TcpSender::connect(rx.local_addr(), 4).unwrap();
+        let tx2 = TcpSender::connect_with_acks(rx.local_addr(), 4, |_, _| {}).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let readers park
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            rx.shutdown();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("receiver shutdown must not hang on blocked readers");
+        tx1.close();
+        tx2.close();
     }
 
     #[test]

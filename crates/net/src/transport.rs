@@ -129,6 +129,8 @@ impl BatchSink for InProcessTransport {
             wire_len,
             sent_at_micros,
             received_at: Some(std::time::Instant::now()),
+            seq: None,
+            control: None,
         };
         self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)?;
         self.frames.fetch_add(1, Ordering::Relaxed);

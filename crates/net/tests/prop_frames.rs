@@ -1,0 +1,136 @@
+//! Property-based tests for the frame header-extension scheme.
+//!
+//! Invariants:
+//! * A frame carrying any combination of the [`FLAG_SENT_AT`] and
+//!   [`FLAG_SEQ`] extensions round-trips through every decode path
+//!   (slice, shared-buffer, and stream reader) with the extension values
+//!   and messages intact.
+//! * Setting no extensions produces the exact legacy wire layout.
+//! * A decoder presented with a *reserved* extension bit it does not
+//!   understand skips the unknown word and still decodes the known
+//!   extensions and the body — old and new builds interoperate.
+
+use bytes::Bytes;
+use neptune_compress::SelectiveCompressor;
+use neptune_net::frame::{
+    decode_frame, decode_frame_shared, encode_frame, encode_frame_raw_ext, read_frame,
+    FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
+};
+use proptest::prelude::*;
+
+fn prefixed(msgs: &[Vec<u8>]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    for m in msgs {
+        raw.extend_from_slice(&(m.len() as u32).to_le_bytes());
+        raw.extend_from_slice(m);
+    }
+    raw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_extension_combination_roundtrips_every_decode_path(
+        link_id in any::<u64>(),
+        base_seq in any::<u64>(),
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..80), 0..12),
+        with_stamp in any::<bool>(),
+        stamp in 1u64..u64::MAX,
+        with_seq in any::<bool>(),
+        frame_seq in any::<u64>(),
+    ) {
+        let raw = prefixed(&messages);
+        let sent_at = if with_stamp { stamp } else { 0 };
+        let seq = if with_seq { Some(frame_seq) } else { None };
+        let wire = encode_frame_raw_ext(
+            link_id, base_seq, messages.len() as u32, &raw,
+            &SelectiveCompressor::disabled(), sent_at, seq,
+        );
+
+        // The flags byte is exactly the chosen extension set.
+        let mut expected_flags = 0u8;
+        if with_stamp { expected_flags |= FLAG_SENT_AT; }
+        if with_seq { expected_flags |= FLAG_SEQ; }
+        prop_assert_eq!(wire[4], expected_flags);
+
+        // Slice decode.
+        let (f, used) = decode_frame(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(f.link_id, link_id);
+        prop_assert_eq!(f.base_seq, base_seq);
+        prop_assert_eq!(f.sent_at_micros, sent_at);
+        prop_assert_eq!(f.seq, seq);
+        prop_assert!(f.control.is_none());
+        prop_assert_eq!(&f.messages, &messages);
+
+        // Zero-copy shared decode.
+        let shared = Bytes::from(wire.clone());
+        let (f2, used2) = decode_frame_shared(&shared, None).unwrap();
+        prop_assert_eq!(used2, wire.len());
+        prop_assert_eq!(f2.sent_at_micros, sent_at);
+        prop_assert_eq!(f2.seq, seq);
+        prop_assert_eq!(&f2.messages, &messages);
+
+        // Blocking stream reader.
+        let mut cursor = std::io::Cursor::new(&wire);
+        let f3 = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(f3.sent_at_micros, sent_at);
+        prop_assert_eq!(f3.seq, seq);
+        prop_assert_eq!(&f3.messages, &messages);
+
+        // No extensions -> byte-identical to the legacy encoder.
+        if !with_stamp && !with_seq {
+            prop_assert_eq!(wire, encode_frame(
+                link_id, base_seq, &messages, &SelectiveCompressor::disabled()));
+        }
+    }
+
+    #[test]
+    fn reserved_extension_words_are_skipped_not_misparsed(
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..60), 0..8),
+        with_stamp in any::<bool>(),
+        stamp in 1u64..u64::MAX,
+        with_seq in any::<bool>(),
+        frame_seq in any::<u64>(),
+        unknown_word in any::<u64>(),
+    ) {
+        // Encode with the known extensions, then forge reserved bit 3:
+        // its 8-byte word sits after the known words (ascending bit
+        // order), immediately before the body.
+        let raw = prefixed(&messages);
+        let sent_at = if with_stamp { stamp } else { 0 };
+        let seq = if with_seq { Some(frame_seq) } else { None };
+        let known = encode_frame_raw_ext(
+            9, 100, messages.len() as u32, &raw,
+            &SelectiveCompressor::disabled(), sent_at, seq,
+        );
+        let known_ext = 8 * (wire_flag_count(known[4]) as usize);
+        let mut wire = Vec::with_capacity(known.len() + 8);
+        wire.extend_from_slice(&known[..FRAME_HEADER_LEN + known_ext]);
+        wire[4] |= 0b0000_1000; // reserved extension bit
+        wire.extend_from_slice(&unknown_word.to_le_bytes());
+        wire.extend_from_slice(&known[FRAME_HEADER_LEN + known_ext..]);
+
+        let (f, used) = decode_frame(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(f.sent_at_micros, sent_at);
+        prop_assert_eq!(f.seq, seq);
+        prop_assert_eq!(&f.messages, &messages);
+
+        let shared = Bytes::from(wire.clone());
+        let (f2, _) = decode_frame_shared(&shared, None).unwrap();
+        prop_assert_eq!(&f2.messages, &messages);
+
+        let mut cursor = std::io::Cursor::new(&wire);
+        let f3 = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(f3.seq, seq);
+        prop_assert_eq!(&f3.messages, &messages);
+    }
+}
+
+fn wire_flag_count(flags: u8) -> u32 {
+    flags.count_ones()
+}

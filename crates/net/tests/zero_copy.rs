@@ -101,6 +101,8 @@ fn queued_frame_survives_source_buffer_recycle_attempt() {
         wire_len,
         sent_at_micros: 0,
         received_at: None,
+        seq: None,
+        control: None,
     })
     .unwrap();
 

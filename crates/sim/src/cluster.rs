@@ -22,6 +22,7 @@
 
 use crate::ethernet::wire_bytes;
 use crate::profile::EngineProfile;
+use neptune_ha::FaultPlan;
 
 /// One stage-to-stage hop description.
 #[derive(Debug, Clone, Copy)]
@@ -140,18 +141,52 @@ fn is_small_node(node: usize, nodes: usize) -> bool {
 
 /// Solve the cluster's steady state.
 pub fn simulate_cluster(params: &ClusterParams) -> ClusterResult {
+    simulate_with_dead(params, &[])
+}
+
+/// Solve the cluster's steady state under a [`FaultPlan`]: every node the
+/// plan has killed by `step` contributes no capacity, and the stage
+/// instances it hosted are restarted round-robin over the surviving nodes,
+/// mirroring the runtime's dead-resource restart-from-replay-point. The
+/// surviving cluster re-solves max-min fairness over the reduced capacity,
+/// so throughput degrades gracefully instead of collapsing.
+pub fn simulate_cluster_with_faults(
+    params: &ClusterParams,
+    plan: &FaultPlan,
+    step: u64,
+) -> ClusterResult {
+    simulate_with_dead(params, &plan.dead_nodes_at(step))
+}
+
+fn simulate_with_dead(params: &ClusterParams, dead_nodes: &[usize]) -> ClusterResult {
     assert!(params.nodes > 0 && params.jobs > 0);
     assert!(!params.hops.is_empty(), "a job needs at least one hop");
     let p = params.profile;
     let n_nodes = params.nodes;
     let stages = params.hops.len() + 1;
 
+    let mut dead = vec![false; n_nodes];
+    for &m in dead_nodes {
+        if m < n_nodes {
+            dead[m] = true;
+        }
+    }
+    assert!(dead.iter().any(|&d| !d), "fault plan killed every node");
+
     // ---- Placement: stage s of job j on node (j + s) % nodes. ----
     // Consecutive stages land on consecutive nodes, so node m's transmit
     // link and receive link serve *different* jobs — with jobs ≈ nodes
     // every full-duplex direction of every link is engaged, the paper's
     // "data flow between every pair of nodes" saturation point.
-    let place = |job: usize, stage: usize| (job + stage) % n_nodes;
+    // Under faults the same round-robin runs over the ring of *alive*
+    // nodes: dead nodes drop out and displaced instances restart on the
+    // survivors while consecutive stages stay on distinct (consecutive)
+    // survivors, so hops keep paying their network cost.
+    let alive: Vec<usize> = (0..n_nodes).filter(|&m| !dead[m]).collect();
+    let place = {
+        let alive = &alive;
+        move |job: usize, stage: usize| alive[(job + stage) % alive.len()]
+    };
     let mut instances_per_node = vec![0usize; n_nodes];
     for j in 0..params.jobs {
         for s in 0..stages {
@@ -322,6 +357,9 @@ pub fn simulate_cluster(params: &ClusterParams) -> ClusterResult {
     // couple of batches when it is not overloaded (the Fig. 10 regime).
     let per_node_mem: Vec<f64> = (0..n_nodes)
         .map(|m| {
+            if dead[m] {
+                return 0.0;
+            }
             let ram = if is_small_node(m, n_nodes) { 8.0e9 } else { 12.0e9 };
             let per_instance_heap = 96.0e6;
             let queue = if p.bounded_queues { 8.0e6 } else { 24.0e6 };
@@ -468,6 +506,62 @@ mod tests {
         let a = simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), 20, 20));
         let b = simulate_cluster(&ClusterParams::scaling_job(neptune_profile(), 20, 20));
         assert_eq!(a.cumulative_throughput, b.cumulative_throughput);
+        assert_eq!(a.per_node_cpu, b.per_node_cpu);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_baseline() {
+        let params = ClusterParams::scaling_job(neptune_profile(), 20, 20);
+        let base = simulate_cluster(&params);
+        let faulted = simulate_cluster_with_faults(&params, &neptune_ha::FaultPlan::new(7), 100);
+        assert_eq!(base.cumulative_throughput, faulted.cumulative_throughput);
+        assert_eq!(base.per_node_cpu, faulted.per_node_cpu);
+        assert_eq!(base.per_node_mem, faulted.per_node_mem);
+    }
+
+    #[test]
+    fn killed_nodes_degrade_but_do_not_zero_throughput() {
+        use neptune_ha::FaultEvent;
+        // Saturated regime (jobs >> nodes) so pooled node CPU — not the
+        // per-instance core cap — is the binding resource; losing nodes
+        // then visibly shrinks cluster capacity.
+        let params = ClusterParams::scaling_job(neptune_profile(), 20, 50);
+        let mut plan = neptune_ha::FaultPlan::new(42);
+        for node in [0usize, 5, 11, 17] {
+            plan = plan.with_event(FaultEvent::KillNode { node, at_step: 10 });
+        }
+        let before = simulate_cluster_with_faults(&params, &plan, 9);
+        let after = simulate_cluster_with_faults(&params, &plan, 10);
+        let base = simulate_cluster(&params);
+        // Before the kill step the plan is inert.
+        assert_eq!(before.cumulative_throughput, base.cumulative_throughput);
+        // After it, the survivors absorb the displaced instances: lower
+        // cumulative rate, but every job still makes progress.
+        assert!(
+            after.cumulative_throughput < base.cumulative_throughput,
+            "after {:.4e} vs base {:.4e}",
+            after.cumulative_throughput,
+            base.cumulative_throughput
+        );
+        assert!(after.per_job_throughput.iter().all(|&r| r > 0.0));
+        // Dead nodes are idle in the report.
+        for m in [0usize, 5, 11, 17] {
+            assert_eq!(after.per_node_cpu[m], 0.0, "node {m} should be dead");
+            assert_eq!(after.per_node_mem[m], 0.0, "node {m} should be dead");
+        }
+    }
+
+    #[test]
+    fn faulted_simulation_is_deterministic() {
+        use neptune_ha::FaultEvent;
+        let params = ClusterParams::scaling_job(neptune_profile(), 16, 16);
+        let plan = neptune_ha::FaultPlan::new(3)
+            .with_event(FaultEvent::KillNode { node: 2, at_step: 0 })
+            .with_event(FaultEvent::KillNode { node: 9, at_step: 0 });
+        let a = simulate_cluster_with_faults(&params, &plan, 0);
+        let b = simulate_cluster_with_faults(&params, &plan, 0);
+        assert_eq!(a.cumulative_throughput, b.cumulative_throughput);
+        assert_eq!(a.per_job_throughput, b.per_job_throughput);
         assert_eq!(a.per_node_cpu, b.per_node_cpu);
     }
 }

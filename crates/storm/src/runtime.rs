@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 pub const TUPLE_OVERHEAD: usize = neptune_net::frame::FRAME_HEADER_LEN + 1;
 
 /// Runtime configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StormConfig {
     /// Delay inserted between spout `next_tuple` calls. The paper notes
     /// Storm needed such a wait to keep latency sane, at great throughput
@@ -45,12 +45,6 @@ pub struct StormConfig {
     /// throughput, so this defaults to off; enabling it adds two acker
     /// messages per tuple hop — the overhead the paper avoided.
     pub acking: bool,
-}
-
-impl Default for StormConfig {
-    fn default() -> Self {
-        StormConfig { spout_wait: None, acking: false }
-    }
 }
 
 /// Mix a counter into a well-distributed 64-bit tuple id (splitmix64) —

@@ -56,13 +56,8 @@ pub fn summary_samples(
     labels: &[(&str, &str)],
     snap: &HistogramSnapshot,
 ) {
-    for (q, v) in
-        [("0.5", snap.p50()), ("0.95", snap.p95()), ("0.99", snap.p99())]
-    {
-        out.push_str(&format!(
-            "{metric}{} {v}\n",
-            render_labels(labels, Some(("quantile", q)))
-        ));
+    for (q, v) in [("0.5", snap.p50()), ("0.95", snap.p95()), ("0.99", snap.p99())] {
+        out.push_str(&format!("{metric}{} {v}\n", render_labels(labels, Some(("quantile", q)))));
     }
     out.push_str(&format!("{metric}_sum{} {}\n", render_labels(labels, None), snap.sum()));
     out.push_str(&format!("{metric}_count{} {}\n", render_labels(labels, None), snap.count()));
@@ -171,8 +166,10 @@ mod tests {
         let line = pretty_line("e2e", &sample_snapshot());
         assert!(line.contains("count=4"));
         assert!(line.contains("max=1.00s"));
-        assert_eq!(pretty_line("empty", &HistogramSnapshot::empty()),
-            "empty            (no samples)");
+        assert_eq!(
+            pretty_line("empty", &HistogramSnapshot::empty()),
+            "empty            (no samples)"
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl<T: Send + 'static> TelemetrySampler<T> {
                         if worker.stop.load(Ordering::Acquire) {
                             return;
                         }
-                        std::thread::sleep((deadline - Instant::now()).min(Duration::from_millis(5)));
+                        std::thread::sleep(
+                            (deadline - Instant::now()).min(Duration::from_millis(5)),
+                        );
                     }
                 }
             })

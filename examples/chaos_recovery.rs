@@ -1,0 +1,112 @@
+//! Chaos recovery, live — a relay pipeline survives a scripted link kill.
+//!
+//! A supervised link carries a stream of sequenced batches toward a sink.
+//! Mid-stream, a seeded [`FaultPlan`] cuts the link for several delivery
+//! attempts; the supervisor backs off, reconnects, and replays every
+//! unacked frame. The sink deduplicates by message sequence, so the
+//! stream arrives **complete and exactly once** despite the at-least-once
+//! wire. The demo prints the recovery telemetry as it happens: reconnect
+//! attempts, replayed frames, duplicates dropped.
+//!
+//! The fault script is positional (frame counts, not wall clock) and
+//! seeded — run it twice with the same seed and the kill lands on the
+//! same frame.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example chaos_recovery
+//! NEPTUNE_CHAOS_SEED=7 cargo run --release --example chaos_recovery
+//! ```
+
+use bytes::Bytes;
+use neptune::ha::{
+    Admit, ChaosLink, DedupFilter, FaultEvent, FaultPlan, FrameLink, LinkEvent, QueueLink,
+    ReconnectPolicy, RecoveryStats, SupervisedLink,
+};
+use neptune::net::frame::Frame;
+use neptune::net::watermark::{WatermarkConfig, WatermarkQueue};
+use std::sync::Arc;
+
+const LINK: u64 = 1;
+const TOTAL: u64 = 500;
+
+fn main() {
+    let seed = std::env::var("NEPTUNE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+
+    // Script the failure: one cut somewhere in the middle of the stream,
+    // down for a few delivery attempts. The seed picks where.
+    let plan = FaultPlan::new(seed);
+    let at_frame = plan.jitter(1, TOTAL / 4, 3 * TOTAL / 4);
+    let down_for = plan.jitter(2, 2, 7);
+    let plan = plan.with_event(FaultEvent::CutLink { link_id: LINK, at_frame, down_for });
+    println!("seed {seed}: link {LINK} dies at frame {at_frame}, down for {down_for} attempts\n");
+
+    // Pipeline: supervised sender -> chaos-wrapped in-process link -> sink
+    // queue drained by a dedup filter that acks cumulatively.
+    let sink_queue: Arc<WatermarkQueue<Frame>> =
+        Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+    let chaos = Arc::new(ChaosLink::new(Arc::new(QueueLink::new(sink_queue.clone())), &plan, LINK));
+    let stats = Arc::new(RecoveryStats::new());
+    let chaos2 = chaos.clone();
+    let link = SupervisedLink::new(
+        LINK,
+        move || Ok(chaos2.clone() as Arc<dyn FrameLink>),
+        ReconnectPolicy::fast(seed),
+        1 << 20,
+        stats.clone(),
+    );
+    link.on_event(|id, event| match event {
+        LinkEvent::Reconnecting { attempt } => {
+            println!("  link {id}: reconnecting (attempt {attempt})");
+        }
+        LinkEvent::Reconnected { replayed } => {
+            println!("  link {id}: reconnected, replayed {replayed} unacked frames");
+        }
+        LinkEvent::LinkFailed => println!("  link {id}: TERMINAL FAILURE"),
+    });
+
+    let dedup = DedupFilter::new();
+    let mut delivered = 0u64;
+    let mut duplicates = 0u64;
+    let drain = |delivered: &mut u64, duplicates: &mut u64| {
+        while let Some(f) = sink_queue.pop() {
+            match dedup.admit(f.link_id, f.base_seq, f.len() as u32) {
+                Admit::Fresh => *delivered += f.len() as u64,
+                Admit::Duplicate | Admit::Overlap { .. } => *duplicates += 1,
+            }
+            link.ack(dedup.ack_watermark(LINK).unwrap());
+        }
+    };
+
+    for i in 0..TOTAL {
+        let payload = i.to_le_bytes();
+        let mut encoded = Vec::with_capacity(12);
+        encoded.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        encoded.extend_from_slice(&payload);
+        link.send_batch(i, Bytes::from(encoded), 1, 0).expect("link recovers within budget");
+        // The sink keeps a few frames in flight, like a real consumer.
+        if i % 5 == 4 {
+            drain(&mut delivered, &mut duplicates);
+        }
+    }
+    drain(&mut delivered, &mut duplicates);
+
+    let snap = stats.snapshot();
+    println!("\ndelivered {delivered}/{TOTAL} messages, {duplicates} duplicate frames dropped");
+    println!(
+        "recovery telemetry: retransmits={} retransmitted_bytes={} reconnect_attempts={} \
+         reconnects={} acks={} replay_len={}",
+        snap.retransmits,
+        snap.retransmitted_bytes,
+        snap.reconnect_attempts,
+        snap.reconnects,
+        snap.acks_received,
+        link.replay().len(),
+    );
+    assert_eq!(delivered, TOTAL, "zero loss despite the kill");
+    assert!(snap.retransmits > 0 && snap.reconnects > 0, "the kill really happened");
+    println!("\nOK: the stream survived the link kill with zero loss.");
+}
