@@ -1,0 +1,209 @@
+//! Two-tier thread model bench (§IV-C acceptance): idle-job CPU and
+//! thread count must not scale with source parallelism, and IO-tier
+//! scheduling delay must stay bounded as sources multiply.
+//!
+//! For each source count in {1, 64, 512} the harness submits a job whose
+//! sources are permanently idle, lets the pumps settle into their parked
+//! state, then measures over a fixed window:
+//!
+//! * **threads** — `/proc/self/task` entries, total and job-prefixed:
+//!   before the two-tier refactor each source was a dedicated thread, so
+//!   512 sources meant 512 pump threads; now the job runs on
+//!   `io_threads + worker_threads` regardless of parallelism;
+//! * **idle CPU** — utime+stime jiffies from `/proc/self/stat` consumed
+//!   while nothing flows: parked pumps cost timer fires, not sleep
+//!   loops, so this must not scale with the source count either;
+//! * **scheduling delay** — a probe IO task repeatedly parks until an
+//!   exact deadline on its own one-thread pool; observed fire error is
+//!   the wheel + ready-queue + thread handoff latency under whatever
+//!   load the idle job generates.
+//!
+//! Results land in `BENCH_thread_model.json` for CI artifacts; the
+//! criterion section times full submit→stop cycles at each scale.
+
+use criterion::Criterion;
+use neptune_core::json::{object, JsonValue};
+use neptune_core::prelude::*;
+use neptune_granules::{IoContext, IoPool, IoStatus, IoTask};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Never exhausts, never emits — holds its pump in the idle-park path
+/// until the flag flips.
+struct Quiet {
+    stopped: Arc<AtomicBool>,
+}
+impl StreamSource for Quiet {
+    fn next(&mut self, _ctx: &mut OperatorContext) -> SourceStatus {
+        if self.stopped.load(Ordering::Acquire) {
+            SourceStatus::Exhausted
+        } else {
+            SourceStatus::Idle
+        }
+    }
+}
+
+struct Sink(Arc<AtomicU64>);
+impl StreamProcessor for Sink {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn idle_job(name: &str, sources: usize, stopped: &Arc<AtomicBool>) -> JobHandle {
+    let s = stopped.clone();
+    let graph = GraphBuilder::new(name)
+        .source_n("src", sources, move || Quiet { stopped: s.clone() })
+        .processor("sink", || Sink(Arc::new(AtomicU64::new(0))))
+        .link("src", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig { worker_threads: Some(2), ..Default::default() };
+    LocalRuntime::new(config).submit(graph).unwrap()
+}
+
+/// utime+stime of this process in clock ticks (`/proc/self/stat` fields
+/// 14+15; the comm field may contain spaces, so parse after the last
+/// `)`).
+fn cpu_jiffies() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    let rest = stat.rsplit(')').next().unwrap_or("");
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // `rest` starts at field 3 (state): utime is field 14 → index 11.
+    let utime: u64 = fields.get(11).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|v| v.parse().ok()).unwrap_or(0);
+    utime + stime
+}
+
+fn thread_counts(prefix: &str) -> (usize, usize) {
+    let mut total = 0;
+    let mut prefixed = 0;
+    if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+        for e in entries.flatten() {
+            total += 1;
+            if let Ok(c) = std::fs::read_to_string(e.path().join("comm")) {
+                if c.trim().starts_with(prefix) {
+                    prefixed += 1;
+                }
+            }
+        }
+    }
+    (total, prefixed)
+}
+
+/// Parks until an exact deadline `rounds` times, recording how late each
+/// wake lands — the end-to-end wheel → queue → thread scheduling delay.
+struct DeadlineProbe {
+    next_deadline: Option<Instant>,
+    rounds: usize,
+    samples: Arc<Mutex<Vec<u64>>>,
+}
+impl IoTask for DeadlineProbe {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if let Some(d) = self.next_deadline.take() {
+            let late = Instant::now().saturating_duration_since(d);
+            self.samples.lock().unwrap().push(late.as_micros() as u64);
+        }
+        if self.rounds == 0 || io.shutting_down() {
+            return IoStatus::Complete;
+        }
+        self.rounds -= 1;
+        let d = Instant::now() + Duration::from_millis(5);
+        self.next_deadline = Some(d);
+        IoStatus::ParkUntil(d)
+    }
+}
+
+fn scheduling_delay_us(rounds: usize) -> (f64, u64) {
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let mut pool = IoPool::new("tm-probe", 1);
+    let handle =
+        pool.spawn(DeadlineProbe { next_deadline: None, rounds, samples: samples.clone() });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.is_complete() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    pool.shutdown();
+    let s = samples.lock().unwrap();
+    let mean = if s.is_empty() { 0.0 } else { s.iter().sum::<u64>() as f64 / s.len() as f64 };
+    (mean, s.iter().copied().max().unwrap_or(0))
+}
+
+fn probe_scale(sources: usize, window: Duration, rounds: usize) -> JsonValue {
+    let name = format!("tmb{sources}");
+    let stopped = Arc::new(AtomicBool::new(false));
+    let job = idle_job(&name, sources, &stopped);
+    // Let every pump decay to its max idle backoff before measuring.
+    std::thread::sleep(Duration::from_millis(100));
+    let prefix = format!("{name}-");
+    let (threads_total, threads_job) = thread_counts(&prefix);
+    let tm = job.thread_model();
+
+    let c0 = cpu_jiffies();
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    let idle_jiffies = cpu_jiffies() - c0;
+    let elapsed = t0.elapsed().as_secs_f64();
+    // Linux clock tick is 100 Hz: one jiffy ≈ 10ms of CPU.
+    let idle_cpu_pct = (idle_jiffies as f64 * 0.010) / elapsed * 100.0;
+
+    let (sched_mean_us, sched_max_us) = scheduling_delay_us(rounds);
+    stopped.store(true, Ordering::Release);
+    job.stop();
+
+    println!(
+        "sources={sources:4}  job_threads={threads_job:2}  io_threads={}  \
+         idle_cpu={idle_cpu_pct:5.1}%  sched_delay mean={sched_mean_us:6.0}µs \
+         max={sched_max_us}µs",
+        tm.io_threads
+    );
+    object([
+        ("sources", JsonValue::Number(sources as f64)),
+        ("job_threads", JsonValue::Number(threads_job as f64)),
+        ("process_threads", JsonValue::Number(threads_total as f64)),
+        ("io_threads", JsonValue::Number(tm.io_threads as f64)),
+        ("worker_threads", JsonValue::Number(tm.worker_threads as f64)),
+        ("live_io_tasks", JsonValue::Number(tm.live_io_tasks as f64)),
+        ("idle_cpu_jiffies", JsonValue::Number(idle_jiffies as f64)),
+        ("idle_cpu_pct", JsonValue::Number(idle_cpu_pct)),
+        ("sched_delay_mean_us", JsonValue::Number(sched_mean_us)),
+        ("sched_delay_max_us", JsonValue::Number(sched_max_us as f64)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let window = if quick { Duration::from_millis(200) } else { Duration::from_millis(500) };
+    let rounds = if quick { 10 } else { 20 };
+
+    println!("# thread_model — idle cost and scheduling delay vs source parallelism\n");
+    let mut scales = Vec::new();
+    for sources in [1usize, 64, 512] {
+        scales.push(probe_scale(sources, window, rounds));
+    }
+    let doc = object([
+        ("bench", JsonValue::String("thread_model".into())),
+        ("quick", JsonValue::Bool(quick)),
+        ("scales", JsonValue::Array(scales)),
+    ]);
+    // `cargo bench` runs with cwd = crates/bench; anchor the artifact to
+    // the workspace root where CI collects BENCH_*.json.
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_thread_model.json");
+    std::fs::write(&out, doc.to_json()).expect("write BENCH_thread_model.json");
+    println!("\nwrote {}", out.display());
+
+    let mut c = Criterion::default().configure_from_args();
+    for sources in [1usize, 64, 512] {
+        c.bench_function(&format!("thread_model/submit_stop/{sources}"), |b| {
+            b.iter(|| {
+                let stopped = Arc::new(AtomicBool::new(false));
+                let job = idle_job("tmc", sources, &stopped);
+                stopped.store(true, Ordering::Release);
+                job.stop()
+            })
+        });
+    }
+    c.final_summary();
+}

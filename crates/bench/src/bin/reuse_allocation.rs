@@ -167,8 +167,8 @@ fn main() {
     let stream = make_stream();
 
     // Interleave a warmup of each to stabilize caches.
-    let _ = run_with_reuse(&stream[..64.min(stream.len())].to_vec().as_slice());
-    let _ = run_without_reuse(&stream[..64.min(stream.len())].to_vec().as_slice());
+    let _ = run_with_reuse(&stream[..64.min(stream.len())]);
+    let _ = run_without_reuse(&stream[..64.min(stream.len())]);
 
     let (alloc_reuse, bytes_reuse, t_reuse, c1) = run_with_reuse(&stream);
     let (alloc_naive, bytes_naive, t_naive, c2) = run_without_reuse(&stream);

@@ -143,11 +143,9 @@ pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
                     // Prime the table with a position inside the match so
                     // runs keep matching (cheap approximation of the
                     // reference's two-position insert).
-                    if i <= match_limit {
-                        if i >= 2 {
-                            let back = i - 2;
-                            table[hash4(&input[back..])] = (back + 1) as u32;
-                        }
+                    if i <= match_limit && i >= 2 {
+                        let back = i - 2;
+                        table[hash4(&input[back..])] = (back + 1) as u32;
                     }
                     continue;
                 }
@@ -168,7 +166,7 @@ fn emit_sequence(
     out: &mut Vec<u8>,
 ) {
     debug_assert!(match_len >= MIN_MATCH);
-    debug_assert!(offset >= 1 && offset <= MAX_DISTANCE);
+    debug_assert!((1..=MAX_DISTANCE).contains(&offset));
     let lit_len = match_start - anchor;
     let ml_code = match_len - MIN_MATCH;
     let token_lit = lit_len.min(15) as u8;
@@ -263,11 +261,9 @@ pub fn decompress_into(
         }
         // Byte-by-byte copy handles overlapping matches (offset < match_len),
         // which is how LZ4 encodes runs.
-        let mut src = out.len() - offset;
-        for _ in 0..match_len {
+        for src in out.len() - offset..out.len() - offset + match_len {
             let b = out[src];
             out.push(b);
-            src += 1;
         }
     }
 

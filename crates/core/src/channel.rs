@@ -21,8 +21,9 @@ use neptune_net::buffer::{FlushedBatch, OutputBuffer, PushOutcome};
 use neptune_net::frame::encode_frame_raw_at;
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
+use neptune_net::watermark::WatermarkQueue;
 use neptune_telemetry::OperatorTelemetry;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,6 +117,13 @@ pub struct ChannelEndpoint {
     /// Stage recorder of the *sending* operator (ISSUE 2). `None` keeps
     /// the dispatch path free of clock reads entirely.
     telemetry: Option<Arc<OperatorTelemetry>>,
+    /// Installed by the runtime's IO tier: invoked when a push starts the
+    /// flush-deadline clock (the buffer went empty → non-empty), so the
+    /// endpoint's flush task can park on the *exact* deadline via the
+    /// timer wheel instead of a scan tick. Called with the buffer lock
+    /// held — the waker must only wake an IO task, never take buffer or
+    /// queue locks.
+    flush_waker: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl ChannelEndpoint {
@@ -139,12 +147,35 @@ impl ChannelEndpoint {
             sink,
             counters,
             telemetry,
+            flush_waker: RwLock::new(None),
         }
     }
 
     /// The channel this endpoint serves.
     pub fn channel(&self) -> ChannelId {
         self.channel
+    }
+
+    /// Install the IO-tier waker poked whenever this endpoint's buffer
+    /// goes from empty to non-empty (the moment a flush deadline starts
+    /// ticking).
+    pub fn set_flush_waker(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.flush_waker.write() = Some(Arc::new(f));
+    }
+
+    /// Deadline by which the currently buffered data must flush; `None`
+    /// when the buffer is empty or the link has no flush timer.
+    pub fn flush_deadline(&self) -> Option<Instant> {
+        self.buffer.lock().flush_deadline()
+    }
+
+    /// The destination watermark queue for an in-process sink; `None` for
+    /// TCP channels (their backpressure lives in the sender's IO queue).
+    pub fn inproc_queue(&self) -> Option<&Arc<WatermarkQueue<neptune_net::frame::Frame>>> {
+        match &self.sink {
+            SinkHandle::InProcess(t) => Some(t.queue()),
+            SinkHandle::Tcp(_) => None,
+        }
     }
 
     /// Buffer one serialized packet; dispatches a batch if the push filled
@@ -174,7 +205,12 @@ impl ChannelEndpoint {
     fn after_push(&self, buf: &mut OutputBuffer, outcome: PushOutcome) -> Result<(), EmitError> {
         match outcome {
             PushOutcome::Buffered => {
-                self.has_data.store(true, Ordering::Release);
+                let was_empty = !self.has_data.swap(true, Ordering::AcqRel);
+                if was_empty {
+                    if let Some(waker) = self.flush_waker.read().as_ref() {
+                        waker();
+                    }
+                }
                 Ok(())
             }
             PushOutcome::Flush(batch) => {

@@ -186,6 +186,14 @@ pub struct RuntimeConfig {
     /// host core count (and never below the number of processor instances
     /// placed on the resource, which keeps blocking emits deadlock-free).
     pub worker_threads: Option<usize>,
+    /// IO-tier threads per job (§IV-C's two-tier model). The IO tier runs
+    /// every background activity — source pumps, per-endpoint flush
+    /// tasks, the HA monitor, the telemetry sampler — as cooperatively
+    /// scheduled tasks, so this does **not** need to scale with source
+    /// parallelism. `None` = sized automatically from the host core
+    /// count; the `NEPTUNE_IO_THREADS` environment variable overrides the
+    /// default (mirroring `NEPTUNE_CHAOS_SEED`).
+    pub io_threads: Option<usize>,
     /// Max frames a processor drains per scheduled execution.
     pub batch_max_frames: usize,
     /// Depth of the bounded queue between worker threads and each TCP
@@ -216,6 +224,10 @@ impl Default for RuntimeConfig {
             watermark_low: 4 << 20,
             compression: CompressionMode::Disabled,
             worker_threads: None,
+            io_threads: std::env::var("NEPTUNE_IO_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n > 0),
             batch_max_frames: 16,
             io_queue_depth: 128,
             batched_scheduling: true,
@@ -245,6 +257,9 @@ impl RuntimeConfig {
         }
         if self.io_queue_depth == 0 {
             return Err("io_queue_depth must be positive".into());
+        }
+        if self.io_threads == Some(0) {
+            return Err("io_threads must be positive when set".into());
         }
         if self.resources == 0 {
             return Err("resources must be positive".into());
@@ -340,6 +355,11 @@ mod tests {
         c.compression = CompressionMode::Threshold(4.0);
         c.resources = 0;
         assert!(c.validate().is_err());
+        c.resources = 1;
+        c.io_threads = Some(0);
+        assert!(c.validate().is_err());
+        c.io_threads = Some(1);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

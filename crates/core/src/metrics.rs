@@ -86,6 +86,35 @@ impl OperatorMetrics {
     }
 }
 
+/// Gauges of the two-tier execution plane: the event-driven IO tier
+/// (source pumps, flush tasks, HA monitor, telemetry sampler as
+/// cooperatively scheduled tasks over a fixed thread set plus a timer
+/// wheel) and the worker tier (the Granules resource pools). The headline
+/// property — thread count independent of source parallelism — is
+/// directly readable here: `io_threads` stays fixed while `live_io_tasks`
+/// scales with the job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadModelStats {
+    /// Fixed IO-tier threads serving all IO tasks of the job.
+    pub io_threads: usize,
+    /// Worker threads across all resources (operator execution tier).
+    pub worker_threads: usize,
+    /// IO tasks spawned and not yet completed (pumps, flushers, monitors).
+    pub live_io_tasks: usize,
+    /// IO tasks currently waiting in the ready queue.
+    pub queued_io_tasks: usize,
+    /// Live registrations on the IO tier's hierarchical timer wheel.
+    pub timer_depth: usize,
+    /// Cumulative timer callbacks fired.
+    pub timer_fires: u64,
+    /// Cumulative IO-task park transitions (task went idle).
+    pub io_parks: u64,
+    /// Cumulative IO-task wake events (capacity, timer, or explicit).
+    pub io_wakes: u64,
+    /// Cumulative IO-task run stints.
+    pub io_polls: u64,
+}
+
 /// Snapshot of a whole job's metrics, keyed by operator name.
 #[derive(Debug, Clone, Default)]
 pub struct JobMetrics {
@@ -95,6 +124,10 @@ pub struct JobMetrics {
     /// filled by [`crate::runtime::JobHandle::metrics`], default-zero when
     /// the snapshot comes straight from a bare [`MetricsRegistry`].
     pub buffer_pool: BytesPoolStats,
+    /// Two-tier thread-model gauges; filled by
+    /// [`crate::runtime::JobHandle::metrics`], default-zero from a bare
+    /// [`MetricsRegistry`].
+    pub thread_model: ThreadModelStats,
 }
 
 impl JobMetrics {
@@ -150,6 +183,7 @@ impl MetricsRegistry {
         JobMetrics {
             operators: self.inner.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
             buffer_pool: BytesPoolStats::default(),
+            thread_model: ThreadModelStats::default(),
         }
     }
 }

@@ -1,0 +1,110 @@
+//! Job lifecycle: waiting for sources, settling in-flight data, and the
+//! ordered teardown in [`JobHandle::stop`].
+
+use super::JobHandle;
+use crate::metrics::JobMetrics;
+use neptune_granules::IoPoolStats;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+impl JobHandle {
+    /// Source pumps still live on the IO tier.
+    pub fn active_sources(&self) -> usize {
+        self.pump_gauge.active()
+    }
+
+    /// Wait until every source is exhausted (true) or the timeout elapses
+    /// (false). Event-driven: pumps notify their gauge on completion, so
+    /// this blocks on a condvar instead of polling.
+    pub fn await_sources(&self, timeout: Duration) -> bool {
+        self.pump_gauge.wait_zero(Instant::now() + timeout)
+    }
+
+    /// Flush all buffers and wait until every queue and buffer is empty,
+    /// every task is idle, **and every dispatched frame has been received**
+    /// — the last condition covers frames that are in flight inside TCP
+    /// sender queues or kernel socket buffers, which no local queue can
+    /// see. Returns false on timeout.
+    pub fn settle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable = 0;
+        loop {
+            for ep in &self.endpoints {
+                let _ = ep.force_flush();
+            }
+            for r in &self.resources {
+                r.drain();
+            }
+            let snapshot = self.registry.snapshot();
+            let frames_out: u64 = snapshot.operators.values().map(|m| m.frames_out).sum();
+            let frames_in: u64 = snapshot.operators.values().map(|m| m.frames_in).sum();
+            let busy = self.queues.iter().any(|q| !q.is_empty())
+                || self.endpoints.iter().any(|ep| !ep.is_empty())
+                || frames_out != frames_in;
+            if busy {
+                stable = 0;
+            } else {
+                stable += 1;
+                if stable >= 2 {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Pump progress cuts the wait short; otherwise re-check after
+            // a bounded pause.
+            self.progress.wait_for(Duration::from_micros(500));
+        }
+    }
+
+    /// Stop the job: sources first, then a full drain, then processor
+    /// close hooks in topological order (each followed by a drain so
+    /// close-time emissions are fully processed downstream), then the IO
+    /// tier (which force-flushes every endpoint and drains its queue),
+    /// then teardown. Returns the final metrics.
+    pub fn stop(mut self) -> JobMetrics {
+        self.stop_flag.store(true, Ordering::Release);
+        // Wake every pump so it observes the stop flag and finishes; gated
+        // or deep-backoff pumps would otherwise linger until their next
+        // scheduled wake.
+        for h in &self.pump_handles {
+            h.wake();
+        }
+        self.pump_gauge.wait_zero(Instant::now() + Duration::from_secs(30));
+        self.settle(Duration::from_secs(30));
+        // Terminate processors in topological order, draining after each
+        // stage so close() emissions propagate.
+        for (_, handles) in &self.processor_handles {
+            for h in handles {
+                h.terminate();
+            }
+            self.settle(Duration::from_secs(10));
+        }
+        // Shut the IO tier down: the timer wheel stops, parked tasks get a
+        // final drain stint (flush tasks force-flush), the ready queue
+        // empties, and all IO threads join.
+        let io_stats = match self.io_pool.take() {
+            Some(mut pool) => {
+                pool.shutdown();
+                pool.stats()
+            }
+            None => IoPoolStats::default(),
+        };
+        let worker_threads: usize = self.resources.iter().map(|r| r.worker_count()).sum();
+        for q in &self.queues {
+            q.close();
+        }
+        for r in std::mem::take(&mut self.resources) {
+            r.shutdown();
+        }
+        for rx in self.receivers.lock().drain(..) {
+            rx.shutdown();
+        }
+        self.stopped.store(true, Ordering::Release);
+        let mut m = self.registry.snapshot();
+        m.buffer_pool = self.pool.stats();
+        m.thread_model = super::thread_model_stats(io_stats, worker_threads);
+        m
+    }
+}

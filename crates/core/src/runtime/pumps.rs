@@ -1,0 +1,277 @@
+//! IO-tier tasks of the runtime: source pumps, per-endpoint flush tasks,
+//! the HA heartbeat monitor, and the telemetry sampler.
+//!
+//! Before the two-tier refactor every one of these was a dedicated thread
+//! — a job with 512 sources ran 512 pump threads, each sleeping 200µs
+//! between `next()` polls even when fully idle. Now they are
+//! [`IoTask`] state machines on the job's shared [`neptune_granules::IoPool`]:
+//!
+//! * a pump that has nothing to emit parks with exponential backoff
+//!   ([`IoStatus::ParkUntil`]) instead of sleeping on a thread;
+//! * a pump blocked by downstream backpressure parks *indefinitely* and is
+//!   woken by the watermark queue's gate-release listener — the bounded
+//!   ingress queue between the IO tier and the worker tier gates admission;
+//! * a flush task parks on the endpoint's **exact** flush deadline via the
+//!   timer wheel (no scan tick, no half-interval firing error);
+//! * the monitor and sampler are periodic timer registrations.
+//!
+//! Idle cost is therefore O(io_threads), not O(sources).
+
+use crate::channel::ChannelEndpoint;
+use crate::operator::{OperatorContext, SourceStatus, StreamSource};
+use crate::telemetry::TelemetrySample;
+use neptune_granules::io::{IoContext, IoStatus, IoTask};
+use neptune_ha::{FailureDetector, PeerState};
+use neptune_net::frame::Frame;
+use neptune_net::watermark::WatermarkQueue;
+use neptune_telemetry::SampleRing;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// First idle park of a source pump; doubles on consecutive idles.
+pub(crate) const MIN_IDLE_BACKOFF: Duration = Duration::from_micros(200);
+/// Idle backoff cap: an idle source costs one timer fire per 20ms, total.
+pub(crate) const MAX_IDLE_BACKOFF: Duration = Duration::from_millis(20);
+/// Packets a pump may emit in one stint before yielding the IO thread.
+pub(crate) const EMIT_BUDGET: usize = 64;
+/// Wall-clock cap on one pump stint. Sources are supposed to return
+/// promptly from `next()`, but one that blocks inside it (paced test
+/// sources, slow devices) must not hold an IO thread — and with it every
+/// flush deadline — for a whole emit budget.
+pub(crate) const STINT_BUDGET: Duration = Duration::from_millis(1);
+
+/// Counts live source pumps and lets `await_sources` block on zero without
+/// polling: `dec` notifies, waiters sleep on the condvar.
+#[derive(Default)]
+pub(crate) struct PumpGauge {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl PumpGauge {
+    pub(crate) fn new() -> Self {
+        PumpGauge::default()
+    }
+
+    pub(crate) fn inc(&self) {
+        *self.count.lock() += 1;
+    }
+
+    pub(crate) fn dec(&self) {
+        let mut c = self.count.lock();
+        *c = c.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn active(&self) -> usize {
+        *self.count.lock()
+    }
+
+    /// Block until every pump finished (true) or `deadline` passed (false).
+    pub(crate) fn wait_zero(&self, deadline: Instant) -> bool {
+        let mut c = self.count.lock();
+        while *c > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut c, deadline - now);
+        }
+        true
+    }
+}
+
+/// Edge-triggered "the job made progress" signal: pumps notify on emit and
+/// on completion, `settle` waits on it instead of sleeping blind.
+#[derive(Default)]
+pub(crate) struct ProgressSignal {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ProgressSignal {
+    pub(crate) fn new() -> Self {
+        ProgressSignal::default()
+    }
+
+    pub(crate) fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Wait for a notification, at most `timeout`.
+    pub(crate) fn wait_for(&self, timeout: Duration) {
+        let mut g = self.lock.lock();
+        self.cv.wait_for(&mut g, timeout);
+    }
+}
+
+/// One source instance as a cooperatively scheduled IO task.
+pub(crate) struct SourcePump {
+    pub(crate) source: Box<dyn StreamSource>,
+    pub(crate) ctx: OperatorContext,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) gauge: Arc<PumpGauge>,
+    pub(crate) progress: Arc<ProgressSignal>,
+    /// Downstream in-process watermark queues; when any is gated the pump
+    /// parks and the queue's gate-release listener wakes it (IO-tier
+    /// admission control).
+    pub(crate) gates: Vec<Arc<WatermarkQueue<Frame>>>,
+    pub(crate) idle_backoff: Duration,
+    pub(crate) opened: bool,
+    pub(crate) closed: bool,
+}
+
+impl SourcePump {
+    /// Close-once path shared by exhaustion, stop, and pool shutdown.
+    fn finish(&mut self) -> IoStatus {
+        if !self.closed {
+            self.closed = true;
+            if self.opened {
+                self.source.close(&mut self.ctx);
+                let _ = self.ctx.force_flush_all();
+            }
+            self.gauge.dec();
+            self.progress.notify();
+        }
+        IoStatus::Complete
+    }
+}
+
+impl IoTask for SourcePump {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if self.closed {
+            return IoStatus::Complete;
+        }
+        if !self.opened {
+            self.opened = true;
+            self.source.open(&mut self.ctx);
+        }
+        let stint_start = Instant::now();
+        for _ in 0..EMIT_BUDGET {
+            if self.stop.load(Ordering::Acquire) || io.shutting_down() {
+                return self.finish();
+            }
+            if stint_start.elapsed() >= STINT_BUDGET {
+                break;
+            }
+            // Admission gate: a closed watermark gate downstream means the
+            // worker tier is saturated — park instead of blocking the IO
+            // thread inside push; the gate listener wakes us on release.
+            if self.gates.iter().any(|q| q.is_gated()) {
+                return IoStatus::Park;
+            }
+            match self.source.next(&mut self.ctx) {
+                SourceStatus::Emitted(_) => {
+                    self.idle_backoff = MIN_IDLE_BACKOFF;
+                    self.progress.notify();
+                }
+                SourceStatus::Idle => {
+                    let backoff = self.idle_backoff;
+                    self.idle_backoff = (self.idle_backoff * 2).min(MAX_IDLE_BACKOFF);
+                    return IoStatus::ParkUntil(Instant::now() + backoff);
+                }
+                SourceStatus::Exhausted => return self.finish(),
+            }
+        }
+        // Budget exhausted: requeue at the back so pumps share IO threads
+        // fairly even when every source is saturated.
+        IoStatus::Ready
+    }
+
+    fn on_shutdown(&mut self) {
+        self.finish();
+    }
+}
+
+/// Flush-deadline watcher for one channel endpoint.
+///
+/// The endpoint's push path wakes this task when its buffer goes empty →
+/// non-empty (the moment the flush clock starts); the task then parks on
+/// the exact deadline via the timer wheel. Idle endpoints cost nothing.
+pub(crate) struct FlushTask {
+    pub(crate) endpoint: Arc<ChannelEndpoint>,
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+impl IoTask for FlushTask {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if self.stop.load(Ordering::Acquire) || io.shutting_down() {
+            let _ = self.endpoint.force_flush();
+            return IoStatus::Complete;
+        }
+        let _ = self.endpoint.flush_if_due(Instant::now());
+        match self.endpoint.flush_deadline() {
+            Some(deadline) => IoStatus::ParkUntil(deadline),
+            None => IoStatus::Park,
+        }
+    }
+
+    fn on_shutdown(&mut self) {
+        let _ = self.endpoint.force_flush();
+    }
+}
+
+/// HA heartbeat monitor as a periodic IO task: feeds resource beacons into
+/// the failure detector and force-reschedules tasks of dead resources.
+pub(crate) struct MonitorTask {
+    pub(crate) detector: Arc<FailureDetector>,
+    pub(crate) probes: Vec<(String, neptune_granules::HeartbeatProbe)>,
+    pub(crate) last: Vec<u64>,
+    pub(crate) handles_by_resource: HashMap<String, Vec<neptune_granules::TaskHandle>>,
+    pub(crate) primed: bool,
+}
+
+impl IoTask for MonitorTask {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if io.shutting_down() {
+            return IoStatus::Complete;
+        }
+        if !self.primed {
+            // Every resource starts alive: its silence window opens now,
+            // not at an arbitrary earlier instant.
+            self.primed = true;
+            for (name, _) in &self.probes {
+                self.detector.heartbeat(name);
+            }
+        }
+        for (i, (name, probe)) in self.probes.iter().enumerate() {
+            if let Some(count) = probe.count() {
+                if count > self.last[i] {
+                    self.last[i] = count;
+                    self.detector.heartbeat(name);
+                }
+            }
+        }
+        for (peer, state) in self.detector.poll() {
+            if state == PeerState::Dead {
+                if let Some(handles) = self.handles_by_resource.get(&peer) {
+                    for h in handles {
+                        h.force();
+                    }
+                }
+            }
+        }
+        // Periodic registration on the timer wheel re-wakes us.
+        IoStatus::Park
+    }
+}
+
+/// Telemetry sampler as a periodic IO task recording into a shared
+/// [`SampleRing`] — sampling costs a timer registration, not a thread.
+pub(crate) struct SamplerTask {
+    pub(crate) ring: Arc<SampleRing<TelemetrySample>>,
+    pub(crate) sample: Box<dyn FnMut() -> TelemetrySample + Send>,
+}
+
+impl IoTask for SamplerTask {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if io.shutting_down() {
+            return IoStatus::Complete;
+        }
+        self.ring.record((self.sample)());
+        IoStatus::Park
+    }
+}

@@ -1,0 +1,543 @@
+//! Deployment: placement, resources, queues, channels, processor tasks,
+//! and the IO tier (pumps, flush tasks, monitor, sampler).
+
+use super::pumps::{FlushTask, MonitorTask, ProgressSignal, PumpGauge, SamplerTask, SourcePump};
+use super::{HaRuntime, JobHandle, SubmitError};
+use crate::channel::{ChannelEndpoint, ChannelId, SinkHandle};
+use crate::codec::PacketCodec;
+use crate::config::{PlacementStrategy, RuntimeConfig, TransportMode};
+use crate::graph::{Factory, Graph, OperatorKind};
+use crate::metrics::{MetricsRegistry, OperatorCounters};
+use crate::operator::{OperatorContext, OutgoingLink};
+use crate::packet::StreamPacket;
+use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample};
+use neptune_granules::{
+    ComputationalTask, IoPool, IoTaskHandle, Resource, ScheduleSpec, TaskContext, TaskOutcome,
+};
+use neptune_ha::{DetectorConfig, FailureDetector, RecoveryStats};
+use neptune_net::buffer::OutputBuffer;
+use neptune_net::frame::Frame;
+use neptune_net::pool::BytesPool;
+use neptune_net::tcp::{TcpReceiver, TcpSender};
+use neptune_net::transport::InProcessTransport;
+use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune_telemetry::{OperatorTelemetry, SampleRing};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// IO threads when [`RuntimeConfig::io_threads`] is `None`: a quarter of
+/// the host cores, clamped to [1, 4]. The tier is event-driven, so even 1
+/// thread keeps hundreds of idle sources live; more helps only when many
+/// pumps are simultaneously runnable.
+fn auto_io_threads() -> usize {
+    std::thread::available_parallelism().map(|n| (n.get() / 4).clamp(1, 4)).unwrap_or(2)
+}
+
+/// The granules task wrapping one processor instance.
+pub(super) struct ProcessorTask {
+    processor: Box<dyn crate::operator::StreamProcessor>,
+    ctx: OperatorContext,
+    queue: Arc<WatermarkQueue<Frame>>,
+    codec: PacketCodec,
+    /// Workhorse packet reused for every decode (object reuse, §III-B3).
+    workhorse: StreamPacket,
+    /// Reused frame staging vector.
+    staged: Vec<Frame>,
+    batch_max: usize,
+    counters: Arc<OperatorCounters>,
+    /// Expected next sequence number per channel (exactly-once check).
+    expected_seq: HashMap<u64, u64>,
+    /// Job-wide batch-buffer pool; processed frames return their storage
+    /// here so upstream output buffers and TCP readers can reuse it
+    /// (object reuse, §III-B3).
+    pool: Arc<BytesPool>,
+    /// Latency recorder shared by all instances of this operator; `None`
+    /// keeps the hot path free of clock reads when telemetry is off.
+    telemetry: Option<Arc<OperatorTelemetry>>,
+}
+
+impl ProcessorTask {
+    fn drain_queue(&mut self) -> TaskOutcome {
+        loop {
+            self.staged.clear();
+            if self.queue.pop_batch(self.batch_max, &mut self.staged) == 0 {
+                return TaskOutcome::Continue;
+            }
+            // Per-message ablation (Table I): one frame per scheduled
+            // execution — the drain loop is what batched scheduling adds.
+            let drain_fully = self.batch_max > 1;
+            // `staged` is drained without freeing its storage; the frames
+            // themselves drop after processing.
+            for frame in self.staged.drain(..) {
+                let expected = self.expected_seq.entry(frame.link_id).or_insert(0);
+                if frame.base_seq != *expected {
+                    self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
+                }
+                *expected = frame.base_seq + frame.messages.len() as u64;
+                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                // Stage telemetry: schedule delay is how long the frame sat
+                // on the inbound queue; transport is dispatch→arrival,
+                // recovered by subtracting the queue wait from the
+                // sender-stamped total in-flight time.
+                let now = if self.telemetry.is_some() { crate::now_micros() } else { 0 };
+                if let Some(t) = &self.telemetry {
+                    let schedule_us = match frame.received_at {
+                        Some(received) => {
+                            let us = received.elapsed().as_micros() as u64;
+                            t.schedule_delay.record(us);
+                            us
+                        }
+                        None => 0,
+                    };
+                    if frame.sent_at_micros > 0 {
+                        let in_flight = now.saturating_sub(frame.sent_at_micros);
+                        t.transport.record(in_flight.saturating_sub(schedule_us));
+                    }
+                }
+                for message in &frame.messages {
+                    match self.codec.decode_into(message, &mut self.workhorse) {
+                        Ok(()) => {
+                            self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = &self.telemetry {
+                                if let Some(ts) = self.workhorse.source_timestamp() {
+                                    t.e2e.record(now.saturating_sub(ts));
+                                }
+                            }
+                            self.processor.process(&self.workhorse, &mut self.ctx);
+                        }
+                        Err(_) => {
+                            self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Batch storage goes back to the pool once every message in
+                // it has been decoded; the recycle is a no-op while other
+                // frames still share the buffer.
+                self.pool.recycle(frame.messages.into_batch());
+            }
+            if !drain_fully {
+                // End this scheduled execution after one frame; ask for a
+                // fresh one if the queue still holds frames whose signals
+                // were coalesced into this run.
+                return if self.queue.is_empty() {
+                    TaskOutcome::Continue
+                } else {
+                    TaskOutcome::Reschedule
+                };
+            }
+        }
+    }
+}
+
+impl ComputationalTask for ProcessorTask {
+    fn initialize(&mut self, _gctx: &TaskContext) {
+        self.processor.open(&mut self.ctx);
+    }
+
+    fn execute(&mut self, _gctx: &TaskContext) -> TaskOutcome {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        match self.telemetry.clone() {
+            None => self.drain_queue(),
+            Some(t) => {
+                let started = Instant::now();
+                let outcome = self.drain_queue();
+                t.execution.record(started.elapsed().as_micros() as u64);
+                outcome
+            }
+        }
+    }
+
+    fn terminate(&mut self, _gctx: &TaskContext) {
+        self.processor.close(&mut self.ctx);
+        // close() may have emitted; push those bytes out.
+        let _ = self.ctx.force_flush_all();
+    }
+}
+
+pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError> {
+    let registry = MetricsRegistry::new();
+    let telemetry_hub = config.telemetry.enabled.then(|| Arc::new(TelemetryHub::new()));
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    // One batch-buffer pool per job: output buffers check storage out,
+    // transports hand it to receiving tasks by refcount, and processed
+    // frames recycle it (§III-B3 object reuse, now across threads).
+    let pool = Arc::new(BytesPool::default());
+
+    // ---- Placement: strategy-driven assignment of instances. ----
+    let n_resources = config.resources;
+    // Expand the strategy into a placement cycle: round-robin is the
+    // uniform cycle; capacity-weighted repeats each resource index in
+    // proportion to its weight, interleaved so heavy resources do not
+    // receive long runs of consecutive instances.
+    let cycle: Vec<usize> = match &config.placement {
+        PlacementStrategy::RoundRobin => (0..n_resources).collect(),
+        PlacementStrategy::CapacityWeighted(weights) => {
+            let max_w = *weights.iter().max().expect("validated nonempty");
+            let mut cycle = Vec::new();
+            for round in 0..max_w {
+                for (ri, &w) in weights.iter().enumerate() {
+                    if round < w {
+                        cycle.push(ri);
+                    }
+                }
+            }
+            cycle
+        }
+    };
+    let mut placement: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut placement_table: Vec<(String, usize, usize)> = Vec::new();
+    {
+        let mut rr = 0usize;
+        for (oi, op) in graph.operators().iter().enumerate() {
+            for inst in 0..op.parallelism {
+                let resource = cycle[rr % cycle.len()];
+                placement.insert((oi, inst), resource);
+                placement_table.push((op.name.clone(), inst, resource));
+                rr += 1;
+            }
+        }
+    }
+
+    // ---- Resources, pools sized for deadlock freedom. ----
+    let mut processor_instances_per_resource = vec![0usize; n_resources];
+    for (oi, op) in graph.operators().iter().enumerate() {
+        if op.kind() == OperatorKind::Processor {
+            for inst in 0..op.parallelism {
+                processor_instances_per_resource[placement[&(oi, inst)]] += 1;
+            }
+        }
+    }
+    let auto_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let resources: Vec<Resource> = (0..n_resources)
+        .map(|ri| {
+            let base = config.worker_threads.unwrap_or(auto_workers);
+            let workers = base.max(processor_instances_per_resource[ri]).max(1);
+            Resource::builder(format!("{}-res{ri}", graph.name())).workers(workers).build()
+        })
+        .collect();
+    if config.ha.enabled {
+        for r in &resources {
+            r.enable_heartbeat(config.ha.heartbeat_interval);
+        }
+    }
+
+    // ---- Inbound queues (one per processor instance). ----
+    let watermark = WatermarkConfig::new(config.watermark_high, config.watermark_low);
+    let mut queues_by_instance: HashMap<(usize, usize), Arc<WatermarkQueue<Frame>>> =
+        HashMap::new();
+    let mut receivers: Vec<TcpReceiver> = Vec::new();
+    let mut receiver_addr: HashMap<(usize, usize), std::net::SocketAddr> = HashMap::new();
+    let mut receiver_index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut all_queues: Vec<Arc<WatermarkQueue<Frame>>> = Vec::new();
+
+    for (oi, op) in graph.operators().iter().enumerate() {
+        if op.kind() != OperatorKind::Processor {
+            continue;
+        }
+        for inst in 0..op.parallelism {
+            let my_res = placement[&(oi, inst)];
+            // Does any inbound channel cross resources under TCP mode?
+            let needs_tcp = config.transport == TransportMode::Tcp
+                && graph.in_links(&op.name).iter().any(|&li| {
+                    let from = &graph.links()[li].from;
+                    let (foi, fop) = graph
+                        .operators()
+                        .iter()
+                        .enumerate()
+                        .find(|(_, o)| &o.name == from)
+                        .expect("validated");
+                    (0..fop.parallelism).any(|si| placement[&(foi, si)] != my_res)
+                });
+            let queue = if needs_tcp {
+                let rx = TcpReceiver::bind_pooled("127.0.0.1:0", watermark, pool.clone())
+                    .map_err(|e| SubmitError::Io(e.to_string()))?;
+                let q = rx.queue();
+                receiver_addr.insert((oi, inst), rx.local_addr());
+                receiver_index.insert((oi, inst), receivers.len());
+                receivers.push(rx);
+                q
+            } else {
+                Arc::new(WatermarkQueue::new(watermark))
+            };
+            all_queues.push(queue.clone());
+            queues_by_instance.insert((oi, inst), queue);
+        }
+    }
+
+    // ---- Channel endpoints per link x (src_inst, dst_inst). ----
+    let op_index: HashMap<&str, usize> =
+        graph.operators().iter().enumerate().map(|(i, o)| (o.name.as_str(), i)).collect();
+    let mut outgoing: HashMap<(usize, usize), Vec<OutgoingLink>> = HashMap::new();
+    let mut all_endpoints: Vec<Arc<ChannelEndpoint>> = Vec::new();
+    // Deliver hooks installed after tasks exist: channel -> (oi, inst).
+    let mut inproc_transports: Vec<(Arc<InProcessTransport>, (usize, usize))> = Vec::new();
+
+    for (li, link) in graph.links().iter().enumerate() {
+        let src_oi = op_index[link.from.as_str()];
+        let dst_oi = op_index[link.to.as_str()];
+        let src_par = graph.operators()[src_oi].parallelism;
+        let dst_par = graph.operators()[dst_oi].parallelism;
+        let src_counters = registry.for_operator(&link.from);
+        let buffer_bytes = config.effective_buffer_bytes(link.options.buffer_bytes);
+        let flush_interval = link.options.flush_interval.unwrap_or(config.flush_interval);
+        let compression = link.options.compression.unwrap_or(config.compression);
+
+        for src_inst in 0..src_par {
+            let src_res = placement[&(src_oi, src_inst)];
+            let mut endpoints = Vec::with_capacity(dst_par);
+            for dst_inst in 0..dst_par {
+                let dst_res = placement[&(dst_oi, dst_inst)];
+                let channel = ChannelId::new(li as u16, src_inst as u16, dst_inst as u16);
+                let use_tcp = config.transport == TransportMode::Tcp && src_res != dst_res;
+                let sink = if use_tcp {
+                    let addr = receiver_addr[&(dst_oi, dst_inst)];
+                    let sender = TcpSender::connect(addr, config.io_queue_depth)
+                        .map_err(|e| SubmitError::Io(e.to_string()))?;
+                    SinkHandle::Tcp(Arc::new(sender))
+                } else {
+                    let q = queues_by_instance[&(dst_oi, dst_inst)].clone();
+                    let t = Arc::new(InProcessTransport::new(q));
+                    inproc_transports.push((t.clone(), (dst_oi, dst_inst)));
+                    SinkHandle::InProcess(t)
+                };
+                let ep = Arc::new(ChannelEndpoint::new(
+                    channel,
+                    OutputBuffer::with_pool(buffer_bytes, Some(flush_interval), pool.clone()),
+                    compression.to_compressor(),
+                    sink,
+                    src_counters.clone(),
+                    // Buffer-wait latency is attributed to the *sending*
+                    // operator: its output buffer is where packets wait.
+                    telemetry_hub.as_ref().map(|h| h.for_operator(&link.from)),
+                ));
+                all_endpoints.push(ep.clone());
+                endpoints.push(ep);
+            }
+            outgoing.entry((src_oi, src_inst)).or_default().push(OutgoingLink::new(
+                link.to.clone(),
+                &link.partitioning,
+                endpoints,
+            ));
+        }
+    }
+
+    // ---- Deploy processor tasks. ----
+    let batch_max = config.effective_batch_max();
+    let mut task_handles: HashMap<(usize, usize), neptune_granules::TaskHandle> = HashMap::new();
+    let mut handles_by_operator: HashMap<String, Vec<neptune_granules::TaskHandle>> =
+        HashMap::new();
+    for (oi, op) in graph.operators().iter().enumerate() {
+        let Factory::Processor(factory) = &op.factory else {
+            continue;
+        };
+        let counters = registry.for_operator(&op.name);
+        for inst in 0..op.parallelism {
+            let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
+            let ctx = OperatorContext::for_channels(
+                op.name.clone(),
+                inst,
+                op.parallelism,
+                links,
+                counters.clone(),
+            );
+            let task = ProcessorTask {
+                processor: factory(),
+                ctx,
+                queue: queues_by_instance[&(oi, inst)].clone(),
+                codec: PacketCodec::new(),
+                workhorse: StreamPacket::new(),
+                staged: Vec::with_capacity(batch_max),
+                batch_max,
+                counters: counters.clone(),
+                expected_seq: HashMap::new(),
+                pool: pool.clone(),
+                telemetry: telemetry_hub.as_ref().map(|h| h.for_operator(&op.name)),
+            };
+            let resource = &resources[placement[&(oi, inst)]];
+            // Batched scheduling lets a slot drain bursts on one worker
+            // stint; the per-message ablation forces a fresh scheduler
+            // crossing (pool handoff) per execution, like the paper's
+            // individual-message mode.
+            let spec = if config.batched_scheduling {
+                ScheduleSpec::data_driven()
+            } else {
+                ScheduleSpec::data_driven().with_max_consecutive_runs(1)
+            };
+            let handle =
+                resource.deploy(task, spec).map_err(|e| SubmitError::Config(e.to_string()))?;
+            task_handles.insert((oi, inst), handle.clone());
+            handles_by_operator.entry(op.name.clone()).or_default().push(handle);
+        }
+    }
+
+    // ---- Wire delivery notifications to task signals. ----
+    for (transport, dst) in inproc_transports {
+        let handle = task_handles[&dst].clone();
+        transport.on_deliver(move || handle.signal());
+    }
+    for ((oi, inst), ri) in &receiver_index {
+        let handle = task_handles[&(*oi, *inst)].clone();
+        receivers[*ri].on_deliver(move || handle.signal());
+    }
+
+    // ---- The IO tier: one event-driven pool for every background duty. ----
+    let io_pool = IoPool::new(graph.name(), config.io_threads.unwrap_or_else(auto_io_threads));
+
+    // Per-endpoint flush tasks, wired *before* pumps so no pump can emit
+    // ahead of its endpoint's waker. Spawn parked → install waker → kick
+    // once if data already arrived (processor open() may have emitted).
+    for ep in &all_endpoints {
+        let handle =
+            io_pool.spawn_parked(FlushTask { endpoint: ep.clone(), stop: stop_flag.clone() });
+        let waker = handle.clone();
+        ep.set_flush_waker(move || {
+            waker.wake();
+        });
+        if !ep.is_empty() {
+            handle.wake();
+        }
+    }
+
+    // ---- Source pumps: cooperatively scheduled IO tasks. ----
+    let pump_gauge = Arc::new(PumpGauge::new());
+    let progress = Arc::new(ProgressSignal::new());
+    let mut pump_handles: Vec<IoTaskHandle> = Vec::new();
+    for (oi, op) in graph.operators().iter().enumerate() {
+        let Factory::Source(factory) = &op.factory else {
+            continue;
+        };
+        let counters = registry.for_operator(&op.name);
+        for inst in 0..op.parallelism {
+            let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
+            let ctx = OperatorContext::for_channels(
+                op.name.clone(),
+                inst,
+                op.parallelism,
+                links,
+                counters.clone(),
+            );
+            // Downstream in-process gates this pump must respect, deduped
+            // (several endpoints can share one destination queue).
+            let mut gates: Vec<Arc<WatermarkQueue<Frame>>> = Vec::new();
+            for ep in ctx.endpoints() {
+                if let Some(q) = ep.inproc_queue() {
+                    if !gates.iter().any(|g| Arc::ptr_eq(g, q)) {
+                        gates.push(q.clone());
+                    }
+                }
+            }
+            pump_gauge.inc();
+            let pump = SourcePump {
+                source: factory(),
+                ctx,
+                stop: stop_flag.clone(),
+                gauge: pump_gauge.clone(),
+                progress: progress.clone(),
+                gates: gates.clone(),
+                idle_backoff: super::pumps::MIN_IDLE_BACKOFF,
+                opened: false,
+                closed: false,
+            };
+            // Spawn parked, install the gate listeners that reference the
+            // handle, then kick the first run — so a gate release can never
+            // fall into a window where no listener exists (lost wake).
+            let handle = io_pool.spawn_parked(pump);
+            for q in &gates {
+                let waker = handle.clone();
+                q.add_gate_listener(move || {
+                    waker.wake();
+                });
+            }
+            handle.wake();
+            pump_handles.push(handle);
+        }
+    }
+
+    // Topological order of processor handles for close-time draining.
+    let processor_handles: Vec<(String, Vec<neptune_granules::TaskHandle>)> = graph
+        .topological_order()
+        .into_iter()
+        .filter_map(|name| handles_by_operator.remove(name).map(|hs| (name.to_string(), hs)))
+        .collect();
+
+    // ---- Telemetry sampler: periodic timer task (§IV, Fig. 4). ----
+    let series = telemetry_hub.as_ref().map(|_| {
+        let ring = Arc::new(SampleRing::new(config.telemetry.series_capacity));
+        let registry = registry.clone();
+        let pool = pool.clone();
+        let queues = all_queues.clone();
+        let sample = Box::new(move || {
+            let mut metrics = registry.snapshot();
+            metrics.buffer_pool = pool.stats();
+            TelemetrySample {
+                metrics,
+                queues: queues.iter().map(|q| QueueGauge::observe(q)).collect(),
+            }
+        });
+        io_pool.spawn_periodic(
+            config.telemetry.sample_interval,
+            SamplerTask { ring: ring.clone(), sample },
+        );
+        ring
+    });
+
+    // ---- Fault tolerance: heartbeat monitor as a periodic task. ----
+    let ha = if config.ha.enabled {
+        let stats = Arc::new(RecoveryStats::new());
+        let detector = Arc::new(FailureDetector::new(
+            DetectorConfig::new(config.ha.heartbeat_interval, config.ha.failure_timeout),
+            stats.clone(),
+        ));
+        // Restart-nudge targets: every task handle on each resource. A
+        // dead declaration forces those tasks to run again, resuming from
+        // the inbound queues — the replay point, since frames not yet
+        // consumed are still sitting there.
+        let mut handles_by_resource: HashMap<String, Vec<neptune_granules::TaskHandle>> =
+            HashMap::new();
+        for ((oi, inst), handle) in &task_handles {
+            let name = resources[placement[&(*oi, *inst)]].name().to_string();
+            handles_by_resource.entry(name).or_default().push(handle.clone());
+        }
+        let probes: Vec<_> =
+            resources.iter().map(|r| (r.name().to_string(), r.heartbeat_probe())).collect();
+        let tick = (config.ha.heartbeat_interval / 2).max(Duration::from_micros(500));
+        let last = vec![0u64; probes.len()];
+        io_pool.spawn_periodic(
+            tick,
+            MonitorTask {
+                detector: detector.clone(),
+                probes,
+                last,
+                handles_by_resource,
+                primed: false,
+            },
+        );
+        Some(HaRuntime { stats, detector })
+    } else {
+        None
+    };
+
+    Ok(JobHandle {
+        graph_name: graph.name().to_string(),
+        stop_flag,
+        pump_gauge,
+        pump_handles,
+        progress,
+        io_pool: Some(io_pool),
+        resources,
+        processor_handles,
+        queues: all_queues,
+        endpoints: all_endpoints,
+        receivers: Mutex::new(receivers),
+        pool,
+        registry,
+        stopped: AtomicBool::new(false),
+        placement: placement_table,
+        telemetry_hub,
+        series,
+        ha,
+    })
+}

@@ -211,7 +211,19 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
         ("discards", JsonValue::Number(m.buffer_pool.discards as f64)),
         ("bytes_reused", JsonValue::Number(m.buffer_pool.bytes_reused as f64)),
     ]);
-    object([("operators", operators), ("buffer_pool", pool)])
+    let tm = &m.thread_model;
+    let thread_model = object([
+        ("io_threads", JsonValue::Number(tm.io_threads as f64)),
+        ("worker_threads", JsonValue::Number(tm.worker_threads as f64)),
+        ("live_io_tasks", JsonValue::Number(tm.live_io_tasks as f64)),
+        ("queued_io_tasks", JsonValue::Number(tm.queued_io_tasks as f64)),
+        ("timer_depth", JsonValue::Number(tm.timer_depth as f64)),
+        ("timer_fires", JsonValue::Number(tm.timer_fires as f64)),
+        ("io_parks", JsonValue::Number(tm.io_parks as f64)),
+        ("io_wakes", JsonValue::Number(tm.io_wakes as f64)),
+        ("io_polls", JsonValue::Number(tm.io_polls as f64)),
+    ]);
+    object([("operators", operators), ("buffer_pool", pool), ("thread_model", thread_model)])
 }
 
 impl TelemetrySnapshot {
@@ -297,6 +309,18 @@ impl TelemetrySnapshot {
             pool.misses,
             pool.hit_rate() * 100.0,
             pool.bytes_reused
+        ));
+        let tm = &self.metrics.thread_model;
+        out.push_str(&format!(
+            "io tier: threads={} workers={} live_tasks={} queued={} timer_depth={} \
+             parks={} wakes={}\n",
+            tm.io_threads,
+            tm.worker_threads,
+            tm.live_io_tasks,
+            tm.queued_io_tasks,
+            tm.timer_depth,
+            tm.io_parks,
+            tm.io_wakes
         ));
         out.push_str(&format!("series: {} samples\n", self.series.len()));
         if let Some(r) = &self.recovery {
@@ -398,6 +422,27 @@ impl TelemetrySnapshot {
             &[],
             pool.bytes_reused,
         );
+        let tm = &self.metrics.thread_model;
+        let tier_gauges: [(&str, u64); 5] = [
+            ("neptune_io_threads", tm.io_threads as u64),
+            ("neptune_worker_threads", tm.worker_threads as u64),
+            ("neptune_io_tasks_live", tm.live_io_tasks as u64),
+            ("neptune_io_queue_depth", tm.queued_io_tasks as u64),
+            ("neptune_timer_depth", tm.timer_depth as u64),
+        ];
+        for (metric, value) in tier_gauges {
+            out.push_str(&format!("# TYPE {metric} gauge\n"));
+            export::sample_line(&mut out, metric, &[], value);
+        }
+        let tier_counters: [(&str, u64); 4] = [
+            ("neptune_io_parks_total", tm.io_parks),
+            ("neptune_io_wakes_total", tm.io_wakes),
+            ("neptune_io_polls_total", tm.io_polls),
+            ("neptune_timer_fires_total", tm.timer_fires),
+        ];
+        for (metric, value) in tier_counters {
+            export::prometheus_counter(&mut out, metric, &[], value);
+        }
         if let Some(r) = &self.recovery {
             let recovery_counters: [(&str, u64); 12] = [
                 ("neptune_recovery_retransmits_total", r.retransmits),

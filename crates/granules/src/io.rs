@@ -1,0 +1,573 @@
+//! The IO-thread tier of the two-tier execution plane.
+//!
+//! NEPTUNE §III-B6: instead of Storm's thread-per-activity model, the
+//! runtime keeps exactly two pools — worker threads for computational tasks
+//! ([`crate::WorkerPool`]) and a small set of IO threads for everything
+//! event-shaped: source pumps, flush deadlines, heartbeat monitors,
+//! samplers. An [`IoTask`] is a cooperatively-scheduled state machine: its
+//! `run` method does a bounded stint of work and then reports whether it has
+//! more ([`IoStatus::Ready`]), wants to sleep until an external wake
+//! ([`IoStatus::Park`]) or a deadline ([`IoStatus::ParkUntil`]), or is done
+//! ([`IoStatus::Complete`]). Parked tasks cost *nothing* — no thread, no
+//! poll — until an event ([`IoTaskHandle::wake`]) or the pool's
+//! [`TimerWheel`] re-queues them, which is what lets one node host hundreds
+//! of idle sources on a handful of threads.
+//!
+//! Wake/park races are resolved by a per-task atomic state machine
+//! (PARKED / QUEUED / RUNNING / NOTIFIED / DONE): a wake that arrives while
+//! the task is mid-run flags NOTIFIED and the pool re-queues the task
+//! instead of parking it, so no event is ever lost between "checked for
+//! work" and "parked".
+
+use crate::wheel::{TimerScheduler, TimerWheel};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// What an [`IoTask`] wants after a run stint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStatus {
+    /// More work immediately available: re-queue at the back (fairness).
+    Ready,
+    /// Nothing to do until an external [`IoTaskHandle::wake`].
+    Park,
+    /// Nothing to do until the given deadline (or an earlier wake).
+    ParkUntil(Instant),
+    /// Finished; the task is dropped.
+    Complete,
+}
+
+/// Execution context handed to each [`IoTask::run`] stint.
+pub struct IoContext {
+    shutting_down: bool,
+}
+
+impl IoContext {
+    /// True when the pool is draining: the task should flush/close and
+    /// return [`IoStatus::Complete`] — any other status retires it anyway.
+    pub fn shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+}
+
+/// A cooperatively-scheduled unit of IO work.
+pub trait IoTask: Send + 'static {
+    /// Perform a bounded stint of work. Must not block indefinitely; long
+    /// waits are expressed by parking, not by sleeping on the thread.
+    fn run(&mut self, ctx: &IoContext) -> IoStatus;
+
+    /// Called once at pool shutdown if the task never returned
+    /// [`IoStatus::Complete`] — last chance to release resources.
+    fn on_shutdown(&mut self) {}
+}
+
+const ST_PARKED: u8 = 0;
+const ST_QUEUED: u8 = 1;
+const ST_RUNNING: u8 = 2;
+/// Running, and a wake arrived mid-run: re-queue instead of parking.
+const ST_NOTIFIED: u8 = 3;
+const ST_DONE: u8 = 4;
+
+struct IoSlot {
+    state: AtomicU8,
+    task: Mutex<Option<Box<dyn IoTask>>>,
+}
+
+impl IoSlot {
+    fn retire(&self, finished: bool) {
+        if let Some(mut t) = self.task.lock().take() {
+            if !finished {
+                t.on_shutdown();
+            }
+        }
+        self.state.store(ST_DONE, Ordering::Release);
+    }
+}
+
+/// Handle for waking (or observing) a spawned [`IoTask`]. Cloneable and
+/// cheap; safe to call from timer callbacks, queue gate listeners, or any
+/// other thread.
+#[derive(Clone)]
+pub struct IoTaskHandle {
+    slot: Arc<IoSlot>,
+    pool: Weak<IoPoolInner>,
+}
+
+impl IoTaskHandle {
+    /// Wake the task: a parked task is re-queued; a running task is flagged
+    /// to re-run; an already-queued task absorbs the wake. Returns `false`
+    /// only if the task has completed (or the pool is gone).
+    pub fn wake(&self) -> bool {
+        loop {
+            match self.slot.state.load(Ordering::Acquire) {
+                ST_PARKED => {
+                    if self
+                        .slot
+                        .state
+                        .compare_exchange(ST_PARKED, ST_QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let Some(pool) = self.pool.upgrade() else {
+                            self.slot.state.store(ST_DONE, Ordering::Release);
+                            return false;
+                        };
+                        pool.wakes.fetch_add(1, Ordering::Relaxed);
+                        pool.enqueue(self.slot.clone());
+                        return true;
+                    }
+                }
+                ST_RUNNING => {
+                    if self
+                        .slot
+                        .state
+                        .compare_exchange(
+                            ST_RUNNING,
+                            ST_NOTIFIED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        if let Some(pool) = self.pool.upgrade() {
+                            pool.wakes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return true;
+                    }
+                }
+                ST_QUEUED | ST_NOTIFIED => return true,
+                _ => return false, // ST_DONE
+            }
+        }
+    }
+
+    /// True once the task has completed (or been retired at shutdown).
+    pub fn is_complete(&self) -> bool {
+        self.slot.state.load(Ordering::Acquire) == ST_DONE
+    }
+}
+
+/// Point-in-time gauges for the IO tier, exported through telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoPoolStats {
+    /// Fixed number of IO threads.
+    pub io_threads: usize,
+    /// Tasks spawned and not yet completed/retired.
+    pub live_tasks: usize,
+    /// Tasks currently waiting in the ready queue.
+    pub queued_tasks: usize,
+    /// Cumulative park transitions (task went idle).
+    pub parks: u64,
+    /// Cumulative wake events delivered (timer or external).
+    pub wakes: u64,
+    /// Cumulative run stints executed.
+    pub polls: u64,
+    /// Live registrations on the pool's timer wheel.
+    pub timer_depth: usize,
+    /// Cumulative timer callbacks fired.
+    pub timer_fires: u64,
+}
+
+struct IoPoolInner {
+    queue: Mutex<VecDeque<Arc<IoSlot>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    live: AtomicUsize,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    polls: AtomicU64,
+    threads: usize,
+    /// Weak registry of every spawned slot so shutdown can wake/retire
+    /// parked tasks it would otherwise never see again.
+    slots: Mutex<Vec<Weak<IoSlot>>>,
+}
+
+impl IoPoolInner {
+    fn enqueue(&self, slot: Arc<IoSlot>) {
+        self.queue.lock().push_back(slot);
+        self.cv.notify_one();
+    }
+}
+
+/// Fixed-size event-driven IO thread pool with an owned [`TimerWheel`].
+pub struct IoPool {
+    inner: Arc<IoPoolInner>,
+    timer: Option<TimerWheel>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl IoPool {
+    /// Spawn `threads` IO threads (named `{name}-io-{i}`) plus the shared
+    /// timer wheel thread.
+    pub fn new(name: &str, threads: usize) -> IoPool {
+        let threads = threads.max(1);
+        let inner = Arc::new(IoPoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            threads,
+            slots: Mutex::new(Vec::new()),
+        });
+        let timer = TimerWheel::start();
+        let scheduler = timer.scheduler();
+        let joins = (0..threads)
+            .map(|i| {
+                let pool = inner.clone();
+                let sched = scheduler.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-io-{i}"))
+                    .spawn(move || io_loop(pool, sched))
+                    .expect("spawn io thread")
+            })
+            .collect();
+        IoPool { inner, timer: Some(timer), joins }
+    }
+
+    /// Number of IO threads.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Scheduling handle onto the pool's timer wheel.
+    pub fn scheduler(&self) -> TimerScheduler {
+        self.timer.as_ref().expect("pool live").scheduler()
+    }
+
+    /// Spawn a task in the ready queue (first run as soon as a thread frees).
+    pub fn spawn(&self, task: impl IoTask) -> IoTaskHandle {
+        self.spawn_with_state(task, ST_QUEUED)
+    }
+
+    /// Spawn a task parked; it runs only once woken.
+    pub fn spawn_parked(&self, task: impl IoTask) -> IoTaskHandle {
+        self.spawn_with_state(task, ST_PARKED)
+    }
+
+    /// Spawn a task that runs immediately and is then woken every `period`
+    /// by the timer wheel (the task should end each stint with
+    /// [`IoStatus::Park`]).
+    pub fn spawn_periodic(&self, period: Duration, task: impl IoTask) -> IoTaskHandle {
+        let handle = self.spawn_with_state(task, ST_QUEUED);
+        let wake = handle.clone();
+        self.scheduler().register(period, move || {
+            wake.wake();
+        });
+        handle
+    }
+
+    fn spawn_with_state(&self, task: impl IoTask, state: u8) -> IoTaskHandle {
+        let slot = Arc::new(IoSlot {
+            state: AtomicU8::new(state),
+            task: Mutex::new(Some(Box::new(task))),
+        });
+        self.inner.live.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut slots = self.inner.slots.lock();
+            if slots.len() > 64 && slots.len() > self.inner.live.load(Ordering::Relaxed) * 2 {
+                slots.retain(|w| w.upgrade().is_some());
+            }
+            slots.push(Arc::downgrade(&slot));
+        }
+        let handle = IoTaskHandle { slot: slot.clone(), pool: Arc::downgrade(&self.inner) };
+        if state == ST_QUEUED {
+            self.inner.enqueue(slot);
+        }
+        handle
+    }
+
+    /// Snapshot of the tier's gauges.
+    pub fn stats(&self) -> IoPoolStats {
+        let (timer_depth, timer_fires) = match &self.timer {
+            Some(t) => (t.active(), t.fires()),
+            None => (0, 0),
+        };
+        IoPoolStats {
+            io_threads: self.inner.threads,
+            live_tasks: self.inner.live.load(Ordering::Relaxed),
+            queued_tasks: self.inner.queue.lock().len(),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            wakes: self.inner.wakes.load(Ordering::Relaxed),
+            polls: self.inner.polls.load(Ordering::Relaxed),
+            timer_depth,
+            timer_fires,
+        }
+    }
+
+    /// Drain and stop the tier: the timer wheel is stopped first (no more
+    /// timer wakes), every parked task is woken so it gets one final
+    /// `run`/`on_shutdown` stint, the ready queue is drained to empty, and
+    /// all IO threads are joined. Idempotent.
+    pub fn shutdown(&mut self) {
+        // Take strong refs *before* stopping the wheel: a periodic task's
+        // slot may be kept alive only by its timer closure, which the
+        // wheel shutdown drops — upgrading afterwards would miss it and
+        // leak its live count.
+        let slots: Vec<Arc<IoSlot>> =
+            self.inner.slots.lock().iter().filter_map(|w| w.upgrade()).collect();
+        if let Some(timer) = self.timer.take() {
+            timer.shutdown();
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        for slot in &slots {
+            let handle = IoTaskHandle { slot: slot.clone(), pool: Arc::downgrade(&self.inner) };
+            handle.wake();
+        }
+        self.inner.cv.notify_all();
+        for t in self.joins.drain(..) {
+            let _ = t.join();
+        }
+        // Anything still queued (e.g. woken after the threads decided to
+        // exit) is retired synchronously so the queue ends empty.
+        let leftovers: Vec<Arc<IoSlot>> = self.inner.queue.lock().drain(..).collect();
+        for slot in leftovers {
+            slot.retire(false);
+            self.inner.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        // Final sweep: any task the threads never got to (all joined by
+        // now, so this cannot race a run stint) is retired here.
+        for slot in slots {
+            if slot.state.load(Ordering::Acquire) != ST_DONE {
+                slot.retire(false);
+                self.inner.live.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for IoPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn io_loop(inner: Arc<IoPoolInner>, scheduler: TimerScheduler) {
+    loop {
+        let slot = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.cv.wait(&mut q);
+            }
+        };
+        let shutting = inner.shutdown.load(Ordering::Acquire);
+        slot.state.store(ST_RUNNING, Ordering::Release);
+        let status = {
+            let mut task = slot.task.lock();
+            match task.as_mut() {
+                Some(t) => t.run(&IoContext { shutting_down: shutting }),
+                None => IoStatus::Complete,
+            }
+        };
+        inner.polls.fetch_add(1, Ordering::Relaxed);
+        if shutting {
+            // Drain mode: one final stint, then retire regardless of status.
+            slot.retire(matches!(status, IoStatus::Complete));
+            inner.live.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        match status {
+            IoStatus::Ready => {
+                slot.state.store(ST_QUEUED, Ordering::Release);
+                inner.enqueue(slot);
+            }
+            IoStatus::Complete => {
+                slot.retire(true);
+                inner.live.fetch_sub(1, Ordering::Relaxed);
+            }
+            IoStatus::Park | IoStatus::ParkUntil(_) => {
+                match slot.state.compare_exchange(
+                    ST_RUNNING,
+                    ST_PARKED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        inner.parks.fetch_add(1, Ordering::Relaxed);
+                        if let IoStatus::ParkUntil(deadline) = status {
+                            let handle =
+                                IoTaskHandle { slot: slot.clone(), pool: Arc::downgrade(&inner) };
+                            scheduler.schedule_once(deadline, move || {
+                                handle.wake();
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        // A wake landed mid-run (NOTIFIED): re-queue so the
+                        // event is not lost.
+                        slot.state.store(ST_QUEUED, Ordering::Release);
+                        inner.enqueue(slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::wait_until;
+
+    struct CountTask {
+        runs: Arc<AtomicU64>,
+        status: IoStatus,
+    }
+
+    impl IoTask for CountTask {
+        fn run(&mut self, _ctx: &IoContext) -> IoStatus {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.status
+        }
+    }
+
+    #[test]
+    fn parked_task_runs_only_when_woken() {
+        let mut pool = IoPool::new("t", 2);
+        let runs = Arc::new(AtomicU64::new(0));
+        let h = pool.spawn_parked(CountTask { runs: runs.clone(), status: IoStatus::Park });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(runs.load(Ordering::Relaxed), 0, "parked task ran unwoken");
+        assert!(h.wake());
+        assert!(wait_until(Instant::now() + Duration::from_secs(2), || {
+            runs.load(Ordering::Relaxed) == 1
+        }));
+        let stats = pool.stats();
+        assert_eq!(stats.live_tasks, 1);
+        assert!(stats.wakes >= 1);
+        assert!(stats.parks >= 1);
+        pool.shutdown();
+        assert!(h.is_complete());
+        assert_eq!(pool.stats().queued_tasks, 0, "queue must drain at shutdown");
+    }
+
+    #[test]
+    fn park_until_rewakes_via_timer() {
+        let mut pool = IoPool::new("t", 1);
+        let runs = Arc::new(AtomicU64::new(0));
+        struct Backoff(Arc<AtomicU64>);
+        impl IoTask for Backoff {
+            fn run(&mut self, _ctx: &IoContext) -> IoStatus {
+                if self.0.fetch_add(1, Ordering::Relaxed) >= 4 {
+                    IoStatus::Complete
+                } else {
+                    IoStatus::ParkUntil(Instant::now() + Duration::from_millis(2))
+                }
+            }
+        }
+        let h = pool.spawn(Backoff(runs.clone()));
+        assert!(wait_until(Instant::now() + Duration::from_secs(5), || h.is_complete()));
+        assert_eq!(runs.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.stats().live_tasks, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn wake_during_run_requeues_instead_of_parking() {
+        let mut pool = IoPool::new("t", 1);
+        let runs = Arc::new(AtomicU64::new(0));
+        struct SlowPark {
+            runs: Arc<AtomicU64>,
+            gate: Arc<AtomicBool>,
+        }
+        impl IoTask for SlowPark {
+            fn run(&mut self, _ctx: &IoContext) -> IoStatus {
+                self.runs.fetch_add(1, Ordering::Relaxed);
+                // Hold the run long enough for the waker to land mid-run.
+                while !self.gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                IoStatus::Park
+            }
+        }
+        let gate = Arc::new(AtomicBool::new(false));
+        let h = pool.spawn(SlowPark { runs: runs.clone(), gate: gate.clone() });
+        assert!(wait_until(Instant::now() + Duration::from_secs(2), || {
+            runs.load(Ordering::Relaxed) == 1
+        }));
+        // Task is mid-run; this wake must not be lost.
+        assert!(h.wake());
+        gate.store(true, Ordering::Release);
+        assert!(
+            wait_until(Instant::now() + Duration::from_secs(2), || runs.load(Ordering::Relaxed)
+                >= 2),
+            "mid-run wake was dropped"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ready_tasks_share_threads_fairly() {
+        let mut pool = IoPool::new("t", 2);
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        struct Busy(Arc<AtomicU64>);
+        impl IoTask for Busy {
+            fn run(&mut self, ctx: &IoContext) -> IoStatus {
+                if ctx.shutting_down() {
+                    return IoStatus::Complete;
+                }
+                if self.0.fetch_add(1, Ordering::Relaxed) >= 200 {
+                    IoStatus::Complete
+                } else {
+                    IoStatus::Ready
+                }
+            }
+        }
+        let ha = pool.spawn(Busy(a.clone()));
+        let hb = pool.spawn(Busy(b.clone()));
+        assert!(wait_until(Instant::now() + Duration::from_secs(5), || {
+            ha.is_complete() && hb.is_complete()
+        }));
+        assert!(a.load(Ordering::Relaxed) >= 200);
+        assert!(b.load(Ordering::Relaxed) >= 200);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn spawn_periodic_fires_repeatedly_until_shutdown() {
+        let mut pool = IoPool::new("t", 1);
+        let runs = Arc::new(AtomicU64::new(0));
+        let _h = pool.spawn_periodic(
+            Duration::from_millis(3),
+            CountTask { runs: runs.clone(), status: IoStatus::Park },
+        );
+        assert!(wait_until(Instant::now() + Duration::from_secs(5), || {
+            runs.load(Ordering::Relaxed) >= 5
+        }));
+        pool.shutdown();
+        let after = runs.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(runs.load(Ordering::Relaxed), after, "task ran after shutdown");
+    }
+
+    #[test]
+    fn shutdown_retires_parked_tasks_with_on_shutdown_hook() {
+        let mut pool = IoPool::new("t", 2);
+        struct Hooked(Arc<AtomicU64>);
+        impl IoTask for Hooked {
+            fn run(&mut self, _ctx: &IoContext) -> IoStatus {
+                IoStatus::Park
+            }
+            fn on_shutdown(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hooked = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8).map(|_| pool.spawn_parked(Hooked(hooked.clone()))).collect();
+        pool.shutdown();
+        assert!(handles.iter().all(|h| h.is_complete()));
+        assert_eq!(hooked.load(Ordering::Relaxed), 8, "on_shutdown must reach parked tasks");
+        assert_eq!(pool.stats().live_tasks, 0);
+        assert_eq!(pool.stats().queued_tasks, 0);
+    }
+}

@@ -48,14 +48,19 @@
 
 pub mod dataset;
 pub mod error;
+pub mod io;
 pub mod resource;
 pub mod scheduler;
 pub mod task;
+pub mod test_support;
 pub mod threadpool;
+pub mod wheel;
 
 pub use dataset::{Dataset, DatasetId, InMemoryDataset, QueueDataset};
 pub use error::GranulesError;
+pub use io::{IoContext, IoPool, IoPoolStats, IoStatus, IoTask, IoTaskHandle};
 pub use resource::{HeartbeatProbe, Resource, ResourceBuilder, TaskHandle};
 pub use scheduler::{ScheduleSpec, TimerService};
 pub use task::{ComputationalTask, TaskContext, TaskId, TaskOutcome, TaskState};
 pub use threadpool::WorkerPool;
+pub use wheel::{TimerScheduler, TimerWheel};

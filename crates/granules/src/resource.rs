@@ -574,8 +574,9 @@ mod tests {
         let res = Resource::builder("r").workers(2).build();
         let (rec, execs, _) = Recorder::new();
         let _h = res.deploy(rec, ScheduleSpec::periodic(Duration::from_millis(5))).unwrap();
-        std::thread::sleep(Duration::from_millis(60));
-        assert!(execs.load(Ordering::Relaxed) >= 3);
+        assert!(crate::test_support::wait_for(Duration::from_secs(5), || {
+            execs.load(Ordering::Relaxed) >= 3
+        }));
         res.shutdown();
     }
 
@@ -585,9 +586,11 @@ mod tests {
         let (rec, _execs, signals) = Recorder::new();
         let h = res.deploy(rec, ScheduleSpec::combined(1000, Duration::from_millis(10))).unwrap();
         h.signal_many(3); // far below the count threshold
-        std::thread::sleep(Duration::from_millis(50));
+                          // The periodic fire must consume the stragglers.
+        assert!(crate::test_support::wait_for(Duration::from_secs(5), || {
+            signals.load(Ordering::Relaxed) == 3
+        }));
         res.drain();
-        // The periodic fire must have consumed the stragglers.
         assert_eq!(signals.load(Ordering::Relaxed), 3);
         res.shutdown();
     }
@@ -708,22 +711,21 @@ mod tests {
         assert_eq!(res.heartbeat_count(), 0, "beacon must be opt-in");
         res.enable_heartbeat(Duration::from_millis(2));
         res.enable_heartbeat(Duration::from_millis(2)); // idempotent
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while res.heartbeat_count() < 3 {
-            assert!(std::time::Instant::now() < deadline, "beacon never ticked");
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        assert!(
+            crate::test_support::wait_for(Duration::from_secs(5), || res.heartbeat_count() >= 3),
+            "beacon never ticked"
+        );
         res.set_heartbeat_suspended(true);
         std::thread::sleep(Duration::from_millis(10));
         let frozen = res.heartbeat_count();
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(res.heartbeat_count(), frozen, "suspended beacon must go silent");
         res.set_heartbeat_suspended(false);
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while res.heartbeat_count() <= frozen {
-            assert!(std::time::Instant::now() < deadline, "thawed beacon never resumed");
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        assert!(
+            crate::test_support::wait_for(Duration::from_secs(5), || res.heartbeat_count()
+                > frozen),
+            "thawed beacon never resumed"
+        );
         res.shutdown();
     }
 

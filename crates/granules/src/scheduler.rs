@@ -7,11 +7,8 @@
 //! to run every 500 milliseconds or when data is available in a particular
 //! dataset."*
 
-use parking_lot::{Condvar, Mutex};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use crate::wheel::TimerWheel;
+use std::time::Duration;
 
 /// When a deployed task should be scheduled for execution.
 ///
@@ -104,170 +101,47 @@ impl Default for ScheduleSpec {
     }
 }
 
-type TimerCallback = Arc<dyn Fn() + Send + Sync>;
-
-struct TimerEntry {
-    fire_at: Instant,
-    period: Duration,
-    id: u64,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.fire_at == other.fire_at && self.id == other.id
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.fire_at.cmp(&other.fire_at).then(self.id.cmp(&other.id))
-    }
-}
-
-struct TimerShared {
-    state: Mutex<TimerState>,
-    cv: Condvar,
-}
-
-struct TimerState {
-    heap: BinaryHeap<Reverse<TimerEntry>>,
-    callbacks: std::collections::HashMap<u64, TimerCallback>,
-    next_id: u64,
-    shutdown: bool,
-}
-
-/// A single timer thread multiplexing all periodic schedules of a resource.
-///
-/// One thread per resource (not per task) keeps the thread count flat no
-/// matter how many periodic operators a job deploys.
+/// Periodic-schedule service for a resource: a thin facade over the
+/// hierarchical [`TimerWheel`] (see [`crate::wheel`]), kept for API
+/// stability — one wheel thread per resource (not per task) keeps the
+/// thread count flat no matter how many periodic operators a job deploys.
 pub struct TimerService {
-    shared: Arc<TimerShared>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    wheel: TimerWheel,
 }
 
 impl TimerService {
-    /// Start the timer thread.
+    /// Start the timer-wheel thread.
     pub fn start() -> Self {
-        let shared = Arc::new(TimerShared {
-            state: Mutex::new(TimerState {
-                heap: BinaryHeap::new(),
-                callbacks: std::collections::HashMap::new(),
-                next_id: 0,
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-        });
-        let thread_shared = shared.clone();
-        let thread = std::thread::Builder::new()
-            .name("granules-timer".into())
-            .spawn(move || timer_loop(thread_shared))
-            .expect("spawn timer thread");
-        TimerService { shared, thread: Some(thread) }
+        TimerService { wheel: TimerWheel::start() }
     }
 
     /// Register a periodic callback; returns a registration id for
     /// [`cancel`](Self::cancel).
     pub fn register<F: Fn() + Send + Sync + 'static>(&self, period: Duration, f: F) -> u64 {
-        assert!(!period.is_zero(), "period must be non-zero");
-        let mut st = self.shared.state.lock();
-        let id = st.next_id;
-        st.next_id += 1;
-        st.callbacks.insert(id, Arc::new(f));
-        st.heap.push(Reverse(TimerEntry { fire_at: Instant::now() + period, period, id }));
-        drop(st);
-        self.shared.cv.notify_one();
-        id
+        self.wheel.register(period, f)
     }
 
-    /// Cancel a periodic registration. Idempotent.
+    /// Cancel a periodic registration. Idempotent; at most one already
+    /// in-flight fire may still land after this returns.
     pub fn cancel(&self, id: u64) {
-        let mut st = self.shared.state.lock();
-        st.callbacks.remove(&id);
-        // The heap entry is lazily discarded when it fires.
+        self.wheel.cancel(id);
     }
 
     /// Number of live registrations.
     pub fn active(&self) -> usize {
-        self.shared.state.lock().callbacks.len()
+        self.wheel.active()
     }
 
-    /// Stop the timer thread.
-    pub fn shutdown(mut self) {
-        self.do_shutdown();
-    }
-
-    fn do_shutdown(&mut self) {
-        {
-            let mut st = self.shared.state.lock();
-            st.shutdown = true;
-        }
-        self.shared.cv.notify_all();
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for TimerService {
-    fn drop(&mut self) {
-        self.do_shutdown();
-    }
-}
-
-fn timer_loop(shared: Arc<TimerShared>) {
-    let mut st = shared.state.lock();
-    loop {
-        if st.shutdown {
-            return;
-        }
-        let now = Instant::now();
-        // Fire everything due.
-        let mut due: Vec<(u64, TimerCallback)> = Vec::new();
-        while let Some(Reverse(top)) = st.heap.peek() {
-            if top.fire_at > now {
-                break;
-            }
-            let Reverse(entry) = st.heap.pop().expect("peeked entry");
-            if let Some(cb) = st.callbacks.get(&entry.id) {
-                due.push((entry.id, cb.clone()));
-                st.heap.push(Reverse(TimerEntry {
-                    fire_at: now + entry.period,
-                    period: entry.period,
-                    id: entry.id,
-                }));
-            }
-            // Cancelled entries simply drop out of the heap here.
-        }
-        if !due.is_empty() {
-            // Run callbacks outside the lock so they may re-enter the service.
-            drop(st);
-            for (_, cb) in due {
-                cb();
-            }
-            st = shared.state.lock();
-            continue;
-        }
-        match st.heap.peek() {
-            Some(Reverse(top)) => {
-                let wait = top.fire_at.saturating_duration_since(Instant::now());
-                shared.cv.wait_for(&mut st, wait);
-            }
-            None => {
-                shared.cv.wait(&mut st);
-            }
-        }
-    }
+    /// Stop the timer thread (also happens on drop).
+    pub fn shutdown(self) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn spec_constructors_validate() {

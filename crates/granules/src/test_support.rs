@@ -1,0 +1,30 @@
+//! Deadline-polling helpers for tests.
+//!
+//! Synchronizing a test with a background thread via a bare
+//! `thread::sleep(fixed)` is a race with the scheduler: too short and the
+//! test flakes under load, too long and the suite crawls. These helpers
+//! poll a predicate up to a deadline instead — the test proceeds the moment
+//! the condition holds and only fails after the (generous) deadline, so the
+//! timeout can be sized for the worst CI machine without slowing the common
+//! case.
+
+use std::time::{Duration, Instant};
+
+/// Poll `pred` until it returns true or `deadline` passes. Returns the
+/// final verdict of `pred`, so `assert!(wait_until(..))` reads naturally.
+pub fn wait_until(deadline: Instant, mut pred: impl FnMut() -> bool) -> bool {
+    loop {
+        if pred() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return pred();
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// [`wait_until`] with a relative timeout.
+pub fn wait_for(timeout: Duration, pred: impl FnMut() -> bool) -> bool {
+    wait_until(Instant::now() + timeout, pred)
+}

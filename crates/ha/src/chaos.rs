@@ -271,8 +271,11 @@ mod tests {
 
     #[test]
     fn cut_window_fails_then_heals() {
-        let plan = FaultPlan::new(1)
-            .with_event(FaultEvent::CutLink { link_id: 1, at_frame: 2, down_for: 3 });
+        let plan = FaultPlan::new(1).with_event(FaultEvent::CutLink {
+            link_id: 1,
+            at_frame: 2,
+            down_for: 3,
+        });
         let spy = Arc::new(SinkSpy::default());
         let chaos = ChaosLink::new(spy.clone(), &plan, 1);
         let mut results = Vec::new();
@@ -286,8 +289,11 @@ mod tests {
 
     #[test]
     fn control_fails_inside_window_without_advancing_it() {
-        let plan = FaultPlan::new(1)
-            .with_event(FaultEvent::CutLink { link_id: 1, at_frame: 1, down_for: 2 });
+        let plan = FaultPlan::new(1).with_event(FaultEvent::CutLink {
+            link_id: 1,
+            at_frame: 1,
+            down_for: 2,
+        });
         let spy = Arc::new(SinkSpy::default());
         let chaos = ChaosLink::new(spy.clone(), &plan, 1);
         chaos.send_frame(&of(0)).unwrap(); // attempt 0: ok, counter now 1
@@ -301,8 +307,11 @@ mod tests {
 
     #[test]
     fn other_links_are_untouched() {
-        let plan = FaultPlan::new(1)
-            .with_event(FaultEvent::CutLink { link_id: 9, at_frame: 0, down_for: 100 });
+        let plan = FaultPlan::new(1).with_event(FaultEvent::CutLink {
+            link_id: 9,
+            at_frame: 0,
+            down_for: 100,
+        });
         let spy = Arc::new(SinkSpy::default());
         let chaos = ChaosLink::new(spy, &plan, 1);
         for i in 0..5 {

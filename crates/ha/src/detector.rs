@@ -185,12 +185,7 @@ impl FailureDetector {
 
     /// Peers currently in the given state.
     pub fn peers_in(&self, state: PeerState) -> Vec<String> {
-        self.peers
-            .lock()
-            .iter()
-            .filter(|(_, r)| r.state == state)
-            .map(|(n, _)| n.clone())
-            .collect()
+        self.peers.lock().iter().filter(|(_, r)| r.state == state).map(|(n, _)| n.clone()).collect()
     }
 }
 

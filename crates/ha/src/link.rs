@@ -14,8 +14,7 @@
 use bytes::Bytes;
 use neptune_compress::SelectiveCompressor;
 use neptune_net::frame::{
-    encode_control_frame, encode_frame_raw_ext, ControlKind, Frame, FrameMessages,
-    FRAME_HEADER_LEN,
+    encode_control_frame, encode_frame_raw_ext, ControlKind, Frame, FrameMessages, FRAME_HEADER_LEN,
 };
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::TransportError;

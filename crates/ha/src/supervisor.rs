@@ -120,14 +120,8 @@ impl SupervisedLink {
         if evicted > 0 {
             self.stats.replay_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
-        let frame = OutboundFrame {
-            link_id: self.link_id,
-            seq,
-            base_seq,
-            count,
-            encoded,
-            sent_at_micros,
-        };
+        let frame =
+            OutboundFrame { link_id: self.link_id, seq, base_seq, count, encoded, sent_at_micros };
         let mut active = self.active.lock();
         if active.is_none() {
             *active = (self.connector)().ok();
@@ -287,10 +281,12 @@ mod tests {
     fn cut_link_recovers_with_replay_and_dedup_sees_all_messages() {
         let q = queue();
         let stats = Arc::new(RecoveryStats::new());
-        let plan = FaultPlan::new(3)
-            .with_event(FaultEvent::CutLink { link_id: 1, at_frame: 4, down_for: 3 });
-        let chaos =
-            Arc::new(ChaosLink::new(Arc::new(QueueLink::new(q.clone())), &plan, 1));
+        let plan = FaultPlan::new(3).with_event(FaultEvent::CutLink {
+            link_id: 1,
+            at_frame: 4,
+            down_for: 3,
+        });
+        let chaos = Arc::new(ChaosLink::new(Arc::new(QueueLink::new(q.clone())), &plan, 1));
         let chaos2 = chaos.clone();
         let link = SupervisedLink::new(
             1,
@@ -327,7 +323,9 @@ mod tests {
         assert_eq!(snap.link_failures, 0);
         let evs = events.lock();
         assert!(evs.contains(&LinkEvent::Reconnecting { attempt: 0 }));
-        assert!(evs.iter().any(|e| matches!(e, LinkEvent::Reconnected { replayed } if *replayed > 0)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, LinkEvent::Reconnected { replayed } if *replayed > 0)));
     }
 
     #[test]

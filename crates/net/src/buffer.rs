@@ -285,6 +285,7 @@ pub fn split_encoded(encoded: &[u8]) -> Result<Vec<Vec<u8>>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::wait_until;
 
     #[test]
     fn flushes_on_capacity() {
@@ -342,7 +343,8 @@ mod tests {
         let mut buf = OutputBuffer::new(1 << 20, Some(Duration::from_millis(5)));
         buf.push(b"slow stream");
         assert!(buf.take_if_due(Instant::now()).is_none(), "not due yet");
-        std::thread::sleep(Duration::from_millis(8));
+        let deadline = buf.flush_deadline().expect("timer armed");
+        assert!(wait_until(deadline, || Instant::now() >= deadline));
         let batch = buf.take_if_due(Instant::now()).expect("due");
         assert_eq!(batch.reason, FlushReason::Timer);
         assert_eq!(batch.count, 1);
@@ -354,8 +356,8 @@ mod tests {
     fn no_timer_when_empty() {
         let mut buf = OutputBuffer::new(1024, Some(Duration::from_millis(1)));
         assert!(buf.flush_deadline().is_none());
-        std::thread::sleep(Duration::from_millis(3));
-        assert!(buf.take_if_due(Instant::now()).is_none());
+        // An empty buffer is not due at any point in the future.
+        assert!(buf.take_if_due(Instant::now() + Duration::from_secs(1)).is_none());
     }
 
     #[test]
@@ -363,7 +365,9 @@ mod tests {
         let mut buf = OutputBuffer::new(1 << 20, Some(Duration::from_millis(50)));
         buf.push(b"first");
         let d1 = buf.flush_deadline().unwrap();
-        std::thread::sleep(Duration::from_millis(5));
+        // Measurably later — but still before the deadline — push again.
+        let mid = Instant::now() + Duration::from_millis(2);
+        assert!(wait_until(mid, || Instant::now() >= mid));
         buf.push(b"second");
         let d2 = buf.flush_deadline().unwrap();
         assert_eq!(d1, d2, "deadline must anchor to the first message");

@@ -29,6 +29,7 @@ pub mod buffer;
 pub mod frame;
 pub mod pool;
 pub mod tcp;
+pub mod test_support;
 pub mod transport;
 pub mod watermark;
 

@@ -331,6 +331,12 @@ impl TcpReceiver {
         self.decode_errors.load(Ordering::Relaxed)
     }
 
+    /// Connections accepted since bind (cleared at shutdown). Lets tests
+    /// and operators confirm reader threads exist without sleeping.
+    pub fn connections(&self) -> usize {
+        self.accepted.lock().len()
+    }
+
     /// Register a callback fired after each delivered frame (data-driven
     /// scheduling hook).
     pub fn on_deliver<F: Fn() + Send + Sync + 'static>(&self, f: F) {
@@ -444,6 +450,7 @@ fn reader_loop(
 mod tests {
     use super::*;
     use crate::frame::encode_frame;
+    use crate::test_support::wait_for;
     use neptune_compress::SelectiveCompressor;
     use std::time::Duration;
 
@@ -535,13 +542,14 @@ mod tests {
                 }
             })
         };
-        // Give the producer time: without backpressure it would finish all
-        // sends quickly; with the receiver stalled it must get stuck.
-        std::thread::sleep(Duration::from_millis(300));
-        let stalled_at = sent.load(Ordering::Relaxed);
+        // Without backpressure the producer finishes all sends quickly;
+        // with the receiver stalled it must still be stuck at the deadline.
+        let finished_early =
+            wait_for(Duration::from_millis(300), || sent.load(Ordering::Relaxed) == N_FRAMES);
         assert!(
-            stalled_at < N_FRAMES,
-            "producer should have been blocked by backpressure, sent {stalled_at}"
+            !finished_early,
+            "producer should have been blocked by backpressure, sent {}",
+            sent.load(Ordering::Relaxed)
         );
         // Drain the receiver: producer must finish.
         let q = rx.queue();
@@ -568,10 +576,7 @@ mod tests {
         stream.write_all(&junk).unwrap();
         drop(stream);
         // Wait for the reader to process and drop the connection.
-        let t0 = std::time::Instant::now();
-        while rx.decode_errors() == 0 && t0.elapsed() < Duration::from_secs(5) {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        assert!(wait_for(Duration::from_secs(5), || rx.decode_errors() > 0));
         assert_eq!(rx.decode_errors(), 1);
         rx.shutdown();
     }
@@ -674,10 +679,7 @@ mod tests {
         let q = rx.queue();
         assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(0));
         assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(1));
-        let t0 = std::time::Instant::now();
-        while tx.acks_received() < 2 && t0.elapsed() < Duration::from_secs(5) {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        assert!(wait_for(Duration::from_secs(5), || tx.acks_received() >= 2));
         assert_eq!(*acks.lock(), vec![(9, 2), (9, 3)], "cumulative next-expected seqs");
         tx.close();
         rx.shutdown();
@@ -693,10 +695,7 @@ mod tests {
         })
         .unwrap();
         tx.send(encode_control_frame(4, ControlKind::Heartbeat, 0)).unwrap();
-        let t0 = std::time::Instant::now();
-        while tx.acks_received() < 1 && t0.elapsed() < Duration::from_secs(5) {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        assert!(wait_for(Duration::from_secs(5), || tx.acks_received() >= 1));
         assert_eq!(*acks.lock(), vec![(4, 0)], "idle link acks at watermark 0");
         assert!(
             rx.queue().pop_timeout(Duration::from_millis(50)).is_none(),
@@ -712,7 +711,8 @@ mod tests {
         // Two live connections whose readers are parked in read_frame.
         let tx1 = TcpSender::connect(rx.local_addr(), 4).unwrap();
         let tx2 = TcpSender::connect_with_acks(rx.local_addr(), 4, |_, _| {}).unwrap();
-        std::thread::sleep(Duration::from_millis(50)); // let readers park
+        // Both readers accepted and parked in read_frame.
+        assert!(wait_for(Duration::from_secs(5), || rx.connections() == 2));
         let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
         std::thread::spawn(move || {
             rx.shutdown();

@@ -1,0 +1,63 @@
+//! Deadline-polling helpers for tests.
+//!
+//! Synchronizing a test with a background thread via a bare
+//! `thread::sleep(fixed)` is a race with the scheduler: too short and the
+//! test flakes under load, too long and the suite crawls. These helpers
+//! poll a predicate up to a deadline instead — the test proceeds the moment
+//! the condition holds and only fails after the (generous) deadline, so the
+//! timeout can be sized for the worst CI machine without slowing the common
+//! case.
+
+use std::time::{Duration, Instant};
+
+/// Poll `pred` until it returns true or `deadline` passes. Returns the
+/// final verdict of `pred`, so `assert!(wait_until(..))` reads naturally.
+pub fn wait_until(deadline: Instant, mut pred: impl FnMut() -> bool) -> bool {
+    loop {
+        if pred() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return pred();
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// [`wait_until`] with a relative timeout.
+pub fn wait_for(timeout: Duration, pred: impl FnMut() -> bool) -> bool {
+    wait_until(Instant::now() + timeout, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn returns_immediately_once_predicate_holds() {
+        let t0 = Instant::now();
+        assert!(wait_for(Duration::from_secs(10), || true));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn times_out_when_predicate_never_holds() {
+        let t0 = Instant::now();
+        assert!(!wait_for(Duration::from_millis(5), || false));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn observes_condition_set_by_another_thread() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(3));
+            f.store(true, Ordering::Release);
+        });
+        assert!(wait_for(Duration::from_secs(5), || flag.load(Ordering::Acquire)));
+        t.join().unwrap();
+    }
+}

@@ -241,7 +241,9 @@ mod tests {
         let t2 = t.clone();
         let e2 = e.clone();
         let sender = std::thread::spawn(move || t2.send_batch(1, 1, e2, c, 0));
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(crate::test_support::wait_for(std::time::Duration::from_secs(5), || {
+            q.gate_events() == 1
+        }));
         assert_eq!(q.total_pushed(), 1, "second send must be blocked");
         q.pop().unwrap();
         sender.join().unwrap().unwrap();

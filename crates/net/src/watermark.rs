@@ -16,9 +16,16 @@
 //! sender's writes stall — propagating pressure upstream hop by hop, which
 //! is what Fig. 4 of the paper demonstrates end to end.
 
+//!
+//! The IO tier subscribes to the *release* edge of that hysteresis:
+//! [`WatermarkQueue::add_gate_listener`] registers a callback fired when
+//! the gate opens (or the queue closes), which is how parked source-pump
+//! tasks are woken by capacity events instead of polling the gate.
+
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Items stored in a watermark queue report their size in bytes, because
@@ -70,6 +77,10 @@ struct QueueState<T> {
     /// True between hitting the high watermark and draining to the low one.
     gated: bool,
     closed: bool,
+    /// Set when the gate opened under the lock; the public entry points
+    /// fire the listeners *after* releasing it (listeners may take other
+    /// locks, e.g. an IO pool's ready queue).
+    release_pending: bool,
 }
 
 /// Byte-weighted MPMC queue with high/low watermark flow control.
@@ -82,6 +93,8 @@ pub struct WatermarkQueue<T: Weighted> {
     popped: AtomicU64,
     /// Number of times a producer had to block at the high watermark.
     gate_events: AtomicU64,
+    /// Callbacks fired when the gate opens or the queue closes.
+    gate_listeners: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl<T: Weighted> WatermarkQueue<T> {
@@ -93,6 +106,7 @@ impl<T: Weighted> WatermarkQueue<T> {
                 level: 0,
                 gated: false,
                 closed: false,
+                release_pending: false,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
@@ -100,6 +114,22 @@ impl<T: Weighted> WatermarkQueue<T> {
             pushed: AtomicU64::new(0),
             popped: AtomicU64::new(0),
             gate_events: AtomicU64::new(0),
+            gate_listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register a callback fired whenever the gate opens (drain reached the
+    /// low watermark) or the queue closes. This is the capacity-event hook
+    /// the IO tier uses to wake parked producers; callbacks must be cheap
+    /// and must not re-enter the queue.
+    pub fn add_gate_listener(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.gate_listeners.lock().push(Arc::new(f));
+    }
+
+    fn fire_gate_listeners(&self) {
+        let listeners: Vec<_> = self.gate_listeners.lock().clone();
+        for l in listeners {
+            l();
         }
     }
 
@@ -183,7 +213,13 @@ impl<T: Weighted> WatermarkQueue<T> {
     /// Pop one item without blocking.
     pub fn pop(&self) -> Option<T> {
         let mut st = self.state.lock();
-        self.finish_pop(&mut st)
+        let item = self.finish_pop(&mut st);
+        let fire = std::mem::take(&mut st.release_pending);
+        drop(st);
+        if fire {
+            self.fire_gate_listeners();
+        }
+        item
     }
 
     /// Pop one item, blocking up to `timeout`. `None` on timeout or close.
@@ -192,7 +228,13 @@ impl<T: Weighted> WatermarkQueue<T> {
         if st.items.is_empty() && !st.closed {
             self.not_empty.wait_for(&mut st, timeout);
         }
-        self.finish_pop(&mut st)
+        let item = self.finish_pop(&mut st);
+        let fire = std::mem::take(&mut st.release_pending);
+        drop(st);
+        if fire {
+            self.fire_gate_listeners();
+        }
+        item
     }
 
     /// Pop up to `max` items into `out`; returns how many were popped.
@@ -210,6 +252,11 @@ impl<T: Weighted> WatermarkQueue<T> {
                 None => break,
             }
         }
+        let fire = std::mem::take(&mut st.release_pending);
+        drop(st);
+        if fire {
+            self.fire_gate_listeners();
+        }
         n
     }
 
@@ -219,6 +266,7 @@ impl<T: Weighted> WatermarkQueue<T> {
         self.popped.fetch_add(1, Ordering::Relaxed);
         if st.gated && st.level <= self.config.low {
             st.gated = false;
+            st.release_pending = true;
             self.not_full.notify_all();
         }
         Some(item)
@@ -230,6 +278,11 @@ impl<T: Weighted> WatermarkQueue<T> {
         st.closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
+        drop(st);
+        // Close is a capacity event too: parked producers must wake to
+        // observe the closure instead of waiting on a gate that will never
+        // open.
+        self.fire_gate_listeners();
     }
 
     /// Whether [`close`](Self::close) has been called.
@@ -241,7 +294,7 @@ impl<T: Weighted> WatermarkQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::test_support::wait_for;
     use std::time::Instant;
 
     fn item(n: usize) -> Vec<u8> {
@@ -303,16 +356,13 @@ mod tests {
         let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(100, 10)));
         q.push_blocking(item(100)).unwrap(); // gated
         let q2 = q.clone();
-        let start = Instant::now();
-        let producer = std::thread::spawn(move || {
-            q2.push_blocking(item(10)).unwrap();
-            start.elapsed()
-        });
-        std::thread::sleep(Duration::from_millis(20));
+        let producer = std::thread::spawn(move || q2.push_blocking(item(10)).unwrap());
+        // The gate-event counter ticks before the producer blocks, so once
+        // it reads 1 the push is provably parked at the gate.
+        assert!(wait_for(Duration::from_secs(5), || q.gate_events() == 1));
         assert_eq!(q.len(), 1, "producer must still be blocked");
         q.pop().unwrap(); // drains to 0 <= low, releases producer
-        let blocked_for = producer.join().unwrap();
-        assert!(blocked_for >= Duration::from_millis(15), "blocked {blocked_for:?}");
+        producer.join().unwrap();
         assert_eq!(q.len(), 1);
         assert_eq!(q.gate_events(), 1);
     }
@@ -355,13 +405,33 @@ mod tests {
         q.push_blocking(item(10)).unwrap(); // gated
         let q2 = q.clone();
         let producer = std::thread::spawn(move || q2.push_blocking(item(1)));
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(wait_for(Duration::from_secs(5), || q.gate_events() == 1));
         q.close();
         assert!(producer.join().unwrap().is_err(), "blocked producer must fail on close");
         // Remaining items still drain.
         assert_eq!(q.pop().unwrap().len(), 10);
         assert!(q.pop().is_none());
         assert!(q.push_blocking(item(1)).is_err());
+    }
+
+    #[test]
+    fn gate_listener_fires_on_release_and_close() {
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::new(WatermarkConfig::new(100, 40)));
+        let events = Arc::new(AtomicU64::new(0));
+        let e = events.clone();
+        q.add_gate_listener(move || {
+            e.fetch_add(1, Ordering::Relaxed);
+        });
+        q.push_blocking(item(120)).unwrap();
+        assert!(q.is_gated());
+        assert_eq!(events.load(Ordering::Relaxed), 0, "no event while gated");
+        q.pop().unwrap(); // level 0 <= low: gate opens
+        assert_eq!(events.load(Ordering::Relaxed), 1, "release edge must fire");
+        q.push_blocking(item(10)).unwrap();
+        q.pop().unwrap(); // never gated: no edge
+        assert_eq!(events.load(Ordering::Relaxed), 1);
+        q.close();
+        assert_eq!(events.load(Ordering::Relaxed), 2, "close is a capacity event");
     }
 
     #[test]

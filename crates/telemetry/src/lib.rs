@@ -15,8 +15,10 @@
 //!   and answer p50/p95/p99/max.
 //! * [`OperatorTelemetry`] — one histogram per pipeline stage
 //!   (buffer-wait, transport, schedule delay, execution) plus end-to-end.
-//! * [`TelemetrySampler`] — a background thread turning any snapshot
-//!   closure into a bounded `(elapsed_micros, sample)` time series.
+//! * [`SampleRing`] — a thread-safe bounded `(elapsed_micros, sample)`
+//!   time series any scheduler can record into (the runtime's IO-tier
+//!   timer task does), with [`TelemetrySampler`] as the self-threaded
+//!   driver for standalone use.
 //! * [`export`] — Prometheus text-exposition and pretty-text rendering.
 //!
 //! This crate is deliberately dependency-free and job-agnostic: it knows
@@ -33,5 +35,5 @@ pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
     N_BUCKETS,
 };
-pub use sampler::TelemetrySampler;
+pub use sampler::{SampleRing, TelemetrySampler};
 pub use stages::{OperatorTelemetry, OperatorTelemetrySnapshot, STAGE_NAMES};

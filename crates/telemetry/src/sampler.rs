@@ -1,15 +1,23 @@
-//! Background time-series sampler.
+//! Background time-series sampling.
 //!
 //! NEPTUNE's backpressure behavior (§III-B4, Fig. 4) is an *oscillation* —
 //! throughput rises and falls as the watermark gate opens and closes — and
-//! a single end-of-run number cannot show it. The sampler turns any
-//! cheap-to-take snapshot into a bounded in-memory time series: a
-//! background thread invokes the provided closure at a fixed interval and
-//! appends `(elapsed_micros, sample)` to a ring, dropping the oldest
-//! entries once `capacity` is reached.
+//! a single end-of-run number cannot show it. This module turns any
+//! cheap-to-take snapshot into a bounded in-memory time series.
 //!
-//! The sampler is generic over the sample type so this crate stays free of
-//! job-level types; `neptune-core` instantiates it with its own
+//! Two layers:
+//!
+//! * [`SampleRing`] — the storage: a thread-safe bounded ring of
+//!   `(elapsed_micros, sample)` pairs. Any scheduler can drive it; the
+//!   runtime's IO tier records into one from a periodic timer task, so a
+//!   job's sampling costs a timer registration instead of a dedicated
+//!   thread.
+//! * [`TelemetrySampler`] — the legacy self-threaded driver: spawns a
+//!   background thread that invokes a closure at a fixed interval and
+//!   records into its own ring. Kept for standalone use outside a runtime.
+//!
+//! Both are generic over the sample type so this crate stays free of
+//! job-level types; `neptune-core` instantiates them with its own
 //! `TelemetrySample`.
 
 use std::collections::VecDeque;
@@ -17,10 +25,60 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-struct SamplerShared<T> {
+/// A thread-safe bounded time series of `(elapsed_micros, sample)` pairs.
+///
+/// Elapsed time is measured from ring construction; once `capacity`
+/// entries are retained the oldest drop first.
+#[derive(Debug)]
+pub struct SampleRing<T> {
     series: Mutex<VecDeque<(u64, T)>>,
-    stop: AtomicBool,
     capacity: usize,
+    started: Instant,
+}
+
+impl<T> SampleRing<T> {
+    /// An empty ring retaining at most `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SampleRing {
+            series: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            capacity: capacity.max(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Append one sample stamped with the elapsed time since the ring was
+    /// created, evicting the oldest entry when full.
+    pub fn record(&self, sample: T) {
+        let elapsed = self.started.elapsed().as_micros() as u64;
+        let mut series = self.series.lock().unwrap();
+        if series.len() == self.capacity {
+            series.pop_front();
+        }
+        series.push_back((elapsed, sample));
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.series.lock().unwrap().len()
+    }
+
+    /// True when no samples have been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the retained series in chronological order.
+    pub fn series(&self) -> Vec<(u64, T)>
+    where
+        T: Clone,
+    {
+        self.series.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+struct SamplerShared<T> {
+    ring: SampleRing<T>,
+    stop: AtomicBool,
 }
 
 /// A background thread sampling a closure into a bounded time series.
@@ -39,39 +97,25 @@ impl<T: Send + 'static> TelemetrySampler<T> {
         f: impl Fn() -> T + Send + 'static,
     ) -> TelemetrySampler<T> {
         let shared = Arc::new(SamplerShared {
-            series: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            ring: SampleRing::new(capacity),
             stop: AtomicBool::new(false),
-            capacity: capacity.max(1),
         });
         let worker = shared.clone();
         let thread = std::thread::Builder::new()
             .name("neptune-telemetry-sampler".to_string())
-            .spawn(move || {
-                let started = Instant::now();
-                loop {
-                    let elapsed = started.elapsed().as_micros() as u64;
-                    let sample = f();
-                    {
-                        let mut series = worker.series.lock().unwrap();
-                        if series.len() == worker.capacity {
-                            series.pop_front();
-                        }
-                        series.push_back((elapsed, sample));
-                    }
+            .spawn(move || loop {
+                worker.ring.record(f());
+                if worker.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Sleep in short slices so stop() is responsive even
+                // with a long sampling interval.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
                     if worker.stop.load(Ordering::Acquire) {
                         return;
                     }
-                    // Sleep in short slices so stop() is responsive even
-                    // with a long sampling interval.
-                    let deadline = Instant::now() + interval;
-                    while Instant::now() < deadline {
-                        if worker.stop.load(Ordering::Acquire) {
-                            return;
-                        }
-                        std::thread::sleep(
-                            (deadline - Instant::now()).min(Duration::from_millis(5)),
-                        );
-                    }
+                    std::thread::sleep((deadline - Instant::now()).min(Duration::from_millis(5)));
                 }
             })
             .expect("spawn telemetry sampler thread");
@@ -80,7 +124,7 @@ impl<T: Send + 'static> TelemetrySampler<T> {
 
     /// Number of samples currently retained.
     pub fn len(&self) -> usize {
-        self.shared.series.lock().unwrap().len()
+        self.shared.ring.len()
     }
 
     /// True when no samples have been taken yet.
@@ -94,7 +138,7 @@ impl<T: Send + 'static> TelemetrySampler<T> {
     where
         T: Clone,
     {
-        self.shared.series.lock().unwrap().iter().cloned().collect()
+        self.shared.ring.series()
     }
 
     /// Stop the background thread. Idempotent; also invoked on drop.
@@ -159,5 +203,29 @@ mod tests {
         }
         assert_eq!(s.series().first().map(|(_, v)| *v), Some(42));
         s.stop();
+    }
+
+    #[test]
+    fn standalone_ring_bounds_and_orders() {
+        let ring = SampleRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..10u32 {
+            ring.record(i);
+        }
+        assert_eq!(ring.len(), 4);
+        let series = ring.series();
+        assert_eq!(series.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0, "elapsed stamps must be monotonic");
+        }
+    }
+
+    #[test]
+    fn ring_capacity_floor_is_one() {
+        let ring = SampleRing::new(0);
+        ring.record(1u8);
+        ring.record(2u8);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.series()[0].1, 2);
     }
 }

@@ -31,10 +31,8 @@ const LINK: u64 = 1;
 const TOTAL: u64 = 500;
 
 fn main() {
-    let seed = std::env::var("NEPTUNE_CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1u64);
+    let seed =
+        std::env::var("NEPTUNE_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1u64);
 
     // Script the failure: one cut somewhere in the middle of the stream,
     // down for a few delivery attempts. The seed picks where.

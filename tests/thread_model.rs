@@ -1,0 +1,281 @@
+//! Two-tier thread model integration tests (§IV-C).
+//!
+//! The refactor's end-to-end claims:
+//! * **shutdown hygiene** — a job using every background facility
+//!   (sources, processors, HA, telemetry) leaves no thread behind after
+//!   `stop()`, and the IO tier drains its queue before exiting;
+//! * **exact flush firing** — the per-endpoint flush deadline registers
+//!   directly with the timer wheel, so observed buffering delay tracks
+//!   the configured `flush_interval` to within 10%, not within the 50%
+//!   a half-interval scan tick would allow;
+//! * **O(1) idle cost** — thread count does not scale with source
+//!   parallelism: 64 idle sources run on the same fixed IO tier as 1;
+//! * **io_threads = 1 correctness** — a single IO thread still serves
+//!   every pump, flusher, monitor, and sampler without starvation.
+//!
+//! Thread accounting reads `/proc/self/task/*/comm`. Every job thread is
+//! prefixed by the graph name (`{graph}-res{i}-worker-{j}` workers,
+//! `{graph}-io-{i}` IO tier), so short unique graph names keep the
+//! prefix intact despite the kernel's 15-char comm truncation, and
+//! concurrently running tests (with different graph names) cannot
+//! pollute the counts.
+
+use neptune::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Thread names of every task in this process, as the kernel reports
+/// them (truncated to 15 chars).
+fn thread_comms() -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+        for e in entries.flatten() {
+            if let Ok(s) = std::fs::read_to_string(e.path().join("comm")) {
+                out.push(s.trim().to_string());
+            }
+        }
+    }
+    out
+}
+
+fn count_prefixed(prefix: &str) -> usize {
+    thread_comms().iter().filter(|c| c.starts_with(prefix)).count()
+}
+
+struct Burst {
+    remaining: u64,
+}
+impl StreamSource for Burst {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        if self.remaining == 0 {
+            return SourceStatus::Exhausted;
+        }
+        self.remaining -= 1;
+        let mut p = StreamPacket::new();
+        p.push_field("n", FieldValue::U64(self.remaining));
+        ctx.emit(&p).unwrap();
+        SourceStatus::Emitted(1)
+    }
+}
+
+/// Never exhausts, never emits: exercises the idle-park path until the
+/// job is stopped.
+struct Quiet {
+    stopped: Arc<AtomicBool>,
+}
+impl StreamSource for Quiet {
+    fn next(&mut self, _ctx: &mut OperatorContext) -> SourceStatus {
+        if self.stopped.load(Ordering::Acquire) {
+            SourceStatus::Exhausted
+        } else {
+            SourceStatus::Idle
+        }
+    }
+}
+
+struct Forward;
+impl StreamProcessor for Forward {
+    fn process(&mut self, p: &StreamPacket, ctx: &mut OperatorContext) {
+        let _ = ctx.emit(p);
+    }
+}
+
+struct Count(Arc<AtomicU64>);
+impl StreamProcessor for Count {
+    fn process(&mut self, _p: &StreamPacket, _ctx: &mut OperatorContext) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A job with every background facility active (source pumps, flush
+/// tasks, the HA monitor, the telemetry sampler) must join every thread
+/// it spawned, and the IO tier must drain before exit.
+#[test]
+fn shutdown_leaves_no_job_threads_and_drains_io_tier() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let graph = GraphBuilder::new("tmj")
+        .source_n("src", 2, || Burst { remaining: 500 })
+        .processor_n("relay", 2, || Forward)
+        .processor("sink", move || Count(s2.clone()))
+        .link("src", "relay", PartitioningScheme::Shuffle)
+        .link("relay", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig {
+        telemetry: TelemetryConfig::enabled(),
+        ha: HaConfig::enabled(),
+        io_threads: Some(2),
+        ..Default::default()
+    };
+    let rt = LocalRuntime::new(config);
+    let job = rt.submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(20)), "sources stalled");
+    assert!(count_prefixed("tmj-") > 0, "job threads must be running and name-prefixed while live");
+    let metrics = job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), 2 * 500, "packets lost");
+    assert_eq!(metrics.thread_model.live_io_tasks, 0, "IO tasks leaked past stop()");
+    assert_eq!(metrics.thread_model.queued_io_tasks, 0, "IO queue not drained at stop()");
+    let leaked: Vec<String> =
+        thread_comms().into_iter().filter(|c| c.starts_with("tmj-")).collect();
+    assert!(leaked.is_empty(), "threads leaked after stop(): {leaked:?}");
+}
+
+/// One-packet-at-a-time traffic against a huge buffer: only the flush
+/// timer moves data, so sink-observed latency is the flush firing time.
+/// With deadlines registered directly on the timer wheel the median
+/// firing error must stay under 10% of the configured interval — the
+/// old half-interval scan tick sat at 50%.
+#[test]
+fn flush_fires_within_ten_percent_of_interval() {
+    const INTERVAL: Duration = Duration::from_millis(20);
+    const SAMPLES: usize = 5;
+    let latencies = Arc::new(parking_lot::Mutex::new(Vec::<i64>::new()));
+
+    struct Paced {
+        left: usize,
+        last: Option<std::time::Instant>,
+    }
+    impl StreamSource for Paced {
+        fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+            // Emit (or exhaust) only after the previous packet has
+            // certainly flushed: each packet starts its own flush clock,
+            // and exhaustion's force-flush can't clip the last deadline.
+            if let Some(t) = self.last {
+                if t.elapsed() < Duration::from_millis(60) {
+                    return SourceStatus::Idle;
+                }
+            }
+            if self.left == 0 {
+                return SourceStatus::Exhausted;
+            }
+            self.left -= 1;
+            self.last = Some(std::time::Instant::now());
+            let mut p = StreamPacket::new();
+            p.push_field("ts", FieldValue::Timestamp(neptune::core::now_micros()));
+            ctx.emit(&p).unwrap();
+            SourceStatus::Emitted(1)
+        }
+    }
+
+    struct LatSink(Arc<parking_lot::Mutex<Vec<i64>>>);
+    impl StreamProcessor for LatSink {
+        fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
+            if let Some(FieldValue::Timestamp(ts)) = p.get("ts") {
+                self.0.lock().push(neptune::core::now_micros() as i64 - *ts as i64);
+            }
+        }
+    }
+
+    let l2 = latencies.clone();
+    let graph = GraphBuilder::new("tmf")
+        .source("src", || Paced { left: SAMPLES, last: None })
+        .processor("sink", move || LatSink(l2.clone()))
+        .link("src", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig {
+        buffer_bytes: 1 << 20, // never flushes by size
+        flush_interval: INTERVAL,
+        ..Default::default()
+    };
+    let rt = LocalRuntime::new(config);
+    let job = rt.submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(20)), "source stalled");
+    job.stop();
+
+    let mut lat = latencies.lock().clone();
+    assert_eq!(lat.len(), SAMPLES, "missing samples");
+    lat.sort_unstable();
+    let median_us = lat[SAMPLES / 2];
+    let error_us = (median_us - INTERVAL.as_micros() as i64).abs();
+    let bound_us = INTERVAL.as_micros() as i64 / 10;
+    assert!(
+        error_us < bound_us,
+        "median flush firing error {error_us}µs exceeds 10% of {INTERVAL:?} \
+         (bound {bound_us}µs; samples {lat:?})"
+    );
+}
+
+/// The whole point of the IO tier: thread count is a function of
+/// `io_threads`, not of source parallelism. 64 always-idle sources must
+/// run on exactly as many job threads as 1.
+#[test]
+fn idle_thread_count_does_not_scale_with_sources() {
+    fn spawn_idle_job(
+        name: &'static str,
+        sources: usize,
+        rt: &LocalRuntime,
+        stopped: &Arc<AtomicBool>,
+    ) -> JobHandle {
+        let s = stopped.clone();
+        let graph = GraphBuilder::new(name)
+            .source_n("src", sources, move || Quiet { stopped: s.clone() })
+            .processor("sink", || Count(Arc::new(AtomicU64::new(0))))
+            .link("src", "sink", PartitioningScheme::Shuffle)
+            .build()
+            .unwrap();
+        rt.submit(graph).unwrap()
+    }
+
+    let config =
+        RuntimeConfig { io_threads: Some(2), worker_threads: Some(2), ..Default::default() };
+    let rt = LocalRuntime::new(config);
+
+    let stop1 = Arc::new(AtomicBool::new(false));
+    let job1 = spawn_idle_job("idj1-", 1, &rt, &stop1);
+    let threads_for_1 = count_prefixed("idj1-");
+    stop1.store(true, Ordering::Release);
+    job1.stop();
+
+    let stop64 = Arc::new(AtomicBool::new(false));
+    let job64 = spawn_idle_job("idj64-", 64, &rt, &stop64);
+    let threads_for_64 = count_prefixed("idj64-");
+    let tm = job64.thread_model();
+    stop64.store(true, Ordering::Release);
+    job64.stop();
+
+    assert!(threads_for_1 > 0 && threads_for_64 > 0, "jobs spawned no threads");
+    assert_eq!(
+        threads_for_64, threads_for_1,
+        "thread count scaled with source parallelism (1 source: {threads_for_1}, \
+         64 sources: {threads_for_64})"
+    );
+    assert_eq!(tm.io_threads, 2, "IO tier must honour io_threads");
+    assert!(
+        tm.live_io_tasks >= 64,
+        "every idle source must be a live IO task, got {}",
+        tm.live_io_tasks
+    );
+}
+
+/// A single IO thread must still serve all pumps, flush tasks, the HA
+/// monitor, and the sampler: full relay completes exactly-once.
+#[test]
+fn single_io_thread_serves_full_job() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let graph = GraphBuilder::new("tm1")
+        .source_n("src", 4, || Burst { remaining: 250 })
+        .processor_n("relay", 2, || Forward)
+        .processor("sink", move || Count(s2.clone()))
+        .link("src", "relay", PartitioningScheme::Shuffle)
+        .link("relay", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig {
+        io_threads: Some(1),
+        telemetry: TelemetryConfig::enabled(),
+        ha: HaConfig::enabled(),
+        ..Default::default()
+    };
+    let rt = LocalRuntime::new(config);
+    let job = rt.submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(30)), "sources stalled on 1 IO thread");
+    let metrics = job.stop();
+    assert_eq!(seen.load(Ordering::Relaxed), 4 * 250, "exactly-once violated");
+    assert_eq!(metrics.thread_model.io_threads, 1);
+    assert!(metrics.thread_model.io_parks > 0, "tasks never parked");
+    assert!(metrics.thread_model.io_wakes > 0, "tasks never woke");
+}
