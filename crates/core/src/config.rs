@@ -6,6 +6,7 @@
 //! number of cores in the machine it is running on."*
 
 use neptune_compress::SelectiveCompressor;
+use neptune_net::watermark::ShedPolicy;
 use std::time::Duration;
 
 /// Per-link compression policy (§III-B5: *"should be enabled and configured
@@ -167,6 +168,75 @@ impl HaConfig {
     }
 }
 
+/// Failure-containment and graceful-degradation toggles (ISSUE 5).
+///
+/// Two independent opt-ins live here:
+///
+/// * `enabled` arms **operator supervision**: panicking batch executions
+///   are caught and retried with `neptune-ha`'s deterministic jittered
+///   backoff, poison batches are quarantined into the job's bounded
+///   dead-letter queue, and a per-operator circuit breaker
+///   (Closed→Open→HalfOpen) drains-and-drops while an operator is sick so
+///   upstream watermark gates never wedge. Off by default: a panic then
+///   unwinds to the worker pool exactly as before (batch lost, counter
+///   bumped).
+/// * `shed_policy` arms **SLO-driven load shedding** on the inbound
+///   watermark queues, active only once a gate has been closed for longer
+///   than `max_stall`. The default [`ShedPolicy::None`] preserves the
+///   paper's lossless backpressure (§III-B4) exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainmentConfig {
+    /// Master switch for supervision, quarantine, and circuit breaking.
+    pub enabled: bool,
+    /// Times a panicking batch is re-executed before quarantine.
+    pub max_retries: u32,
+    /// Seed for the deterministic retry-backoff jitter (chaos
+    /// reproducibility, mirroring `NEPTUNE_CHAOS_SEED`).
+    pub retry_backoff_seed: u64,
+    /// Consecutive quarantined batches that trip an operator's breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker rejects batches before probing.
+    pub breaker_cooldown: Duration,
+    /// Consecutive successful probes that close a half-open breaker.
+    pub breaker_probes: u32,
+    /// Entries retained in the per-job dead-letter queue; the oldest entry
+    /// is evicted when a new poison batch arrives at capacity.
+    pub dead_letter_capacity: usize,
+    /// Bytes of the failing frame captured per dead letter (truncated
+    /// beyond this, so a poison batch cannot balloon the quarantine).
+    pub dead_letter_capture_bytes: usize,
+    /// Load-shedding policy for inbound queues. Independent of `enabled`;
+    /// [`ShedPolicy::None`] keeps backpressure lossless.
+    pub shed_policy: ShedPolicy,
+    /// Continuous gate-closed time after which `shed_policy` arms.
+    pub max_stall: Duration,
+}
+
+impl Default for ContainmentConfig {
+    fn default() -> Self {
+        ContainmentConfig {
+            enabled: false,
+            max_retries: 2,
+            retry_backoff_seed: 7,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            breaker_probes: 2,
+            dead_letter_capacity: 64,
+            dead_letter_capture_bytes: 64 << 10,
+            shed_policy: ShedPolicy::None,
+            max_stall: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ContainmentConfig {
+    /// Supervision enabled with default retry/breaker/quarantine knobs
+    /// (shedding stays off — that is a separate opt-in).
+    pub fn enabled() -> Self {
+        ContainmentConfig { enabled: true, ..Default::default() }
+    }
+}
+
 /// Job-wide runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -213,6 +283,9 @@ pub struct RuntimeConfig {
     pub telemetry: TelemetryConfig,
     /// Heartbeats, failure detection, and recovery accounting (ISSUE 3).
     pub ha: HaConfig,
+    /// Operator supervision, poison quarantine, and load shedding
+    /// (ISSUE 5).
+    pub containment: ContainmentConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -236,6 +309,7 @@ impl Default for RuntimeConfig {
             placement: PlacementStrategy::RoundRobin,
             telemetry: TelemetryConfig::default(),
             ha: HaConfig::default(),
+            containment: ContainmentConfig::default(),
         }
     }
 }
@@ -293,6 +367,24 @@ impl RuntimeConfig {
             if self.ha.max_reconnect_attempts == 0 {
                 return Err("ha max_reconnect_attempts must be positive".into());
             }
+        }
+        if self.containment.enabled {
+            if self.containment.breaker_threshold == 0 {
+                return Err("containment breaker_threshold must be at least 1".into());
+            }
+            if self.containment.breaker_cooldown.is_zero() {
+                return Err("containment breaker_cooldown must be positive".into());
+            }
+            if self.containment.dead_letter_capacity == 0 {
+                return Err("containment dead_letter_capacity must be positive".into());
+            }
+            if self.containment.dead_letter_capture_bytes == 0 {
+                return Err("containment dead_letter_capture_bytes must be positive".into());
+            }
+        }
+        if self.containment.shed_policy != ShedPolicy::None && self.containment.max_stall.is_zero()
+        {
+            return Err("containment max_stall must be positive when shedding is enabled".into());
         }
         if let PlacementStrategy::CapacityWeighted(w) = &self.placement {
             if w.len() != self.resources {
@@ -444,6 +536,38 @@ mod tests {
             ..Default::default()
         };
         assert!(no_retries.validate().is_err());
+    }
+
+    #[test]
+    fn containment_defaults_off_and_validated() {
+        let c = RuntimeConfig::default();
+        assert!(!c.containment.enabled, "supervision must be opt-in");
+        assert_eq!(c.containment.shed_policy, ShedPolicy::None, "shedding must be opt-in");
+        assert!(c.validate().is_ok());
+        let on = RuntimeConfig { containment: ContainmentConfig::enabled(), ..Default::default() };
+        assert!(on.validate().is_ok());
+        let bad_breaker = RuntimeConfig {
+            containment: ContainmentConfig { breaker_threshold: 0, ..ContainmentConfig::enabled() },
+            ..Default::default()
+        };
+        assert!(bad_breaker.validate().is_err());
+        let bad_dlq = RuntimeConfig {
+            containment: ContainmentConfig {
+                dead_letter_capacity: 0,
+                ..ContainmentConfig::enabled()
+            },
+            ..Default::default()
+        };
+        assert!(bad_dlq.validate().is_err());
+        let bad_stall = RuntimeConfig {
+            containment: ContainmentConfig {
+                shed_policy: ShedPolicy::DropOldest,
+                max_stall: Duration::ZERO,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad_stall.validate().is_err(), "armed shedding needs a positive max_stall");
     }
 
     #[test]

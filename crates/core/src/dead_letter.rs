@@ -1,0 +1,138 @@
+//! Poison-packet quarantine: the per-job dead-letter queue.
+//!
+//! When operator supervision gives up on a batch — it panicked through
+//! every retry — the batch is not silently lost (the pre-supervision
+//! behavior) and not re-queued (it would wedge the operator forever).
+//! Instead its payload bytes, provenance, and the panic message are
+//! captured here, bounded in both entry count and per-entry bytes, for
+//! offline inspection via [`JobHandle::dead_letters`] and the telemetry
+//! exports.
+//!
+//! [`JobHandle::dead_letters`]: crate::runtime::JobHandle::dead_letters
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One quarantined poison batch.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Operator whose processing panicked.
+    pub operator: String,
+    /// Instance index of that operator.
+    pub instance: usize,
+    /// Link the frame arrived on.
+    pub link_id: u64,
+    /// First packet sequence number of the frame.
+    pub base_seq: u64,
+    /// Messages carried by the frame when it was quarantined.
+    pub messages: u32,
+    /// Panic message of the final failed attempt.
+    pub panic_msg: String,
+    /// Executions attempted before giving up (1 + retries).
+    pub attempts: u32,
+    /// The frame's raw message bytes, concatenated in message order and
+    /// truncated to the configured capture budget.
+    pub bytes: Vec<u8>,
+    /// Original (untruncated) payload size in bytes.
+    pub original_len: usize,
+}
+
+/// Bounded FIFO of quarantined batches. At capacity the *oldest* entry is
+/// evicted — fresh poison is more useful for debugging a live job than
+/// stale poison, and the eviction counter records the loss.
+pub struct DeadLetterQueue {
+    capacity: usize,
+    entries: Mutex<VecDeque<DeadLetter>>,
+    total: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl DeadLetterQueue {
+    /// Queue holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dead-letter capacity must be positive");
+        DeadLetterQueue {
+            capacity,
+            entries: Mutex::new(VecDeque::new()),
+            total: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Quarantine one batch.
+    pub fn push(&self, letter: DeadLetter) {
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(letter);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Clone of every entry currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<DeadLetter> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been quarantined (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Batches quarantined over the job's lifetime (evictions included).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Maximum entries held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letter(seq: u64) -> DeadLetter {
+        DeadLetter {
+            operator: "op".into(),
+            instance: 0,
+            link_id: 1,
+            base_seq: seq,
+            messages: 1,
+            panic_msg: "boom".into(),
+            attempts: 3,
+            bytes: vec![0xAB; 4],
+            original_len: 4,
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_evicts_oldest() {
+        let q = DeadLetterQueue::new(2);
+        q.push(letter(1));
+        q.push(letter(2));
+        q.push(letter(3));
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].base_seq, 2, "oldest must be evicted first");
+        assert_eq!(snap[1].base_seq, 3);
+        assert_eq!(q.total(), 3);
+        assert_eq!(q.evicted(), 1);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -78,6 +78,7 @@
 pub mod channel;
 pub mod codec;
 pub mod config;
+pub mod dead_letter;
 pub mod descriptor;
 pub mod graph;
 pub mod json;
@@ -94,11 +95,13 @@ pub mod window;
 pub use channel::ChannelId;
 pub use codec::{CodecError, PacketCodec};
 pub use config::{
-    CompressionMode, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
+    CompressionMode, ContainmentConfig, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig,
+    TelemetryConfig,
 };
+pub use dead_letter::{DeadLetter, DeadLetterQueue};
 pub use descriptor::{DescriptorError, OperatorRegistry};
 pub use graph::{Graph, GraphBuilder, GraphError, LinkSpec, OperatorKind, OperatorSpec};
-pub use metrics::{JobMetrics, OperatorMetrics};
+pub use metrics::{ContainmentStats, JobMetrics, OperatorMetrics};
 pub use operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};
 pub use packet::{FieldType, FieldValue, Schema, SchemaError, StreamPacket};
 pub use partition::PartitioningScheme;
@@ -111,8 +114,10 @@ pub use window::{SlidingWindow, TumblingWindow, WindowAggregate};
 /// Convenience imports for building NEPTUNE jobs.
 pub mod prelude {
     pub use crate::config::{
-        CompressionMode, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig, TelemetryConfig,
+        CompressionMode, ContainmentConfig, HaConfig, LinkOptions, PlacementStrategy,
+        RuntimeConfig, TelemetryConfig,
     };
+    pub use crate::dead_letter::DeadLetter;
     pub use crate::graph::{Graph, GraphBuilder};
     pub use crate::operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};
     pub use crate::packet::{FieldType, FieldValue, Schema, StreamPacket};

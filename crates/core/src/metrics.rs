@@ -30,6 +30,18 @@ pub struct OperatorCounters {
     /// Sequence-order or duplication violations observed (exactly-once
     /// checks; must be 0 in a healthy run).
     pub seq_violations: AtomicU64,
+    /// Panicking batch executions caught by the supervisor (retries
+    /// included; each caught unwind counts once).
+    pub panics: AtomicU64,
+    /// Supervised re-executions after a caught panic.
+    pub retries: AtomicU64,
+    /// Poison batches quarantined to the dead-letter queue after the
+    /// retry cap.
+    pub quarantined: AtomicU64,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open) for this operator.
+    pub breaker_trips: AtomicU64,
+    /// Frames drained-and-dropped while the breaker was open.
+    pub breaker_dropped: AtomicU64,
 }
 
 /// Immutable snapshot of one operator's counters.
@@ -49,6 +61,16 @@ pub struct OperatorMetrics {
     pub executions: u64,
     /// Ordering/duplication violations.
     pub seq_violations: u64,
+    /// Caught panicking executions.
+    pub panics: u64,
+    /// Retries after caught panics.
+    pub retries: u64,
+    /// Batches quarantined as poison.
+    pub quarantined: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Frames dropped while the breaker was open.
+    pub breaker_dropped: u64,
 }
 
 impl OperatorCounters {
@@ -62,6 +84,11 @@ impl OperatorCounters {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             executions: self.executions.load(Ordering::Relaxed),
             seq_violations: self.seq_violations.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_dropped: self.breaker_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -115,6 +142,34 @@ pub struct ThreadModelStats {
     pub io_polls: u64,
 }
 
+/// Job-wide failure-containment counters (ISSUE 5): what the supervision
+/// ladder caught, what the queues sacrificed, and what the worker pools
+/// absorbed. All zero in a healthy run with containment off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContainmentStats {
+    /// Panics caught by the worker pools themselves — the last-resort
+    /// layer below supervision (a panic that unwound out of a task).
+    pub worker_panics: u64,
+    /// Panicking executions caught by operator supervisors.
+    pub panics: u64,
+    /// Supervised retries after caught panics.
+    pub retries: u64,
+    /// Poison batches quarantined to the dead-letter queue.
+    pub quarantined: u64,
+    /// Circuit-breaker trips across all operators.
+    pub breaker_trips: u64,
+    /// Frames drained-and-dropped by open breakers.
+    pub breaker_dropped: u64,
+    /// Dead letters currently held in the queue.
+    pub dead_letters: u64,
+    /// Dead letters evicted because the queue was at capacity.
+    pub dead_letters_evicted: u64,
+    /// Items sacrificed by queue shed policies.
+    pub shed_total: u64,
+    /// Bytes sacrificed by queue shed policies.
+    pub shed_bytes: u64,
+}
+
 /// Snapshot of a whole job's metrics, keyed by operator name.
 #[derive(Debug, Clone, Default)]
 pub struct JobMetrics {
@@ -128,6 +183,10 @@ pub struct JobMetrics {
     /// [`crate::runtime::JobHandle::metrics`], default-zero from a bare
     /// [`MetricsRegistry`].
     pub thread_model: ThreadModelStats,
+    /// Failure-containment counters; operator-level parts aggregate from
+    /// the per-operator snapshots, queue/pool parts are filled by
+    /// [`crate::runtime::JobHandle::metrics`].
+    pub containment: ContainmentStats,
 }
 
 impl JobMetrics {
@@ -180,10 +239,21 @@ impl MetricsRegistry {
 
     /// Snapshot every operator.
     pub fn snapshot(&self) -> JobMetrics {
+        let operators: BTreeMap<String, OperatorMetrics> =
+            self.inner.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+        let mut containment = ContainmentStats::default();
+        for m in operators.values() {
+            containment.panics += m.panics;
+            containment.retries += m.retries;
+            containment.quarantined += m.quarantined;
+            containment.breaker_trips += m.breaker_trips;
+            containment.breaker_dropped += m.breaker_dropped;
+        }
         JobMetrics {
-            operators: self.inner.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+            operators,
             buffer_pool: BytesPoolStats::default(),
             thread_model: ThreadModelStats::default(),
+            containment,
         }
     }
 }

@@ -38,9 +38,13 @@ impl JobHandle {
             let snapshot = self.registry.snapshot();
             let frames_out: u64 = snapshot.operators.values().map(|m| m.frames_out).sum();
             let frames_in: u64 = snapshot.operators.values().map(|m| m.frames_in).sum();
+            // Frames sacrificed by a shed policy were dispatched but will
+            // never arrive; without this term a shedding run could never
+            // balance its books and settle would always time out.
+            let shed: u64 = self.queues.iter().map(|q| q.shed_total()).sum();
             let busy = self.queues.iter().any(|q| !q.is_empty())
                 || self.endpoints.iter().any(|ep| !ep.is_empty())
-                || frames_out != frames_in;
+                || frames_out != frames_in + shed;
             if busy {
                 stable = 0;
             } else {
@@ -92,6 +96,7 @@ impl JobHandle {
             None => IoPoolStats::default(),
         };
         let worker_threads: usize = self.resources.iter().map(|r| r.worker_count()).sum();
+        let worker_panics: u64 = self.resources.iter().map(|r| r.worker_panics()).sum();
         for q in &self.queues {
             q.close();
         }
@@ -105,6 +110,15 @@ impl JobHandle {
         let mut m = self.registry.snapshot();
         m.buffer_pool = self.pool.stats();
         m.thread_model = super::thread_model_stats(io_stats, worker_threads);
+        m.containment.worker_panics = worker_panics;
+        for q in &self.queues {
+            m.containment.shed_total += q.shed_total();
+            m.containment.shed_bytes += q.shed_bytes();
+        }
+        if let Some(dlq) = &self.dead_letters {
+            m.containment.dead_letters = dlq.len() as u64;
+            m.containment.dead_letters_evicted = dlq.evicted();
+        }
         m
     }
 }

@@ -42,6 +42,7 @@ mod wiring;
 
 use crate::channel::ChannelEndpoint;
 use crate::config::RuntimeConfig;
+use crate::dead_letter::{DeadLetter, DeadLetterQueue};
 use crate::graph::Graph;
 use crate::metrics::{JobMetrics, MetricsRegistry, ThreadModelStats};
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
@@ -131,6 +132,8 @@ pub struct JobHandle {
     series: Option<Arc<SampleRing<TelemetrySample>>>,
     /// Fault-tolerance state; `None` when HA is disabled.
     ha: Option<HaRuntime>,
+    /// Poison-batch quarantine; `None` when containment is disabled.
+    dead_letters: Option<Arc<DeadLetterQueue>>,
 }
 
 /// Fault-tolerance state of a running job (ISSUE 3): shared recovery
@@ -168,7 +171,24 @@ impl JobHandle {
         let mut m = self.registry.snapshot();
         m.buffer_pool = self.pool.stats();
         m.thread_model = self.thread_model();
+        m.containment.worker_panics = self.resources.iter().map(|r| r.worker_panics()).sum();
+        for q in &self.queues {
+            m.containment.shed_total += q.shed_total();
+            m.containment.shed_bytes += q.shed_bytes();
+        }
+        if let Some(dlq) = &self.dead_letters {
+            m.containment.dead_letters = dlq.len() as u64;
+            m.containment.dead_letters_evicted = dlq.evicted();
+        }
         m
+    }
+
+    /// Quarantined poison batches, oldest first: the frames an operator
+    /// kept panicking on through every retry, with their captured payload
+    /// bytes and panic messages. Empty when containment is disabled or
+    /// nothing has been quarantined.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead_letters.as_ref().map(|d| d.snapshot()).unwrap_or_default()
     }
 
     /// Live gauges of the two-tier execution plane: IO/worker thread
@@ -202,6 +222,7 @@ impl JobHandle {
             queues: self.queue_gauges(),
             series: self.series.as_ref().map(|r| r.series()).unwrap_or_default(),
             recovery: self.recovery(),
+            dead_letters: self.dead_letters(),
         })
     }
 

@@ -160,7 +160,10 @@ impl IoTask for SourcePump {
             // Admission gate: a closed watermark gate downstream means the
             // worker tier is saturated — park instead of blocking the IO
             // thread inside push; the gate listener wakes us on release.
-            if self.gates.iter().any(|q| q.is_gated()) {
+            // A *shedding* queue is the exception: its push blocks at most
+            // `max_stall` before the policy degrades, so the pump must keep
+            // pushing or the shed path would never run.
+            if self.gates.iter().any(|q| q.is_gated() && !q.sheds()) {
                 return IoStatus::Park;
             }
             match self.source.next(&mut self.ctx) {

@@ -6,21 +6,23 @@ use super::{HaRuntime, JobHandle, SubmitError};
 use crate::channel::{ChannelEndpoint, ChannelId, SinkHandle};
 use crate::codec::PacketCodec;
 use crate::config::{PlacementStrategy, RuntimeConfig, TransportMode};
+use crate::dead_letter::{DeadLetter, DeadLetterQueue};
 use crate::graph::{Factory, Graph, OperatorKind};
 use crate::metrics::{MetricsRegistry, OperatorCounters};
 use crate::operator::{OperatorContext, OutgoingLink};
 use crate::packet::StreamPacket;
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample};
 use neptune_granules::{
-    ComputationalTask, IoPool, IoTaskHandle, Resource, ScheduleSpec, TaskContext, TaskOutcome,
+    ComputationalTask, IoPool, IoTaskHandle, OperatorSupervisor, Resource, ScheduleSpec,
+    SupervisedOutcome, SupervisorPolicy, TaskContext, TaskOutcome,
 };
-use neptune_ha::{DetectorConfig, FailureDetector, RecoveryStats};
+use neptune_ha::{DetectorConfig, FailureDetector, ReconnectPolicy, RecoveryStats};
 use neptune_net::buffer::OutputBuffer;
 use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::transport::InProcessTransport;
-use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune_net::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use neptune_telemetry::{OperatorTelemetry, SampleRing};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -34,6 +36,21 @@ use std::time::{Duration, Instant};
 /// pumps are simultaneously runnable.
 fn auto_io_threads() -> usize {
     std::thread::available_parallelism().map(|n| (n.get() / 4).clamp(1, 4)).unwrap_or(2)
+}
+
+/// Per-instance failure-containment state: the supervisor (panic catch,
+/// retry, breaker), the deterministic retry backoff, and the job's shared
+/// dead-letter queue. Absent when containment is disabled — the hot path
+/// then pays nothing for supervision.
+pub(super) struct Supervision {
+    /// Shared by every instance of the operator, so the breaker and the
+    /// containment counters are per-operator as the paper's operator
+    /// granularity suggests.
+    supervisor: Arc<OperatorSupervisor>,
+    backoff: ReconnectPolicy,
+    dead_letters: Arc<DeadLetterQueue>,
+    /// Per-entry byte budget when capturing a poison frame's payload.
+    capture_bytes: usize,
 }
 
 /// The granules task wrapping one processor instance.
@@ -57,6 +74,8 @@ pub(super) struct ProcessorTask {
     /// Latency recorder shared by all instances of this operator; `None`
     /// keeps the hot path free of clock reads when telemetry is off.
     telemetry: Option<Arc<OperatorTelemetry>>,
+    /// Failure containment (supervision + quarantine); `None` when off.
+    supervision: Option<Supervision>,
 }
 
 impl ProcessorTask {
@@ -97,20 +116,108 @@ impl ProcessorTask {
                         t.transport.record(in_flight.saturating_sub(schedule_us));
                     }
                 }
-                for message in &frame.messages {
-                    match self.codec.decode_into(message, &mut self.workhorse) {
-                        Ok(()) => {
-                            self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
-                            if let Some(t) = &self.telemetry {
-                                if let Some(ts) = self.workhorse.source_timestamp() {
-                                    t.e2e.record(now.saturating_sub(ts));
+                match &self.supervision {
+                    None => {
+                        for message in &frame.messages {
+                            match self.codec.decode_into(message, &mut self.workhorse) {
+                                Ok(()) => {
+                                    self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(t) = &self.telemetry {
+                                        if let Some(ts) = self.workhorse.source_timestamp() {
+                                            t.e2e.record(now.saturating_sub(ts));
+                                        }
+                                    }
+                                    self.processor.process(&self.workhorse, &mut self.ctx);
+                                }
+                                Err(_) => {
+                                    self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
-                            self.processor.process(&self.workhorse, &mut self.ctx);
                         }
-                        Err(_) => {
-                            self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(sup) => {
+                        // The frame is the poison unit: the whole message
+                        // loop runs under the supervisor so a panic anywhere
+                        // in decode or process is caught here. A retry
+                        // re-runs the full frame — messages processed before
+                        // the panic are re-emitted (at-least-once within the
+                        // retry window); counters are applied only on
+                        // success so retries do not inflate them.
+                        let processor = &mut self.processor;
+                        let ctx = &mut self.ctx;
+                        let workhorse = &mut self.workhorse;
+                        let codec = &mut self.codec;
+                        let telemetry = &self.telemetry;
+                        let frame_ref = &frame;
+                        let outcome = sup.supervisor.run_batch(
+                            || {
+                                let mut decoded = 0u64;
+                                let mut bad = 0u64;
+                                for message in &frame_ref.messages {
+                                    match codec.decode_into(message, workhorse) {
+                                        Ok(()) => {
+                                            decoded += 1;
+                                            if let Some(t) = telemetry {
+                                                if let Some(ts) = workhorse.source_timestamp() {
+                                                    t.e2e.record(now.saturating_sub(ts));
+                                                }
+                                            }
+                                            processor.process(workhorse, ctx);
+                                        }
+                                        Err(_) => bad += 1,
+                                    }
+                                }
+                                (decoded, bad)
+                            },
+                            |attempt| sup.backoff.delay_for(attempt),
+                        );
+                        match outcome {
+                            SupervisedOutcome::Completed((decoded, bad)) => {
+                                self.counters.packets_in.fetch_add(decoded, Ordering::Relaxed);
+                                if bad > 0 {
+                                    self.counters.seq_violations.fetch_add(bad, Ordering::Relaxed);
+                                }
+                            }
+                            SupervisedOutcome::Rejected => {
+                                // Breaker open: drain-and-drop keeps the
+                                // queue moving so the upstream gate reopens.
+                            }
+                            SupervisedOutcome::Quarantined { panic_msg, attempts, .. } => {
+                                let mut bytes = Vec::new();
+                                let mut original_len = 0usize;
+                                for message in &frame.messages {
+                                    original_len += message.len();
+                                    if bytes.len() < sup.capture_bytes {
+                                        let take =
+                                            (sup.capture_bytes - bytes.len()).min(message.len());
+                                        bytes.extend_from_slice(&message[..take]);
+                                    }
+                                }
+                                sup.dead_letters.push(DeadLetter {
+                                    operator: self.ctx.operator().to_string(),
+                                    instance: self.ctx.instance(),
+                                    link_id: frame.link_id,
+                                    base_seq: frame.base_seq,
+                                    messages: frame.messages.len() as u32,
+                                    panic_msg,
+                                    attempts,
+                                    bytes,
+                                    original_len,
+                                });
+                            }
                         }
+                        // The per-operator supervisor (shared by all
+                        // instances) is the source of truth for containment
+                        // counters; mirror its monotonic totals into the
+                        // operator counters after every supervised frame.
+                        let stats = sup.supervisor.stats();
+                        self.counters.panics.store(stats.panics, Ordering::Relaxed);
+                        self.counters.retries.store(stats.retries, Ordering::Relaxed);
+                        self.counters.quarantined.store(stats.quarantined, Ordering::Relaxed);
+                        self.counters.breaker_trips.store(stats.breaker_trips, Ordering::Relaxed);
+                        self.counters
+                            .breaker_dropped
+                            .store(stats.breaker_rejected, Ordering::Relaxed);
                     }
                 }
                 // Batch storage goes back to the pool once every message in
@@ -165,6 +272,15 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
     // transports hand it to receiving tasks by refcount, and processed
     // frames recycle it (§III-B3 object reuse, now across threads).
     let pool = Arc::new(BytesPool::default());
+
+    // ---- Failure containment: dead-letter queue + shed config. ----
+    // Shedding is independent of supervision: `ShedPolicy::None` (the
+    // default) keeps every queue losslessly backpressured per §III-B4.
+    let shed = ShedConfig::new(config.containment.shed_policy, config.containment.max_stall);
+    let dead_letters = config
+        .containment
+        .enabled
+        .then(|| Arc::new(DeadLetterQueue::new(config.containment.dead_letter_capacity)));
 
     // ---- Placement: strategy-driven assignment of instances. ----
     let n_resources = config.resources;
@@ -252,15 +368,20 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                     (0..fop.parallelism).any(|si| placement[&(foi, si)] != my_res)
                 });
             let queue = if needs_tcp {
-                let rx = TcpReceiver::bind_pooled("127.0.0.1:0", watermark, pool.clone())
-                    .map_err(|e| SubmitError::Io(e.to_string()))?;
+                let rx = TcpReceiver::bind_pooled_with_shed(
+                    "127.0.0.1:0",
+                    watermark,
+                    shed,
+                    pool.clone(),
+                )
+                .map_err(|e| SubmitError::Io(e.to_string()))?;
                 let q = rx.queue();
                 receiver_addr.insert((oi, inst), rx.local_addr());
                 receiver_index.insert((oi, inst), receivers.len());
                 receivers.push(rx);
                 q
             } else {
-                Arc::new(WatermarkQueue::new(watermark))
+                Arc::new(WatermarkQueue::with_shed(watermark, shed))
             };
             all_queues.push(queue.clone());
             queues_by_instance.insert((oi, inst), queue);
@@ -334,6 +455,17 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
             continue;
         };
         let counters = registry.for_operator(&op.name);
+        // One supervisor per operator: all instances share its circuit
+        // breaker, so a persistently poisonous operator trips once for the
+        // whole operator, not once per instance.
+        let supervisor = dead_letters.as_ref().map(|_| {
+            Arc::new(OperatorSupervisor::new(SupervisorPolicy {
+                max_retries: config.containment.max_retries,
+                breaker_threshold: config.containment.breaker_threshold,
+                cooldown: config.containment.breaker_cooldown,
+                required_probes: config.containment.breaker_probes,
+            }))
+        });
         for inst in 0..op.parallelism {
             let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
             let ctx = OperatorContext::for_channels(
@@ -343,6 +475,17 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 links,
                 counters.clone(),
             );
+            let supervision =
+                supervisor.as_ref().zip(dead_letters.as_ref()).map(|(s, dlq)| Supervision {
+                    supervisor: s.clone(),
+                    // Decorrelate retry jitter across instances while
+                    // keeping it a pure function of the configured seed.
+                    backoff: ReconnectPolicy::fast(
+                        config.containment.retry_backoff_seed ^ ((oi as u64) << 32 | inst as u64),
+                    ),
+                    dead_letters: dlq.clone(),
+                    capture_bytes: config.containment.dead_letter_capture_bytes,
+                });
             let task = ProcessorTask {
                 processor: factory(),
                 ctx,
@@ -355,6 +498,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 expected_seq: HashMap::new(),
                 pool: pool.clone(),
                 telemetry: telemetry_hub.as_ref().map(|h| h.for_operator(&op.name)),
+                supervision,
             };
             let resource = &resources[placement[&(oi, inst)]];
             // Batched scheduling lets a slot drain bursts on one worker
@@ -539,5 +683,6 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         telemetry_hub,
         series,
         ha,
+        dead_letters,
     })
 }

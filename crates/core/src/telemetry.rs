@@ -21,6 +21,7 @@
 //! path. Snapshots render as pretty text, JSON (via the repo's own
 //! [`crate::json`]), and Prometheus text exposition.
 
+use crate::dead_letter::DeadLetter;
 use crate::json::{object, JsonValue};
 use crate::metrics::JobMetrics;
 use neptune_ha::RecoverySnapshot;
@@ -44,6 +45,11 @@ pub struct QueueGauge {
     pub capacity: usize,
     /// Times the backpressure gate has engaged so far.
     pub gate_events: u64,
+    /// Items sacrificed by the queue's shed policy (0 under the default
+    /// lossless [`neptune_net::watermark::ShedPolicy::None`]).
+    pub shed_total: u64,
+    /// Bytes sacrificed by the queue's shed policy.
+    pub shed_bytes: u64,
 }
 
 impl QueueGauge {
@@ -54,6 +60,8 @@ impl QueueGauge {
             depth_bytes: q.level(),
             capacity: q.config().high,
             gate_events: q.gate_events(),
+            shed_total: q.shed_total(),
+            shed_bytes: q.shed_bytes(),
         }
     }
 
@@ -143,6 +151,10 @@ pub struct TelemetrySnapshot {
     /// Recovery counters and detection-latency histogram (ISSUE 3);
     /// `None` when fault tolerance is disabled in the runtime config.
     pub recovery: Option<RecoverySnapshot>,
+    /// Quarantined poison batches (ISSUE 5), oldest first; empty when
+    /// containment is disabled or nothing has been quarantined. Exports
+    /// render provenance and panic messages but never the raw bytes.
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 fn histogram_json(snap: &HistogramSnapshot) -> JsonValue {
@@ -163,6 +175,22 @@ fn queue_json(q: &QueueGauge) -> JsonValue {
         ("depth_bytes", JsonValue::Number(q.depth_bytes as f64)),
         ("capacity", JsonValue::Number(q.capacity as f64)),
         ("gate_events", JsonValue::Number(q.gate_events as f64)),
+        ("shed_total", JsonValue::Number(q.shed_total as f64)),
+        ("shed_bytes", JsonValue::Number(q.shed_bytes as f64)),
+    ])
+}
+
+fn dead_letter_json(d: &DeadLetter) -> JsonValue {
+    object([
+        ("operator", JsonValue::String(d.operator.clone())),
+        ("instance", JsonValue::Number(d.instance as f64)),
+        ("link_id", JsonValue::Number(d.link_id as f64)),
+        ("base_seq", JsonValue::Number(d.base_seq as f64)),
+        ("messages", JsonValue::Number(d.messages as f64)),
+        ("attempts", JsonValue::Number(d.attempts as f64)),
+        ("panic_msg", JsonValue::String(d.panic_msg.clone())),
+        ("captured_bytes", JsonValue::Number(d.bytes.len() as f64)),
+        ("original_len", JsonValue::Number(d.original_len as f64)),
     ])
 }
 
@@ -199,6 +227,11 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
                         ("bytes_out", JsonValue::Number(om.bytes_out as f64)),
                         ("executions", JsonValue::Number(om.executions as f64)),
                         ("seq_violations", JsonValue::Number(om.seq_violations as f64)),
+                        ("panics", JsonValue::Number(om.panics as f64)),
+                        ("retries", JsonValue::Number(om.retries as f64)),
+                        ("quarantined", JsonValue::Number(om.quarantined as f64)),
+                        ("breaker_trips", JsonValue::Number(om.breaker_trips as f64)),
+                        ("breaker_dropped", JsonValue::Number(om.breaker_dropped as f64)),
                     ]),
                 )
             })
@@ -223,7 +256,25 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
         ("io_wakes", JsonValue::Number(tm.io_wakes as f64)),
         ("io_polls", JsonValue::Number(tm.io_polls as f64)),
     ]);
-    object([("operators", operators), ("buffer_pool", pool), ("thread_model", thread_model)])
+    let c = &m.containment;
+    let containment = object([
+        ("worker_panics", JsonValue::Number(c.worker_panics as f64)),
+        ("panics", JsonValue::Number(c.panics as f64)),
+        ("retries", JsonValue::Number(c.retries as f64)),
+        ("quarantined", JsonValue::Number(c.quarantined as f64)),
+        ("breaker_trips", JsonValue::Number(c.breaker_trips as f64)),
+        ("breaker_dropped", JsonValue::Number(c.breaker_dropped as f64)),
+        ("dead_letters", JsonValue::Number(c.dead_letters as f64)),
+        ("dead_letters_evicted", JsonValue::Number(c.dead_letters_evicted as f64)),
+        ("shed_total", JsonValue::Number(c.shed_total as f64)),
+        ("shed_bytes", JsonValue::Number(c.shed_bytes as f64)),
+    ]);
+    object([
+        ("operators", operators),
+        ("buffer_pool", pool),
+        ("thread_model", thread_model),
+        ("containment", containment),
+    ])
 }
 
 impl TelemetrySnapshot {
@@ -273,6 +324,12 @@ impl TelemetrySnapshot {
         if let Some(r) = &self.recovery {
             root.push(("recovery", recovery_json(r)));
         }
+        if !self.dead_letters.is_empty() {
+            root.push((
+                "dead_letters",
+                JsonValue::Array(self.dead_letters.iter().map(dead_letter_json).collect()),
+            ));
+        }
         object(root)
     }
 
@@ -294,12 +351,14 @@ impl TelemetrySnapshot {
         }
         for (i, q) in self.queues.iter().enumerate() {
             out.push_str(&format!(
-                "queue {i}: depth={} bytes={}/{} ({:.0}%) gate_events={}\n",
+                "queue {i}: depth={} bytes={}/{} ({:.0}%) gate_events={} shed={}/{}B\n",
                 q.depth,
                 q.depth_bytes,
                 q.capacity,
                 q.saturation() * 100.0,
-                q.gate_events
+                q.gate_events,
+                q.shed_total,
+                q.shed_bytes
             ));
         }
         let pool = &self.metrics.buffer_pool;
@@ -322,6 +381,37 @@ impl TelemetrySnapshot {
             tm.io_parks,
             tm.io_wakes
         ));
+        let c = &self.metrics.containment;
+        out.push_str(&format!(
+            "containment: worker_panics={} panics={} retries={} quarantined={} \
+             breaker_trips={} breaker_dropped={} dead_letters={} (evicted {}) \
+             shed={}/{}B\n",
+            c.worker_panics,
+            c.panics,
+            c.retries,
+            c.quarantined,
+            c.breaker_trips,
+            c.breaker_dropped,
+            c.dead_letters,
+            c.dead_letters_evicted,
+            c.shed_total,
+            c.shed_bytes
+        ));
+        for (i, d) in self.dead_letters.iter().enumerate() {
+            out.push_str(&format!(
+                "dead letter {i}: operator={} instance={} link={} seq={} msgs={} \
+                 attempts={} bytes={}/{} panic=\"{}\"\n",
+                d.operator,
+                d.instance,
+                d.link_id,
+                d.base_seq,
+                d.messages,
+                d.attempts,
+                d.bytes.len(),
+                d.original_len,
+                d.panic_msg
+            ));
+        }
         out.push_str(&format!("series: {} samples\n", self.series.len()));
         if let Some(r) = &self.recovery {
             out.push_str(&r.render_pretty());
@@ -398,14 +488,39 @@ impl TelemetrySnapshot {
                     q.gate_events,
                 );
             }
+            out.push_str("# TYPE neptune_queue_shed_total counter\n");
+            for (i, q) in self.queues.iter().enumerate() {
+                let idx = i.to_string();
+                export::sample_line(
+                    &mut out,
+                    "neptune_queue_shed_total",
+                    &[("queue", &idx)],
+                    q.shed_total,
+                );
+            }
+            out.push_str("# TYPE neptune_queue_shed_bytes_total counter\n");
+            for (i, q) in self.queues.iter().enumerate() {
+                let idx = i.to_string();
+                export::sample_line(
+                    &mut out,
+                    "neptune_queue_shed_bytes_total",
+                    &[("queue", &idx)],
+                    q.shed_bytes,
+                );
+            }
         }
         type CounterColumn = (&'static str, fn(&crate::metrics::OperatorMetrics) -> u64);
-        let counter_columns: [CounterColumn; 5] = [
+        let counter_columns: [CounterColumn; 10] = [
             ("neptune_packets_in_total", |m| m.packets_in),
             ("neptune_packets_out_total", |m| m.packets_out),
             ("neptune_frames_out_total", |m| m.frames_out),
             ("neptune_bytes_out_total", |m| m.bytes_out),
             ("neptune_seq_violations_total", |m| m.seq_violations),
+            ("neptune_operator_panics_total", |m| m.panics),
+            ("neptune_operator_retries_total", |m| m.retries),
+            ("neptune_operator_quarantined_total", |m| m.quarantined),
+            ("neptune_breaker_trips_total", |m| m.breaker_trips),
+            ("neptune_breaker_dropped_total", |m| m.breaker_dropped),
         ];
         for (metric, read) in counter_columns {
             out.push_str(&format!("# TYPE {metric} counter\n"));
@@ -443,6 +558,28 @@ impl TelemetrySnapshot {
         for (metric, value) in tier_counters {
             export::prometheus_counter(&mut out, metric, &[], value);
         }
+        let c = &self.metrics.containment;
+        let containment_counters: [(&str, u64); 8] = [
+            ("neptune_worker_panics_total", c.worker_panics),
+            ("neptune_containment_panics_total", c.panics),
+            ("neptune_containment_retries_total", c.retries),
+            ("neptune_containment_quarantined_total", c.quarantined),
+            ("neptune_containment_breaker_trips_total", c.breaker_trips),
+            ("neptune_containment_breaker_dropped_total", c.breaker_dropped),
+            ("neptune_shed_total", c.shed_total),
+            ("neptune_shed_bytes_total", c.shed_bytes),
+        ];
+        for (metric, value) in containment_counters {
+            export::prometheus_counter(&mut out, metric, &[], value);
+        }
+        out.push_str("# TYPE neptune_dead_letters gauge\n");
+        export::sample_line(&mut out, "neptune_dead_letters", &[], c.dead_letters);
+        export::prometheus_counter(
+            &mut out,
+            "neptune_dead_letters_evicted_total",
+            &[],
+            c.dead_letters_evicted,
+        );
         if let Some(r) = &self.recovery {
             let recovery_counters: [(&str, u64); 12] = [
                 ("neptune_recovery_retransmits_total", r.retransmits),
@@ -491,8 +628,14 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.for_operator("relay").packets_in.store(3, std::sync::atomic::Ordering::Relaxed);
         let metrics = registry.snapshot();
-        let queues =
-            vec![QueueGauge { depth: 2, depth_bytes: 512, capacity: 4096, gate_events: 7 }];
+        let queues = vec![QueueGauge {
+            depth: 2,
+            depth_bytes: 512,
+            capacity: 4096,
+            gate_events: 7,
+            shed_total: 0,
+            shed_bytes: 0,
+        }];
         let sample = TelemetrySample { metrics: metrics.clone(), queues: queues.clone() };
         TelemetrySnapshot {
             graph_name: "demo".into(),
@@ -501,6 +644,7 @@ mod tests {
             queues,
             series: vec![(0, sample.clone()), (100_000, sample)],
             recovery: None,
+            dead_letters: Vec::new(),
         }
     }
 
@@ -526,7 +670,7 @@ mod tests {
 
     #[test]
     fn queue_gauge_saturation() {
-        let g = QueueGauge { depth: 1, depth_bytes: 2048, capacity: 4096, gate_events: 0 };
+        let g = QueueGauge { depth: 1, depth_bytes: 2048, capacity: 4096, ..Default::default() };
         assert!((g.saturation() - 0.5).abs() < 1e-9);
         assert_eq!(QueueGauge::default().saturation(), 0.0);
     }
@@ -581,6 +725,63 @@ mod tests {
         let pretty = snap.render_pretty();
         assert!(pretty.contains("retransmits=4"));
         assert!(pretty.contains("deaths=1"));
+    }
+
+    #[test]
+    fn containment_section_renders_in_all_formats() {
+        let mut snap = sample_snapshot();
+        snap.metrics.containment = crate::metrics::ContainmentStats {
+            worker_panics: 1,
+            panics: 9,
+            retries: 6,
+            quarantined: 3,
+            breaker_trips: 1,
+            breaker_dropped: 4,
+            dead_letters: 2,
+            dead_letters_evicted: 1,
+            shed_total: 11,
+            shed_bytes: 2048,
+        };
+        snap.dead_letters.push(crate::dead_letter::DeadLetter {
+            operator: "relay".into(),
+            instance: 0,
+            link_id: 3,
+            base_seq: 40,
+            messages: 8,
+            panic_msg: "poison value".into(),
+            attempts: 3,
+            bytes: vec![0xEE; 16],
+            original_len: 64,
+        });
+
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let c = doc.get("metrics").unwrap().get("containment").expect("containment object");
+        assert_eq!(c.get("worker_panics").unwrap().as_u64(), Some(1));
+        assert_eq!(c.get("quarantined").unwrap().as_u64(), Some(3));
+        assert_eq!(c.get("shed_total").unwrap().as_u64(), Some(11));
+        let dl = doc.get("dead_letters").unwrap().as_array().unwrap();
+        assert_eq!(dl[0].get("panic_msg").unwrap().as_str(), Some("poison value"));
+        assert_eq!(dl[0].get("captured_bytes").unwrap().as_u64(), Some(16));
+        assert_eq!(dl[0].get("original_len").unwrap().as_u64(), Some(64));
+
+        let text = snap.render_prometheus();
+        assert!(text.contains("neptune_worker_panics_total 1\n"));
+        assert!(text.contains("neptune_containment_quarantined_total 3\n"));
+        assert!(text.contains("neptune_containment_breaker_trips_total 1\n"));
+        assert!(text.contains("neptune_shed_total 11\n"));
+        assert!(text.contains("neptune_dead_letters 2\n"));
+        assert!(text.contains("neptune_queue_shed_total{queue=\"0\"} 0\n"));
+        assert!(text.contains("neptune_operator_panics_total{operator=\"relay\"}"));
+
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("containment: worker_panics=1 panics=9"));
+        assert!(pretty.contains("dead letter 0: operator=relay"));
+        assert!(pretty.contains("panic=\"poison value\""));
+
+        // No root dead-letter array in JSON when nothing is quarantined
+        // (the containment counter object still carries the gauge).
+        let plain = crate::json::parse(&sample_snapshot().to_json()).unwrap();
+        assert!(plain.get("dead_letters").is_none());
     }
 
     #[test]

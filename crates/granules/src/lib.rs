@@ -51,6 +51,7 @@ pub mod error;
 pub mod io;
 pub mod resource;
 pub mod scheduler;
+pub mod supervisor;
 pub mod task;
 pub mod test_support;
 pub mod threadpool;
@@ -61,6 +62,10 @@ pub use error::GranulesError;
 pub use io::{IoContext, IoPool, IoPoolStats, IoStatus, IoTask, IoTaskHandle};
 pub use resource::{HeartbeatProbe, Resource, ResourceBuilder, TaskHandle};
 pub use scheduler::{ScheduleSpec, TimerService};
+pub use supervisor::{
+    BreakerState, CircuitBreaker, OperatorSupervisor, SupervisedOutcome, SupervisorPolicy,
+    SupervisorStats,
+};
 pub use task::{ComputationalTask, TaskContext, TaskId, TaskOutcome, TaskState};
 pub use threadpool::WorkerPool;
 pub use wheel::{TimerScheduler, TimerWheel};

@@ -230,6 +230,12 @@ impl Resource {
         self.inner.pool.size()
     }
 
+    /// Panics that unwound out of tasks and were absorbed by the worker
+    /// pool (the containment layer below operator supervision).
+    pub fn worker_panics(&self) -> u64 {
+        self.inner.pool.panicked()
+    }
+
     /// Deploy a computational task under the given scheduling strategy.
     pub fn deploy<T: ComputationalTask + 'static>(
         &self,

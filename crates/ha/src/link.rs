@@ -87,7 +87,7 @@ impl FrameLink for QueueLink {
             seq: Some(frame.seq),
             control: None,
         };
-        self.queue.push_blocking(decoded).map_err(|_| TransportError::Closed)
+        self.queue.push_blocking(decoded).map(|_| ()).map_err(TransportError::from_push)
     }
 
     fn send_control(
@@ -106,7 +106,7 @@ impl FrameLink for QueueLink {
             seq: None,
             control: Some(kind),
         };
-        self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)
+        self.queue.push_blocking(frame).map(|_| ()).map_err(TransportError::from_push)
     }
 }
 

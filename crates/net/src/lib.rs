@@ -42,4 +42,4 @@ pub use frame::{
 pub use pool::{BytesPool, BytesPoolStats};
 pub use tcp::{TcpReceiver, TcpSender};
 pub use transport::{BatchSink, InProcessTransport};
-pub use watermark::{WatermarkConfig, WatermarkQueue};
+pub use watermark::{PushError, Pushed, ShedConfig, ShedPolicy, WatermarkConfig, WatermarkQueue};

@@ -36,7 +36,7 @@
 use crate::frame::{encode_control_frame, read_frame, read_frame_pooled, ControlKind, Frame};
 use crate::pool::BytesPool;
 use crate::transport::TransportError;
-use crate::watermark::{WatermarkConfig, WatermarkQueue};
+use crate::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use crossbeam::channel::{bounded, Sender as ChannelSender};
 use parking_lot::{Mutex, RwLock};
 use std::io::Write;
@@ -228,7 +228,7 @@ impl TcpReceiver {
     /// allocations; see [`bind_pooled`](Self::bind_pooled) for the
     /// recycling variant the runtime uses.
     pub fn bind(addr: impl ToSocketAddrs, watermark: WatermarkConfig) -> std::io::Result<Self> {
-        Self::bind_inner(addr, watermark, None)
+        Self::bind_inner(addr, watermark, ShedConfig::disabled(), None)
     }
 
     /// Like [`bind`](Self::bind), but reader threads draw frame-body
@@ -241,17 +241,31 @@ impl TcpReceiver {
         watermark: WatermarkConfig,
         pool: Arc<BytesPool>,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, watermark, Some(pool))
+        Self::bind_inner(addr, watermark, ShedConfig::disabled(), Some(pool))
+    }
+
+    /// Like [`bind_pooled`](Self::bind_pooled), with an explicit
+    /// [`ShedConfig`] on the inbound queue — the reader thread degrades
+    /// per the policy instead of blocking forever once the gate has been
+    /// closed longer than the configured stall.
+    pub fn bind_pooled_with_shed(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        shed: ShedConfig,
+        pool: Arc<BytesPool>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, watermark, shed, Some(pool))
     }
 
     fn bind_inner(
         addr: impl ToSocketAddrs,
         watermark: WatermarkConfig,
+        shed: ShedConfig,
         pool: Option<Arc<BytesPool>>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let queue = Arc::new(WatermarkQueue::new(watermark));
+        let queue = Arc::new(WatermarkQueue::with_shed(watermark, shed));
         let shutdown = Arc::new(AtomicBool::new(false));
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -479,11 +493,9 @@ mod tests {
         let rx = localhost_receiver(1 << 22, 1 << 12);
         let tx = TcpSender::connect(rx.local_addr(), 64).unwrap();
         let raw = SelectiveCompressor::disabled();
-        let mut seq = 0u64;
         for i in 0..200u64 {
             let msgs = vec![i.to_le_bytes().to_vec()];
-            tx.send(encode_frame(1, seq, &msgs, &raw)).unwrap();
-            seq += 1;
+            tx.send(encode_frame(1, i, &msgs, &raw)).unwrap();
         }
         let q = rx.queue();
         for i in 0..200u64 {

@@ -32,16 +32,31 @@ use std::sync::Arc;
 pub enum TransportError {
     /// The destination (queue or connection) has been closed.
     Closed,
+    /// The destination refused the batch because its watermark gate is
+    /// closed (backpressure) — retry later; this is not a shutdown.
+    Backpressure,
     /// The batch could not be encoded/decoded.
     Malformed(String),
     /// Socket-level failure.
     Io(String),
 }
 
+impl TransportError {
+    /// Map a watermark-queue push failure onto the transport error space,
+    /// preserving the closed-vs-gated distinction.
+    pub fn from_push<T>(err: crate::watermark::PushError<T>) -> Self {
+        match err {
+            crate::watermark::PushError::Closed(_) => TransportError::Closed,
+            crate::watermark::PushError::Gated(_) => TransportError::Backpressure,
+        }
+    }
+}
+
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Backpressure => write!(f, "transport gated (backpressure)"),
             TransportError::Malformed(m) => write!(f, "malformed batch: {m}"),
             TransportError::Io(m) => write!(f, "transport io error: {m}"),
         }
@@ -132,7 +147,13 @@ impl BatchSink for InProcessTransport {
             seq: None,
             control: None,
         };
-        self.queue.push_blocking(frame).map_err(|_| TransportError::Closed)?;
+        let outcome = self.queue.push_blocking(frame).map_err(TransportError::from_push)?;
+        if !outcome.accepted() {
+            // The queue's armed ShedPolicy dropped the incoming frame to
+            // bound latency; it was never enqueued, so nothing was "sent"
+            // and there is no delivery to signal.
+            return Ok(());
+        }
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
         let hook = self.on_deliver.read().clone();

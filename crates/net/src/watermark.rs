@@ -26,7 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Items stored in a watermark queue report their size in bytes, because
 /// watermarks bound *memory*, not message counts.
@@ -71,16 +71,146 @@ impl WatermarkConfig {
     }
 }
 
+/// Why a push could not enqueue its item. The item is handed back so the
+/// caller can retry, replay, or quarantine it.
+///
+/// Supervisors need the distinction: [`PushError::Closed`] means the job is
+/// shutting down (stop retrying), while [`PushError::Gated`] means the
+/// consumer is merely behind (backpressure — park and retry later).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue was closed ([`WatermarkQueue::close`]) — shutdown, not
+    /// backpressure. The item is handed back.
+    Closed(T),
+    /// The queue is gated at the high watermark — backpressure, not
+    /// shutdown. Returned by the non-blocking and bounded-wait push paths;
+    /// `push_blocking` never returns it (it waits the gate out).
+    Gated(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the item that could not be enqueued.
+    pub fn into_item(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::Gated(item) => item,
+        }
+    }
+
+    /// True when the failure was a shutdown, not backpressure.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, PushError::Closed(_))
+    }
+
+    /// True when the failure was backpressure, not shutdown.
+    pub fn is_gated(&self) -> bool {
+        matches!(self, PushError::Gated(_))
+    }
+}
+
+/// What a successful push did with the item. Anything other than
+/// [`Pushed::Enqueued`] means the queue's [`ShedPolicy`] degraded service
+/// to keep latency bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pushed {
+    /// The item was enqueued normally.
+    Enqueued,
+    /// The incoming item itself was shed (dropped) by `DropNewest` or the
+    /// probabilistic policy.
+    Shed,
+    /// The item was enqueued after evicting this many older items
+    /// (`DropOldest`).
+    Evicted(usize),
+}
+
+impl Pushed {
+    /// True unless the incoming item was dropped.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, Pushed::Shed)
+    }
+}
+
+/// Load-shedding policy applied by [`WatermarkQueue::push_blocking`] once
+/// the gate has been closed for longer than [`ShedConfig::max_stall`].
+///
+/// The paper's backpressure (§III-B4) is lossless: producers block until
+/// consumers drain. That remains the default ([`ShedPolicy::None`]).
+/// Shedding is an explicit opt-in degradation mode for sources that cannot
+/// be throttled (IoT sensors keep sensing): it bounds producer-side latency
+/// by sacrificing data, and every sacrificed item is counted in
+/// [`WatermarkQueue::shed_total`] / [`WatermarkQueue::shed_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Lossless backpressure (the paper's semantics): block until drained.
+    None,
+    /// Drop the incoming item; queued items are preserved. Favours data
+    /// already in flight (oldest-first delivery).
+    DropNewest,
+    /// Evict queued items from the front until the incoming item fits below
+    /// the high watermark, then enqueue it. Favours fresh data — the right
+    /// choice when stale sensor readings are worthless.
+    DropOldest,
+    /// Drop the incoming item with probability proportional to occupancy
+    /// above the low watermark (`p = (level - low) / (high - low)`,
+    /// clamped to [0, 1]), using a deterministic xorshift stream seeded
+    /// here. Smooths degradation instead of hard-dropping everything.
+    Probabilistic {
+        /// Seed for the deterministic drop-decision stream.
+        seed: u64,
+    },
+}
+
+/// When and how a queue sheds. Constructed via [`ShedConfig::disabled`] by
+/// default; pass a policy to [`WatermarkQueue::with_shed`] to opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// What to drop once armed.
+    pub policy: ShedPolicy,
+    /// How long the gate must stay continuously closed before the policy
+    /// arms. Below this threshold producers block losslessly, so brief
+    /// bursts are absorbed exactly as the paper describes.
+    pub max_stall: Duration,
+}
+
+impl ShedConfig {
+    /// Lossless default: never shed.
+    pub fn disabled() -> Self {
+        ShedConfig { policy: ShedPolicy::None, max_stall: Duration::from_secs(1) }
+    }
+
+    /// Shed with `policy` after the gate has been closed for `max_stall`.
+    pub fn new(policy: ShedPolicy, max_stall: Duration) -> Self {
+        ShedConfig { policy, max_stall }
+    }
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
 struct QueueState<T> {
     items: VecDeque<T>,
     level: usize,
     /// True between hitting the high watermark and draining to the low one.
     gated: bool,
+    /// When the current gating episode began; `None` while the gate is
+    /// open. Drives [`ShedConfig::max_stall`] arming.
+    gated_since: Option<Instant>,
     closed: bool,
     /// Set when the gate opened under the lock; the public entry points
     /// fire the listeners *after* releasing it (listeners may take other
     /// locks, e.g. an IO pool's ready queue).
     release_pending: bool,
+    /// Deterministic xorshift state for `ShedPolicy::Probabilistic`.
+    shed_rng: u64,
 }
 
 /// Byte-weighted MPMC queue with high/low watermark flow control.
@@ -89,31 +219,52 @@ pub struct WatermarkQueue<T: Weighted> {
     not_full: Condvar,
     not_empty: Condvar,
     config: WatermarkConfig,
+    shed: ShedConfig,
     pushed: AtomicU64,
     popped: AtomicU64,
     /// Number of times a producer had to block at the high watermark.
     gate_events: AtomicU64,
+    /// Items sacrificed by the shed policy over the queue's lifetime.
+    shed_total: AtomicU64,
+    /// Bytes sacrificed by the shed policy over the queue's lifetime.
+    shed_bytes: AtomicU64,
     /// Callbacks fired when the gate opens or the queue closes.
     gate_listeners: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl<T: Weighted> WatermarkQueue<T> {
-    /// New queue with the given watermark configuration.
+    /// New queue with the given watermark configuration and lossless
+    /// backpressure (no shedding).
     pub fn new(config: WatermarkConfig) -> Self {
+        Self::with_shed(config, ShedConfig::disabled())
+    }
+
+    /// New queue that degrades per `shed` once the gate has been closed
+    /// longer than [`ShedConfig::max_stall`].
+    pub fn with_shed(config: WatermarkConfig, shed: ShedConfig) -> Self {
+        let seed = match shed.policy {
+            ShedPolicy::Probabilistic { seed } if seed != 0 => seed,
+            _ => 0x9E37_79B9_7F4A_7C15,
+        };
         WatermarkQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 level: 0,
                 gated: false,
+                gated_since: None,
                 closed: false,
                 release_pending: false,
+                shed_rng: seed,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             config,
+            shed,
             pushed: AtomicU64::new(0),
             popped: AtomicU64::new(0),
             gate_events: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            shed_bytes: AtomicU64::new(0),
             gate_listeners: Mutex::new(Vec::new()),
         }
     }
@@ -173,38 +324,178 @@ impl<T: Weighted> WatermarkQueue<T> {
         self.gate_events.load(Ordering::Relaxed)
     }
 
-    /// Push, blocking while the queue is gated. Returns `Err(item)` if the
-    /// queue was closed.
-    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+    /// Items sacrificed by the shed policy (evicted or dropped).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sacrificed by the shed policy (evicted or dropped).
+    pub fn shed_bytes(&self) -> u64 {
+        self.shed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The configured shed policy.
+    pub fn shed_config(&self) -> ShedConfig {
+        self.shed
+    }
+
+    /// True when this queue may sacrifice items under sustained gating
+    /// (its policy is not [`ShedPolicy::None`]). Producers that normally
+    /// park on a closed gate should keep pushing into a shedding queue:
+    /// the push itself blocks no longer than `max_stall` before the
+    /// policy degrades instead of waiting.
+    pub fn sheds(&self) -> bool {
+        self.shed.policy != ShedPolicy::None
+    }
+
+    /// Push, blocking while the queue is gated. Returns
+    /// [`PushError::Closed`] if the queue was closed — `push_blocking`
+    /// never fails with backpressure; it waits the gate out (or, with a
+    /// non-`None` [`ShedPolicy`] armed after `max_stall`, degrades instead
+    /// of waiting forever).
+    pub fn push_blocking(&self, item: T) -> Result<Pushed, PushError<T>> {
+        self.push_bounded(item, None)
+    }
+
+    /// Push, blocking at the gate for at most `timeout`. Returns
+    /// [`PushError::Gated`] (item handed back) if the gate stayed closed
+    /// for the whole wait — the caller can now tell backpressure apart
+    /// from shutdown ([`PushError::Closed`]).
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<Pushed, PushError<T>> {
+        self.push_bounded(item, Some(timeout))
+    }
+
+    fn push_bounded(&self, item: T, timeout: Option<Duration>) -> Result<Pushed, PushError<T>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
         if st.gated && !st.closed {
             self.gate_events.fetch_add(1, Ordering::Relaxed);
             while st.gated && !st.closed {
-                self.not_full.wait(&mut st);
+                if self.shed.policy != ShedPolicy::None {
+                    if let Some(since) = st.gated_since {
+                        let stalled = since.elapsed();
+                        if stalled >= self.shed.max_stall {
+                            let outcome = self.shed_push(&mut st, item);
+                            let fire = std::mem::take(&mut st.release_pending);
+                            drop(st);
+                            if fire {
+                                self.fire_gate_listeners();
+                            }
+                            return Ok(outcome);
+                        }
+                        // Not armed yet: sleep only until arming time so a
+                        // wedged consumer can't park us forever.
+                        let until_armed = self.shed.max_stall - stalled;
+                        let wait = match deadline {
+                            Some(d) => until_armed.min(d.saturating_duration_since(Instant::now())),
+                            None => until_armed,
+                        };
+                        self.not_full.wait_for(&mut st, wait);
+                    } else {
+                        // Gate raced open between the loop check and here.
+                        continue;
+                    }
+                } else {
+                    match deadline {
+                        Some(d) => {
+                            let left = d.saturating_duration_since(Instant::now());
+                            self.not_full.wait_for(&mut st, left);
+                        }
+                        None => self.not_full.wait(&mut st),
+                    }
+                }
+                if let Some(d) = deadline {
+                    if st.gated && !st.closed && Instant::now() >= d {
+                        return Err(PushError::Gated(item));
+                    }
+                }
             }
         }
         if st.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
         self.finish_push(&mut st, item);
-        Ok(())
+        Ok(Pushed::Enqueued)
     }
 
-    /// Non-blocking push. `Err(item)` when gated or closed.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// Non-blocking push. [`PushError::Gated`] under backpressure,
+    /// [`PushError::Closed`] after shutdown.
+    pub fn try_push(&self, item: T) -> Result<Pushed, PushError<T>> {
         let mut st = self.state.lock();
-        if st.gated || st.closed {
-            return Err(item);
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.gated {
+            return Err(PushError::Gated(item));
         }
         self.finish_push(&mut st, item);
-        Ok(())
+        Ok(Pushed::Enqueued)
+    }
+
+    fn note_shed(&self, bytes: usize) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.shed_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Apply the armed shed policy to an incoming item while gated.
+    fn shed_push(&self, st: &mut QueueState<T>, item: T) -> Pushed {
+        match self.shed.policy {
+            ShedPolicy::None => unreachable!("shed_push called with ShedPolicy::None"),
+            ShedPolicy::DropNewest => {
+                self.note_shed(item.weight());
+                Pushed::Shed
+            }
+            ShedPolicy::DropOldest => {
+                let need = item.weight();
+                let mut evicted = 0usize;
+                while st.level + need > self.config.high {
+                    match st.items.pop_front() {
+                        Some(old) => {
+                            st.level -= old.weight();
+                            self.note_shed(old.weight());
+                            evicted += 1;
+                        }
+                        None => break,
+                    }
+                }
+                self.maybe_release(st);
+                self.finish_push(st, item);
+                Pushed::Evicted(evicted)
+            }
+            ShedPolicy::Probabilistic { .. } => {
+                // p = (level - low) / (high - low), deterministic roll.
+                let span = (self.config.high - self.config.low).max(1) as u64;
+                let over = st.level.saturating_sub(self.config.low) as u64;
+                st.shed_rng = xorshift(st.shed_rng);
+                if st.shed_rng % span < over.min(span) {
+                    self.note_shed(item.weight());
+                    Pushed::Shed
+                } else {
+                    // Accept despite the gate: occupancy-proportional
+                    // admission self-limits the overshoot.
+                    self.finish_push(st, item);
+                    Pushed::Enqueued
+                }
+            }
+        }
+    }
+
+    /// Open the gate if eviction drained us to the low watermark.
+    fn maybe_release(&self, st: &mut QueueState<T>) {
+        if st.gated && st.level <= self.config.low {
+            st.gated = false;
+            st.gated_since = None;
+            st.release_pending = true;
+            self.not_full.notify_all();
+        }
     }
 
     fn finish_push(&self, st: &mut QueueState<T>, item: T) {
         st.level += item.weight();
         st.items.push_back(item);
-        if st.level >= self.config.high {
+        if st.level >= self.config.high && !st.gated {
             st.gated = true;
+            st.gated_since = Some(Instant::now());
         }
         self.pushed.fetch_add(1, Ordering::Relaxed);
         self.not_empty.notify_one();
@@ -264,11 +555,7 @@ impl<T: Weighted> WatermarkQueue<T> {
         let item = st.items.pop_front()?;
         st.level -= item.weight();
         self.popped.fetch_add(1, Ordering::Relaxed);
-        if st.gated && st.level <= self.config.low {
-            st.gated = false;
-            st.release_pending = true;
-            self.not_full.notify_all();
-        }
+        self.maybe_release(st);
         Some(item)
     }
 
@@ -444,6 +731,99 @@ mod tests {
         assert_eq!(q.total_pushed(), 5);
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.level(), 40);
+    }
+
+    #[test]
+    fn try_push_distinguishes_gated_from_closed() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(10, 1));
+        q.push_blocking(item(10)).unwrap(); // gated
+        match q.try_push(item(1)) {
+            Err(PushError::Gated(it)) => assert_eq!(it.len(), 1),
+            other => panic!("expected Gated, got {other:?}"),
+        }
+        q.close();
+        match q.try_push(item(2)) {
+            Err(PushError::Closed(it)) => assert_eq!(it.len(), 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_timeout_reports_backpressure_distinct_from_shutdown() {
+        let q: WatermarkQueue<Vec<u8>> = WatermarkQueue::new(WatermarkConfig::new(10, 1));
+        q.push_blocking(item(10)).unwrap(); // gated
+        let err = q.push_timeout(item(3), Duration::from_millis(10)).unwrap_err();
+        assert!(err.is_gated());
+        assert!(!err.is_closed());
+        assert_eq!(err.into_item().len(), 3);
+        q.close();
+        let err = q.push_timeout(item(4), Duration::from_millis(10)).unwrap_err();
+        assert!(err.is_closed());
+    }
+
+    #[test]
+    fn shedding_stays_lossless_before_max_stall() {
+        let shed = ShedConfig::new(ShedPolicy::DropNewest, Duration::from_secs(60));
+        let q = Arc::new(WatermarkQueue::<Vec<u8>>::with_shed(WatermarkConfig::new(10, 1), shed));
+        q.push_blocking(item(10)).unwrap(); // gated
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push_blocking(item(2)));
+        assert!(wait_for(Duration::from_secs(5), || q.gate_events() == 1));
+        // Far below max_stall: the producer must still be blocked, nothing shed.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.shed_total(), 0);
+        assert_eq!(q.len(), 1, "producer must still be parked at the gate");
+        q.pop().unwrap();
+        assert!(matches!(producer.join().unwrap().unwrap(), Pushed::Enqueued));
+    }
+
+    #[test]
+    fn drop_newest_sheds_incoming_after_stall() {
+        let shed = ShedConfig::new(ShedPolicy::DropNewest, Duration::from_millis(10));
+        let q: WatermarkQueue<Vec<u8>> =
+            WatermarkQueue::with_shed(WatermarkConfig::new(10, 1), shed);
+        q.push_blocking(item(10)).unwrap(); // gated
+        let t0 = Instant::now();
+        let outcome = q.push_blocking(item(4)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(9), "must wait out max_stall first");
+        assert_eq!(outcome, Pushed::Shed);
+        assert_eq!(q.shed_total(), 1);
+        assert_eq!(q.shed_bytes(), 4);
+        assert_eq!(q.len(), 1, "queued item preserved, incoming dropped");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_to_admit_fresh_data() {
+        let shed = ShedConfig::new(ShedPolicy::DropOldest, Duration::from_millis(10));
+        let q: WatermarkQueue<Vec<u8>> =
+            WatermarkQueue::with_shed(WatermarkConfig::new(10, 4), shed);
+        q.push_blocking(vec![1u8; 5]).unwrap();
+        q.push_blocking(vec![2u8; 5]).unwrap(); // level 10: gated
+        assert!(q.is_gated());
+        let outcome = q.push_blocking(vec![3u8; 5]).unwrap();
+        assert!(matches!(outcome, Pushed::Evicted(n) if n >= 1));
+        assert!(q.shed_total() >= 1);
+        // Freshest item must be present; the front of the queue was sacrificed.
+        let drained: Vec<Vec<u8>> = std::iter::from_fn(|| q.pop()).collect();
+        assert!(drained.iter().any(|v| v[0] == 3), "fresh item must survive");
+        assert!(!drained.iter().any(|v| v[0] == 1), "oldest item must be shed");
+    }
+
+    #[test]
+    fn probabilistic_shed_is_deterministic_and_counts() {
+        let shed =
+            ShedConfig::new(ShedPolicy::Probabilistic { seed: 42 }, Duration::from_millis(5));
+        let q: WatermarkQueue<Vec<u8>> =
+            WatermarkQueue::with_shed(WatermarkConfig::new(64, 8), shed);
+        q.push_blocking(item(64)).unwrap(); // gated, level = high -> p ~ 1
+        let mut shed_seen = 0;
+        for _ in 0..8 {
+            if let Pushed::Shed = q.push_blocking(item(4)).unwrap() {
+                shed_seen += 1;
+            }
+        }
+        assert!(shed_seen > 0, "at full occupancy the drop probability is ~1");
+        assert_eq!(q.shed_total(), shed_seen);
     }
 
     #[test]

@@ -87,6 +87,68 @@ proptest! {
         }
     }
 
+    /// Poison-packet robustness (ISSUE 5): no input — arbitrary garbage,
+    /// truncation, or single-bit corruption of a valid frame — may make
+    /// the decoder *panic*. Errors are fine (that is what quarantine and
+    /// the `seq_violations` counter are for); unwinding out of the TCP
+    /// reader loop is not.
+    #[test]
+    fn decode_frame_never_panics_on_arbitrary_bytes(
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = decode_frame(&garbage);
+        let shared = Bytes::from(garbage.clone());
+        let _ = decode_frame_shared(&shared, None);
+        let mut cursor = std::io::Cursor::new(&garbage);
+        let _ = read_frame(&mut cursor);
+    }
+
+    #[test]
+    fn decode_frame_never_panics_on_truncated_or_bitflipped_frames(
+        link_id in any::<u64>(),
+        base_seq in any::<u64>(),
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..6),
+        with_stamp in any::<bool>(),
+        stamp in 1u64..u64::MAX,
+        with_seq in any::<bool>(),
+        frame_seq in any::<u64>(),
+        cut in any::<usize>(),
+        flip_bit in 0usize..8,
+        flip_at in any::<usize>(),
+    ) {
+        let raw = prefixed(&messages);
+        let sent_at = if with_stamp { stamp } else { 0 };
+        let seq = if with_seq { Some(frame_seq) } else { None };
+        let wire = encode_frame_raw_ext(
+            link_id, base_seq, messages.len() as u32, &raw,
+            &SelectiveCompressor::disabled(), sent_at, seq,
+        );
+
+        // Truncation at every possible boundary: decode must error or
+        // report "need more", never unwind.
+        let truncated = &wire[..cut % (wire.len() + 1)];
+        let _ = decode_frame(truncated);
+        let shared = Bytes::from(truncated.to_vec());
+        let _ = decode_frame_shared(&shared, None);
+        let mut cursor = std::io::Cursor::new(truncated);
+        let _ = read_frame(&mut cursor);
+
+        // Single-bit corruption anywhere in the frame (header, extension
+        // words, length prefixes, payload): decode may error or succeed
+        // with different contents, but must not panic.
+        if !wire.is_empty() {
+            let mut flipped = wire.clone();
+            let at = flip_at % flipped.len();
+            flipped[at] ^= 1 << flip_bit;
+            let _ = decode_frame(&flipped);
+            let shared = Bytes::from(flipped.clone());
+            let _ = decode_frame_shared(&shared, None);
+            let mut cursor = std::io::Cursor::new(&flipped);
+            let _ = read_frame(&mut cursor);
+        }
+    }
+
     #[test]
     fn reserved_extension_words_are_skipped_not_misparsed(
         messages in proptest::collection::vec(

@@ -11,7 +11,7 @@
 //!   high/low hysteresis.
 
 use neptune_net::buffer::{split_encoded, OutputBuffer, PushOutcome};
-use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune_net::watermark::{Pushed, WatermarkConfig, WatermarkQueue};
 use proptest::prelude::*;
 
 proptest! {
@@ -84,7 +84,12 @@ proptest! {
             if is_push {
                 // Model the non-blocking path only.
                 match q.try_push(vec![0u8; size]) {
-                    Ok(()) => model.push_back(size),
+                    // Default ShedPolicy::None: an accepted push is always
+                    // a plain enqueue, never a shed or eviction.
+                    Ok(pushed) => {
+                        prop_assert!(matches!(pushed, Pushed::Enqueued));
+                        model.push_back(size);
+                    }
                     Err(_) => {
                         // try_push refuses exactly when gated or closed;
                         // the model's level must be in the gated band.
