@@ -277,6 +277,15 @@ pub struct RuntimeConfig {
     pub resources: usize,
     /// Transport between resources.
     pub transport: TransportMode,
+    /// Readiness-driven TCP (the epoll reactor path). When `true` (the
+    /// default) and `transport` is [`TransportMode::Tcp`], cross-resource
+    /// links run as nonblocking state machines on the IO tier — thread
+    /// count stays O(`io_threads`) regardless of connection count. When
+    /// `false`, the original blocking thread-per-connection path is used.
+    /// The wire format is identical either way. The
+    /// `NEPTUNE_NET_REACTOR` environment variable (`0`/`false`/`off` to
+    /// disable, anything else to enable) overrides the default.
+    pub net_reactor: bool,
     /// How operator instances map onto resources.
     pub placement: PlacementStrategy,
     /// Latency/stage instrumentation and background sampling (ISSUE 2).
@@ -306,12 +315,21 @@ impl Default for RuntimeConfig {
             batched_scheduling: true,
             resources: 1,
             transport: TransportMode::InProcess,
+            net_reactor: std::env::var("NEPTUNE_NET_REACTOR")
+                .map(|v| parse_net_reactor(&v))
+                .unwrap_or(true),
             placement: PlacementStrategy::RoundRobin,
             telemetry: TelemetryConfig::default(),
             ha: HaConfig::default(),
             containment: ContainmentConfig::default(),
         }
     }
+}
+
+/// `NEPTUNE_NET_REACTOR` semantics: explicit negatives disable, anything
+/// else enables.
+fn parse_net_reactor(v: &str) -> bool {
+    !matches!(v.trim(), "0" | "false" | "off")
 }
 
 impl RuntimeConfig {
@@ -568,6 +586,16 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_stall.validate().is_err(), "armed shedding needs a positive max_stall");
+    }
+
+    #[test]
+    fn net_reactor_env_parsing() {
+        for off in ["0", "false", "off", " 0 ", "false\n"] {
+            assert!(!parse_net_reactor(off), "{off:?} must disable the reactor");
+        }
+        for on in ["1", "true", "on", "yes", ""] {
+            assert!(parse_net_reactor(on), "{on:?} must enable the reactor");
+        }
     }
 
     #[test]

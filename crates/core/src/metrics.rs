@@ -140,6 +140,20 @@ pub struct ThreadModelStats {
     pub io_wakes: u64,
     /// Cumulative IO-task run stints.
     pub io_polls: u64,
+    /// Open inbound TCP connections across the job's receivers (gauge;
+    /// 0 when the transport is in-process or the job has stopped).
+    pub net_connections: usize,
+    /// Sockets currently registered with the network reactor (gauge; 0
+    /// when the reactor path is disabled).
+    pub net_interests: usize,
+    /// Cumulative readiness events the reactor dispatched to IO tasks.
+    pub net_readiness_events: u64,
+    /// Cumulative interest re-arms after `WouldBlock` (each one is a
+    /// socket operation that ran dry and went back to waiting).
+    pub net_rearms: u64,
+    /// Largest accept burst drained in one readiness stint across the
+    /// job's listeners (high-water mark of accept backlog pressure).
+    pub net_accept_backlog_peak: u64,
 }
 
 /// Job-wide failure-containment counters (ISSUE 5): what the supervision

@@ -85,6 +85,10 @@ impl JobHandle {
             }
             self.settle(Duration::from_secs(10));
         }
+        // Network gauges are captured while connections are still open;
+        // pool shutdown retires connection tasks and would zero the
+        // connection gauge (cumulative counters are re-read below).
+        let mut net = self.net_gauges();
         // Shut the IO tier down: the timer wheel stops, parked tasks get a
         // final drain stint (flush tasks force-flush), the ready queue
         // empties, and all IO threads join.
@@ -106,10 +110,20 @@ impl JobHandle {
         for rx in self.receivers.lock().drain(..) {
             rx.shutdown();
         }
+        // The reactor goes down last: connection tasks deregistered their
+        // sockets while it was still serving, so nothing dangles. Its
+        // cumulative counters are final now — fold them into the exported
+        // stats (the pre-shutdown snapshot kept only the gauges).
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.shutdown();
+            let end = reactor.stats();
+            net.reactor.events_dispatched = end.events_dispatched;
+            net.reactor.rearms = end.rearms;
+        }
         self.stopped.store(true, Ordering::Release);
         let mut m = self.registry.snapshot();
         m.buffer_pool = self.pool.stats();
-        m.thread_model = super::thread_model_stats(io_stats, worker_threads);
+        m.thread_model = super::thread_model_stats(io_stats, worker_threads, net);
         m.containment.worker_panics = worker_panics;
         for q in &self.queues {
             m.containment.shed_total += q.shed_total();

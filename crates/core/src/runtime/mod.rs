@@ -46,7 +46,7 @@ use crate::dead_letter::{DeadLetter, DeadLetterQueue};
 use crate::graph::Graph;
 use crate::metrics::{JobMetrics, MetricsRegistry, ThreadModelStats};
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
-use neptune_granules::{IoPool, IoPoolStats, IoTaskHandle, Resource};
+use neptune_granules::{IoPool, IoPoolStats, IoTaskHandle, Reactor, ReactorStats, Resource};
 use neptune_ha::{FailureDetector, PeerState, RecoverySnapshot, RecoveryStats};
 use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
@@ -113,6 +113,10 @@ pub struct JobHandle {
     progress: Arc<ProgressSignal>,
     /// The job's IO tier; `None` only after `stop` has consumed it.
     io_pool: Option<IoPool>,
+    /// The network reactor serving readiness events to TCP IO tasks;
+    /// `None` when the transport is in-process, `net_reactor` is
+    /// disabled, or `stop` has consumed it.
+    reactor: Option<Reactor>,
     resources: Vec<Resource>,
     /// Processor task handles grouped by operator, in topological order.
     processor_handles: Vec<(String, Vec<neptune_granules::TaskHandle>)>,
@@ -144,9 +148,19 @@ struct HaRuntime {
     detector: Arc<FailureDetector>,
 }
 
-/// Fold IO-pool gauges plus the worker-tier thread count into the
-/// exported [`ThreadModelStats`].
-fn thread_model_stats(io: IoPoolStats, worker_threads: usize) -> ThreadModelStats {
+/// Network-tier gauges folded into [`ThreadModelStats`] alongside the
+/// IO-pool counters: reactor-side (interests, dispatches, re-arms) plus
+/// receiver-side (open connections, accept backlog peak).
+#[derive(Debug, Clone, Copy, Default)]
+struct NetGauges {
+    reactor: ReactorStats,
+    connections: usize,
+    accept_backlog_peak: u64,
+}
+
+/// Fold IO-pool gauges, the worker-tier thread count, and the network
+/// gauges into the exported [`ThreadModelStats`].
+fn thread_model_stats(io: IoPoolStats, worker_threads: usize, net: NetGauges) -> ThreadModelStats {
     ThreadModelStats {
         io_threads: io.io_threads,
         worker_threads,
@@ -157,6 +171,11 @@ fn thread_model_stats(io: IoPoolStats, worker_threads: usize) -> ThreadModelStat
         io_parks: io.parks,
         io_wakes: io.wakes,
         io_polls: io.polls,
+        net_connections: net.connections,
+        net_interests: net.reactor.registered,
+        net_readiness_events: net.reactor.events_dispatched,
+        net_rearms: net.reactor.rearms,
+        net_accept_backlog_peak: net.accept_backlog_peak,
     }
 }
 
@@ -198,7 +217,18 @@ impl JobHandle {
     pub fn thread_model(&self) -> ThreadModelStats {
         let io = self.io_pool.as_ref().map(|p| p.stats()).unwrap_or_default();
         let workers = self.resources.iter().map(|r| r.worker_count()).sum();
-        thread_model_stats(io, workers)
+        thread_model_stats(io, workers, self.net_gauges())
+    }
+
+    /// Current network-tier gauges (reactor + receivers).
+    fn net_gauges(&self) -> NetGauges {
+        let receivers = self.receivers.lock();
+        let backlog = receivers.iter().map(|r| r.accept_backlog_peak()).max().unwrap_or(0);
+        NetGauges {
+            reactor: self.reactor.as_ref().map(|r| r.stats()).unwrap_or_default(),
+            connections: receivers.iter().map(|r| r.open_connections()).sum(),
+            accept_backlog_peak: backlog,
+        }
     }
 
     /// Live gauges of every inbound watermark queue, one per processor

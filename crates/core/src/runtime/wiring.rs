@@ -13,7 +13,7 @@ use crate::operator::{OperatorContext, OutgoingLink};
 use crate::packet::StreamPacket;
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample};
 use neptune_granules::{
-    ComputationalTask, IoPool, IoTaskHandle, OperatorSupervisor, Resource, ScheduleSpec,
+    ComputationalTask, IoPool, IoTaskHandle, OperatorSupervisor, Reactor, Resource, ScheduleSpec,
     SupervisedOutcome, SupervisorPolicy, TaskContext, TaskOutcome,
 };
 use neptune_ha::{DetectorConfig, FailureDetector, ReconnectPolicy, RecoveryStats};
@@ -21,6 +21,7 @@ use neptune_net::buffer::OutputBuffer;
 use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
+use neptune_net::tcp_reactor::NetDriver;
 use neptune_net::transport::InProcessTransport;
 use neptune_net::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use neptune_telemetry::{OperatorTelemetry, SampleRing};
@@ -340,6 +341,18 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         }
     }
 
+    // ---- The IO tier: one event-driven pool for every background duty,
+    // created before any socket so TCP tasks can land on it. ----
+    let io_pool = IoPool::new(graph.name(), config.io_threads.unwrap_or_else(auto_io_threads));
+
+    // ---- The network reactor (readiness-driven TCP, the default). When
+    // active, every TCP acceptor/connection/sender runs as an IO-pool task
+    // woken by epoll readiness — no per-connection threads. ----
+    let net_driver = (config.transport == TransportMode::Tcp && config.net_reactor)
+        .then(|| Reactor::new(graph.name()).map_err(|e| SubmitError::Io(e.to_string())))
+        .transpose()?
+        .map(|r| (NetDriver::new(io_pool.spawner(), r.handle()), r));
+
     // ---- Inbound queues (one per processor instance). ----
     let watermark = WatermarkConfig::new(config.watermark_high, config.watermark_low);
     let mut queues_by_instance: HashMap<(usize, usize), Arc<WatermarkQueue<Frame>>> =
@@ -368,12 +381,21 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                     (0..fop.parallelism).any(|si| placement[&(foi, si)] != my_res)
                 });
             let queue = if needs_tcp {
-                let rx = TcpReceiver::bind_pooled_with_shed(
-                    "127.0.0.1:0",
-                    watermark,
-                    shed,
-                    pool.clone(),
-                )
+                let rx = match &net_driver {
+                    Some((driver, _)) => TcpReceiver::bind_reactor_pooled_with_shed(
+                        "127.0.0.1:0",
+                        watermark,
+                        shed,
+                        pool.clone(),
+                        driver,
+                    ),
+                    None => TcpReceiver::bind_pooled_with_shed(
+                        "127.0.0.1:0",
+                        watermark,
+                        shed,
+                        pool.clone(),
+                    ),
+                }
                 .map_err(|e| SubmitError::Io(e.to_string()))?;
                 let q = rx.queue();
                 receiver_addr.insert((oi, inst), rx.local_addr());
@@ -415,8 +437,13 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 let use_tcp = config.transport == TransportMode::Tcp && src_res != dst_res;
                 let sink = if use_tcp {
                     let addr = receiver_addr[&(dst_oi, dst_inst)];
-                    let sender = TcpSender::connect(addr, config.io_queue_depth)
-                        .map_err(|e| SubmitError::Io(e.to_string()))?;
+                    let sender = match &net_driver {
+                        Some((driver, _)) => {
+                            TcpSender::connect_reactor(addr, config.io_queue_depth, driver)
+                        }
+                        None => TcpSender::connect(addr, config.io_queue_depth),
+                    }
+                    .map_err(|e| SubmitError::Io(e.to_string()))?;
                     SinkHandle::Tcp(Arc::new(sender))
                 } else {
                     let q = queues_by_instance[&(dst_oi, dst_inst)].clone();
@@ -526,9 +553,6 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         let handle = task_handles[&(*oi, *inst)].clone();
         receivers[*ri].on_deliver(move || handle.signal());
     }
-
-    // ---- The IO tier: one event-driven pool for every background duty. ----
-    let io_pool = IoPool::new(graph.name(), config.io_threads.unwrap_or_else(auto_io_threads));
 
     // Per-endpoint flush tasks, wired *before* pumps so no pump can emit
     // ahead of its endpoint's waker. Spawn parked → install waker → kick
@@ -671,6 +695,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         pump_handles,
         progress,
         io_pool: Some(io_pool),
+        reactor: net_driver.map(|(_, r)| r),
         resources,
         processor_handles,
         queues: all_queues,

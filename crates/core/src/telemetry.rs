@@ -255,6 +255,11 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
         ("io_parks", JsonValue::Number(tm.io_parks as f64)),
         ("io_wakes", JsonValue::Number(tm.io_wakes as f64)),
         ("io_polls", JsonValue::Number(tm.io_polls as f64)),
+        ("net_connections", JsonValue::Number(tm.net_connections as f64)),
+        ("net_interests", JsonValue::Number(tm.net_interests as f64)),
+        ("net_readiness_events", JsonValue::Number(tm.net_readiness_events as f64)),
+        ("net_rearms", JsonValue::Number(tm.net_rearms as f64)),
+        ("net_accept_backlog_peak", JsonValue::Number(tm.net_accept_backlog_peak as f64)),
     ]);
     let c = &m.containment;
     let containment = object([
@@ -380,6 +385,15 @@ impl TelemetrySnapshot {
             tm.timer_depth,
             tm.io_parks,
             tm.io_wakes
+        ));
+        out.push_str(&format!(
+            "net tier: connections={} interests={} readiness_events={} rearms={} \
+             accept_backlog_peak={}\n",
+            tm.net_connections,
+            tm.net_interests,
+            tm.net_readiness_events,
+            tm.net_rearms,
+            tm.net_accept_backlog_peak
         ));
         let c = &self.metrics.containment;
         out.push_str(&format!(
@@ -538,22 +552,27 @@ impl TelemetrySnapshot {
             pool.bytes_reused,
         );
         let tm = &self.metrics.thread_model;
-        let tier_gauges: [(&str, u64); 5] = [
+        let tier_gauges: [(&str, u64); 8] = [
             ("neptune_io_threads", tm.io_threads as u64),
             ("neptune_worker_threads", tm.worker_threads as u64),
             ("neptune_io_tasks_live", tm.live_io_tasks as u64),
             ("neptune_io_queue_depth", tm.queued_io_tasks as u64),
             ("neptune_timer_depth", tm.timer_depth as u64),
+            ("neptune_net_connections", tm.net_connections as u64),
+            ("neptune_net_interests", tm.net_interests as u64),
+            ("neptune_net_accept_backlog_peak", tm.net_accept_backlog_peak),
         ];
         for (metric, value) in tier_gauges {
             out.push_str(&format!("# TYPE {metric} gauge\n"));
             export::sample_line(&mut out, metric, &[], value);
         }
-        let tier_counters: [(&str, u64); 4] = [
+        let tier_counters: [(&str, u64); 6] = [
             ("neptune_io_parks_total", tm.io_parks),
             ("neptune_io_wakes_total", tm.io_wakes),
             ("neptune_io_polls_total", tm.io_polls),
             ("neptune_timer_fires_total", tm.timer_fires),
+            ("neptune_net_readiness_events_total", tm.net_readiness_events),
+            ("neptune_net_rearms_total", tm.net_rearms),
         ];
         for (metric, value) in tier_counters {
             export::prometheus_counter(&mut out, metric, &[], value);

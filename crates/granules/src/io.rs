@@ -190,6 +190,57 @@ impl IoPoolInner {
     }
 }
 
+/// Create a slot for `task`, register it with the pool, and (for
+/// `ST_QUEUED`) hand it to the ready queue. Shared by [`IoPool`]'s
+/// spawn methods and the late-bound [`IoSpawner`].
+fn spawn_on(inner: &Arc<IoPoolInner>, task: Box<dyn IoTask>, state: u8) -> IoTaskHandle {
+    let slot = Arc::new(IoSlot { state: AtomicU8::new(state), task: Mutex::new(Some(task)) });
+    inner.live.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut slots = inner.slots.lock();
+        if slots.len() > 64 && slots.len() > inner.live.load(Ordering::Relaxed) * 2 {
+            slots.retain(|w| w.upgrade().is_some());
+        }
+        slots.push(Arc::downgrade(&slot));
+    }
+    let handle = IoTaskHandle { slot: slot.clone(), pool: Arc::downgrade(inner) };
+    if state == ST_QUEUED {
+        inner.enqueue(slot);
+    }
+    handle
+}
+
+/// Cloneable spawner detached from the [`IoPool`]'s lifetime: lets code
+/// that never sees the pool (e.g. a TCP acceptor task spawning one task
+/// per accepted connection) add tasks dynamically. Spawning fails once
+/// the pool has shut down.
+#[derive(Clone)]
+pub struct IoSpawner {
+    inner: Weak<IoPoolInner>,
+}
+
+impl IoSpawner {
+    /// Spawn a task in the ready queue. `None` once the pool is gone or
+    /// draining.
+    pub fn spawn(&self, task: impl IoTask) -> Option<IoTaskHandle> {
+        self.spawn_boxed(Box::new(task), ST_QUEUED)
+    }
+
+    /// Spawn a task parked; it runs only once woken. `None` once the pool
+    /// is gone or draining.
+    pub fn spawn_parked(&self, task: impl IoTask) -> Option<IoTaskHandle> {
+        self.spawn_boxed(Box::new(task), ST_PARKED)
+    }
+
+    fn spawn_boxed(&self, task: Box<dyn IoTask>, state: u8) -> Option<IoTaskHandle> {
+        let inner = self.inner.upgrade()?;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(spawn_on(&inner, task, state))
+    }
+}
+
 /// Fixed-size event-driven IO thread pool with an owned [`TimerWheel`].
 pub struct IoPool {
     inner: Arc<IoPoolInner>,
@@ -261,23 +312,13 @@ impl IoPool {
     }
 
     fn spawn_with_state(&self, task: impl IoTask, state: u8) -> IoTaskHandle {
-        let slot = Arc::new(IoSlot {
-            state: AtomicU8::new(state),
-            task: Mutex::new(Some(Box::new(task))),
-        });
-        self.inner.live.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut slots = self.inner.slots.lock();
-            if slots.len() > 64 && slots.len() > self.inner.live.load(Ordering::Relaxed) * 2 {
-                slots.retain(|w| w.upgrade().is_some());
-            }
-            slots.push(Arc::downgrade(&slot));
-        }
-        let handle = IoTaskHandle { slot: slot.clone(), pool: Arc::downgrade(&self.inner) };
-        if state == ST_QUEUED {
-            self.inner.enqueue(slot);
-        }
-        handle
+        spawn_on(&self.inner, Box::new(task), state)
+    }
+
+    /// A cloneable spawner for adding tasks without a pool reference —
+    /// the hook dynamic task sources (e.g. TCP acceptors) use.
+    pub fn spawner(&self) -> IoSpawner {
+        IoSpawner { inner: Arc::downgrade(&self.inner) }
     }
 
     /// Snapshot of the tier's gauges.
@@ -548,6 +589,23 @@ mod tests {
         let after = runs.load(Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(15));
         assert_eq!(runs.load(Ordering::Relaxed), after, "task ran after shutdown");
+    }
+
+    #[test]
+    fn spawner_spawns_dynamically_and_refuses_after_shutdown() {
+        let mut pool = IoPool::new("t", 1);
+        let spawner = pool.spawner();
+        let runs = Arc::new(AtomicU64::new(0));
+        let h = spawner
+            .spawn(CountTask { runs: runs.clone(), status: IoStatus::Complete })
+            .expect("pool is live");
+        assert!(wait_until(Instant::now() + Duration::from_secs(2), || h.is_complete()));
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        pool.shutdown();
+        assert!(
+            spawner.spawn(CountTask { runs, status: IoStatus::Park }).is_none(),
+            "spawner must refuse once the pool has drained"
+        );
     }
 
     #[test]

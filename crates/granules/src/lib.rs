@@ -49,6 +49,7 @@
 pub mod dataset;
 pub mod error;
 pub mod io;
+pub mod reactor;
 pub mod resource;
 pub mod scheduler;
 pub mod supervisor;
@@ -59,7 +60,11 @@ pub mod wheel;
 
 pub use dataset::{Dataset, DatasetId, InMemoryDataset, QueueDataset};
 pub use error::GranulesError;
-pub use io::{IoContext, IoPool, IoPoolStats, IoStatus, IoTask, IoTaskHandle};
+pub use io::{IoContext, IoPool, IoPoolStats, IoSpawner, IoStatus, IoTask, IoTaskHandle};
+pub use reactor::{
+    NetSource, NetWaker, Reactor, ReactorHandle, ReactorStats, READY_CLOSED, READY_READABLE,
+    READY_WRITABLE,
+};
 pub use resource::{HeartbeatProbe, Resource, ResourceBuilder, TaskHandle};
 pub use scheduler::{ScheduleSpec, TimerService};
 pub use supervisor::{

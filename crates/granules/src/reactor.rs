@@ -1,0 +1,605 @@
+//! Readiness-driven network reactor for the IO tier.
+//!
+//! PR 4's two-tier thread model (§IV-C) stopped at the socket boundary:
+//! every TCP link still burned blocking OS threads for its reader, writer,
+//! and acceptor, so thread count was O(connections). The reactor closes
+//! that gap: one dedicated thread (`{name}-reactor`) blocks in
+//! `epoll_wait(2)` and turns socket readiness into ordinary
+//! [`IoTaskHandle`] wakes, so a socket becomes just another wake reason
+//! for a parked [`crate::IoTask`] — exactly like a timer deadline or a
+//! queue gate release. Thread count stays O(io_threads) at thousands of
+//! connections.
+//!
+//! Interests are **one-shot**: after a readiness event fires for a
+//! registration, the kernel disarms it until the owning task re-arms via
+//! [`NetSource::arm`]. That makes backpressure-by-read-disarm (§III-B4)
+//! the *default* behaviour — a task that does not re-arm its read interest
+//! (because its inbound `WatermarkQueue` is gated) stops draining the
+//! socket, the kernel receive buffer fills, the TCP window closes, and the
+//! sender stalls hop by hop.
+//!
+//! Registration is two-phase to break the task/source ownership cycle
+//! (the task owns its [`NetSource`], the reactor needs the task's wake
+//! handle): register with a [`NetWaker`], build the task around the
+//! returned source, spawn it parked, then [`NetWaker::set`] the handle
+//! and deliver one initial wake. Because a fresh registration is
+//! disarmed, no event can fire before the waker is in place.
+//!
+//! The epoll/eventfd calls are raw `extern "C"` bindings (Linux only,
+//! like the `/proc` thread accounting elsewhere in the repo) so the crate
+//! takes no new dependencies.
+
+use crate::io::IoTaskHandle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Readiness bit: the fd has data to read (or a pending accept).
+pub const READY_READABLE: u32 = 1;
+/// Readiness bit: the fd can accept writes without blocking.
+pub const READY_WRITABLE: u32 = 2;
+/// Readiness bit: error or hangup — the owner should drain and close.
+pub const READY_CLOSED: u32 = 4;
+
+#[allow(non_camel_case_types)]
+mod ffi {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // `epoll_event` is packed on x86_64 (`__EPOLL_PACKED`), naturally
+    // aligned elsewhere.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLONESHOT: u32 = 1 << 30;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+/// Token 0 is reserved for the reactor's own eventfd wake channel.
+const WAKE_TOKEN: u64 = 0;
+
+/// Counters and gauges for the reactor, merged into the job's
+/// `ThreadModelStats` by `neptune-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Registrations currently known to the reactor (sockets + listeners).
+    pub registered: usize,
+    /// Cumulative readiness events dispatched to tasks.
+    pub events_dispatched: u64,
+    /// Cumulative interest re-arms (each `WouldBlock` ends in one).
+    pub rearms: u64,
+}
+
+/// Late-bound wake target for a registration: lets the owning task be
+/// spawned *after* its fd is registered (the task owns its [`NetSource`],
+/// so the handle does not exist yet at registration time).
+#[derive(Clone, Default)]
+pub struct NetWaker {
+    handle: Arc<Mutex<Option<IoTaskHandle>>>,
+}
+
+impl NetWaker {
+    /// An empty waker; fill it with [`Self::set`] once the task is spawned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install the task handle readiness events should wake.
+    pub fn set(&self, handle: IoTaskHandle) {
+        *self.handle.lock() = Some(handle);
+    }
+
+    fn wake(&self) -> bool {
+        match self.handle.lock().as_ref() {
+            Some(h) => h.wake(),
+            None => false,
+        }
+    }
+}
+
+struct Registration {
+    ready: Arc<AtomicU32>,
+    waker: NetWaker,
+}
+
+struct ReactorInner {
+    epfd: AtomicI32,
+    wakefd: AtomicI32,
+    shutdown: AtomicBool,
+    registrations: Mutex<HashMap<u64, Registration>>,
+    next_token: AtomicU64,
+    registered: AtomicUsize,
+    events_dispatched: AtomicU64,
+    rearms: AtomicU64,
+}
+
+impl ReactorInner {
+    /// Run `epoll_ctl`; callers hold the registration lock so the fds
+    /// cannot be closed out from under the call by a concurrent shutdown.
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let epfd = self.epfd.load(Ordering::Acquire);
+        if epfd < 0 {
+            return Err(io::Error::other("reactor is shut down"));
+        }
+        let mut ev = ffi::epoll_event { events, data: token };
+        let rc = unsafe { ffi::epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Cloneable, shareable handle for registering file descriptors with a
+/// running [`Reactor`].
+#[derive(Clone)]
+pub struct ReactorHandle {
+    inner: Arc<ReactorInner>,
+}
+
+impl ReactorHandle {
+    /// Register `fd` with the reactor; readiness events wake whatever
+    /// handle `waker` holds at the time they fire.
+    ///
+    /// The registration starts **disarmed**: no events are delivered until
+    /// the first [`NetSource::arm`], so the caller has time to spawn the
+    /// owning task and [`NetWaker::set`] its handle. The caller keeps
+    /// ownership of the fd and must keep it open for the life of the
+    /// returned source.
+    pub fn register(&self, fd: RawFd, waker: NetWaker) -> io::Result<NetSource> {
+        let mut map = self.inner.registrations.lock();
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(io::Error::other("reactor is shut down"));
+        }
+        let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        let ready = Arc::new(AtomicU32::new(0));
+        // One-shot with no interest bits: dormant until armed.
+        self.inner.ctl(ffi::EPOLL_CTL_ADD, fd, ffi::EPOLLONESHOT, token)?;
+        map.insert(token, Registration { ready: ready.clone(), waker });
+        self.inner.registered.fetch_add(1, Ordering::Relaxed);
+        drop(map);
+        Ok(NetSource { inner: self.inner.clone(), token, fd, ready, registered: true })
+    }
+
+    /// Snapshot of the reactor's counters.
+    pub fn stats(&self) -> ReactorStats {
+        ReactorStats {
+            registered: self.inner.registered.load(Ordering::Relaxed),
+            events_dispatched: self.inner.events_dispatched.load(Ordering::Relaxed),
+            rearms: self.inner.rearms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One registered file descriptor: the owning task's view of its
+/// readiness state and its lever for re-arming interest.
+///
+/// Readiness is delivered into an atomic bit set; [`Self::take_readiness`]
+/// drains it. Tasks should treat readiness as a *hint* and simply attempt
+/// their syscall — a spurious wake costs one `WouldBlock`.
+pub struct NetSource {
+    inner: Arc<ReactorInner>,
+    token: u64,
+    fd: RawFd,
+    ready: Arc<AtomicU32>,
+    registered: bool,
+}
+
+impl NetSource {
+    /// Consume and clear the accumulated readiness bits
+    /// ([`READY_READABLE`] / [`READY_WRITABLE`] / [`READY_CLOSED`]).
+    pub fn take_readiness(&self) -> u32 {
+        self.ready.swap(0, Ordering::AcqRel)
+    }
+
+    /// Arm a one-shot interest: the next matching readiness event wakes
+    /// the owning task and disarms the registration again. Arming with
+    /// both flags false parks the fd entirely (the backpressure lever).
+    /// Returns `false` if the reactor is gone.
+    pub fn arm(&self, readable: bool, writable: bool) -> bool {
+        let map = self.inner.registrations.lock();
+        if self.inner.shutdown.load(Ordering::Acquire) || !map.contains_key(&self.token) {
+            return false;
+        }
+        let mut events = ffi::EPOLLONESHOT;
+        if readable {
+            events |= ffi::EPOLLIN | ffi::EPOLLRDHUP;
+        }
+        if writable {
+            events |= ffi::EPOLLOUT;
+        }
+        let ok = self.inner.ctl(ffi::EPOLL_CTL_MOD, self.fd, events, self.token).is_ok();
+        if ok {
+            self.inner.rearms.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Remove the registration. Idempotent; also runs on drop.
+    pub fn deregister(&mut self) {
+        if !self.registered {
+            return;
+        }
+        self.registered = false;
+        let mut map = self.inner.registrations.lock();
+        if map.remove(&self.token).is_some() {
+            self.inner.registered.fetch_sub(1, Ordering::Relaxed);
+            // Best effort: the epfd may already be closed at shutdown.
+            let _ = self.inner.ctl(ffi::EPOLL_CTL_DEL, self.fd, 0, self.token);
+        }
+    }
+}
+
+impl Drop for NetSource {
+    fn drop(&mut self) {
+        self.deregister();
+    }
+}
+
+/// The reactor: owns the epoll instance and its dispatch thread.
+pub struct Reactor {
+    inner: Arc<ReactorInner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Create the epoll instance and start the `{name}-reactor` thread.
+    pub fn new(name: &str) -> io::Result<Reactor> {
+        let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wakefd = unsafe { ffi::eventfd(0, ffi::EFD_NONBLOCK | ffi::EFD_CLOEXEC) };
+        if wakefd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { ffi::close(epfd) };
+            return Err(err);
+        }
+        let inner = Arc::new(ReactorInner {
+            epfd: AtomicI32::new(epfd),
+            wakefd: AtomicI32::new(wakefd),
+            shutdown: AtomicBool::new(false),
+            registrations: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            registered: AtomicUsize::new(0),
+            events_dispatched: AtomicU64::new(0),
+            rearms: AtomicU64::new(0),
+        });
+        // The wake channel is level-triggered and permanently armed.
+        let mut ev = ffi::epoll_event { events: ffi::EPOLLIN, data: WAKE_TOKEN };
+        if unsafe { ffi::epoll_ctl(epfd, ffi::EPOLL_CTL_ADD, wakefd, &mut ev) } < 0 {
+            let err = io::Error::last_os_error();
+            unsafe {
+                ffi::close(wakefd);
+                ffi::close(epfd);
+            }
+            return Err(err);
+        }
+        let loop_inner = inner.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("{name}-reactor"))
+            .spawn(move || reactor_loop(loop_inner))
+            .inspect_err(|_| unsafe {
+                ffi::close(wakefd);
+                ffi::close(epfd);
+            })?;
+        Ok(Reactor { inner, thread: Some(thread) })
+    }
+
+    /// Cloneable registration handle.
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle { inner: self.inner.clone() }
+    }
+
+    /// Snapshot of the reactor's counters.
+    pub fn stats(&self) -> ReactorStats {
+        self.handle().stats()
+    }
+
+    /// Stop the dispatch thread and close the epoll instance. Remaining
+    /// registrations are dropped (their owners keep their fds). Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let one: u64 = 1;
+        let wakefd = self.inner.wakefd.load(Ordering::Acquire);
+        unsafe {
+            ffi::write(wakefd, (&one as *const u64).cast(), 8);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        // Close under the registration lock: every user-facing syscall
+        // path holds it, so none can race the close.
+        let mut map = self.inner.registrations.lock();
+        map.clear();
+        self.inner.registered.store(0, Ordering::Relaxed);
+        let epfd = self.inner.epfd.swap(-1, Ordering::AcqRel);
+        let wfd = self.inner.wakefd.swap(-1, Ordering::AcqRel);
+        unsafe {
+            if epfd >= 0 {
+                ffi::close(epfd);
+            }
+            if wfd >= 0 {
+                ffi::close(wfd);
+            }
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn reactor_loop(inner: Arc<ReactorInner>) {
+    let epfd = inner.epfd.load(Ordering::Acquire);
+    let mut events = [ffi::epoll_event { events: 0, data: 0 }; 256];
+    loop {
+        let n = unsafe { ffi::epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, -1) };
+        if n < 0 {
+            if io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return;
+        }
+        for ev in &events[..n as usize] {
+            let token = ev.data;
+            let bits = ev.events;
+            if token == WAKE_TOKEN {
+                let wakefd = inner.wakefd.load(Ordering::Acquire);
+                let mut buf = [0u8; 8];
+                while unsafe { ffi::read(wakefd, buf.as_mut_ptr().cast(), 8) } == 8 {}
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            let target = {
+                let map = inner.registrations.lock();
+                map.get(&token).map(|r| (r.ready.clone(), r.waker.clone()))
+            };
+            let Some((ready, waker)) = target else { continue };
+            let mut mask = 0;
+            if bits & ffi::EPOLLIN != 0 {
+                mask |= READY_READABLE;
+            }
+            if bits & ffi::EPOLLOUT != 0 {
+                mask |= READY_WRITABLE;
+            }
+            if bits & (ffi::EPOLLERR | ffi::EPOLLHUP | ffi::EPOLLRDHUP) != 0 {
+                // Hangups surface as readable too, so read loops observe
+                // the EOF instead of waiting for an interest that will
+                // never fire again.
+                mask |= READY_CLOSED | READY_READABLE;
+            }
+            if mask != 0 {
+                ready.fetch_or(mask, Ordering::AcqRel);
+                inner.events_dispatched.fetch_add(1, Ordering::Relaxed);
+                waker.wake();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{IoContext, IoPool, IoStatus, IoTask};
+    use crate::test_support::wait_for;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::time::Duration;
+
+    /// Reads whatever is available each time it is woken, counting bytes.
+    struct ByteCounter {
+        stream: TcpStream,
+        source: NetSource,
+        seen: Arc<AtomicU64>,
+        eof: Arc<AtomicBool>,
+    }
+
+    impl IoTask for ByteCounter {
+        fn run(&mut self, ctx: &IoContext) -> IoStatus {
+            if ctx.shutting_down() {
+                return IoStatus::Complete;
+            }
+            self.source.take_readiness();
+            let mut buf = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.eof.store(true, Ordering::Release);
+                        return IoStatus::Complete;
+                    }
+                    Ok(n) => {
+                        self.seen.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        self.source.arm(true, false);
+                        return IoStatus::Park;
+                    }
+                    Err(_) => return IoStatus::Complete,
+                }
+            }
+        }
+    }
+
+    fn reader_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readiness_wakes_a_parked_reader_through_the_io_pool() {
+        let mut pool = IoPool::new("rx", 1);
+        let mut reactor = Reactor::new("rx").unwrap();
+        let (mut client, server) = reader_pair();
+
+        let seen = Arc::new(AtomicU64::new(0));
+        let eof = Arc::new(AtomicBool::new(false));
+        let waker = NetWaker::new();
+        let source = reactor.handle().register(server.as_raw_fd(), waker.clone()).unwrap();
+        let h = pool.spawn_parked(ByteCounter {
+            stream: server,
+            source,
+            seen: seen.clone(),
+            eof: eof.clone(),
+        });
+        waker.set(h.clone());
+        h.wake(); // first stint drains nothing and arms the read interest
+
+        client.write_all(&[7u8; 1000]).unwrap();
+        client.flush().unwrap();
+        assert!(
+            wait_for(Duration::from_secs(5), || seen.load(Ordering::Relaxed) >= 1000),
+            "readiness never woke the parked reader (saw {} bytes)",
+            seen.load(Ordering::Relaxed)
+        );
+
+        // Peer hangup surfaces as readable; the reader observes EOF.
+        drop(client);
+        assert!(wait_for(Duration::from_secs(5), || eof.load(Ordering::Acquire)));
+        assert!(wait_for(Duration::from_secs(5), || h.is_complete()));
+        assert!(reactor.stats().events_dispatched >= 1);
+        pool.shutdown();
+        reactor.shutdown();
+    }
+
+    struct NullTask;
+    impl IoTask for NullTask {
+        fn run(&mut self, _ctx: &IoContext) -> IoStatus {
+            IoStatus::Park
+        }
+    }
+
+    #[test]
+    fn stats_track_registrations_and_rearms() {
+        let pool = IoPool::new("rs", 1);
+        let mut reactor = Reactor::new("rs").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let waker = NetWaker::new();
+        let mut src = reactor.handle().register(listener.as_raw_fd(), waker.clone()).unwrap();
+        waker.set(pool.spawn_parked(NullTask));
+        assert_eq!(reactor.stats().registered, 1);
+        assert!(src.arm(true, false));
+        assert!(reactor.stats().rearms >= 1);
+        src.deregister();
+        assert_eq!(reactor.stats().registered, 0);
+        reactor.shutdown();
+        // Post-shutdown arming is a clean no-op.
+        assert!(!src.arm(true, false));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_the_thread() {
+        let mut reactor = Reactor::new("ri").unwrap();
+        reactor.shutdown();
+        reactor.shutdown();
+        assert_eq!(reactor.stats().registered, 0);
+        // Registration after shutdown is refused cleanly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(reactor.handle().register(listener.as_raw_fd(), NetWaker::new()).is_err());
+    }
+
+    #[test]
+    fn accept_readiness_fires_for_listeners() {
+        let mut pool = IoPool::new("ra", 1);
+        let mut reactor = Reactor::new("ra").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        struct AcceptProbe {
+            listener: TcpListener,
+            source: NetSource,
+            accepted: Arc<AtomicU64>,
+        }
+        impl IoTask for AcceptProbe {
+            fn run(&mut self, ctx: &IoContext) -> IoStatus {
+                if ctx.shutting_down() {
+                    return IoStatus::Complete;
+                }
+                self.source.take_readiness();
+                loop {
+                    match self.listener.accept() {
+                        Ok(_) => {
+                            self.accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            self.source.arm(true, false);
+                            return IoStatus::Park;
+                        }
+                        Err(_) => return IoStatus::Complete,
+                    }
+                }
+            }
+        }
+
+        let accepted = Arc::new(AtomicU64::new(0));
+        let waker = NetWaker::new();
+        let source = reactor.handle().register(listener.as_raw_fd(), waker.clone()).unwrap();
+        let h = pool.spawn_parked(AcceptProbe { listener, source, accepted: accepted.clone() });
+        waker.set(h.clone());
+        h.wake();
+
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let _c2 = TcpStream::connect(addr).unwrap();
+        assert!(
+            wait_for(Duration::from_secs(5), || accepted.load(Ordering::Relaxed) >= 2),
+            "accept readiness never fired (accepted {})",
+            accepted.load(Ordering::Relaxed)
+        );
+        pool.shutdown();
+        reactor.shutdown();
+    }
+}

@@ -52,7 +52,7 @@
 //! formats interoperate in both directions.
 
 use crate::pool::BytesPool;
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use neptune_compress::{SelectiveCompressor, TAG_RAW};
 use std::io::Read;
 use std::sync::OnceLock;
@@ -770,6 +770,186 @@ fn read_frame_inner(r: &mut impl Read, pool: Option<&BytesPool>) -> Result<Frame
     decode_body(link_id, base_seq, count, body, wire_len, exts, pool)
 }
 
+/// Largest possible extension area (every bit in [`EXT_FLAG_MASK`] set).
+const MAX_EXT_LEN: usize = 8 * EXT_FLAG_MASK.count_ones() as usize;
+
+/// Which wire section the incremental decoder is currently filling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeStage {
+    Header,
+    Ext,
+    Body,
+}
+
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// [`read_frame`] assumes a blocking reader: it can `read_exact` each wire
+/// section. On the readiness-driven path a socket hands over however many
+/// bytes the kernel has — possibly splitting a frame mid-header, mid-
+/// extension, or mid-body — so the decoder must be resumable at *every*
+/// byte boundary. [`feed`](Self::feed) consumes as much of the input as it
+/// can, returns a completed [`Frame`] as soon as one closes, and parks its
+/// partial state (fixed header/extension scratch plus a body buffer drawn
+/// from the [`BytesPool`]) across `WouldBlock` gaps.
+///
+/// Semantics are byte-identical to [`read_frame`]: same header validation,
+/// same extension skipping, same CRC check over the body, same pooled
+/// decompression — the two paths share every parsing helper. A decode
+/// error leaves the decoder reset; the transport treats it as fatal for
+/// the connection either way, matching the blocking reader.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    stage: DecodeStage,
+    /// Bytes filled so far in the *current* stage's buffer.
+    filled: usize,
+    header: [u8; FRAME_HEADER_LEN],
+    ext: [u8; MAX_EXT_LEN],
+    /// Body accumulator; checked out when the extension area completes.
+    body: Option<BytesMut>,
+    // Parsed header fields, valid from the Ext stage onwards.
+    flags: u8,
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    body_len: usize,
+    crc: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder {
+            stage: DecodeStage::Header,
+            filled: 0,
+            header: [0u8; FRAME_HEADER_LEN],
+            ext: [0u8; MAX_EXT_LEN],
+            body: None,
+            flags: 0,
+            link_id: 0,
+            base_seq: 0,
+            count: 0,
+            body_len: 0,
+            crc: 0,
+        }
+    }
+
+    /// True when the decoder sits exactly on a frame boundary — no partial
+    /// frame is buffered. An EOF observed while `!is_idle()` means the
+    /// peer died mid-frame.
+    pub fn is_idle(&self) -> bool {
+        self.stage == DecodeStage::Header && self.filled == 0
+    }
+
+    /// Drop any partial frame and return to the boundary state.
+    pub fn reset(&mut self) {
+        self.stage = DecodeStage::Header;
+        self.filled = 0;
+        self.body = None;
+    }
+
+    /// Consume bytes from `input`, advancing the partial frame. Returns
+    /// how many input bytes were consumed and the frame, if one completed.
+    /// Stops after at most one frame so the caller controls delivery
+    /// pacing; call again with the unconsumed tail for back-to-back
+    /// frames. Body buffers (and decompression scratch) come from `pool`
+    /// when given. On error the decoder is reset; the connection should be
+    /// dropped, exactly as after a [`read_frame`] error.
+    pub fn feed(
+        &mut self,
+        input: &[u8],
+        pool: Option<&BytesPool>,
+    ) -> Result<(usize, Option<Frame>), FrameError> {
+        let mut consumed = 0usize;
+        loop {
+            match self.stage {
+                DecodeStage::Header => {
+                    let take = (FRAME_HEADER_LEN - self.filled).min(input.len() - consumed);
+                    self.header[self.filled..self.filled + take]
+                        .copy_from_slice(&input[consumed..consumed + take]);
+                    self.filled += take;
+                    consumed += take;
+                    if self.filled < FRAME_HEADER_LEN {
+                        return Ok((consumed, None));
+                    }
+                    let (flags, link_id, base_seq, count, body_len, crc) =
+                        match parse_header(&self.header) {
+                            Ok(parsed) => parsed,
+                            Err(e) => {
+                                self.reset();
+                                return Err(e);
+                            }
+                        };
+                    self.flags = flags;
+                    self.link_id = link_id;
+                    self.base_seq = base_seq;
+                    self.count = count;
+                    self.body_len = body_len;
+                    self.crc = crc;
+                    self.stage = DecodeStage::Ext;
+                    self.filled = 0;
+                }
+                DecodeStage::Ext => {
+                    let need = ext_len(self.flags);
+                    let take = (need - self.filled).min(input.len() - consumed);
+                    self.ext[self.filled..self.filled + take]
+                        .copy_from_slice(&input[consumed..consumed + take]);
+                    self.filled += take;
+                    consumed += take;
+                    if self.filled < need {
+                        return Ok((consumed, None));
+                    }
+                    self.body = Some(match pool {
+                        Some(p) => p.checkout(self.body_len),
+                        None => BytesMut::with_capacity(self.body_len),
+                    });
+                    self.stage = DecodeStage::Body;
+                    self.filled = 0;
+                }
+                DecodeStage::Body => {
+                    let body = self.body.as_mut().expect("body buffer present in Body stage");
+                    let take = (self.body_len - body.len()).min(input.len() - consumed);
+                    body.extend_from_slice(&input[consumed..consumed + take]);
+                    consumed += take;
+                    if body.len() < self.body_len {
+                        return Ok((consumed, None));
+                    }
+                    let body = self.body.take().expect("body buffer present").freeze();
+                    self.stage = DecodeStage::Header;
+                    self.filled = 0;
+                    match self.finish(body, pool) {
+                        Ok(frame) => return Ok((consumed, Some(frame))),
+                        Err(e) => {
+                            self.reset();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate and assemble a frame whose three wire sections are all
+    /// buffered — the shared tail of every decode path.
+    fn finish(&self, body: Bytes, pool: Option<&BytesPool>) -> Result<Frame, FrameError> {
+        let actual = crc32(&body);
+        if actual != self.crc {
+            return Err(FrameError::CrcMismatch { expected: self.crc, actual });
+        }
+        let exts = parse_extensions(self.flags, &self.ext[..ext_len(self.flags)]);
+        let wire_len = FRAME_HEADER_LEN + ext_len(self.flags) + self.body_len;
+        if let Some(kind) = decode_control(&exts, self.body_len)? {
+            return Ok(control_frame(self.link_id, self.base_seq, wire_len, exts, kind));
+        }
+        decode_body(self.link_id, self.base_seq, self.count, body, wire_len, exts, pool)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1146,5 +1326,110 @@ mod tests {
         // Count mismatch.
         let one = FrameMessages::from_messages(&[b"m".as_slice()]);
         assert!(FrameMessages::parse_prefixed(one.into_batch(), Some(2)).is_err());
+    }
+
+    /// Feed `wire` to a decoder in `chunk`-byte slices, asserting the
+    /// consumed-byte accounting, and return every completed frame.
+    fn feed_chunked(wire: &[u8], chunk: usize, pool: Option<&BytesPool>) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for piece in wire.chunks(chunk) {
+            let mut off = 0;
+            while off < piece.len() {
+                let (used, frame) = dec.feed(&piece[off..], pool).unwrap();
+                assert!(used > 0, "no progress on nonempty input");
+                off += used;
+                frames.extend(frame);
+            }
+        }
+        assert!(dec.is_idle(), "decoder must end on a frame boundary");
+        frames
+    }
+
+    #[test]
+    fn incremental_decoder_matches_blocking_at_every_split() {
+        // All extension bits in play, two frames back to back, split at
+        // every chunk size from one byte up: identical results each time.
+        let msgs = vec![b"incremental".to_vec(), b"decode".to_vec()];
+        let raw = prefixed(&msgs);
+        let mut wire = encode_frame_raw_ext(7, 100, 2, &raw, &raw_policy(), 1_234_567, Some(42));
+        wire.extend_from_slice(&encode_control_frame(7, ControlKind::Ack, 100));
+        let mut cursor = std::io::Cursor::new(&wire);
+        let expect_data = read_frame(&mut cursor).unwrap();
+        let expect_ctl = read_frame(&mut cursor).unwrap();
+        for chunk in 1..=wire.len() {
+            let frames = feed_chunked(&wire, chunk, None);
+            assert_eq!(frames.len(), 2, "chunk size {chunk}");
+            assert_eq!(frames[0], expect_data);
+            assert_eq!(frames[0].seq, expect_data.seq);
+            assert_eq!(frames[0].sent_at_micros, expect_data.sent_at_micros);
+            assert_eq!(frames[1].control, expect_ctl.control);
+            assert_eq!(frames[1].base_seq, expect_ctl.base_seq);
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_handles_compressed_bodies_and_recycles() {
+        let pool = BytesPool::new(8);
+        let msgs: Vec<Vec<u8>> = (0..50).map(|_| vec![9u8; 100]).collect();
+        let wire = encode_frame(3, 0, &msgs, &SelectiveCompressor::new(4.0));
+        for _ in 0..3 {
+            let frames = feed_chunked(&wire, 13, Some(&pool));
+            assert_eq!(frames.len(), 1);
+            assert_eq!(frames[0].messages, msgs);
+            pool.recycle(frames[0].messages.clone().into_batch());
+        }
+        assert!(pool.stats().hits > 0, "incremental bodies must come from the pool");
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_corruption_and_resets() {
+        let wire = encode_frame(1, 0, &[b"good".to_vec()], &raw_policy());
+        let mut dec = FrameDecoder::new();
+
+        // Bad magic surfaces as soon as the header completes.
+        let mut bad_magic = wire.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(dec.feed(&bad_magic, None), Err(FrameError::BadMagic(_))));
+        assert!(dec.is_idle(), "decoder must reset after an error");
+
+        // A flipped body bit fails the CRC even when fed byte-by-byte.
+        let mut bad_body = wire.clone();
+        let last = bad_body.len() - 1;
+        bad_body[last] ^= 0x01;
+        let mut err = None;
+        for i in 0..bad_body.len() {
+            if let Err(e) = dec.feed(&bad_body[i..i + 1], None) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(FrameError::CrcMismatch { .. })));
+        assert!(dec.is_idle());
+
+        // An oversized declared body is rejected before any allocation.
+        let mut oversized = wire.clone();
+        oversized[25..29].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.feed(&oversized, None), Err(FrameError::OversizedBody(_))));
+
+        // After every rejection the same decoder still handles clean input.
+        let (used, frame) = dec.feed(&wire, None).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(frame.unwrap().messages, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn incremental_decoder_reports_mid_frame_state() {
+        let wire = encode_frame(1, 0, &[b"partial".to_vec()], &raw_policy());
+        let mut dec = FrameDecoder::new();
+        assert!(dec.is_idle());
+        let (used, frame) = dec.feed(&wire[..FRAME_HEADER_LEN + 2], None).unwrap();
+        assert_eq!(used, FRAME_HEADER_LEN + 2);
+        assert!(frame.is_none());
+        assert!(!dec.is_idle(), "mid-body is not a frame boundary");
+        dec.reset();
+        assert!(dec.is_idle());
+        let (_, frame) = dec.feed(&wire, None).unwrap();
+        assert!(frame.is_some(), "reset decoder must accept a fresh frame");
     }
 }

@@ -24,11 +24,16 @@
 //! Two transports carry frames: [`transport::InProcessTransport`] (links
 //! between operators co-located in one resource) and [`tcp`] (links across
 //! resources, with dedicated IO threads per §III's two-tier thread model).
+//! The TCP path itself has two selectable implementations — blocking
+//! thread-per-connection and readiness-driven ([`tcp_reactor`], epoll +
+//! IO-pool tasks, O(io_threads) at thousands of connections) — behind one
+//! byte-compatible facade.
 
 pub mod buffer;
 pub mod frame;
 pub mod pool;
 pub mod tcp;
+pub mod tcp_reactor;
 pub mod test_support;
 pub mod transport;
 pub mod watermark;
@@ -36,10 +41,11 @@ pub mod watermark;
 pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
 pub use frame::{
     crc32, decode_frame, decode_frame_shared, encode_control_frame, encode_frame, encode_frame_raw,
-    encode_frame_raw_ext, read_frame, read_frame_pooled, ControlKind, Frame, FrameError,
-    FrameMessages, FLAG_CONTROL, FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
+    encode_frame_raw_ext, read_frame, read_frame_pooled, ControlKind, Frame, FrameDecoder,
+    FrameError, FrameMessages, FLAG_CONTROL, FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
 };
 pub use pool::{BytesPool, BytesPoolStats};
 pub use tcp::{TcpReceiver, TcpSender};
+pub use tcp_reactor::NetDriver;
 pub use transport::{BatchSink, InProcessTransport};
 pub use watermark::{PushError, Pushed, ShedConfig, ShedPolicy, WatermarkConfig, WatermarkQueue};

@@ -1,40 +1,51 @@
-//! TCP transport with dedicated IO threads — the cross-resource link path.
+//! TCP transport — the cross-resource link path, in two selectable
+//! flavours behind one facade.
 //!
 //! The paper's two-tier thread model (§I-C, §IV-C) separates *worker
 //! threads* (stream-processor logic) from *IO threads* (socket traffic).
-//! Here:
+//! [`TcpSender`] and [`TcpReceiver`] are facades over two implementations
+//! of that contract:
 //!
-//! * [`TcpSender`] owns one writer IO thread per connection, fed by a
-//!   **bounded** frame queue. When the remote end stops reading (its
-//!   watermark queue gated the reader), the kernel send buffer fills, the
-//!   writer blocks in `write_all`, the bounded queue fills, and
-//!   [`TcpSender::send`] blocks the calling worker thread — the paper's
-//!   *"shared bounded buffers at IO threads that are handling outbound
-//!   traffic ... prevents worker threads from writing to these shared
-//!   buffers"*.
-//! * [`TcpReceiver`] owns an acceptor thread plus one reader IO thread per
-//!   connection. Readers decode frames and `push_blocking` them into the
-//!   shared inbound [`WatermarkQueue`]; while gated they do not touch the
-//!   socket, so the TCP window closes and flow control propagates to the
-//!   sender — §III-B4's *"backpressure model that leverages the TCP flow
-//!   control"*.
+//! * **Blocking** (the original path, [`TcpSender::connect`] /
+//!   [`TcpReceiver::bind`]): one writer OS thread per outbound link fed by
+//!   a **bounded** frame queue, one reader OS thread per accepted
+//!   connection, plus an acceptor thread. When the remote end stops
+//!   reading, the kernel send buffer fills, the writer blocks in
+//!   `write_all`, the bounded queue fills, and [`TcpSender::send`] blocks
+//!   the calling worker thread — the paper's *"shared bounded buffers at
+//!   IO threads that are handling outbound traffic ... prevents worker
+//!   threads from writing to these shared buffers"*. Thread count is
+//!   O(connections).
+//! * **Readiness-driven** ([`TcpSender::connect_reactor`] /
+//!   [`TcpReceiver::bind_reactor`], see [`crate::tcp_reactor`]): the same
+//!   state machines as cooperative IO-pool tasks woken by an epoll
+//!   reactor, so thread count stays O(io_threads) at thousands of
+//!   connections. Backpressure works by *not re-arming* the read interest
+//!   while the inbound [`WatermarkQueue`] is gated — the TCP window
+//!   closes, §III-B4's *"backpressure model that leverages the TCP flow
+//!   control"*, with zero parked threads.
+//!
+//! The wire format and ack protocol are byte-identical across the two, so
+//! a blocking sender can feed a reactor receiver and vice versa.
 //!
 //! # Ack backchannel
 //!
 //! TCP links are full duplex, and the fault-tolerance layer uses the
-//! reverse direction: when a reader decodes a data frame carrying the
+//! reverse direction: when a receiver decodes a data frame carrying the
 //! [`FLAG_SEQ`](crate::frame::FLAG_SEQ) extension, it writes a cumulative
 //! [`ControlKind::Ack`] control frame back on the same socket after the
 //! frame lands on the inbound queue. Heartbeat control frames are answered
 //! the same way (and never surface on the data queue), so an idle link
 //! still proves liveness end to end. A sender built with
-//! [`TcpSender::connect_with_acks`] runs a second IO thread that parses
-//! that backchannel and hands `(link_id, cumulative_seq)` to a callback —
-//! the hook `neptune-ha`'s replay buffer trims from. Legacy frames without
-//! the extension elicit no acks, so pre-existing peers are unaffected.
+//! [`TcpSender::connect_with_acks`] (or
+//! [`TcpSender::connect_reactor_with_acks`]) parses that backchannel and
+//! hands `(link_id, cumulative_seq)` to a callback — the hook
+//! `neptune-ha`'s replay buffer trims from. Legacy frames without the
+//! extension elicit no acks, so pre-existing peers are unaffected.
 
 use crate::frame::{encode_control_frame, read_frame, read_frame_pooled, ControlKind, Frame};
 use crate::pool::BytesPool;
+use crate::tcp_reactor::{NetDriver, ReactorReceiver, ReactorSender};
 use crate::transport::TransportError;
 use crate::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use crossbeam::channel::{bounded, Sender as ChannelSender};
@@ -45,29 +56,36 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Hook run by reader threads after each data frame lands on the inbound
-/// queue; shared between the acceptor and every reader, installable after
-/// bind (hence the `RwLock<Option<..>>` indirection).
-type DeliverHook = Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>;
+/// Hook run after each data frame lands on the inbound queue; shared
+/// between the acceptor and every reader, installable after bind (hence
+/// the `RwLock<Option<..>>` indirection).
+pub(crate) type DeliverHook = Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>;
 
-/// Outbound side of a TCP link: a bounded queue drained by one writer
-/// IO thread.
+/// Outbound side of a TCP link: a bounded queue drained by one writer IO
+/// thread (blocking path) or one IO-pool task (reactor path).
 pub struct TcpSender {
-    tx: Option<ChannelSender<Vec<u8>>>,
-    writer: Option<JoinHandle<()>>,
-    ack_reader: Option<JoinHandle<()>>,
-    /// Clone of the socket held to unblock the ack reader on shutdown.
-    ack_stream: Option<TcpStream>,
     frames: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
     acks: Arc<AtomicU64>,
     peer: SocketAddr,
+    imp: SenderImpl,
+}
+
+enum SenderImpl {
+    Blocking {
+        tx: Option<ChannelSender<Vec<u8>>>,
+        writer: Option<JoinHandle<()>>,
+        ack_reader: Option<JoinHandle<()>>,
+        /// Clone of the socket held to unblock the ack reader on shutdown.
+        ack_stream: Option<TcpStream>,
+    },
+    Reactor(ReactorSender),
 }
 
 impl TcpSender {
-    /// Connect to a receiver. `queue_depth` bounds the number of
-    /// in-flight frames between worker and IO thread (the shared bounded
-    /// buffer of the two-tier model).
+    /// Connect to a receiver on the blocking thread-per-connection path.
+    /// `queue_depth` bounds the number of in-flight frames between worker
+    /// and IO thread (the shared bounded buffer of the two-tier model).
     pub fn connect(addr: impl ToSocketAddrs, queue_depth: usize) -> std::io::Result<Self> {
         Self::connect_inner(addr, queue_depth, None)
     }
@@ -83,6 +101,55 @@ impl TcpSender {
         on_ack: impl Fn(u64, u64) + Send + 'static,
     ) -> std::io::Result<Self> {
         Self::connect_inner(addr, queue_depth, Some(Box::new(on_ack)))
+    }
+
+    /// Connect on the readiness-driven path: no per-connection threads;
+    /// the write/ack state machine runs as a task on `driver`'s IO pool,
+    /// woken by its reactor. Semantics match [`connect`](Self::connect).
+    pub fn connect_reactor(
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+        driver: &NetDriver,
+    ) -> std::io::Result<Self> {
+        Self::connect_reactor_inner(addr, queue_depth, driver, None)
+    }
+
+    /// Readiness-driven equivalent of
+    /// [`connect_with_acks`](Self::connect_with_acks): the ack backchannel
+    /// is multiplexed onto the same IO task instead of a second thread.
+    pub fn connect_reactor_with_acks(
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+        driver: &NetDriver,
+        on_ack: impl Fn(u64, u64) + Send + 'static,
+    ) -> std::io::Result<Self> {
+        Self::connect_reactor_inner(addr, queue_depth, driver, Some(Box::new(on_ack)))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn connect_reactor_inner(
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+        driver: &NetDriver,
+        on_ack: Option<Box<dyn Fn(u64, u64) + Send>>,
+    ) -> std::io::Result<Self> {
+        assert!(queue_depth > 0, "sender queue depth must be positive");
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let frames = Arc::new(AtomicU64::new(0));
+        let bytes = Arc::new(AtomicU64::new(0));
+        let acks = Arc::new(AtomicU64::new(0));
+        let sender = ReactorSender::spawn(
+            stream,
+            queue_depth,
+            driver,
+            on_ack,
+            frames.clone(),
+            bytes.clone(),
+            acks.clone(),
+        )?;
+        Ok(TcpSender { frames, bytes, acks, peer, imp: SenderImpl::Reactor(sender) })
     }
 
     #[allow(clippy::type_complexity)]
@@ -140,23 +207,28 @@ impl TcpSender {
             })
             .expect("spawn tcp writer thread");
         Ok(TcpSender {
-            tx: Some(tx),
-            writer: Some(writer),
-            ack_reader,
-            ack_stream,
             frames,
             bytes,
             acks,
             peer,
+            imp: SenderImpl::Blocking {
+                tx: Some(tx),
+                writer: Some(writer),
+                ack_reader,
+                ack_stream,
+            },
         })
     }
 
     /// Queue one encoded wire frame. Blocks when the bounded IO queue is
     /// full (backpressure). Fails once the connection is closed.
     pub fn send(&self, wire: Vec<u8>) -> Result<(), TransportError> {
-        match &self.tx {
-            Some(tx) => tx.send(wire).map_err(|_| TransportError::Closed),
-            None => Err(TransportError::Closed),
+        match &self.imp {
+            SenderImpl::Blocking { tx: Some(tx), .. } => {
+                tx.send(wire).map_err(|_| TransportError::Closed)
+            }
+            SenderImpl::Blocking { tx: None, .. } => Err(TransportError::Closed),
+            SenderImpl::Reactor(r) => r.send(wire),
         }
     }
 
@@ -171,7 +243,7 @@ impl TcpSender {
     }
 
     /// Ack control frames received on the backchannel (always 0 unless
-    /// built with [`connect_with_acks`](Self::connect_with_acks)).
+    /// built with an `_with_acks` constructor).
     pub fn acks_received(&self) -> u64 {
         self.acks.load(Ordering::Relaxed)
     }
@@ -187,16 +259,21 @@ impl TcpSender {
     }
 
     fn shutdown_inner(&mut self) {
-        self.tx.take(); // disconnect the channel; writer drains then exits
-        if let Some(w) = self.writer.take() {
-            let _ = w.join();
-        }
-        // Unblock the ack reader parked in read_frame, then join it.
-        if let Some(s) = self.ack_stream.take() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
-        if let Some(a) = self.ack_reader.take() {
-            let _ = a.join();
+        match &mut self.imp {
+            SenderImpl::Blocking { tx, writer, ack_reader, ack_stream } => {
+                tx.take(); // disconnect the channel; writer drains then exits
+                if let Some(w) = writer.take() {
+                    let _ = w.join();
+                }
+                // Unblock the ack reader parked in read_frame, then join it.
+                if let Some(s) = ack_stream.take() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+                if let Some(a) = ack_reader.take() {
+                    let _ = a.join();
+                }
+            }
+            SenderImpl::Reactor(r) => r.close(),
         }
     }
 }
@@ -210,6 +287,15 @@ impl Drop for TcpSender {
 /// Inbound side of TCP links: accepts connections and funnels decoded
 /// frames into one shared watermark queue.
 pub struct TcpReceiver {
+    imp: ReceiverImpl,
+}
+
+enum ReceiverImpl {
+    Blocking(BlockingReceiver),
+    Reactor(ReactorReceiver),
+}
+
+struct BlockingReceiver {
     queue: Arc<WatermarkQueue<Frame>>,
     local: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -223,10 +309,11 @@ pub struct TcpReceiver {
 }
 
 impl TcpReceiver {
-    /// Bind a listener; frames from every accepted connection land on one
-    /// watermark-bounded inbound queue. Frame bodies come from fresh
-    /// allocations; see [`bind_pooled`](Self::bind_pooled) for the
-    /// recycling variant the runtime uses.
+    /// Bind a listener on the blocking thread-per-connection path; frames
+    /// from every accepted connection land on one watermark-bounded
+    /// inbound queue. Frame bodies come from fresh allocations; see
+    /// [`bind_pooled`](Self::bind_pooled) for the recycling variant the
+    /// runtime uses.
     pub fn bind(addr: impl ToSocketAddrs, watermark: WatermarkConfig) -> std::io::Result<Self> {
         Self::bind_inner(addr, watermark, ShedConfig::disabled(), None)
     }
@@ -245,9 +332,9 @@ impl TcpReceiver {
     }
 
     /// Like [`bind_pooled`](Self::bind_pooled), with an explicit
-    /// [`ShedConfig`] on the inbound queue — the reader thread degrades
-    /// per the policy instead of blocking forever once the gate has been
-    /// closed longer than the configured stall.
+    /// [`ShedConfig`] on the inbound queue — the reader degrades per the
+    /// policy instead of blocking forever once the gate has been closed
+    /// longer than the configured stall.
     pub fn bind_pooled_with_shed(
         addr: impl ToSocketAddrs,
         watermark: WatermarkConfig,
@@ -255,6 +342,31 @@ impl TcpReceiver {
         pool: Arc<BytesPool>,
     ) -> std::io::Result<Self> {
         Self::bind_inner(addr, watermark, shed, Some(pool))
+    }
+
+    /// Bind on the readiness-driven path: no per-connection threads; the
+    /// acceptor and every connection run as tasks on `driver`'s IO pool.
+    pub fn bind_reactor(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        driver: &NetDriver,
+    ) -> std::io::Result<Self> {
+        let r = ReactorReceiver::bind(addr, watermark, ShedConfig::disabled(), None, driver)?;
+        Ok(TcpReceiver { imp: ReceiverImpl::Reactor(r) })
+    }
+
+    /// Readiness-driven equivalent of
+    /// [`bind_pooled_with_shed`](Self::bind_pooled_with_shed) — the
+    /// constructor the runtime uses when `net_reactor` is enabled.
+    pub fn bind_reactor_pooled_with_shed(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        shed: ShedConfig,
+        pool: Arc<BytesPool>,
+        driver: &NetDriver,
+    ) -> std::io::Result<Self> {
+        let r = ReactorReceiver::bind(addr, watermark, shed, Some(pool), driver)?;
+        Ok(TcpReceiver { imp: ReceiverImpl::Reactor(r) })
     }
 
     fn bind_inner(
@@ -319,49 +431,111 @@ impl TcpReceiver {
         };
 
         Ok(TcpReceiver {
-            queue,
-            local,
-            shutdown,
-            acceptor: Some(acceptor),
-            readers,
-            accepted,
-            decode_errors,
-            on_deliver,
+            imp: ReceiverImpl::Blocking(BlockingReceiver {
+                queue,
+                local,
+                shutdown,
+                acceptor: Some(acceptor),
+                readers,
+                accepted,
+                decode_errors,
+                on_deliver,
+            }),
         })
     }
 
     /// The shared inbound queue.
     pub fn queue(&self) -> Arc<WatermarkQueue<Frame>> {
-        self.queue.clone()
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.queue.clone(),
+            ReceiverImpl::Reactor(r) => r.queue(),
+        }
     }
 
     /// Bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.local,
+            ReceiverImpl::Reactor(r) => r.local_addr(),
+        }
     }
 
     /// Frames that failed CRC or structural validation.
     pub fn decode_errors(&self) -> u64 {
-        self.decode_errors.load(Ordering::Relaxed)
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.decode_errors.load(Ordering::Relaxed),
+            ReceiverImpl::Reactor(r) => r.decode_errors(),
+        }
     }
 
     /// Connections accepted since bind (cleared at shutdown). Lets tests
-    /// and operators confirm reader threads exist without sleeping.
+    /// and operators confirm connection handlers exist without sleeping.
     pub fn connections(&self) -> usize {
-        self.accepted.lock().len()
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.accepted.lock().len(),
+            ReceiverImpl::Reactor(r) => r.connections(),
+        }
+    }
+
+    /// Currently-open accepted connections (the reactor-path gauge; on
+    /// the blocking path this reports connections accepted since bind,
+    /// which only ever over-counts).
+    pub fn open_connections(&self) -> usize {
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.accepted.lock().len(),
+            ReceiverImpl::Reactor(r) => r.open_connections(),
+        }
+    }
+
+    /// Largest accept burst drained in a single readiness stint (always 0
+    /// on the blocking path, which accepts one connection per wake).
+    pub fn accept_backlog_peak(&self) -> u64 {
+        match &self.imp {
+            ReceiverImpl::Blocking(_) => 0,
+            ReceiverImpl::Reactor(r) => r.accept_backlog_peak(),
+        }
     }
 
     /// Register a callback fired after each delivered frame (data-driven
     /// scheduling hook).
     pub fn on_deliver<F: Fn() + Send + Sync + 'static>(&self, f: F) {
-        *self.on_deliver.write() = Some(Arc::new(f));
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => *b.on_deliver.write() = Some(Arc::new(f)),
+            ReceiverImpl::Reactor(r) => r.set_on_deliver(Arc::new(f)),
+        }
     }
 
-    /// Stop accepting, close the queue, and join IO threads.
+    /// Fault injection: sever every accepted connection (the listener
+    /// stays up so peers can reconnect). Returns how many were cut. Used
+    /// by the chaos harness to reproduce seeded link-cut scenarios on
+    /// either transport path.
+    pub fn chaos_drop_connections(&self) -> usize {
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => {
+                let drained: Vec<TcpStream> = b.accepted.lock().drain(..).collect();
+                for s in &drained {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+                drained.len()
+            }
+            ReceiverImpl::Reactor(r) => r.chaos_drop_connections(),
+        }
+    }
+
+    /// Stop accepting, close the queue, and release IO resources.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
+    fn shutdown_inner(&mut self) {
+        match &mut self.imp {
+            ReceiverImpl::Blocking(b) => b.shutdown_inner(),
+            ReceiverImpl::Reactor(r) => r.shutdown(),
+        }
+    }
+}
+
+impl BlockingReceiver {
     fn shutdown_inner(&mut self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
@@ -466,10 +640,29 @@ mod tests {
     use crate::frame::encode_frame;
     use crate::test_support::wait_for;
     use neptune_compress::SelectiveCompressor;
+    use neptune_granules::{IoPool, Reactor};
     use std::time::Duration;
 
     fn localhost_receiver(high: usize, low: usize) -> TcpReceiver {
         TcpReceiver::bind("127.0.0.1:0", WatermarkConfig::new(high, low)).unwrap()
+    }
+
+    /// Pool + reactor owned for one test's lifetime; both shut down on
+    /// drop (pool first — field order — so tasks retire while the reactor
+    /// still accepts deregistrations).
+    struct Rig {
+        pool: IoPool,
+        reactor: Reactor,
+    }
+
+    impl Rig {
+        fn new(name: &str) -> Rig {
+            Rig { pool: IoPool::new(name, 2), reactor: Reactor::new(name).unwrap() }
+        }
+
+        fn driver(&self) -> NetDriver {
+            NetDriver::new(self.pool.spawner(), self.reactor.handle())
+        }
     }
 
     #[test]
@@ -756,6 +949,293 @@ mod tests {
             q.pop_timeout(Duration::from_secs(5)).unwrap();
         }
         assert_eq!(hits.load(Ordering::Relaxed), 10);
+        rx.shutdown();
+    }
+
+    // --- readiness-driven path ---------------------------------------
+
+    #[test]
+    fn reactor_frames_cross_a_real_socket() {
+        let rig = Rig::new("trx1");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let tx = TcpSender::connect_reactor(rx.local_addr(), 16, &driver).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let msgs = vec![b"hello".to_vec(), b"reactor".to_vec()];
+        tx.send(encode_frame(3, 10, &msgs, &raw)).unwrap();
+        let frame = rx.queue().pop_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(frame.link_id, 3);
+        assert_eq!(frame.base_seq, 10);
+        assert_eq!(frame.messages, msgs);
+        assert!(frame.received_at.is_some(), "reactor path must stamp arrival");
+        assert_eq!(rx.decode_errors(), 0);
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_many_frames_in_order_and_counters_settle() {
+        let rig = Rig::new("trx2");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 22, 1 << 12);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let tx = TcpSender::connect_reactor(rx.local_addr(), 64, &driver).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        for i in 0..200u64 {
+            tx.send(encode_frame(1, i, &[i.to_le_bytes().to_vec()], &raw)).unwrap();
+        }
+        let q = rx.queue();
+        for i in 0..200u64 {
+            let f = q.pop_timeout(Duration::from_secs(5)).expect("frame");
+            assert_eq!(f.base_seq, i, "frames must arrive in order");
+        }
+        let (frames, bytes) = (tx.frames.clone(), tx.bytes.clone());
+        tx.close(); // close() waits for the task to drain
+        assert_eq!(frames.load(Ordering::Relaxed), 200);
+        assert!(bytes.load(Ordering::Relaxed) > 200 * 8);
+        assert!(rig.reactor.stats().events_dispatched > 0, "readiness events must flow");
+        rx.shutdown();
+    }
+
+    #[test]
+    fn blocking_sender_feeds_reactor_receiver_and_vice_versa() {
+        // Wire-format compatibility both ways, §II of the migration story.
+        let rig = Rig::new("trx3");
+        let driver = rig.driver();
+        let raw = SelectiveCompressor::disabled();
+
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let reactor_rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let blocking_tx = TcpSender::connect(reactor_rx.local_addr(), 8).unwrap();
+        blocking_tx.send(encode_frame(1, 7, &[b"b-to-r".to_vec()], &raw)).unwrap();
+        let f = reactor_rx.queue().pop_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(f.messages, vec![b"b-to-r".to_vec()]);
+
+        let blocking_rx = localhost_receiver(1 << 20, 1 << 10);
+        let reactor_tx = TcpSender::connect_reactor(blocking_rx.local_addr(), 8, &driver).unwrap();
+        reactor_tx.send(encode_frame(1, 8, &[b"r-to-b".to_vec()], &raw)).unwrap();
+        let f = blocking_rx.queue().pop_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(f.messages, vec![b"r-to-b".to_vec()]);
+
+        blocking_tx.close();
+        reactor_tx.close();
+        reactor_rx.shutdown();
+        blocking_rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_gated_receiver_backpressures_sender() {
+        // Same scenario as the blocking test: a stalled consumer must
+        // stall the producer via queue gate + closed TCP window — here
+        // with *zero* threads parked on sockets.
+        const N_FRAMES: u64 = 128;
+        let rig = Rig::new("trx4");
+        let driver = rig.driver();
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", WatermarkConfig::new(4096, 512), &driver)
+            .unwrap();
+        let tx = Arc::new(TcpSender::connect_reactor(rx.local_addr(), 2, &driver).unwrap());
+        let raw = SelectiveCompressor::disabled();
+        let wire = encode_frame(1, 0, &[vec![0u8; 256 * 1024]], &raw);
+
+        let sent = Arc::new(AtomicU64::new(0));
+        let producer = {
+            let tx = tx.clone();
+            let sent = sent.clone();
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                for _ in 0..N_FRAMES {
+                    if tx.send(wire.clone()).is_err() {
+                        break;
+                    }
+                    sent.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let finished_early =
+            wait_for(Duration::from_millis(300), || sent.load(Ordering::Relaxed) == N_FRAMES);
+        assert!(
+            !finished_early,
+            "producer should have been blocked by backpressure, sent {}",
+            sent.load(Ordering::Relaxed)
+        );
+        let q = rx.queue();
+        let mut received = 0u64;
+        while received < N_FRAMES {
+            if q.pop_timeout(Duration::from_secs(5)).is_some() {
+                received += 1;
+            } else {
+                panic!("timed out draining; received {received}");
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sent.load(Ordering::Relaxed), N_FRAMES);
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_sender_close_flushes_pending() {
+        let rig = Rig::new("trx5");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let tx = TcpSender::connect_reactor(rx.local_addr(), 64, &driver).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        for i in 0..50u64 {
+            tx.send(encode_frame(1, i, &[vec![1u8; 10]], &raw)).unwrap();
+        }
+        tx.close(); // must not return until the task drained the queue
+        let q = rx.queue();
+        for _ in 0..50 {
+            assert!(q.pop_timeout(Duration::from_secs(5)).is_some());
+        }
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_seq_frames_elicit_cumulative_acks() {
+        let rig = Rig::new("trx6");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let sink = acks.clone();
+        let tx =
+            TcpSender::connect_reactor_with_acks(rx.local_addr(), 16, &driver, move |link, cum| {
+                sink.lock().push((link, cum));
+            })
+            .unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let mut batch = Vec::new();
+        for m in [b"a".as_slice(), b"b".as_slice()] {
+            batch.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            batch.extend_from_slice(m);
+        }
+        tx.send(crate::frame::encode_frame_raw_ext(9, 0, 2, &batch, &raw, 0, Some(0))).unwrap();
+        let mut one = (1u32).to_le_bytes().to_vec();
+        one.push(b'c');
+        tx.send(crate::frame::encode_frame_raw_ext(9, 2, 1, &one, &raw, 0, Some(1))).unwrap();
+        let q = rx.queue();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(0));
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(1));
+        assert!(wait_for(Duration::from_secs(5), || tx.acks_received() >= 2));
+        assert_eq!(*acks.lock(), vec![(9, 2), (9, 3)], "cumulative next-expected seqs");
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_heartbeats_are_acked_and_bypass_the_data_queue() {
+        let rig = Rig::new("trx7");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let sink = acks.clone();
+        let tx =
+            TcpSender::connect_reactor_with_acks(rx.local_addr(), 4, &driver, move |link, cum| {
+                sink.lock().push((link, cum));
+            })
+            .unwrap();
+        tx.send(encode_control_frame(4, ControlKind::Heartbeat, 0)).unwrap();
+        assert!(wait_for(Duration::from_secs(5), || tx.acks_received() >= 1));
+        assert_eq!(*acks.lock(), vec![(4, 0)], "idle link acks at watermark 0");
+        assert!(
+            rx.queue().pop_timeout(Duration::from_millis(50)).is_none(),
+            "control frames must not surface as data"
+        );
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_tracks_connection_gauges() {
+        let rig = Rig::new("trx8");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let tx1 = TcpSender::connect_reactor(rx.local_addr(), 4, &driver).unwrap();
+        let tx2 = TcpSender::connect_reactor(rx.local_addr(), 4, &driver).unwrap();
+        assert!(wait_for(Duration::from_secs(5), || rx.open_connections() == 2));
+        assert_eq!(rx.connections(), 2);
+        assert!(rx.accept_backlog_peak() >= 1, "accept bursts must be tracked");
+        drop(tx1);
+        drop(tx2);
+        assert!(
+            wait_for(Duration::from_secs(5), || rx.open_connections() == 0),
+            "closed connections must drain the gauge, at {}",
+            rx.open_connections()
+        );
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_corrupted_stream_counts_decode_error() {
+        let rig = Rig::new("trx9");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let mut stream = TcpStream::connect(rx.local_addr()).unwrap();
+        let mut junk = crate::frame::MAGIC.to_le_bytes().to_vec();
+        junk.extend_from_slice(&[0xFFu8; 64]);
+        stream.write_all(&junk).unwrap();
+        drop(stream);
+        assert!(wait_for(Duration::from_secs(5), || rx.decode_errors() > 0));
+        assert_eq!(rx.decode_errors(), 1);
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_pooled_receiver_recycles_body_buffers() {
+        let rig = Rig::new("trx10");
+        let driver = rig.driver();
+        let pool = Arc::new(BytesPool::new(16));
+        let rx = TcpReceiver::bind_reactor_pooled_with_shed(
+            "127.0.0.1:0",
+            WatermarkConfig::new(1 << 20, 1 << 10),
+            ShedConfig::disabled(),
+            pool.clone(),
+            &driver,
+        )
+        .unwrap();
+        let tx = TcpSender::connect_reactor(rx.local_addr(), 16, &driver).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let q = rx.queue();
+        for i in 0..50u64 {
+            tx.send(encode_frame(1, i, &[i.to_le_bytes().to_vec()], &raw)).unwrap();
+            let f = q.pop_timeout(Duration::from_secs(5)).expect("frame");
+            assert_eq!(f.messages[0], i.to_le_bytes());
+            pool.recycle(f.messages.into_batch());
+        }
+        let stats = pool.stats();
+        assert!(stats.hits >= 40, "steady-state receive path must reuse body buffers: {stats:?}");
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn reactor_chaos_drop_severs_connections_but_keeps_listener() {
+        let rig = Rig::new("trx11");
+        let driver = rig.driver();
+        let wm = WatermarkConfig::new(1 << 20, 1 << 10);
+        let rx = TcpReceiver::bind_reactor("127.0.0.1:0", wm, &driver).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let tx = TcpSender::connect_reactor(rx.local_addr(), 8, &driver).unwrap();
+        tx.send(encode_frame(1, 0, &[b"pre".to_vec()], &raw)).unwrap();
+        assert!(rx.queue().pop_timeout(Duration::from_secs(5)).is_some());
+
+        assert_eq!(rx.chaos_drop_connections(), 1);
+        // The cut link dies: sends eventually fail as the task observes it.
+        assert!(wait_for(Duration::from_secs(5), || {
+            tx.send(encode_frame(1, 1, &[b"dead".to_vec()], &raw)).is_err()
+        }));
+        // The listener survives: a new connection works.
+        let tx2 = TcpSender::connect_reactor(rx.local_addr(), 8, &driver).unwrap();
+        tx2.send(encode_frame(1, 2, &[b"post".to_vec()], &raw)).unwrap();
+        let f = rx.queue().pop_timeout(Duration::from_secs(5)).expect("post-cut frame");
+        assert_eq!(f.messages, vec![b"post".to_vec()]);
+        tx2.close();
+        drop(tx);
         rx.shutdown();
     }
 }

@@ -10,11 +10,16 @@
 //!   understand skips the unknown word and still decodes the known
 //!   extensions and the body — old and new builds interoperate.
 
+//! * The incremental [`FrameDecoder`] fed an arbitrary frame stream in
+//!   arbitrary chunks produces exactly the frames the blocking
+//!   [`read_frame`] reader produces, and never panics on truncated or
+//!   bit-flipped input.
+
 use bytes::Bytes;
 use neptune_compress::SelectiveCompressor;
 use neptune_net::frame::{
-    decode_frame, decode_frame_shared, encode_frame, encode_frame_raw_ext, read_frame,
-    FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
+    decode_frame, decode_frame_shared, encode_control_frame, encode_frame, encode_frame_raw_ext,
+    read_frame, ControlKind, Frame, FrameDecoder, FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
 };
 use proptest::prelude::*;
 
@@ -190,6 +195,129 @@ proptest! {
         let f3 = read_frame(&mut cursor).unwrap();
         prop_assert_eq!(f3.seq, seq);
         prop_assert_eq!(&f3.messages, &messages);
+    }
+
+    /// The incremental decoder is equivalent to the blocking reader under
+    /// *any* chunking: a stream of frames split at an arbitrary byte
+    /// boundary (including 1-byte feeds) decodes to the identical frame
+    /// sequence.
+    #[test]
+    fn incremental_decoder_matches_blocking_reader_under_any_chunking(
+        specs in proptest::collection::vec(
+            (
+                any::<u64>(),                                   // link_id
+                any::<u64>(),                                   // base_seq
+                proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..40), 0..5),
+                any::<bool>(),                                  // with_stamp
+                1u64..u64::MAX,                                 // stamp
+                proptest::option::of(any::<u64>()),             // seq
+                any::<bool>(),                                  // control?
+            ),
+            1..5),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for (link_id, base_seq, messages, with_stamp, stamp, seq, control) in &specs {
+            if *control {
+                let kind =
+                    if *with_stamp { ControlKind::Heartbeat } else { ControlKind::Ack };
+                stream.extend_from_slice(&encode_control_frame(*link_id, kind, *base_seq));
+            } else {
+                let raw = prefixed(messages);
+                stream.extend_from_slice(&encode_frame_raw_ext(
+                    *link_id, *base_seq, messages.len() as u32, &raw,
+                    &SelectiveCompressor::disabled(),
+                    if *with_stamp { *stamp } else { 0 }, *seq,
+                ));
+            }
+        }
+
+        // Reference: the blocking reader over the whole stream.
+        let mut cursor = std::io::Cursor::new(&stream);
+        let mut blocking: Vec<Frame> = Vec::new();
+        while (cursor.position() as usize) < stream.len() {
+            blocking.push(read_frame(&mut cursor).unwrap());
+        }
+
+        // Incremental: arbitrary fixed-size chunks.
+        let mut dec = FrameDecoder::new();
+        let mut incremental: Vec<Frame> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            let mut off = 0;
+            while off < piece.len() {
+                let (used, frame) = dec.feed(&piece[off..], None).unwrap();
+                prop_assert!(used > 0 || frame.is_some());
+                off += used;
+                if let Some(f) = frame {
+                    incremental.push(f);
+                }
+            }
+        }
+        prop_assert!(dec.is_idle(), "no partial frame may remain");
+
+        prop_assert_eq!(incremental.len(), blocking.len());
+        for (a, b) in incremental.iter().zip(&blocking) {
+            prop_assert_eq!(a.link_id, b.link_id);
+            prop_assert_eq!(a.base_seq, b.base_seq);
+            prop_assert_eq!(a.sent_at_micros, b.sent_at_micros);
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(a.control, b.control);
+            prop_assert_eq!(&a.messages, &b.messages);
+        }
+    }
+
+    /// The incremental decoder never panics: arbitrary garbage, truncation
+    /// at any boundary, and single-bit corruption must surface as errors
+    /// (or quiet partial state), never unwinds — it runs inside IO-pool
+    /// tasks where a panic would poison an IO thread.
+    #[test]
+    fn incremental_decoder_never_panics_on_hostile_input(
+        garbage in proptest::collection::vec(any::<u8>(), 0..192),
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..5),
+        cut in any::<usize>(),
+        flip_bit in 0usize..8,
+        flip_at in any::<usize>(),
+        chunk in 1usize..32,
+    ) {
+        // Arbitrary garbage, in chunks; on error the decoder resets itself
+        // and keeps accepting input.
+        let mut dec = FrameDecoder::new();
+        for piece in garbage.chunks(chunk) {
+            let mut off = 0;
+            while off < piece.len() {
+                match dec.feed(&piece[off..], None) {
+                    Ok((used, _)) if used == 0 => break,
+                    Ok((used, _)) => off += used,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let wire = encode_frame_raw_ext(
+            7, 3, messages.len() as u32, &prefixed(&messages),
+            &SelectiveCompressor::disabled(), 0, Some(11),
+        );
+
+        // Truncation at every boundary.
+        let truncated = &wire[..cut % (wire.len() + 1)];
+        let mut dec = FrameDecoder::new();
+        let _ = dec.feed(truncated, None);
+
+        // Single-bit corruption anywhere.
+        let mut flipped = wire.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let mut dec = FrameDecoder::new();
+        let mut off = 0;
+        while off < flipped.len() {
+            match dec.feed(&flipped[off..], None) {
+                Ok((used, _)) if used == 0 => break,
+                Ok((used, _)) => off += used,
+                Err(_) => break,
+            }
+        }
     }
 }
 

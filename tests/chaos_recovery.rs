@@ -11,12 +11,17 @@
 //! seeds (`NEPTUNE_CHAOS_SEED`).
 
 use bytes::Bytes;
+use neptune::compress::SelectiveCompressor;
+use neptune::granules::{IoPool, Reactor};
 use neptune::ha::{
     Admit, ChaosLink, DedupFilter, DetectorConfig, FailureDetector, FaultEvent, FaultPlan,
-    FrameLink, PeerState, QueueLink, ReconnectPolicy, RecoveryStats, SupervisedLink,
+    FrameLink, PeerState, QueueLink, ReconnectPolicy, RecoveryStats, SupervisedLink, TcpFrameLink,
 };
 use neptune::net::frame::Frame;
+use neptune::net::tcp::{TcpReceiver, TcpSender};
+use neptune::net::transport::TransportError;
 use neptune::net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune::net::NetDriver;
 use neptune::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -104,6 +109,126 @@ fn seeded_link_cut_mid_stream_loses_nothing() {
     assert!(snap.duplicates_dropped > 0, "seed {seed}: replay implies duplicates at the sink");
     // Everything delivered was eventually acked and trimmed.
     assert!(link.replay().is_empty(), "seed {seed}: acks must trim the replay buffer");
+}
+
+/// The same seeded link-cut scenario, but over real sockets on the
+/// readiness-driven path: an epoll-backed [`TcpReceiver`] serves the
+/// sink, the supervised link (re)connects nonblocking [`TcpSender`]s
+/// through the shared reactor, and the cut severs every established
+/// connection server-side mid-stream. Unlike the in-process link, socket
+/// death surfaces *asynchronously* — sends keep succeeding into the
+/// doomed sender's queue until the reactor reports the socket closed —
+/// so frames can be lost by the wire after `send_batch` returned `Ok`.
+/// The replay buffer must bring them back, and the sink's dedup filter
+/// must squeeze the wire's at-least-once delivery to exactly-once.
+#[test]
+fn reactor_link_cut_replays_exactly_once_over_tcp() {
+    let seed = chaos_seed();
+    const LINK: u64 = 7;
+    const TOTAL: u64 = 300;
+    let plan = FaultPlan::new(seed);
+    let cut_at = plan.jitter(21, 40, 220);
+
+    let reactor = Reactor::new("chaos-net").expect("reactor thread");
+    let io_pool = IoPool::new("chaos-net", 2);
+    let driver = NetDriver::new(io_pool.spawner(), reactor.handle());
+
+    let rx =
+        TcpReceiver::bind_reactor("127.0.0.1:0", WatermarkConfig::new(1 << 20, 1 << 10), &driver)
+            .expect("bind");
+    let addr = rx.local_addr();
+
+    // Wire acks land on the sender's IO task; the freshest cumulative
+    // value is mirrored into a shared cell that the test thread feeds
+    // back into the supervised link, trimming its replay buffer.
+    let acked = Arc::new(AtomicU64::new(0));
+    let stats = Arc::new(RecoveryStats::new());
+    let connect_driver = driver.clone();
+    let connect_acked = acked.clone();
+    let link = SupervisedLink::new(
+        LINK,
+        move || {
+            let acked = connect_acked.clone();
+            let tx =
+                TcpSender::connect_reactor_with_acks(addr, 64, &connect_driver, move |_, cum| {
+                    acked.fetch_max(cum, Ordering::Relaxed);
+                })
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            Ok(Arc::new(TcpFrameLink::new(tx, SelectiveCompressor::disabled()))
+                as Arc<dyn FrameLink>)
+        },
+        ReconnectPolicy::fast(seed),
+        1 << 20,
+        stats.clone(),
+    );
+
+    let dedup = DedupFilter::new();
+    let queue = rx.queue().clone();
+    let mut delivered: Vec<u64> = Vec::new();
+    let drain = |delivered: &mut Vec<u64>| {
+        while let Some(f) = queue.pop() {
+            match dedup.admit(f.link_id, f.base_seq, f.len() as u32) {
+                Admit::Fresh => delivered.push(f.base_seq),
+                Admit::Duplicate | Admit::Overlap { .. } => {
+                    RecoveryStats::bump(&stats.duplicates_dropped);
+                }
+            }
+        }
+        link.ack(acked.load(Ordering::Relaxed));
+    };
+
+    for i in 0..TOTAL {
+        if i == cut_at {
+            // Sever every established connection server-side. The sender
+            // only learns when the reactor reports the socket closed.
+            rx.chaos_drop_connections();
+        }
+        let payload = i.to_le_bytes();
+        let (encoded, count) = batch_of(&[&payload]);
+        link.send_batch(i, encoded, count, 0).expect("link must recover within its retry budget");
+        if i % 7 == 6 {
+            drain(&mut delivered);
+        }
+    }
+
+    // Frames enqueued between the cut and its detection were lost by the
+    // wire even though `send_batch` returned `Ok`. Keep probing — a
+    // failed heartbeat triggers the same reconnect + replay as a failed
+    // send — until every message has come out the other side.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while delivered.len() < TOTAL as usize {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "seed {seed}: only {}/{TOTAL} delivered after the cut at frame {cut_at}",
+            delivered.len()
+        );
+        let _ = link.heartbeat();
+        drain(&mut delivered);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Zero loss, in order, exactly once past the dedup filter.
+    assert_eq!(delivered, (0..TOTAL).collect::<Vec<_>>(), "seed {seed}: lost or reordered");
+    let snap = stats.snapshot();
+    assert!(snap.retransmits > 0, "seed {seed}: the cut must force replay");
+    assert!(snap.reconnects >= 1, "seed {seed}: the link must have reconnected");
+    assert_eq!(snap.link_failures, 0, "seed {seed}: retry budget must not exhaust");
+
+    // Acks for the replayed tail eventually trim the replay buffer.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !link.replay().is_empty() {
+        assert!(std::time::Instant::now() < deadline, "seed {seed}: replay buffer never trimmed");
+        link.ack(acked.load(Ordering::Relaxed));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Teardown in dependency order: endpoints first (their IO tasks
+    // retire while pool + reactor still serve), then the pool, then the
+    // reactor.
+    drop(link);
+    rx.shutdown();
+    drop(io_pool);
+    drop(reactor);
 }
 
 #[test]

@@ -20,6 +20,7 @@
 //! concurrently running tests (with different graph names) cannot
 //! pollute the counts.
 
+use neptune::core::config::TransportMode;
 use neptune::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +42,29 @@ fn thread_comms() -> Vec<String> {
 
 fn count_prefixed(prefix: &str) -> usize {
     thread_comms().iter().filter(|c| c.starts_with(prefix)).count()
+}
+
+/// `/proc/<tid>/comm` is written by each spawned thread itself, so a
+/// sample taken right after spawn can miss threads that exist but have
+/// not yet renamed themselves. Poll until the count holds still.
+fn settled_count_prefixed(prefix: &str) -> usize {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut last = count_prefixed(prefix);
+    let mut stable = 0;
+    while std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        let now = count_prefixed(prefix);
+        if now == last && now > 0 {
+            stable += 1;
+            if stable >= 3 {
+                break;
+            }
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+    last
 }
 
 struct Burst {
@@ -225,13 +249,13 @@ fn idle_thread_count_does_not_scale_with_sources() {
 
     let stop1 = Arc::new(AtomicBool::new(false));
     let job1 = spawn_idle_job("idj1-", 1, &rt, &stop1);
-    let threads_for_1 = count_prefixed("idj1-");
+    let threads_for_1 = settled_count_prefixed("idj1-");
     stop1.store(true, Ordering::Release);
     job1.stop();
 
     let stop64 = Arc::new(AtomicBool::new(false));
     let job64 = spawn_idle_job("idj64-", 64, &rt, &stop64);
-    let threads_for_64 = count_prefixed("idj64-");
+    let threads_for_64 = settled_count_prefixed("idj64-");
     let tm = job64.thread_model();
     stop64.store(true, Ordering::Release);
     job64.stop();
@@ -248,6 +272,68 @@ fn idle_thread_count_does_not_scale_with_sources() {
         "every idle source must be a live IO task, got {}",
         tm.live_io_tasks
     );
+}
+
+/// Readiness-driven TCP keeps the two-tier promise on the network path:
+/// with the reactor enabled, a cross-resource TCP job runs **zero**
+/// per-connection IO threads — the blocking path's `neptune-io-tx-*` /
+/// `neptune-io-rx-*` / `neptune-io-accept-*` threads must not exist; all
+/// socket traffic runs as IO-pool tasks plus one reactor thread.
+#[test]
+fn reactor_tcp_spawns_no_per_connection_threads() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let stopped = Arc::new(AtomicBool::new(false));
+    let s = stopped.clone();
+    let graph = GraphBuilder::new("tmr")
+        .source_n("src", 2, move || Quiet { stopped: s.clone() })
+        .processor_n("relay", 2, || Forward)
+        .processor("sink", move || Count(s2.clone()))
+        .link("src", "relay", PartitioningScheme::Shuffle)
+        .link("relay", "sink", PartitioningScheme::Shuffle)
+        .build()
+        .unwrap();
+    let config = RuntimeConfig {
+        resources: 2,
+        transport: TransportMode::Tcp,
+        net_reactor: true, // explicit: independent of NEPTUNE_NET_REACTOR
+        io_threads: Some(2),
+        worker_threads: Some(2),
+        ..Default::default()
+    };
+    let rt = LocalRuntime::new(config);
+    let job = rt.submit(graph).unwrap();
+
+    // Cross-resource TCP links are connected at submit time; on the
+    // reactor path none of them may own a thread.
+    let per_conn =
+        thread_comms().into_iter().filter(|c| c.starts_with("neptune-io-")).collect::<Vec<_>>();
+    assert!(per_conn.is_empty(), "reactor path spawned per-connection threads: {per_conn:?}");
+    assert_eq!(settled_count_prefixed("tmr-reactor"), 1, "exactly one reactor thread");
+
+    // Senders connected at submit; give the acceptor tasks a moment to
+    // drain their readiness events before reading the gauges.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut tm = job.thread_model();
+    while (tm.net_connections == 0 || tm.net_interests == 0) && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+        tm = job.thread_model();
+    }
+    assert!(tm.net_connections > 0, "TCP links must register as open connections");
+    assert!(tm.net_interests > 0, "sockets must be registered with the reactor");
+
+    stopped.store(true, Ordering::Release);
+    let metrics = job.stop();
+    assert!(
+        metrics.thread_model.net_readiness_events > 0,
+        "readiness events must have flowed through the reactor"
+    );
+    let leaked: Vec<String> = thread_comms()
+        .into_iter()
+        .filter(|c| c.starts_with("tmr-") || c.starts_with("neptune-io-"))
+        .collect();
+    assert!(leaked.is_empty(), "threads leaked after stop(): {leaked:?}");
 }
 
 /// A single IO thread must still serve all pumps, flush tasks, the HA
