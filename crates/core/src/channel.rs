@@ -18,11 +18,11 @@
 use crate::metrics::OperatorCounters;
 use neptune_compress::SelectiveCompressor;
 use neptune_net::buffer::{FlushedBatch, OutputBuffer, PushOutcome};
-use neptune_net::frame::encode_frame_raw_at;
+use neptune_net::frame::encode_frame_raw_traced;
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
 use neptune_net::watermark::WatermarkQueue;
-use neptune_telemetry::OperatorTelemetry;
+use neptune_telemetry::{OperatorTelemetry, PendingTrace, Span, SpanRing, STAGE_BUFFER_WAIT};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -124,6 +124,33 @@ pub struct ChannelEndpoint {
     /// held — the waker must only wake an IO task, never take buffer or
     /// queue locks.
     flush_waker: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Causal-tracing state (ISSUE 7); `None` keeps dispatch free of any
+    /// tracing work beyond one lock-free read.
+    tracing: RwLock<Option<TraceContext>>,
+}
+
+/// Tracing state of one sending endpoint (ISSUE 7): the job's span ring,
+/// the sending operator's track, whether this endpoint *originates*
+/// trace ids, and the pending tag left by a traced inbound packet.
+pub struct TraceContext {
+    /// Shared span ring of the job.
+    pub ring: Arc<SpanRing>,
+    /// Track id of the sending operator.
+    pub track: u16,
+    /// True on source-operator endpoints: deterministically sample
+    /// 1-in-N emitted packets by channel sequence number and mint their
+    /// trace ids. Downstream endpoints only *propagate* ids.
+    pub originate: bool,
+    /// Trace id of the first traced packet in the currently open batch.
+    pub pending: PendingTrace,
+}
+
+/// Trace ids are minted from the originating channel and the sampled
+/// packet's sequence number — reproducible across runs of the same
+/// stream, unique enough across channels to follow in a trace viewer.
+/// Ids are nonzero (seq+1) because 0 means "untraced" on the wire.
+fn mint_trace_id(channel: ChannelId, seq: u64) -> u64 {
+    (channel.raw() << 40) | ((seq + 1) & 0xFF_FFFF_FFFF)
 }
 
 impl ChannelEndpoint {
@@ -148,6 +175,23 @@ impl ChannelEndpoint {
             counters,
             telemetry,
             flush_waker: RwLock::new(None),
+            tracing: RwLock::new(None),
+        }
+    }
+
+    /// Install causal tracing (ISSUE 7). `track` is this operator's span
+    /// track; `originate` makes the endpoint mint trace ids for sampled
+    /// sequence numbers (source-operator endpoints only).
+    pub fn set_tracing(&self, ring: Arc<SpanRing>, track: u16, originate: bool) {
+        *self.tracing.write() =
+            Some(TraceContext { ring, track, originate, pending: PendingTrace::new() });
+    }
+
+    /// Propagate an inbound packet's trace id onto the batch currently
+    /// building in this endpoint's buffer. No-op when tracing is off.
+    pub fn tag_trace(&self, trace_id: u64) {
+        if let Some(t) = self.tracing.read().as_ref() {
+            t.pending.set_if_empty(trace_id);
         }
     }
 
@@ -302,12 +346,44 @@ impl ChannelEndpoint {
         // its oldest message waited; one wall-clock read per *batch* stamps
         // the frame so the receiver can split off transport time. Disabled
         // telemetry performs no clock reads here at all.
-        let sent_at = match &self.telemetry {
+        let mut sent_at = match &self.telemetry {
             Some(t) => {
                 t.buffer_wait.record(batch.queueing_delay.as_micros() as u64);
                 crate::now_micros()
             }
             None => 0,
+        };
+        // Tracing point (ISSUE 7): one lock-free read decides whether
+        // this batch carries a trace id — propagated from a traced
+        // inbound packet, or minted here when this endpoint originates
+        // and the batch covers a sampled sequence number. Only a traced
+        // batch pays a clock read (when telemetry didn't already).
+        let trace = match self.tracing.read().as_ref() {
+            Some(t) => {
+                let mut id = t.pending.take();
+                if id.is_none() && t.originate {
+                    let mask = t.ring.sample_every() - 1;
+                    let first = (batch.base_seq + mask) & !mask;
+                    if first < batch.base_seq + count as u64 {
+                        id = Some(mint_trace_id(self.channel, first));
+                    }
+                }
+                if let Some(id) = id {
+                    if sent_at == 0 {
+                        sent_at = crate::now_micros();
+                    }
+                    let wait = batch.queueing_delay.as_micros() as u64;
+                    t.ring.record(Span {
+                        trace_id: id,
+                        start_micros: sent_at.saturating_sub(wait),
+                        dur_micros: wait,
+                        stage: STAGE_BUFFER_WAIT,
+                        track: t.track,
+                    });
+                }
+                id
+            }
+            None => None,
         };
         let wire_bytes = match &self.sink {
             SinkHandle::InProcess(t) => {
@@ -316,21 +392,30 @@ impl ChannelEndpoint {
                 // The batch buffer moves to the receiver without a copy;
                 // the consuming task recycles it to the shared pool once
                 // every message has been processed.
-                t.send_batch(self.channel.raw(), batch.base_seq, batch.encoded, count, sent_at)
-                    .map_err(|e| match e {
-                        TransportError::Closed => EmitError::Closed,
-                        other => EmitError::Transport(other.to_string()),
-                    })?;
+                t.send_batch_traced(
+                    self.channel.raw(),
+                    batch.base_seq,
+                    batch.encoded,
+                    count,
+                    sent_at,
+                    trace,
+                )
+                .map_err(|e| match e {
+                    TransportError::Closed => EmitError::Closed,
+                    other => EmitError::Transport(other.to_string()),
+                })?;
                 wire_bytes
             }
             SinkHandle::Tcp(sender) => {
-                let wire = encode_frame_raw_at(
+                let wire = encode_frame_raw_traced(
                     self.channel.raw(),
                     batch.base_seq,
                     count,
                     &batch.encoded,
                     &self.compressor,
                     sent_at,
+                    None,
+                    trace,
                 );
                 let len = wire.len();
                 sender.send(wire).map_err(|e| match e {
@@ -537,6 +622,38 @@ mod tests {
         let f = queue.pop().unwrap();
         assert!(f.sent_at_micros > 0, "telemetry-enabled dispatch must stamp sent-at");
         assert!(f.received_at.is_some());
+    }
+
+    #[test]
+    fn tracing_originates_sampled_ids_and_propagates_tags() {
+        use neptune_telemetry::SpanRing;
+        // Originating endpoint, sampling 1-in-4 by sequence number.
+        let (ep, q) = make_inproc_endpoint(16);
+        let ring = Arc::new(SpanRing::new(256, 4));
+        let track = ring.register_track("src");
+        ep.set_tracing(ring.clone(), track, true);
+        for _ in 0..4 {
+            ep.push(&[0u8; 16]).unwrap(); // every push flushes one frame
+        }
+        let traces: Vec<Option<u64>> = std::iter::from_fn(|| q.pop()).map(|f| f.trace).collect();
+        assert_eq!(traces.len(), 4);
+        assert!(traces[0].is_some(), "seq 0 is sampled at 1-in-4");
+        assert!(traces[1].is_none() && traces[2].is_none() && traces[3].is_none());
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 1, "one buffer-wait span for the traced batch");
+        assert_eq!(spans[0].stage, STAGE_BUFFER_WAIT);
+        assert_eq!(Some(spans[0].trace_id), traces[0]);
+
+        // Downstream endpoint: propagates a tagged id, never mints.
+        let (ep2, q2) = make_inproc_endpoint(1 << 20);
+        ep2.set_tracing(ring.clone(), ring.register_track("relay"), false);
+        ep2.push(b"untagged").unwrap();
+        ep2.force_flush().unwrap();
+        assert_eq!(q2.pop().unwrap().trace, None, "no tag, no origination");
+        ep2.push(b"tagged").unwrap();
+        ep2.tag_trace(0xBEEF);
+        ep2.force_flush().unwrap();
+        assert_eq!(q2.pop().unwrap().trace, Some(0xBEEF));
     }
 
     #[test]

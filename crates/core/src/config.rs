@@ -106,6 +106,25 @@ pub struct TelemetryConfig {
     pub sample_interval: Duration,
     /// Bound on the in-memory time series (oldest samples drop first).
     pub series_capacity: usize,
+    /// Causal per-packet tracing (ISSUE 7): deterministically sample one
+    /// in this many source packets and record per-stage spans for them.
+    /// `0` disables tracing entirely (no extra hot-path clock reads —
+    /// the unsampled cost is a single mask test). Must be a power of two
+    /// when nonzero, so sampling is one AND instead of a division.
+    pub trace_sample_every: u32,
+    /// Spans retained across the trace ring's shards (oldest overwrite).
+    pub trace_capacity: usize,
+    /// Structured runtime events retained in the job's flight recorder
+    /// (gate transitions, shedding, breaker trips, reconnects, ...).
+    /// `0` disables the recorder. Recording is wait-free and edge-only,
+    /// so the default leaves it on even with telemetry off.
+    pub recorder_capacity: usize,
+    /// Bind address (e.g. `"127.0.0.1:9898"`) for the live scrape
+    /// endpoint serving `/metrics`, `/traces`, and `/events` from the IO
+    /// tier. `None` (the default) binds nothing. The
+    /// `NEPTUNE_SCRAPE_ADDR` environment variable supplies a default,
+    /// mirroring `NEPTUNE_IO_THREADS`.
+    pub scrape_addr: Option<String>,
 }
 
 impl Default for TelemetryConfig {
@@ -114,6 +133,10 @@ impl Default for TelemetryConfig {
             enabled: false,
             sample_interval: Duration::from_millis(100),
             series_capacity: 1024,
+            trace_sample_every: 0,
+            trace_capacity: 4096,
+            recorder_capacity: 512,
+            scrape_addr: std::env::var("NEPTUNE_SCRAPE_ADDR").ok().filter(|s| !s.is_empty()),
         }
     }
 }
@@ -122,6 +145,16 @@ impl TelemetryConfig {
     /// An enabled config with default interval and capacity.
     pub fn enabled() -> Self {
         TelemetryConfig { enabled: true, ..Default::default() }
+    }
+
+    /// Telemetry plus causal tracing at 1-in-`sample_every` packets.
+    pub fn with_tracing(sample_every: u32) -> Self {
+        TelemetryConfig { enabled: true, trace_sample_every: sample_every, ..Default::default() }
+    }
+
+    /// True when per-packet tracing is armed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_sample_every > 0
     }
 }
 
@@ -369,6 +402,22 @@ impl RuntimeConfig {
                 return Err("telemetry series_capacity must be positive".into());
             }
         }
+        if self.telemetry.trace_sample_every > 0 {
+            if !self.telemetry.trace_sample_every.is_power_of_two() {
+                return Err(format!(
+                    "telemetry trace_sample_every ({}) must be a power of two",
+                    self.telemetry.trace_sample_every
+                ));
+            }
+            if self.telemetry.trace_capacity == 0 {
+                return Err("telemetry trace_capacity must be positive when tracing".into());
+            }
+        }
+        if let Some(addr) = &self.telemetry.scrape_addr {
+            if addr.parse::<std::net::SocketAddr>().is_err() {
+                return Err(format!("telemetry scrape_addr {addr:?} is not a socket address"));
+            }
+        }
         if self.ha.enabled {
             if self.ha.heartbeat_interval.is_zero() {
                 return Err("ha heartbeat_interval must be positive".into());
@@ -525,6 +574,40 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_capacity.validate().is_err());
+    }
+
+    #[test]
+    fn tracing_config_validated() {
+        let on =
+            RuntimeConfig { telemetry: TelemetryConfig::with_tracing(128), ..Default::default() };
+        assert!(on.telemetry.tracing_enabled());
+        assert!(on.validate().is_ok());
+        let off = RuntimeConfig::default();
+        assert!(!off.telemetry.tracing_enabled(), "tracing must be opt-in");
+        let not_pow2 =
+            RuntimeConfig { telemetry: TelemetryConfig::with_tracing(100), ..Default::default() };
+        assert!(not_pow2.validate().is_err(), "sample rate must be a power of two");
+        let no_ring = RuntimeConfig {
+            telemetry: TelemetryConfig { trace_capacity: 0, ..TelemetryConfig::with_tracing(64) },
+            ..Default::default()
+        };
+        assert!(no_ring.validate().is_err());
+        let bad_addr = RuntimeConfig {
+            telemetry: TelemetryConfig {
+                scrape_addr: Some("not-an-addr".into()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad_addr.validate().is_err());
+        let good_addr = RuntimeConfig {
+            telemetry: TelemetryConfig {
+                scrape_addr: Some("127.0.0.1:0".into()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(good_addr.validate().is_ok());
     }
 
     #[test]

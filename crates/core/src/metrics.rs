@@ -6,9 +6,20 @@
 //! from these plus packet timestamps.
 
 use neptune_net::pool::BytesPoolStats;
+use neptune_telemetry::{Exporter, FieldDef, FieldKind};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Shorthand for the walk tables below.
+const fn fd(
+    json_key: &'static str,
+    pretty_key: &'static str,
+    prom_name: &'static str,
+    prom_kind: FieldKind,
+) -> FieldDef {
+    FieldDef { json_key, pretty_key, prom_name, prom_kind }
+}
 
 /// Shared counters for one operator (all instances aggregate into one set;
 /// per-instance attribution is recoverable from instance-tagged snapshots
@@ -111,6 +122,50 @@ impl OperatorMetrics {
             self.packets_in as f64 / self.frames_in as f64
         }
     }
+
+    /// Render schema: every scalar declared once, walked by all three
+    /// exporters (ISSUE 7 satellite — no more triple-maintained lists).
+    /// `frames_in` and `executions` stay JSON-only, matching the
+    /// pre-refactor Prometheus surface.
+    const FIELDS: [FieldDef; 12] = [
+        fd("packets_in", "", "neptune_packets_in_total", FieldKind::Counter),
+        fd("packets_out", "", "neptune_packets_out_total", FieldKind::Counter),
+        fd("frames_in", "", "", FieldKind::Counter),
+        fd("frames_out", "", "neptune_frames_out_total", FieldKind::Counter),
+        fd("bytes_out", "", "neptune_bytes_out_total", FieldKind::Counter),
+        fd("executions", "", "", FieldKind::Counter),
+        fd("seq_violations", "", "neptune_seq_violations_total", FieldKind::Counter),
+        fd("panics", "", "neptune_operator_panics_total", FieldKind::Counter),
+        fd("retries", "", "neptune_operator_retries_total", FieldKind::Counter),
+        fd("quarantined", "", "neptune_operator_quarantined_total", FieldKind::Counter),
+        fd("breaker_trips", "", "neptune_breaker_trips_total", FieldKind::Counter),
+        fd("breaker_dropped", "", "neptune_breaker_dropped_total", FieldKind::Counter),
+    ];
+
+    /// Walk this operator's counters into `exporter`, labelled with the
+    /// operator name. Invisible in pretty output (histogram lines render
+    /// the operator there).
+    pub fn walk(&self, exporter: &mut dyn Exporter, operator: &str) {
+        let values = [
+            self.packets_in,
+            self.packets_out,
+            self.frames_in,
+            self.frames_out,
+            self.bytes_out,
+            self.executions,
+            self.seq_violations,
+            self.panics,
+            self.retries,
+            self.quarantined,
+            self.breaker_trips,
+            self.breaker_dropped,
+        ];
+        exporter.begin_group("", "operator", &[("operator", operator)]);
+        for (def, value) in Self::FIELDS.iter().zip(values) {
+            exporter.field(def, value);
+        }
+        exporter.end_group();
+    }
 }
 
 /// Gauges of the two-tier execution plane: the event-driven IO tier
@@ -154,6 +209,114 @@ pub struct ThreadModelStats {
     /// Largest accept burst drained in one readiness stint across the
     /// job's listeners (high-water mark of accept backlog pressure).
     pub net_accept_backlog_peak: u64,
+    /// Telemetry time-series samples lost to sampler-ring claim races
+    /// (ISSUE 7 satellite; 0 when the sampler keeps up or is off).
+    pub sampler_dropped: u64,
+    /// Trace spans published to the span ring (0 when tracing is off).
+    pub trace_spans: u64,
+    /// Trace spans lost to span-ring claim races.
+    pub trace_dropped: u64,
+    /// Runtime events appended to the flight recorder.
+    pub recorder_events: u64,
+    /// Runtime events lost to recorder claim races.
+    pub recorder_dropped: u64,
+}
+
+impl ThreadModelStats {
+    const IO_FIELDS: [FieldDef; 9] = [
+        fd("io_threads", "threads", "neptune_io_threads", FieldKind::Gauge),
+        fd("worker_threads", "workers", "neptune_worker_threads", FieldKind::Gauge),
+        fd("live_io_tasks", "live_tasks", "neptune_io_tasks_live", FieldKind::Gauge),
+        fd("queued_io_tasks", "queued", "neptune_io_queue_depth", FieldKind::Gauge),
+        fd("timer_depth", "timer_depth", "neptune_timer_depth", FieldKind::Gauge),
+        fd("timer_fires", "", "neptune_timer_fires_total", FieldKind::Counter),
+        fd("io_parks", "parks", "neptune_io_parks_total", FieldKind::Counter),
+        fd("io_wakes", "wakes", "neptune_io_wakes_total", FieldKind::Counter),
+        fd("io_polls", "", "neptune_io_polls_total", FieldKind::Counter),
+    ];
+
+    const NET_FIELDS: [FieldDef; 5] = [
+        fd("net_connections", "connections", "neptune_net_connections", FieldKind::Gauge),
+        fd("net_interests", "interests", "neptune_net_interests", FieldKind::Gauge),
+        fd(
+            "net_readiness_events",
+            "readiness_events",
+            "neptune_net_readiness_events_total",
+            FieldKind::Counter,
+        ),
+        fd("net_rearms", "rearms", "neptune_net_rearms_total", FieldKind::Counter),
+        fd(
+            "net_accept_backlog_peak",
+            "accept_backlog_peak",
+            "neptune_net_accept_backlog_peak",
+            FieldKind::Gauge,
+        ),
+    ];
+
+    const OBSERVABILITY_FIELDS: [FieldDef; 5] = [
+        fd(
+            "sampler_dropped",
+            "sampler_dropped",
+            "neptune_sampler_dropped_total",
+            FieldKind::Counter,
+        ),
+        fd("trace_spans", "trace_spans", "neptune_trace_spans_total", FieldKind::Counter),
+        fd("trace_dropped", "trace_dropped", "neptune_trace_dropped_total", FieldKind::Counter),
+        fd(
+            "recorder_events",
+            "recorder_events",
+            "neptune_recorder_events_total",
+            FieldKind::Counter,
+        ),
+        fd(
+            "recorder_dropped",
+            "recorder_dropped",
+            "neptune_recorder_dropped_total",
+            FieldKind::Counter,
+        ),
+    ];
+
+    /// Walk the tier gauges into `exporter` as three pretty groups —
+    /// "io tier", "net tier", "observability" — all merging into the
+    /// `thread_model` JSON object.
+    pub fn walk(&self, exporter: &mut dyn Exporter) {
+        let io_values = [
+            self.io_threads as u64,
+            self.worker_threads as u64,
+            self.live_io_tasks as u64,
+            self.queued_io_tasks as u64,
+            self.timer_depth as u64,
+            self.timer_fires,
+            self.io_parks,
+            self.io_wakes,
+            self.io_polls,
+        ];
+        let net_values = [
+            self.net_connections as u64,
+            self.net_interests as u64,
+            self.net_readiness_events,
+            self.net_rearms,
+            self.net_accept_backlog_peak,
+        ];
+        let obs_values = [
+            self.sampler_dropped,
+            self.trace_spans,
+            self.trace_dropped,
+            self.recorder_events,
+            self.recorder_dropped,
+        ];
+        for (label, defs, values) in [
+            ("io tier", &Self::IO_FIELDS[..], &io_values[..]),
+            ("net tier", &Self::NET_FIELDS[..], &net_values[..]),
+            ("observability", &Self::OBSERVABILITY_FIELDS[..], &obs_values[..]),
+        ] {
+            exporter.begin_group(label, "thread_model", &[]);
+            for (def, value) in defs.iter().zip(values) {
+                exporter.field(def, *value);
+            }
+            exporter.end_group();
+        }
+    }
 }
 
 /// Job-wide failure-containment counters (ISSUE 5): what the supervision
@@ -182,6 +345,62 @@ pub struct ContainmentStats {
     pub shed_total: u64,
     /// Bytes sacrificed by queue shed policies.
     pub shed_bytes: u64,
+}
+
+impl ContainmentStats {
+    const FIELDS: [FieldDef; 10] = [
+        fd("worker_panics", "worker_panics", "neptune_worker_panics_total", FieldKind::Counter),
+        fd("panics", "panics", "neptune_containment_panics_total", FieldKind::Counter),
+        fd("retries", "retries", "neptune_containment_retries_total", FieldKind::Counter),
+        fd(
+            "quarantined",
+            "quarantined",
+            "neptune_containment_quarantined_total",
+            FieldKind::Counter,
+        ),
+        fd(
+            "breaker_trips",
+            "breaker_trips",
+            "neptune_containment_breaker_trips_total",
+            FieldKind::Counter,
+        ),
+        fd(
+            "breaker_dropped",
+            "breaker_dropped",
+            "neptune_containment_breaker_dropped_total",
+            FieldKind::Counter,
+        ),
+        fd("dead_letters", "dead_letters", "neptune_dead_letters", FieldKind::Gauge),
+        fd(
+            "dead_letters_evicted",
+            "dead_letters_evicted",
+            "neptune_dead_letters_evicted_total",
+            FieldKind::Counter,
+        ),
+        fd("shed_total", "shed_total", "neptune_shed_total", FieldKind::Counter),
+        fd("shed_bytes", "shed_bytes", "neptune_shed_bytes_total", FieldKind::Counter),
+    ];
+
+    /// Walk the containment counters into `exporter` as one group.
+    pub fn walk(&self, exporter: &mut dyn Exporter) {
+        let values = [
+            self.worker_panics,
+            self.panics,
+            self.retries,
+            self.quarantined,
+            self.breaker_trips,
+            self.breaker_dropped,
+            self.dead_letters,
+            self.dead_letters_evicted,
+            self.shed_total,
+            self.shed_bytes,
+        ];
+        exporter.begin_group("containment", "containment", &[]);
+        for (def, value) in Self::FIELDS.iter().zip(values) {
+            exporter.field(def, value);
+        }
+        exporter.end_group();
+    }
 }
 
 /// Snapshot of a whole job's metrics, keyed by operator name.
@@ -313,6 +532,33 @@ mod tests {
         let z = OperatorMetrics::default();
         assert_eq!(z.packets_per_execution(), 0.0);
         assert_eq!(z.packets_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn walk_drives_pretty_and_prometheus_from_one_schema() {
+        let tm = ThreadModelStats {
+            io_threads: 2,
+            worker_threads: 8,
+            io_parks: 5,
+            trace_spans: 7,
+            ..Default::default()
+        };
+        let mut pretty = neptune_telemetry::PrettyExporter::new();
+        tm.walk(&mut pretty);
+        let text = pretty.finish();
+        assert!(text.contains("io tier: threads=2 workers=8"));
+        assert!(text.contains("parks=5"));
+        assert!(text.contains("observability: sampler_dropped=0 trace_spans=7"));
+
+        let mut prom = neptune_telemetry::PrometheusExporter::new();
+        tm.walk(&mut prom);
+        ContainmentStats { worker_panics: 3, ..Default::default() }.walk(&mut prom);
+        OperatorMetrics { packets_in: 11, ..Default::default() }.walk(&mut prom, "relay");
+        let out = prom.finish();
+        assert!(out.contains("# TYPE neptune_io_threads gauge\nneptune_io_threads 2\n"));
+        assert!(out.contains("neptune_trace_spans_total 7\n"));
+        assert!(out.contains("neptune_worker_panics_total 3\n"));
+        assert!(out.contains("neptune_packets_in_total{operator=\"relay\"} 11\n"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod lifecycle;
 mod pumps;
+mod scrape;
 mod wiring;
 
 use crate::channel::ChannelEndpoint;
@@ -52,7 +53,7 @@ use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
 use neptune_net::tcp::TcpReceiver;
 use neptune_net::watermark::WatermarkQueue;
-use neptune_telemetry::SampleRing;
+use neptune_telemetry::{FlightRecorder, RuntimeEvent, SampleRing, SpanRing};
 use parking_lot::Mutex;
 use pumps::{ProgressSignal, PumpGauge};
 use std::sync::atomic::AtomicBool;
@@ -138,6 +139,15 @@ pub struct JobHandle {
     ha: Option<HaRuntime>,
     /// Poison-batch quarantine; `None` when containment is disabled.
     dead_letters: Option<Arc<DeadLetterQueue>>,
+    /// Per-stage span ring for causal packet tracing (ISSUE 7); `None`
+    /// when `trace_sample_every` is 0.
+    spans: Option<Arc<SpanRing>>,
+    /// Flight recorder of structured runtime events; `None` when
+    /// `recorder_capacity` is 0.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Bound address of the live scrape endpoint; `None` when no
+    /// `scrape_addr` was configured.
+    scrape_addr: Option<std::net::SocketAddr>,
 }
 
 /// Fault-tolerance state of a running job (ISSUE 3): shared recovery
@@ -176,6 +186,7 @@ fn thread_model_stats(io: IoPoolStats, worker_threads: usize, net: NetGauges) ->
         net_readiness_events: net.reactor.events_dispatched,
         net_rearms: net.reactor.rearms,
         net_accept_backlog_peak: net.accept_backlog_peak,
+        ..Default::default()
     }
 }
 
@@ -217,7 +228,49 @@ impl JobHandle {
     pub fn thread_model(&self) -> ThreadModelStats {
         let io = self.io_pool.as_ref().map(|p| p.stats()).unwrap_or_default();
         let workers = self.resources.iter().map(|r| r.worker_count()).sum();
-        thread_model_stats(io, workers, self.net_gauges())
+        let mut tm = thread_model_stats(io, workers, self.net_gauges());
+        if let Some(series) = &self.series {
+            tm.sampler_dropped = series.dropped();
+        }
+        if let Some(spans) = &self.spans {
+            tm.trace_spans = spans.recorded();
+            tm.trace_dropped = spans.dropped();
+        }
+        if let Some(rec) = &self.recorder {
+            tm.recorder_events = rec.events();
+            tm.recorder_dropped = rec.dropped();
+        }
+        tm
+    }
+
+    /// The flight recorder's current event log, oldest first. Empty when
+    /// `recorder_capacity` is 0 or nothing noteworthy has happened yet.
+    pub fn flight_recorder(&self) -> Vec<RuntimeEvent> {
+        self.recorder.as_ref().map(|r| r.snapshot()).unwrap_or_default()
+    }
+
+    /// The live flight recorder itself; `None` when disabled. Exposed so
+    /// harnesses can assert causal event ordering.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The live span ring; `None` when tracing is disabled.
+    pub fn span_ring(&self) -> Option<&Arc<SpanRing>> {
+        self.spans.as_ref()
+    }
+
+    /// Chrome trace-event JSON of every recorded span, loadable in
+    /// Perfetto / `chrome://tracing`. `None` when tracing is disabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.spans.as_ref().map(|s| s.to_chrome_trace())
+    }
+
+    /// Bound address of the `/metrics` · `/traces` · `/events` scrape
+    /// listener; `None` when no `scrape_addr` was configured. With an
+    /// OS-assigned port (`127.0.0.1:0`) this reports the real port.
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape_addr
     }
 
     /// Current network-tier gauges (reactor + receivers).

@@ -24,7 +24,7 @@ use neptune_granules::io::{IoContext, IoStatus, IoTask};
 use neptune_ha::{FailureDetector, PeerState};
 use neptune_net::frame::Frame;
 use neptune_net::watermark::WatermarkQueue;
-use neptune_telemetry::SampleRing;
+use neptune_telemetry::{wall_micros, SampleRing, Span, SpanRing, STAGE_SOURCE};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -122,6 +122,12 @@ pub(crate) struct SourcePump {
     pub(crate) idle_backoff: Duration,
     pub(crate) opened: bool,
     pub(crate) closed: bool,
+    /// Span ring + this source's track when tracing is on (ISSUE 7).
+    /// Pump stints are sampled deterministically by stint count; their
+    /// spans carry trace id 0 (a stint spans many packets).
+    pub(crate) spans: Option<(Arc<SpanRing>, u16)>,
+    /// Stints run so far, the sampling domain for source spans.
+    pub(crate) stints: u64,
 }
 
 impl SourcePump {
@@ -142,6 +148,40 @@ impl SourcePump {
 
 impl IoTask for SourcePump {
     fn run(&mut self, io: &IoContext) -> IoStatus {
+        // Sampled stints get a source-stage span; unsampled ones pay a
+        // mask test and an increment, nothing else (no clock reads when
+        // tracing is off — the invariant the overhead bench asserts).
+        match &self.spans {
+            None => self.run_inner(io),
+            Some((ring, track)) if ring.sampled(self.stints) => {
+                let (ring, track) = (ring.clone(), *track);
+                self.stints = self.stints.wrapping_add(1);
+                let start = wall_micros();
+                let t0 = Instant::now();
+                let status = self.run_inner(io);
+                ring.record(Span {
+                    trace_id: 0,
+                    start_micros: start,
+                    dur_micros: t0.elapsed().as_micros() as u64,
+                    stage: STAGE_SOURCE,
+                    track,
+                });
+                status
+            }
+            Some(_) => {
+                self.stints = self.stints.wrapping_add(1);
+                self.run_inner(io)
+            }
+        }
+    }
+
+    fn on_shutdown(&mut self) {
+        self.finish();
+    }
+}
+
+impl SourcePump {
+    fn run_inner(&mut self, io: &IoContext) -> IoStatus {
         if self.closed {
             return IoStatus::Complete;
         }
@@ -182,10 +222,6 @@ impl IoTask for SourcePump {
         // Budget exhausted: requeue at the back so pumps share IO threads
         // fairly even when every source is saturated.
         IoStatus::Ready
-    }
-
-    fn on_shutdown(&mut self) {
-        self.finish();
     }
 }
 

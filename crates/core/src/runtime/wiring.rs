@@ -2,6 +2,7 @@
 //! and the IO tier (pumps, flush tasks, monitor, sampler).
 
 use super::pumps::{FlushTask, MonitorTask, ProgressSignal, PumpGauge, SamplerTask, SourcePump};
+use super::scrape::{ScrapeRoutes, ScrapeTask};
 use super::{HaRuntime, JobHandle, SubmitError};
 use crate::channel::{ChannelEndpoint, ChannelId, SinkHandle};
 use crate::codec::PacketCodec;
@@ -11,10 +12,10 @@ use crate::graph::{Factory, Graph, OperatorKind};
 use crate::metrics::{MetricsRegistry, OperatorCounters};
 use crate::operator::{OperatorContext, OutgoingLink};
 use crate::packet::StreamPacket;
-use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample};
+use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 use neptune_granules::{
-    ComputationalTask, IoPool, IoTaskHandle, OperatorSupervisor, Reactor, Resource, ScheduleSpec,
-    SupervisedOutcome, SupervisorPolicy, TaskContext, TaskOutcome,
+    ComputationalTask, IoPool, IoTaskHandle, NetWaker, OperatorSupervisor, Reactor, Resource,
+    ScheduleSpec, SupervisedOutcome, SupervisorPolicy, TaskContext, TaskOutcome,
 };
 use neptune_ha::{DetectorConfig, FailureDetector, ReconnectPolicy, RecoveryStats};
 use neptune_net::buffer::OutputBuffer;
@@ -24,7 +25,10 @@ use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::tcp_reactor::NetDriver;
 use neptune_net::transport::InProcessTransport;
 use neptune_net::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
-use neptune_telemetry::{OperatorTelemetry, SampleRing};
+use neptune_telemetry::{
+    EventKind, FlightRecorder, OperatorTelemetry, SampleRing, Span, SpanRing, STAGE_EXECUTION,
+    STAGE_SCHEDULE, STAGE_SINK, STAGE_TRANSPORT,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,6 +81,17 @@ pub(super) struct ProcessorTask {
     telemetry: Option<Arc<OperatorTelemetry>>,
     /// Failure containment (supervision + quarantine); `None` when off.
     supervision: Option<Supervision>,
+    /// Span ring + this operator's trace track when causal tracing is on
+    /// (ISSUE 7); `None` keeps the hot path free of trace branches.
+    spans: Option<(Arc<SpanRing>, u16)>,
+    /// True when this instance has no outgoing links: its execution span
+    /// is the trace's terminal `sink` stage.
+    is_sink: bool,
+    /// Flight recorder for quarantine/panic events; `None` when disabled.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Dump the recorder to stderr only on the *first* quarantine this
+    /// instance sees; later ones just record events.
+    recorder_dumped: bool,
 }
 
 impl ProcessorTask {
@@ -102,7 +117,14 @@ impl ProcessorTask {
                 // on the inbound queue; transport is dispatch→arrival,
                 // recovered by subtracting the queue wait from the
                 // sender-stamped total in-flight time.
-                let now = if self.telemetry.is_some() { crate::now_micros() } else { 0 };
+                // A traced frame pays the clock read even with telemetry
+                // off — that cost is confined to the 1-in-N sampled path.
+                let traced = frame.trace.filter(|_| self.spans.is_some());
+                let now = if self.telemetry.is_some() || traced.is_some() {
+                    crate::now_micros()
+                } else {
+                    0
+                };
                 if let Some(t) = &self.telemetry {
                     let schedule_us = match frame.received_at {
                         Some(received) => {
@@ -117,6 +139,37 @@ impl ProcessorTask {
                         t.transport.record(in_flight.saturating_sub(schedule_us));
                     }
                 }
+                if let Some(id) = traced {
+                    let (ring, track) = self.spans.as_ref().expect("traced implies ring");
+                    // Schedule span: how long the frame sat on the inbound
+                    // queue; transport span: sender dispatch → arrival here.
+                    if let Some(received) = frame.received_at {
+                        let wait = received.elapsed().as_micros() as u64;
+                        let arrival = now.saturating_sub(wait);
+                        ring.record(Span {
+                            trace_id: id,
+                            start_micros: arrival,
+                            dur_micros: wait,
+                            stage: STAGE_SCHEDULE,
+                            track: *track,
+                        });
+                        if frame.sent_at_micros > 0 {
+                            ring.record(Span {
+                                trace_id: id,
+                                start_micros: frame.sent_at_micros,
+                                dur_micros: arrival.saturating_sub(frame.sent_at_micros),
+                                stage: STAGE_TRANSPORT,
+                                track: *track,
+                            });
+                        }
+                    }
+                    // Causal propagation: the next flush on each outgoing
+                    // endpoint carries this id downstream.
+                    for link in self.ctx.endpoints() {
+                        link.tag_trace(id);
+                    }
+                }
+                let span_start = traced.map(|_| Instant::now());
                 match &self.supervision {
                     None => {
                         for message in &frame.messages {
@@ -184,6 +237,23 @@ impl ProcessorTask {
                                 // queue moving so the upstream gate reopens.
                             }
                             SupervisedOutcome::Quarantined { panic_msg, attempts, .. } => {
+                                if let Some(rec) = &self.recorder {
+                                    rec.record(EventKind::Panic, frame.link_id, attempts as u64);
+                                    rec.record(
+                                        EventKind::DeadLetter,
+                                        frame.link_id,
+                                        frame.base_seq,
+                                    );
+                                    if !self.recorder_dumped {
+                                        self.recorder_dumped = true;
+                                        eprintln!(
+                                            "neptune[{}:{}]: frame quarantined; flight recorder:\n{}",
+                                            self.ctx.operator(),
+                                            self.ctx.instance(),
+                                            rec.render()
+                                        );
+                                    }
+                                }
                                 let mut bytes = Vec::new();
                                 let mut original_len = 0usize;
                                 for message in &frame.messages {
@@ -220,6 +290,16 @@ impl ProcessorTask {
                             .breaker_dropped
                             .store(stats.breaker_rejected, Ordering::Relaxed);
                     }
+                }
+                if let Some((t0, id)) = span_start.zip(traced) {
+                    let (ring, track) = self.spans.as_ref().expect("traced implies ring");
+                    ring.record(Span {
+                        trace_id: id,
+                        start_micros: now,
+                        dur_micros: t0.elapsed().as_micros() as u64,
+                        stage: if self.is_sink { STAGE_SINK } else { STAGE_EXECUTION },
+                        track: *track,
+                    });
                 }
                 // Batch storage goes back to the pool once every message in
                 // it has been decoded; the recycle is a no-op while other
@@ -268,6 +348,16 @@ impl ComputationalTask for ProcessorTask {
 pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, SubmitError> {
     let registry = MetricsRegistry::new();
     let telemetry_hub = config.telemetry.enabled.then(|| Arc::new(TelemetryHub::new()));
+    // ---- Observability plane (ISSUE 7): causal span ring + flight
+    // recorder. Both are `None`-gated so a disabled job pays nothing. ----
+    let spans = (config.telemetry.trace_sample_every > 0).then(|| {
+        Arc::new(SpanRing::new(
+            config.telemetry.trace_capacity,
+            config.telemetry.trace_sample_every,
+        ))
+    });
+    let recorder = (config.telemetry.recorder_capacity > 0)
+        .then(|| Arc::new(FlightRecorder::new(config.telemetry.recorder_capacity)));
     let stop_flag = Arc::new(AtomicBool::new(false));
     // One batch-buffer pool per job: output buffers check storage out,
     // transports hand it to receiving tasks by refcount, and processed
@@ -352,6 +442,14 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         .then(|| Reactor::new(graph.name()).map_err(|e| SubmitError::Io(e.to_string())))
         .transpose()?
         .map(|r| (NetDriver::new(io_pool.spawner(), r.handle()), r));
+    if let Some((_, r)) = &net_driver {
+        if let Some(rec) = &recorder {
+            r.handle().attach_recorder(rec.clone());
+        }
+        if let Some(sp) = &spans {
+            r.handle().attach_span_ring(sp.clone());
+        }
+    }
 
     // ---- Inbound queues (one per processor instance). ----
     let watermark = WatermarkConfig::new(config.watermark_high, config.watermark_low);
@@ -409,6 +507,13 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
             queues_by_instance.insert((oi, inst), queue);
         }
     }
+    if let Some(rec) = &recorder {
+        // Gate open/close and shed events, tagged by queue index — the
+        // same index the queue gauges export.
+        for (i, q) in all_queues.iter().enumerate() {
+            q.attach_recorder(rec.clone(), i as u64);
+        }
+    }
 
     // ---- Channel endpoints per link x (src_inst, dst_inst). ----
     let op_index: HashMap<&str, usize> =
@@ -461,6 +566,13 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                     // operator: its output buffer is where packets wait.
                     telemetry_hub.as_ref().map(|h| h.for_operator(&link.from)),
                 ));
+                if let Some(sp) = &spans {
+                    // Source-fed endpoints *originate* trace ids (1-in-N of
+                    // their packets); downstream endpoints only propagate
+                    // ids tagged by their processor.
+                    let originate = graph.operators()[src_oi].kind() == OperatorKind::Source;
+                    ep.set_tracing(sp.clone(), sp.register_track(&link.from), originate);
+                }
                 all_endpoints.push(ep.clone());
                 endpoints.push(ep);
             }
@@ -486,12 +598,17 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         // breaker, so a persistently poisonous operator trips once for the
         // whole operator, not once per instance.
         let supervisor = dead_letters.as_ref().map(|_| {
-            Arc::new(OperatorSupervisor::new(SupervisorPolicy {
+            let s = Arc::new(OperatorSupervisor::new(SupervisorPolicy {
                 max_retries: config.containment.max_retries,
                 breaker_threshold: config.containment.breaker_threshold,
                 cooldown: config.containment.breaker_cooldown,
                 required_probes: config.containment.breaker_probes,
-            }))
+            }));
+            if let Some(rec) = &recorder {
+                // Breaker transitions, tagged by operator index.
+                s.breaker().attach_recorder(rec.clone(), oi as u64);
+            }
+            s
         });
         for inst in 0..op.parallelism {
             let links = outgoing.remove(&(oi, inst)).unwrap_or_default();
@@ -513,6 +630,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                     dead_letters: dlq.clone(),
                     capture_bytes: config.containment.dead_letter_capture_bytes,
                 });
+            let is_sink = ctx.endpoints().is_empty();
             let task = ProcessorTask {
                 processor: factory(),
                 ctx,
@@ -526,6 +644,10 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 pool: pool.clone(),
                 telemetry: telemetry_hub.as_ref().map(|h| h.for_operator(&op.name)),
                 supervision,
+                spans: spans.as_ref().map(|sp| (sp.clone(), sp.register_track(&op.name))),
+                is_sink,
+                recorder: recorder.clone(),
+                recorder_dumped: false,
             };
             let resource = &resources[placement[&(oi, inst)]];
             // Batched scheduling lets a slot drain bursts on one worker
@@ -608,6 +730,8 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 idle_backoff: super::pumps::MIN_IDLE_BACKOFF,
                 opened: false,
                 closed: false,
+                spans: spans.as_ref().map(|sp| (sp.clone(), sp.register_track(&op.name))),
+                stints: 0,
             };
             // Spawn parked, install the gate listeners that reference the
             // handle, then kick the first run — so a gate release can never
@@ -659,6 +783,10 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
             DetectorConfig::new(config.ha.heartbeat_interval, config.ha.failure_timeout),
             stats.clone(),
         ));
+        if let Some(rec) = &recorder {
+            // Suspect/dead/alive verdicts land in the flight recorder.
+            detector.attach_recorder(rec.clone());
+        }
         // Restart-nudge targets: every task handle on each resource. A
         // dead declaration forces those tasks to run again, resuming from
         // the inbound queues — the replay point, since frames not yet
@@ -688,6 +816,99 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         None
     };
 
+    // ---- Live scrape endpoint: /metrics · /traces · /events served by
+    // one IO-tier task (ISSUE 7). Bound eagerly so a bad address fails
+    // the submit, not the first scrape. ----
+    let scrape_addr = match &config.telemetry.scrape_addr {
+        None => None,
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr.as_str())
+                .map_err(|e| SubmitError::Io(format!("scrape bind {addr}: {e}")))?;
+            listener.set_nonblocking(true).map_err(|e| SubmitError::Io(e.to_string()))?;
+            let bound = listener.local_addr().map_err(|e| SubmitError::Io(e.to_string()))?;
+            let routes = {
+                let graph_name = graph.name().to_string();
+                let registry = registry.clone();
+                let pool = pool.clone();
+                let queues = all_queues.clone();
+                let hub = telemetry_hub.clone();
+                let series = series.clone();
+                let recovery = ha.as_ref().map(|h| h.stats.clone());
+                let dlq = dead_letters.clone();
+                let spans_m = spans.clone();
+                let recorder_m = recorder.clone();
+                let metrics = Box::new(move || {
+                    // Rebuild the JobHandle::metrics fold from the shared
+                    // state the closure can own. IO-pool/worker gauges are
+                    // not cloneable into the closure; every counter that a
+                    // dashboard alerts on is.
+                    let mut metrics = registry.snapshot();
+                    metrics.buffer_pool = pool.stats();
+                    for q in &queues {
+                        metrics.containment.shed_total += q.shed_total();
+                        metrics.containment.shed_bytes += q.shed_bytes();
+                    }
+                    if let Some(d) = &dlq {
+                        metrics.containment.dead_letters = d.len() as u64;
+                        metrics.containment.dead_letters_evicted = d.evicted();
+                    }
+                    if let Some(s) = &series {
+                        metrics.thread_model.sampler_dropped = s.dropped();
+                    }
+                    if let Some(sp) = &spans_m {
+                        metrics.thread_model.trace_spans = sp.recorded();
+                        metrics.thread_model.trace_dropped = sp.dropped();
+                    }
+                    if let Some(r) = &recorder_m {
+                        metrics.thread_model.recorder_events = r.events();
+                        metrics.thread_model.recorder_dropped = r.dropped();
+                    }
+                    TelemetrySnapshot {
+                        graph_name: graph_name.clone(),
+                        operators: hub.as_ref().map(|h| h.snapshot()).unwrap_or_default(),
+                        metrics,
+                        queues: queues.iter().map(|q| QueueGauge::observe(q)).collect(),
+                        series: series.as_ref().map(|r| r.series()).unwrap_or_default(),
+                        recovery: recovery.as_ref().map(|s| s.snapshot()),
+                        dead_letters: dlq.as_ref().map(|d| d.snapshot()).unwrap_or_default(),
+                    }
+                    .render_prometheus()
+                });
+                let spans_t = spans.clone();
+                let traces = Box::new(move || {
+                    spans_t.as_ref().map(|s| s.to_chrome_trace()).unwrap_or_else(|| {
+                        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".to_string()
+                    })
+                });
+                let recorder_t = recorder.clone();
+                let events = Box::new(move || {
+                    recorder_t.as_ref().map(|r| r.to_json()).unwrap_or_else(|| {
+                        "{\"events\":[],\"recorded\":0,\"dropped\":0}".to_string()
+                    })
+                });
+                ScrapeRoutes { metrics, traces, events }
+            };
+            match &net_driver {
+                Some((_, r)) => {
+                    use std::os::fd::AsRawFd;
+                    let waker = NetWaker::new();
+                    let source = r
+                        .handle()
+                        .register(listener.as_raw_fd(), waker.clone())
+                        .map_err(|e| SubmitError::Io(e.to_string()))?;
+                    let handle =
+                        io_pool.spawn_parked(ScrapeTask::new(listener, routes, Some(source)));
+                    waker.set(handle.clone());
+                    handle.wake();
+                }
+                None => {
+                    io_pool.spawn(ScrapeTask::new(listener, routes, None));
+                }
+            }
+            Some(bound)
+        }
+    };
+
     Ok(JobHandle {
         graph_name: graph.name().to_string(),
         stop_flag,
@@ -709,5 +930,8 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         series,
         ha,
         dead_letters,
+        spans,
+        recorder,
+        scrape_addr,
     })
 }

@@ -28,9 +28,63 @@ use neptune_ha::RecoverySnapshot;
 use neptune_net::frame::Frame;
 use neptune_net::watermark::WatermarkQueue;
 use neptune_telemetry::export;
-use neptune_telemetry::{HistogramSnapshot, OperatorTelemetry, OperatorTelemetrySnapshot};
+use neptune_telemetry::{
+    Exporter, FieldDef, HistogramSnapshot, OperatorTelemetry, OperatorTelemetrySnapshot,
+    PrettyExporter, PrometheusExporter,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// JSON renderer for schema walks over the repo's own [`JsonValue`].
+/// Groups sharing a `json_key` merge into one object; fields with an
+/// empty `json_key` are dropped, mirroring the other exporters.
+#[derive(Debug, Default)]
+struct JsonExporter {
+    objects: Vec<(String, BTreeMap<String, JsonValue>)>,
+    current: usize,
+}
+
+impl JsonExporter {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(json_key, object)` pairs in first-seen group order.
+    fn finish(self) -> Vec<(String, JsonValue)> {
+        self.objects.into_iter().map(|(k, m)| (k, JsonValue::Object(m))).collect()
+    }
+
+    /// The lone object produced by a single-group walk.
+    fn into_single(self) -> JsonValue {
+        self.finish()
+            .into_iter()
+            .next()
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| JsonValue::Object(BTreeMap::new()))
+    }
+}
+
+impl Exporter for JsonExporter {
+    fn begin_group(&mut self, _pretty_label: &str, json_key: &str, _labels: &[(&str, &str)]) {
+        self.current = match self.objects.iter().position(|(k, _)| k == json_key) {
+            Some(i) => i,
+            None => {
+                self.objects.push((json_key.to_string(), BTreeMap::new()));
+                self.objects.len() - 1
+            }
+        };
+    }
+
+    fn field(&mut self, def: &FieldDef, value: u64) {
+        if !def.json_key.is_empty() {
+            self.objects[self.current]
+                .1
+                .insert(def.json_key.to_string(), JsonValue::Number(value as f64));
+        }
+    }
+
+    fn end_group(&mut self) {}
+}
 
 /// Named view of one inbound watermark queue, replacing the old
 /// `(usize, usize, u64)` gauge tuple.
@@ -217,26 +271,14 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
         m.operators
             .iter()
             .map(|(name, om)| {
-                (
-                    name.clone(),
-                    object([
-                        ("packets_in", JsonValue::Number(om.packets_in as f64)),
-                        ("packets_out", JsonValue::Number(om.packets_out as f64)),
-                        ("frames_in", JsonValue::Number(om.frames_in as f64)),
-                        ("frames_out", JsonValue::Number(om.frames_out as f64)),
-                        ("bytes_out", JsonValue::Number(om.bytes_out as f64)),
-                        ("executions", JsonValue::Number(om.executions as f64)),
-                        ("seq_violations", JsonValue::Number(om.seq_violations as f64)),
-                        ("panics", JsonValue::Number(om.panics as f64)),
-                        ("retries", JsonValue::Number(om.retries as f64)),
-                        ("quarantined", JsonValue::Number(om.quarantined as f64)),
-                        ("breaker_trips", JsonValue::Number(om.breaker_trips as f64)),
-                        ("breaker_dropped", JsonValue::Number(om.breaker_dropped as f64)),
-                    ]),
-                )
+                let mut e = JsonExporter::new();
+                om.walk(&mut e, name);
+                (name.clone(), e.into_single())
             })
             .collect(),
     );
+    // Buffer-pool gauges carry derived ratios elsewhere and stay
+    // hand-rolled; everything scalar walks the shared schema.
     let pool = object([
         ("hits", JsonValue::Number(m.buffer_pool.hits as f64)),
         ("misses", JsonValue::Number(m.buffer_pool.misses as f64)),
@@ -244,42 +286,13 @@ fn metrics_json(m: &JobMetrics) -> JsonValue {
         ("discards", JsonValue::Number(m.buffer_pool.discards as f64)),
         ("bytes_reused", JsonValue::Number(m.buffer_pool.bytes_reused as f64)),
     ]);
-    let tm = &m.thread_model;
-    let thread_model = object([
-        ("io_threads", JsonValue::Number(tm.io_threads as f64)),
-        ("worker_threads", JsonValue::Number(tm.worker_threads as f64)),
-        ("live_io_tasks", JsonValue::Number(tm.live_io_tasks as f64)),
-        ("queued_io_tasks", JsonValue::Number(tm.queued_io_tasks as f64)),
-        ("timer_depth", JsonValue::Number(tm.timer_depth as f64)),
-        ("timer_fires", JsonValue::Number(tm.timer_fires as f64)),
-        ("io_parks", JsonValue::Number(tm.io_parks as f64)),
-        ("io_wakes", JsonValue::Number(tm.io_wakes as f64)),
-        ("io_polls", JsonValue::Number(tm.io_polls as f64)),
-        ("net_connections", JsonValue::Number(tm.net_connections as f64)),
-        ("net_interests", JsonValue::Number(tm.net_interests as f64)),
-        ("net_readiness_events", JsonValue::Number(tm.net_readiness_events as f64)),
-        ("net_rearms", JsonValue::Number(tm.net_rearms as f64)),
-        ("net_accept_backlog_peak", JsonValue::Number(tm.net_accept_backlog_peak as f64)),
-    ]);
-    let c = &m.containment;
-    let containment = object([
-        ("worker_panics", JsonValue::Number(c.worker_panics as f64)),
-        ("panics", JsonValue::Number(c.panics as f64)),
-        ("retries", JsonValue::Number(c.retries as f64)),
-        ("quarantined", JsonValue::Number(c.quarantined as f64)),
-        ("breaker_trips", JsonValue::Number(c.breaker_trips as f64)),
-        ("breaker_dropped", JsonValue::Number(c.breaker_dropped as f64)),
-        ("dead_letters", JsonValue::Number(c.dead_letters as f64)),
-        ("dead_letters_evicted", JsonValue::Number(c.dead_letters_evicted as f64)),
-        ("shed_total", JsonValue::Number(c.shed_total as f64)),
-        ("shed_bytes", JsonValue::Number(c.shed_bytes as f64)),
-    ]);
-    object([
-        ("operators", operators),
-        ("buffer_pool", pool),
-        ("thread_model", thread_model),
-        ("containment", containment),
-    ])
+    let mut walked = JsonExporter::new();
+    m.thread_model.walk(&mut walked);
+    m.containment.walk(&mut walked);
+    let mut root: BTreeMap<String, JsonValue> =
+        [("operators".to_string(), operators), ("buffer_pool".to_string(), pool)].into();
+    root.extend(walked.finish());
+    JsonValue::Object(root)
 }
 
 impl TelemetrySnapshot {
@@ -374,43 +387,10 @@ impl TelemetrySnapshot {
             pool.hit_rate() * 100.0,
             pool.bytes_reused
         ));
-        let tm = &self.metrics.thread_model;
-        out.push_str(&format!(
-            "io tier: threads={} workers={} live_tasks={} queued={} timer_depth={} \
-             parks={} wakes={}\n",
-            tm.io_threads,
-            tm.worker_threads,
-            tm.live_io_tasks,
-            tm.queued_io_tasks,
-            tm.timer_depth,
-            tm.io_parks,
-            tm.io_wakes
-        ));
-        out.push_str(&format!(
-            "net tier: connections={} interests={} readiness_events={} rearms={} \
-             accept_backlog_peak={}\n",
-            tm.net_connections,
-            tm.net_interests,
-            tm.net_readiness_events,
-            tm.net_rearms,
-            tm.net_accept_backlog_peak
-        ));
-        let c = &self.metrics.containment;
-        out.push_str(&format!(
-            "containment: worker_panics={} panics={} retries={} quarantined={} \
-             breaker_trips={} breaker_dropped={} dead_letters={} (evicted {}) \
-             shed={}/{}B\n",
-            c.worker_panics,
-            c.panics,
-            c.retries,
-            c.quarantined,
-            c.breaker_trips,
-            c.breaker_dropped,
-            c.dead_letters,
-            c.dead_letters_evicted,
-            c.shed_total,
-            c.shed_bytes
-        ));
+        let mut walked = PrettyExporter::new();
+        self.metrics.thread_model.walk(&mut walked);
+        self.metrics.containment.walk(&mut walked);
+        out.push_str(&walked.finish());
         for (i, d) in self.dead_letters.iter().enumerate() {
             out.push_str(&format!(
                 "dead letter {i}: operator={} instance={} link={} seq={} msgs={} \
@@ -523,25 +503,13 @@ impl TelemetrySnapshot {
                 );
             }
         }
-        type CounterColumn = (&'static str, fn(&crate::metrics::OperatorMetrics) -> u64);
-        let counter_columns: [CounterColumn; 10] = [
-            ("neptune_packets_in_total", |m| m.packets_in),
-            ("neptune_packets_out_total", |m| m.packets_out),
-            ("neptune_frames_out_total", |m| m.frames_out),
-            ("neptune_bytes_out_total", |m| m.bytes_out),
-            ("neptune_seq_violations_total", |m| m.seq_violations),
-            ("neptune_operator_panics_total", |m| m.panics),
-            ("neptune_operator_retries_total", |m| m.retries),
-            ("neptune_operator_quarantined_total", |m| m.quarantined),
-            ("neptune_breaker_trips_total", |m| m.breaker_trips),
-            ("neptune_breaker_dropped_total", |m| m.breaker_dropped),
-        ];
-        for (metric, read) in counter_columns {
-            out.push_str(&format!("# TYPE {metric} counter\n"));
-            for (name, om) in &self.metrics.operators {
-                export::sample_line(&mut out, metric, &[("operator", name)], read(om));
-            }
+        let mut walked = PrometheusExporter::new();
+        for (name, om) in &self.metrics.operators {
+            om.walk(&mut walked, name);
         }
+        self.metrics.thread_model.walk(&mut walked);
+        self.metrics.containment.walk(&mut walked);
+        out.push_str(&walked.finish());
         let pool = &self.metrics.buffer_pool;
         export::prometheus_counter(&mut out, "neptune_pool_hits_total", &[], pool.hits);
         export::prometheus_counter(&mut out, "neptune_pool_misses_total", &[], pool.misses);
@@ -550,54 +518,6 @@ impl TelemetrySnapshot {
             "neptune_pool_bytes_reused_total",
             &[],
             pool.bytes_reused,
-        );
-        let tm = &self.metrics.thread_model;
-        let tier_gauges: [(&str, u64); 8] = [
-            ("neptune_io_threads", tm.io_threads as u64),
-            ("neptune_worker_threads", tm.worker_threads as u64),
-            ("neptune_io_tasks_live", tm.live_io_tasks as u64),
-            ("neptune_io_queue_depth", tm.queued_io_tasks as u64),
-            ("neptune_timer_depth", tm.timer_depth as u64),
-            ("neptune_net_connections", tm.net_connections as u64),
-            ("neptune_net_interests", tm.net_interests as u64),
-            ("neptune_net_accept_backlog_peak", tm.net_accept_backlog_peak),
-        ];
-        for (metric, value) in tier_gauges {
-            out.push_str(&format!("# TYPE {metric} gauge\n"));
-            export::sample_line(&mut out, metric, &[], value);
-        }
-        let tier_counters: [(&str, u64); 6] = [
-            ("neptune_io_parks_total", tm.io_parks),
-            ("neptune_io_wakes_total", tm.io_wakes),
-            ("neptune_io_polls_total", tm.io_polls),
-            ("neptune_timer_fires_total", tm.timer_fires),
-            ("neptune_net_readiness_events_total", tm.net_readiness_events),
-            ("neptune_net_rearms_total", tm.net_rearms),
-        ];
-        for (metric, value) in tier_counters {
-            export::prometheus_counter(&mut out, metric, &[], value);
-        }
-        let c = &self.metrics.containment;
-        let containment_counters: [(&str, u64); 8] = [
-            ("neptune_worker_panics_total", c.worker_panics),
-            ("neptune_containment_panics_total", c.panics),
-            ("neptune_containment_retries_total", c.retries),
-            ("neptune_containment_quarantined_total", c.quarantined),
-            ("neptune_containment_breaker_trips_total", c.breaker_trips),
-            ("neptune_containment_breaker_dropped_total", c.breaker_dropped),
-            ("neptune_shed_total", c.shed_total),
-            ("neptune_shed_bytes_total", c.shed_bytes),
-        ];
-        for (metric, value) in containment_counters {
-            export::prometheus_counter(&mut out, metric, &[], value);
-        }
-        out.push_str("# TYPE neptune_dead_letters gauge\n");
-        export::sample_line(&mut out, "neptune_dead_letters", &[], c.dead_letters);
-        export::prometheus_counter(
-            &mut out,
-            "neptune_dead_letters_evicted_total",
-            &[],
-            c.dead_letters_evicted,
         );
         if let Some(r) = &self.recovery {
             let recovery_counters: [(&str, u64); 12] = [

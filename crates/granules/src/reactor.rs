@@ -30,6 +30,7 @@
 //! takes no new dependencies.
 
 use crate::io::IoTaskHandle;
+use neptune_telemetry::{wall_micros, EventKind, FlightRecorder, Span, SpanRing, STAGE_REACTOR};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -150,6 +151,12 @@ struct ReactorInner {
     registered: AtomicUsize,
     events_dispatched: AtomicU64,
     rearms: AtomicU64,
+    /// Optional flight recorder: dispatch-pressure signals (full event
+    /// batches, wakes delivered to retired tasks) land here.
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
+    /// Optional span ring plus the pre-registered "reactor" track id:
+    /// sampled dispatch batches are recorded as [`STAGE_REACTOR`] spans.
+    spans: Mutex<Option<(Arc<SpanRing>, u16)>>,
 }
 
 impl ReactorInner {
@@ -208,6 +215,21 @@ impl ReactorHandle {
             events_dispatched: self.inner.events_dispatched.load(Ordering::Relaxed),
             rearms: self.inner.rearms.load(Ordering::Relaxed),
         }
+    }
+
+    /// Attach a flight recorder: dispatch pressure (a poll that filled
+    /// the whole event buffer, or a wake delivered to a retired task) is
+    /// timelined as [`EventKind::ReactorStall`].
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.inner.recorder.lock() = Some(recorder);
+    }
+
+    /// Attach a span ring: deterministically sampled dispatch batches are
+    /// recorded as [`STAGE_REACTOR`] spans on a dedicated "reactor" track.
+    /// With no ring attached the dispatch loop takes no extra clock reads.
+    pub fn attach_span_ring(&self, spans: Arc<SpanRing>) {
+        let track = spans.register_track("reactor");
+        *self.inner.spans.lock() = Some((spans, track));
     }
 }
 
@@ -304,6 +326,8 @@ impl Reactor {
             registered: AtomicUsize::new(0),
             events_dispatched: AtomicU64::new(0),
             rearms: AtomicU64::new(0),
+            recorder: Mutex::new(None),
+            spans: Mutex::new(None),
         });
         // The wake channel is level-triggered and permanently armed.
         let mut ev = ffi::epoll_event { events: ffi::EPOLLIN, data: WAKE_TOKEN };
@@ -377,6 +401,7 @@ impl Drop for Reactor {
 fn reactor_loop(inner: Arc<ReactorInner>) {
     let epfd = inner.epfd.load(Ordering::Acquire);
     let mut events = [ffi::epoll_event { events: 0, data: 0 }; 256];
+    let mut batch_no = 0u64;
     loop {
         let n = unsafe { ffi::epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, -1) };
         if n < 0 {
@@ -384,6 +409,23 @@ fn reactor_loop(inner: Arc<ReactorInner>) {
                 continue;
             }
             return;
+        }
+        batch_no = batch_no.wrapping_add(1);
+        // Sampled dispatch spans: one per traced poll batch, timing how
+        // long readiness fan-out took. The clock is only read when a span
+        // ring is attached AND this batch is sampled.
+        let batch_span = inner
+            .spans
+            .lock()
+            .as_ref()
+            .filter(|(ring, _)| ring.sampled(batch_no))
+            .map(|(ring, track)| (ring.clone(), *track, wall_micros()));
+        if n as usize == events.len() {
+            // The poll filled the whole event buffer: the kernel likely
+            // has more pending — dispatch is falling behind.
+            if let Some(r) = inner.recorder.lock().as_ref() {
+                r.record(EventKind::ReactorStall, n as u64, 0);
+            }
         }
         for ev in &events[..n as usize] {
             let token = ev.data;
@@ -418,8 +460,23 @@ fn reactor_loop(inner: Arc<ReactorInner>) {
             if mask != 0 {
                 ready.fetch_or(mask, Ordering::AcqRel);
                 inner.events_dispatched.fetch_add(1, Ordering::Relaxed);
-                waker.wake();
+                if !waker.wake() {
+                    // Readiness fired for a task that is gone (or whose
+                    // waker was never installed): the event is lost.
+                    if let Some(r) = inner.recorder.lock().as_ref() {
+                        r.record(EventKind::ReactorStall, n as u64, token);
+                    }
+                }
             }
+        }
+        if let Some((ring, track, started)) = batch_span {
+            ring.record(Span {
+                trace_id: batch_no,
+                start_micros: started,
+                dur_micros: wall_micros().saturating_sub(started),
+                stage: STAGE_REACTOR,
+                track,
+            });
         }
     }
 }

@@ -26,9 +26,11 @@
 //!
 //! [`ReconnectPolicy`]: https://docs.rs/neptune-ha
 
+use neptune_telemetry::{EventKind, FlightRecorder};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Circuit-breaker states, in the classic Open→HalfOpen→Closed machine.
@@ -77,6 +79,9 @@ pub struct CircuitBreaker {
     inner: Mutex<BreakerInner>,
     trips: AtomicU64,
     rejected: AtomicU64,
+    /// Optional flight recorder timelining state transitions; the `u64`
+    /// is the subject id events are recorded under.
+    recorder: Mutex<Option<(Arc<FlightRecorder>, u64)>>,
 }
 
 impl CircuitBreaker {
@@ -97,6 +102,22 @@ impl CircuitBreaker {
             }),
             trips: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            recorder: Mutex::new(None),
+        }
+    }
+
+    /// Attach a flight recorder: every state transition is timelined as
+    /// [`EventKind::BreakerOpen`] (detail = consecutive failures),
+    /// [`EventKind::BreakerHalfOpen`] or [`EventKind::BreakerClosed`],
+    /// with `subject` identifying this breaker.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>, subject: u64) {
+        *self.recorder.lock() = Some((recorder, subject));
+    }
+
+    #[inline]
+    fn record_event(&self, kind: EventKind, detail: u64) {
+        if let Some((r, subject)) = self.recorder.lock().as_ref() {
+            r.record(kind, *subject, detail);
         }
     }
 
@@ -123,6 +144,7 @@ impl CircuitBreaker {
                 if at.elapsed() >= self.cooldown {
                     inner.state = BreakerState::HalfOpen;
                     inner.probe_successes = 0;
+                    self.record_event(EventKind::BreakerHalfOpen, 0);
                 }
             }
         }
@@ -153,6 +175,7 @@ impl CircuitBreaker {
                     inner.state = BreakerState::Closed;
                     inner.consecutive_failures = 0;
                     inner.opened_at = None;
+                    self.record_event(EventKind::BreakerClosed, 0);
                 }
             }
             // A straggler success while Open (raced with the trip): ignore.
@@ -188,6 +211,7 @@ impl CircuitBreaker {
         inner.opened_at = Some(Instant::now());
         inner.probe_successes = 0;
         self.trips.fetch_add(1, Ordering::Relaxed);
+        self.record_event(EventKind::BreakerOpen, inner.consecutive_failures as u64);
     }
 }
 

@@ -266,6 +266,7 @@ mod tests {
             count: 1,
             encoded: Bytes::from_static(&[1, 0, 0, 0, 9]),
             sent_at_micros: 0,
+            trace: None,
         }
     }
 

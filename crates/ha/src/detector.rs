@@ -15,7 +15,8 @@
 
 use crate::clock::monotonic_micros;
 use crate::stats::RecoveryStats;
-use parking_lot::Mutex;
+use neptune_telemetry::{EventKind, FlightRecorder};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -79,12 +80,32 @@ pub struct FailureDetector {
     config: DetectorConfig,
     peers: Mutex<HashMap<String, PeerRecord>>,
     stats: Arc<RecoveryStats>,
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
 }
 
 impl FailureDetector {
     /// New detector recording transitions into `stats`.
     pub fn new(config: DetectorConfig, stats: Arc<RecoveryStats>) -> Self {
-        FailureDetector { config, peers: Mutex::new(HashMap::new()), stats }
+        FailureDetector {
+            config,
+            peers: Mutex::new(HashMap::new()),
+            stats,
+            recorder: RwLock::new(None),
+        }
+    }
+
+    /// Attach a flight recorder: state-ladder transitions are timelined
+    /// as [`EventKind::PeerSuspect`] / [`EventKind::PeerDead`] /
+    /// [`EventKind::PeerAlive`]. Peer names are strings, so the subject
+    /// is a stable FNV-1a hash of the name (detail = silence µs).
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.write() = Some(recorder);
+    }
+
+    fn record_event(&self, kind: EventKind, peer: &str, detail: u64) {
+        if let Some(r) = self.recorder.read().as_ref() {
+            r.record(kind, peer_subject(peer), detail);
+        }
     }
 
     /// The configured tuning.
@@ -112,6 +133,7 @@ impl FailureDetector {
                 if rec.state != PeerState::Alive {
                     rec.state = PeerState::Alive;
                     RecoveryStats::bump(&self.stats.recoveries);
+                    self.record_event(EventKind::PeerAlive, peer, 0);
                 }
             }
             None => {
@@ -159,14 +181,17 @@ impl FailureDetector {
                 (PeerState::Alive, PeerState::Suspect) => {
                     rec.state = verdict;
                     RecoveryStats::bump(&self.stats.suspects);
+                    self.record_event(EventKind::PeerSuspect, name, silence);
                     transitions.push((name.clone(), verdict));
                 }
                 (PeerState::Alive, PeerState::Dead) | (PeerState::Suspect, PeerState::Dead) => {
                     if rec.state == PeerState::Alive {
                         RecoveryStats::bump(&self.stats.suspects);
+                        self.record_event(EventKind::PeerSuspect, name, silence);
                     }
                     rec.state = PeerState::Dead;
                     RecoveryStats::bump(&self.stats.deaths);
+                    self.record_event(EventKind::PeerDead, name, silence);
                     // Latency from the last *expected* beat to detection.
                     let expected = self.config.heartbeat_interval.as_micros() as u64;
                     self.stats.detection_latency.record(silence.saturating_sub(expected));
@@ -187,6 +212,17 @@ impl FailureDetector {
     pub fn peers_in(&self, state: PeerState) -> Vec<String> {
         self.peers.lock().iter().filter(|(_, r)| r.state == state).map(|(n, _)| n.clone()).collect()
     }
+}
+
+/// Stable 64-bit subject id for a peer name (FNV-1a), so string-keyed
+/// peers fit the flight recorder's fixed-size event payload.
+pub fn peer_subject(peer: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in peer.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 use bytes::Bytes;
 use neptune_compress::SelectiveCompressor;
 use neptune_net::frame::{
-    encode_control_frame, encode_frame_raw_ext, ControlKind, Frame, FrameMessages, FRAME_HEADER_LEN,
+    encode_control_frame, encode_frame_raw_traced, ControlKind, Frame, FrameMessages,
+    FRAME_HEADER_LEN,
 };
 use neptune_net::tcp::TcpSender;
 use neptune_net::transport::TransportError;
@@ -37,6 +38,8 @@ pub struct OutboundFrame {
     pub encoded: Bytes,
     /// Sender wall clock at flush, µs (0 = unstamped).
     pub sent_at_micros: u64,
+    /// Causal trace id to carry via `FLAG_TRACE` (`None` = untraced).
+    pub trace: Option<u64>,
 }
 
 /// A transport that can carry sequenced data frames and control frames.
@@ -86,6 +89,7 @@ impl FrameLink for QueueLink {
             received_at: Some(std::time::Instant::now()),
             seq: Some(frame.seq),
             control: None,
+            trace: frame.trace,
         };
         self.queue.push_blocking(decoded).map(|_| ()).map_err(TransportError::from_push)
     }
@@ -105,6 +109,7 @@ impl FrameLink for QueueLink {
             received_at: Some(std::time::Instant::now()),
             seq: None,
             control: Some(kind),
+            trace: None,
         };
         self.queue.push_blocking(frame).map(|_| ()).map_err(TransportError::from_push)
     }
@@ -131,7 +136,7 @@ impl TcpFrameLink {
 
 impl FrameLink for TcpFrameLink {
     fn send_frame(&self, frame: &OutboundFrame) -> Result<(), TransportError> {
-        let wire = encode_frame_raw_ext(
+        let wire = encode_frame_raw_traced(
             frame.link_id,
             frame.base_seq,
             frame.count,
@@ -139,6 +144,7 @@ impl FrameLink for TcpFrameLink {
             &self.compressor,
             frame.sent_at_micros,
             Some(frame.seq),
+            frame.trace,
         );
         self.sender.send(wire)
     }
@@ -179,6 +185,7 @@ mod tests {
             count,
             encoded,
             sent_at_micros: 0,
+            trace: None,
         })
         .unwrap();
         link.send_control(5, ControlKind::Heartbeat, 3).unwrap();
@@ -205,6 +212,7 @@ mod tests {
             count,
             encoded,
             sent_at_micros: 0,
+            trace: None,
         });
         assert_eq!(out, Err(TransportError::Closed));
         assert_eq!(link.send_control(1, ControlKind::Ack, 0), Err(TransportError::Closed));

@@ -17,6 +17,7 @@ use crate::stats::RecoveryStats;
 use bytes::Bytes;
 use neptune_net::frame::ControlKind;
 use neptune_net::transport::TransportError;
+use neptune_telemetry::{EventKind, FlightRecorder};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,6 +54,7 @@ pub struct SupervisedLink {
     heartbeat_nonce: AtomicU64,
     failed: AtomicBool,
     hook: RwLock<Option<EventHook>>,
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
 }
 
 impl SupervisedLink {
@@ -76,6 +78,21 @@ impl SupervisedLink {
             heartbeat_nonce: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             hook: RwLock::new(None),
+            recorder: RwLock::new(None),
+        }
+    }
+
+    /// Attach a flight recorder: the recovery lifecycle is timelined as
+    /// [`EventKind::LinkCut`] → [`EventKind::Reconnecting`] →
+    /// [`EventKind::Reconnected`] → [`EventKind::Replay`] (or
+    /// [`EventKind::LinkFailed`]), with the link id as subject.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.write() = Some(recorder);
+    }
+
+    fn record_event(&self, kind: EventKind, detail: u64) {
+        if let Some(r) = self.recorder.read().as_ref() {
+            r.record(kind, self.link_id, detail);
         }
     }
 
@@ -106,6 +123,21 @@ impl SupervisedLink {
         count: u32,
         sent_at_micros: u64,
     ) -> Result<(), TransportError> {
+        self.send_batch_traced(base_seq, encoded, count, sent_at_micros, None)
+    }
+
+    /// [`SupervisedLink::send_batch`] carrying a causal trace id for the
+    /// sampled tracing path. The id rides the first transmission only;
+    /// replayed copies are deliberately untraced (the span of interest —
+    /// the original attempt — was already recorded).
+    pub fn send_batch_traced(
+        &self,
+        base_seq: u64,
+        encoded: Bytes,
+        count: u32,
+        sent_at_micros: u64,
+        trace: Option<u64>,
+    ) -> Result<(), TransportError> {
         if self.failed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
@@ -120,8 +152,15 @@ impl SupervisedLink {
         if evicted > 0 {
             self.stats.replay_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
-        let frame =
-            OutboundFrame { link_id: self.link_id, seq, base_seq, count, encoded, sent_at_micros };
+        let frame = OutboundFrame {
+            link_id: self.link_id,
+            seq,
+            base_seq,
+            count,
+            encoded,
+            sent_at_micros,
+            trace,
+        };
         let mut active = self.active.lock();
         if active.is_none() {
             *active = (self.connector)().ok();
@@ -186,8 +225,10 @@ impl SupervisedLink {
         &self,
         active: &mut Option<Arc<dyn FrameLink>>,
     ) -> Result<(), TransportError> {
+        self.record_event(EventKind::LinkCut, self.replay.unacked().len() as u64);
         for attempt in 0..self.policy.max_attempts {
             self.emit(LinkEvent::Reconnecting { attempt });
+            self.record_event(EventKind::Reconnecting, attempt as u64);
             RecoveryStats::bump(&self.stats.reconnect_attempts);
             std::thread::sleep(self.policy.delay_for(attempt));
             let Ok(sink) = (self.connector)() else { continue };
@@ -203,6 +244,7 @@ impl SupervisedLink {
                     count: pf.count,
                     encoded: pf.encoded.clone(),
                     sent_at_micros: pf.sent_at_micros,
+                    trace: None,
                 };
                 if sink.send_frame(&frame).is_err() {
                     completed = false;
@@ -218,11 +260,14 @@ impl SupervisedLink {
             }
             RecoveryStats::bump(&self.stats.reconnects);
             *active = Some(sink);
+            self.record_event(EventKind::Reconnected, attempt as u64);
+            self.record_event(EventKind::Replay, replayed);
             self.emit(LinkEvent::Reconnected { replayed });
             return Ok(());
         }
         self.failed.store(true, Ordering::Release);
         RecoveryStats::bump(&self.stats.link_failures);
+        self.record_event(EventKind::LinkFailed, 0);
         self.emit(LinkEvent::LinkFailed);
         Err(TransportError::Closed)
     }

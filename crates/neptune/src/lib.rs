@@ -36,6 +36,7 @@ pub use neptune_net as net;
 pub use neptune_sim as sim;
 pub use neptune_stats as stats;
 pub use neptune_storm as storm;
+pub use neptune_telemetry as telemetry;
 
 /// Convenience prelude: everything needed to define and run a job.
 pub mod prelude {

@@ -46,7 +46,12 @@
 //!   cumulative ack), not data. The extension word carries the
 //!   [`ControlKind`]; the control *value* (ack watermark, heartbeat
 //!   nonce) rides in the `base_seq` header field and the body is empty.
-//! * Bit 3: reserved. Decoders skip its word.
+//! * Bit 3 ([`FLAG_TRACE`]): causal trace id (ISSUE 7). A deterministically
+//!   sampled source packet tags its frame with a 64-bit trace id; every
+//!   hop records per-stage spans against it and re-tags downstream
+//!   frames, so one packet's whole journey reconstructs in Perfetto.
+//!   Like the sent-at stamp it is measurement metadata: not CRC-covered,
+//!   and decoders that predate it skip the word.
 //!
 //! Frames with no extension bits decode exactly as before, so the
 //! formats interoperate in both directions.
@@ -70,6 +75,9 @@ pub const FLAG_SEQ: u8 = 0b0000_0010;
 /// Flags bit 2: this is a control frame (heartbeat/ack); an 8-byte
 /// [`ControlKind`] word follows the header and the body is empty.
 pub const FLAG_CONTROL: u8 = 0b0000_0100;
+/// Flags bit 3: an 8-byte causal trace id extension follows the header
+/// (sampled per-packet tracing, ISSUE 7).
+pub const FLAG_TRACE: u8 = 0b0000_1000;
 /// Every flag bit in this mask contributes one 8-byte extension word, in
 /// ascending bit order. Decoders size the extension area from the mask so
 /// reserved bits are skipped, never misparsed into the body.
@@ -309,11 +317,14 @@ pub struct Frame {
     /// value (ack watermark / heartbeat nonce) is in `base_seq` and
     /// `messages` is empty.
     pub control: Option<ControlKind>,
+    /// Causal trace id carried via the [`FLAG_TRACE`] wire extension;
+    /// `None` for unsampled frames or senders without tracing.
+    pub trace: Option<u64>,
 }
 
 /// Equality compares wire content only — the telemetry stamps
-/// (`sent_at_micros`, `received_at`) are measurement metadata, not
-/// payload, and differ between otherwise-identical frames.
+/// (`sent_at_micros`, `received_at`, `trace`) are measurement metadata,
+/// not payload, and differ between otherwise-identical frames.
 impl PartialEq for Frame {
     fn eq(&self, other: &Self) -> bool {
         self.link_id == other.link_id
@@ -473,6 +484,33 @@ pub fn encode_frame_raw_ext(
     sent_at_micros: u64,
     frame_seq: Option<u64>,
 ) -> Vec<u8> {
+    encode_frame_raw_traced(
+        link_id,
+        base_seq,
+        count,
+        raw,
+        compressor,
+        sent_at_micros,
+        frame_seq,
+        None,
+    )
+}
+
+/// The fully general encoder: [`encode_frame_raw_ext`] plus an optional
+/// causal trace id. `Some(id)` sets [`FLAG_TRACE`] and appends the 8-byte
+/// extension (last in bit order). With no stamp, no seq, and no trace the
+/// output is the exact legacy layout.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_frame_raw_traced(
+    link_id: u64,
+    base_seq: u64,
+    count: u32,
+    raw: &[u8],
+    compressor: &SelectiveCompressor,
+    sent_at_micros: u64,
+    frame_seq: Option<u64>,
+    trace: Option<u64>,
+) -> Vec<u8> {
     let framed = compressor.encode(raw);
     let body = framed.payload;
     let mut flags = 0u8;
@@ -481,6 +519,9 @@ pub fn encode_frame_raw_ext(
     }
     if frame_seq.is_some() {
         flags |= FLAG_SEQ;
+    }
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
     }
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ext_len(flags) + body.len());
     out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -495,6 +536,9 @@ pub fn encode_frame_raw_ext(
     }
     if let Some(seq) = frame_seq {
         out.extend_from_slice(&seq.to_le_bytes());
+    }
+    if let Some(id) = trace {
+        out.extend_from_slice(&id.to_le_bytes());
     }
     out.extend_from_slice(&body);
     out
@@ -549,6 +593,7 @@ struct Extensions {
     sent_at_micros: u64,
     seq: Option<u64>,
     control_word: Option<u64>,
+    trace: Option<u64>,
 }
 
 /// Walk the extension area in ascending bit order, capturing the words
@@ -569,6 +614,7 @@ fn parse_extensions(flags: u8, ext: &[u8]) -> Extensions {
             FLAG_SENT_AT => out.sent_at_micros = word,
             FLAG_SEQ => out.seq = Some(word),
             FLAG_CONTROL => out.control_word = Some(word),
+            FLAG_TRACE => out.trace = Some(word),
             _ => {} // reserved extension: skipped, not rejected
         }
     }
@@ -642,6 +688,7 @@ fn decode_body(
         received_at: None,
         seq: exts.seq,
         control: None,
+        trace: exts.trace,
     })
 }
 
@@ -662,6 +709,7 @@ fn control_frame(
         received_at: None,
         seq: exts.seq,
         control: Some(kind),
+        trace: exts.trace,
     }
 }
 
@@ -1276,27 +1324,32 @@ mod tests {
     }
 
     #[test]
-    fn unknown_extension_bit_is_skipped_not_misparsed() {
-        // Forge a frame with reserved bit 3 set: an 8-byte word this build
-        // does not understand sits between the header and the body. The
-        // decoder must size the extension area from the flags mask and
-        // still find the body.
+    fn trace_extension_roundtrips_and_is_absent_by_default() {
+        // Bit 3 was the reserved bit this test used to forge as "unknown"
+        // — ISSUE 7 assigned it to FLAG_TRACE. The same wire shape
+        // (header, seq word, one extra 8-byte word, body) now decodes the
+        // extra word as the causal trace id, and the decoder still sizes
+        // the extension area from the flags mask to find the body.
         let msgs = vec![b"future".to_vec(), b"proof".to_vec()];
         let raw = prefixed(&msgs);
-        let legacy = encode_frame_raw_ext(3, 20, 2, &raw, &raw_policy(), 0, Some(9));
-        let mut wire = Vec::with_capacity(legacy.len() + 8);
-        wire.extend_from_slice(&legacy[..FRAME_HEADER_LEN]);
-        wire[4] |= 0b0000_1000; // reserved extension bit
-        wire.extend_from_slice(&legacy[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8]); // seq word
-        wire.extend_from_slice(&0xDEAD_BEEF_u64.to_le_bytes()); // unknown word
-        wire.extend_from_slice(&legacy[FRAME_HEADER_LEN + 8..]); // body
+        let wire =
+            encode_frame_raw_traced(3, 20, 2, &raw, &raw_policy(), 0, Some(9), Some(0xDEAD_BEEF));
         let (f, used) = decode_frame(&wire).unwrap();
         assert_eq!(used, wire.len());
         assert_eq!(f.seq, Some(9));
+        assert_eq!(f.trace, Some(0xDEAD_BEEF));
         assert_eq!(f.messages, msgs);
         let mut cursor = std::io::Cursor::new(&wire);
         let f2 = read_frame(&mut cursor).unwrap();
+        assert_eq!(f2.trace, Some(0xDEAD_BEEF));
         assert_eq!(f2.messages, msgs);
+        // Untraced frames keep the exact legacy layout: no flag, no word,
+        // and legacy decoders see a byte-identical frame.
+        let legacy = encode_frame_raw_ext(3, 20, 2, &raw, &raw_policy(), 0, Some(9));
+        assert_eq!(legacy.len() + 8, wire.len(), "trace adds exactly one 8-byte word");
+        assert_eq!(legacy[4] | FLAG_TRACE, wire[4]);
+        let (lf, _) = decode_frame(&legacy).unwrap();
+        assert_eq!(lf.trace, None);
     }
 
     #[test]

@@ -82,6 +82,22 @@ pub trait BatchSink: Send + Sync {
         sent_at_micros: u64,
     ) -> Result<(), TransportError>;
 
+    /// [`BatchSink::send_batch`] plus a causal trace id for the sampled
+    /// per-packet tracing path (ISSUE 7). The default drops the id so
+    /// sinks that predate tracing keep working; trace-aware sinks carry
+    /// it to the delivered frame (`FLAG_TRACE` on the wire).
+    fn send_batch_traced(
+        &self,
+        link_id: u64,
+        base_seq: u64,
+        encoded: Bytes,
+        count: u32,
+        sent_at_micros: u64,
+        _trace: Option<u64>,
+    ) -> Result<(), TransportError> {
+        self.send_batch(link_id, base_seq, encoded, count, sent_at_micros)
+    }
+
     /// Frames handed to this sink so far.
     fn frames_sent(&self) -> u64;
 
@@ -132,6 +148,18 @@ impl BatchSink for InProcessTransport {
         count: u32,
         sent_at_micros: u64,
     ) -> Result<(), TransportError> {
+        self.send_batch_traced(link_id, base_seq, encoded, count, sent_at_micros, None)
+    }
+
+    fn send_batch_traced(
+        &self,
+        link_id: u64,
+        base_seq: u64,
+        encoded: Bytes,
+        count: u32,
+        sent_at_micros: u64,
+        trace: Option<u64>,
+    ) -> Result<(), TransportError> {
         // Wire-equivalent accounting: header + compression tag + body.
         let wire_len = FRAME_HEADER_LEN + encoded.len() + 1;
         // Zero-copy split: the frame's messages are ranges into `encoded`.
@@ -146,6 +174,7 @@ impl BatchSink for InProcessTransport {
             received_at: Some(std::time::Instant::now()),
             seq: None,
             control: None,
+            trace,
         };
         let outcome = self.queue.push_blocking(frame).map_err(TransportError::from_push)?;
         if !outcome.accepted() {

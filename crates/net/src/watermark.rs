@@ -22,6 +22,7 @@
 //! the gate opens (or the queue closes), which is how parked source-pump
 //! tasks are woken by capacity events instead of polling the gate.
 
+use neptune_telemetry::{EventKind, FlightRecorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -230,6 +231,10 @@ pub struct WatermarkQueue<T: Weighted> {
     shed_bytes: AtomicU64,
     /// Callbacks fired when the gate opens or the queue closes.
     gate_listeners: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+    /// Optional flight recorder timelining gate/shed transitions; the
+    /// `u64` is the subject id events are recorded under. Locked only on
+    /// the (rare) transition edges, never on the per-item fast path.
+    recorder: Mutex<Option<(Arc<FlightRecorder>, u64)>>,
 }
 
 impl<T: Weighted> WatermarkQueue<T> {
@@ -266,6 +271,23 @@ impl<T: Weighted> WatermarkQueue<T> {
             shed_total: AtomicU64::new(0),
             shed_bytes: AtomicU64::new(0),
             gate_listeners: Mutex::new(Vec::new()),
+            recorder: Mutex::new(None),
+        }
+    }
+
+    /// Attach a flight recorder: gate close/open and shed transitions are
+    /// timelined as [`EventKind::GateClosed`] (detail = buffered bytes),
+    /// [`EventKind::GateOpened`] (detail = gated microseconds) and
+    /// [`EventKind::Shed`] (detail = bytes sacrificed), with `subject`
+    /// identifying this queue.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>, subject: u64) {
+        *self.recorder.lock() = Some((recorder, subject));
+    }
+
+    #[inline]
+    fn record_event(&self, kind: EventKind, detail: u64) {
+        if let Some((r, subject)) = self.recorder.lock().as_ref() {
+            r.record(kind, *subject, detail);
         }
     }
 
@@ -435,6 +457,7 @@ impl<T: Weighted> WatermarkQueue<T> {
     fn note_shed(&self, bytes: usize) {
         self.shed_total.fetch_add(1, Ordering::Relaxed);
         self.shed_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.record_event(EventKind::Shed, bytes as u64);
     }
 
     /// Apply the armed shed policy to an incoming item while gated.
@@ -483,10 +506,13 @@ impl<T: Weighted> WatermarkQueue<T> {
     /// Open the gate if eviction drained us to the low watermark.
     fn maybe_release(&self, st: &mut QueueState<T>) {
         if st.gated && st.level <= self.config.low {
+            let gated_for =
+                st.gated_since.map(|since| since.elapsed().as_micros() as u64).unwrap_or(0);
             st.gated = false;
             st.gated_since = None;
             st.release_pending = true;
             self.not_full.notify_all();
+            self.record_event(EventKind::GateOpened, gated_for);
         }
     }
 
@@ -496,6 +522,7 @@ impl<T: Weighted> WatermarkQueue<T> {
         if st.level >= self.config.high && !st.gated {
             st.gated = true;
             st.gated_since = Some(Instant::now());
+            self.record_event(EventKind::GateClosed, st.level as u64);
         }
         self.pushed.fetch_add(1, Ordering::Relaxed);
         self.not_empty.notify_one();
@@ -719,6 +746,29 @@ mod tests {
         assert_eq!(events.load(Ordering::Relaxed), 1);
         q.close();
         assert_eq!(events.load(Ordering::Relaxed), 2, "close is a capacity event");
+    }
+
+    #[test]
+    fn recorder_timelines_gate_and_shed_transitions() {
+        let recorder = Arc::new(FlightRecorder::new(32));
+        let shed = ShedConfig::new(ShedPolicy::DropNewest, Duration::from_millis(5));
+        let q: WatermarkQueue<Vec<u8>> =
+            WatermarkQueue::with_shed(WatermarkConfig::new(10, 4), shed);
+        q.attach_recorder(recorder.clone(), 7);
+        q.push_blocking(item(10)).unwrap(); // gate closes
+        q.push_blocking(item(3)).unwrap(); // stalls past max_stall, then sheds
+        q.pop().unwrap(); // gate opens
+        assert!(recorder.contains_sequence(&[
+            EventKind::GateClosed,
+            EventKind::Shed,
+            EventKind::GateOpened,
+        ]));
+        let events = recorder.snapshot();
+        let closed = events.iter().find(|e| e.kind == EventKind::GateClosed).unwrap();
+        assert_eq!(closed.subject, 7);
+        assert_eq!(closed.detail, 10, "detail carries buffered bytes at close");
+        let shed_ev = events.iter().find(|e| e.kind == EventKind::Shed).unwrap();
+        assert_eq!(shed_ev.detail, 3, "detail carries shed bytes");
     }
 
     #[test]

@@ -103,6 +103,7 @@ fn queued_frame_survives_source_buffer_recycle_attempt() {
         received_at: None,
         seq: None,
         control: None,
+        trace: None,
     })
     .unwrap();
 

@@ -1,0 +1,239 @@
+//! One schema, three renderers: the `Exporter` trait.
+//!
+//! The repo's scalar stats blocks (thread-model gauges, containment
+//! counters, per-operator counters, ...) used to be rendered by three
+//! hand-rolled walkers — pretty text, JSON, and Prometheus — that
+//! drifted: every new gauge had to be added in three places. Now each
+//! stats struct declares its fields **once** as a [`FieldDef`] table
+//! and walks any [`Exporter`]; this module ships the text renderers
+//! ([`PrettyExporter`], [`PrometheusExporter`]) and `neptune-core`
+//! implements the JSON one over its own `JsonValue` type.
+//!
+//! A walk is a flat sequence of groups: `begin_group(...)`, `field(...)`
+//! per field, `end_group()`. Groups with the same `json_key` merge into
+//! one JSON object (e.g. the "io tier" and "net tier" pretty lines both
+//! land in `thread_model`); Prometheus samples buffer per metric so the
+//! `# TYPE` header appears exactly once even when many label sets share
+//! a metric.
+
+/// How a scalar exports to Prometheus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+}
+
+impl FieldKind {
+    /// The `# TYPE` keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FieldKind::Counter => "counter",
+            FieldKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One scalar field's render schema, declared once per stats struct.
+/// An empty string opts the field out of that format.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldDef {
+    /// Key in the JSON export (`""` = omit from JSON).
+    pub json_key: &'static str,
+    /// `key=value` label on the pretty line (`""` = omit from pretty).
+    pub pretty_key: &'static str,
+    /// Prometheus metric name (`""` = omit from Prometheus).
+    pub prom_name: &'static str,
+    /// Prometheus metric type.
+    pub prom_kind: FieldKind,
+}
+
+/// A renderer fed by a stats struct's schema walk.
+pub trait Exporter {
+    /// Start a group of fields. `pretty_label` prefixes the pretty line
+    /// (`""` = the whole group is invisible in pretty); `json_key`
+    /// names the JSON object the fields land in (groups sharing a key
+    /// merge); `labels` attach to every Prometheus sample the group
+    /// emits.
+    fn begin_group(&mut self, pretty_label: &str, json_key: &str, labels: &[(&str, &str)]);
+    /// One scalar field of the current group.
+    fn field(&mut self, def: &FieldDef, value: u64);
+    /// End the current group.
+    fn end_group(&mut self);
+}
+
+/// Renders each group as one `label: k=v k=v ...` line.
+#[derive(Debug, Default)]
+pub struct PrettyExporter {
+    out: String,
+    line: String,
+    visible: bool,
+}
+
+impl PrettyExporter {
+    /// Empty renderer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rendered lines (each `\n`-terminated).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl Exporter for PrettyExporter {
+    fn begin_group(&mut self, pretty_label: &str, _json_key: &str, _labels: &[(&str, &str)]) {
+        self.visible = !pretty_label.is_empty();
+        if self.visible {
+            self.line = format!("{pretty_label}:");
+        }
+    }
+
+    fn field(&mut self, def: &FieldDef, value: u64) {
+        if self.visible && !def.pretty_key.is_empty() {
+            self.line.push_str(&format!(" {}={value}", def.pretty_key));
+        }
+    }
+
+    fn end_group(&mut self) {
+        if self.visible {
+            self.out.push_str(&self.line);
+            self.out.push('\n');
+            self.line.clear();
+        }
+    }
+}
+
+/// Renders Prometheus text exposition. Samples buffer per metric (in
+/// first-seen order) so each metric gets exactly one `# TYPE` header
+/// with all its label sets grouped under it, as the format requires.
+#[derive(Debug, Default)]
+pub struct PrometheusExporter {
+    /// `(metric name, kind, sample lines)` in first-seen order.
+    metrics: Vec<(String, FieldKind, Vec<String>)>,
+    labels: String,
+}
+
+impl PrometheusExporter {
+    /// Empty renderer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rendered exposition block.
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        for (name, kind, samples) in self.metrics {
+            out.push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+            for s in samples {
+                out.push_str(&s);
+            }
+        }
+        out
+    }
+}
+
+fn escape_prom_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl Exporter for PrometheusExporter {
+    fn begin_group(&mut self, _pretty_label: &str, _json_key: &str, labels: &[(&str, &str)]) {
+        self.labels = if labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_prom_label(v))).collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+    }
+
+    fn field(&mut self, def: &FieldDef, value: u64) {
+        if def.prom_name.is_empty() {
+            return;
+        }
+        let line = format!("{}{} {value}\n", def.prom_name, self.labels);
+        match self.metrics.iter_mut().find(|(name, _, _)| name == def.prom_name) {
+            Some((_, _, samples)) => samples.push(line),
+            None => self.metrics.push((def.prom_name.to_string(), def.prom_kind, vec![line])),
+        }
+    }
+
+    fn end_group(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIELDS: [FieldDef; 3] = [
+        FieldDef {
+            json_key: "io_parks",
+            pretty_key: "parks",
+            prom_name: "neptune_io_parks_total",
+            prom_kind: FieldKind::Counter,
+        },
+        FieldDef {
+            json_key: "io_polls",
+            pretty_key: "",
+            prom_name: "neptune_io_polls_total",
+            prom_kind: FieldKind::Counter,
+        },
+        FieldDef {
+            json_key: "depth",
+            pretty_key: "depth",
+            prom_name: "neptune_queue_depth",
+            prom_kind: FieldKind::Gauge,
+        },
+    ];
+
+    fn walk(e: &mut dyn Exporter, label: &str, labels: &[(&str, &str)], values: [u64; 3]) {
+        e.begin_group(label, "tier", labels);
+        for (def, v) in FIELDS.iter().zip(values) {
+            e.field(def, v);
+        }
+        e.end_group();
+    }
+
+    #[test]
+    fn pretty_renders_one_line_per_group_skipping_hidden() {
+        let mut e = PrettyExporter::new();
+        walk(&mut e, "io tier", &[], [5, 6, 7]);
+        walk(&mut e, "", &[], [1, 2, 3]); // invisible group
+        assert_eq!(e.finish(), "io tier: parks=5 depth=7\n");
+    }
+
+    #[test]
+    fn prometheus_groups_samples_under_one_type_header() {
+        let mut e = PrometheusExporter::new();
+        walk(&mut e, "q", &[("queue", "0")], [1, 2, 3]);
+        walk(&mut e, "q", &[("queue", "1")], [4, 5, 6]);
+        let out = e.finish();
+        assert_eq!(out.matches("# TYPE neptune_queue_depth gauge").count(), 1);
+        assert!(out.contains("neptune_queue_depth{queue=\"0\"} 3\n"));
+        assert!(out.contains("neptune_queue_depth{queue=\"1\"} 6\n"));
+        // All samples of a metric are contiguous under its header.
+        let header = out.find("# TYPE neptune_queue_depth gauge").unwrap();
+        let q0 = out.find("neptune_queue_depth{queue=\"0\"}").unwrap();
+        let q1 = out.find("neptune_queue_depth{queue=\"1\"}").unwrap();
+        assert!(header < q0 && q0 < q1);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut e = PrometheusExporter::new();
+        walk(&mut e, "q", &[("op", "a\"b")], [1, 0, 0]);
+        assert!(e.finish().contains("{op=\"a\\\"b\"}"));
+    }
+}

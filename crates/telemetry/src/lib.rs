@@ -19,21 +19,41 @@
 //!   time series any scheduler can record into (the runtime's IO-tier
 //!   timer task does), with [`TelemetrySampler`] as the self-threaded
 //!   driver for standalone use.
-//! * [`export`] — Prometheus text-exposition and pretty-text rendering.
+//! * [`SpanRing`] — causal per-packet tracing: deterministically sampled
+//!   per-stage [`Span`]s in a lock-free thread-sharded seqlock ring,
+//!   exportable as Chrome trace-event JSON (Perfetto-loadable).
+//! * [`FlightRecorder`] — a bounded lock-free timeline of structured
+//!   [`RuntimeEvent`]s (gate transitions, shedding, breaker trips,
+//!   reconnects, dead-letter admits), dumped on failure and served live.
+//! * [`export`] — Prometheus text-exposition and pretty-text rendering —
+//!   and [`exporter`], the schema-driven [`Exporter`] trait that keeps
+//!   the pretty/JSON/Prometheus walkers from drifting.
 //!
 //! This crate is deliberately dependency-free and job-agnostic: it knows
 //! nothing about operators, queues, or configs. `neptune-core` owns the
 //! wiring (what gets recorded where) and the job-level snapshot types.
 
 mod histogram;
+mod recorder;
+mod ring;
 mod sampler;
 mod stages;
+mod trace;
 
 pub mod export;
+pub mod exporter;
 
+pub use exporter::{Exporter, FieldDef, FieldKind, PrettyExporter, PrometheusExporter};
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
     N_BUCKETS,
 };
+pub use recorder::{EventKind, FlightRecorder, RuntimeEvent};
+pub use ring::{Packable, SeqRing};
 pub use sampler::{SampleRing, TelemetrySampler};
 pub use stages::{OperatorTelemetry, OperatorTelemetrySnapshot, STAGE_NAMES};
+pub use trace::{
+    chrome_trace_json, wall_micros, PendingTrace, Span, SpanRing, STAGE_BUFFER_WAIT,
+    STAGE_EXECUTION, STAGE_REACTOR, STAGE_SCHEDULE, STAGE_SINK, STAGE_SOURCE, STAGE_TRANSPORT,
+    TRACE_STAGE_NAMES,
+};

@@ -1,0 +1,231 @@
+//! Lock-free bounded ring of fixed-size records (seqlock slots).
+//!
+//! Shared storage for the tracing span ring and the flight recorder:
+//! a power-of-two array of slots, each protected by its own version
+//! word. Writers claim a slot by CAS-ing its version from even to odd,
+//! store the payload as plain atomic words, and publish by storing the
+//! next even version. Readers copy the words between two version loads
+//! and discard the copy if the version moved — a per-slot seqlock.
+//! Nothing ever blocks: a writer that loses the claim race (the ring
+//! wrapped onto a slot that is mid-write) drops its record and bumps a
+//! counter instead of spinning.
+//!
+//! Payloads are packed into `[u64; N]` words via [`Packable`] so every
+//! access is a plain atomic load/store — no `unsafe`, no torn reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A record that round-trips through `N` machine words.
+pub trait Packable<const N: usize>: Sized {
+    /// Encode into words.
+    fn pack(&self) -> [u64; N];
+    /// Decode from words produced by [`Packable::pack`].
+    fn unpack(words: [u64; N]) -> Self;
+}
+
+struct Slot<const N: usize> {
+    /// Even = stable (0 = never written), odd = write in progress.
+    version: AtomicU64,
+    /// Claim index of the record currently stored, for global ordering.
+    order: AtomicU64,
+    words: [AtomicU64; N],
+}
+
+impl<const N: usize> Slot<N> {
+    fn new() -> Self {
+        Slot {
+            version: AtomicU64::new(0),
+            order: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bounded MPMC record ring; oldest records are overwritten when full.
+pub struct SeqRing<T, const N: usize>
+where
+    T: Packable<N>,
+{
+    head: AtomicU64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[Slot<N>]>,
+    _marker: std::marker::PhantomData<fn(T) -> T>,
+}
+
+impl<T, const N: usize> std::fmt::Debug for SeqRing<T, N>
+where
+    T: Packable<N>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl<T, const N: usize> SeqRing<T, N>
+where
+    T: Packable<N>,
+{
+    /// A ring holding at least `capacity` records (rounded up to a power
+    /// of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        SeqRing {
+            head: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records successfully published (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records abandoned because the claimed slot was mid-write (claim
+    /// race after a full wrap) — distinct from ordinary overwriting,
+    /// which is the ring working as intended.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish one record; returns `false` if it lost the slot-claim
+    /// race and was dropped.
+    pub fn push(&self, value: T) -> bool {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
+        let ver = slot.version.load(Ordering::Acquire);
+        if ver & 1 == 1
+            || slot
+                .version
+                .compare_exchange(ver, ver + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let words = value.pack();
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        // Claim indices start at 0 but `order` uses 0 for "empty", so
+        // store idx + 1.
+        slot.order.store(idx + 1, Ordering::Relaxed);
+        slot.version.store(ver + 2, Ordering::Release);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Copy out every stable record with its claim index, oldest first.
+    pub fn snapshot_indexed(&self) -> Vec<(u64, T)> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::SeqCst);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue;
+            }
+            let words = std::array::from_fn(|i| slot.words[i].load(Ordering::SeqCst));
+            let order = slot.order.load(Ordering::SeqCst);
+            let v2 = slot.version.load(Ordering::SeqCst);
+            if v1 == v2 && order > 0 {
+                out.push((order - 1, T::unpack(words)));
+            }
+        }
+        out.sort_by_key(|(order, _)| *order);
+        out
+    }
+
+    /// Copy out every stable record, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.snapshot_indexed().into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Rec(u64, u64);
+
+    impl Packable<2> for Rec {
+        fn pack(&self) -> [u64; 2] {
+            [self.0, self.1]
+        }
+        fn unpack(w: [u64; 2]) -> Self {
+            Rec(w[0], w[1])
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(SeqRing::<Rec, 2>::new(0).capacity(), 8);
+        assert_eq!(SeqRing::<Rec, 2>::new(9).capacity(), 16);
+        assert_eq!(SeqRing::<Rec, 2>::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn snapshot_returns_records_in_claim_order() {
+        let ring = SeqRing::<Rec, 2>::new(8);
+        for i in 0..5u64 {
+            assert!(ring.push(Rec(i, i * 10)));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap, vec![Rec(0, 0), Rec(1, 10), Rec(2, 20), Rec(3, 30), Rec(4, 40)]);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_keeps_newest_records() {
+        let ring = SeqRing::<Rec, 2>::new(8);
+        for i in 0..20u64 {
+            ring.push(Rec(i, 0));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert_eq!(snap.first().unwrap().0, 12);
+        assert_eq!(snap.last().unwrap().0, 19);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        let ring = std::sync::Arc::new(SeqRing::<Rec, 2>::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    r.push(Rec(t, i.wrapping_mul(t + 1)));
+                }
+            }));
+        }
+        let reader = {
+            let r = ring.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for rec in r.snapshot() {
+                        // A torn record would pair the wrong words.
+                        assert!(rec.0 < 4, "thread id out of range: {rec:?}");
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(ring.recorded() + ring.dropped(), 20_000);
+    }
+}

@@ -21,19 +21,23 @@
 //! `TelemetrySample`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A thread-safe bounded time series of `(elapsed_micros, sample)` pairs.
 ///
 /// Elapsed time is measured from ring construction; once `capacity`
-/// entries are retained the oldest drop first.
+/// entries are retained the oldest drop first, and [`SampleRing::dropped`]
+/// counts every eviction — bounded retention is by design, but the loss
+/// is no longer silent (the counter surfaces in `ThreadModelStats` and
+/// all exporters).
 #[derive(Debug)]
 pub struct SampleRing<T> {
     series: Mutex<VecDeque<(u64, T)>>,
     capacity: usize,
     started: Instant,
+    dropped: AtomicU64,
 }
 
 impl<T> SampleRing<T> {
@@ -43,6 +47,7 @@ impl<T> SampleRing<T> {
             series: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
             capacity: capacity.max(1),
             started: Instant::now(),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -53,8 +58,14 @@ impl<T> SampleRing<T> {
         let mut series = self.series.lock().unwrap();
         if series.len() == self.capacity {
             series.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         series.push_back((elapsed, sample));
+    }
+
+    /// Samples evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Number of samples currently retained.
@@ -209,10 +220,12 @@ mod tests {
     fn standalone_ring_bounds_and_orders() {
         let ring = SampleRing::new(4);
         assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
         for i in 0..10u32 {
             ring.record(i);
         }
         assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6, "evictions are counted, not silent");
         let series = ring.series();
         assert_eq!(series.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
         for w in series.windows(2) {

@@ -131,12 +131,9 @@ fn main() {
     let reactor = Reactor::new("gateway").expect("reactor thread");
     let io_pool = IoPool::new("gateway", IO_THREADS);
     let driver = NetDriver::new(io_pool.spawner(), reactor.handle());
-    let rx = TcpReceiver::bind_reactor(
-        "127.0.0.1:0",
-        WatermarkConfig::new(32 << 20, 1 << 20),
-        &driver,
-    )
-    .expect("bind gateway");
+    let rx =
+        TcpReceiver::bind_reactor("127.0.0.1:0", WatermarkConfig::new(32 << 20, 1 << 20), &driver)
+            .expect("bind gateway");
     let addr = rx.local_addr();
     println!("gateway listening on {addr} ({IO_THREADS} IO threads + 1 reactor thread)");
 

@@ -170,3 +170,171 @@ fn telemetry_reports_breakdown_sampler_and_all_export_formats() {
     assert!(prom.contains("neptune_e2e_latency_micros{operator=\"sink\",quantile=\"0.99\"}"));
     assert!(prom.contains("neptune_stage_latency_micros{operator=\"sink\",stage=\"transport\""));
 }
+
+/// Minimal HTTP GET against the job's scrape listener; returns the
+/// response head and body separately.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: neptune\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let (head, body) = out.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// ISSUE 7 tentpole: tracing at 1-in-1 must produce schema-valid Chrome
+/// trace-event JSON covering the causal stage chain, and the live scrape
+/// endpoint must serve `/metrics`, `/traces`, and `/events`.
+#[test]
+fn tracing_job_emits_causal_spans_and_serves_scrape_endpoints() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let n = 4_000u64;
+    let graph = relay_graph(n, Duration::ZERO, seen.clone());
+    let config = RuntimeConfig {
+        telemetry: TelemetryConfig {
+            scrape_addr: Some("127.0.0.1:0".into()),
+            ..TelemetryConfig::with_tracing(1)
+        },
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    assert!(job.settle(Duration::from_secs(30)));
+    assert_eq!(seen.load(Ordering::Relaxed), n);
+
+    // Spans reached the ring and surfaced in the thread-model gauges.
+    let tm = job.thread_model();
+    assert!(tm.trace_spans > 0, "no spans recorded");
+
+    // Chrome trace schema: displayTimeUnit plus a traceEvents array of
+    // "M" thread-name metadata and "X" complete events with ts/dur and
+    // the trace id in args.
+    let trace = job.chrome_trace().expect("tracing enabled");
+    let doc = neptune::core::json::parse(&trace).expect("chrome trace parses");
+    assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+    let events = doc.get("traceEvents").unwrap().as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "empty trace");
+    let mut stages = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").unwrap().as_str().expect("ph string");
+        assert!(ev.get("name").unwrap().as_str().is_some(), "missing name");
+        assert!(ev.get("pid").unwrap().as_u64().is_some(), "missing pid");
+        assert!(ev.get("tid").unwrap().as_u64().is_some(), "missing tid");
+        match ph {
+            "M" => {}
+            "X" => {
+                assert!(ev.get("ts").unwrap().as_f64().is_some(), "X without ts");
+                assert!(ev.get("dur").unwrap().as_f64().is_some(), "X without dur");
+                let id = ev.get("args").unwrap().get("trace_id").unwrap();
+                assert!(id.as_str().unwrap().starts_with("0x"), "trace_id not hex");
+                stages.insert(ev.get("name").unwrap().as_str().unwrap().to_string());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for want in ["buffer_wait", "schedule"] {
+        assert!(stages.contains(want), "missing stage {want} in {stages:?}");
+    }
+    assert!(
+        stages.contains("execution") || stages.contains("sink"),
+        "no execution/sink stage in {stages:?}"
+    );
+
+    // The scrape listener serves all three routes and 404s the rest.
+    let addr = job.scrape_addr().expect("scrape listener bound");
+    let (head, body) = scrape(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    assert!(body.contains("# TYPE neptune_e2e_latency_micros summary"), "{body}");
+    assert!(body.contains("neptune_trace_spans_total"), "{body}");
+
+    let (head, body) = scrape(addr, "/traces");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let doc = neptune::core::json::parse(&body).expect("/traces parses");
+    assert!(doc.get("traceEvents").unwrap().as_array().is_some());
+
+    let (head, body) = scrape(addr, "/events");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let doc = neptune::core::json::parse(&body).expect("/events parses");
+    assert!(doc.get("events").unwrap().as_array().is_some());
+
+    let (head, _) = scrape(addr, "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    job.stop();
+}
+
+/// Satellite (c): lint the Prometheus exposition itself. Every sample
+/// line must parse as `name[{labels}] value`, every series must be
+/// TYPE-declared exactly once and *before* its first sample, and TYPE
+/// kinds must be legal.
+#[test]
+fn prometheus_exposition_lint() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let graph = relay_graph(2_000, Duration::ZERO, seen.clone());
+    let config = RuntimeConfig {
+        telemetry: TelemetryConfig::with_tracing(64),
+        ha: HaConfig::enabled(),
+        containment: ContainmentConfig::enabled(),
+        ..Default::default()
+    };
+    let job = LocalRuntime::new(config).submit(graph).unwrap();
+    assert!(job.await_sources(Duration::from_secs(60)));
+    assert!(job.settle(Duration::from_secs(30)));
+    let snap = job.telemetry().expect("telemetry enabled");
+    job.stop();
+
+    let text = snap.render_prometheus();
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    let mut declared: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut sampled: std::collections::BTreeSet<String> = Default::default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE without name").to_string();
+            let kind = it.next().expect("TYPE without kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary" | "histogram"),
+                "illegal TYPE {kind:?} for {name}"
+            );
+            assert!(it.next().is_none(), "trailing tokens in {line:?}");
+            assert!(!sampled.contains(&name), "{name}: TYPE declared after first sample");
+            *declared.entry(name).or_default() += 1;
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("unparsable value in {line:?}"));
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+            if let Some(idx) = series.find('{') {
+                assert!(series.ends_with('}'), "unterminated label block in {line:?}");
+                for pair in series[idx + 1..series.len() - 1].split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').expect("label must be k=\"v\"");
+                    assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                }
+            }
+            // Summaries sample through name_sum / name_count companions.
+            let base = if declared.contains_key(name) {
+                name
+            } else {
+                name.strip_suffix("_sum").or_else(|| name.strip_suffix("_count")).unwrap_or(name)
+            };
+            assert!(declared.contains_key(base), "{name}: sample without a TYPE declaration");
+            sampled.insert(base.to_string());
+        }
+    }
+    for (name, count) in &declared {
+        assert_eq!(*count, 1, "{name}: TYPE declared {count} times");
+    }
+    // The observability families from this PR are present.
+    for family in ["neptune_trace_spans_total", "neptune_sampler_dropped_total"] {
+        assert!(declared.contains_key(family), "missing family {family}");
+    }
+}
