@@ -255,6 +255,9 @@ fn run_scale(reactor_mode: bool, conns: usize, frames_per_conn: usize) -> ScaleO
 }
 
 fn main() {
+    // A device/sink-thread assertion must fail the whole run, not leave
+    // main spinning toward a 300 s drain deadline with exit 0.
+    neptune_bench::failfast();
     let quick = std::env::args().any(|a| a == "--quick");
     let frames_per_conn = if quick { 20 } else { 25 };
     let sweep: &[usize] = if quick { &[64, 256, 512] } else { &[64, 256, 1024, 4096] };
@@ -263,13 +266,16 @@ fn main() {
     // a third of the budget free for pool/reactor/listener plumbing.
     let fd_limit = fd_soft_limit();
     let max_conns = ((fd_limit.saturating_sub(128)) / 3).max(16) as usize;
+    // `clamped` must catch the partial case too: a limit that merely
+    // shrinks the top scale (without collapsing two scales into one)
+    // still bends the curve and must be flagged in the artifact.
+    let clamped = sweep.iter().any(|&c| c > max_conns);
     let mut scales: Vec<usize> = sweep.iter().map(|&c| c.min(max_conns)).collect();
     scales.dedup();
-    if scales.len() < sweep.len() {
-        println!(
-            "fd soft limit {fd_limit} clamps the sweep to {} connections \
-             (raise with `ulimit -n` for the full curve)",
-            max_conns
+    if clamped {
+        eprintln!(
+            "ingestion_gateway: WARNING: fd soft limit {fd_limit} clamps the sweep \
+             to {max_conns} connections (raise with `ulimit -n` for the full curve)"
         );
     }
 
@@ -323,6 +329,8 @@ fn main() {
         ("bench", JsonValue::String("ingestion_gateway".into())),
         ("quick", JsonValue::Bool(quick)),
         ("fd_soft_limit", JsonValue::Number(fd_limit as f64)),
+        ("clamped", JsonValue::Bool(clamped)),
+        ("max_connections", JsonValue::Number(max_conns as f64)),
         ("io_threads", JsonValue::Number(IO_THREADS as f64)),
         ("frames_per_connection", JsonValue::Number(frames_per_conn as f64)),
         ("blocking_baseline", baseline.json),

@@ -62,6 +62,8 @@ fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
 }
 
 fn main() {
+    // Any assertion failure — even off the main thread — must exit 1.
+    neptune_bench::failfast();
     let seen = Arc::new(AtomicU64::new(0));
     let s2 = seen.clone();
     let graph = GraphBuilder::new("trace-demo")
@@ -91,16 +93,17 @@ fn main() {
 
     let (head, metrics) = get(addr, "/metrics");
     assert!(head.starts_with("HTTP/1.1 200"), "/metrics: {head}");
-    assert!(metrics.contains("# TYPE neptune_trace_spans_total counter"), "/metrics misses trace counters");
+    assert!(
+        metrics.contains("# TYPE neptune_trace_spans_total counter"),
+        "/metrics misses trace counters"
+    );
     println!("/metrics: {} bytes, {} families", metrics.len(), metrics.matches("# TYPE").count());
 
     let (head, trace) = get(addr, "/traces");
     assert!(head.starts_with("HTTP/1.1 200"), "/traces: {head}");
     let doc = json::parse(&trace).expect("/traces is not valid JSON");
-    let events = doc
-        .get("traceEvents")
-        .and_then(|e| e.as_array())
-        .expect("/traces misses traceEvents");
+    let events =
+        doc.get("traceEvents").and_then(|e| e.as_array()).expect("/traces misses traceEvents");
     let spans = events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count();
     assert!(spans > 0, "trace contains no spans");
     println!("/traces: {} bytes, {spans} spans across {} events", trace.len(), events.len());

@@ -1,0 +1,121 @@
+//! `neptune-coordinator` — drive one job across a fleet of `neptuned`
+//! daemons and print the cluster summary as JSON on stdout.
+//!
+//! ```text
+//! neptune-coordinator --listen 127.0.0.1:7700 --nodes 3 \
+//!     [--http 127.0.0.1:7780] [--job graph.json --expected 50000] \
+//!     [--count 50000] [--deadline-secs 120] [--heartbeat-timeout-ms 2000]
+//! ```
+//!
+//! Without `--job`, the built-in demo pipeline (`uid_source →
+//! window_mean → uid_sink`) runs with `--count` uids. Exits nonzero if
+//! the sink misses a single uid.
+
+use neptune_cluster::coordinator::{demo_descriptor, run_cluster, CoordinatorOptions};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: neptune-coordinator --listen <addr> --nodes <n> [--http <addr>] \
+         [--job <descriptor.json> --expected <uids>] [--count <uids>] \
+         [--deadline-secs <s>] [--heartbeat-timeout-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = None;
+    let mut nodes = None;
+    let mut http = None;
+    let mut job_path: Option<String> = None;
+    let mut expected: Option<u64> = None;
+    let mut count = 50_000u64;
+    let mut deadline = Duration::from_secs(120);
+    let mut heartbeat_timeout = Duration::from_millis(2000);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("neptune-coordinator: {flag} needs a value");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(value("--listen")),
+            "--nodes" => nodes = value("--nodes").parse().ok(),
+            "--http" => http = Some(value("--http")),
+            "--job" => job_path = Some(value("--job")),
+            "--expected" => expected = value("--expected").parse().ok(),
+            "--count" => count = value("--count").parse().unwrap_or_else(|_| usage()),
+            "--deadline-secs" => {
+                deadline = Duration::from_secs(
+                    value("--deadline-secs").parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            "--heartbeat-timeout-ms" => {
+                heartbeat_timeout = Duration::from_millis(
+                    value("--heartbeat-timeout-ms").parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("neptune-coordinator: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let (Some(listen), Some(nodes)) = (listen, nodes) else { usage() };
+    let (descriptor, expected) = match job_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("neptune-coordinator: read {path}: {e}");
+                std::process::exit(2);
+            });
+            let Some(expected) = expected else {
+                eprintln!("neptune-coordinator: --job needs --expected");
+                usage();
+            };
+            (text, expected)
+        }
+        None => (demo_descriptor("cluster-demo", count, 16), count),
+    };
+    let mut opts = CoordinatorOptions::new(listen, nodes);
+    opts.http = http;
+    opts.deadline = deadline;
+    opts.heartbeat_timeout = heartbeat_timeout;
+    match run_cluster(&opts, &descriptor, expected) {
+        Ok(summary) => {
+            println!(
+                "{{\"job\": \"{}\", \"nodes\": {}, \"deaths\": {}, \"reassignments\": {}, \
+                 \"generation\": {}, \"sink_unique\": {}, \"sink_duplicates\": {}, \
+                 \"expected\": {}, \"frames_in\": {}, \"traced_in\": {}, \"dup_frames\": {}, \
+                 \"elapsed_ms\": {}}}",
+                summary.job,
+                summary.nodes,
+                summary.deaths,
+                summary.reassignments,
+                summary.generation,
+                summary.sink_unique,
+                summary.sink_duplicates,
+                expected,
+                summary.frames_in,
+                summary.traced_in,
+                summary.dup_frames,
+                summary.elapsed.as_millis()
+            );
+            if summary.sink_unique < expected {
+                eprintln!(
+                    "neptune-coordinator: LOSS: sink saw {}/{} unique uids",
+                    summary.sink_unique, expected
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("neptune-coordinator: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `neptuned` — the NEPTUNE node daemon.
+//!
+//! Registers with a coordinator, hosts the operator sub-graph it is
+//! assigned, ships cut edges over framed TCP (seq/replay/trace intact),
+//! and reports telemetry until told to shut down.
+//!
+//! ```text
+//! neptuned --coordinator 127.0.0.1:7700 --name n0 [--capacity 16]
+//!          [--data-addr 127.0.0.1:0] [--report-interval-ms 250]
+//! ```
+
+use neptune_cluster::node::{run_node, NodeOptions};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: neptuned --coordinator <addr> --name <name> \
+         [--capacity <slots>] [--data-addr <addr>] [--report-interval-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut coordinator = None;
+    let mut name = None;
+    let mut capacity = 16usize;
+    let mut data_addr = "127.0.0.1:0".to_string();
+    let mut report_interval = Duration::from_millis(250);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("neptuned: {flag} needs a value");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--coordinator" => coordinator = Some(value("--coordinator")),
+            "--name" => name = Some(value("--name")),
+            "--capacity" => {
+                capacity = value("--capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--data-addr" => data_addr = value("--data-addr"),
+            "--report-interval-ms" => {
+                report_interval = Duration::from_millis(
+                    value("--report-interval-ms").parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("neptuned: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let (Some(coordinator), Some(name)) = (coordinator, name) else { usage() };
+    let mut opts = NodeOptions::new(coordinator, name);
+    opts.capacity = capacity;
+    opts.data_addr = data_addr;
+    opts.report_interval = report_interval;
+    match run_node(opts) {
+        Ok(jobs) => {
+            eprintln!("neptuned: clean shutdown ({jobs} job(s) hosted)");
+        }
+        Err(e) => {
+            eprintln!("neptuned: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

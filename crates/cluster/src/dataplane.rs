@@ -1,0 +1,718 @@
+//! The inter-node data plane: coordinator-injected boundary operators
+//! that carry a job's cut edges over the real framed TCP stack.
+//!
+//! When the coordinator partitions a graph, every edge whose endpoints
+//! land on different nodes is *cut*: the upstream node gets a
+//! coordinator-injected `__egress` processor appended after the producing
+//! operator, and the downstream node gets a `__ingress` source feeding
+//! the consuming operator through the edge's **original** partitioning
+//! scheme (operator co-location keeps all instances of the consumer on
+//! one node, so fields partitioning stays a local decision).
+//!
+//! The wire underneath is the existing NEPT stack, end to end:
+//!
+//! * egress batches packets with [`PacketCodec`], sends them through a
+//!   [`SupervisedLink`] over a reactor-path [`TcpSender`] — frames carry
+//!   `FLAG_SEQ`, unacked frames sit in the replay buffer, and the
+//!   connection opens with a protocol hello;
+//! * ingress is one [`TcpReceiver::bind_manual_ack`] per node with a
+//!   [`HandshakeGate`]: a demux pump routes inbound frames to per-edge
+//!   queues by the low 32 bits of the link id, dedups with
+//!   [`DedupFilter`], and counts `FLAG_TRACE` ids crossing the process
+//!   boundary;
+//! * acks are **withheld** until the node is quiescent (local queues
+//!   drained, own egress replay buffers empty) in
+//!   [`AckMode::Quiescent`] — the upstream replay buffer then covers
+//!   everything this node has not finished forwarding, which is what
+//!   makes killing a whole node survivable without sink loss.
+//!
+//! Link ids encode `(epoch << 32) | edge`: the coordinator bumps the
+//! epoch when it *re-creates* a producer on a new node after a failure,
+//! so the downstream dedup filter sees a fresh identity (a restarted
+//! producer restarts its frame sequence at 0; under the old id that
+//! would read as a stale duplicate). A plain [`ControlMsg::Rewire`]
+//! (consumer moved; producer and its replay buffer survive) keeps the
+//! link id and merely repoints the address.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use neptune_compress::SelectiveCompressor;
+use neptune_core::codec::PacketCodec;
+use neptune_core::descriptor::OperatorRegistry;
+use neptune_core::json::JsonValue;
+use neptune_core::operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};
+use neptune_core::packet::StreamPacket;
+use neptune_granules::{IoPool, Reactor};
+use neptune_ha::backoff::ReconnectPolicy;
+use neptune_ha::dedup::{Admit, DedupFilter};
+use neptune_ha::link::{FrameLink, TcpFrameLink};
+use neptune_ha::stats::RecoveryStats;
+use neptune_ha::supervisor::SupervisedLink;
+use neptune_net::frame::{encode_hello_frame, CAPS_ALL, PROTOCOL_VERSION};
+use neptune_net::tcp::{HandshakeGate, TcpReceiver, TcpSender};
+use neptune_net::transport::TransportError;
+use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+use neptune_net::NetDriver;
+use parking_lot::Mutex;
+
+/// Compose a link id from an edge index and its epoch.
+pub fn link_id(edge: u32, epoch: u32) -> u64 {
+    ((epoch as u64) << 32) | edge as u64
+}
+
+/// The edge index a link id routes to (low 32 bits).
+pub fn edge_of(link_id: u64) -> u32 {
+    link_id as u32
+}
+
+/// When inbound frames are acknowledged back to the upstream replay
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Ack as frames land on the inbound queue (lowest replay pressure;
+    /// a node crash can lose frames it acked but had not forwarded).
+    Immediate,
+    /// Ack only from [`DataPlane::release_acks`], which the node daemon
+    /// calls when the local pipeline is quiescent — crash-consistent:
+    /// anything unforwarded is still in some upstream replay buffer.
+    Quiescent,
+}
+
+/// Counters the node daemon folds into its reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPlaneStats {
+    /// Data frames admitted fresh.
+    pub frames_in: u64,
+    /// Frames dropped as duplicates (replay artifacts).
+    pub dup_frames: u64,
+    /// Packets routed to ingress queues.
+    pub packets_in: u64,
+    /// Inbound frames that carried a `FLAG_TRACE` id — causal traces
+    /// observed crossing the process boundary.
+    pub traced_in: u64,
+    /// Frames sent by egress links.
+    pub frames_out: u64,
+    /// Packets batched out.
+    pub packets_out: u64,
+    /// Outbound frames stamped with a fresh trace id.
+    pub traced_out: u64,
+    /// Connections refused by the handshake gate.
+    pub handshake_rejects: u64,
+}
+
+const INGRESS_QUEUE: WatermarkConfig = WatermarkConfig { high: 8 << 20, low: 1 << 20 };
+const SENDER_QUEUE_DEPTH: usize = 1024;
+
+// Route queues carry the *encoded* packet bytes: `Vec<u8>` is `Weighted`,
+// so the node's ingress backpressure is byte-accurate, and each ingress
+// source decodes with its own codec (the codec is stateless per message).
+fn ingress_queue() -> Arc<WatermarkQueue<Vec<u8>>> {
+    Arc::new(WatermarkQueue::new(INGRESS_QUEUE))
+}
+
+/// One egress edge: a supervised, sequenced sender plus its batch state.
+pub struct EgressCore {
+    link: Arc<SupervisedLink>,
+    state: Mutex<EgressBuf>,
+    batch_max: u32,
+    /// Stamp a trace id on every Nth frame (0 = never).
+    trace_every: u64,
+    frames: AtomicU64,
+    traced: AtomicU64,
+    packets: AtomicU64,
+}
+
+struct EgressBuf {
+    codec: PacketCodec,
+    buf: Vec<u8>,
+    count: u32,
+    next_msg_seq: u64,
+}
+
+fn now_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+impl EgressCore {
+    /// Append one packet; flushes when the batch fills.
+    fn push(&self, packet: &StreamPacket) -> Result<(), TransportError> {
+        let mut st = self.state.lock();
+        let len_at = st.buf.len();
+        st.buf.extend_from_slice(&[0u8; 4]);
+        let mut body = std::mem::take(&mut st.buf);
+        let encode = st.codec.encode_into(packet, &mut body);
+        st.buf = body;
+        encode.map_err(|e| TransportError::Malformed(e.to_string()))?;
+        let msg_len = (st.buf.len() - len_at - 4) as u32;
+        st.buf[len_at..len_at + 4].copy_from_slice(&msg_len.to_le_bytes());
+        st.count += 1;
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        if st.count >= self.batch_max {
+            self.flush_locked(&mut st)?;
+        }
+        Ok(())
+    }
+
+    /// Flush any buffered batch (flusher-thread entry).
+    pub fn flush(&self) -> Result<(), TransportError> {
+        let mut st = self.state.lock();
+        self.flush_locked(&mut st)
+    }
+
+    fn flush_locked(&self, st: &mut EgressBuf) -> Result<(), TransportError> {
+        if st.count == 0 {
+            return Ok(());
+        }
+        let encoded = Bytes::from(std::mem::take(&mut st.buf));
+        let count = std::mem::take(&mut st.count);
+        let base = st.next_msg_seq;
+        st.next_msg_seq += count as u64;
+        let frame_no = self.frames.fetch_add(1, Ordering::Relaxed);
+        // Frame-level trace sampling: ingress on the peer counts these,
+        // which is how FLAG_TRACE propagation across process boundaries
+        // is observed in cluster telemetry.
+        let trace =
+            (self.trace_every > 0 && frame_no.is_multiple_of(self.trace_every)).then(|| {
+                self.traced.fetch_add(1, Ordering::Relaxed);
+                (self.link.link_id() << 20) ^ (frame_no + 1)
+            });
+        self.link.send_batch_traced(base, encoded, count, now_micros(), trace)
+    }
+
+    /// The supervised link (replay/ack state).
+    pub fn link(&self) -> &Arc<SupervisedLink> {
+        &self.link
+    }
+
+    /// True when every sent frame has been acked by the peer.
+    pub fn replay_empty(&self) -> bool {
+        self.link.replay().is_empty() && self.state.lock().count == 0
+    }
+}
+
+struct IngressRoute {
+    queue: Arc<WatermarkQueue<Vec<u8>>>,
+}
+
+/// Per-node data-plane endpoint shared by the boundary operators, the
+/// demux pump, and the node daemon.
+pub struct DataPlane {
+    // `io_pool` must drop before `reactor` so retiring sender tasks can
+    // still deregister their sockets; fields drop in declaration order.
+    io_pool: IoPool,
+    reactor: Reactor,
+    receiver: TcpReceiver,
+    dedup: DedupFilter,
+    routes: Mutex<HashMap<u32, IngressRoute>>,
+    /// Current downstream address per egress edge (Rewire target).
+    edge_addrs: Mutex<HashMap<u32, String>>,
+    egress: Mutex<HashMap<u32, Arc<EgressCore>>>,
+    /// Withheld ack watermarks per inbound link id.
+    pending_acks: Mutex<HashMap<u64, u64>>,
+    immediate_acks: AtomicBool,
+    ingress_draining: AtomicBool,
+    shutdown: AtomicBool,
+    stats: Arc<RecoveryStats>,
+    frames_in: AtomicU64,
+    dup_frames: AtomicU64,
+    packets_in: AtomicU64,
+    traced_in: AtomicU64,
+}
+
+impl DataPlane {
+    /// Bind the node's data receiver on `addr` (use port 0 to let the OS
+    /// pick) and start the demux pump and egress flusher threads.
+    pub fn bind(addr: &str, ack_mode: AckMode) -> std::io::Result<Arc<Self>> {
+        let receiver = TcpReceiver::bind_manual_ack(
+            addr,
+            WatermarkConfig::new(32 << 20, 4 << 20),
+            Some(HandshakeGate::current()),
+        )?;
+        let reactor = Reactor::new("neptuned-dp")
+            .map_err(|e| std::io::Error::other(format!("reactor: {e}")))?;
+        let plane = Arc::new(DataPlane {
+            io_pool: IoPool::new("neptuned-dp", 2),
+            reactor,
+            receiver,
+            dedup: DedupFilter::new(),
+            routes: Mutex::new(HashMap::new()),
+            edge_addrs: Mutex::new(HashMap::new()),
+            egress: Mutex::new(HashMap::new()),
+            pending_acks: Mutex::new(HashMap::new()),
+            immediate_acks: AtomicBool::new(ack_mode == AckMode::Immediate),
+            ingress_draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            stats: Arc::new(RecoveryStats::new()),
+            frames_in: AtomicU64::new(0),
+            dup_frames: AtomicU64::new(0),
+            packets_in: AtomicU64::new(0),
+            traced_in: AtomicU64::new(0),
+        });
+        let pump = plane.clone();
+        std::thread::Builder::new()
+            .name("neptuned-demux".into())
+            .spawn(move || pump.demux_loop())
+            .expect("spawn demux pump");
+        let flusher = plane.clone();
+        std::thread::Builder::new()
+            .name("neptuned-flush".into())
+            .spawn(move || flusher.flush_loop())
+            .expect("spawn egress flusher");
+        Ok(plane)
+    }
+
+    /// The bound data-plane address (what `Register` advertises).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.receiver.local_addr()
+    }
+
+    /// Recovery counters shared with supervised links.
+    pub fn recovery_stats(&self) -> &Arc<RecoveryStats> {
+        &self.stats
+    }
+
+    fn driver(&self) -> NetDriver {
+        NetDriver::new(self.io_pool.spawner(), self.reactor.handle())
+    }
+
+    /// Inbound frame demux: route data frames to per-edge ingress queues,
+    /// dedup replays, count boundary-crossing traces, stage acks.
+    fn demux_loop(self: &Arc<Self>) {
+        let queue = self.receiver.queue();
+        while !self.shutdown.load(Ordering::Acquire) {
+            let Some(frame) = queue.pop_timeout(Duration::from_millis(5)) else {
+                continue;
+            };
+            if frame.control.is_some() {
+                continue;
+            }
+            let count = frame.messages.len() as u32;
+            let skip = match self.dedup.admit(frame.link_id, frame.base_seq, count) {
+                Admit::Fresh => 0,
+                Admit::Overlap { skip } => skip,
+                Admit::Duplicate => {
+                    self.dup_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stage_ack(frame.link_id);
+                    continue;
+                }
+            };
+            self.frames_in.fetch_add(1, Ordering::Relaxed);
+            if frame.trace.is_some() {
+                self.traced_in.fetch_add(1, Ordering::Relaxed);
+            }
+            let edge = edge_of(frame.link_id);
+            let queue = {
+                let mut routes = self.routes.lock();
+                let route =
+                    routes.entry(edge).or_insert_with(|| IngressRoute { queue: ingress_queue() });
+                route.queue.clone()
+            };
+            for msg in frame.messages.iter().skip(skip as usize) {
+                self.packets_in.fetch_add(1, Ordering::Relaxed);
+                let _ = queue.push_blocking(msg.to_vec());
+            }
+            self.stage_ack(frame.link_id);
+        }
+    }
+
+    fn stage_ack(&self, link: u64) {
+        let Some(watermark) = self.dedup.ack_watermark(link) else { return };
+        if self.immediate_acks.load(Ordering::Relaxed) {
+            self.receiver.send_ack(link, watermark);
+        } else {
+            self.pending_acks.lock().insert(link, watermark);
+        }
+    }
+
+    /// Release withheld acks — call only when the local pipeline is
+    /// quiescent (ingress queues empty, job settled, egress replays
+    /// empty). Returns the number of links acked.
+    pub fn release_acks(&self) -> usize {
+        let staged: Vec<(u64, u64)> = {
+            let mut p = self.pending_acks.lock();
+            p.drain().collect()
+        };
+        let mut sent = 0;
+        for (link, watermark) in staged {
+            if self.receiver.send_ack(link, watermark) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// True when every ingress queue is empty and every egress replay
+    /// buffer is clear — the data-plane half of the quiescence test.
+    pub fn quiescent(&self) -> bool {
+        self.routes.lock().values().all(|r| r.queue.is_empty())
+            && self.egress.lock().values().all(|e| e.replay_empty())
+    }
+
+    /// Periodic egress flush + idle heartbeats, so partial batches drain
+    /// and dead peers are detected without data traffic.
+    fn flush_loop(self: &Arc<Self>) {
+        let mut beat = 0u32;
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(2));
+            beat = beat.wrapping_add(1);
+            let cores: Vec<Arc<EgressCore>> = self.egress.lock().values().cloned().collect();
+            for core in cores {
+                let _ = core.flush();
+                // ~every 200 ms: probe idle links so the receiver's
+                // manual-ack watermark flows back.
+                if beat.is_multiple_of(100) {
+                    let _ = core.link().heartbeat();
+                }
+            }
+        }
+    }
+
+    /// Point an egress edge at a (new) downstream address.
+    pub fn set_edge_addr(&self, edge: u32, addr: String) {
+        self.edge_addrs.lock().insert(edge, addr);
+    }
+
+    /// Handle [`ControlMsg::Rewire`]: repoint the edge and force the
+    /// supervised link to reconnect by failing its current connection on
+    /// the next send/heartbeat (the connector re-reads the address).
+    pub fn rewire(&self, edge: u32, addr: String) {
+        self.set_edge_addr(edge, addr);
+        // The supervised link notices the stale connection on its next
+        // send or heartbeat failure and reconnects through the connector,
+        // which reads the address table again. Nothing to tear down here:
+        // the old socket either errors (peer died) or is simply unused.
+    }
+
+    /// Mark ingress sources as draining: they exhaust once their queues
+    /// empty instead of idling forever (job teardown path).
+    pub fn drain_ingress(&self) {
+        self.ingress_draining.store(true, Ordering::Release);
+    }
+
+    /// Stop pump/flusher threads and close the inbound queue.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.receiver.queue().close();
+    }
+
+    /// Snapshot of the counters for reports.
+    pub fn stats(&self) -> DataPlaneStats {
+        let (mut frames_out, mut packets_out, mut traced_out) = (0, 0, 0);
+        for core in self.egress.lock().values() {
+            frames_out += core.frames.load(Ordering::Relaxed);
+            packets_out += core.packets.load(Ordering::Relaxed);
+            traced_out += core.traced.load(Ordering::Relaxed);
+        }
+        DataPlaneStats {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            dup_frames: self.dup_frames.load(Ordering::Relaxed),
+            packets_in: self.packets_in.load(Ordering::Relaxed),
+            traced_in: self.traced_in.load(Ordering::Relaxed),
+            frames_out,
+            packets_out,
+            traced_out,
+            handshake_rejects: self.receiver.handshake_rejects(),
+        }
+    }
+
+    /// Build (or rebuild) the egress core for `edge` with a fresh epoch —
+    /// called from the `__egress` factory on every (re)assignment.
+    fn egress_core(
+        self: &Arc<Self>,
+        edge: u32,
+        epoch: u32,
+        addr: String,
+        batch_max: u32,
+        trace_every: u64,
+    ) -> Arc<EgressCore> {
+        self.set_edge_addr(edge, addr);
+        let id = link_id(edge, epoch);
+        let plane = self.clone();
+        // The ack callback needs the replay buffer, which only exists
+        // once the link is built — close over a slot filled right after.
+        let replay_slot: Arc<std::sync::OnceLock<Arc<neptune_ha::replay::ReplayBuffer>>> =
+            Arc::new(std::sync::OnceLock::new());
+        let ack_slot = replay_slot.clone();
+        let connector = move || {
+            let addr = plane
+                .edge_addrs
+                .lock()
+                .get(&edge)
+                .cloned()
+                .ok_or_else(|| TransportError::Io(format!("no address for edge {edge}")))?;
+            let slot = ack_slot.clone();
+            let sender = TcpSender::connect_reactor_with_acks(
+                addr.as_str(),
+                SENDER_QUEUE_DEPTH,
+                &plane.driver(),
+                move |_link, next_expected| {
+                    if let Some(replay) = slot.get() {
+                        replay.ack(next_expected);
+                    }
+                },
+            )
+            .map_err(|e| TransportError::Io(format!("connect {addr}: {e}")))?;
+            // First frame on every data connection: the protocol hello,
+            // so the peer's handshake gate admits us (satellite 1).
+            sender
+                .send(encode_hello_frame(id, PROTOCOL_VERSION, CAPS_ALL))
+                .map_err(|e| TransportError::Io(format!("hello to {addr}: {e:?}")))?;
+            Ok(Arc::new(TcpFrameLink::new(sender, SelectiveCompressor::disabled()))
+                as Arc<dyn FrameLink>)
+        };
+        let mut policy = ReconnectPolicy::new(id);
+        policy.max_attempts = 40; // ride out coordinator reassignment windows
+        policy.cap = Duration::from_millis(250);
+        let link =
+            Arc::new(SupervisedLink::new(id, connector, policy, 64 << 20, self.stats.clone()));
+        let _ = replay_slot.set(link.replay().clone());
+        let core = Arc::new(EgressCore {
+            link,
+            state: Mutex::new(EgressBuf {
+                codec: PacketCodec::new(),
+                buf: Vec::with_capacity(8 << 10),
+                count: 0,
+                next_msg_seq: 0,
+            }),
+            batch_max: batch_max.max(1),
+            trace_every,
+            frames: AtomicU64::new(0),
+            traced: AtomicU64::new(0),
+            packets: AtomicU64::new(0),
+        });
+        self.egress.lock().insert(edge, core.clone());
+        core
+    }
+
+    fn ingress_route(&self, edge: u32) -> Arc<WatermarkQueue<Vec<u8>>> {
+        let mut routes = self.routes.lock();
+        routes.entry(edge).or_insert_with(|| IngressRoute { queue: ingress_queue() }).queue.clone()
+    }
+
+    /// Register the `__ingress` / `__egress` boundary factories on a
+    /// registry (composed with the builtin vocabulary by the node daemon).
+    ///
+    /// Params: `__ingress` takes `{edge}`; `__egress` takes
+    /// `{edge, epoch, addr, batch?, trace_every?}`.
+    pub fn register_boundary_ops(self: &Arc<Self>, registry: &mut OperatorRegistry) {
+        let plane = self.clone();
+        registry.register_source("__ingress", move |params: &JsonValue| {
+            let edge = params.get("edge").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            IngressSource {
+                queue: plane.ingress_route(edge),
+                codec: PacketCodec::new(),
+                edge,
+                draining: plane_flag(&plane.ingress_draining),
+                shutdown: plane_flag(&plane.shutdown),
+            }
+        });
+        let plane = self.clone();
+        registry.register_processor("__egress", move |params: &JsonValue| {
+            let edge = params.get("edge").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            let epoch = params.get("epoch").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            let addr = params.get("addr").and_then(|v| v.as_str()).unwrap_or_default().to_string();
+            let batch = params.get("batch").and_then(|v| v.as_u64()).unwrap_or(64) as u32;
+            let trace_every = params.get("trace_every").and_then(|v| v.as_u64()).unwrap_or(64);
+            EgressOp { core: plane.egress_core(edge, epoch, addr, batch, trace_every) }
+        });
+    }
+}
+
+// The flags live inside the Arc<DataPlane>; operators hold clones of the
+// Arc-backed atomics via small handles to avoid borrowing the plane.
+fn plane_flag(flag: &AtomicBool) -> FlagProbe {
+    // SAFETY-free sharing: the factories capture Arc<DataPlane>, which
+    // outlives every operator instance (the registry holds the Arc). We
+    // still copy the current pointer into a probe closure per instance.
+    let ptr: *const AtomicBool = flag;
+    FlagProbe { ptr }
+}
+
+/// Raw-pointer probe into a flag owned by the `Arc<DataPlane>` captured
+/// in the operator factory — the factory closure (and thus the plane)
+/// outlives every instance it constructs.
+struct FlagProbe {
+    ptr: *const AtomicBool,
+}
+
+// The pointee is an AtomicBool inside an Arc the factory keeps alive.
+unsafe impl Send for FlagProbe {}
+
+impl FlagProbe {
+    fn get(&self) -> bool {
+        unsafe { (*self.ptr).load(Ordering::Acquire) }
+    }
+}
+
+/// Boundary source: feeds packets demuxed off the wire into the local
+/// sub-graph.
+struct IngressSource {
+    queue: Arc<WatermarkQueue<Vec<u8>>>,
+    codec: PacketCodec,
+    edge: u32,
+    draining: FlagProbe,
+    shutdown: FlagProbe,
+}
+
+impl IngressSource {
+    fn emit_bytes(&mut self, bytes: &[u8], ctx: &mut OperatorContext) -> Result<(), ()> {
+        match self.codec.decode(bytes) {
+            Ok(packet) => ctx.emit(&packet).map_err(|_| ()),
+            Err(e) => {
+                eprintln!("neptuned: undecodable packet on edge {}: {e}", self.edge);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl StreamSource for IngressSource {
+    fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus {
+        let mut emitted = 0usize;
+        while emitted < 64 {
+            match self.queue.pop() {
+                Some(bytes) => {
+                    if self.emit_bytes(&bytes, ctx).is_err() {
+                        return SourceStatus::Exhausted;
+                    }
+                    emitted += 1;
+                }
+                None => break,
+            }
+        }
+        if emitted > 0 {
+            return SourceStatus::Emitted(emitted);
+        }
+        if self.shutdown.get() || (self.draining.get() && self.queue.is_empty()) {
+            return SourceStatus::Exhausted;
+        }
+        // Block briefly for the next packet instead of spinning.
+        match self.queue.pop_timeout(Duration::from_millis(2)) {
+            Some(bytes) => match self.emit_bytes(&bytes, ctx) {
+                Ok(()) => SourceStatus::Emitted(1),
+                Err(()) => SourceStatus::Exhausted,
+            },
+            None => SourceStatus::Idle,
+        }
+    }
+}
+
+/// Boundary processor: ships packets to the downstream node.
+struct EgressOp {
+    core: Arc<EgressCore>,
+}
+
+impl StreamProcessor for EgressOp {
+    fn process(&mut self, packet: &StreamPacket, _ctx: &mut OperatorContext) {
+        if let Err(e) = self.core.push(packet) {
+            eprintln!("neptuned: egress send failed terminally: {e:?}");
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut OperatorContext) {
+        let _ = self.core.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_core::packet::FieldValue;
+
+    fn packet(uid: u64) -> StreamPacket {
+        let mut p = StreamPacket::new();
+        p.push_field("uid", FieldValue::U64(uid));
+        p
+    }
+
+    #[test]
+    fn link_id_packs_edge_and_epoch() {
+        assert_eq!(link_id(7, 0), 7);
+        assert_eq!(link_id(7, 3), (3u64 << 32) | 7);
+        assert_eq!(edge_of(link_id(9, 1234)), 9);
+    }
+
+    #[test]
+    fn planes_ship_packets_end_to_end_with_quiescent_acks() {
+        let up = DataPlane::bind("127.0.0.1:0", AckMode::Quiescent).unwrap();
+        let down = DataPlane::bind("127.0.0.1:0", AckMode::Quiescent).unwrap();
+        let core = up.egress_core(3, 0, down.local_addr().to_string(), 4, 2);
+        for uid in 0..10u64 {
+            core.push(&packet(uid)).unwrap();
+        }
+        core.flush().unwrap();
+        let route = down.ingress_route(3);
+        let mut codec = PacketCodec::new();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 10 && std::time::Instant::now() < deadline {
+            if let Some(bytes) = route.pop_timeout(Duration::from_millis(10)) {
+                let p = codec.decode(&bytes).unwrap();
+                got.push(p.get("uid").unwrap().as_u64().unwrap());
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "in order, zero loss");
+        // Quiescent mode: acks withheld, replay retains the frames.
+        assert!(!core.replay_empty(), "no acks released yet");
+        assert!(down.release_acks() > 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !core.replay_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(core.replay_empty(), "ack released the replay buffer");
+        // Trace sampling crossed the boundary.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while down.stats().traced_in == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let dstats = down.stats();
+        let ustats = up.stats();
+        assert!(ustats.traced_out >= 1, "egress samples trace ids");
+        assert_eq!(dstats.traced_in, ustats.traced_out, "FLAG_TRACE survives the hop");
+        assert_eq!(dstats.packets_in, 10);
+        assert_eq!(dstats.handshake_rejects, 0, "hello admitted by the gate");
+        up.shutdown();
+        down.shutdown();
+    }
+
+    #[test]
+    fn duplicate_frames_are_dropped_by_the_demux() {
+        let down = DataPlane::bind("127.0.0.1:0", AckMode::Immediate).unwrap();
+        let up = DataPlane::bind("127.0.0.1:0", AckMode::Immediate).unwrap();
+        let core = up.egress_core(1, 0, down.local_addr().to_string(), 64, 0);
+        core.push(&packet(1)).unwrap();
+        core.flush().unwrap();
+        // Replay the identical frame by hand through a second supervised
+        // send with the same base_seq: craft via a fresh core on the SAME
+        // link identity (epoch unchanged) — its frame seq restarts at 0,
+        // and base_seq restarts at 0, so the demux sees a duplicate.
+        let core2 = up.egress_core(1, 0, down.local_addr().to_string(), 64, 0);
+        core2.push(&packet(1)).unwrap();
+        core2.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while down.stats().dup_frames == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = down.stats();
+        assert_eq!(stats.packets_in, 1, "duplicate packet not delivered");
+        assert_eq!(stats.dup_frames, 1);
+        // A fresh epoch is a fresh identity: same payload now admitted.
+        let core3 = up.egress_core(1, 1, down.local_addr().to_string(), 64, 0);
+        core3.push(&packet(1)).unwrap();
+        core3.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while down.stats().packets_in < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(down.stats().packets_in, 2, "epoch bump re-admits the restarted producer");
+        up.shutdown();
+        down.shutdown();
+    }
+}

@@ -1,0 +1,288 @@
+//! Operator placement, shared between the cluster *simulator* and the
+//! real multi-process runtime.
+//!
+//! The paper's scaling setup (§IV-A) places stage `s` of job `j` on node
+//! `(j + s) mod nodes`: consecutive stages land on consecutive nodes, so
+//! every full-duplex link direction is engaged once jobs ≈ nodes. That
+//! ring rule used to live as a closure inside `neptune-sim::cluster`;
+//! [`ring_place`] is its extraction, and `neptune-sim` now calls it here —
+//! the simulated Fig. 6 curve and the real `neptuned` deployment share one
+//! placement function.
+//!
+//! [`partition_graph`] is the scheduling entry the coordinator uses: it
+//! walks a job's operators in declared (topological) order, treats the
+//! operator index as the ring stage, and assigns **all instances of an
+//! operator to one node** — co-location keeps fields-partitioned
+//! redistribution local to the receiving node, so a key always hashes to
+//! the same instance no matter which node computed the hash. Node
+//! capacities (in instance slots) are respected by probing forward around
+//! the ring from the preferred slot; the result is deterministic for a
+//! fixed node list (same ranking as `simulate_cluster`'s round-robin,
+//! property-tested in `tests/prop_placement.rs`).
+
+use std::collections::BTreeMap;
+
+/// The ring rule extracted from `neptune-sim::cluster`: stage `s` of job
+/// `j` runs on `alive[(j + s) % alive.len()]`. `alive` is the orderd list
+/// of surviving node indices; under faults, dead nodes simply leave the
+/// ring and displaced stages restart on consecutive survivors.
+///
+/// # Panics
+/// When `alive` is empty (a cluster with no survivors has no placement).
+pub fn ring_place(job: usize, stage: usize, alive: &[usize]) -> usize {
+    alive[(job + stage) % alive.len()]
+}
+
+/// A node the coordinator can place operators on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSlot {
+    /// Node name (the daemon's registered identity).
+    pub name: String,
+    /// Capacity in operator-*instance* slots.
+    pub capacity: usize,
+}
+
+impl NodeSlot {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        NodeSlot { name: name.into(), capacity }
+    }
+}
+
+/// One operator to place: name plus its instance count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpDemand {
+    /// Operator name.
+    pub name: String,
+    /// Instances (all co-located on the chosen node).
+    pub parallelism: usize,
+}
+
+impl OpDemand {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, parallelism: usize) -> Self {
+        OpDemand { name: name.into(), parallelism }
+    }
+}
+
+/// Placement failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// No nodes to place on.
+    NoNodes,
+    /// No node has enough free slots for this operator's instances.
+    InsufficientCapacity {
+        /// The operator that could not be placed.
+        operator: String,
+        /// Slots it needs on a single node.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoNodes => write!(f, "placement: no nodes registered"),
+            PlacementError::InsufficientCapacity { operator, needed } => write!(
+                f,
+                "placement: no node has {needed} free instance slots for operator '{operator}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A computed operator→node assignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Placement {
+    /// Operator name → index into the node list it was computed against.
+    map: BTreeMap<String, usize>,
+}
+
+impl Placement {
+    /// Node index hosting `op`, if placed.
+    pub fn node_of(&self, op: &str) -> Option<usize> {
+        self.map.get(op).copied()
+    }
+
+    /// Operator names hosted on node `node`, in deterministic name order.
+    pub fn ops_on(&self, node: usize) -> Vec<&str> {
+        self.map.iter().filter(|(_, &n)| n == node).map(|(o, _)| o.as_str()).collect()
+    }
+
+    /// All `(operator, node_index)` pairs, in deterministic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.map.iter().map(|(o, &n)| (o.as_str(), n))
+    }
+
+    /// Number of placed operators.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Overwrite (or insert) one operator's node — the reassignment hook.
+    pub fn set(&mut self, op: impl Into<String>, node: usize) {
+        self.map.insert(op.into(), node);
+    }
+}
+
+/// Free slots left on each node after accounting for `placed`.
+fn free_slots(ops: &[OpDemand], nodes: &[NodeSlot], placed: &Placement) -> Vec<usize> {
+    let mut free: Vec<usize> = nodes.iter().map(|n| n.capacity).collect();
+    for op in ops {
+        if let Some(n) = placed.node_of(&op.name) {
+            free[n] = free[n].saturating_sub(op.parallelism.max(1));
+        }
+    }
+    free
+}
+
+/// Place one operator on the ring of `eligible` node indices, preferring
+/// `ring_place(job, stage, eligible)` and probing forward until a node
+/// with enough free slots is found.
+fn place_one(
+    op: &OpDemand,
+    job: usize,
+    stage: usize,
+    eligible: &[usize],
+    free: &mut [usize],
+) -> Result<usize, PlacementError> {
+    if eligible.is_empty() {
+        return Err(PlacementError::NoNodes);
+    }
+    let need = op.parallelism.max(1);
+    let start = (job + stage) % eligible.len();
+    for probe in 0..eligible.len() {
+        let node = eligible[(start + probe) % eligible.len()];
+        if free[node] >= need {
+            free[node] -= need;
+            return Ok(node);
+        }
+    }
+    Err(PlacementError::InsufficientCapacity { operator: op.name.clone(), needed: need })
+}
+
+/// Partition a job's operators over `nodes`. `job` is the job's index in
+/// the cluster (offsets the ring exactly like the simulator, so
+/// concurrent jobs interleave instead of piling onto node 0). Operators
+/// must be given in declared/topological order — their position is the
+/// ring stage.
+pub fn partition_graph(
+    job: usize,
+    ops: &[OpDemand],
+    nodes: &[NodeSlot],
+) -> Result<Placement, PlacementError> {
+    if nodes.is_empty() {
+        return Err(PlacementError::NoNodes);
+    }
+    let eligible: Vec<usize> = (0..nodes.len()).collect();
+    let mut free: Vec<usize> = nodes.iter().map(|n| n.capacity).collect();
+    let mut placement = Placement::default();
+    for (stage, op) in ops.iter().enumerate() {
+        let node = place_one(op, job, stage, &eligible, &mut free)?;
+        placement.set(op.name.clone(), node);
+    }
+    Ok(placement)
+}
+
+/// Re-place the operators stranded on `dead` over the surviving nodes,
+/// keeping every other operator where it is. Displaced operators keep
+/// their original stage order and probe the *survivor* ring from their
+/// stage slot — the same restart-round-robin the simulator applies in
+/// `simulate_cluster_with_faults`. Survivor capacities account for the
+/// operators they already host.
+pub fn reassign_dead(
+    job: usize,
+    ops: &[OpDemand],
+    nodes: &[NodeSlot],
+    current: &Placement,
+    dead: usize,
+) -> Result<Placement, PlacementError> {
+    let survivors: Vec<usize> = (0..nodes.len()).filter(|&n| n != dead).collect();
+    if survivors.is_empty() {
+        return Err(PlacementError::NoNodes);
+    }
+    let mut next = current.clone();
+    // Free slots on survivors, after the operators staying put.
+    let mut free = free_slots(ops, nodes, current);
+    free[dead] = 0;
+    for (stage, op) in ops.iter().enumerate() {
+        if current.node_of(&op.name) != Some(dead) {
+            continue;
+        }
+        let node = place_one(op, job, stage, &survivors, &mut free)?;
+        next.set(op.name.clone(), node);
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(caps: &[usize]) -> Vec<NodeSlot> {
+        caps.iter().enumerate().map(|(i, &c)| NodeSlot::new(format!("n{i}"), c)).collect()
+    }
+
+    #[test]
+    fn ring_place_matches_simulator_rule() {
+        let alive = vec![0usize, 2, 3];
+        for job in 0..5 {
+            for stage in 0..5 {
+                assert_eq!(ring_place(job, stage, &alive), alive[(job + stage) % 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn three_ops_on_three_nodes_spread_one_each() {
+        let ops =
+            vec![OpDemand::new("src", 1), OpDemand::new("relay", 1), OpDemand::new("sink", 1)];
+        let p = partition_graph(0, &ops, &nodes(&[8, 8, 8])).unwrap();
+        assert_eq!(p.node_of("src"), Some(0));
+        assert_eq!(p.node_of("relay"), Some(1));
+        assert_eq!(p.node_of("sink"), Some(2));
+    }
+
+    #[test]
+    fn capacity_probes_forward() {
+        // Node 1 is full: stage 1 skips to node 2, stage 2 wraps to 0.
+        let ops = vec![OpDemand::new("a", 1), OpDemand::new("b", 2), OpDemand::new("c", 1)];
+        let p = partition_graph(0, &ops, &nodes(&[4, 1, 4])).unwrap();
+        assert_eq!(p.node_of("a"), Some(0));
+        assert_eq!(p.node_of("b"), Some(2), "b needs 2 slots, node 1 has 1");
+        assert_eq!(p.node_of("c"), Some(2));
+    }
+
+    #[test]
+    fn over_capacity_is_an_error() {
+        let ops = vec![OpDemand::new("wide", 9)];
+        let err = partition_graph(0, &ops, &nodes(&[8, 8])).unwrap_err();
+        assert!(matches!(err, PlacementError::InsufficientCapacity { needed: 9, .. }));
+        assert!(partition_graph(0, &ops, &[]).is_err());
+    }
+
+    #[test]
+    fn reassign_moves_only_the_dead_nodes_ops() {
+        let ops =
+            vec![OpDemand::new("src", 1), OpDemand::new("relay", 1), OpDemand::new("sink", 1)];
+        let ns = nodes(&[8, 8, 8]);
+        let p = partition_graph(0, &ops, &ns).unwrap();
+        let r = reassign_dead(0, &ops, &ns, &p, 1).unwrap();
+        assert_eq!(r.node_of("src"), Some(0), "survivor stays");
+        assert_eq!(r.node_of("sink"), Some(2), "survivor stays");
+        let moved = r.node_of("relay").unwrap();
+        assert_ne!(moved, 1, "displaced operator leaves the dead node");
+        // Deterministic: stage 1 on the survivor ring [0, 2] prefers
+        // index (0 + 1) % 2 = 1 → node 2.
+        assert_eq!(moved, 2);
+        // Idempotent determinism.
+        assert_eq!(r, reassign_dead(0, &ops, &ns, &p, 1).unwrap());
+    }
+}

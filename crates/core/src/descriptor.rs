@@ -84,6 +84,25 @@ impl OperatorRegistry {
     pub fn processor_names(&self) -> Vec<&str> {
         self.processors.keys().map(String::as_str).collect()
     }
+
+    /// Build a graph [`Factory`] for a registered source, binding `params`
+    /// now — the programmatic equivalent of a descriptor's
+    /// `{"kind": "source", "factory": name, "params": …}` entry. `None`
+    /// when the name is not registered. `neptune-cluster` uses this to
+    /// assemble per-node sub-graphs without round-tripping through JSON
+    /// text.
+    pub fn source_factory(&self, name: &str, params: &JsonValue) -> Option<Factory> {
+        let ctor = self.sources.get(name)?.clone();
+        let params = params.clone();
+        Some(Factory::Source(Arc::new(move || ctor(&params))))
+    }
+
+    /// Processor counterpart of [`source_factory`](Self::source_factory).
+    pub fn processor_factory(&self, name: &str, params: &JsonValue) -> Option<Factory> {
+        let ctor = self.processors.get(name)?.clone();
+        let params = params.clone();
+        Some(Factory::Processor(Arc::new(move || ctor(&params))))
+    }
 }
 
 /// Descriptor processing failures.
@@ -161,26 +180,18 @@ pub fn parse_descriptor(
         };
         let params = op.get("params").cloned().unwrap_or(JsonValue::Null);
         let factory = match kind {
-            "source" => {
-                let ctor = registry.sources.get(factory_name).ok_or_else(|| {
-                    DescriptorError::UnknownFactory {
-                        factory: factory_name.into(),
-                        kind: "source".into(),
-                    }
-                })?;
-                let ctor = ctor.clone();
-                Factory::Source(Arc::new(move || ctor(&params)))
-            }
-            "processor" => {
-                let ctor = registry.processors.get(factory_name).ok_or_else(|| {
-                    DescriptorError::UnknownFactory {
-                        factory: factory_name.into(),
-                        kind: "processor".into(),
-                    }
-                })?;
-                let ctor = ctor.clone();
-                Factory::Processor(Arc::new(move || ctor(&params)))
-            }
+            "source" => registry.source_factory(factory_name, &params).ok_or_else(|| {
+                DescriptorError::UnknownFactory {
+                    factory: factory_name.into(),
+                    kind: "source".into(),
+                }
+            })?,
+            "processor" => registry.processor_factory(factory_name, &params).ok_or_else(|| {
+                DescriptorError::UnknownFactory {
+                    factory: factory_name.into(),
+                    kind: "processor".into(),
+                }
+            })?,
             other => {
                 return Err(shape(format!(
                     "operator '{op_name}': kind must be 'source' or 'processor', got '{other}'"

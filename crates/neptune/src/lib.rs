@@ -23,10 +23,14 @@
 //! * [`ha`](neptune_ha) — the fault-tolerance subsystem: sequenced
 //!   ack/replay delivery, reconnecting links, heartbeat failure
 //!   detection, and the deterministic chaos harness.
+//! * [`cluster`](neptune_cluster) — real multi-process distribution:
+//!   the `neptuned` node daemon, the coordinator control plane, graph
+//!   partitioning, and the cross-process data plane.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
 //! for the per-figure experiment harness.
 
+pub use neptune_cluster as cluster;
 pub use neptune_compress as compress;
 pub use neptune_core as core;
 pub use neptune_data as data;

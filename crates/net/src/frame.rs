@@ -271,6 +271,13 @@ pub enum ControlKind {
     /// receiver expects on this link — everything below it may be trimmed
     /// from the sender's replay buffer.
     Ack,
+    /// Protocol handshake announcement. Value: [`hello_value`] — a magic
+    /// tag plus the sender's protocol version and capability byte (see
+    /// [`PROTOCOL_VERSION`]). Sent as the *first* frame on a connection by
+    /// version-aware peers (`neptuned`); legacy in-repo clients never send
+    /// it and receivers that predate it skip it, so the wire stays
+    /// byte-compatible in both directions.
+    Hello,
 }
 
 impl ControlKind {
@@ -279,6 +286,7 @@ impl ControlKind {
         match self {
             ControlKind::Heartbeat => 1,
             ControlKind::Ack => 2,
+            ControlKind::Hello => 3,
         }
     }
 
@@ -287,9 +295,49 @@ impl ControlKind {
         match w {
             1 => Some(ControlKind::Heartbeat),
             2 => Some(ControlKind::Ack),
+            3 => Some(ControlKind::Hello),
             _ => None,
         }
     }
+}
+
+/// Wire protocol version announced in [`ControlKind::Hello`] frames. Bump
+/// on any change that an older decoder would *misread* (new mandatory
+/// extension semantics, control-value layout changes); purely additive
+/// extension bits do not need a bump — unknown bits are skipped.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Capability bit: the peer propagates [`FLAG_TRACE`] trace ids.
+pub const CAP_TRACE: u8 = 0x01;
+/// Capability bit: the peer runs the HA layer ([`FLAG_SEQ`] ack/replay).
+pub const CAP_SEQ_REPLAY: u8 = 0x02;
+/// Capability bit: the peer understands entropy-compressed frame bodies.
+pub const CAP_COMPRESS: u8 = 0x04;
+/// Capability byte a current full-featured build announces.
+pub const CAPS_ALL: u8 = CAP_TRACE | CAP_SEQ_REPLAY | CAP_COMPRESS;
+
+/// Tag in the high bits of a hello value, so a garbled or misrouted
+/// control word cannot be mistaken for a plausible version announcement.
+const HELLO_TAG: u64 = 0x4E50_4854 << 32; // "NPHT"
+
+/// Pack a hello control value: tag | version | capability byte.
+pub fn hello_value(version: u8, caps: u8) -> u64 {
+    HELLO_TAG | ((version as u64) << 8) | caps as u64
+}
+
+/// Unpack a hello control value into `(version, caps)`; `None` when the
+/// tag is wrong (the word was not produced by [`hello_value`]).
+pub fn hello_parts(value: u64) -> Option<(u8, u8)> {
+    if value & 0xFFFF_FFFF_0000_0000 != HELLO_TAG {
+        return None;
+    }
+    Some((((value >> 8) & 0xFF) as u8, (value & 0xFF) as u8))
+}
+
+/// Encode the hello handshake frame a version-aware peer sends first on a
+/// new connection.
+pub fn encode_hello_frame(link_id: u64, version: u8, caps: u8) -> Vec<u8> {
+    encode_control_frame(link_id, ControlKind::Hello, hello_value(version, caps))
 }
 
 /// A decoded frame.
@@ -1320,6 +1368,25 @@ mod tests {
             let f3 = read_frame(&mut cursor).unwrap();
             assert_eq!(f3.control, Some(kind));
             assert_eq!(f3.base_seq, value);
+        }
+    }
+
+    #[test]
+    fn hello_frame_roundtrips_and_value_is_tagged() {
+        let wire = encode_hello_frame(7, PROTOCOL_VERSION, CAPS_ALL);
+        let (f, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(f.control, Some(ControlKind::Hello));
+        assert_eq!(hello_parts(f.base_seq), Some((PROTOCOL_VERSION, CAPS_ALL)));
+        // A word not produced by hello_value (e.g. an ack watermark that
+        // got misrouted) must not parse as a version announcement.
+        assert_eq!(hello_parts(1_000_000), None);
+        assert_eq!(hello_parts(0), None);
+        // All version/caps combinations survive the pack/unpack.
+        for v in [0u8, 1, 7, 255] {
+            for c in [0u8, CAP_TRACE, CAPS_ALL, 255] {
+                assert_eq!(hello_parts(hello_value(v, c)), Some((v, c)));
+            }
         }
     }
 

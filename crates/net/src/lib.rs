@@ -41,11 +41,13 @@ pub mod watermark;
 pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
 pub use frame::{
     crc32, decode_frame, decode_frame_shared, encode_control_frame, encode_frame, encode_frame_raw,
-    encode_frame_raw_ext, read_frame, read_frame_pooled, ControlKind, Frame, FrameDecoder,
-    FrameError, FrameMessages, FLAG_CONTROL, FLAG_SENT_AT, FLAG_SEQ, FRAME_HEADER_LEN,
+    encode_frame_raw_ext, encode_hello_frame, hello_parts, hello_value, read_frame,
+    read_frame_pooled, ControlKind, Frame, FrameDecoder, FrameError, FrameMessages, CAPS_ALL,
+    CAP_COMPRESS, CAP_SEQ_REPLAY, CAP_TRACE, FLAG_CONTROL, FLAG_SENT_AT, FLAG_SEQ,
+    FRAME_HEADER_LEN, PROTOCOL_VERSION,
 };
 pub use pool::{BytesPool, BytesPoolStats};
-pub use tcp::{TcpReceiver, TcpSender};
+pub use tcp::{HandshakeGate, TcpReceiver, TcpSender};
 pub use tcp_reactor::NetDriver;
 pub use transport::{BatchSink, InProcessTransport};
 pub use watermark::{PushError, Pushed, ShedConfig, ShedPolicy, WatermarkConfig, WatermarkQueue};

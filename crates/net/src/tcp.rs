@@ -43,13 +43,17 @@
 //! `neptune-ha`'s replay buffer trims from. Legacy frames without the
 //! extension elicit no acks, so pre-existing peers are unaffected.
 
-use crate::frame::{encode_control_frame, read_frame, read_frame_pooled, ControlKind, Frame};
+use crate::frame::{
+    encode_control_frame, encode_hello_frame, hello_parts, read_frame, read_frame_pooled,
+    ControlKind, Frame, PROTOCOL_VERSION,
+};
 use crate::pool::BytesPool;
 use crate::tcp_reactor::{NetDriver, ReactorReceiver, ReactorSender};
 use crate::transport::TransportError;
 use crate::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use crossbeam::channel::{bounded, Sender as ChannelSender};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -60,6 +64,81 @@ use std::thread::JoinHandle;
 /// between the acceptor and every reader, installable after bind (hence
 /// the `RwLock<Option<..>>` indirection).
 pub(crate) type DeliverHook = Arc<RwLock<Option<Arc<dyn Fn() + Send + Sync>>>>;
+
+/// Receiver-side admission rule for the [`ControlKind::Hello`] handshake.
+///
+/// When installed (see [`TcpReceiver::bind_manual_ack`]), a connection's
+/// first hello frame is checked against it: a version other than `version`
+/// or a capability byte missing any of `required_caps` drops the
+/// connection immediately — a mismatched peer fails on connect, before any
+/// data frame can be mis-decoded. Connections that never send a hello are
+/// still admitted (legacy in-repo clients are byte-compatible); the gate
+/// only rejects peers that *announce* an incompatibility.
+#[derive(Debug, Clone, Copy)]
+pub struct HandshakeGate {
+    /// Exact protocol version required ([`PROTOCOL_VERSION`] for this build).
+    pub version: u8,
+    /// Capability bits the peer must announce (0 = any peer).
+    pub required_caps: u8,
+}
+
+impl HandshakeGate {
+    /// Gate for this build's protocol version with no capability demands.
+    pub fn current() -> Self {
+        HandshakeGate { version: PROTOCOL_VERSION, required_caps: 0 }
+    }
+
+    /// Check an announced `(version, caps)` pair; `Err` holds a
+    /// human-readable reason.
+    pub fn check(&self, version: u8, caps: u8) -> Result<(), String> {
+        if version != self.version {
+            return Err(format!(
+                "protocol version mismatch: peer announces v{version}, this build speaks v{}",
+                self.version
+            ));
+        }
+        if caps & self.required_caps != self.required_caps {
+            return Err(format!(
+                "capability mismatch: peer caps {caps:#04x} miss required {:#04x}",
+                self.required_caps
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-link ack state on a manual-ack receiver: the socket to write the
+/// ack on (re-registered by each new connection carrying the link) and the
+/// last watermark the *application* acknowledged — which is also what
+/// heartbeats answer with, so a supervised sender's replay buffer is never
+/// trimmed past what the application has actually secured.
+struct ManualAckLink {
+    stream: TcpStream,
+    acked: u64,
+}
+
+/// State shared by every reader thread of one blocking receiver: ack
+/// discipline, handshake gate, and the link→socket registry behind
+/// [`TcpReceiver::send_ack`].
+struct ReaderPolicy {
+    /// When true, data frames are *not* auto-acked after landing on the
+    /// queue; the application drives acks via [`TcpReceiver::send_ack`].
+    manual_ack: bool,
+    handshake: Option<HandshakeGate>,
+    handshake_rejects: AtomicU64,
+    ack_links: Mutex<HashMap<u64, ManualAckLink>>,
+}
+
+impl ReaderPolicy {
+    fn auto() -> Arc<Self> {
+        Arc::new(ReaderPolicy {
+            manual_ack: false,
+            handshake: None,
+            handshake_rejects: AtomicU64::new(0),
+            ack_links: Mutex::new(HashMap::new()),
+        })
+    }
+}
 
 /// Outbound side of a TCP link: a bounded queue drained by one writer IO
 /// thread (blocking path) or one IO-pool task (reactor path).
@@ -306,6 +385,7 @@ struct BlockingReceiver {
     accepted: Arc<Mutex<Vec<TcpStream>>>,
     decode_errors: Arc<AtomicU64>,
     on_deliver: DeliverHook,
+    policy: Arc<ReaderPolicy>,
 }
 
 impl TcpReceiver {
@@ -315,7 +395,32 @@ impl TcpReceiver {
     /// [`bind_pooled`](Self::bind_pooled) for the recycling variant the
     /// runtime uses.
     pub fn bind(addr: impl ToSocketAddrs, watermark: WatermarkConfig) -> std::io::Result<Self> {
-        Self::bind_inner(addr, watermark, ShedConfig::disabled(), None)
+        Self::bind_inner(addr, watermark, ShedConfig::disabled(), None, ReaderPolicy::auto())
+    }
+
+    /// Bind on the blocking path with *manual* acknowledgement: data
+    /// frames carrying [`FLAG_SEQ`](crate::frame::FLAG_SEQ) are **not**
+    /// acked when they land on the inbound queue — the application calls
+    /// [`send_ack`](Self::send_ack) once it has actually secured them
+    /// (processed, forwarded downstream and had *that* hop acknowledged,
+    /// …). Heartbeats are answered with the manually-acked watermark for
+    /// the same reason. `neptune-cluster` node ingress uses this so a
+    /// killed node's unacked frames stay in the upstream replay buffer.
+    ///
+    /// `gate`, when set, enforces the [`ControlKind::Hello`] version
+    /// handshake on every accepted connection.
+    pub fn bind_manual_ack(
+        addr: impl ToSocketAddrs,
+        watermark: WatermarkConfig,
+        gate: Option<HandshakeGate>,
+    ) -> std::io::Result<Self> {
+        let policy = Arc::new(ReaderPolicy {
+            manual_ack: true,
+            handshake: gate,
+            handshake_rejects: AtomicU64::new(0),
+            ack_links: Mutex::new(HashMap::new()),
+        });
+        Self::bind_inner(addr, watermark, ShedConfig::disabled(), None, policy)
     }
 
     /// Like [`bind`](Self::bind), but reader threads draw frame-body
@@ -328,7 +433,7 @@ impl TcpReceiver {
         watermark: WatermarkConfig,
         pool: Arc<BytesPool>,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, watermark, ShedConfig::disabled(), Some(pool))
+        Self::bind_inner(addr, watermark, ShedConfig::disabled(), Some(pool), ReaderPolicy::auto())
     }
 
     /// Like [`bind_pooled`](Self::bind_pooled), with an explicit
@@ -341,7 +446,7 @@ impl TcpReceiver {
         shed: ShedConfig,
         pool: Arc<BytesPool>,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, watermark, shed, Some(pool))
+        Self::bind_inner(addr, watermark, shed, Some(pool), ReaderPolicy::auto())
     }
 
     /// Bind on the readiness-driven path: no per-connection threads; the
@@ -374,6 +479,7 @@ impl TcpReceiver {
         watermark: WatermarkConfig,
         shed: ShedConfig,
         pool: Option<Arc<BytesPool>>,
+        policy: Arc<ReaderPolicy>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -391,6 +497,7 @@ impl TcpReceiver {
             let accepted = accepted.clone();
             let decode_errors = decode_errors.clone();
             let on_deliver = on_deliver.clone();
+            let policy = policy.clone();
             std::thread::Builder::new()
                 .name(format!("neptune-io-accept-{local}"))
                 .spawn(move || {
@@ -407,6 +514,7 @@ impl TcpReceiver {
                         let decode_errors = decode_errors.clone();
                         let on_deliver = on_deliver.clone();
                         let pool = pool.clone();
+                        let policy = policy.clone();
                         let peer = stream
                             .peer_addr()
                             .map(|a| a.to_string())
@@ -421,6 +529,7 @@ impl TcpReceiver {
                                     decode_errors,
                                     on_deliver,
                                     pool,
+                                    policy,
                                 )
                             })
                             .expect("spawn tcp reader thread");
@@ -440,8 +549,35 @@ impl TcpReceiver {
                 accepted,
                 decode_errors,
                 on_deliver,
+                policy,
             }),
         })
+    }
+
+    /// On a [`bind_manual_ack`](Self::bind_manual_ack) receiver: write a
+    /// cumulative ack (`next_expected` message seq) for `link_id` on the
+    /// most recent connection that carried the link, and remember the
+    /// watermark for heartbeat replies. Returns `false` when the link is
+    /// unknown, the socket write fails, or the receiver is not in manual
+    /// mode — the caller retries after the peer reconnects and resends.
+    pub fn send_ack(&self, link_id: u64, next_expected: u64) -> bool {
+        let ReceiverImpl::Blocking(b) = &self.imp else { return false };
+        if !b.policy.manual_ack {
+            return false;
+        }
+        let mut links = b.policy.ack_links.lock();
+        let Some(entry) = links.get_mut(&link_id) else { return false };
+        entry.acked = entry.acked.max(next_expected);
+        let wire = encode_control_frame(link_id, ControlKind::Ack, entry.acked);
+        (&entry.stream).write_all(&wire).is_ok()
+    }
+
+    /// Connections dropped by the [`HandshakeGate`] since bind.
+    pub fn handshake_rejects(&self) -> u64 {
+        match &self.imp {
+            ReceiverImpl::Blocking(b) => b.policy.handshake_rejects.load(Ordering::Relaxed),
+            ReceiverImpl::Reactor(_) => 0,
+        }
     }
 
     /// The shared inbound queue.
@@ -562,6 +698,7 @@ impl Drop for TcpReceiver {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     mut stream: TcpStream,
     queue: Arc<WatermarkQueue<Frame>>,
@@ -569,11 +706,14 @@ fn reader_loop(
     decode_errors: Arc<AtomicU64>,
     on_deliver: DeliverHook,
     pool: Option<Arc<BytesPool>>,
+    policy: Arc<ReaderPolicy>,
 ) {
     // Cumulative next-expected message seq for this connection's acked
     // (FLAG_SEQ-carrying) traffic. Ack replies are best-effort: a failed
     // write means the peer is gone and the next read surfaces it.
     let mut next_expected: Option<u64> = None;
+    // Links this connection has registered in the manual-ack registry.
+    let mut registered: Vec<u64> = Vec::new();
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
@@ -588,22 +728,76 @@ fn reader_loop(
                     // Control frames never surface on the data queue. A
                     // heartbeat is answered with the current cumulative ack
                     // so an idle link proves liveness end to end.
-                    if kind == ControlKind::Heartbeat {
-                        let ack = next_expected.unwrap_or(0);
-                        let _ = (&stream).write_all(&encode_control_frame(
-                            frame.link_id,
-                            ControlKind::Ack,
-                            ack,
-                        ));
+                    match kind {
+                        ControlKind::Heartbeat => {
+                            let ack = if policy.manual_ack {
+                                policy.ack_links.lock().get(&frame.link_id).map_or(0, |l| l.acked)
+                            } else {
+                                next_expected.unwrap_or(0)
+                            };
+                            let _ = (&stream).write_all(&encode_control_frame(
+                                frame.link_id,
+                                ControlKind::Ack,
+                                ack,
+                            ));
+                        }
+                        ControlKind::Hello => {
+                            // Answer with our own announcement so the peer
+                            // can diagnose a mismatch, then gate admission.
+                            if let Some(gate) = &policy.handshake {
+                                let _ = (&stream).write_all(&encode_hello_frame(
+                                    frame.link_id,
+                                    gate.version,
+                                    0,
+                                ));
+                                let verdict = match hello_parts(frame.base_seq) {
+                                    Some((version, caps)) => gate.check(version, caps),
+                                    None => Err("malformed hello value".to_string()),
+                                };
+                                if let Err(reason) = verdict {
+                                    policy.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                                    let peer = stream
+                                        .peer_addr()
+                                        .map(|a| a.to_string())
+                                        .unwrap_or_else(|_| "?".into());
+                                    eprintln!(
+                                        "neptune-net: rejecting connection from {peer}: {reason}"
+                                    );
+                                    // Sever the socket itself, not just this
+                                    // handle: the acceptor holds a clone (for
+                                    // shutdown unblocking), so a plain drop
+                                    // would leave the rejected peer hanging
+                                    // on a half-open connection.
+                                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                                    return;
+                                }
+                            }
+                        }
+                        ControlKind::Ack => {} // not expected inbound; skip
                     }
                     continue;
                 }
-                let ack_after = frame.seq.is_some().then(|| {
+                let seq_end = frame.seq.is_some().then(|| {
                     let end = frame.base_seq + frame.len() as u64;
                     let next = next_expected.map_or(end, |n| n.max(end));
                     next_expected = Some(next);
                     (frame.link_id, next)
                 });
+                // Manual mode: make the link addressable for application
+                // acks before the frame surfaces, so a consumer can never
+                // see a frame whose link it cannot ack.
+                if policy.manual_ack {
+                    if let Some((link_id, _)) = seq_end {
+                        if !registered.contains(&link_id) {
+                            if let Ok(clone) = stream.try_clone() {
+                                let mut links = policy.ack_links.lock();
+                                let acked = links.get(&link_id).map_or(0, |l| l.acked);
+                                links.insert(link_id, ManualAckLink { stream: clone, acked });
+                                registered.push(link_id);
+                            }
+                        }
+                    }
+                }
                 // Arrival stamp: schedule delay is measured from the moment
                 // the frame lands on the queue, not from socket read start.
                 frame.received_at = Some(std::time::Instant::now());
@@ -613,10 +807,16 @@ fn reader_loop(
                     return; // queue closed
                 }
                 // Ack only after the frame is safely on the inbound queue —
-                // a replayed duplicate just re-acks the same watermark.
-                if let Some((link_id, next)) = ack_after {
-                    let _ =
-                        (&stream).write_all(&encode_control_frame(link_id, ControlKind::Ack, next));
+                // a replayed duplicate just re-acks the same watermark. In
+                // manual mode the application acks instead, once secured.
+                if !policy.manual_ack {
+                    if let Some((link_id, next)) = seq_end {
+                        let _ = (&stream).write_all(&encode_control_frame(
+                            link_id,
+                            ControlKind::Ack,
+                            next,
+                        ));
+                    }
                 }
                 let hook = on_deliver.read().clone();
                 if let Some(hook) = hook {
@@ -637,7 +837,7 @@ fn reader_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::encode_frame;
+    use crate::frame::{encode_frame, encode_hello_frame, hello_parts, CAPS_ALL, PROTOCOL_VERSION};
     use crate::test_support::wait_for;
     use neptune_compress::SelectiveCompressor;
     use neptune_granules::{IoPool, Reactor};
@@ -905,6 +1105,90 @@ mod tests {
         assert!(
             rx.queue().pop_timeout(Duration::from_millis(50)).is_none(),
             "control frames must not surface as data"
+        );
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn manual_ack_receiver_defers_until_application_acks() {
+        let rx = TcpReceiver::bind_manual_ack(
+            "127.0.0.1:0",
+            WatermarkConfig::new(1 << 20, 1 << 10),
+            None,
+        )
+        .unwrap();
+        let acks = Arc::new(Mutex::new(Vec::new()));
+        let sink = acks.clone();
+        let tx = TcpSender::connect_with_acks(rx.local_addr(), 16, move |link, cum| {
+            sink.lock().push((link, cum));
+        })
+        .unwrap();
+        let raw = SelectiveCompressor::disabled();
+        let mut one = (1u32).to_le_bytes().to_vec();
+        one.push(b'a');
+        tx.send(crate::frame::encode_frame_raw_ext(9, 0, 1, &one, &raw, 0, Some(0))).unwrap();
+        tx.send(crate::frame::encode_frame_raw_ext(9, 1, 1, &one, &raw, 0, Some(1))).unwrap();
+        let q = rx.queue();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(0));
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)).unwrap().seq, Some(1));
+        // No automatic ack: a heartbeat must answer with watermark 0.
+        tx.send(encode_control_frame(9, ControlKind::Heartbeat, 1)).unwrap();
+        assert!(wait_for(Duration::from_secs(5), || tx.acks_received() >= 1));
+        assert_eq!(*acks.lock(), vec![(9, 0)], "unacked link reports watermark 0");
+        // Application secures the frames and acks; the watermark advances.
+        assert!(rx.send_ack(9, 2), "link must be registered for manual acks");
+        assert!(wait_for(Duration::from_secs(5), || acks.lock().contains(&(9, 2))));
+        assert!(!rx.send_ack(77, 1), "unknown link cannot be acked");
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn handshake_gate_rejects_version_mismatch_and_admits_match() {
+        let gate = HandshakeGate::current();
+        let rx = TcpReceiver::bind_manual_ack(
+            "127.0.0.1:0",
+            WatermarkConfig::new(1 << 20, 1 << 10),
+            Some(gate),
+        )
+        .unwrap();
+        // Mismatched peer: announces a future protocol version.
+        let mut bad = TcpStream::connect(rx.local_addr()).unwrap();
+        bad.write_all(&encode_hello_frame(1, PROTOCOL_VERSION + 1, 0)).unwrap();
+        // The receiver answers with its own hello, then drops us.
+        let answer = read_frame(&mut bad).unwrap();
+        assert_eq!(answer.control, Some(ControlKind::Hello));
+        assert_eq!(hello_parts(answer.base_seq).unwrap().0, PROTOCOL_VERSION);
+        assert!(wait_for(Duration::from_secs(5), || rx.handshake_rejects() == 1));
+        let mut rest = Vec::new();
+        assert_eq!(std::io::Read::read_to_end(&mut bad, &mut rest).unwrap_or(0), 0, "closed");
+        // Matching peer: admitted, data flows.
+        let tx = TcpSender::connect(rx.local_addr(), 8).unwrap();
+        tx.send(encode_hello_frame(1, PROTOCOL_VERSION, 0)).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        tx.send(encode_frame(1, 0, &[b"ok".to_vec()], &raw)).unwrap();
+        let f = rx.queue().pop_timeout(Duration::from_secs(5)).expect("admitted peer delivers");
+        assert_eq!(&f.messages[0], b"ok");
+        assert_eq!(rx.handshake_rejects(), 1);
+        tx.close();
+        rx.shutdown();
+    }
+
+    #[test]
+    fn legacy_auto_ack_receiver_skips_hello_frames() {
+        // A hello sent at an un-gated receiver (this repo's default) is
+        // skipped like any unknown control chatter — byte compatibility.
+        let rx = localhost_receiver(1 << 20, 1 << 10);
+        let tx = TcpSender::connect(rx.local_addr(), 8).unwrap();
+        tx.send(encode_hello_frame(1, PROTOCOL_VERSION, CAPS_ALL)).unwrap();
+        let raw = SelectiveCompressor::disabled();
+        tx.send(encode_frame(1, 5, &[b"after".to_vec()], &raw)).unwrap();
+        let f = rx.queue().pop_timeout(Duration::from_secs(5)).expect("data after hello");
+        assert_eq!(f.base_seq, 5);
+        assert!(
+            rx.queue().pop_timeout(Duration::from_millis(50)).is_none(),
+            "hello must not surface as data"
         );
         tx.close();
         rx.shutdown();

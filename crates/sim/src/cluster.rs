@@ -182,10 +182,15 @@ fn simulate_with_dead(params: &ClusterParams, dead_nodes: &[usize]) -> ClusterRe
     // nodes: dead nodes drop out and displaced instances restart on the
     // survivors while consecutive stages stay on distinct (consecutive)
     // survivors, so hops keep paying their network cost.
+    //
+    // The ring rule itself lives in `neptune_cluster::placement` — the
+    // coordinator partitions real multi-process jobs with the same
+    // function, so the fluid model and the runtime agree on who hosts
+    // what (see the cross-crate parity tests in both crates).
     let alive: Vec<usize> = (0..n_nodes).filter(|&m| !dead[m]).collect();
     let place = {
         let alive = &alive;
-        move |job: usize, stage: usize| alive[(job + stage) % alive.len()]
+        move |job: usize, stage: usize| neptune_cluster::placement::ring_place(job, stage, alive)
     };
     let mut instances_per_node = vec![0usize; n_nodes];
     for j in 0..params.jobs {

@@ -224,6 +224,33 @@ impl HistogramSnapshot {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (bucket_lower_bound(i), c))
     }
+
+    /// Sparse `(bucket_index, count)` pairs for non-empty buckets — the
+    /// wire form `neptune-cluster` nodes ship in telemetry reports.
+    /// Latency histograms are overwhelmingly sparse (a handful of octaves
+    /// out of [`N_BUCKETS`]), so this is far smaller than the dense array
+    /// and [`from_sparse`](Self::from_sparse) rebuilds it losslessly.
+    pub fn sparse_counts(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a snapshot from [`sparse_counts`](Self::sparse_counts)
+    /// output plus the scalar tallies. Out-of-range bucket indices (a
+    /// newer peer with more buckets) are clamped into the last bucket so a
+    /// merge never panics and totals stay consistent.
+    pub fn from_sparse(buckets: &[(u32, u64)], count: u64, sum: u64, max: u64) -> Self {
+        let mut counts = vec![0u64; N_BUCKETS];
+        for &(i, c) in buckets {
+            let i = (i as usize).min(N_BUCKETS - 1);
+            counts[i] += c;
+        }
+        HistogramSnapshot { counts, count, sum, max }
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +340,22 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert_eq!(s.max(), 1_000_000);
         assert_eq!(s.sum(), 1_000_030);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_lossless() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 1, 15, 16, 17, 1_000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let rebuilt =
+            HistogramSnapshot::from_sparse(&s.sparse_counts(), s.count(), s.sum(), s.max());
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.p99(), s.p99());
+        // Unknown future bucket indices clamp instead of panicking.
+        let clamped = HistogramSnapshot::from_sparse(&[(u32::MAX, 3)], 3, 30, 10);
+        assert_eq!(clamped.count(), 3);
     }
 
     #[test]

@@ -255,10 +255,7 @@ fn drop_oldest_bounds_source_latency_under_overload() {
     assert!(!lat.is_empty());
     lat.sort_unstable();
     let p99 = lat[(lat.len() - 1) * 99 / 100];
-    assert!(
-        p99 < 250_000,
-        "p99 emit latency {p99}us breaches the shed SLO (max_stall=10ms)"
-    );
+    assert!(p99 < 250_000, "p99 emit latency {p99}us breaches the shed SLO (max_stall=10ms)");
     // Shedding sacrifices frames: the sink must have seen strictly fewer
     // packets than were emitted, and the books must balance.
     let delivered = seen.lock().iter().filter(|s| **s).count() as u64;
@@ -282,11 +279,7 @@ fn lossless_policy_delivers_everything_under_same_overload() {
         config,
         emitted.clone(),
         Arc::new(Mutex::new(Vec::new())),
-        move || PoisonSink {
-            seen: seen2.clone(),
-            poison: None,
-            delay: Duration::from_micros(400),
-        },
+        move || PoisonSink { seen: seen2.clone(), poison: None, delay: Duration::from_micros(400) },
     );
 
     assert!(job.await_sources(Duration::from_secs(120)));
