@@ -9,17 +9,22 @@
 //! scheme (operator co-location keeps all instances of the consumer on
 //! one node, so fields partitioning stays a local decision).
 //!
-//! The wire underneath is the existing NEPT stack, end to end:
+//! The wire underneath is the shared link stack, end to end:
 //!
-//! * egress batches packets with [`PacketCodec`], sends them through a
-//!   [`SupervisedLink`] over a reactor-path [`TcpSender`] — frames carry
-//!   `FLAG_SEQ`, unacked frames sit in the replay buffer, and the
-//!   connection opens with a protocol hello;
+//! * egress batches packets with [`PacketCodec`] and sends them through a
+//!   [`LinkBuilder`]-assembled reliable link — an every-N
+//!   [`TraceTagger`], a [`SupervisedLink`] reliability layer over a
+//!   reactor-path [`TcpSender`] connector, and a [`FlushPolicy`] that
+//!   owns the batch knobs (message count for the cluster, plus a byte
+//!   backstop) so they stay runtime-retunable; frames carry `FLAG_SEQ`,
+//!   unacked frames sit in the replay buffer, and the connection opens
+//!   with a protocol hello;
 //! * ingress is one [`TcpReceiver::bind_manual_ack`] per node with a
 //!   [`HandshakeGate`]: a demux pump routes inbound frames to per-edge
-//!   queues by the low 32 bits of the link id, dedups with
-//!   [`DedupFilter`], and counts `FLAG_TRACE` ids crossing the process
-//!   boundary;
+//!   queues by the low 32 bits of the link id, classifying and staging
+//!   acks through the shared [`ReliableIngress`] (the one dedup +
+//!   cumulative-ack implementation), and counts `FLAG_TRACE` ids
+//!   crossing the process boundary;
 //! * acks are **withheld** until the node is quiescent (local queues
 //!   drained, own egress replay buffers empty) in
 //!   [`AckMode::Quiescent`] — the upstream replay buffer then covers
@@ -33,6 +38,8 @@
 //! would read as a stale duplicate). A plain [`ControlMsg::Rewire`]
 //! (consumer moved; producer and its replay buffer survive) keeps the
 //! link id and merely repoints the address.
+//!
+//! [`SupervisedLink`]: neptune_link::SupervisedLink
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,11 +54,12 @@ use neptune_core::json::JsonValue;
 use neptune_core::operator::{OperatorContext, SourceStatus, StreamProcessor, StreamSource};
 use neptune_core::packet::StreamPacket;
 use neptune_granules::{IoPool, Reactor};
-use neptune_ha::backoff::ReconnectPolicy;
-use neptune_ha::dedup::{Admit, DedupFilter};
-use neptune_ha::link::{FrameLink, TcpFrameLink};
-use neptune_ha::stats::RecoveryStats;
-use neptune_ha::supervisor::SupervisedLink;
+pub use neptune_link::AckMode;
+use neptune_link::{
+    FrameLink, IngressVerdict, Link, LinkBuilder, LinkStatsSnapshot, ReconnectPolicy,
+    RecoveryStats, ReliableIngress, ReplayBuffer, TcpFrameLink, TraceTagger,
+};
+use neptune_net::flush::FlushPolicy;
 use neptune_net::frame::{encode_hello_frame, CAPS_ALL, PROTOCOL_VERSION};
 use neptune_net::tcp::{HandshakeGate, TcpReceiver, TcpSender};
 use neptune_net::transport::TransportError;
@@ -67,19 +75,6 @@ pub fn link_id(edge: u32, epoch: u32) -> u64 {
 /// The edge index a link id routes to (low 32 bits).
 pub fn edge_of(link_id: u64) -> u32 {
     link_id as u32
-}
-
-/// When inbound frames are acknowledged back to the upstream replay
-/// buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AckMode {
-    /// Ack as frames land on the inbound queue (lowest replay pressure;
-    /// a node crash can lose frames it acked but had not forwarded).
-    Immediate,
-    /// Ack only from [`DataPlane::release_acks`], which the node daemon
-    /// calls when the local pipeline is quiescent — crash-consistent:
-    /// anything unforwarded is still in some upstream replay buffer.
-    Quiescent,
 }
 
 /// Counters the node daemon folds into its reports.
@@ -106,6 +101,10 @@ pub struct DataPlaneStats {
 
 const INGRESS_QUEUE: WatermarkConfig = WatermarkConfig { high: 8 << 20, low: 1 << 20 };
 const SENDER_QUEUE_DEPTH: usize = 1024;
+/// Byte backstop on egress batches: the cluster batches by message count
+/// (the policy's `batch_messages` knob), but a run of jumbo packets
+/// flushes early rather than building a multi-megabyte frame.
+const EGRESS_BATCH_BYTES: usize = 1 << 20;
 
 // Route queues carry the *encoded* packet bytes: `Vec<u8>` is `Weighted`,
 // so the node's ingress backpressure is byte-accurate, and each ingress
@@ -114,16 +113,13 @@ fn ingress_queue() -> Arc<WatermarkQueue<Vec<u8>>> {
     Arc::new(WatermarkQueue::new(INGRESS_QUEUE))
 }
 
-/// One egress edge: a supervised, sequenced sender plus its batch state.
+/// One egress edge: a builder-assembled reliable link plus its batch
+/// state. Batch thresholds live in the link's [`FlushPolicy`]; trace
+/// stamping in its every-N [`TraceTagger`]; sequencing, replay, and
+/// reconnects in its reliability layer.
 pub struct EgressCore {
-    link: Arc<SupervisedLink>,
+    link: Arc<Link>,
     state: Mutex<EgressBuf>,
-    batch_max: u32,
-    /// Stamp a trace id on every Nth frame (0 = never).
-    trace_every: u64,
-    frames: AtomicU64,
-    traced: AtomicU64,
-    packets: AtomicU64,
 }
 
 struct EgressBuf {
@@ -141,7 +137,8 @@ fn now_micros() -> u64 {
 }
 
 impl EgressCore {
-    /// Append one packet; flushes when the batch fills.
+    /// Append one packet; flushes when the batch fills (message-count
+    /// threshold, with the byte backstop), per the link's flush policy.
     fn push(&self, packet: &StreamPacket) -> Result<(), TransportError> {
         let mut st = self.state.lock();
         let len_at = st.buf.len();
@@ -153,8 +150,10 @@ impl EgressCore {
         let msg_len = (st.buf.len() - len_at - 4) as u32;
         st.buf[len_at..len_at + 4].copy_from_slice(&msg_len.to_le_bytes());
         st.count += 1;
-        self.packets.fetch_add(1, Ordering::Relaxed);
-        if st.count >= self.batch_max {
+        self.link.stats().record_packets(1);
+        let policy = self.link.policy();
+        let max_msgs = policy.batch_messages();
+        if (max_msgs > 0 && st.count as usize >= max_msgs) || st.buf.len() >= policy.batch_bytes() {
             self.flush_locked(&mut st)?;
         }
         Ok(())
@@ -174,26 +173,22 @@ impl EgressCore {
         let count = std::mem::take(&mut st.count);
         let base = st.next_msg_seq;
         st.next_msg_seq += count as u64;
-        let frame_no = self.frames.fetch_add(1, Ordering::Relaxed);
-        // Frame-level trace sampling: ingress on the peer counts these,
-        // which is how FLAG_TRACE propagation across process boundaries
-        // is observed in cluster telemetry.
-        let trace =
-            (self.trace_every > 0 && frame_no.is_multiple_of(self.trace_every)).then(|| {
-                self.traced.fetch_add(1, Ordering::Relaxed);
-                (self.link.link_id() << 20) ^ (frame_no + 1)
-            });
-        self.link.send_batch_traced(base, encoded, count, now_micros(), trace)
+        // The link stack stamps every-N trace ids (ingress on the peer
+        // counts these — how FLAG_TRACE propagation across process
+        // boundaries is observed in cluster telemetry) and sequences the
+        // frame through the replay buffer.
+        self.link.send_batch(base, encoded, count, now_micros(), 0).map(|_| ())
     }
 
-    /// The supervised link (replay/ack state).
-    pub fn link(&self) -> &Arc<SupervisedLink> {
+    /// The built link stack (reliability, stats, flush knobs).
+    pub fn link(&self) -> &Arc<Link> {
         &self.link
     }
 
     /// True when every sent frame has been acked by the peer.
     pub fn replay_empty(&self) -> bool {
-        self.link.replay().is_empty() && self.state.lock().count == 0
+        self.link.reliability().map(|s| s.replay().is_empty()).unwrap_or(true)
+            && self.state.lock().count == 0
     }
 }
 
@@ -209,21 +204,20 @@ pub struct DataPlane {
     io_pool: IoPool,
     reactor: Reactor,
     receiver: TcpReceiver,
-    dedup: DedupFilter,
+    /// Shared sink-side reliability: dedup + cumulative-ack staging.
+    ingress: ReliableIngress,
     routes: Mutex<HashMap<u32, IngressRoute>>,
     /// Current downstream address per egress edge (Rewire target).
     edge_addrs: Mutex<HashMap<u32, String>>,
     egress: Mutex<HashMap<u32, Arc<EgressCore>>>,
-    /// Withheld ack watermarks per inbound link id.
-    pending_acks: Mutex<HashMap<u64, u64>>,
-    immediate_acks: AtomicBool,
     ingress_draining: AtomicBool,
     shutdown: AtomicBool,
     stats: Arc<RecoveryStats>,
-    frames_in: AtomicU64,
-    dup_frames: AtomicU64,
     packets_in: AtomicU64,
     traced_in: AtomicU64,
+    /// Frames whose delivery to a route queue failed (queue closed or
+    /// gate held shut) — their acks are withheld so upstream replays.
+    undelivered: AtomicU64,
 }
 
 impl DataPlane {
@@ -241,19 +235,16 @@ impl DataPlane {
             io_pool: IoPool::new("neptuned-dp", 2),
             reactor,
             receiver,
-            dedup: DedupFilter::new(),
+            ingress: ReliableIngress::new(ack_mode),
             routes: Mutex::new(HashMap::new()),
             edge_addrs: Mutex::new(HashMap::new()),
             egress: Mutex::new(HashMap::new()),
-            pending_acks: Mutex::new(HashMap::new()),
-            immediate_acks: AtomicBool::new(ack_mode == AckMode::Immediate),
             ingress_draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             stats: Arc::new(RecoveryStats::new()),
-            frames_in: AtomicU64::new(0),
-            dup_frames: AtomicU64::new(0),
             packets_in: AtomicU64::new(0),
             traced_in: AtomicU64::new(0),
+            undelivered: AtomicU64::new(0),
         });
         let pump = plane.clone();
         std::thread::Builder::new()
@@ -283,7 +274,8 @@ impl DataPlane {
     }
 
     /// Inbound frame demux: route data frames to per-edge ingress queues,
-    /// dedup replays, count boundary-crossing traces, stage acks.
+    /// classify against the shared dedup, count boundary-crossing traces,
+    /// stage acks.
     fn demux_loop(self: &Arc<Self>) {
         let queue = self.receiver.queue();
         while !self.shutdown.load(Ordering::Acquire) {
@@ -294,16 +286,14 @@ impl DataPlane {
                 continue;
             }
             let count = frame.messages.len() as u32;
-            let skip = match self.dedup.admit(frame.link_id, frame.base_seq, count) {
-                Admit::Fresh => 0,
-                Admit::Overlap { skip } => skip,
-                Admit::Duplicate => {
-                    self.dup_frames.fetch_add(1, Ordering::Relaxed);
+            let skip = match self.ingress.admit(frame.link_id, frame.base_seq, count) {
+                IngressVerdict::Deliver { skip } => skip,
+                IngressVerdict::Duplicate => {
+                    // Re-ack: the sender may have missed the ack.
                     self.stage_ack(frame.link_id);
                     continue;
                 }
             };
-            self.frames_in.fetch_add(1, Ordering::Relaxed);
             if frame.trace.is_some() {
                 self.traced_in.fetch_add(1, Ordering::Relaxed);
             }
@@ -314,20 +304,45 @@ impl DataPlane {
                     routes.entry(edge).or_insert_with(|| IngressRoute { queue: ingress_queue() });
                 route.queue.clone()
             };
-            for msg in frame.messages.iter().skip(skip as usize) {
-                self.packets_in.fetch_add(1, Ordering::Relaxed);
-                let _ = queue.push_blocking(msg.to_vec());
+            match self.deliver(&queue, &frame.messages, skip) {
+                Ok(()) => self.stage_ack(frame.link_id),
+                // Withhold the ack: the upstream replay buffer still holds
+                // the frame, so a reopened route (or a restarted node)
+                // sees it again instead of losing it.
+                Err(TransportError::Closed) => {
+                    self.undelivered.fetch_add(1, Ordering::Relaxed);
+                    if !self.shutdown.load(Ordering::Acquire) {
+                        eprintln!("neptuned: ingress route for edge {edge} closed; frame unacked");
+                    }
+                }
+                Err(e) => {
+                    self.undelivered.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("neptuned: ingress delivery on edge {edge} failed: {e}");
+                }
             }
-            self.stage_ack(frame.link_id);
         }
     }
 
+    /// Push a frame's fresh suffix onto a route queue, mapping the
+    /// watermark gate's verdicts onto the shared [`TransportError`] space
+    /// — `Closed` (route gone for good) stays distinct from
+    /// `Backpressure` (gate shut; the blocking push parks instead).
+    fn deliver(
+        &self,
+        queue: &WatermarkQueue<Vec<u8>>,
+        messages: &neptune_net::frame::FrameMessages,
+        skip: u32,
+    ) -> Result<(), TransportError> {
+        for msg in messages.iter().skip(skip as usize) {
+            queue.push_blocking(msg.to_vec()).map_err(TransportError::from_push)?;
+            self.packets_in.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     fn stage_ack(&self, link: u64) {
-        let Some(watermark) = self.dedup.ack_watermark(link) else { return };
-        if self.immediate_acks.load(Ordering::Relaxed) {
+        if let Some((link, watermark)) = self.ingress.stage_ack(link) {
             self.receiver.send_ack(link, watermark);
-        } else {
-            self.pending_acks.lock().insert(link, watermark);
         }
     }
 
@@ -335,12 +350,8 @@ impl DataPlane {
     /// quiescent (ingress queues empty, job settled, egress replays
     /// empty). Returns the number of links acked.
     pub fn release_acks(&self) -> usize {
-        let staged: Vec<(u64, u64)> = {
-            let mut p = self.pending_acks.lock();
-            p.drain().collect()
-        };
         let mut sent = 0;
-        for (link, watermark) in staged {
+        for (link, watermark) in self.ingress.release_acks() {
             if self.receiver.send_ack(link, watermark) {
                 sent += 1;
             }
@@ -384,7 +395,7 @@ impl DataPlane {
     /// the next send/heartbeat (the connector re-reads the address).
     pub fn rewire(&self, edge: u32, addr: String) {
         self.set_edge_addr(edge, addr);
-        // The supervised link notices the stale connection on its next
+        // The reliability layer notices the stale connection on its next
         // send or heartbeat failure and reconnects through the connector,
         // which reads the address table again. Nothing to tear down here:
         // the old socket either errors (peer died) or is simply unused.
@@ -406,13 +417,14 @@ impl DataPlane {
     pub fn stats(&self) -> DataPlaneStats {
         let (mut frames_out, mut packets_out, mut traced_out) = (0, 0, 0);
         for core in self.egress.lock().values() {
-            frames_out += core.frames.load(Ordering::Relaxed);
-            packets_out += core.packets.load(Ordering::Relaxed);
-            traced_out += core.traced.load(Ordering::Relaxed);
+            let s = core.link().stats();
+            frames_out += s.flushes();
+            packets_out += s.packets();
+            traced_out += s.traced();
         }
         DataPlaneStats {
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            dup_frames: self.dup_frames.load(Ordering::Relaxed),
+            frames_in: self.ingress.frames_admitted(),
+            dup_frames: self.ingress.duplicates_dropped(),
             packets_in: self.packets_in.load(Ordering::Relaxed),
             traced_in: self.traced_in.load(Ordering::Relaxed),
             frames_out,
@@ -420,6 +432,26 @@ impl DataPlane {
             traced_out,
             handshake_rejects: self.receiver.handshake_rejects(),
         }
+    }
+
+    /// Per-egress-link stats bundles (counters + live flush knobs), with
+    /// each link's ingress-side duplicate drops folded in from the peer
+    /// classification this plane performed for that link id.
+    pub fn link_stats(&self) -> Vec<LinkStatsSnapshot> {
+        self.egress
+            .lock()
+            .values()
+            .map(|core| {
+                let mut snap = core.link().stats_snapshot();
+                snap.dedup_drops = self.ingress.dedup_drops(snap.link_id);
+                snap
+            })
+            .collect()
+    }
+
+    /// Frames whose route delivery failed and whose acks were withheld.
+    pub fn undelivered_frames(&self) -> u64 {
+        self.undelivered.load(Ordering::Relaxed)
     }
 
     /// Build (or rebuild) the egress core for `edge` with a fresh epoch —
@@ -437,7 +469,7 @@ impl DataPlane {
         let plane = self.clone();
         // The ack callback needs the replay buffer, which only exists
         // once the link is built — close over a slot filled right after.
-        let replay_slot: Arc<std::sync::OnceLock<Arc<neptune_ha::replay::ReplayBuffer>>> =
+        let replay_slot: Arc<std::sync::OnceLock<Arc<ReplayBuffer>>> =
             Arc::new(std::sync::OnceLock::new());
         let ack_slot = replay_slot.clone();
         let connector = move || {
@@ -460,7 +492,7 @@ impl DataPlane {
             )
             .map_err(|e| TransportError::Io(format!("connect {addr}: {e}")))?;
             // First frame on every data connection: the protocol hello,
-            // so the peer's handshake gate admits us (satellite 1).
+            // so the peer's handshake gate admits us.
             sender
                 .send(encode_hello_frame(id, PROTOCOL_VERSION, CAPS_ALL))
                 .map_err(|e| TransportError::Io(format!("hello to {addr}: {e:?}")))?;
@@ -470,9 +502,15 @@ impl DataPlane {
         let mut policy = ReconnectPolicy::new(id);
         policy.max_attempts = 40; // ride out coordinator reassignment windows
         policy.cap = Duration::from_millis(250);
-        let link =
-            Arc::new(SupervisedLink::new(id, connector, policy, 64 << 20, self.stats.clone()));
-        let _ = replay_slot.set(link.replay().clone());
+        let flush = FlushPolicy::new(EGRESS_BATCH_BYTES, None)
+            .with_batch_messages(batch_max.max(1) as usize);
+        let link = LinkBuilder::new(id)
+            .flush_policy(flush)
+            .reliable_with(Box::new(connector), policy, 64 << 20, self.stats.clone())
+            .tracing(TraceTagger::every_n(trace_every))
+            .build();
+        let _ = replay_slot
+            .set(link.reliability().expect("cluster egress links are reliable").replay().clone());
         let core = Arc::new(EgressCore {
             link,
             state: Mutex::new(EgressBuf {
@@ -481,11 +519,6 @@ impl DataPlane {
                 count: 0,
                 next_msg_seq: 0,
             }),
-            batch_max: batch_max.max(1),
-            trace_every,
-            frames: AtomicU64::new(0),
-            traced: AtomicU64::new(0),
-            packets: AtomicU64::new(0),
         });
         self.egress.lock().insert(edge, core.clone());
         core
@@ -678,6 +711,13 @@ mod tests {
         assert_eq!(dstats.traced_in, ustats.traced_out, "FLAG_TRACE survives the hop");
         assert_eq!(dstats.packets_in, 10);
         assert_eq!(dstats.handshake_rejects, 0, "hello admitted by the gate");
+        // The link-stats bundle reflects the flush knobs and traffic.
+        let links = up.link_stats();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].link_id, link_id(3, 0));
+        assert_eq!(links[0].packets, 10);
+        assert_eq!(links[0].flushes, 3, "4 + 4 + 2 across three frames");
+        assert_eq!(links[0].flush.batch_messages, 4);
         up.shutdown();
         down.shutdown();
     }
@@ -712,6 +752,28 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(down.stats().packets_in, 2, "epoch bump re-admits the restarted producer");
+        up.shutdown();
+        down.shutdown();
+    }
+
+    #[test]
+    fn closed_route_withholds_acks_instead_of_losing_frames() {
+        let up = DataPlane::bind("127.0.0.1:0", AckMode::Immediate).unwrap();
+        let down = DataPlane::bind("127.0.0.1:0", AckMode::Immediate).unwrap();
+        // Close the route's queue before any traffic: deliveries must
+        // surface `Closed` (not a swallowed generic error) and the frame
+        // stays unacked in the upstream replay buffer.
+        down.ingress_route(9).close();
+        let core = up.egress_core(9, 0, down.local_addr().to_string(), 1, 0);
+        core.push(&packet(7)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while down.undelivered_frames() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(down.undelivered_frames(), 1, "closed route detected");
+        assert_eq!(down.stats().packets_in, 0, "nothing delivered");
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!core.replay_empty(), "unacked frame retained for replay");
         up.shutdown();
         down.shutdown();
     }

@@ -4,10 +4,10 @@
 //! `src_instances x dst_instances` **channels**. Each channel owns:
 //!
 //! * an [`OutputBuffer`] on the sending side (application-level buffering,
-//!   §III-B1),
-//! * a [`SelectiveCompressor`] policy (§III-B5),
-//! * a [`SinkHandle`] — in-process or TCP — that blocks under backpressure
-//!   (§III-B4),
+//!   §III-B1), governed by its link's retunable flush policy,
+//! * a built [`Link`] stack — transport flavour (in-process or TCP),
+//!   optional trace tagging, optional reliability — that blocks under
+//!   backpressure (§III-B4),
 //! * contiguous per-channel sequence numbers that let the receiver verify
 //!   in-order, exactly-once delivery (§I-B's correctness requirement).
 //!
@@ -16,13 +16,11 @@
 //! order, or sequence validation downstream would flag reordering.
 
 use crate::metrics::OperatorCounters;
-use neptune_compress::SelectiveCompressor;
+use neptune_link::{Link, TraceTagger};
 use neptune_net::buffer::{FlushedBatch, OutputBuffer, PushOutcome};
-use neptune_net::frame::encode_frame_raw_traced;
-use neptune_net::tcp::TcpSender;
-use neptune_net::transport::{BatchSink, InProcessTransport, TransportError};
+use neptune_net::transport::TransportError;
 use neptune_net::watermark::WatermarkQueue;
-use neptune_telemetry::{OperatorTelemetry, PendingTrace, Span, SpanRing, STAGE_BUFFER_WAIT};
+use neptune_telemetry::{OperatorTelemetry, SpanRing};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -65,16 +63,6 @@ impl ChannelId {
     }
 }
 
-/// Where a channel's batches go.
-pub enum SinkHandle {
-    /// Destination instance is in this process: frames land directly on
-    /// its watermark queue.
-    InProcess(Arc<InProcessTransport>),
-    /// Destination instance is on another resource: frames are encoded and
-    /// queued to a writer IO thread.
-    Tcp(Arc<TcpSender>),
-}
-
 /// Errors surfaced to emitting operators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EmitError {
@@ -98,7 +86,8 @@ impl std::fmt::Display for EmitError {
 
 impl std::error::Error for EmitError {}
 
-/// The sending half of one channel.
+/// The sending half of one channel: an [`OutputBuffer`] feeding a built
+/// [`Link`] stack.
 pub struct ChannelEndpoint {
     channel: ChannelId,
     buffer: Mutex<OutputBuffer>,
@@ -110,8 +99,9 @@ pub struct ChannelEndpoint {
     /// explicit [`fail_link`](Self::fail_link)). Emitters fast-fail with
     /// [`EmitError::Closed`] instead of buffering into a black hole.
     failed: AtomicBool,
-    compressor: SelectiveCompressor,
-    sink: SinkHandle,
+    /// The link stack batches are dispatched into: tagging, optional
+    /// reliability, transport.
+    link: Arc<Link>,
     /// Counters of the *sending* operator.
     counters: Arc<OperatorCounters>,
     /// Stage recorder of the *sending* operator (ISSUE 2). `None` keeps
@@ -124,44 +114,17 @@ pub struct ChannelEndpoint {
     /// held — the waker must only wake an IO task, never take buffer or
     /// queue locks.
     flush_waker: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
-    /// Causal-tracing state (ISSUE 7); `None` keeps dispatch free of any
-    /// tracing work beyond one lock-free read.
-    tracing: RwLock<Option<TraceContext>>,
-}
-
-/// Tracing state of one sending endpoint (ISSUE 7): the job's span ring,
-/// the sending operator's track, whether this endpoint *originates*
-/// trace ids, and the pending tag left by a traced inbound packet.
-pub struct TraceContext {
-    /// Shared span ring of the job.
-    pub ring: Arc<SpanRing>,
-    /// Track id of the sending operator.
-    pub track: u16,
-    /// True on source-operator endpoints: deterministically sample
-    /// 1-in-N emitted packets by channel sequence number and mint their
-    /// trace ids. Downstream endpoints only *propagate* ids.
-    pub originate: bool,
-    /// Trace id of the first traced packet in the currently open batch.
-    pub pending: PendingTrace,
-}
-
-/// Trace ids are minted from the originating channel and the sampled
-/// packet's sequence number — reproducible across runs of the same
-/// stream, unique enough across channels to follow in a trace viewer.
-/// Ids are nonzero (seq+1) because 0 means "untraced" on the wire.
-fn mint_trace_id(channel: ChannelId, seq: u64) -> u64 {
-    (channel.raw() << 40) | ((seq + 1) & 0xFF_FFFF_FFFF)
 }
 
 impl ChannelEndpoint {
-    /// Assemble a channel endpoint. `telemetry`, when given, receives the
-    /// buffer-wait stage of every flushed batch and turns on sent-at
-    /// stamping for transport-latency measurement downstream.
+    /// Assemble a channel endpoint over a built link. `telemetry`, when
+    /// given, receives the buffer-wait stage of every flushed batch and
+    /// turns on sent-at stamping for transport-latency measurement
+    /// downstream.
     pub fn new(
         channel: ChannelId,
         buffer: OutputBuffer,
-        compressor: SelectiveCompressor,
-        sink: SinkHandle,
+        link: Arc<Link>,
         counters: Arc<OperatorCounters>,
         telemetry: Option<Arc<OperatorTelemetry>>,
     ) -> Self {
@@ -170,34 +133,35 @@ impl ChannelEndpoint {
             buffer: Mutex::new(buffer),
             has_data: AtomicBool::new(false),
             failed: AtomicBool::new(false),
-            compressor,
-            sink,
+            link,
             counters,
             telemetry,
             flush_waker: RwLock::new(None),
-            tracing: RwLock::new(None),
         }
     }
 
-    /// Install causal tracing (ISSUE 7). `track` is this operator's span
-    /// track; `originate` makes the endpoint mint trace ids for sampled
-    /// sequence numbers (source-operator endpoints only).
+    /// Install causal tracing (ISSUE 7): the sampled-discipline tagger of
+    /// the link stack. `track` is this operator's span track; `originate`
+    /// makes the endpoint mint trace ids for sampled sequence numbers
+    /// (source-operator endpoints only).
     pub fn set_tracing(&self, ring: Arc<SpanRing>, track: u16, originate: bool) {
-        *self.tracing.write() =
-            Some(TraceContext { ring, track, originate, pending: PendingTrace::new() });
+        self.link.set_tagger(TraceTagger::sampled(ring, track, originate));
     }
 
     /// Propagate an inbound packet's trace id onto the batch currently
     /// building in this endpoint's buffer. No-op when tracing is off.
     pub fn tag_trace(&self, trace_id: u64) {
-        if let Some(t) = self.tracing.read().as_ref() {
-            t.pending.set_if_empty(trace_id);
-        }
+        self.link.tag_inbound(trace_id);
     }
 
     /// The channel this endpoint serves.
     pub fn channel(&self) -> ChannelId {
         self.channel
+    }
+
+    /// The link stack this endpoint dispatches into (stats export, QoS).
+    pub fn link(&self) -> &Arc<Link> {
+        &self.link
     }
 
     /// Install the IO-tier waker poked whenever this endpoint's buffer
@@ -213,13 +177,10 @@ impl ChannelEndpoint {
         self.buffer.lock().flush_deadline()
     }
 
-    /// The destination watermark queue for an in-process sink; `None` for
+    /// The destination watermark queue for an in-process link; `None` for
     /// TCP channels (their backpressure lives in the sender's IO queue).
     pub fn inproc_queue(&self) -> Option<&Arc<WatermarkQueue<neptune_net::frame::Frame>>> {
-        match &self.sink {
-            SinkHandle::InProcess(t) => Some(t.queue()),
-            SinkHandle::Tcp(_) => None,
-        }
+        self.link.queue()
     }
 
     /// Buffer one serialized packet; dispatches a batch if the push filled
@@ -322,18 +283,16 @@ impl ChannelEndpoint {
     /// [`EmitError::Closed`].
     pub fn fail_link(&self) {
         self.failed.store(true, Ordering::Release);
-        if let SinkHandle::InProcess(t) = &self.sink {
-            t.queue().close();
-        }
+        self.link.close();
     }
 
-    /// Dispatch a batch to the sink. Called with the buffer lock held so
+    /// Dispatch a batch to the link. Called with the buffer lock held so
     /// batches leave in flush order (per-channel ordering invariant).
     fn dispatch(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
         let out = self.dispatch_inner(buf, batch);
         if out.is_err() {
-            // A channel whose sink errored is done: the transports behind
-            // both sink kinds fail terminally, so later emits would only
+            // A channel whose link errored is done: the transports behind
+            // every flavour fail terminally, so later emits would only
             // block or error again. Latch the failure so they fast-fail.
             self.failed.store(true, Ordering::Release);
         }
@@ -342,94 +301,34 @@ impl ChannelEndpoint {
 
     fn dispatch_inner(&self, buf: &mut OutputBuffer, batch: FlushedBatch) -> Result<(), EmitError> {
         let count = batch.count;
+        let wait = batch.queueing_delay.as_micros() as u64;
         // Telemetry point (ISSUE 2): the buffer already measured how long
         // its oldest message waited; one wall-clock read per *batch* stamps
         // the frame so the receiver can split off transport time. Disabled
-        // telemetry performs no clock reads here at all.
-        let mut sent_at = match &self.telemetry {
+        // telemetry performs no clock reads here — the link's tagger stamps
+        // lazily for traced batches.
+        let sent_at = match &self.telemetry {
             Some(t) => {
-                t.buffer_wait.record(batch.queueing_delay.as_micros() as u64);
+                t.buffer_wait.record(wait);
                 crate::now_micros()
             }
             None => 0,
         };
-        // Tracing point (ISSUE 7): one lock-free read decides whether
-        // this batch carries a trace id — propagated from a traced
-        // inbound packet, or minted here when this endpoint originates
-        // and the batch covers a sampled sequence number. Only a traced
-        // batch pays a clock read (when telemetry didn't already).
-        let trace = match self.tracing.read().as_ref() {
-            Some(t) => {
-                let mut id = t.pending.take();
-                if id.is_none() && t.originate {
-                    let mask = t.ring.sample_every() - 1;
-                    let first = (batch.base_seq + mask) & !mask;
-                    if first < batch.base_seq + count as u64 {
-                        id = Some(mint_trace_id(self.channel, first));
-                    }
-                }
-                if let Some(id) = id {
-                    if sent_at == 0 {
-                        sent_at = crate::now_micros();
-                    }
-                    let wait = batch.queueing_delay.as_micros() as u64;
-                    t.ring.record(Span {
-                        trace_id: id,
-                        start_micros: sent_at.saturating_sub(wait),
-                        dur_micros: wait,
-                        stage: STAGE_BUFFER_WAIT,
-                        track: t.track,
-                    });
-                }
-                id
-            }
-            None => None,
-        };
-        let wire_bytes = match &self.sink {
-            SinkHandle::InProcess(t) => {
-                // Header-equivalent accounting mirrors the TCP path.
-                let wire_bytes = neptune_net::frame::FRAME_HEADER_LEN + batch.encoded.len() + 1;
-                // The batch buffer moves to the receiver without a copy;
-                // the consuming task recycles it to the shared pool once
-                // every message has been processed.
-                t.send_batch_traced(
-                    self.channel.raw(),
-                    batch.base_seq,
-                    batch.encoded,
-                    count,
-                    sent_at,
-                    trace,
-                )
-                .map_err(|e| match e {
-                    TransportError::Closed => EmitError::Closed,
-                    other => EmitError::Transport(other.to_string()),
-                })?;
-                wire_bytes
-            }
-            SinkHandle::Tcp(sender) => {
-                let wire = encode_frame_raw_traced(
-                    self.channel.raw(),
-                    batch.base_seq,
-                    count,
-                    &batch.encoded,
-                    &self.compressor,
-                    sent_at,
-                    None,
-                    trace,
-                );
-                let len = wire.len();
-                sender.send(wire).map_err(|e| match e {
-                    TransportError::Closed => EmitError::Closed,
-                    other => EmitError::Transport(other.to_string()),
-                })?;
-                // The wire copy is what travels; the batch storage can go
-                // straight back to the buffer (sole handle → reclaimed).
-                buf.recycle(batch.encoded);
-                len
-            }
-        };
+        let wire = self
+            .link
+            .send_batch(batch.base_seq, batch.encoded.clone(), count, sent_at, wait)
+            .map_err(|e| match e {
+                TransportError::Closed => EmitError::Closed,
+                other => EmitError::Transport(other.to_string()),
+            })?;
+        // In-process flavours hand the same bytes to the receiver, which
+        // recycles them once consumed — this call is then a refcount-gated
+        // no-op. Wire flavours copy onto the wire, so the storage goes
+        // straight back to the buffer (sole handle → reclaimed).
+        buf.recycle(batch.encoded);
+        self.link.stats().record_packets(count as u64);
         self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes_out.fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        self.counters.bytes_out.fetch_add(wire as u64, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -437,18 +336,24 @@ impl ChannelEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neptune_compress::SelectiveCompressor;
+    use neptune_link::LinkBuilder;
+    use neptune_net::frame::Frame;
     use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
+
+    fn inproc_link(channel: ChannelId, queue: &Arc<WatermarkQueue<Frame>>) -> Arc<Link> {
+        LinkBuilder::new(channel.raw()).in_process(queue.clone()).build()
+    }
 
     fn make_inproc_endpoint(
         capacity: usize,
     ) -> (Arc<ChannelEndpoint>, Arc<WatermarkQueue<neptune_net::frame::Frame>>) {
         let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let channel = ChannelId::new(0, 0, 0);
         let endpoint = Arc::new(ChannelEndpoint::new(
-            ChannelId::new(0, 0, 0),
+            channel,
             OutputBuffer::new(capacity, Some(std::time::Duration::from_millis(5))),
-            SelectiveCompressor::disabled(),
-            SinkHandle::InProcess(transport),
+            inproc_link(channel, &queue),
             Arc::new(OperatorCounters::default()),
             None,
         ));
@@ -514,13 +419,12 @@ mod tests {
     #[test]
     fn counters_track_frames_and_bytes() {
         let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let transport = Arc::new(InProcessTransport::new(queue.clone()));
         let counters = Arc::new(OperatorCounters::default());
+        let channel = ChannelId::new(0, 0, 0);
         let ep = ChannelEndpoint::new(
-            ChannelId::new(0, 0, 0),
+            channel,
             OutputBuffer::new(8, None),
-            SelectiveCompressor::disabled(),
-            SinkHandle::InProcess(transport),
+            inproc_link(channel, &queue),
             counters.clone(),
             None,
         );
@@ -528,6 +432,11 @@ mod tests {
         ep.push(&[0u8; 8]).unwrap();
         assert_eq!(counters.frames_out.load(Ordering::Relaxed), 2);
         assert!(counters.bytes_out.load(Ordering::Relaxed) > 16);
+        // The link's own stats bundle tracks the same dispatches.
+        let snap = ep.link().stats_snapshot();
+        assert_eq!(snap.flushes, 2);
+        assert_eq!(snap.packets, 2);
+        assert_eq!(snap.wire_bytes, counters.bytes_out.load(Ordering::Relaxed));
     }
 
     #[test]
@@ -546,12 +455,11 @@ mod tests {
         // with `Closed` rather than leaving it deadlocked (ISSUE 3
         // satellite: link failure while the high-watermark gate is shut).
         let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(8, 4)));
-        let transport = Arc::new(InProcessTransport::new(queue.clone()));
+        let channel = ChannelId::new(0, 0, 0);
         let ep = Arc::new(ChannelEndpoint::new(
-            ChannelId::new(0, 0, 0),
+            channel,
             OutputBuffer::new(8, None),
-            SelectiveCompressor::disabled(),
-            SinkHandle::InProcess(transport),
+            inproc_link(channel, &queue),
             Arc::new(OperatorCounters::default()),
             None,
         ));
@@ -603,13 +511,12 @@ mod tests {
     #[test]
     fn telemetry_records_buffer_wait_and_stamps_frames() {
         let queue = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let transport = Arc::new(InProcessTransport::new(queue.clone()));
         let telemetry = Arc::new(OperatorTelemetry::new());
+        let channel = ChannelId::new(0, 0, 0);
         let ep = ChannelEndpoint::new(
-            ChannelId::new(0, 0, 0),
+            channel,
             OutputBuffer::new(1 << 20, Some(std::time::Duration::from_millis(5))),
-            SelectiveCompressor::disabled(),
-            SinkHandle::InProcess(transport),
+            inproc_link(channel, &queue),
             Arc::new(OperatorCounters::default()),
             Some(telemetry.clone()),
         );
@@ -626,7 +533,7 @@ mod tests {
 
     #[test]
     fn tracing_originates_sampled_ids_and_propagates_tags() {
-        use neptune_telemetry::SpanRing;
+        use neptune_telemetry::{SpanRing, STAGE_BUFFER_WAIT};
         // Originating endpoint, sampling 1-in-4 by sequence number.
         let (ep, q) = make_inproc_endpoint(16);
         let ring = Arc::new(SpanRing::new(256, 4));
@@ -663,12 +570,13 @@ mod tests {
             WatermarkConfig::new(1 << 20, 1 << 10),
         )
         .unwrap();
-        let tx = Arc::new(TcpSender::connect(rx.local_addr(), 8).unwrap());
+        let tx = neptune_net::tcp::TcpSender::connect(rx.local_addr(), 8).unwrap();
+        let channel = ChannelId::new(2, 1, 0);
+        let link = LinkBuilder::new(channel.raw()).tcp(tx, SelectiveCompressor::disabled()).build();
         let ep = ChannelEndpoint::new(
-            ChannelId::new(2, 1, 0),
+            channel,
             OutputBuffer::new(8, None),
-            SelectiveCompressor::disabled(),
-            SinkHandle::Tcp(tx),
+            link,
             Arc::new(OperatorCounters::default()),
             None,
         );

@@ -281,12 +281,11 @@ impl OperatorContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{ChannelId, SinkHandle};
+    use crate::channel::ChannelId;
     use crate::metrics::OperatorCounters;
     use crate::packet::FieldValue;
-    use neptune_compress::SelectiveCompressor;
+    use neptune_link::LinkBuilder;
     use neptune_net::buffer::OutputBuffer;
-    use neptune_net::transport::InProcessTransport;
     use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
 
     fn packet(n: u64) -> StreamPacket {
@@ -322,12 +321,11 @@ mod tests {
             for di in 0..*n_inst {
                 let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
                 queues.push(q.clone());
-                let transport = Arc::new(InProcessTransport::new(q));
+                let id = ChannelId::new(li as u16, 0, di as u16);
                 endpoints.push(Arc::new(ChannelEndpoint::new(
-                    ChannelId::new(li as u16, 0, di as u16),
+                    id,
                     OutputBuffer::new(1, None), // flush every packet
-                    SelectiveCompressor::disabled(),
-                    SinkHandle::InProcess(transport),
+                    LinkBuilder::new(id.raw()).in_process(q).build(),
                     counters.clone(),
                     None,
                 )));
@@ -382,11 +380,11 @@ mod tests {
         for di in 0..3 {
             let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
             queues.push(q.clone());
+            let id = ChannelId::new(0, 0, di as u16);
             endpoints.push(Arc::new(ChannelEndpoint::new(
-                ChannelId::new(0, 0, di as u16),
+                id,
                 OutputBuffer::new(1, None),
-                SelectiveCompressor::disabled(),
-                SinkHandle::InProcess(Arc::new(InProcessTransport::new(q))),
+                LinkBuilder::new(id.raw()).in_process(q).build(),
                 counters.clone(),
                 None,
             )));

@@ -304,9 +304,17 @@ impl JobHandle {
             metrics: self.metrics(),
             queues: self.queue_gauges(),
             series: self.series.as_ref().map(|r| r.series()).unwrap_or_default(),
+            links: self.link_stats(),
             recovery: self.recovery(),
             dead_letters: self.dead_letters(),
         })
+    }
+
+    /// Per-link stats bundles from the link stack, in deployment order:
+    /// flush/packet/byte counters, reliability counters, and the current
+    /// flush-policy knobs.
+    pub fn link_stats(&self) -> Vec<neptune_link::LinkStatsSnapshot> {
+        self.endpoints.iter().map(|e| e.link().stats_snapshot()).collect()
     }
 
     /// Recovery counters: retransmits, reconnects, failure detections and

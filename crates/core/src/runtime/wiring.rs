@@ -4,7 +4,7 @@
 use super::pumps::{FlushTask, MonitorTask, ProgressSignal, PumpGauge, SamplerTask, SourcePump};
 use super::scrape::{ScrapeRoutes, ScrapeTask};
 use super::{HaRuntime, JobHandle, SubmitError};
-use crate::channel::{ChannelEndpoint, ChannelId, SinkHandle};
+use crate::channel::{ChannelEndpoint, ChannelId};
 use crate::codec::PacketCodec;
 use crate::config::{PlacementStrategy, RuntimeConfig, TransportMode};
 use crate::dead_letter::{DeadLetter, DeadLetterQueue};
@@ -18,12 +18,13 @@ use neptune_granules::{
     ScheduleSpec, SupervisedOutcome, SupervisorPolicy, TaskContext, TaskOutcome,
 };
 use neptune_ha::{DetectorConfig, FailureDetector, ReconnectPolicy, RecoveryStats};
+use neptune_link::{Link, LinkBuilder};
 use neptune_net::buffer::OutputBuffer;
+use neptune_net::flush::FlushPolicy;
 use neptune_net::frame::Frame;
 use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::tcp_reactor::NetDriver;
-use neptune_net::transport::InProcessTransport;
 use neptune_net::watermark::{ShedConfig, WatermarkConfig, WatermarkQueue};
 use neptune_telemetry::{
     EventKind, FlightRecorder, OperatorTelemetry, SampleRing, Span, SpanRing, STAGE_EXECUTION,
@@ -521,7 +522,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
     let mut outgoing: HashMap<(usize, usize), Vec<OutgoingLink>> = HashMap::new();
     let mut all_endpoints: Vec<Arc<ChannelEndpoint>> = Vec::new();
     // Deliver hooks installed after tasks exist: channel -> (oi, inst).
-    let mut inproc_transports: Vec<(Arc<InProcessTransport>, (usize, usize))> = Vec::new();
+    let mut inproc_links: Vec<(Arc<Link>, (usize, usize))> = Vec::new();
 
     for (li, link) in graph.links().iter().enumerate() {
         let src_oi = op_index[link.from.as_str()];
@@ -540,7 +541,12 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 let dst_res = placement[&(dst_oi, dst_inst)];
                 let channel = ChannelId::new(li as u16, src_inst as u16, dst_inst as u16);
                 let use_tcp = config.transport == TransportMode::Tcp && src_res != dst_res;
-                let sink = if use_tcp {
+                // One flush policy per channel, shared between the output
+                // buffer (which reads the thresholds) and the built link
+                // (which exports them, retunably, for telemetry/QoS).
+                let policy = FlushPolicy::new(buffer_bytes, Some(flush_interval));
+                let builder = LinkBuilder::new(channel.raw()).flush_policy(policy.clone());
+                let built = if use_tcp {
                     let addr = receiver_addr[&(dst_oi, dst_inst)];
                     let sender = match &net_driver {
                         Some((driver, _)) => {
@@ -549,18 +555,17 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                         None => TcpSender::connect(addr, config.io_queue_depth),
                     }
                     .map_err(|e| SubmitError::Io(e.to_string()))?;
-                    SinkHandle::Tcp(Arc::new(sender))
+                    builder.tcp(sender, compression.to_compressor()).build()
                 } else {
                     let q = queues_by_instance[&(dst_oi, dst_inst)].clone();
-                    let t = Arc::new(InProcessTransport::new(q));
-                    inproc_transports.push((t.clone(), (dst_oi, dst_inst)));
-                    SinkHandle::InProcess(t)
+                    let l = builder.in_process(q).build();
+                    inproc_links.push((l.clone(), (dst_oi, dst_inst)));
+                    l
                 };
                 let ep = Arc::new(ChannelEndpoint::new(
                     channel,
-                    OutputBuffer::with_pool(buffer_bytes, Some(flush_interval), pool.clone()),
-                    compression.to_compressor(),
-                    sink,
+                    OutputBuffer::with_policy(policy, Some(pool.clone())),
+                    built,
                     src_counters.clone(),
                     // Buffer-wait latency is attributed to the *sending*
                     // operator: its output buffer is where packets wait.
@@ -667,9 +672,9 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
     }
 
     // ---- Wire delivery notifications to task signals. ----
-    for (transport, dst) in inproc_transports {
+    for (l, dst) in inproc_links {
         let handle = task_handles[&dst].clone();
-        transport.on_deliver(move || handle.signal());
+        l.on_deliver(move || handle.signal());
     }
     for ((oi, inst), ri) in &receiver_index {
         let handle = task_handles[&(*oi, *inst)].clone();
@@ -837,6 +842,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 let dlq = dead_letters.clone();
                 let spans_m = spans.clone();
                 let recorder_m = recorder.clone();
+                let endpoints_m = all_endpoints.clone();
                 let metrics = Box::new(move || {
                     // Rebuild the JobHandle::metrics fold from the shared
                     // state the closure can own. IO-pool/worker gauges are
@@ -869,6 +875,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                         metrics,
                         queues: queues.iter().map(|q| QueueGauge::observe(q)).collect(),
                         series: series.as_ref().map(|r| r.series()).unwrap_or_default(),
+                        links: endpoints_m.iter().map(|e| e.link().stats_snapshot()).collect(),
                         recovery: recovery.as_ref().map(|s| s.snapshot()),
                         dead_letters: dlq.as_ref().map(|d| d.snapshot()).unwrap_or_default(),
                     }

@@ -25,6 +25,7 @@ use crate::dead_letter::DeadLetter;
 use crate::json::{object, JsonValue};
 use crate::metrics::JobMetrics;
 use neptune_ha::RecoverySnapshot;
+use neptune_link::LinkStatsSnapshot;
 use neptune_net::frame::Frame;
 use neptune_net::watermark::WatermarkQueue;
 use neptune_telemetry::export;
@@ -202,6 +203,11 @@ pub struct TelemetrySnapshot {
     /// `(elapsed_micros, sample)` pairs from the background sampler, in
     /// chronological order; elapsed is measured from sampler start.
     pub series: Vec<(u64, TelemetrySample)>,
+    /// Per-link stats bundles from the link stack: flush/packet/byte
+    /// counters, reliability counters, and the current flush-policy knobs
+    /// — in deployment order. Empty on snapshots that predate the links
+    /// (tests, external builders).
+    pub links: Vec<LinkStatsSnapshot>,
     /// Recovery counters and detection-latency histogram (ISSUE 3);
     /// `None` when fault tolerance is disabled in the runtime config.
     pub recovery: Option<RecoverySnapshot>,
@@ -245,6 +251,22 @@ fn dead_letter_json(d: &DeadLetter) -> JsonValue {
         ("panic_msg", JsonValue::String(d.panic_msg.clone())),
         ("captured_bytes", JsonValue::Number(d.bytes.len() as f64)),
         ("original_len", JsonValue::Number(d.original_len as f64)),
+    ])
+}
+
+fn link_json(l: &LinkStatsSnapshot) -> JsonValue {
+    object([
+        ("link_id", JsonValue::Number(l.link_id as f64)),
+        ("flushes", JsonValue::Number(l.flushes as f64)),
+        ("packets", JsonValue::Number(l.packets as f64)),
+        ("wire_bytes", JsonValue::Number(l.wire_bytes as f64)),
+        ("traced", JsonValue::Number(l.traced as f64)),
+        ("replayed", JsonValue::Number(l.replayed as f64)),
+        ("acks", JsonValue::Number(l.acks as f64)),
+        ("dedup_drops", JsonValue::Number(l.dedup_drops as f64)),
+        ("flush_batch_bytes", JsonValue::Number(l.flush.batch_bytes as f64)),
+        ("flush_max_delay_micros", JsonValue::Number(l.flush.max_delay_micros as f64)),
+        ("flush_batch_messages", JsonValue::Number(l.flush.batch_messages as f64)),
     ])
 }
 
@@ -339,6 +361,9 @@ impl TelemetrySnapshot {
             ("queues", JsonValue::Array(self.queues.iter().map(queue_json).collect())),
             ("series", series),
         ];
+        if !self.links.is_empty() {
+            root.push(("links", JsonValue::Array(self.links.iter().map(link_json).collect())));
+        }
         if let Some(r) = &self.recovery {
             root.push(("recovery", recovery_json(r)));
         }
@@ -377,6 +402,23 @@ impl TelemetrySnapshot {
                 q.gate_events,
                 q.shed_total,
                 q.shed_bytes
+            ));
+        }
+        for l in &self.links {
+            out.push_str(&format!(
+                "link {:#x}: flushes={} packets={} wire_bytes={} traced={} replayed={} \
+                 acks={} dedup_drops={} flush={}B/{}µs/{}msg\n",
+                l.link_id,
+                l.flushes,
+                l.packets,
+                l.wire_bytes,
+                l.traced,
+                l.replayed,
+                l.acks,
+                l.dedup_drops,
+                l.flush.batch_bytes,
+                l.flush.max_delay_micros,
+                l.flush.batch_messages
             ));
         }
         let pool = &self.metrics.buffer_pool;
@@ -503,6 +545,36 @@ impl TelemetrySnapshot {
                 );
             }
         }
+        if !self.links.is_empty() {
+            type LinkMetric = (&'static str, fn(&LinkStatsSnapshot) -> u64);
+            let link_counters: [LinkMetric; 6] = [
+                ("neptune_link_flushes_total", |l| l.flushes),
+                ("neptune_link_packets_total", |l| l.packets),
+                ("neptune_link_wire_bytes_total", |l| l.wire_bytes),
+                ("neptune_link_traced_total", |l| l.traced),
+                ("neptune_link_replayed_total", |l| l.replayed),
+                ("neptune_link_dedup_drops_total", |l| l.dedup_drops),
+            ];
+            for (metric, get) in link_counters {
+                out.push_str(&format!("# TYPE {metric} counter\n"));
+                for l in &self.links {
+                    let id = format!("{:#x}", l.link_id);
+                    export::sample_line(&mut out, metric, &[("link", &id)], get(l));
+                }
+            }
+            let link_gauges: [LinkMetric; 3] = [
+                ("neptune_link_flush_batch_bytes", |l| l.flush.batch_bytes as u64),
+                ("neptune_link_flush_max_delay_micros", |l| l.flush.max_delay_micros),
+                ("neptune_link_flush_batch_messages", |l| l.flush.batch_messages as u64),
+            ];
+            for (metric, get) in link_gauges {
+                out.push_str(&format!("# TYPE {metric} gauge\n"));
+                for l in &self.links {
+                    let id = format!("{:#x}", l.link_id);
+                    export::sample_line(&mut out, metric, &[("link", &id)], get(l));
+                }
+            }
+        }
         let mut walked = PrometheusExporter::new();
         for (name, om) in &self.metrics.operators {
             om.walk(&mut walked, name);
@@ -582,9 +654,29 @@ mod tests {
             metrics,
             queues,
             series: vec![(0, sample.clone()), (100_000, sample)],
+            links: Vec::new(),
             recovery: None,
             dead_letters: Vec::new(),
         }
+    }
+
+    fn with_links(mut snap: TelemetrySnapshot) -> TelemetrySnapshot {
+        snap.links.push(LinkStatsSnapshot {
+            link_id: 0x10000,
+            flushes: 12,
+            packets: 48,
+            wire_bytes: 4096,
+            traced: 3,
+            replayed: 2,
+            acks: 5,
+            dedup_drops: 1,
+            flush: neptune_net::flush::FlushPolicySnapshot {
+                batch_bytes: 32 << 10,
+                max_delay_micros: 2_000,
+                batch_messages: 0,
+            },
+        });
+        snap
     }
 
     fn with_recovery(mut snap: TelemetrySnapshot) -> TelemetrySnapshot {
@@ -721,6 +813,33 @@ mod tests {
         // (the containment counter object still carries the gauge).
         let plain = crate::json::parse(&sample_snapshot().to_json()).unwrap();
         assert!(plain.get("dead_letters").is_none());
+    }
+
+    #[test]
+    fn link_section_renders_in_all_formats() {
+        let plain = sample_snapshot();
+        assert!(!plain.to_json().contains("\"links\""), "no section without links");
+        assert!(!plain.render_prometheus().contains("neptune_link_"));
+
+        let snap = with_links(sample_snapshot());
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let links = doc.get("links").expect("links array present").as_array().unwrap();
+        assert_eq!(links[0].get("flushes").unwrap().as_u64(), Some(12));
+        assert_eq!(links[0].get("replayed").unwrap().as_u64(), Some(2));
+        assert_eq!(links[0].get("dedup_drops").unwrap().as_u64(), Some(1));
+        assert_eq!(links[0].get("flush_batch_bytes").unwrap().as_u64(), Some(32 << 10));
+        assert_eq!(links[0].get("flush_max_delay_micros").unwrap().as_u64(), Some(2_000));
+
+        let text = snap.render_prometheus();
+        assert!(text.contains("neptune_link_flushes_total{link=\"0x10000\"} 12\n"));
+        assert!(text.contains("neptune_link_wire_bytes_total{link=\"0x10000\"} 4096\n"));
+        assert!(text.contains("neptune_link_replayed_total{link=\"0x10000\"} 2\n"));
+        assert!(text.contains("neptune_link_flush_batch_bytes{link=\"0x10000\"} 32768\n"));
+        assert_eq!(text.matches("# TYPE neptune_link_flushes_total counter").count(), 1);
+
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("link 0x10000: flushes=12 packets=48"));
+        assert!(pretty.contains("flush=32768B/2000µs/0msg"));
     }
 
     #[test]

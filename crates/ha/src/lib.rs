@@ -1,38 +1,31 @@
 //! Fault-tolerance control plane for Neptune.
 //!
 //! NEPTUNE's resource-container model (paper §3) assumes links and
-//! resources fail; this crate supplies the machinery that lets a running
-//! job survive those failures with at-least-once delivery:
+//! resources fail. The *link-level* machinery — sequencing + replay,
+//! dedup, the reconnecting [`SupervisedLink`], deterministic chaos — now
+//! lives in the `neptune-link` crate as layers of the composable link
+//! stack; this crate re-exports it under the historical `neptune_ha`
+//! paths and keeps what is genuinely control-plane:
 //!
-//! * **Sequencing + replay** — every frame on a supervised link carries a
-//!   per-link sequence number ([`FLAG_SEQ`](neptune_net::frame::FLAG_SEQ)
-//!   wire extension); unacked frames are retained in a bounded
-//!   [`ReplayBuffer`] and retransmitted after reconnect. Receivers dedup
-//!   with a [`DedupFilter`] keyed on message sequence ranges.
-//! * **Reconnecting transport** — [`SupervisedLink`] wraps any
-//!   [`FrameLink`] with exponential backoff (deterministic jitter),
-//!   capped retries, replay-on-reconnect, and lifecycle events
-//!   ([`LinkEvent`]) for telemetry.
 //! * **Failure detection** — [`FailureDetector`] classifies heartbeat
 //!   silence on an `Alive → Suspect → Dead` ladder with an adaptive
 //!   (mean + 4σ) timeout, recording detection latency.
-//! * **Deterministic chaos** — [`FaultPlan`] scripts link cuts, node
-//!   kills, and ack delays by *position* (frame counts, steps), not wall
-//!   clock, so fault-injection tests replay bit-identically in CI.
-//!
-//! Everything here is transport-agnostic: the same supervisor drives
-//! in-process [`QueueLink`]s (simulator, tests) and [`TcpFrameLink`]s
-//! (real deployments).
+//! * **Monotonic clock** — [`monotonic_micros`], the detector's time
+//!   base.
 
-pub mod backoff;
-pub mod chaos;
 pub mod clock;
-pub mod dedup;
 pub mod detector;
-pub mod link;
-pub mod replay;
-pub mod stats;
-pub mod supervisor;
+
+// Link-level fault tolerance moved into the link stack; keep the old
+// module paths (`neptune_ha::link`, `neptune_ha::supervisor`, ...)
+// resolving for existing callers.
+pub use neptune_link::backoff;
+pub use neptune_link::chaos;
+pub use neptune_link::dedup;
+pub use neptune_link::replay;
+pub use neptune_link::stats;
+pub use neptune_link::supervisor;
+pub use neptune_link::transport as link;
 
 pub use backoff::ReconnectPolicy;
 pub use chaos::{AckGate, ChaosLink, FaultEvent, FaultPlan};
@@ -40,6 +33,7 @@ pub use clock::monotonic_micros;
 pub use dedup::{Admit, DedupFilter};
 pub use detector::{DetectorConfig, FailureDetector, PeerState};
 pub use link::{FrameLink, OutboundFrame, QueueLink, TcpFrameLink};
+pub use neptune_link::{AckMode, IngressVerdict, ReliableIngress};
 pub use replay::{PendingFrame, ReplayBuffer};
 pub use stats::{RecoverySnapshot, RecoveryStats};
 pub use supervisor::{LinkEvent, SupervisedLink};

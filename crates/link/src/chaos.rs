@@ -9,7 +9,7 @@
 //! replays the exact same failure interleaving in CI every time.
 
 use crate::backoff::xorshift;
-use crate::link::{FrameLink, OutboundFrame};
+use crate::transport::{FrameLink, OutboundFrame};
 use neptune_net::frame::ControlKind;
 use neptune_net::transport::TransportError;
 use parking_lot::Mutex;
@@ -165,7 +165,7 @@ impl ChaosLink {
 }
 
 impl FrameLink for ChaosLink {
-    fn send_frame(&self, frame: &OutboundFrame) -> Result<(), TransportError> {
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<usize, TransportError> {
         let n = self.attempts.fetch_add(1, Ordering::Relaxed);
         if self.in_window(n) {
             self.injected_failures.fetch_add(1, Ordering::Relaxed);
@@ -243,9 +243,9 @@ mod tests {
     }
 
     impl FrameLink for SinkSpy {
-        fn send_frame(&self, f: &OutboundFrame) -> Result<(), TransportError> {
-            self.frames.lock().push(f.seq);
-            Ok(())
+        fn send_frame(&self, f: &OutboundFrame) -> Result<usize, TransportError> {
+            self.frames.lock().push(f.seq.expect("chaos tests send sequenced frames"));
+            Ok(f.encoded.len())
         }
         fn send_control(
             &self,
@@ -261,7 +261,7 @@ mod tests {
     fn of(seq: u64) -> OutboundFrame {
         OutboundFrame {
             link_id: 1,
-            seq,
+            seq: Some(seq),
             base_seq: seq,
             count: 1,
             encoded: Bytes::from_static(&[1, 0, 0, 0, 9]),

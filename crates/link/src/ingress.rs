@@ -1,0 +1,202 @@
+//! The receiving end of a reliable link: duplicate suppression plus
+//! cumulative-ack staging, as one object.
+//!
+//! Every consumer of at-least-once links used to hand-roll the same
+//! three-step dance: classify the incoming frame against a
+//! [`DedupFilter`], route the fresh suffix, then compute and deliver the
+//! cumulative ack — immediately, or withheld until the node is quiescent
+//! (the cluster's chain-ack discipline for exactly-once handoff across
+//! planes). [`ReliableIngress`] owns that dance. Callers classify with
+//! [`admit`](ReliableIngress::admit), then call
+//! [`stage_ack`](ReliableIngress::stage_ack) — which either returns the
+//! ack to send now ([`AckMode::Immediate`]) or parks it until
+//! [`release_acks`](ReliableIngress::release_acks) drains the staging map
+//! ([`AckMode::Quiescent`]).
+//!
+//! This is the only place outside the filter's own tests that constructs
+//! a [`DedupFilter`]: exactly one dedup implementation, one ack-watermark
+//! computation, shared by the HA harness and the cluster data plane.
+
+use crate::dedup::{Admit, DedupFilter};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// When acks flow back to the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// Ack every admitted frame as it arrives (steady-state).
+    Immediate,
+    /// Withhold acks until [`ReliableIngress::release_acks`] — the
+    /// quiescent-chain discipline: a node acks upstream only once its own
+    /// downstream work is drained, so a crash between arrival and
+    /// processing replays instead of losing data.
+    Quiescent,
+}
+
+/// Verdict for one incoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressVerdict {
+    /// Deliver the messages after skipping the first `skip` (0 = all).
+    Deliver {
+        /// Already-delivered prefix length.
+        skip: u32,
+    },
+    /// Every message was already delivered: drop the frame.
+    Duplicate,
+}
+
+/// Sink-side reliability: dedup + ack staging for any number of links.
+pub struct ReliableIngress {
+    dedup: DedupFilter,
+    /// Current ack discipline; retunable so a plane can switch to
+    /// immediate acks once its downstream chain is known-drained.
+    immediate: AtomicBool,
+    /// link_id → withheld cumulative ack (Quiescent mode).
+    pending: Mutex<HashMap<u64, u64>>,
+    /// Frames admitted (fresh or overlapping).
+    frames: AtomicU64,
+    /// Whole frames dropped as duplicates.
+    dup_frames: AtomicU64,
+    /// link_id → duplicate frames dropped, for per-link stats.
+    drops_by_link: Mutex<HashMap<u64, u64>>,
+}
+
+impl ReliableIngress {
+    /// Ingress starting in the given ack mode.
+    pub fn new(mode: AckMode) -> Self {
+        ReliableIngress {
+            dedup: DedupFilter::new(),
+            immediate: AtomicBool::new(mode == AckMode::Immediate),
+            pending: Mutex::new(HashMap::new()),
+            frames: AtomicU64::new(0),
+            dup_frames: AtomicU64::new(0),
+            drops_by_link: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Switch the ack discipline (true = ack immediately).
+    pub fn set_immediate(&self, on: bool) {
+        self.immediate.store(on, Ordering::Release);
+    }
+
+    /// True when acks flow back immediately.
+    pub fn immediate(&self) -> bool {
+        self.immediate.load(Ordering::Acquire)
+    }
+
+    /// Classify a frame of `count` messages starting at `base_seq` on
+    /// `link_id`, advancing the link's dedup watermark for admitted
+    /// messages and counting duplicates.
+    pub fn admit(&self, link_id: u64, base_seq: u64, count: u32) -> IngressVerdict {
+        match self.dedup.admit(link_id, base_seq, count) {
+            Admit::Fresh => {
+                self.frames.fetch_add(1, Ordering::Relaxed);
+                IngressVerdict::Deliver { skip: 0 }
+            }
+            Admit::Overlap { skip } => {
+                self.frames.fetch_add(1, Ordering::Relaxed);
+                IngressVerdict::Deliver { skip }
+            }
+            Admit::Duplicate => {
+                self.dup_frames.fetch_add(1, Ordering::Relaxed);
+                *self.drops_by_link.lock().entry(link_id).or_insert(0) += 1;
+                IngressVerdict::Duplicate
+            }
+        }
+    }
+
+    /// Stage the cumulative ack for `link_id`. Returns `Some((link_id,
+    /// watermark))` when the caller should send it now (immediate mode);
+    /// in quiescent mode the ack is parked — later stagings for the same
+    /// link overwrite it, which is exactly what cumulative acks want.
+    pub fn stage_ack(&self, link_id: u64) -> Option<(u64, u64)> {
+        let watermark = self.dedup.ack_watermark(link_id)?;
+        if self.immediate() {
+            Some((link_id, watermark))
+        } else {
+            self.pending.lock().insert(link_id, watermark);
+            None
+        }
+    }
+
+    /// Drain every withheld ack for sending (the quiescent-chain release
+    /// point).
+    pub fn release_acks(&self) -> Vec<(u64, u64)> {
+        self.pending.lock().drain().collect()
+    }
+
+    /// The cumulative ack value for `link_id`, if any frame was seen.
+    pub fn ack_watermark(&self, link_id: u64) -> Option<u64> {
+        self.dedup.ack_watermark(link_id)
+    }
+
+    /// Frames admitted for delivery (fresh or overlapping).
+    pub fn frames_admitted(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Whole frames dropped as duplicates.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dup_frames.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate frames dropped on one link (per-link stats export).
+    pub fn dedup_drops(&self, link_id: u64) -> u64 {
+        self.drops_by_link.lock().get(&link_id).copied().unwrap_or(0)
+    }
+
+    /// Withheld acks currently parked (quiescent mode).
+    pub fn pending_acks(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_mode_returns_acks_inline() {
+        let ing = ReliableIngress::new(AckMode::Immediate);
+        assert_eq!(ing.admit(1, 0, 4), IngressVerdict::Deliver { skip: 0 });
+        assert_eq!(ing.stage_ack(1), Some((1, 4)));
+        assert_eq!(ing.admit(1, 4, 2), IngressVerdict::Deliver { skip: 0 });
+        assert_eq!(ing.stage_ack(1), Some((1, 6)));
+        assert_eq!(ing.pending_acks(), 0);
+        assert_eq!(ing.frames_admitted(), 2);
+        assert_eq!(ing.stage_ack(9), None, "unseen link has no watermark");
+    }
+
+    #[test]
+    fn quiescent_mode_parks_and_coalesces_acks() {
+        let ing = ReliableIngress::new(AckMode::Quiescent);
+        ing.admit(1, 0, 4);
+        assert_eq!(ing.stage_ack(1), None);
+        ing.admit(1, 4, 4);
+        assert_eq!(ing.stage_ack(1), None);
+        ing.admit(2, 0, 1);
+        ing.stage_ack(2);
+        assert_eq!(ing.pending_acks(), 2, "cumulative: one parked ack per link");
+        let mut acks = ing.release_acks();
+        acks.sort_unstable();
+        assert_eq!(acks, vec![(1, 8), (2, 1)]);
+        assert_eq!(ing.pending_acks(), 0);
+        ing.set_immediate(true);
+        ing.admit(1, 8, 1);
+        assert_eq!(ing.stage_ack(1), Some((1, 9)), "mode is retunable");
+    }
+
+    #[test]
+    fn duplicates_drop_and_count_per_link() {
+        let ing = ReliableIngress::new(AckMode::Immediate);
+        ing.admit(7, 0, 10);
+        assert_eq!(ing.admit(7, 0, 10), IngressVerdict::Duplicate);
+        assert_eq!(ing.admit(7, 5, 10), IngressVerdict::Deliver { skip: 5 });
+        assert_eq!(ing.duplicates_dropped(), 1);
+        assert_eq!(ing.dedup_drops(7), 1);
+        assert_eq!(ing.dedup_drops(8), 0);
+        // The duplicate still re-acks: the sender may have missed the ack.
+        assert_eq!(ing.stage_ack(7), Some((7, 15)));
+    }
+}

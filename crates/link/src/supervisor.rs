@@ -11,9 +11,9 @@
 //! harness) decides whether to reroute or abort.
 
 use crate::backoff::ReconnectPolicy;
-use crate::link::{FrameLink, OutboundFrame};
 use crate::replay::{PendingFrame, ReplayBuffer};
 use crate::stats::RecoveryStats;
+use crate::transport::{FrameLink, OutboundFrame};
 use bytes::Bytes;
 use neptune_net::frame::ControlKind;
 use neptune_net::transport::TransportError;
@@ -52,6 +52,11 @@ pub struct SupervisedLink {
     stats: Arc<RecoveryStats>,
     next_seq: AtomicU64,
     heartbeat_nonce: AtomicU64,
+    /// Per-link retransmit count (the shared [`RecoveryStats`] aggregates
+    /// across links; this one feeds the link's own stats bundle).
+    replayed: AtomicU64,
+    /// Per-link cumulative-ack count.
+    acks: AtomicU64,
     failed: AtomicBool,
     hook: RwLock<Option<EventHook>>,
     recorder: RwLock<Option<Arc<FlightRecorder>>>,
@@ -76,6 +81,8 @@ impl SupervisedLink {
             stats,
             next_seq: AtomicU64::new(0),
             heartbeat_nonce: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            acks: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             hook: RwLock::new(None),
             recorder: RwLock::new(None),
@@ -154,7 +161,7 @@ impl SupervisedLink {
         }
         let frame = OutboundFrame {
             link_id: self.link_id,
-            seq,
+            seq: Some(seq),
             base_seq,
             count,
             encoded,
@@ -200,6 +207,7 @@ impl SupervisedLink {
     /// Deliver a cumulative acknowledgement: trims the replay buffer.
     pub fn ack(&self, cum_msg_seq: u64) {
         RecoveryStats::bump(&self.stats.acks_received);
+        self.acks.fetch_add(1, Ordering::Relaxed);
         self.replay.ack(cum_msg_seq);
     }
 
@@ -216,6 +224,16 @@ impl SupervisedLink {
     /// Frames sequenced so far.
     pub fn frames_sequenced(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Frames retransmitted on this link across all recoveries.
+    pub fn frames_replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative acks this link has received.
+    pub fn acks_received(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
     }
 
     /// Backoff → reconnect → replay, up to the policy's attempt budget.
@@ -239,7 +257,7 @@ impl SupervisedLink {
             for pf in &pending {
                 let frame = OutboundFrame {
                     link_id: self.link_id,
-                    seq: pf.frame_seq,
+                    seq: Some(pf.frame_seq),
                     base_seq: pf.base_seq,
                     count: pf.count,
                     encoded: pf.encoded.clone(),
@@ -255,6 +273,7 @@ impl SupervisedLink {
             }
             self.stats.retransmits.fetch_add(replayed, Ordering::Relaxed);
             self.stats.retransmitted_bytes.fetch_add(replayed_bytes, Ordering::Relaxed);
+            self.replayed.fetch_add(replayed, Ordering::Relaxed);
             if !completed {
                 continue; // partial replay: duplicates are fine, retry whole set
             }
@@ -278,7 +297,7 @@ mod tests {
     use super::*;
     use crate::chaos::{ChaosLink, FaultEvent, FaultPlan};
     use crate::dedup::{Admit, DedupFilter};
-    use crate::link::QueueLink;
+    use crate::transport::QueueLink;
     use neptune_net::frame::Frame;
     use neptune_net::watermark::{WatermarkConfig, WatermarkQueue};
 

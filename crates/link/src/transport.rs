@@ -1,0 +1,366 @@
+//! The transport layer of the link stack: how one outbound frame reaches
+//! the destination, flavour by flavour.
+//!
+//! [`FrameLink`] is the pluggable bottom of the stack. It carries data
+//! frames — sequenced (`FLAG_SEQ`, when a reliability layer assigned a
+//! frame sequence number) or bare — and control frames (heartbeats,
+//! acks). Every flavour blocks under backpressure, which is what lets
+//! watermark gating propagate upstream (NEPTUNE §III-B4): a worker that
+//! cannot hand off a batch simply does not return from `send_frame`, and
+//! the stream processor that produced it is not rescheduled — *"The
+//! stream processors are not scheduled again until these write operations
+//! are successful."*
+//!
+//! Flavours shipping here:
+//!
+//! * [`QueueLink`] — both operator instances live in the same process;
+//!   the batch buffer is handed over as a decoded
+//!   [`Frame`] with no wire encoding, no compression, and **no copy**:
+//!   the refcounted `Bytes` batch the output buffer flushed is the same
+//!   storage the receiving task reads messages from.
+//! * [`TcpFrameLink`] — instances on different resources; the batch is
+//!   encoded with [`encode_frame_raw_traced`] and carried by a
+//!   [`TcpSender`], which fronts *both* the blocking-writer path and the
+//!   epoll-reactor path (the two TCP flavours share one wire format).
+//! * [`crate::chaos::ChaosLink`] — interposes scripted fault injection on
+//!   any of the above.
+
+use bytes::Bytes;
+use neptune_compress::SelectiveCompressor;
+use neptune_net::frame::{
+    encode_control_frame, encode_frame_raw_traced, ControlKind, Frame, FrameMessages,
+    FRAME_HEADER_LEN,
+};
+use neptune_net::tcp::TcpSender;
+use neptune_net::transport::TransportError;
+use neptune_net::watermark::WatermarkQueue;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One frame on its way out: everything a transport needs to send it now
+/// and a [`crate::replay::ReplayBuffer`] needs to send it again.
+#[derive(Debug, Clone)]
+pub struct OutboundFrame {
+    /// Link identity (routing key for acks).
+    pub link_id: u64,
+    /// Per-link frame sequence number, assigned by the reliability layer
+    /// (`None` on links without ack/replay — nothing rides `FLAG_SEQ`).
+    pub seq: Option<u64>,
+    /// Message sequence of the first message.
+    pub base_seq: u64,
+    /// Messages in the batch.
+    pub count: u32,
+    /// Length-prefixed message concatenation.
+    pub encoded: Bytes,
+    /// Sender wall clock at flush, µs (0 = unstamped).
+    pub sent_at_micros: u64,
+    /// Causal trace id to carry via `FLAG_TRACE` (`None` = untraced).
+    pub trace: Option<u64>,
+}
+
+/// A transport that can carry data frames and control frames. Returns the
+/// wire-equivalent byte count of what was sent so every flavour accounts
+/// identically.
+pub trait FrameLink: Send + Sync {
+    /// Deliver one data frame. Blocks under backpressure; returns the
+    /// frame's wire-equivalent length in bytes.
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<usize, TransportError>;
+
+    /// Deliver one control frame (heartbeat probe, explicit ack).
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError>;
+
+    /// The destination watermark queue, for in-process flavours whose
+    /// backpressure gate the runtime wires pumps and wakers to. `None`
+    /// for wire transports (their backpressure lives in the sender's IO
+    /// queue).
+    fn queue(&self) -> Option<&Arc<WatermarkQueue<Frame>>> {
+        None
+    }
+}
+
+type DeliverHook = Arc<dyn Fn() + Send + Sync>;
+
+/// In-process transport: frames land decoded on the destination
+/// [`WatermarkQueue`], sharing the sender's batch buffer (zero-copy).
+/// Used by the runtime's co-located links, by the reliability layer
+/// (carrying the frame sequence number for dedup/ack), and by the chaos
+/// harness (CI-testable recovery without sockets).
+pub struct QueueLink {
+    queue: Arc<WatermarkQueue<Frame>>,
+    on_deliver: RwLock<Option<DeliverHook>>,
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl QueueLink {
+    /// Wrap a destination queue.
+    pub fn new(queue: Arc<WatermarkQueue<Frame>>) -> Self {
+        QueueLink {
+            queue,
+            on_deliver: RwLock::new(None),
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a callback invoked after every delivered frame (wired to
+    /// the destination task's data-driven signal).
+    pub fn on_deliver<F: Fn() + Send + Sync + 'static>(&self, f: F) {
+        *self.on_deliver.write() = Some(Arc::new(f));
+    }
+
+    /// The destination queue.
+    pub fn queue(&self) -> &Arc<WatermarkQueue<Frame>> {
+        &self.queue
+    }
+
+    /// Frames delivered so far (shed-dropped frames excluded).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Wire-equivalent bytes delivered so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl FrameLink for QueueLink {
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<usize, TransportError> {
+        // Wire-equivalent accounting: header + compression tag + body,
+        // plus the 8-byte `FLAG_SEQ` extension when sequenced.
+        let wire_len =
+            FRAME_HEADER_LEN + frame.encoded.len() + 1 + if frame.seq.is_some() { 8 } else { 0 };
+        // Zero-copy split: the frame's messages are ranges into `encoded`.
+        let messages = FrameMessages::parse_prefixed(frame.encoded.clone(), Some(frame.count))
+            .map_err(TransportError::Malformed)?;
+        let decoded = Frame {
+            link_id: frame.link_id,
+            base_seq: frame.base_seq,
+            messages,
+            wire_len,
+            sent_at_micros: frame.sent_at_micros,
+            received_at: Some(std::time::Instant::now()),
+            seq: frame.seq,
+            control: None,
+            trace: frame.trace,
+        };
+        let outcome = self.queue.push_blocking(decoded).map_err(TransportError::from_push)?;
+        if !outcome.accepted() {
+            // The queue's armed ShedPolicy dropped the incoming frame to
+            // bound latency; it was never enqueued, so nothing was "sent"
+            // and there is no delivery to signal.
+            return Ok(wire_len);
+        }
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
+        let hook = self.on_deliver.read().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+        Ok(wire_len)
+    }
+
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError> {
+        let frame = Frame {
+            link_id,
+            base_seq: value,
+            messages: FrameMessages::empty(),
+            wire_len: FRAME_HEADER_LEN + 8,
+            sent_at_micros: 0,
+            received_at: Some(std::time::Instant::now()),
+            seq: None,
+            control: Some(kind),
+            trace: None,
+        };
+        self.queue.push_blocking(frame).map(|_| ()).map_err(TransportError::from_push)
+    }
+
+    fn queue(&self) -> Option<&Arc<WatermarkQueue<Frame>>> {
+        Some(&self.queue)
+    }
+}
+
+/// TCP transport: encodes frames onto the wire (with the `FLAG_SEQ`
+/// extension when sequenced) and hands them to a [`TcpSender`] — blocking
+/// writer thread or epoll reactor, whichever the sender was built on.
+pub struct TcpFrameLink {
+    sender: TcpSender,
+    compressor: SelectiveCompressor,
+}
+
+impl TcpFrameLink {
+    /// Wrap a connected sender with the link's compression policy.
+    pub fn new(sender: TcpSender, compressor: SelectiveCompressor) -> Self {
+        TcpFrameLink { sender, compressor }
+    }
+
+    /// The wrapped sender.
+    pub fn sender(&self) -> &TcpSender {
+        &self.sender
+    }
+}
+
+impl FrameLink for TcpFrameLink {
+    fn send_frame(&self, frame: &OutboundFrame) -> Result<usize, TransportError> {
+        let wire = encode_frame_raw_traced(
+            frame.link_id,
+            frame.base_seq,
+            frame.count,
+            &frame.encoded,
+            &self.compressor,
+            frame.sent_at_micros,
+            frame.seq,
+            frame.trace,
+        );
+        let len = wire.len();
+        self.sender.send(wire)?;
+        Ok(len)
+    }
+
+    fn send_control(
+        &self,
+        link_id: u64,
+        kind: ControlKind,
+        value: u64,
+    ) -> Result<(), TransportError> {
+        self.sender.send(encode_control_frame(link_id, kind, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neptune_net::watermark::WatermarkConfig;
+
+    fn prefixed(msgs: &[&[u8]]) -> (Bytes, u32) {
+        let mut out = Vec::new();
+        for m in msgs {
+            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            out.extend_from_slice(m);
+        }
+        (Bytes::from(out), msgs.len() as u32)
+    }
+
+    fn frame(seq: Option<u64>, base_seq: u64, encoded: Bytes, count: u32) -> OutboundFrame {
+        OutboundFrame { link_id: 5, seq, base_seq, count, encoded, sent_at_micros: 0, trace: None }
+    }
+
+    #[test]
+    fn queue_link_carries_seq_and_control() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let (encoded, count) = prefixed(&[b"a", b"b"]);
+        link.send_frame(&frame(Some(17), 100, encoded, count)).unwrap();
+        link.send_control(5, ControlKind::Heartbeat, 3).unwrap();
+        let f = q.pop().unwrap();
+        assert_eq!(f.seq, Some(17));
+        assert_eq!(f.base_seq, 100);
+        assert_eq!(f.len(), 2);
+        let hb = q.pop().unwrap();
+        assert_eq!(hb.control, Some(ControlKind::Heartbeat));
+        assert_eq!(hb.base_seq, 3);
+        assert!(hb.is_empty());
+    }
+
+    #[test]
+    fn bare_frames_skip_the_seq_extension_in_accounting() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let (encoded, count) = prefixed(&[b"x"]);
+        let body = encoded.len();
+        let bare = link.send_frame(&frame(None, 0, encoded.clone(), count)).unwrap();
+        let sequenced = link.send_frame(&frame(Some(0), 1, encoded, count)).unwrap();
+        assert_eq!(bare, FRAME_HEADER_LEN + body + 1);
+        assert_eq!(sequenced, bare + 8, "FLAG_SEQ adds exactly 8 bytes");
+        assert_eq!(q.pop().unwrap().seq, None);
+        assert_eq!(q.pop().unwrap().seq, Some(0));
+    }
+
+    #[test]
+    fn queue_link_counts_and_signals_deliveries() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        link.on_deliver(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let (encoded, count) = prefixed(&[b"a"]);
+        link.send_frame(&frame(None, 0, encoded.clone(), count)).unwrap();
+        link.send_frame(&frame(None, 1, encoded, count)).unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(link.frames_sent(), 2);
+        assert!(link.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn delivered_frame_shares_the_batch_buffer() {
+        // The whole point of the in-process path: no copy on handover.
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let (encoded, count) = prefixed(&[b"shared"]);
+        let batch_ptr = encoded.as_ptr() as usize;
+        link.send_frame(&frame(None, 0, encoded, count)).unwrap();
+        let f = q.pop().unwrap();
+        let range = batch_ptr..batch_ptr + f.messages.batch().len();
+        assert!(
+            range.contains(&(f.messages[0].as_ptr() as usize)),
+            "message must alias the sender's batch buffer"
+        );
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q);
+        let (encoded, _) = prefixed(&[b"x", b"y"]);
+        assert!(matches!(
+            link.send_frame(&frame(None, 0, encoded, 3)),
+            Err(TransportError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn queue_link_surfaces_close_as_error() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        q.close();
+        let (encoded, count) = prefixed(&[b"x"]);
+        assert_eq!(
+            link.send_frame(&frame(Some(0), 0, encoded, count)),
+            Err(TransportError::Closed)
+        );
+        assert_eq!(link.send_control(1, ControlKind::Ack, 0), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn blocks_under_backpressure_until_drained() {
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(64, 8)));
+        let link = Arc::new(QueueLink::new(q.clone()));
+        let (encoded, count) = prefixed(&[&[0u8; 60]]);
+        link.send_frame(&frame(None, 0, encoded.clone(), count)).unwrap(); // gates the queue
+        assert!(q.is_gated());
+        let l2 = link.clone();
+        let e2 = encoded.clone();
+        let sender = std::thread::spawn(move || l2.send_frame(&frame(None, 1, e2, count)));
+        assert!(neptune_net::test_support::wait_for(std::time::Duration::from_secs(5), || {
+            q.gate_events() == 1
+        }));
+        assert_eq!(q.total_pushed(), 1, "second send must be blocked");
+        q.pop().unwrap();
+        sender.join().unwrap().unwrap();
+        assert_eq!(q.total_pushed(), 2);
+    }
+}

@@ -20,9 +20,15 @@
 //!   engine.
 //! * [`sim`](neptune_sim) — the 50-node cluster simulator behind the
 //!   paper's cluster-scale figures.
-//! * [`ha`](neptune_ha) — the fault-tolerance subsystem: sequenced
-//!   ack/replay delivery, reconnecting links, heartbeat failure
-//!   detection, and the deterministic chaos harness.
+//! * [`link`](neptune_link) — the composable link stack: one
+//!   [`LinkBuilder`](neptune_link::LinkBuilder) behind every
+//!   frame-delivery path (in-process, blocking TCP, reactor TCP, chaos),
+//!   with optional reliability, trace tagging, and a retunable flush
+//!   policy per link.
+//! * [`ha`](neptune_ha) — the fault-tolerance subsystem: heartbeat
+//!   failure detection and the monotonic clock (link-level replay,
+//!   dedup, and supervision now live in [`link`](neptune_link) and are
+//!   re-exported here for compatibility).
 //! * [`cluster`](neptune_cluster) — real multi-process distribution:
 //!   the `neptuned` node daemon, the coordinator control plane, graph
 //!   partitioning, and the cross-process data plane.
@@ -36,6 +42,7 @@ pub use neptune_core as core;
 pub use neptune_data as data;
 pub use neptune_granules as granules;
 pub use neptune_ha as ha;
+pub use neptune_link as link;
 pub use neptune_net as net;
 pub use neptune_sim as sim;
 pub use neptune_stats as stats;

@@ -23,6 +23,7 @@
 //! steady-state allocations; detached buffers keep a private spare and run
 //! with two long-lived allocations per link, as before.
 
+use crate::flush::FlushPolicy;
 use crate::pool::BytesPool;
 use bytes::{Bytes, BytesMut};
 use std::sync::Arc;
@@ -76,8 +77,8 @@ pub struct OutputBuffer {
     /// Shared pool backing this buffer's storage, when attached.
     pool: Option<Arc<BytesPool>>,
     count: u32,
-    capacity: usize,
-    max_delay: Option<Duration>,
+    /// Shared, retunable flush knobs (byte/message thresholds, deadline).
+    policy: Arc<FlushPolicy>,
     first_arrival: Option<Instant>,
     next_seq: u64,
     flushes_capacity: u64,
@@ -91,17 +92,19 @@ impl OutputBuffer {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, max_delay: Option<Duration>) -> Self {
-        Self::build(capacity, max_delay, None)
+        Self::with_policy(FlushPolicy::new(capacity, max_delay), None)
     }
 
     /// Like [`new`](Self::new), but storage is drawn from and returned to
     /// `pool`, shared with every other buffer and receiver on the job.
     pub fn with_pool(capacity: usize, max_delay: Option<Duration>, pool: Arc<BytesPool>) -> Self {
-        Self::build(capacity, max_delay, Some(pool))
+        Self::with_policy(FlushPolicy::new(capacity, max_delay), Some(pool))
     }
 
-    fn build(capacity: usize, max_delay: Option<Duration>, pool: Option<Arc<BytesPool>>) -> Self {
-        assert!(capacity > 0, "buffer capacity must be positive");
+    /// Buffer governed by a shared [`FlushPolicy`] — the handle stays
+    /// valid for runtime retuning (QoS controllers, telemetry).
+    pub fn with_policy(policy: Arc<FlushPolicy>, pool: Option<Arc<BytesPool>>) -> Self {
+        let capacity = policy.batch_bytes();
         let data = match &pool {
             Some(p) => p.checkout(capacity + 256),
             None => BytesMut::with_capacity(capacity + 256),
@@ -111,8 +114,7 @@ impl OutputBuffer {
             spare: None,
             pool,
             count: 0,
-            capacity,
-            max_delay,
+            policy,
             first_arrival: None,
             next_seq: 0,
             flushes_capacity: 0,
@@ -123,7 +125,12 @@ impl OutputBuffer {
 
     /// Configured capacity in bytes.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.policy.batch_bytes()
+    }
+
+    /// The buffer's flush policy handle.
+    pub fn policy(&self) -> &Arc<FlushPolicy> {
+        &self.policy
     }
 
     /// Bytes currently buffered.
@@ -188,7 +195,10 @@ impl OutputBuffer {
     fn finish_push(&mut self) -> PushOutcome {
         self.count += 1;
         self.next_seq += 1;
-        if self.data.len() >= self.capacity {
+        let batch_messages = self.policy.batch_messages();
+        if self.data.len() >= self.policy.batch_bytes()
+            || (batch_messages > 0 && self.count as usize >= batch_messages)
+        {
             PushOutcome::Flush(self.take_batch(FlushReason::Capacity))
         } else {
             PushOutcome::Buffered
@@ -197,7 +207,7 @@ impl OutputBuffer {
 
     /// Deadline at which the flush timer should fire, if armed.
     pub fn flush_deadline(&self) -> Option<Instant> {
-        match (self.first_arrival, self.max_delay) {
+        match (self.first_arrival, self.policy.max_delay()) {
             (Some(t0), Some(d)) if self.count > 0 => Some(t0 + d),
             _ => None,
         }
@@ -233,11 +243,12 @@ impl OutputBuffer {
         self.count = 0;
         self.first_arrival = None;
         // Swap in recycled storage; freeze and hand out the filled buffer.
+        let capacity = self.policy.batch_bytes();
         let replacement = match self.spare.take() {
             Some(spare) => spare,
             None => match &self.pool {
-                Some(p) => p.checkout(self.capacity + 256),
-                None => BytesMut::with_capacity(self.capacity + 256),
+                Some(p) => p.checkout(capacity + 256),
+                None => BytesMut::with_capacity(capacity + 256),
             },
         };
         let encoded = std::mem::replace(&mut self.data, replacement).freeze();

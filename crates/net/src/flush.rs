@@ -1,0 +1,148 @@
+//! The flush policy of one link: batch-size threshold + flush deadline,
+//! retunable at runtime.
+//!
+//! NEPTUNE flushes an output buffer when its byte capacity is reached or
+//! its per-buffer timer fires (§III-B1). Historically both knobs were
+//! frozen into each [`crate::buffer::OutputBuffer`] at construction; a
+//! [`FlushPolicy`] lifts them into a shared, atomically-retunable object
+//! so one handle — held by the link, surfaced in telemetry, and later by
+//! a QoS controller (Nephele-style SLO adaptation) — can adjust a live
+//! link's batching without touching the hot path: the buffer reads two
+//! relaxed atomics per push, exactly what a field read cost before.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Retunable flush knobs for one link's output buffering.
+#[derive(Debug)]
+pub struct FlushPolicy {
+    /// Flush once this many encoded bytes are buffered.
+    batch_bytes: AtomicUsize,
+    /// Flush this long after the first buffered message, µs (0 = no timer).
+    max_delay_micros: AtomicU64,
+    /// Flush once this many messages are buffered (0 = bytes-only, the
+    /// paper's rule; used by the cluster egress, which batches by count).
+    batch_messages: AtomicUsize,
+}
+
+/// Point-in-time copy of a policy's knobs, for telemetry exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicySnapshot {
+    /// Byte threshold.
+    pub batch_bytes: usize,
+    /// Deadline in µs (0 = no timer).
+    pub max_delay_micros: u64,
+    /// Message-count threshold (0 = unlimited).
+    pub batch_messages: usize,
+}
+
+impl FlushPolicy {
+    /// Policy flushing at `batch_bytes`, with an optional deadline of
+    /// `max_delay` after the first buffered message.
+    ///
+    /// Panics if `batch_bytes == 0`.
+    pub fn new(batch_bytes: usize, max_delay: Option<Duration>) -> Arc<Self> {
+        assert!(batch_bytes > 0, "buffer capacity must be positive");
+        Arc::new(FlushPolicy {
+            batch_bytes: AtomicUsize::new(batch_bytes),
+            max_delay_micros: AtomicU64::new(
+                max_delay.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0),
+            ),
+            batch_messages: AtomicUsize::new(0),
+        })
+    }
+
+    /// Byte threshold.
+    pub fn batch_bytes(&self) -> usize {
+        self.batch_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Retune the byte threshold (takes effect on the next push).
+    pub fn set_batch_bytes(&self, bytes: usize) {
+        self.batch_bytes.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Flush deadline relative to the first buffered message.
+    pub fn max_delay(&self) -> Option<Duration> {
+        match self.max_delay_micros.load(Ordering::Relaxed) {
+            0 => None,
+            micros => Some(Duration::from_micros(micros)),
+        }
+    }
+
+    /// Retune (or remove, with `None`) the flush deadline. Applies to the
+    /// next batch; a deadline already armed keeps its original instant.
+    pub fn set_max_delay(&self, max_delay: Option<Duration>) {
+        self.max_delay_micros.store(
+            max_delay.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Message-count threshold (0 = bytes-only).
+    pub fn batch_messages(&self) -> usize {
+        self.batch_messages.load(Ordering::Relaxed)
+    }
+
+    /// Retune the message-count threshold (0 disables it).
+    pub fn set_batch_messages(&self, messages: usize) {
+        self.batch_messages.store(messages, Ordering::Relaxed);
+    }
+
+    /// Builder-style message-count threshold.
+    pub fn with_batch_messages(self: Arc<Self>, messages: usize) -> Arc<Self> {
+        self.set_batch_messages(messages);
+        self
+    }
+
+    /// Snapshot every knob at once.
+    pub fn snapshot(&self) -> FlushPolicySnapshot {
+        FlushPolicySnapshot {
+            batch_bytes: self.batch_bytes(),
+            max_delay_micros: self.max_delay_micros.load(Ordering::Relaxed),
+            batch_messages: self.batch_messages(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_round_trip_and_retune() {
+        let p = FlushPolicy::new(4096, Some(Duration::from_millis(5)));
+        assert_eq!(p.batch_bytes(), 4096);
+        assert_eq!(p.max_delay(), Some(Duration::from_millis(5)));
+        assert_eq!(p.batch_messages(), 0);
+        p.set_batch_bytes(1024);
+        p.set_max_delay(None);
+        p.set_batch_messages(64);
+        let snap = p.snapshot();
+        assert_eq!(
+            snap,
+            FlushPolicySnapshot { batch_bytes: 1024, max_delay_micros: 0, batch_messages: 64 }
+        );
+        assert_eq!(p.max_delay(), None);
+    }
+
+    #[test]
+    fn zero_retunes_are_clamped_or_disable() {
+        let p = FlushPolicy::new(64, None);
+        p.set_batch_bytes(0);
+        assert_eq!(p.batch_bytes(), 1, "a zero byte threshold would flush never");
+        p.set_max_delay(Some(Duration::ZERO));
+        assert_eq!(
+            p.max_delay(),
+            Some(Duration::from_micros(1)),
+            "zero delay clamps, not disables"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FlushPolicy::new(0, None);
+    }
+}

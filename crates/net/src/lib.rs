@@ -21,15 +21,19 @@
 //!   which, on the TCP transport, stops the reader from draining the
 //!   socket, closes the TCP window, and throttles the sender.
 //!
-//! Two transports carry frames: [`transport::InProcessTransport`] (links
-//! between operators co-located in one resource) and [`tcp`] (links across
-//! resources, with dedicated IO threads per §III's two-tier thread model).
-//! The TCP path itself has two selectable implementations — blocking
-//! thread-per-connection and readiness-driven ([`tcp_reactor`], epoll +
-//! IO-pool tasks, O(io_threads) at thousands of connections) — behind one
-//! byte-compatible facade.
+//! Frames travel over the `neptune-link` crate's transport flavours:
+//! in-process queue handover (links between operators co-located in one
+//! resource) and [`tcp`] (links across resources, with dedicated IO
+//! threads per §III's two-tier thread model). The TCP path itself has two
+//! selectable implementations — blocking thread-per-connection and
+//! readiness-driven ([`tcp_reactor`], epoll + IO-pool tasks,
+//! O(io_threads) at thousands of connections) — behind one
+//! byte-compatible facade. This crate keeps the shared vocabulary
+//! ([`transport::TransportError`], [`flush::FlushPolicy`]) those flavours
+//! compose over.
 
 pub mod buffer;
+pub mod flush;
 pub mod frame;
 pub mod pool;
 pub mod tcp;
@@ -39,6 +43,7 @@ pub mod transport;
 pub mod watermark;
 
 pub use buffer::{FlushReason, FlushedBatch, OutputBuffer, PushOutcome};
+pub use flush::{FlushPolicy, FlushPolicySnapshot};
 pub use frame::{
     crc32, decode_frame, decode_frame_shared, encode_control_frame, encode_frame, encode_frame_raw,
     encode_frame_raw_ext, encode_hello_frame, hello_parts, hello_value, read_frame,
@@ -49,5 +54,5 @@ pub use frame::{
 pub use pool::{BytesPool, BytesPoolStats};
 pub use tcp::{HandshakeGate, TcpReceiver, TcpSender};
 pub use tcp_reactor::NetDriver;
-pub use transport::{BatchSink, InProcessTransport};
+pub use transport::TransportError;
 pub use watermark::{PushError, Pushed, ShedConfig, ShedPolicy, WatermarkConfig, WatermarkQueue};

@@ -1,31 +1,13 @@
-//! Transport abstraction: how a flushed batch travels from a link's output
-//! buffer to the downstream operator's inbound watermark queue.
+//! The transport error vocabulary shared by every link flavour.
 //!
-//! Two implementations exist:
-//!
-//! * [`InProcessTransport`] — both operator instances live in the same
-//!   Granules resource; the batch buffer is handed over as a decoded
-//!   [`Frame`] with no wire encoding, no compression, and **no copy**: the
-//!   refcounted `Bytes` batch the output buffer flushed is the same storage
-//!   the receiving task reads messages from. Backpressure still applies:
-//!   the push blocks on the destination watermark queue.
-//! * [`crate::tcp`] — operator instances on different resources; the batch
-//!   is encoded with [`crate::frame::encode_frame_raw`] and carried over a
-//!   TCP connection by dedicated IO threads.
-//!
-//! Both are *blocking under backpressure*, which is what lets the
-//! watermark gating propagate upstream (§III-B4): a worker thread that
-//! cannot hand off a batch simply does not return from `send_batch`, and
-//! the stream processor that produced the batch is not rescheduled —
-//! *"The stream processors are not scheduled again until these write
-//! operations are successful."*
-
-use crate::frame::{Frame, FrameMessages, FRAME_HEADER_LEN};
-use crate::watermark::WatermarkQueue;
-use bytes::Bytes;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+//! The transports themselves live in the `neptune-link` crate (in-process
+//! queue handover, blocking TCP, reactor TCP, chaos-injected), composed
+//! under optional reliability and flush-policy layers. What stays here is
+//! the error space they all map into — in particular the closed-vs-gated
+//! distinction [`TransportError::from_push`] preserves, which shedding
+//! and containment depend on: `Closed` means the destination is gone for
+//! good, `Backpressure` means the watermark gate is shut and the send
+//! should park or shed (§III-B4), never abort.
 
 /// Errors from handing a batch to a transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,238 +47,14 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// Anything that can carry a flushed batch toward a downstream instance.
-pub trait BatchSink: Send + Sync {
-    /// Deliver a batch. `encoded` is the output buffer's length-prefixed
-    /// concatenation, passed by refcounted handle so the in-process path
-    /// shares the storage instead of copying it; `count` the number of
-    /// messages; `base_seq` the sequence number of the first;
-    /// `sent_at_micros` the sender's wall clock at flush time (`0` when
-    /// telemetry is disabled). Blocks under backpressure.
-    fn send_batch(
-        &self,
-        link_id: u64,
-        base_seq: u64,
-        encoded: Bytes,
-        count: u32,
-        sent_at_micros: u64,
-    ) -> Result<(), TransportError>;
-
-    /// [`BatchSink::send_batch`] plus a causal trace id for the sampled
-    /// per-packet tracing path (ISSUE 7). The default drops the id so
-    /// sinks that predate tracing keep working; trace-aware sinks carry
-    /// it to the delivered frame (`FLAG_TRACE` on the wire).
-    fn send_batch_traced(
-        &self,
-        link_id: u64,
-        base_seq: u64,
-        encoded: Bytes,
-        count: u32,
-        sent_at_micros: u64,
-        _trace: Option<u64>,
-    ) -> Result<(), TransportError> {
-        self.send_batch(link_id, base_seq, encoded, count, sent_at_micros)
-    }
-
-    /// Frames handed to this sink so far.
-    fn frames_sent(&self) -> u64;
-
-    /// Wire-equivalent bytes handed to this sink so far.
-    fn bytes_sent(&self) -> u64;
-}
-
-type DeliverHook = Arc<dyn Fn() + Send + Sync>;
-
-/// Same-resource transport: batches land directly on the destination
-/// watermark queue as decoded frames sharing the sender's batch buffer.
-pub struct InProcessTransport {
-    queue: Arc<WatermarkQueue<Frame>>,
-    on_deliver: RwLock<Option<DeliverHook>>,
-    frames: AtomicU64,
-    bytes: AtomicU64,
-}
-
-impl InProcessTransport {
-    /// Wrap a destination queue.
-    pub fn new(queue: Arc<WatermarkQueue<Frame>>) -> Self {
-        InProcessTransport {
-            queue,
-            on_deliver: RwLock::new(None),
-            frames: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-        }
-    }
-
-    /// Register a callback invoked after every delivered frame (wired to
-    /// the destination task's data-driven signal).
-    pub fn on_deliver<F: Fn() + Send + Sync + 'static>(&self, f: F) {
-        *self.on_deliver.write() = Some(Arc::new(f));
-    }
-
-    /// The destination queue.
-    pub fn queue(&self) -> &Arc<WatermarkQueue<Frame>> {
-        &self.queue
-    }
-}
-
-impl BatchSink for InProcessTransport {
-    fn send_batch(
-        &self,
-        link_id: u64,
-        base_seq: u64,
-        encoded: Bytes,
-        count: u32,
-        sent_at_micros: u64,
-    ) -> Result<(), TransportError> {
-        self.send_batch_traced(link_id, base_seq, encoded, count, sent_at_micros, None)
-    }
-
-    fn send_batch_traced(
-        &self,
-        link_id: u64,
-        base_seq: u64,
-        encoded: Bytes,
-        count: u32,
-        sent_at_micros: u64,
-        trace: Option<u64>,
-    ) -> Result<(), TransportError> {
-        // Wire-equivalent accounting: header + compression tag + body.
-        let wire_len = FRAME_HEADER_LEN + encoded.len() + 1;
-        // Zero-copy split: the frame's messages are ranges into `encoded`.
-        let messages = FrameMessages::parse_prefixed(encoded, Some(count))
-            .map_err(TransportError::Malformed)?;
-        let frame = Frame {
-            link_id,
-            base_seq,
-            messages,
-            wire_len,
-            sent_at_micros,
-            received_at: Some(std::time::Instant::now()),
-            seq: None,
-            control: None,
-            trace,
-        };
-        let outcome = self.queue.push_blocking(frame).map_err(TransportError::from_push)?;
-        if !outcome.accepted() {
-            // The queue's armed ShedPolicy dropped the incoming frame to
-            // bound latency; it was never enqueued, so nothing was "sent"
-            // and there is no delivery to signal.
-            return Ok(());
-        }
-        self.frames.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
-        let hook = self.on_deliver.read().clone();
-        if let Some(hook) = hook {
-            hook();
-        }
-        Ok(())
-    }
-
-    fn frames_sent(&self) -> u64 {
-        self.frames.load(Ordering::Relaxed)
-    }
-
-    fn bytes_sent(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::watermark::WatermarkConfig;
-    use std::sync::atomic::AtomicU64;
-
-    fn encode(msgs: &[&[u8]]) -> (Bytes, u32) {
-        let mut out = Vec::new();
-        for m in msgs {
-            out.extend_from_slice(&(m.len() as u32).to_le_bytes());
-            out.extend_from_slice(m);
-        }
-        (Bytes::from(out), msgs.len() as u32)
-    }
+    use crate::watermark::PushError;
 
     #[test]
-    fn delivers_frames_in_order() {
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let t = InProcessTransport::new(q.clone());
-        let (e1, c1) = encode(&[b"a", b"b"]);
-        let (e2, c2) = encode(&[b"c"]);
-        t.send_batch(7, 0, e1, c1, 0).unwrap();
-        t.send_batch(7, 2, e2, c2, 0).unwrap();
-        let f1 = q.pop().unwrap();
-        assert_eq!(f1.base_seq, 0);
-        assert_eq!(f1.messages, vec![b"a".to_vec(), b"b".to_vec()]);
-        let f2 = q.pop().unwrap();
-        assert_eq!(f2.base_seq, 2);
-        assert_eq!(t.frames_sent(), 2);
-        assert!(t.bytes_sent() > 0);
-    }
-
-    #[test]
-    fn delivered_frame_shares_the_batch_buffer() {
-        // The whole point of the in-process path: no copy on handover.
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let t = InProcessTransport::new(q.clone());
-        let (e, c) = encode(&[b"shared"]);
-        let batch_ptr = e.as_ptr() as usize;
-        t.send_batch(1, 0, e, c, 0).unwrap();
-        let f = q.pop().unwrap();
-        let range = batch_ptr..batch_ptr + f.messages.batch().len();
-        assert!(
-            range.contains(&(f.messages[0].as_ptr() as usize)),
-            "message must alias the sender's batch buffer"
-        );
-    }
-
-    #[test]
-    fn deliver_hook_fires() {
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let t = InProcessTransport::new(q);
-        let hits = Arc::new(AtomicU64::new(0));
-        let h = hits.clone();
-        t.on_deliver(move || {
-            h.fetch_add(1, Ordering::Relaxed);
-        });
-        let (e, c) = encode(&[b"x"]);
-        t.send_batch(1, 0, e.clone(), c, 0).unwrap();
-        t.send_batch(1, 1, e, c, 0).unwrap();
-        assert_eq!(hits.load(Ordering::Relaxed), 2);
-    }
-
-    #[test]
-    fn count_mismatch_rejected() {
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let t = InProcessTransport::new(q);
-        let (e, _) = encode(&[b"x", b"y"]);
-        assert!(matches!(t.send_batch(1, 0, e, 3, 0), Err(TransportError::Malformed(_))));
-    }
-
-    #[test]
-    fn closed_queue_surfaces_as_closed() {
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
-        let t = InProcessTransport::new(q.clone());
-        q.close();
-        let (e, c) = encode(&[b"x"]);
-        assert_eq!(t.send_batch(1, 0, e, c, 0), Err(TransportError::Closed));
-    }
-
-    #[test]
-    fn blocks_under_backpressure_until_drained() {
-        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(64, 8)));
-        let t = Arc::new(InProcessTransport::new(q.clone()));
-        let (e, c) = encode(&[&[0u8; 60]]);
-        t.send_batch(1, 0, e.clone(), c, 0).unwrap(); // gates the queue
-        assert!(q.is_gated());
-        let t2 = t.clone();
-        let e2 = e.clone();
-        let sender = std::thread::spawn(move || t2.send_batch(1, 1, e2, c, 0));
-        assert!(crate::test_support::wait_for(std::time::Duration::from_secs(5), || {
-            q.gate_events() == 1
-        }));
-        assert_eq!(q.total_pushed(), 1, "second send must be blocked");
-        q.pop().unwrap();
-        sender.join().unwrap().unwrap();
-        assert_eq!(q.total_pushed(), 2);
+    fn push_errors_keep_the_closed_vs_gated_distinction() {
+        assert_eq!(TransportError::from_push(PushError::Closed(7u8)), TransportError::Closed);
+        assert_eq!(TransportError::from_push(PushError::Gated(7u8)), TransportError::Backpressure);
     }
 }

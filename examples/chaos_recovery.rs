@@ -1,12 +1,14 @@
 //! Chaos recovery, live — a relay pipeline survives a scripted link kill.
 //!
-//! A supervised link carries a stream of sequenced batches toward a sink.
-//! Mid-stream, a seeded [`FaultPlan`] cuts the link for several delivery
-//! attempts; the supervisor backs off, reconnects, and replays every
-//! unacked frame. The sink deduplicates by message sequence, so the
-//! stream arrives **complete and exactly once** despite the at-least-once
-//! wire. The demo prints the recovery telemetry as it happens: reconnect
-//! attempts, replayed frames, duplicates dropped.
+//! A reliable link (assembled through the shared [`LinkBuilder`]) carries
+//! a stream of sequenced batches toward a sink. Mid-stream, a seeded
+//! [`FaultPlan`] cuts the link for several delivery attempts; the
+//! reliability layer backs off, reconnects, and replays every unacked
+//! frame. The sink classifies frames through [`ReliableIngress`] — the
+//! same dedup + cumulative-ack object the cluster data plane uses — so
+//! the stream arrives **complete and exactly once** despite the
+//! at-least-once wire. The demo prints the recovery telemetry as it
+//! happens: reconnect attempts, replayed frames, duplicates dropped.
 //!
 //! The fault script is positional (frame counts, not wall clock) and
 //! seeded — run it twice with the same seed and the kill lands on the
@@ -19,9 +21,9 @@
 //! ```
 
 use bytes::Bytes;
-use neptune::ha::{
-    Admit, ChaosLink, DedupFilter, FaultEvent, FaultPlan, FrameLink, LinkEvent, QueueLink,
-    ReconnectPolicy, RecoveryStats, SupervisedLink,
+use neptune::link::{
+    AckMode, ChaosLink, FaultEvent, FaultPlan, IngressVerdict, LinkBuilder, LinkEvent, QueueLink,
+    ReconnectPolicy, RecoveryStats, ReliableIngress,
 };
 use neptune::net::frame::Frame;
 use neptune::net::watermark::{WatermarkConfig, WatermarkQueue};
@@ -42,21 +44,19 @@ fn main() {
     let plan = plan.with_event(FaultEvent::CutLink { link_id: LINK, at_frame, down_for });
     println!("seed {seed}: link {LINK} dies at frame {at_frame}, down for {down_for} attempts\n");
 
-    // Pipeline: supervised sender -> chaos-wrapped in-process link -> sink
-    // queue drained by a dedup filter that acks cumulatively.
+    // Pipeline: reliable link -> chaos-wrapped in-process transport ->
+    // sink queue drained through the shared ingress (dedup + cumulative
+    // acks).
     let sink_queue: Arc<WatermarkQueue<Frame>> =
         Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
     let chaos = Arc::new(ChaosLink::new(Arc::new(QueueLink::new(sink_queue.clone())), &plan, LINK));
     let stats = Arc::new(RecoveryStats::new());
-    let chaos2 = chaos.clone();
-    let link = SupervisedLink::new(
-        LINK,
-        move || Ok(chaos2.clone() as Arc<dyn FrameLink>),
-        ReconnectPolicy::fast(seed),
-        1 << 20,
-        stats.clone(),
-    );
-    link.on_event(|id, event| match event {
+    let link = LinkBuilder::new(LINK)
+        .transport(chaos)
+        .reliable(ReconnectPolicy::fast(seed), 1 << 20, stats.clone())
+        .build();
+    let supervisor = link.reliability().expect("reliable link").clone();
+    supervisor.on_event(|id, event| match event {
         LinkEvent::Reconnecting { attempt } => {
             println!("  link {id}: reconnecting (attempt {attempt})");
         }
@@ -66,16 +66,18 @@ fn main() {
         LinkEvent::LinkFailed => println!("  link {id}: TERMINAL FAILURE"),
     });
 
-    let dedup = DedupFilter::new();
+    let ingress = ReliableIngress::new(AckMode::Immediate);
     let mut delivered = 0u64;
-    let mut duplicates = 0u64;
-    let drain = |delivered: &mut u64, duplicates: &mut u64| {
+    let drain = |delivered: &mut u64| {
         while let Some(f) = sink_queue.pop() {
-            match dedup.admit(f.link_id, f.base_seq, f.len() as u32) {
-                Admit::Fresh => *delivered += f.len() as u64,
-                Admit::Duplicate | Admit::Overlap { .. } => *duplicates += 1,
+            if let IngressVerdict::Deliver { skip } =
+                ingress.admit(f.link_id, f.base_seq, f.len() as u32)
+            {
+                *delivered += (f.len() as u64).saturating_sub(skip as u64);
             }
-            link.ack(dedup.ack_watermark(LINK).unwrap());
+            if let Some((_, watermark)) = ingress.stage_ack(f.link_id) {
+                link.ack(watermark);
+            }
         }
     };
 
@@ -84,15 +86,16 @@ fn main() {
         let mut encoded = Vec::with_capacity(12);
         encoded.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         encoded.extend_from_slice(&payload);
-        link.send_batch(i, Bytes::from(encoded), 1, 0).expect("link recovers within budget");
+        link.send_batch(i, Bytes::from(encoded), 1, 0, 0).expect("link recovers within budget");
         // The sink keeps a few frames in flight, like a real consumer.
         if i % 5 == 4 {
-            drain(&mut delivered, &mut duplicates);
+            drain(&mut delivered);
         }
     }
-    drain(&mut delivered, &mut duplicates);
+    drain(&mut delivered);
 
     let snap = stats.snapshot();
+    let duplicates = ingress.duplicates_dropped();
     println!("\ndelivered {delivered}/{TOTAL} messages, {duplicates} duplicate frames dropped");
     println!(
         "recovery telemetry: retransmits={} retransmitted_bytes={} reconnect_attempts={} \
@@ -102,7 +105,7 @@ fn main() {
         snap.reconnect_attempts,
         snap.reconnects,
         snap.acks_received,
-        link.replay().len(),
+        supervisor.replay().len(),
     );
     assert_eq!(delivered, TOTAL, "zero loss despite the kill");
     assert!(snap.retransmits > 0 && snap.reconnects > 0, "the kill really happened");

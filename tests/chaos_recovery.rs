@@ -6,6 +6,10 @@
 //! detection latency stays within the acceptance bound (p99 below
 //! 3x the heartbeat timeout).
 //!
+//! Links are assembled through the shared [`LinkBuilder`] and sinks
+//! classify frames through [`ReliableIngress`] — the same stack every
+//! production path uses, so these scenarios exercise the real machinery.
+//!
 //! Everything is scripted by *position* (frame counts) and seeded, so the
 //! CI chaos job replays these scenarios bit-identically under several
 //! seeds (`NEPTUNE_CHAOS_SEED`).
@@ -13,9 +17,10 @@
 use bytes::Bytes;
 use neptune::compress::SelectiveCompressor;
 use neptune::granules::{IoPool, Reactor};
-use neptune::ha::{
-    Admit, ChaosLink, DedupFilter, DetectorConfig, FailureDetector, FaultEvent, FaultPlan,
-    FrameLink, PeerState, QueueLink, ReconnectPolicy, RecoveryStats, SupervisedLink, TcpFrameLink,
+use neptune::ha::{DetectorConfig, FailureDetector, PeerState};
+use neptune::link::{
+    AckMode, ChaosLink, FaultEvent, FaultPlan, FrameLink, IngressVerdict, LinkBuilder, QueueLink,
+    ReconnectPolicy, RecoveryStats, ReliableIngress, TcpFrameLink,
 };
 use neptune::net::frame::Frame;
 use neptune::net::tcp::{TcpReceiver, TcpSender};
@@ -59,35 +64,34 @@ fn seeded_link_cut_mid_stream_loses_nothing() {
         Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
     let chaos = Arc::new(ChaosLink::new(Arc::new(QueueLink::new(sink_queue.clone())), &plan, LINK));
     let stats = Arc::new(RecoveryStats::new());
-    let chaos2 = chaos.clone();
-    let link = SupervisedLink::new(
-        LINK,
-        move || Ok(chaos2.clone() as Arc<dyn FrameLink>),
-        ReconnectPolicy::fast(seed),
-        1 << 20,
-        stats.clone(),
-    );
+    let link = LinkBuilder::new(LINK)
+        .transport(chaos)
+        .reliable(ReconnectPolicy::fast(seed), 1 << 20, stats.clone())
+        .build();
 
     // Stream TOTAL one-message batches through the failing link; the sink
-    // drains concurrently with the sends, dedups by message sequence, and
-    // acks cumulatively (trimming the sender's replay buffer).
-    let dedup = DedupFilter::new();
+    // drains concurrently with the sends, dedups by message sequence
+    // through the shared ingress, and acks cumulatively (trimming the
+    // sender's replay buffer).
+    let ingress = ReliableIngress::new(AckMode::Immediate);
     let mut delivered: Vec<u64> = Vec::new();
     let drain = |delivered: &mut Vec<u64>| {
         while let Some(f) = sink_queue.pop() {
-            match dedup.admit(f.link_id, f.base_seq, f.len() as u32) {
-                Admit::Fresh => delivered.push(f.base_seq),
-                Admit::Duplicate | Admit::Overlap { .. } => {
-                    RecoveryStats::bump(&stats.duplicates_dropped);
-                }
+            if let IngressVerdict::Deliver { skip: 0 } =
+                ingress.admit(f.link_id, f.base_seq, f.len() as u32)
+            {
+                delivered.push(f.base_seq);
             }
-            link.ack(dedup.ack_watermark(LINK).unwrap());
+            if let Some((_, watermark)) = ingress.stage_ack(f.link_id) {
+                link.ack(watermark);
+            }
         }
     };
     for i in 0..TOTAL {
         let payload = i.to_le_bytes();
         let (encoded, count) = batch_of(&[&payload]);
-        link.send_batch(i, encoded, count, 0).expect("link must recover within its retry budget");
+        link.send_batch(i, encoded, count, 0, 0)
+            .expect("link must recover within its retry budget");
         // The sink drains (and acks) every few sends, so several frames
         // are in flight when the cut lands — the replay then re-sends
         // delivered-but-unacked frames and the dedup filter must absorb
@@ -106,14 +110,15 @@ fn seeded_link_cut_mid_stream_loses_nothing() {
     assert!(snap.reconnects >= 1, "seed {seed}: the link must have reconnected");
     assert_eq!(snap.link_failures, 0, "seed {seed}: retry budget must not exhaust");
     // Replay happened, so the wire carried duplicates the sink dropped.
-    assert!(snap.duplicates_dropped > 0, "seed {seed}: replay implies duplicates at the sink");
+    assert!(ingress.duplicates_dropped() > 0, "seed {seed}: replay implies duplicates at the sink");
     // Everything delivered was eventually acked and trimmed.
-    assert!(link.replay().is_empty(), "seed {seed}: acks must trim the replay buffer");
+    let sup = link.reliability().expect("reliable link");
+    assert!(sup.replay().is_empty(), "seed {seed}: acks must trim the replay buffer");
 }
 
 /// The same seeded link-cut scenario, but over real sockets on the
 /// readiness-driven path: an epoll-backed [`TcpReceiver`] serves the
-/// sink, the supervised link (re)connects nonblocking [`TcpSender`]s
+/// sink, the reliability layer (re)connects nonblocking [`TcpSender`]s
 /// through the shared reactor, and the cut severs every established
 /// connection server-side mid-stream. Unlike the in-process link, socket
 /// death surfaces *asynchronously* — sends keep succeeding into the
@@ -140,38 +145,42 @@ fn reactor_link_cut_replays_exactly_once_over_tcp() {
 
     // Wire acks land on the sender's IO task; the freshest cumulative
     // value is mirrored into a shared cell that the test thread feeds
-    // back into the supervised link, trimming its replay buffer.
+    // back into the link, trimming its replay buffer.
     let acked = Arc::new(AtomicU64::new(0));
     let stats = Arc::new(RecoveryStats::new());
     let connect_driver = driver.clone();
     let connect_acked = acked.clone();
-    let link = SupervisedLink::new(
-        LINK,
-        move || {
-            let acked = connect_acked.clone();
-            let tx =
-                TcpSender::connect_reactor_with_acks(addr, 64, &connect_driver, move |_, cum| {
-                    acked.fetch_max(cum, Ordering::Relaxed);
-                })
+    let link = LinkBuilder::new(LINK)
+        .reliable_with(
+            Box::new(move || {
+                let acked = connect_acked.clone();
+                let tx = TcpSender::connect_reactor_with_acks(
+                    addr,
+                    64,
+                    &connect_driver,
+                    move |_, cum| {
+                        acked.fetch_max(cum, Ordering::Relaxed);
+                    },
+                )
                 .map_err(|e| TransportError::Io(e.to_string()))?;
-            Ok(Arc::new(TcpFrameLink::new(tx, SelectiveCompressor::disabled()))
-                as Arc<dyn FrameLink>)
-        },
-        ReconnectPolicy::fast(seed),
-        1 << 20,
-        stats.clone(),
-    );
+                Ok(Arc::new(TcpFrameLink::new(tx, SelectiveCompressor::disabled()))
+                    as Arc<dyn FrameLink>)
+            }),
+            ReconnectPolicy::fast(seed),
+            1 << 20,
+            stats.clone(),
+        )
+        .build();
 
-    let dedup = DedupFilter::new();
+    let ingress = ReliableIngress::new(AckMode::Immediate);
     let queue = rx.queue().clone();
     let mut delivered: Vec<u64> = Vec::new();
     let drain = |delivered: &mut Vec<u64>| {
         while let Some(f) = queue.pop() {
-            match dedup.admit(f.link_id, f.base_seq, f.len() as u32) {
-                Admit::Fresh => delivered.push(f.base_seq),
-                Admit::Duplicate | Admit::Overlap { .. } => {
-                    RecoveryStats::bump(&stats.duplicates_dropped);
-                }
+            if let IngressVerdict::Deliver { skip: 0 } =
+                ingress.admit(f.link_id, f.base_seq, f.len() as u32)
+            {
+                delivered.push(f.base_seq);
             }
         }
         link.ack(acked.load(Ordering::Relaxed));
@@ -185,7 +194,8 @@ fn reactor_link_cut_replays_exactly_once_over_tcp() {
         }
         let payload = i.to_le_bytes();
         let (encoded, count) = batch_of(&[&payload]);
-        link.send_batch(i, encoded, count, 0).expect("link must recover within its retry budget");
+        link.send_batch(i, encoded, count, 0, 0)
+            .expect("link must recover within its retry budget");
         if i % 7 == 6 {
             drain(&mut delivered);
         }
@@ -216,7 +226,7 @@ fn reactor_link_cut_replays_exactly_once_over_tcp() {
 
     // Acks for the replayed tail eventually trim the replay buffer.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while !link.replay().is_empty() {
+    while !link.reliability().expect("reliable link").replay().is_empty() {
         assert!(std::time::Instant::now() < deadline, "seed {seed}: replay buffer never trimmed");
         link.ack(acked.load(Ordering::Relaxed));
         std::thread::sleep(Duration::from_millis(2));
@@ -314,7 +324,6 @@ fn flight_recorder_timelines_cut_suspect_reconnect_replay() {
     let sink: Arc<WatermarkQueue<Frame>> =
         Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
     let chaos = Arc::new(ChaosLink::new(Arc::new(QueueLink::new(sink.clone())), &plan, LINK));
-    let chaos2 = chaos.clone();
     // ≥30ms (post-jitter) before the first reconnect attempt: the watcher
     // polls every 200µs, so the suspect verdict lands inside the outage.
     let policy = ReconnectPolicy {
@@ -324,14 +333,9 @@ fn flight_recorder_timelines_cut_suspect_reconnect_replay() {
         jitter_seed: seed,
     };
     let link_stats = Arc::new(RecoveryStats::new());
-    let link = SupervisedLink::new(
-        LINK,
-        move || Ok(chaos2.clone() as Arc<dyn FrameLink>),
-        policy,
-        1 << 20,
-        link_stats.clone(),
-    );
-    link.attach_recorder(recorder.clone());
+    let link =
+        LinkBuilder::new(LINK).transport(chaos).reliable(policy, 1 << 20, link_stats).build();
+    link.reliability().expect("reliable link").attach_recorder(recorder.clone());
 
     // Watcher: the moment the recorder shows the cut, evaluate the peer —
     // silent for 45 "ms" by its deterministic clock, past the suspect
@@ -353,7 +357,8 @@ fn flight_recorder_timelines_cut_suspect_reconnect_replay() {
     for i in 0..(at_frame + down_for + 10) {
         let payload = i.to_le_bytes();
         let (encoded, count) = batch_of(&[&payload]);
-        link.send_batch(i, encoded, count, 0).expect("link must recover within its retry budget");
+        link.send_batch(i, encoded, count, 0, 0)
+            .expect("link must recover within its retry budget");
     }
     watcher.join().unwrap();
 

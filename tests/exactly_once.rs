@@ -50,23 +50,22 @@ struct TallySink(Arc<Tally>);
 impl StreamProcessor for TallySink {
     fn process(&mut self, p: &StreamPacket, _ctx: &mut OperatorContext) {
         self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0
-            .sum
-            .fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
+        self.0.sum.fetch_add(p.get("n").unwrap().as_u64().unwrap(), Ordering::Relaxed);
     }
 }
 
 fn run_chain(config: RuntimeConfig, n: u64, stages: usize, parallelism: usize) -> Arc<Tally> {
     let tally = Arc::new(Tally::default());
     let sink_tally = tally.clone();
-    let mut builder =
-        GraphBuilder::new("chain").source("src", move || Numbers { next: 0, end: n });
+    let mut builder = GraphBuilder::new("chain").source("src", move || Numbers { next: 0, end: n });
     let mut prev = "src".to_string();
     for s in 0..stages {
         let name = format!("stage{s}");
-        builder = builder
-            .processor_n(&name, parallelism, || Forward)
-            .link(prev.clone(), name.clone(), PartitioningScheme::Shuffle);
+        builder = builder.processor_n(&name, parallelism, || Forward).link(
+            prev.clone(),
+            name.clone(),
+            PartitioningScheme::Shuffle,
+        );
         prev = name;
     }
     let graph = builder
@@ -111,8 +110,7 @@ fn wide_stages() {
 
 #[test]
 fn deep_and_wide_across_resources() {
-    let config =
-        RuntimeConfig { buffer_bytes: 1024, resources: 4, ..Default::default() };
+    let config = RuntimeConfig { buffer_bytes: 1024, resources: 4, ..Default::default() };
     let tally = run_chain(config, 8_000, 4, 3);
     expect_series(&tally, 8_000);
 }
@@ -209,11 +207,7 @@ fn multiple_sources_fan_in() {
     assert!(job.await_sources(Duration::from_secs(120)));
     let metrics = job.stop();
     assert_eq!(total.load(Ordering::Relaxed), 10_000);
-    assert_eq!(
-        order_violations.load(Ordering::Relaxed),
-        0,
-        "per-source FIFO order violated"
-    );
+    assert_eq!(order_violations.load(Ordering::Relaxed), 0, "per-source FIFO order violated");
     assert_eq!(metrics.total_seq_violations(), 0);
 }
 
@@ -261,10 +255,7 @@ fn keyed_counts_are_exact() {
     let g2 = counts.clone();
     let graph = GraphBuilder::new("keyed-count")
         .source("src", || KeySource { next: 0, end: 23_000 })
-        .processor_n("count", 5, move || KeyCounter {
-            local: HashMap::new(),
-            global: g2.clone(),
-        })
+        .processor_n("count", 5, move || KeyCounter { local: HashMap::new(), global: g2.clone() })
         .link("src", "count", PartitioningScheme::by_field("key"))
         .build()
         .unwrap();

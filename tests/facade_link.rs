@@ -1,0 +1,37 @@
+//! The facade must re-export the link stack: `neptune::link` is the
+//! path downstream code builds links through, so this test fails to
+//! *compile* if the re-export disappears — and fails to run if the
+//! re-exported builder stops producing a working link.
+
+use bytes::Bytes;
+use neptune::link::{LinkBuilder, TraceTagger, TransportError};
+use neptune::net::frame::Frame;
+use neptune::net::watermark::{WatermarkConfig, WatermarkQueue};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn facade_reexports_a_working_link_stack() {
+    let q: Arc<WatermarkQueue<Frame>> =
+        Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+    let link = LinkBuilder::new(9).in_process(q.clone()).tracing(TraceTagger::every_n(1)).build();
+
+    let payload = b"via the facade";
+    let mut encoded = Vec::new();
+    encoded.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    encoded.extend_from_slice(payload);
+    link.send_batch(0, Bytes::from(encoded), 1, 0, 0).expect("send");
+
+    let f = q.pop_timeout(Duration::from_secs(5)).expect("frame delivered");
+    assert_eq!(f.link_id, 9);
+    assert_eq!(f.trace, Some(neptune::link::tag::mint_every_n_trace_id(9, 0)));
+    assert_eq!(f.messages.iter().next().unwrap(), payload.as_slice());
+
+    // The shared error taxonomy is part of the facade contract too.
+    q.close();
+    let mut enc = Vec::new();
+    enc.extend_from_slice(&4u32.to_le_bytes());
+    enc.extend_from_slice(b"late");
+    let err = link.send_batch(1, Bytes::from(enc), 1, 0, 0).expect_err("closed sink");
+    assert!(matches!(err, TransportError::Closed));
+}
