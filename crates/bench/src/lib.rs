@@ -74,26 +74,12 @@ impl Table {
 
 /// Turn any panic — on *any* thread — into an immediate nonzero exit.
 ///
-/// The harness binaries assert liberally on worker, sink, and device
-/// threads. A bare panic there unwinds only its own thread: the main
-/// thread keeps waiting on a counter that will never advance, burns the
-/// full drain deadline, and (if the panicking thread is never joined)
-/// the process can still exit 0 under a broken run. CI then records a
-/// green bench with garbage numbers. Installing this hook first thing in
-/// `main` makes every assertion failure terminate the whole process with
-/// exit code 1, after letting the default hook print the message and
-/// location.
-pub fn failfast() {
-    let default = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        default(info);
-        eprintln!("failfast: panic on thread '{}' — exiting 1", {
-            let t = std::thread::current();
-            t.name().unwrap_or("<unnamed>").to_string()
-        });
-        std::process::exit(1);
-    }));
-}
+/// The implementation lives in `neptune_core` so harness binaries that
+/// cannot depend on this crate (`cluster_bench` — `neptune-bench` sits
+/// above `neptune-cluster` via the simulator) install the same hook;
+/// re-exported here so every existing bench driver keeps its
+/// `neptune_bench::failfast()` call site.
+pub use neptune_core::failfast;
 
 /// Human-friendly engineering formatting (1.95M, 23.4k, 0.937).
 pub fn eng(v: f64) -> String {

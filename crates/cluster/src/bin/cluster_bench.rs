@@ -83,6 +83,12 @@ fn run_once(nodes: usize, count: u64) -> Result<Run, String> {
 }
 
 fn main() {
+    // A panic on any worker/sink thread must fail the whole bench run —
+    // otherwise CI records a green bench with garbage numbers. Same hook
+    // as `neptune_bench::failfast()` (re-exported from core; this binary
+    // cannot depend on neptune-bench without a cycle through the
+    // simulator).
+    neptune_core::failfast();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_nodes = 3usize;
     let mut count = 50_000u64;

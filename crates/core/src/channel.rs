@@ -260,6 +260,20 @@ impl ChannelEndpoint {
         }
     }
 
+    /// Emit an aligned-snapshot barrier (ISSUE 10) behind everything
+    /// buffered so far: force-flush pending data, then send the barrier
+    /// control frame down the link stack. Barriers are control traffic —
+    /// they bypass the output buffer, take no sequence number, and do not
+    /// count toward `frames_out` (the settle invariant balances data
+    /// frames only).
+    pub fn barrier(&self, checkpoint_id: u64) -> Result<(), EmitError> {
+        self.force_flush()?;
+        self.link.barrier(checkpoint_id).map_err(|e| match e {
+            TransportError::Closed => EmitError::Closed,
+            other => EmitError::Transport(other.to_string()),
+        })
+    }
+
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.buffer.lock().buffered_count() == 0

@@ -270,6 +270,72 @@ impl ContainmentConfig {
     }
 }
 
+/// Which [`SnapshotStore`](crate::checkpoint::SnapshotStore) backs the
+/// checkpoint subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SnapshotStoreKind {
+    /// In-process store (the default): snapshots survive operator
+    /// restarts within the job but not process death. Right for tests
+    /// and for the chaos harness's kill-and-resume phase.
+    #[default]
+    Memory,
+    /// File-backed store rooted at this directory: one file per
+    /// completed checkpoint, written temp-then-rename so a crash never
+    /// leaves a torn snapshot visible.
+    File(std::path::PathBuf),
+}
+
+/// Aligned-checkpoint toggles (ISSUE 10, ROADMAP item 4). Off by
+/// default: when disabled the runtime spawns no barrier timer, sources
+/// emit no barrier frames, and processors take the exact pre-checkpoint
+/// drain path — bit-identical behaviour to builds before this feature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Master switch for barrier injection, alignment, and snapshots.
+    pub enabled: bool,
+    /// Interval between checkpoint rounds. Each round injects one
+    /// barrier wave at the sources.
+    pub interval: Duration,
+    /// Completed checkpoints retained in the store; older ones are
+    /// pruned as new ones complete.
+    pub retain: usize,
+    /// Where completed snapshots live.
+    pub store: SnapshotStoreKind,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            interval: Duration::from_millis(100),
+            retain: 3,
+            store: SnapshotStoreKind::Memory,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// An enabled config with default interval, retention, and the
+    /// in-memory store.
+    pub fn enabled() -> Self {
+        CheckpointConfig { enabled: true, ..Default::default() }
+    }
+
+    /// An enabled config snapshotting every `interval`.
+    pub fn every(interval: Duration) -> Self {
+        CheckpointConfig { enabled: true, interval, ..Default::default() }
+    }
+
+    /// An enabled config persisting snapshots under `dir`.
+    pub fn file_backed(dir: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointConfig {
+            enabled: true,
+            store: SnapshotStoreKind::File(dir.into()),
+            ..Default::default()
+        }
+    }
+}
+
 /// Job-wide runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -328,6 +394,8 @@ pub struct RuntimeConfig {
     /// Operator supervision, poison quarantine, and load shedding
     /// (ISSUE 5).
     pub containment: ContainmentConfig,
+    /// Aligned checkpoints and stateful recovery (ISSUE 10).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -355,6 +423,7 @@ impl Default for RuntimeConfig {
             telemetry: TelemetryConfig::default(),
             ha: HaConfig::default(),
             containment: ContainmentConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -452,6 +521,19 @@ impl RuntimeConfig {
         if self.containment.shed_policy != ShedPolicy::None && self.containment.max_stall.is_zero()
         {
             return Err("containment max_stall must be positive when shedding is enabled".into());
+        }
+        if self.checkpoint.enabled {
+            if self.checkpoint.interval.is_zero() {
+                return Err("checkpoint interval must be positive".into());
+            }
+            if self.checkpoint.retain == 0 {
+                return Err("checkpoint retain must be at least 1".into());
+            }
+            if let SnapshotStoreKind::File(dir) = &self.checkpoint.store {
+                if dir.as_os_str().is_empty() {
+                    return Err("checkpoint store directory must not be empty".into());
+                }
+            }
         }
         if let PlacementStrategy::CapacityWeighted(w) = &self.placement {
             if w.len() != self.resources {
@@ -669,6 +751,41 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_stall.validate().is_err(), "armed shedding needs a positive max_stall");
+    }
+
+    #[test]
+    fn checkpoint_defaults_off_and_validated() {
+        let c = RuntimeConfig::default();
+        assert!(!c.checkpoint.enabled, "checkpointing must be opt-in");
+        assert_eq!(c.checkpoint.store, SnapshotStoreKind::Memory);
+        assert!(c.validate().is_ok());
+        let on = RuntimeConfig { checkpoint: CheckpointConfig::enabled(), ..Default::default() };
+        assert!(on.validate().is_ok());
+        let timed = CheckpointConfig::every(Duration::from_millis(25));
+        assert!(timed.enabled && timed.interval == Duration::from_millis(25));
+        let filed = CheckpointConfig::file_backed("/tmp/ckpt");
+        assert!(matches!(filed.store, SnapshotStoreKind::File(_)));
+        let bad_interval = RuntimeConfig {
+            checkpoint: CheckpointConfig {
+                interval: Duration::ZERO,
+                ..CheckpointConfig::enabled()
+            },
+            ..Default::default()
+        };
+        assert!(bad_interval.validate().is_err());
+        let bad_retain = RuntimeConfig {
+            checkpoint: CheckpointConfig { retain: 0, ..CheckpointConfig::enabled() },
+            ..Default::default()
+        };
+        assert!(bad_retain.validate().is_err());
+        let bad_dir = RuntimeConfig {
+            checkpoint: CheckpointConfig {
+                store: SnapshotStoreKind::File(Default::default()),
+                ..CheckpointConfig::enabled()
+            },
+            ..Default::default()
+        };
+        assert!(bad_dir.validate().is_err());
     }
 
     #[test]

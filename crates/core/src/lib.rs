@@ -76,6 +76,7 @@
 //! ```
 
 pub mod channel;
+pub mod checkpoint;
 pub mod codec;
 pub mod config;
 pub mod dead_letter;
@@ -89,14 +90,19 @@ pub mod partition;
 pub mod pool;
 pub mod runtime;
 pub mod sources;
+pub mod state;
 pub mod telemetry;
 pub mod window;
 
 pub use channel::ChannelId;
+pub use checkpoint::{
+    CheckpointSnapshot, CheckpointStats, FileSnapshotStore, InstanceState, MemorySnapshotStore,
+    SnapshotStore,
+};
 pub use codec::{CodecError, PacketCodec};
 pub use config::{
-    CompressionMode, ContainmentConfig, HaConfig, LinkOptions, PlacementStrategy, RuntimeConfig,
-    TelemetryConfig,
+    CheckpointConfig, CompressionMode, ContainmentConfig, HaConfig, LinkOptions, PlacementStrategy,
+    RuntimeConfig, SnapshotStoreKind, TelemetryConfig,
 };
 pub use dead_letter::{DeadLetter, DeadLetterQueue};
 pub use descriptor::{DescriptorError, OperatorRegistry};
@@ -108,14 +114,16 @@ pub use partition::PartitioningScheme;
 pub use pool::{PacketPool, PoolStats};
 pub use runtime::{JobHandle, LocalRuntime};
 pub use sources::{IteratorSource, QueueSource, RateLimitedSource};
+pub use state::{KeyedState, OperatorState, StateError};
 pub use telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 pub use window::{SlidingWindow, TumblingWindow, WindowAggregate};
 
 /// Convenience imports for building NEPTUNE jobs.
 pub mod prelude {
+    pub use crate::checkpoint::{FileSnapshotStore, MemorySnapshotStore, SnapshotStore};
     pub use crate::config::{
-        CompressionMode, ContainmentConfig, HaConfig, LinkOptions, PlacementStrategy,
-        RuntimeConfig, TelemetryConfig,
+        CheckpointConfig, CompressionMode, ContainmentConfig, HaConfig, LinkOptions,
+        PlacementStrategy, RuntimeConfig, SnapshotStoreKind, TelemetryConfig,
     };
     pub use crate::dead_letter::DeadLetter;
     pub use crate::graph::{Graph, GraphBuilder};
@@ -123,7 +131,31 @@ pub mod prelude {
     pub use crate::packet::{FieldType, FieldValue, Schema, StreamPacket};
     pub use crate::partition::PartitioningScheme;
     pub use crate::runtime::{JobHandle, LocalRuntime};
+    pub use crate::state::{KeyedState, OperatorState, StateError};
     pub use crate::telemetry::{QueueGauge, TelemetrySnapshot};
+}
+
+/// Turn any panic — on *any* thread — into an immediate nonzero exit.
+///
+/// Harness binaries (bench drivers, `cluster_bench`) assert liberally on
+/// worker, sink, and device threads. A bare panic there unwinds only its
+/// own thread: the main thread keeps waiting on a counter that will
+/// never advance, burns the full drain deadline, and (if the panicking
+/// thread is never joined) the process can still exit 0 under a broken
+/// run. CI then records a green bench with garbage numbers. Installing
+/// this hook first thing in `main` makes every assertion failure
+/// terminate the whole process with exit code 1, after letting the
+/// default hook print the message and location.
+pub fn failfast() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default(info);
+        eprintln!("failfast: panic on thread '{}' — exiting 1", {
+            let t = std::thread::current();
+            t.name().unwrap_or("<unnamed>").to_string()
+        });
+        std::process::exit(1);
+    }));
 }
 
 /// Microseconds since the Unix epoch — the timestamp base used by packet

@@ -43,6 +43,14 @@ pub trait StreamSource: Send {
     fn next(&mut self, ctx: &mut OperatorContext) -> SourceStatus;
     /// Called once after the last `next`.
     fn close(&mut self, _ctx: &mut OperatorContext) {}
+    /// The source's checkpointable state, if it holds any (read cursors,
+    /// replay offsets). Stateful sources return `Some`; the checkpoint
+    /// subsystem snapshots it when a barrier is injected and restores it
+    /// before `open` on recovery. The default `None` means stateless —
+    /// checkpoints skip the source entirely.
+    fn state(&mut self) -> Option<&mut dyn crate::state::OperatorState> {
+        None
+    }
 }
 
 /// Processes packets from incoming streams, optionally emitting packets on
@@ -54,6 +62,13 @@ pub trait StreamProcessor: Send {
     fn process(&mut self, packet: &StreamPacket, ctx: &mut OperatorContext);
     /// Called once when the instance shuts down.
     fn close(&mut self, _ctx: &mut OperatorContext) {}
+    /// The processor's checkpointable state, if it holds any (window
+    /// aggregators, a [`crate::state::KeyedState`] map). Snapshotted at
+    /// barrier alignment, restored before `open` on recovery; `None`
+    /// (the default) marks the operator stateless.
+    fn state(&mut self) -> Option<&mut dyn crate::state::OperatorState> {
+        None
+    }
 }
 
 /// One outgoing link as seen by an emitting instance.

@@ -42,6 +42,7 @@ mod scrape;
 mod wiring;
 
 use crate::channel::ChannelEndpoint;
+use crate::checkpoint::CheckpointCoordinator;
 use crate::config::RuntimeConfig;
 use crate::dead_letter::{DeadLetter, DeadLetterQueue};
 use crate::graph::Graph;
@@ -148,6 +149,9 @@ pub struct JobHandle {
     /// Bound address of the live scrape endpoint; `None` when no
     /// `scrape_addr` was configured.
     scrape_addr: Option<std::net::SocketAddr>,
+    /// Aligned-snapshot coordinator (ISSUE 10); `None` when checkpointing
+    /// is disabled.
+    checkpoints: Option<Arc<CheckpointCoordinator>>,
 }
 
 /// Fault-tolerance state of a running job (ISSUE 3): shared recovery
@@ -307,7 +311,23 @@ impl JobHandle {
             links: self.link_stats(),
             recovery: self.recovery(),
             dead_letters: self.dead_letters(),
+            checkpoints: self.checkpoint_stats(),
         })
+    }
+
+    /// Checkpoint coordinator counters and histograms: completed and
+    /// abandoned rounds, store failures, duration and encoded-size
+    /// distributions, and the age of the newest cut. `None` when
+    /// checkpointing is disabled in [`RuntimeConfig`].
+    pub fn checkpoint_stats(&self) -> Option<crate::checkpoint::CheckpointStats> {
+        self.checkpoints.as_ref().map(|c| c.stats(crate::now_micros()))
+    }
+
+    /// The newest completed checkpoint snapshot, decoded from the backing
+    /// store. `None` when checkpointing is disabled or no round has
+    /// completed yet.
+    pub fn latest_checkpoint(&self) -> Option<crate::checkpoint::CheckpointSnapshot> {
+        self.checkpoints.as_ref()?.latest().ok().flatten()
     }
 
     /// Per-link stats bundles from the link stack, in deployment order:

@@ -18,16 +18,18 @@
 //! Idle cost is therefore O(io_threads), not O(sources).
 
 use crate::channel::ChannelEndpoint;
+use crate::checkpoint::{CheckpointCoordinator, CheckpointSnapshot, InstanceState, FINAL_BARRIER};
 use crate::operator::{OperatorContext, SourceStatus, StreamSource};
 use crate::telemetry::TelemetrySample;
 use neptune_granules::io::{IoContext, IoStatus, IoTask};
+use neptune_granules::IoTaskHandle;
 use neptune_ha::{FailureDetector, PeerState};
 use neptune_net::frame::Frame;
 use neptune_net::watermark::WatermarkQueue;
 use neptune_telemetry::{wall_micros, SampleRing, Span, SpanRing, STAGE_SOURCE};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +110,20 @@ impl ProgressSignal {
     }
 }
 
+/// Checkpoint plumbing of one source pump (ISSUE 10): the pump watches
+/// the job-wide requested-round counter and, on a new round, snapshots
+/// its source state, pushes a barrier behind the flushed data on every
+/// outgoing channel, and reports to the coordinator.
+pub(crate) struct SourceBarrier {
+    pub(crate) coordinator: Arc<CheckpointCoordinator>,
+    /// Latest round requested by the barrier timer (job-wide).
+    pub(crate) requested: Arc<AtomicU64>,
+    /// Latest round this pump has emitted barriers for.
+    pub(crate) emitted: u64,
+    /// Snapshot to restore into the source at open; taken once.
+    pub(crate) restored: Option<Arc<CheckpointSnapshot>>,
+}
+
 /// One source instance as a cooperatively scheduled IO task.
 pub(crate) struct SourcePump {
     pub(crate) source: Box<dyn StreamSource>,
@@ -128,6 +144,10 @@ pub(crate) struct SourcePump {
     pub(crate) spans: Option<(Arc<SpanRing>, u16)>,
     /// Stints run so far, the sampling domain for source spans.
     pub(crate) stints: u64,
+    /// Aligned-snapshot plumbing (ISSUE 10); `None` when checkpointing is
+    /// disabled — the pump then runs bit-identically to a pre-checkpoint
+    /// build.
+    pub(crate) checkpoint: Option<SourceBarrier>,
 }
 
 impl SourcePump {
@@ -135,14 +155,49 @@ impl SourcePump {
     fn finish(&mut self) -> IoStatus {
         if !self.closed {
             self.closed = true;
+            // Contribute to any round requested before the source ended,
+            // then seal every outgoing channel with FINAL_BARRIER so
+            // downstream alignment treats them as permanently aligned.
+            self.emit_barriers();
             if self.opened {
                 self.source.close(&mut self.ctx);
                 let _ = self.ctx.force_flush_all();
+            }
+            if self.checkpoint.is_some() {
+                for ep in self.ctx.endpoints() {
+                    let _ = ep.barrier(FINAL_BARRIER);
+                }
             }
             self.gauge.dec();
             self.progress.notify();
         }
         IoStatus::Complete
+    }
+
+    /// If the barrier timer requested a round this pump has not served
+    /// yet, snapshot the source's state, flush, emit the barrier on every
+    /// outgoing channel, and report to the coordinator. Rounds missed
+    /// while parked collapse into the newest one — the coordinator
+    /// abandons the stale rounds when the newer cut completes.
+    fn emit_barriers(&mut self) {
+        let Some(cp) = &mut self.checkpoint else { return };
+        let requested = cp.requested.load(Ordering::Acquire);
+        if requested <= cp.emitted {
+            return;
+        }
+        cp.emitted = requested;
+        let mut states = Vec::new();
+        if let Some(state) = self.source.state() {
+            states.push(InstanceState::capture(
+                self.ctx.operator(),
+                self.ctx.instance() as u32,
+                state,
+            ));
+        }
+        for ep in self.ctx.endpoints() {
+            let _ = ep.barrier(requested);
+        }
+        cp.coordinator.report(requested, crate::now_micros(), states, Vec::new());
     }
 }
 
@@ -188,7 +243,23 @@ impl SourcePump {
         if !self.opened {
             self.opened = true;
             self.source.open(&mut self.ctx);
+            // Stateful recovery: overwrite open()'s defaults with the
+            // restored blob, so the source resumes from the cut.
+            if let Some(cp) = &mut self.checkpoint {
+                if let Some(snap) = cp.restored.take() {
+                    if let Some(state) = self.source.state() {
+                        if let Some(saved) =
+                            snap.state_for(self.ctx.operator(), self.ctx.instance() as u32)
+                        {
+                            let _ = saved.restore_into(state);
+                        }
+                    }
+                }
+            }
         }
+        // Serve a requested checkpoint round before emitting more data:
+        // the barrier must sit exactly at the round's cut point.
+        self.emit_barriers();
         let stint_start = Instant::now();
         for _ in 0..EMIT_BUDGET {
             if self.stop.load(Ordering::Acquire) || io.shutting_down() {
@@ -311,6 +382,34 @@ impl IoTask for SamplerTask {
             return IoStatus::Complete;
         }
         self.ring.record((self.sample)());
+        IoStatus::Park
+    }
+}
+
+/// Barrier injector as a periodic IO task (ISSUE 10): every checkpoint
+/// interval it opens a new round with the coordinator, bumps the shared
+/// requested-round counter, and wakes every source pump so parked sources
+/// serve the round promptly instead of at their next natural wake.
+///
+/// Round ids start at 1 — 0 is the "nothing requested yet" state of the
+/// shared counter, and [`FINAL_BARRIER`] (`u64::MAX`) is reserved for the
+/// channel-sealing barrier emitted when a source finishes.
+pub(crate) struct BarrierTimerTask {
+    pub(crate) coordinator: Arc<CheckpointCoordinator>,
+    pub(crate) requested: Arc<AtomicU64>,
+    pub(crate) pumps: Vec<IoTaskHandle>,
+}
+
+impl IoTask for BarrierTimerTask {
+    fn run(&mut self, io: &IoContext) -> IoStatus {
+        if io.shutting_down() {
+            return IoStatus::Complete;
+        }
+        let id = self.requested.fetch_add(1, Ordering::AcqRel) + 1;
+        self.coordinator.begin(id, crate::now_micros());
+        for pump in &self.pumps {
+            pump.wake();
+        }
         IoStatus::Park
     }
 }

@@ -1,16 +1,23 @@
 //! Deployment: placement, resources, queues, channels, processor tasks,
 //! and the IO tier (pumps, flush tasks, monitor, sampler).
 
-use super::pumps::{FlushTask, MonitorTask, ProgressSignal, PumpGauge, SamplerTask, SourcePump};
+use super::pumps::{
+    BarrierTimerTask, FlushTask, MonitorTask, ProgressSignal, PumpGauge, SamplerTask,
+    SourceBarrier, SourcePump,
+};
 use super::scrape::{ScrapeRoutes, ScrapeTask};
 use super::{HaRuntime, JobHandle, SubmitError};
 use crate::channel::{ChannelEndpoint, ChannelId};
+use crate::checkpoint::{
+    CheckpointCoordinator, CheckpointSnapshot, FileSnapshotStore, InstanceState,
+    MemorySnapshotStore, SnapshotStore, FINAL_BARRIER,
+};
 use crate::codec::PacketCodec;
-use crate::config::{PlacementStrategy, RuntimeConfig, TransportMode};
+use crate::config::{PlacementStrategy, RuntimeConfig, SnapshotStoreKind, TransportMode};
 use crate::dead_letter::{DeadLetter, DeadLetterQueue};
 use crate::graph::{Factory, Graph, OperatorKind};
 use crate::metrics::{MetricsRegistry, OperatorCounters};
-use crate::operator::{OperatorContext, OutgoingLink};
+use crate::operator::{OperatorContext, OutgoingLink, StreamProcessor};
 use crate::packet::StreamPacket;
 use crate::telemetry::{QueueGauge, TelemetryHub, TelemetrySample, TelemetrySnapshot};
 use neptune_granules::{
@@ -21,7 +28,7 @@ use neptune_ha::{DetectorConfig, FailureDetector, ReconnectPolicy, RecoveryStats
 use neptune_link::{Link, LinkBuilder};
 use neptune_net::buffer::OutputBuffer;
 use neptune_net::flush::FlushPolicy;
-use neptune_net::frame::Frame;
+use neptune_net::frame::{ControlKind, Frame};
 use neptune_net::pool::BytesPool;
 use neptune_net::tcp::{TcpReceiver, TcpSender};
 use neptune_net::tcp_reactor::NetDriver;
@@ -31,8 +38,8 @@ use neptune_telemetry::{
     STAGE_SCHEDULE, STAGE_SINK, STAGE_TRANSPORT,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +64,137 @@ pub(super) struct Supervision {
     dead_letters: Arc<DeadLetterQueue>,
     /// Per-entry byte budget when capturing a poison frame's payload.
     capture_bytes: usize,
+}
+
+/// Barrier-alignment state of one processor instance (ISSUE 10): the
+/// receive side of the Chandy–Lamport-style aligned snapshot. A barrier
+/// for round N arriving on channel C marks C *aligned*; data arriving on
+/// an aligned channel is stashed (it belongs to the post-N epoch) until
+/// every input channel has delivered its round-N barrier. At full
+/// alignment the operator's state is a consistent cut: everything before
+/// the barriers is in it, nothing after.
+pub(super) struct Alignment {
+    coordinator: Arc<CheckpointCoordinator>,
+    /// Raw ids of every inbound channel feeding this instance's queue.
+    inputs: Vec<u64>,
+    /// Channels sealed by [`FINAL_BARRIER`] — permanently aligned.
+    finished: HashSet<u64>,
+    /// Round currently aligning; `None` when idle.
+    current: Option<u64>,
+    /// Channels whose barrier for the current round has arrived.
+    aligned: HashSet<u64>,
+    /// Data frames stashed from aligned channels while the round waits
+    /// for its remaining inputs, in arrival order.
+    held: Vec<Frame>,
+    /// Newest round completed here; barriers at or below are duplicates.
+    completed_through: u64,
+    /// FINAL barrier forwarded downstream exactly once.
+    final_forwarded: bool,
+    /// Snapshot to restore into the processor at initialize; taken once.
+    restored: Option<Arc<CheckpointSnapshot>>,
+}
+
+/// What checkpoint admission decided about one popped frame.
+enum Admit {
+    /// A data frame, clear to process now.
+    Process(Frame),
+    /// A barrier (consumed) or a frame stashed until alignment completes.
+    Consumed,
+    /// A round completed: process the released stash, in arrival order.
+    Release(Vec<Frame>),
+}
+
+impl Alignment {
+    fn admit(
+        &mut self,
+        frame: Frame,
+        processor: &mut dyn StreamProcessor,
+        ctx: &mut OperatorContext,
+        expected_seq: &HashMap<u64, u64>,
+    ) -> Admit {
+        if frame.control == Some(ControlKind::Barrier) {
+            let id = frame.base_seq;
+            if id == FINAL_BARRIER {
+                self.finished.insert(frame.link_id);
+                self.aligned.remove(&frame.link_id);
+                if self.finished.len() == self.inputs.len() && !self.final_forwarded {
+                    self.final_forwarded = true;
+                    for ep in ctx.endpoints() {
+                        let _ = ep.barrier(FINAL_BARRIER);
+                    }
+                }
+                return self.try_complete(processor, ctx, expected_seq);
+            }
+            if id <= self.completed_through {
+                return Admit::Consumed; // duplicate of a finished round
+            }
+            match self.current {
+                None => {
+                    self.current = Some(id);
+                    self.aligned.clear();
+                }
+                Some(cur) if id < cur => return Admit::Consumed,
+                Some(cur) if id > cur => {
+                    // A newer round overtook one still aligning — the old
+                    // round can never complete here. Release its stash (in
+                    // order) and restart alignment on the new round; the
+                    // coordinator abandons the stale round when the newer
+                    // cut completes.
+                    let released = std::mem::take(&mut self.held);
+                    self.current = Some(id);
+                    self.aligned.clear();
+                    self.aligned.insert(frame.link_id);
+                    return match self.try_complete(processor, ctx, expected_seq) {
+                        Admit::Release(more) => {
+                            let mut all = released;
+                            all.extend(more);
+                            Admit::Release(all)
+                        }
+                        _ => Admit::Release(released),
+                    };
+                }
+                Some(_) => {}
+            }
+            self.aligned.insert(frame.link_id);
+            return self.try_complete(processor, ctx, expected_seq);
+        }
+        if self.current.is_some() && self.aligned.contains(&frame.link_id) {
+            self.held.push(frame);
+            return Admit::Consumed;
+        }
+        Admit::Process(frame)
+    }
+
+    /// Complete the in-flight round if every input is aligned or sealed:
+    /// snapshot the operator state *before* replaying the stash (the
+    /// stash is post-barrier data), forward the barrier downstream behind
+    /// the flushed pre-barrier output, report the cut, release the stash.
+    fn try_complete(
+        &mut self,
+        processor: &mut dyn StreamProcessor,
+        ctx: &mut OperatorContext,
+        expected_seq: &HashMap<u64, u64>,
+    ) -> Admit {
+        let Some(id) = self.current else { return Admit::Consumed };
+        let covered =
+            self.inputs.iter().all(|c| self.aligned.contains(c) || self.finished.contains(c));
+        if !covered {
+            return Admit::Consumed;
+        }
+        let mut states = Vec::new();
+        if let Some(state) = processor.state() {
+            states.push(InstanceState::capture(ctx.operator(), ctx.instance() as u32, state));
+        }
+        let cursors: Vec<(u64, u64)> = expected_seq.iter().map(|(&l, &c)| (l, c)).collect();
+        for ep in ctx.endpoints() {
+            let _ = ep.barrier(id);
+        }
+        self.coordinator.report(id, crate::now_micros(), states, cursors);
+        self.completed_through = id;
+        self.current = None;
+        self.aligned.clear();
+        Admit::Release(std::mem::take(&mut self.held))
+    }
 }
 
 /// The granules task wrapping one processor instance.
@@ -93,6 +231,10 @@ pub(super) struct ProcessorTask {
     /// Dump the recorder to stderr only on the *first* quarantine this
     /// instance sees; later ones just record events.
     recorder_dumped: bool,
+    /// Barrier alignment + restore plumbing (ISSUE 10); `None` when
+    /// checkpointing is disabled — the drain loop is then a straight
+    /// pass-through, bit-identical to a pre-checkpoint build.
+    alignment: Option<Alignment>,
 }
 
 impl ProcessorTask {
@@ -105,208 +247,22 @@ impl ProcessorTask {
             // Per-message ablation (Table I): one frame per scheduled
             // execution — the drain loop is what batched scheduling adds.
             let drain_fully = self.batch_max > 1;
-            // `staged` is drained without freeing its storage; the frames
-            // themselves drop after processing.
-            for frame in self.staged.drain(..) {
-                let expected = self.expected_seq.entry(frame.link_id).or_insert(0);
-                if frame.base_seq != *expected {
-                    self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
-                }
-                *expected = frame.base_seq + frame.messages.len() as u64;
-                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
-                // Stage telemetry: schedule delay is how long the frame sat
-                // on the inbound queue; transport is dispatch→arrival,
-                // recovered by subtracting the queue wait from the
-                // sender-stamped total in-flight time.
-                // A traced frame pays the clock read even with telemetry
-                // off — that cost is confined to the 1-in-N sampled path.
-                let traced = frame.trace.filter(|_| self.spans.is_some());
-                let now = if self.telemetry.is_some() || traced.is_some() {
-                    crate::now_micros()
-                } else {
-                    0
-                };
-                if let Some(t) = &self.telemetry {
-                    let schedule_us = match frame.received_at {
-                        Some(received) => {
-                            let us = received.elapsed().as_micros() as u64;
-                            t.schedule_delay.record(us);
-                            us
-                        }
-                        None => 0,
-                    };
-                    if frame.sent_at_micros > 0 {
-                        let in_flight = now.saturating_sub(frame.sent_at_micros);
-                        t.transport.record(in_flight.saturating_sub(schedule_us));
-                    }
-                }
-                if let Some(id) = traced {
-                    let (ring, track) = self.spans.as_ref().expect("traced implies ring");
-                    // Schedule span: how long the frame sat on the inbound
-                    // queue; transport span: sender dispatch → arrival here.
-                    if let Some(received) = frame.received_at {
-                        let wait = received.elapsed().as_micros() as u64;
-                        let arrival = now.saturating_sub(wait);
-                        ring.record(Span {
-                            trace_id: id,
-                            start_micros: arrival,
-                            dur_micros: wait,
-                            stage: STAGE_SCHEDULE,
-                            track: *track,
-                        });
-                        if frame.sent_at_micros > 0 {
-                            ring.record(Span {
-                                trace_id: id,
-                                start_micros: frame.sent_at_micros,
-                                dur_micros: arrival.saturating_sub(frame.sent_at_micros),
-                                stage: STAGE_TRANSPORT,
-                                track: *track,
-                            });
+            // `staged` is taken out of self so admitted frames can flow
+            // through `&mut self` methods; its storage is put back (and
+            // reused) after the drain.
+            let mut staged = std::mem::take(&mut self.staged);
+            for frame in staged.drain(..) {
+                match self.admit(frame) {
+                    Admit::Process(frame) => self.process_frame(frame),
+                    Admit::Consumed => {}
+                    Admit::Release(held) => {
+                        for frame in held {
+                            self.process_frame(frame);
                         }
                     }
-                    // Causal propagation: the next flush on each outgoing
-                    // endpoint carries this id downstream.
-                    for link in self.ctx.endpoints() {
-                        link.tag_trace(id);
-                    }
                 }
-                let span_start = traced.map(|_| Instant::now());
-                match &self.supervision {
-                    None => {
-                        for message in &frame.messages {
-                            match self.codec.decode_into(message, &mut self.workhorse) {
-                                Ok(()) => {
-                                    self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
-                                    if let Some(t) = &self.telemetry {
-                                        if let Some(ts) = self.workhorse.source_timestamp() {
-                                            t.e2e.record(now.saturating_sub(ts));
-                                        }
-                                    }
-                                    self.processor.process(&self.workhorse, &mut self.ctx);
-                                }
-                                Err(_) => {
-                                    self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                    }
-                    Some(sup) => {
-                        // The frame is the poison unit: the whole message
-                        // loop runs under the supervisor so a panic anywhere
-                        // in decode or process is caught here. A retry
-                        // re-runs the full frame — messages processed before
-                        // the panic are re-emitted (at-least-once within the
-                        // retry window); counters are applied only on
-                        // success so retries do not inflate them.
-                        let processor = &mut self.processor;
-                        let ctx = &mut self.ctx;
-                        let workhorse = &mut self.workhorse;
-                        let codec = &mut self.codec;
-                        let telemetry = &self.telemetry;
-                        let frame_ref = &frame;
-                        let outcome = sup.supervisor.run_batch(
-                            || {
-                                let mut decoded = 0u64;
-                                let mut bad = 0u64;
-                                for message in &frame_ref.messages {
-                                    match codec.decode_into(message, workhorse) {
-                                        Ok(()) => {
-                                            decoded += 1;
-                                            if let Some(t) = telemetry {
-                                                if let Some(ts) = workhorse.source_timestamp() {
-                                                    t.e2e.record(now.saturating_sub(ts));
-                                                }
-                                            }
-                                            processor.process(workhorse, ctx);
-                                        }
-                                        Err(_) => bad += 1,
-                                    }
-                                }
-                                (decoded, bad)
-                            },
-                            |attempt| sup.backoff.delay_for(attempt),
-                        );
-                        match outcome {
-                            SupervisedOutcome::Completed((decoded, bad)) => {
-                                self.counters.packets_in.fetch_add(decoded, Ordering::Relaxed);
-                                if bad > 0 {
-                                    self.counters.seq_violations.fetch_add(bad, Ordering::Relaxed);
-                                }
-                            }
-                            SupervisedOutcome::Rejected => {
-                                // Breaker open: drain-and-drop keeps the
-                                // queue moving so the upstream gate reopens.
-                            }
-                            SupervisedOutcome::Quarantined { panic_msg, attempts, .. } => {
-                                if let Some(rec) = &self.recorder {
-                                    rec.record(EventKind::Panic, frame.link_id, attempts as u64);
-                                    rec.record(
-                                        EventKind::DeadLetter,
-                                        frame.link_id,
-                                        frame.base_seq,
-                                    );
-                                    if !self.recorder_dumped {
-                                        self.recorder_dumped = true;
-                                        eprintln!(
-                                            "neptune[{}:{}]: frame quarantined; flight recorder:\n{}",
-                                            self.ctx.operator(),
-                                            self.ctx.instance(),
-                                            rec.render()
-                                        );
-                                    }
-                                }
-                                let mut bytes = Vec::new();
-                                let mut original_len = 0usize;
-                                for message in &frame.messages {
-                                    original_len += message.len();
-                                    if bytes.len() < sup.capture_bytes {
-                                        let take =
-                                            (sup.capture_bytes - bytes.len()).min(message.len());
-                                        bytes.extend_from_slice(&message[..take]);
-                                    }
-                                }
-                                sup.dead_letters.push(DeadLetter {
-                                    operator: self.ctx.operator().to_string(),
-                                    instance: self.ctx.instance(),
-                                    link_id: frame.link_id,
-                                    base_seq: frame.base_seq,
-                                    messages: frame.messages.len() as u32,
-                                    panic_msg,
-                                    attempts,
-                                    bytes,
-                                    original_len,
-                                });
-                            }
-                        }
-                        // The per-operator supervisor (shared by all
-                        // instances) is the source of truth for containment
-                        // counters; mirror its monotonic totals into the
-                        // operator counters after every supervised frame.
-                        let stats = sup.supervisor.stats();
-                        self.counters.panics.store(stats.panics, Ordering::Relaxed);
-                        self.counters.retries.store(stats.retries, Ordering::Relaxed);
-                        self.counters.quarantined.store(stats.quarantined, Ordering::Relaxed);
-                        self.counters.breaker_trips.store(stats.breaker_trips, Ordering::Relaxed);
-                        self.counters
-                            .breaker_dropped
-                            .store(stats.breaker_rejected, Ordering::Relaxed);
-                    }
-                }
-                if let Some((t0, id)) = span_start.zip(traced) {
-                    let (ring, track) = self.spans.as_ref().expect("traced implies ring");
-                    ring.record(Span {
-                        trace_id: id,
-                        start_micros: now,
-                        dur_micros: t0.elapsed().as_micros() as u64,
-                        stage: if self.is_sink { STAGE_SINK } else { STAGE_EXECUTION },
-                        track: *track,
-                    });
-                }
-                // Batch storage goes back to the pool once every message in
-                // it has been decoded; the recycle is a no-op while other
-                // frames still share the buffer.
-                self.pool.recycle(frame.messages.into_batch());
             }
+            self.staged = staged;
             if !drain_fully {
                 // End this scheduled execution after one frame; ask for a
                 // fresh one if the queue still holds frames whose signals
@@ -319,11 +275,241 @@ impl ProcessorTask {
             }
         }
     }
+
+    /// Route one popped frame through checkpoint admission: barriers are
+    /// consumed (never counted as data frames, so the settle invariant is
+    /// untouched), data on already-aligned channels is stashed until the
+    /// round completes, everything else processes immediately. With
+    /// checkpointing off this is a straight pass-through.
+    fn admit(&mut self, frame: Frame) -> Admit {
+        // Control frames are never data. Whatever the checkpoint config,
+        // they must not reach the sequence check, the supervisor, or the
+        // dead-letter queue — a cluster peer with checkpointing enabled
+        // may still emit barriers at a node that has it disabled.
+        if let Some(kind) = frame.control {
+            if self.alignment.is_none() || kind != ControlKind::Barrier {
+                return Admit::Consumed;
+            }
+        }
+        match &mut self.alignment {
+            None => Admit::Process(frame),
+            Some(align) => {
+                align.admit(frame, self.processor.as_mut(), &mut self.ctx, &self.expected_seq)
+            }
+        }
+    }
+
+    /// Process one admitted data frame: sequence check, telemetry, decode,
+    /// execute (supervised or bare), recycle.
+    fn process_frame(&mut self, frame: Frame) {
+        let expected = self.expected_seq.entry(frame.link_id).or_insert(0);
+        if frame.base_seq != *expected {
+            self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        *expected = frame.base_seq + frame.messages.len() as u64;
+        self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        // Stage telemetry: schedule delay is how long the frame sat
+        // on the inbound queue; transport is dispatch→arrival,
+        // recovered by subtracting the queue wait from the
+        // sender-stamped total in-flight time.
+        // A traced frame pays the clock read even with telemetry
+        // off — that cost is confined to the 1-in-N sampled path.
+        let traced = frame.trace.filter(|_| self.spans.is_some());
+        let now =
+            if self.telemetry.is_some() || traced.is_some() { crate::now_micros() } else { 0 };
+        if let Some(t) = &self.telemetry {
+            let schedule_us = match frame.received_at {
+                Some(received) => {
+                    let us = received.elapsed().as_micros() as u64;
+                    t.schedule_delay.record(us);
+                    us
+                }
+                None => 0,
+            };
+            if frame.sent_at_micros > 0 {
+                let in_flight = now.saturating_sub(frame.sent_at_micros);
+                t.transport.record(in_flight.saturating_sub(schedule_us));
+            }
+        }
+        if let Some(id) = traced {
+            let (ring, track) = self.spans.as_ref().expect("traced implies ring");
+            // Schedule span: how long the frame sat on the inbound
+            // queue; transport span: sender dispatch → arrival here.
+            if let Some(received) = frame.received_at {
+                let wait = received.elapsed().as_micros() as u64;
+                let arrival = now.saturating_sub(wait);
+                ring.record(Span {
+                    trace_id: id,
+                    start_micros: arrival,
+                    dur_micros: wait,
+                    stage: STAGE_SCHEDULE,
+                    track: *track,
+                });
+                if frame.sent_at_micros > 0 {
+                    ring.record(Span {
+                        trace_id: id,
+                        start_micros: frame.sent_at_micros,
+                        dur_micros: arrival.saturating_sub(frame.sent_at_micros),
+                        stage: STAGE_TRANSPORT,
+                        track: *track,
+                    });
+                }
+            }
+            // Causal propagation: the next flush on each outgoing
+            // endpoint carries this id downstream.
+            for link in self.ctx.endpoints() {
+                link.tag_trace(id);
+            }
+        }
+        let span_start = traced.map(|_| Instant::now());
+        match &self.supervision {
+            None => {
+                for message in &frame.messages {
+                    match self.codec.decode_into(message, &mut self.workhorse) {
+                        Ok(()) => {
+                            self.counters.packets_in.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = &self.telemetry {
+                                if let Some(ts) = self.workhorse.source_timestamp() {
+                                    t.e2e.record(now.saturating_sub(ts));
+                                }
+                            }
+                            self.processor.process(&self.workhorse, &mut self.ctx);
+                        }
+                        Err(_) => {
+                            self.counters.seq_violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Some(sup) => {
+                // The frame is the poison unit: the whole message
+                // loop runs under the supervisor so a panic anywhere
+                // in decode or process is caught here. A retry
+                // re-runs the full frame — messages processed before
+                // the panic are re-emitted (at-least-once within the
+                // retry window); counters are applied only on
+                // success so retries do not inflate them.
+                let processor = &mut self.processor;
+                let ctx = &mut self.ctx;
+                let workhorse = &mut self.workhorse;
+                let codec = &mut self.codec;
+                let telemetry = &self.telemetry;
+                let frame_ref = &frame;
+                let outcome = sup.supervisor.run_batch(
+                    || {
+                        let mut decoded = 0u64;
+                        let mut bad = 0u64;
+                        for message in &frame_ref.messages {
+                            match codec.decode_into(message, workhorse) {
+                                Ok(()) => {
+                                    decoded += 1;
+                                    if let Some(t) = telemetry {
+                                        if let Some(ts) = workhorse.source_timestamp() {
+                                            t.e2e.record(now.saturating_sub(ts));
+                                        }
+                                    }
+                                    processor.process(workhorse, ctx);
+                                }
+                                Err(_) => bad += 1,
+                            }
+                        }
+                        (decoded, bad)
+                    },
+                    |attempt| sup.backoff.delay_for(attempt),
+                );
+                match outcome {
+                    SupervisedOutcome::Completed((decoded, bad)) => {
+                        self.counters.packets_in.fetch_add(decoded, Ordering::Relaxed);
+                        if bad > 0 {
+                            self.counters.seq_violations.fetch_add(bad, Ordering::Relaxed);
+                        }
+                    }
+                    SupervisedOutcome::Rejected => {
+                        // Breaker open: drain-and-drop keeps the
+                        // queue moving so the upstream gate reopens.
+                    }
+                    SupervisedOutcome::Quarantined { panic_msg, attempts, .. } => {
+                        if let Some(rec) = &self.recorder {
+                            rec.record(EventKind::Panic, frame.link_id, attempts as u64);
+                            rec.record(EventKind::DeadLetter, frame.link_id, frame.base_seq);
+                            if !self.recorder_dumped {
+                                self.recorder_dumped = true;
+                                eprintln!(
+                                    "neptune[{}:{}]: frame quarantined; flight recorder:\n{}",
+                                    self.ctx.operator(),
+                                    self.ctx.instance(),
+                                    rec.render()
+                                );
+                            }
+                        }
+                        let mut bytes = Vec::new();
+                        let mut original_len = 0usize;
+                        for message in &frame.messages {
+                            original_len += message.len();
+                            if bytes.len() < sup.capture_bytes {
+                                let take = (sup.capture_bytes - bytes.len()).min(message.len());
+                                bytes.extend_from_slice(&message[..take]);
+                            }
+                        }
+                        sup.dead_letters.push(DeadLetter {
+                            operator: self.ctx.operator().to_string(),
+                            instance: self.ctx.instance(),
+                            link_id: frame.link_id,
+                            base_seq: frame.base_seq,
+                            messages: frame.messages.len() as u32,
+                            panic_msg,
+                            attempts,
+                            bytes,
+                            original_len,
+                        });
+                    }
+                }
+                // The per-operator supervisor (shared by all
+                // instances) is the source of truth for containment
+                // counters; mirror its monotonic totals into the
+                // operator counters after every supervised frame.
+                let stats = sup.supervisor.stats();
+                self.counters.panics.store(stats.panics, Ordering::Relaxed);
+                self.counters.retries.store(stats.retries, Ordering::Relaxed);
+                self.counters.quarantined.store(stats.quarantined, Ordering::Relaxed);
+                self.counters.breaker_trips.store(stats.breaker_trips, Ordering::Relaxed);
+                self.counters.breaker_dropped.store(stats.breaker_rejected, Ordering::Relaxed);
+            }
+        }
+        if let Some((t0, id)) = span_start.zip(traced) {
+            let (ring, track) = self.spans.as_ref().expect("traced implies ring");
+            ring.record(Span {
+                trace_id: id,
+                start_micros: now,
+                dur_micros: t0.elapsed().as_micros() as u64,
+                stage: if self.is_sink { STAGE_SINK } else { STAGE_EXECUTION },
+                track: *track,
+            });
+        }
+        // Batch storage goes back to the pool once every message in
+        // it has been decoded; the recycle is a no-op while other
+        // frames still share the buffer.
+        self.pool.recycle(frame.messages.into_batch());
+    }
 }
 
 impl ComputationalTask for ProcessorTask {
     fn initialize(&mut self, _gctx: &TaskContext) {
         self.processor.open(&mut self.ctx);
+        // Stateful recovery: overwrite open()'s defaults with the blob
+        // captured at the last completed cut, so the instance resumes
+        // exactly where the checkpoint left it.
+        if let Some(align) = &mut self.alignment {
+            if let Some(snap) = align.restored.take() {
+                if let Some(state) = self.processor.state() {
+                    if let Some(saved) =
+                        snap.state_for(self.ctx.operator(), self.ctx.instance() as u32)
+                    {
+                        let _ = saved.restore_into(state);
+                    }
+                }
+            }
+        }
     }
 
     fn execute(&mut self, _gctx: &TaskContext) -> TaskOutcome {
@@ -373,6 +559,29 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         .containment
         .enabled
         .then(|| Arc::new(DeadLetterQueue::new(config.containment.dead_letter_capacity)));
+
+    // ---- Checkpointing (ISSUE 10): snapshot store, coordinator, and the
+    // restore source for stateful recovery. Everything hangs off the
+    // default-off flag, so a disabled job deploys bit-identically. ----
+    let checkpoint = if config.checkpoint.enabled {
+        let store: Box<dyn SnapshotStore> = match &config.checkpoint.store {
+            SnapshotStoreKind::Memory => {
+                Box::new(MemorySnapshotStore::new(config.checkpoint.retain))
+            }
+            SnapshotStoreKind::File(dir) => {
+                Box::new(FileSnapshotStore::new(dir.clone(), config.checkpoint.retain))
+            }
+        };
+        let restored = store
+            .latest()
+            .map_err(|e| SubmitError::Io(format!("checkpoint restore: {e}")))?
+            .map(Arc::new);
+        let participants: usize = graph.operators().iter().map(|o| o.parallelism).sum();
+        let coordinator = Arc::new(CheckpointCoordinator::new(store, participants));
+        Some((coordinator, restored, Arc::new(AtomicU64::new(0))))
+    } else {
+        None
+    };
 
     // ---- Placement: strategy-driven assignment of instances. ----
     let n_resources = config.resources;
@@ -653,6 +862,33 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 is_sink,
                 recorder: recorder.clone(),
                 recorder_dumped: false,
+                alignment: checkpoint.as_ref().map(|(coord, restored, _)| {
+                    // Every inbound channel feeding this instance's queue:
+                    // all source instances of every in-link, keyed by the
+                    // same raw channel id the frames carry.
+                    let inputs: Vec<u64> = graph
+                        .in_links(&op.name)
+                        .iter()
+                        .flat_map(|&li| {
+                            let from = &graph.links()[li].from;
+                            let src_par = graph.operators()[op_index[from.as_str()]].parallelism;
+                            (0..src_par).map(move |si| {
+                                ChannelId::new(li as u16, si as u16, inst as u16).raw()
+                            })
+                        })
+                        .collect();
+                    Alignment {
+                        coordinator: coord.clone(),
+                        inputs,
+                        finished: HashSet::new(),
+                        current: None,
+                        aligned: HashSet::new(),
+                        held: Vec::new(),
+                        completed_through: 0,
+                        final_forwarded: false,
+                        restored: restored.clone(),
+                    }
+                }),
             };
             let resource = &resources[placement[&(oi, inst)]];
             // Batched scheduling lets a slot drain bursts on one worker
@@ -737,6 +973,12 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 closed: false,
                 spans: spans.as_ref().map(|sp| (sp.clone(), sp.register_track(&op.name))),
                 stints: 0,
+                checkpoint: checkpoint.as_ref().map(|(coord, restored, requested)| SourceBarrier {
+                    coordinator: coord.clone(),
+                    requested: requested.clone(),
+                    emitted: 0,
+                    restored: restored.clone(),
+                }),
             };
             // Spawn parked, install the gate listeners that reference the
             // handle, then kick the first run — so a gate release can never
@@ -751,6 +993,19 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
             handle.wake();
             pump_handles.push(handle);
         }
+    }
+
+    // ---- Barrier timer: opens a checkpoint round every interval and
+    // wakes every pump so parked sources serve the round promptly. ----
+    if let Some((coord, _, requested)) = &checkpoint {
+        io_pool.spawn_periodic(
+            config.checkpoint.interval,
+            BarrierTimerTask {
+                coordinator: coord.clone(),
+                requested: requested.clone(),
+                pumps: pump_handles.clone(),
+            },
+        );
     }
 
     // Topological order of processor handles for close-time draining.
@@ -843,6 +1098,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                 let spans_m = spans.clone();
                 let recorder_m = recorder.clone();
                 let endpoints_m = all_endpoints.clone();
+                let checkpoints_m = checkpoint.as_ref().map(|(c, _, _)| c.clone());
                 let metrics = Box::new(move || {
                     // Rebuild the JobHandle::metrics fold from the shared
                     // state the closure can own. IO-pool/worker gauges are
@@ -878,6 +1134,7 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
                         links: endpoints_m.iter().map(|e| e.link().stats_snapshot()).collect(),
                         recovery: recovery.as_ref().map(|s| s.snapshot()),
                         dead_letters: dlq.as_ref().map(|d| d.snapshot()).unwrap_or_default(),
+                        checkpoints: checkpoints_m.as_ref().map(|c| c.stats(crate::now_micros())),
                     }
                     .render_prometheus()
                 });
@@ -940,5 +1197,6 @@ pub(super) fn deploy(graph: Graph, config: RuntimeConfig) -> Result<JobHandle, S
         spans,
         recorder,
         scrape_addr,
+        checkpoints: checkpoint.map(|(c, _, _)| c),
     })
 }

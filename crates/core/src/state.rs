@@ -1,0 +1,302 @@
+//! Operator state: the versioned serialize/restore contract behind
+//! aligned checkpoints (ROADMAP item 4).
+//!
+//! PR 3's ack/replay and PR 9's unified link stack make *in-flight
+//! frames* exactly-once, but operator-held aggregates (the paper's
+//! 24-hour actuation-delay window, §IV-C) still died with the operator.
+//! [`OperatorState`] is the missing half: any source or processor that
+//! holds state across packets implements it, and the checkpoint
+//! subsystem (`crate::checkpoint`) snapshots that state at barrier
+//! alignment and hands it back on recovery.
+//!
+//! The encoding contract is deliberately plain: a little-endian,
+//! field-by-field binary layout behind a `(kind, version)` header the
+//! store writes for us. No serde, no schema evolution framework — a
+//! version bump plus an explicit `restore` arm is how state formats
+//! migrate, which keeps snapshots greppable and the dependency graph
+//! untouched.
+
+use std::collections::BTreeMap;
+
+/// Why a state blob could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The blob was written by a version this build cannot read.
+    VersionMismatch {
+        /// Version this build writes (and the newest it reads).
+        supported: u32,
+        /// Version found in the snapshot.
+        found: u32,
+    },
+    /// The blob failed structural validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::VersionMismatch { supported, found } => {
+                write!(f, "state version {found} not supported (this build reads {supported})")
+            }
+            StateError::Corrupt(msg) => write!(f, "corrupt state blob: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Versioned serialize/restore for an operator's in-memory state.
+///
+/// Implementations must be *deterministic*: the same logical state must
+/// always produce the same bytes, because the stateful chaos harness
+/// asserts byte-identical aggregates across cut and uncut runs. Iterate
+/// ordered containers, never hash maps, when writing.
+pub trait OperatorState {
+    /// Stable identifier recorded next to the blob (sanity-checked on
+    /// restore so a topology edit cannot silently feed one operator
+    /// another's state).
+    fn state_kind(&self) -> &'static str;
+
+    /// Version this implementation writes. `restore` must accept it and
+    /// may accept older ones.
+    fn state_version(&self) -> u32 {
+        1
+    }
+
+    /// Append the serialized state to `out` (little-endian, no header —
+    /// kind and version are stored by the snapshot layer).
+    fn snapshot_state(&self, out: &mut Vec<u8>);
+
+    /// Replace this state with the decoded contents of `bytes`, written
+    /// by `version` of the same kind.
+    fn restore_state(&mut self, version: u32, bytes: &[u8]) -> Result<(), StateError>;
+}
+
+/// Little-endian field reader used by `restore_state` implementations:
+/// bounds-checked, with [`StateError::Corrupt`] on underrun.
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        StateReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+            StateError::Corrupt(format!(
+                "need {n} bytes at offset {}, blob holds {}",
+                self.pos,
+                self.bytes.len()
+            ))
+        })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> Result<u8, StateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StateError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("slice len")))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("slice len")))
+    }
+
+    /// Next `f64` (little-endian IEEE-754 bits — bit-exact round trip,
+    /// NaN payloads and signed zeros included).
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Next length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], StateError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Error unless every byte was consumed — trailing garbage means the
+    /// blob and the decoder disagree about the layout.
+    pub fn finish(self) -> Result<(), StateError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(StateError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Append a length-prefixed byte string (the writer-side dual of
+/// [`StateReader::bytes`]).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// A general-purpose keyed state map for user operators: byte keys to
+/// byte values, ordered (so snapshots are deterministic), implementing
+/// [`OperatorState`] out of the box.
+///
+/// Operators whose state does not fit a window aggregator — per-device
+/// counters, last-seen values, join buffers — park it here and get
+/// checkpoint/restore for free.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct KeyedState {
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl KeyedState {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the value under `key`; returns the old value.
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> Option<Vec<u8>> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// The value under `key`, if any.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Option<&[u8]> {
+        self.entries.get(key.as_ref()).map(Vec::as_slice)
+    }
+
+    /// Remove and return the value under `key`.
+    pub fn remove(&mut self, key: impl AsRef<[u8]>) -> Option<Vec<u8>> {
+        self.entries.remove(key.as_ref())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in key order (the snapshot order).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl OperatorState for KeyedState {
+    fn state_kind(&self) -> &'static str {
+        "keyed-state"
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (k, v) in &self.entries {
+            put_bytes(out, k);
+            put_bytes(out, v);
+        }
+    }
+
+    fn restore_state(&mut self, version: u32, bytes: &[u8]) -> Result<(), StateError> {
+        if version != 1 {
+            return Err(StateError::VersionMismatch { supported: 1, found: version });
+        }
+        let mut r = StateReader::new(bytes);
+        let n = r.u64()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.bytes()?.to_vec();
+            let v = r.bytes()?.to_vec();
+            entries.insert(k, v);
+        }
+        r.finish()?;
+        self.entries = entries;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_state_round_trips() {
+        let mut s = KeyedState::new();
+        s.put(b"device-7".to_vec(), 42u64.to_le_bytes().to_vec());
+        s.put(b"device-3".to_vec(), b"hello".to_vec());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b"device-7"), Some(42u64.to_le_bytes().as_slice()));
+        let mut blob = Vec::new();
+        s.snapshot_state(&mut blob);
+        let mut restored = KeyedState::new();
+        restored.put(b"stale".to_vec(), b"gone".to_vec());
+        restored.restore_state(1, &blob).unwrap();
+        assert_eq!(restored, s, "restore replaces, never merges");
+    }
+
+    #[test]
+    fn keyed_state_snapshot_is_deterministic() {
+        // Same entries inserted in different orders → identical bytes.
+        let mut a = KeyedState::new();
+        a.put(b"x".to_vec(), b"1".to_vec());
+        a.put(b"y".to_vec(), b"2".to_vec());
+        let mut b = KeyedState::new();
+        b.put(b"y".to_vec(), b"2".to_vec());
+        b.put(b"x".to_vec(), b"1".to_vec());
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.snapshot_state(&mut ba);
+        b.snapshot_state(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn keyed_state_rejects_bad_blobs() {
+        let mut s = KeyedState::new();
+        assert!(matches!(
+            s.restore_state(9, &[]),
+            Err(StateError::VersionMismatch { supported: 1, found: 9 })
+        ));
+        // Truncated count.
+        assert!(matches!(s.restore_state(1, &[1, 2, 3]), Err(StateError::Corrupt(_))));
+        // Count promises an entry the blob does not hold.
+        assert!(matches!(s.restore_state(1, &1u64.to_le_bytes()), Err(StateError::Corrupt(_))));
+        // Trailing garbage after a clean decode.
+        let mut blob = Vec::new();
+        KeyedState::new().snapshot_state(&mut blob);
+        blob.push(0xFF);
+        assert!(matches!(s.restore_state(1, &blob), Err(StateError::Corrupt(_))));
+    }
+
+    #[test]
+    fn reader_primitives_round_trip() {
+        let mut out = Vec::new();
+        out.push(7u8);
+        out.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        out.extend_from_slice(&u64::MAX.to_le_bytes());
+        out.extend_from_slice(&(-0.0f64).to_bits().to_le_bytes());
+        put_bytes(&mut out, b"tail");
+        let mut r = StateReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits(), "bit-exact floats");
+        assert_eq!(r.bytes().unwrap(), b"tail");
+        r.finish().unwrap();
+    }
+}

@@ -21,6 +21,7 @@
 //! path. Snapshots render as pretty text, JSON (via the repo's own
 //! [`crate::json`]), and Prometheus text exposition.
 
+use crate::checkpoint::CheckpointStats;
 use crate::dead_letter::DeadLetter;
 use crate::json::{object, JsonValue};
 use crate::metrics::JobMetrics;
@@ -215,6 +216,9 @@ pub struct TelemetrySnapshot {
     /// containment is disabled or nothing has been quarantined. Exports
     /// render provenance and panic messages but never the raw bytes.
     pub dead_letters: Vec<DeadLetter>,
+    /// Aligned-snapshot coordinator counters and histograms (ISSUE 10);
+    /// `None` when checkpointing is disabled in the runtime config.
+    pub checkpoints: Option<CheckpointStats>,
 }
 
 fn histogram_json(snap: &HistogramSnapshot) -> JsonValue {
@@ -285,6 +289,19 @@ fn recovery_json(r: &RecoverySnapshot) -> JsonValue {
         ("deaths", JsonValue::Number(r.deaths as f64)),
         ("recoveries", JsonValue::Number(r.recoveries as f64)),
         ("detection_latency", histogram_json(&r.detection_latency)),
+    ])
+}
+
+fn checkpoint_json(c: &CheckpointStats) -> JsonValue {
+    object([
+        ("completed", JsonValue::Number(c.completed as f64)),
+        ("abandoned", JsonValue::Number(c.abandoned as f64)),
+        ("store_failures", JsonValue::Number(c.store_failures as f64)),
+        ("in_flight", JsonValue::Number(c.in_flight as f64)),
+        ("last_completed_id", JsonValue::Number(c.last_completed_id.unwrap_or(0) as f64)),
+        ("last_age_micros", JsonValue::Number(c.last_age_micros.unwrap_or(0) as f64)),
+        ("duration", histogram_json(&c.duration_micros)),
+        ("size_bytes", histogram_json(&c.size_bytes)),
     ])
 }
 
@@ -373,6 +390,9 @@ impl TelemetrySnapshot {
                 JsonValue::Array(self.dead_letters.iter().map(dead_letter_json).collect()),
             ));
         }
+        if let Some(c) = &self.checkpoints {
+            root.push(("checkpoints", checkpoint_json(c)));
+        }
         object(root)
     }
 
@@ -452,6 +472,20 @@ impl TelemetrySnapshot {
         if let Some(r) = &self.recovery {
             out.push_str(&r.render_pretty());
             out.push('\n');
+        }
+        if let Some(c) = &self.checkpoints {
+            out.push_str(&format!(
+                "checkpoints: completed={} abandoned={} store_failures={} in_flight={} \
+                 last_id={} age={}µs\n",
+                c.completed,
+                c.abandoned,
+                c.store_failures,
+                c.in_flight,
+                c.last_completed_id.map(|id| id.to_string()).unwrap_or_else(|| "-".into()),
+                c.last_age_micros.unwrap_or(0),
+            ));
+            out.push_str(&format!("  {}\n", export::pretty_line("duration", &c.duration_micros)));
+            out.push_str(&format!("  {}\n", export::pretty_line("size_bytes", &c.size_bytes)));
         }
         out
     }
@@ -617,6 +651,51 @@ impl TelemetrySnapshot {
                 &r.detection_latency,
             );
         }
+        if let Some(c) = &self.checkpoints {
+            export::prometheus_counter(
+                &mut out,
+                "neptune_checkpoint_completed_total",
+                &[],
+                c.completed,
+            );
+            export::prometheus_counter(
+                &mut out,
+                "neptune_checkpoint_abandoned_total",
+                &[],
+                c.abandoned,
+            );
+            export::prometheus_counter(
+                &mut out,
+                "neptune_checkpoint_store_failures_total",
+                &[],
+                c.store_failures,
+            );
+            out.push_str("# TYPE neptune_checkpoint_in_flight gauge\n");
+            export::sample_line(&mut out, "neptune_checkpoint_in_flight", &[], c.in_flight);
+            out.push_str("# TYPE neptune_checkpoint_last_completed_id gauge\n");
+            export::sample_line(
+                &mut out,
+                "neptune_checkpoint_last_completed_id",
+                &[],
+                c.last_completed_id.unwrap_or(0),
+            );
+            out.push_str("# TYPE neptune_checkpoint_last_age_micros gauge\n");
+            export::sample_line(
+                &mut out,
+                "neptune_checkpoint_last_age_micros",
+                &[],
+                c.last_age_micros.unwrap_or(0),
+            );
+            out.push_str("# TYPE neptune_checkpoint_duration_micros summary\n");
+            export::summary_samples(
+                &mut out,
+                "neptune_checkpoint_duration_micros",
+                &[],
+                &c.duration_micros,
+            );
+            out.push_str("# TYPE neptune_checkpoint_size_bytes summary\n");
+            export::summary_samples(&mut out, "neptune_checkpoint_size_bytes", &[], &c.size_bytes);
+        }
         out
     }
 }
@@ -657,6 +736,7 @@ mod tests {
             links: Vec::new(),
             recovery: None,
             dead_letters: Vec::new(),
+            checkpoints: None,
         }
     }
 
@@ -840,6 +920,60 @@ mod tests {
         let pretty = snap.render_pretty();
         assert!(pretty.contains("link 0x10000: flushes=12 packets=48"));
         assert!(pretty.contains("flush=32768B/2000µs/0msg"));
+    }
+
+    #[test]
+    fn checkpoint_section_renders_in_all_formats() {
+        let plain = sample_snapshot();
+        assert!(!plain.to_json().contains("\"checkpoints\""), "no section when checkpointing off");
+        assert!(!plain.render_prometheus().contains("neptune_checkpoint_"));
+        assert!(!plain.render_pretty().contains("checkpoints:"));
+
+        let mut snap = sample_snapshot();
+        let duration = {
+            let h = neptune_telemetry::LatencyHistogram::new();
+            h.record(250);
+            h.record(900);
+            h.snapshot()
+        };
+        let size = {
+            let h = neptune_telemetry::LatencyHistogram::new();
+            h.record(4096);
+            h.record(8192);
+            h.snapshot()
+        };
+        snap.checkpoints = Some(CheckpointStats {
+            completed: 5,
+            abandoned: 1,
+            store_failures: 0,
+            in_flight: 1,
+            last_completed_id: Some(5),
+            last_age_micros: Some(42_000),
+            duration_micros: duration,
+            size_bytes: size,
+        });
+
+        let doc = crate::json::parse(&snap.to_json()).unwrap();
+        let c = doc.get("checkpoints").expect("checkpoints object present");
+        assert_eq!(c.get("completed").unwrap().as_u64(), Some(5));
+        assert_eq!(c.get("abandoned").unwrap().as_u64(), Some(1));
+        assert_eq!(c.get("last_completed_id").unwrap().as_u64(), Some(5));
+        assert_eq!(c.get("duration").unwrap().get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(c.get("size_bytes").unwrap().get("count").unwrap().as_u64(), Some(2));
+
+        let text = snap.render_prometheus();
+        assert!(text.contains("neptune_checkpoint_completed_total 5\n"));
+        assert!(text.contains("neptune_checkpoint_abandoned_total 1\n"));
+        assert!(text.contains("neptune_checkpoint_store_failures_total 0\n"));
+        assert!(text.contains("neptune_checkpoint_in_flight 1\n"));
+        assert!(text.contains("neptune_checkpoint_last_completed_id 5\n"));
+        assert!(text.contains("neptune_checkpoint_last_age_micros 42000\n"));
+        assert_eq!(text.matches("# TYPE neptune_checkpoint_duration_micros summary").count(), 1);
+        assert_eq!(text.matches("# TYPE neptune_checkpoint_size_bytes summary").count(), 1);
+
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("checkpoints: completed=5 abandoned=1"));
+        assert!(pretty.contains("last_id=5 age=42000µs"));
     }
 
     #[test]

@@ -15,7 +15,14 @@
 //!
 //! Both are event-time driven (timestamps carried by packets), so results
 //! are deterministic and replayable — wall clocks never enter the logic.
+//!
+//! Both implement [`OperatorState`], so a stateful processor that exposes
+//! its window through [`crate::operator::StreamProcessor::state`] gets
+//! aligned-checkpoint snapshot/restore for free: the serialized form is
+//! the exact field set (bit-exact floats included), which is what lets
+//! the chaos harness demand byte-identical aggregates after recovery.
 
+use crate::state::{OperatorState, StateError, StateReader};
 use std::collections::VecDeque;
 
 /// Aggregate of one closed window.
@@ -137,6 +144,55 @@ impl TumblingWindow {
     }
 }
 
+impl OperatorState for TumblingWindow {
+    fn state_kind(&self) -> &'static str {
+        "tumbling-window"
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.width_us.to_le_bytes());
+        match self.current_start {
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max.to_bits().to_le_bytes());
+    }
+
+    fn restore_state(&mut self, version: u32, bytes: &[u8]) -> Result<(), StateError> {
+        if version != 1 {
+            return Err(StateError::VersionMismatch { supported: 1, found: version });
+        }
+        let mut r = StateReader::new(bytes);
+        let width_us = r.u64()?;
+        if width_us == 0 {
+            return Err(StateError::Corrupt("zero window width".into()));
+        }
+        let has_start = r.u8()?;
+        let start = r.u64()?;
+        let count = r.u64()?;
+        let sum = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        r.finish()?;
+        self.width_us = width_us;
+        self.current_start = (has_start == 1).then_some(start);
+        self.count = count;
+        self.sum = sum;
+        self.min = min;
+        self.max = max;
+        Ok(())
+    }
+}
+
 /// A sliding event-time window over the last `width_us` of observations.
 #[derive(Debug)]
 pub struct SlidingWindow {
@@ -203,6 +259,58 @@ impl SlidingWindow {
     /// Maximum over the window (`NaN` when empty). O(n).
     pub fn max(&self) -> f64 {
         self.entries.iter().map(|&(_, v)| v).fold(f64::NAN, f64::max)
+    }
+}
+
+impl OperatorState for SlidingWindow {
+    fn state_kind(&self) -> &'static str {
+        "sliding-window"
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.width_us.to_le_bytes());
+        // The running sum is serialized rather than recomputed on restore:
+        // it carries the exact rounding history of incremental adds and
+        // evictions, and byte-identical recovery means preserving it.
+        out.extend_from_slice(&self.sum.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for &(t, v) in &self.entries {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn restore_state(&mut self, version: u32, bytes: &[u8]) -> Result<(), StateError> {
+        if version != 1 {
+            return Err(StateError::VersionMismatch { supported: 1, found: version });
+        }
+        let mut r = StateReader::new(bytes);
+        let width_us = r.u64()?;
+        if width_us == 0 {
+            return Err(StateError::Corrupt("zero window width".into()));
+        }
+        let sum = r.f64()?;
+        let n = r.u64()?;
+        let mut entries = VecDeque::with_capacity(n as usize);
+        let mut last = None;
+        for _ in 0..n {
+            let t = r.u64()?;
+            let v = r.f64()?;
+            if let Some(prev) = last {
+                if t < prev {
+                    return Err(StateError::Corrupt(format!(
+                        "entry timestamps regress: {t} after {prev}"
+                    )));
+                }
+            }
+            last = Some(t);
+            entries.push_back((t, v));
+        }
+        r.finish()?;
+        self.width_us = width_us;
+        self.entries = entries;
+        self.sum = sum;
+        Ok(())
     }
 }
 
@@ -301,6 +409,71 @@ mod tests {
     }
 
     #[test]
+    fn tumbling_snapshot_restores_mid_window() {
+        let mut w = TumblingWindow::new(1_000);
+        w.observe(100, 1.5);
+        w.observe(900, -2.5);
+        let mut blob = Vec::new();
+        w.snapshot_state(&mut blob);
+        assert_eq!(w.state_kind(), "tumbling-window");
+        assert_eq!(w.state_version(), 1);
+        // Restore into a window built with a different width: the blob
+        // carries the full configuration.
+        let mut restored = TumblingWindow::new(7);
+        restored.restore_state(1, &blob).unwrap();
+        assert_eq!(restored.width_us(), 1_000);
+        // Both continue identically.
+        let a = w.observe(1_100, 10.0).unwrap();
+        let b = restored.observe(1_100, 10.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(w.flush(), restored.flush());
+    }
+
+    #[test]
+    fn sliding_snapshot_restores_entries_and_exact_sum() {
+        let mut w = SlidingWindow::new(500);
+        for t in 0..400u64 {
+            w.observe(t * 3, 0.1 * (t % 13) as f64);
+        }
+        let mut blob = Vec::new();
+        w.snapshot_state(&mut blob);
+        let mut restored = SlidingWindow::new(1);
+        restored.restore_state(1, &blob).unwrap();
+        assert_eq!(restored.len(), w.len());
+        assert_eq!(
+            restored.sum().to_bits(),
+            w.sum().to_bits(),
+            "the incremental sum's rounding history must survive"
+        );
+        w.observe(2_000, 9.0);
+        restored.observe(2_000, 9.0);
+        assert_eq!(w.sum().to_bits(), restored.sum().to_bits());
+        assert_eq!(w.len(), restored.len());
+    }
+
+    #[test]
+    fn window_restore_rejects_bad_blobs() {
+        let mut w = TumblingWindow::new(100);
+        assert!(matches!(
+            w.restore_state(2, &[]),
+            Err(StateError::VersionMismatch { supported: 1, found: 2 })
+        ));
+        assert!(matches!(w.restore_state(1, &[0u8; 3]), Err(StateError::Corrupt(_))));
+        let mut s = SlidingWindow::new(100);
+        assert!(matches!(s.restore_state(1, &[0u8; 5]), Err(StateError::Corrupt(_))));
+        // A sliding blob whose entries regress in time is rejected.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&100u64.to_le_bytes()); // width
+        bad.extend_from_slice(&0.0f64.to_bits().to_le_bytes()); // sum
+        bad.extend_from_slice(&2u64.to_le_bytes()); // two entries
+        bad.extend_from_slice(&50u64.to_le_bytes());
+        bad.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        bad.extend_from_slice(&10u64.to_le_bytes()); // regresses
+        bad.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(s.restore_state(1, &bad), Err(StateError::Corrupt(_))));
+    }
+
+    #[test]
     fn twenty_four_hour_window_of_actuation_delays() {
         // The paper's use case at scale: 24 h tumbling window over delays.
         const HOUR_US: u64 = 3_600_000_000;
@@ -320,6 +493,131 @@ mod tests {
         for day in &closed {
             assert_eq!(day.count, 24);
             assert!((day.mean() - 20_002.0).abs() < 2.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Non-decreasing event times with values, plus per-observation batch
+    /// boundaries (a `true` ends the current arrival batch).
+    fn observations() -> impl Strategy<Value = Vec<(u64, f64, bool)>> {
+        proptest::collection::vec((0u64..5_000, -1_000i32..1_000, any::<bool>()), 0..200).prop_map(
+            |raw| {
+                let mut ts = 0u64;
+                raw.into_iter()
+                    .map(|(dt, v, cut)| {
+                        ts += dt;
+                        (ts, v as f64 / 8.0, cut)
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    /// Bit-exact comparison: aggregates must match to the last float bit,
+    /// because the chaos harness compares serialized window output.
+    fn aggs_identical(a: &[WindowAggregate], b: &[WindowAggregate]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.start_us == y.start_us
+                    && x.end_us == y.end_us
+                    && x.count == y.count
+                    && x.sum.to_bits() == y.sum.to_bits()
+                    && x.min.to_bits() == y.min.to_bits()
+                    && x.max.to_bits() == y.max.to_bits()
+            })
+    }
+
+    proptest! {
+        /// Event-time determinism under arrival batching: the same packet
+        /// sequence produces bit-identical aggregates no matter how it is
+        /// split into batches, even when the window is snapshotted and
+        /// restored into a fresh instance at every batch boundary (the
+        /// checkpoint/recover path).
+        #[test]
+        fn tumbling_batching_and_restore_deterministic(
+            obs in observations(),
+            width in 1u64..10_000,
+        ) {
+            let mut straight = TumblingWindow::new(width);
+            let mut straight_out = Vec::new();
+            for &(ts, v, _) in &obs {
+                straight_out.extend(straight.observe(ts, v));
+            }
+            straight_out.extend(straight.flush());
+
+            let mut batched = TumblingWindow::new(width);
+            let mut batched_out = Vec::new();
+            for &(ts, v, cut) in &obs {
+                batched_out.extend(batched.observe(ts, v));
+                if cut {
+                    let mut blob = Vec::new();
+                    batched.snapshot_state(&mut blob);
+                    let mut fresh = TumblingWindow::new(width);
+                    fresh.restore_state(1, &blob).unwrap();
+                    batched = fresh;
+                }
+            }
+            batched_out.extend(batched.flush());
+            prop_assert!(aggs_identical(&straight_out, &batched_out));
+        }
+
+        /// Same property for the sliding window: restore at arbitrary cut
+        /// points never perturbs the running statistics, bit for bit.
+        #[test]
+        fn sliding_batching_and_restore_deterministic(
+            obs in observations(),
+            width in 1u64..10_000,
+        ) {
+            let mut straight = SlidingWindow::new(width);
+            let mut batched = SlidingWindow::new(width);
+            for &(ts, v, cut) in &obs {
+                straight.observe(ts, v);
+                batched.observe(ts, v);
+                if cut {
+                    let mut blob = Vec::new();
+                    batched.snapshot_state(&mut blob);
+                    let mut fresh = SlidingWindow::new(width);
+                    fresh.restore_state(1, &blob).unwrap();
+                    batched = fresh;
+                }
+                prop_assert_eq!(straight.len(), batched.len());
+                prop_assert_eq!(straight.sum().to_bits(), batched.sum().to_bits());
+            }
+        }
+
+        /// Snapshot → restore → snapshot is the identity on the bytes, for
+        /// both window types, from any reachable state.
+        #[test]
+        fn snapshot_restore_roundtrip_equivalence(
+            obs in observations(),
+            width in 1u64..10_000,
+        ) {
+            let mut t = TumblingWindow::new(width);
+            let mut s = SlidingWindow::new(width);
+            for &(ts, v, _) in &obs {
+                t.observe(ts, v);
+                s.observe(ts, v);
+            }
+            let mut blob_t = Vec::new();
+            t.snapshot_state(&mut blob_t);
+            let mut rt = TumblingWindow::new(width.max(2) - 1);
+            rt.restore_state(1, &blob_t).unwrap();
+            let mut again = Vec::new();
+            rt.snapshot_state(&mut again);
+            prop_assert_eq!(&blob_t, &again);
+
+            let mut blob_s = Vec::new();
+            s.snapshot_state(&mut blob_s);
+            let mut rs = SlidingWindow::new(width + 1);
+            rs.restore_state(1, &blob_s).unwrap();
+            let mut again = Vec::new();
+            rs.snapshot_state(&mut again);
+            prop_assert_eq!(&blob_s, &again);
         }
     }
 }

@@ -248,6 +248,18 @@ impl Link {
         }
     }
 
+    /// Send an aligned-checkpoint barrier control frame carrying
+    /// `checkpoint_id` down this link, behind every batch already flushed.
+    /// Barriers ride the control channel on both delivery flavours; the
+    /// reliability layer forwards them without retaining them for replay
+    /// (a post-cut checkpoint is abandoned, not replayed).
+    pub fn barrier(&self, checkpoint_id: u64) -> Result<(), TransportError> {
+        match &self.delivery {
+            Delivery::Reliable(s) => s.barrier(checkpoint_id),
+            Delivery::Direct(t) => t.send_control(self.id, ControlKind::Barrier, checkpoint_id),
+        }
+    }
+
     /// Deliver a cumulative ack to the reliability layer (no-op on bare
     /// links — nothing is retained).
     pub fn ack(&self, cum_msg_seq: u64) {
@@ -512,5 +524,29 @@ mod tests {
         link.heartbeat().unwrap();
         assert_eq!(q.pop().unwrap().base_seq, 0, "nonces increase");
         assert_eq!(q.pop().unwrap().base_seq, 1);
+    }
+
+    #[test]
+    fn barriers_arrive_behind_flushed_data_on_both_flavours() {
+        for reliable in [false, true] {
+            let q = queue();
+            let mut b = LinkBuilder::new(5).in_process(q.clone());
+            if reliable {
+                b = b.reliable(ReconnectPolicy::fast(1), 1 << 20, Arc::new(RecoveryStats::new()));
+            }
+            let link = b.build();
+            let (e, c) = prefixed(&[b"data"]);
+            link.send_batch(0, e, c, 0, 0).unwrap();
+            link.barrier(17).unwrap();
+            let first = q.pop().unwrap();
+            assert_eq!(first.control, None, "data flushed before the barrier arrives first");
+            let barrier = q.pop().unwrap();
+            assert_eq!(barrier.control, Some(ControlKind::Barrier), "reliable={reliable}");
+            assert_eq!(barrier.base_seq, 17, "checkpoint id rides base_seq");
+            if reliable {
+                let sup = link.reliability().unwrap();
+                assert_eq!(sup.replay().len(), 1, "barriers are not retained for replay");
+            }
+        }
     }
 }

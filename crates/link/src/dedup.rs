@@ -70,6 +70,26 @@ impl DedupFilter {
     pub fn ack_watermark(&self, link_id: u64) -> Option<u64> {
         self.expected(link_id)
     }
+
+    /// Snapshot every per-link watermark, sorted by link id — the dedup
+    /// half of a checkpoint's consistent cut.
+    pub fn cursors(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.next.lock().iter().map(|(&l, &s)| (l, s)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Restore watermarks from a checkpoint cursor snapshot. Existing
+    /// entries are overwritten; links absent from `cursors` keep theirs.
+    /// After restore, replayed frames below a restored watermark classify
+    /// as duplicates — exactly what keeps restored operator state from
+    /// double-counting messages it already absorbed before the snapshot.
+    pub fn restore(&self, cursors: &[(u64, u64)]) {
+        let mut next = self.next.lock();
+        for &(link_id, seq) in cursors {
+            next.insert(link_id, seq);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,31 @@ impl SupervisedLink {
         self.recover_locked(&mut active)
     }
 
+    /// Send an aligned-checkpoint barrier control frame carrying
+    /// `checkpoint_id`. Barriers travel in-band — after every data frame
+    /// already handed to the transport — but are *not* retained for
+    /// replay: after a cut the checkpoint that barrier belonged to is
+    /// simply abandoned (the coordinator times it out) and the next
+    /// barrier starts a fresh one, so replaying a stale barrier could
+    /// only corrupt alignment. A failed send triggers the usual recovery
+    /// loop so the data frames ahead of the barrier still arrive.
+    pub fn barrier(&self, checkpoint_id: u64) -> Result<(), TransportError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let mut active = self.active.lock();
+        if active.is_none() {
+            *active = (self.connector)().ok();
+        }
+        if let Some(sink) = active.as_ref() {
+            if sink.send_control(self.link_id, ControlKind::Barrier, checkpoint_id).is_ok() {
+                return Ok(());
+            }
+        }
+        *active = None;
+        self.recover_locked(&mut active)
+    }
+
     /// Deliver a cumulative acknowledgement: trims the replay buffer.
     pub fn ack(&self, cum_msg_seq: u64) {
         RecoveryStats::bump(&self.stats.acks_received);

@@ -184,7 +184,15 @@ impl FrameLink for QueueLink {
             control: Some(kind),
             trace: None,
         };
-        self.queue.push_blocking(frame).map(|_| ()).map_err(TransportError::from_push)
+        self.queue.push_blocking(frame).map_err(TransportError::from_push)?;
+        // Control frames must wake the consumer too: a checkpoint barrier
+        // delivered to an idle task would otherwise sit unprocessed until
+        // the next data frame, wedging alignment on quiet channels.
+        let hook = self.on_deliver.read().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+        Ok(())
     }
 
     fn queue(&self) -> Option<&Arc<WatermarkQueue<Frame>>> {
@@ -303,6 +311,23 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 2);
         assert_eq!(link.frames_sent(), 2);
         assert!(link.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn control_frames_signal_delivery_too() {
+        // Regression: a barrier sent to an idle consumer must fire the
+        // delivery hook, or the task is never scheduled to align it and
+        // the queue looks busy forever (settle() then times out).
+        let q = Arc::new(WatermarkQueue::new(WatermarkConfig::new(1 << 20, 1 << 10)));
+        let link = QueueLink::new(q.clone());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        link.on_deliver(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        link.send_control(5, ControlKind::Barrier, 9).unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "control delivery must signal the consumer");
+        assert_eq!(q.pop().unwrap().control, Some(ControlKind::Barrier));
     }
 
     #[test]

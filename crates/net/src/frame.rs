@@ -278,6 +278,17 @@ pub enum ControlKind {
     /// it and receivers that predate it skip it, so the wire stays
     /// byte-compatible in both directions.
     Hello,
+    /// Aligned-checkpoint barrier (Chandy–Lamport style). Value: the
+    /// checkpoint id, monotonically increasing per job; `u64::MAX` is the
+    /// *final* barrier a finished source emits so downstream alignment
+    /// never waits on a closed channel. Barriers are injected at sources,
+    /// flow in-band behind every data frame flushed before them, and are
+    /// aligned at multi-input operators before state is snapshotted.
+    /// Barrier frames only travel on links between checkpoint-aware
+    /// builds (the feature is off by default), so no protocol-version
+    /// bump is needed: a job either emits none or every peer decodes
+    /// them.
+    Barrier,
 }
 
 impl ControlKind {
@@ -287,6 +298,7 @@ impl ControlKind {
             ControlKind::Heartbeat => 1,
             ControlKind::Ack => 2,
             ControlKind::Hello => 3,
+            ControlKind::Barrier => 4,
         }
     }
 
@@ -296,6 +308,7 @@ impl ControlKind {
             1 => Some(ControlKind::Heartbeat),
             2 => Some(ControlKind::Ack),
             3 => Some(ControlKind::Hello),
+            4 => Some(ControlKind::Barrier),
             _ => None,
         }
     }
@@ -1082,6 +1095,22 @@ mod tests {
         let (frame, _) = decode_frame(&wire).unwrap();
         assert!(frame.is_empty());
         assert_eq!(frame.len(), 0);
+    }
+
+    #[test]
+    fn barrier_control_frame_roundtrips() {
+        let wire = encode_control_frame(11, ControlKind::Barrier, 42);
+        let (frame, used) = decode_frame(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(frame.control, Some(ControlKind::Barrier));
+        assert_eq!(frame.link_id, 11);
+        assert_eq!(frame.base_seq, 42, "checkpoint id rides in base_seq");
+        assert!(frame.is_empty(), "barriers carry no body");
+        // The final-barrier sentinel survives the trip too.
+        let fin = encode_control_frame(11, ControlKind::Barrier, u64::MAX);
+        let (frame, _) = decode_frame(&fin).unwrap();
+        assert_eq!(frame.base_seq, u64::MAX);
+        assert_eq!(ControlKind::from_word(ControlKind::Barrier.word()), Some(ControlKind::Barrier));
     }
 
     #[test]

@@ -725,10 +725,15 @@ fn reader_loop(
         match read {
             Ok(mut frame) => {
                 if let Some(kind) = frame.control {
-                    // Control frames never surface on the data queue. A
-                    // heartbeat is answered with the current cumulative ack
-                    // so an idle link proves liveness end to end.
+                    // Control frames never surface on the data queue —
+                    // except barriers, which are *in-band*: checkpoint
+                    // alignment depends on a barrier staying behind every
+                    // data frame flushed before it, so it rides the queue
+                    // in arrival order like data. A heartbeat is answered
+                    // with the current cumulative ack so an idle link
+                    // proves liveness end to end.
                     match kind {
+                        ControlKind::Barrier => {}
                         ControlKind::Heartbeat => {
                             let ack = if policy.manual_ack {
                                 policy.ack_links.lock().get(&frame.link_id).map_or(0, |l| l.acked)
@@ -775,7 +780,9 @@ fn reader_loop(
                         }
                         ControlKind::Ack => {} // not expected inbound; skip
                     }
-                    continue;
+                    if kind != ControlKind::Barrier {
+                        continue;
+                    }
                 }
                 let seq_end = frame.seq.is_some().then(|| {
                     let end = frame.base_seq + frame.len() as u64;

@@ -672,14 +672,19 @@ impl ConnTask {
                     off += used;
                     let Some(mut frame) = frame else { continue };
                     if let Some(kind) = frame.control {
-                        // Control frames never surface on the data queue;
-                        // a heartbeat is answered with the cumulative ack
-                        // so an idle link proves liveness end to end.
-                        if kind == ControlKind::Heartbeat {
-                            let ack = self.next_expected.unwrap_or(0);
-                            self.queue_ack(frame.link_id, ack);
+                        // Control frames never surface on the data queue —
+                        // except barriers, which ride it in arrival order
+                        // (checkpoint alignment depends on a barrier
+                        // staying behind data flushed before it). A
+                        // heartbeat is answered with the cumulative ack so
+                        // an idle link proves liveness end to end.
+                        if kind != ControlKind::Barrier {
+                            if kind == ControlKind::Heartbeat {
+                                let ack = self.next_expected.unwrap_or(0);
+                                self.queue_ack(frame.link_id, ack);
+                            }
+                            continue;
                         }
-                        continue;
                     }
                     let ack_after = frame.seq.is_some().then(|| {
                         let end = frame.base_seq + frame.len() as u64;

@@ -34,6 +34,16 @@ use std::time::{Duration, Instant};
 pub trait Weighted {
     /// Size of this item for watermark accounting, in bytes.
     fn weight(&self) -> usize;
+
+    /// Whether a [`ShedPolicy`] may sacrifice this item. Control-plane
+    /// items (checkpoint barriers, acks, heartbeats) return `false`:
+    /// dropping a barrier would wedge checkpoint alignment forever, and
+    /// shedding exists to bound *data* latency, not to lose signalling.
+    /// Non-sheddable items are still weighed — they occupy watermark
+    /// budget like everything else — they just survive every policy.
+    fn sheddable(&self) -> bool {
+        true
+    }
 }
 
 impl Weighted for Vec<u8> {
@@ -45,6 +55,12 @@ impl Weighted for Vec<u8> {
 impl Weighted for crate::frame::Frame {
     fn weight(&self) -> usize {
         self.wire_len
+    }
+
+    /// Control frames ([`crate::frame::FLAG_CONTROL`]) are exempt from
+    /// load shedding.
+    fn sheddable(&self) -> bool {
+        self.control.is_none()
     }
 }
 
@@ -462,6 +478,13 @@ impl<T: Weighted> WatermarkQueue<T> {
 
     /// Apply the armed shed policy to an incoming item while gated.
     fn shed_push(&self, st: &mut QueueState<T>, item: T) -> Pushed {
+        if !item.sheddable() {
+            // Control-plane items (barriers, acks) bypass every policy:
+            // they are small, rare, and dropping one wedges the protocol
+            // that sent it. They enqueue despite the gate.
+            self.finish_push(st, item);
+            return Pushed::Enqueued;
+        }
         match self.shed.policy {
             ShedPolicy::None => unreachable!("shed_push called with ShedPolicy::None"),
             ShedPolicy::DropNewest => {
@@ -471,15 +494,19 @@ impl<T: Weighted> WatermarkQueue<T> {
             ShedPolicy::DropOldest => {
                 let need = item.weight();
                 let mut evicted = 0usize;
-                while st.level + need > self.config.high {
-                    match st.items.pop_front() {
-                        Some(old) => {
-                            st.level -= old.weight();
-                            self.note_shed(old.weight());
-                            evicted += 1;
-                        }
-                        None => break,
+                // Evict from the oldest end but step over non-sheddable
+                // items — a queued barrier survives the purge in place, so
+                // its ordering relative to surviving data frames holds.
+                let mut idx = 0usize;
+                while st.level + need > self.config.high && idx < st.items.len() {
+                    if !st.items[idx].sheddable() {
+                        idx += 1;
+                        continue;
                     }
+                    let old = st.items.remove(idx).expect("index bounded by len");
+                    st.level -= old.weight();
+                    self.note_shed(old.weight());
+                    evicted += 1;
                 }
                 self.maybe_release(st);
                 self.finish_push(st, item);
@@ -857,6 +884,62 @@ mod tests {
         let drained: Vec<Vec<u8>> = std::iter::from_fn(|| q.pop()).collect();
         assert!(drained.iter().any(|v| v[0] == 3), "fresh item must survive");
         assert!(!drained.iter().any(|v| v[0] == 1), "oldest item must be shed");
+    }
+
+    /// A weighted item that opts out of shedding, like control frames do.
+    #[derive(Debug)]
+    struct Pinned(usize);
+
+    impl Weighted for Pinned {
+        fn weight(&self) -> usize {
+            self.0
+        }
+
+        fn sheddable(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn non_sheddable_items_survive_every_policy() {
+        for policy in
+            [ShedPolicy::DropNewest, ShedPolicy::DropOldest, ShedPolicy::Probabilistic { seed: 9 }]
+        {
+            let shed = ShedConfig::new(policy, Duration::from_millis(5));
+            let q: WatermarkQueue<Pinned> =
+                WatermarkQueue::with_shed(WatermarkConfig::new(10, 4), shed);
+            q.push_blocking(Pinned(10)).unwrap(); // gated
+            let outcome = q.push_blocking(Pinned(4)).unwrap();
+            assert_eq!(outcome, Pushed::Enqueued, "{policy:?} must not drop control items");
+            assert_eq!(q.shed_total(), 0, "{policy:?} shed a non-sheddable item");
+            assert_eq!(q.len(), 2, "{policy:?} lost a queued non-sheddable item");
+        }
+    }
+
+    #[test]
+    fn control_frames_never_shed_and_data_eviction_skips_them() {
+        use crate::frame::{decode_frame, encode_control_frame, encode_frame, ControlKind};
+        use neptune_compress::SelectiveCompressor;
+        let frame = |wire: Vec<u8>| decode_frame(&wire).unwrap().0;
+        let barrier = frame(encode_control_frame(1, ControlKind::Barrier, 7));
+        assert!(!barrier.sheddable(), "control frames must be shed-exempt");
+        let data = frame(encode_frame(1, 0, &[vec![0u8; 64]], &SelectiveCompressor::disabled()));
+        assert!(data.sheddable());
+        let high = barrier.weight() + data.weight();
+        let shed = ShedConfig::new(ShedPolicy::DropOldest, Duration::from_millis(5));
+        let q = WatermarkQueue::with_shed(WatermarkConfig::new(high, high / 2), shed);
+        q.push_blocking(barrier).unwrap();
+        q.push_blocking(data.clone()).unwrap(); // level = high: gated
+        assert!(q.is_gated());
+        // DropOldest must evict the data frame, never the older barrier.
+        q.push_blocking(data.clone()).unwrap();
+        let survivor = q.pop().unwrap();
+        assert_eq!(
+            survivor.control,
+            Some(ControlKind::Barrier),
+            "barrier must survive DropOldest eviction in FIFO position"
+        );
+        assert!(q.shed_total() >= 1, "the data frame was the one sacrificed");
     }
 
     #[test]

@@ -215,6 +215,47 @@ fn persistent_failure_trips_breaker_without_stalling_source() {
     assert_eq!(c.retries, 0);
 }
 
+/// ISSUE 10 satellite: checkpoint barrier frames are control plane, not
+/// data — even when *every* data frame around them is quarantined, no
+/// barrier may land in the dead-letter queue or count as a shed drop,
+/// and alignment must keep completing rounds through the carnage.
+#[test]
+fn barriers_never_enter_the_dead_letter_queue() {
+    let total = 400u64;
+    let emitted = Arc::new(AtomicU64::new(0));
+    let mut config = containment_config();
+    config.containment.max_retries = 0;
+    config.containment.breaker_threshold = 1_000_000; // quarantine every frame
+    config.checkpoint = CheckpointConfig::every(Duration::from_millis(2));
+    let job = build_job(
+        "barrier-dlq-exemption",
+        total,
+        config,
+        emitted.clone(),
+        Arc::new(Mutex::new(Vec::new())),
+        || AlwaysPanics,
+    );
+    assert!(job.await_sources(Duration::from_secs(60)));
+    assert!(job.settle(Duration::from_secs(60)));
+    assert_eq!(emitted.load(Ordering::Relaxed), total);
+
+    let letters = job.dead_letters();
+    assert!(!letters.is_empty(), "every data frame should have been quarantined");
+    for letter in &letters {
+        assert!(
+            letter.messages > 0,
+            "a zero-message (control) frame reached the dead-letter queue"
+        );
+    }
+    let stats = job.checkpoint_stats().expect("checkpointing enabled");
+    assert!(
+        stats.completed + stats.in_flight + stats.abandoned > 0,
+        "barrier rounds must have been requested"
+    );
+    let metrics = job.stop();
+    assert_eq!(metrics.containment.shed_total, 0, "barriers must never count as shed drops");
+}
+
 #[test]
 fn drop_oldest_bounds_source_latency_under_overload() {
     let total = 1_500u64;

@@ -277,6 +277,7 @@ fn prometheus_exposition_lint() {
         telemetry: TelemetryConfig::with_tracing(64),
         ha: HaConfig::enabled(),
         containment: ContainmentConfig::enabled(),
+        checkpoint: CheckpointConfig::every(Duration::from_millis(5)),
         ..Default::default()
     };
     let job = LocalRuntime::new(config).submit(graph).unwrap();
@@ -335,6 +336,20 @@ fn prometheus_exposition_lint() {
     }
     // The observability families from this PR are present.
     for family in ["neptune_trace_spans_total", "neptune_sampler_dropped_total"] {
+        assert!(declared.contains_key(family), "missing family {family}");
+    }
+    // With checkpointing enabled, the whole checkpoint family must be
+    // declared and pass the same lint as everything else.
+    for family in [
+        "neptune_checkpoint_completed_total",
+        "neptune_checkpoint_abandoned_total",
+        "neptune_checkpoint_store_failures_total",
+        "neptune_checkpoint_in_flight",
+        "neptune_checkpoint_last_completed_id",
+        "neptune_checkpoint_last_age_micros",
+        "neptune_checkpoint_duration_micros",
+        "neptune_checkpoint_size_bytes",
+    ] {
         assert!(declared.contains_key(family), "missing family {family}");
     }
 }
